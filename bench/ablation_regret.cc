@@ -1,0 +1,76 @@
+// Ablation benches for the design decisions DESIGN.md §5 calls out.
+//
+// (1) Regret pricing: our default gives the baseline the *exact*
+//     loss-minimizing price (residual + break-even candidates). The
+//     residual-only pricer is the literal reading of §7.1. Quantifies how
+//     much charity the default extends to the baseline.
+// (2) Efficiency loss: AddOn's utility vs the hindsight welfare optimum,
+//     the price the mechanisms pay for truthfulness + cost recovery
+//     (Moulin-Shenker impossibility, paper §3).
+#include <iostream>
+
+#include "baseline/regret.h"
+#include "baseline/vcg.h"
+#include "common/table.h"
+#include "core/accounting.h"
+#include "core/add_on.h"
+#include "exp/experiment.h"
+#include "workload/scenario.h"
+
+int main() {
+  using namespace optshare;
+
+  const std::vector<double> costs = exp::Fig2SmallCosts();
+  const int trials = 1000;
+
+  AdditiveScenario scenario;  // Fig. 2(a): 6 users, 12 slots, 1 slot each.
+
+  TextTable pricing_table({"cost", "regret_optimal_u", "regret_residual_u",
+                           "optimal_balance", "residual_balance"});
+  TextTable efficiency_table(
+      {"cost", "hindsight_optimum", "addon_utility", "efficiency_ratio",
+       "regret_utility"});
+
+  Rng root(42);
+  for (double cost : costs) {
+    Rng rng = root.Fork(static_cast<uint64_t>(cost * 1000));
+    double opt_u = 0, res_u = 0, opt_b = 0, res_b = 0;
+    double welfare = 0, addon_u = 0, regret_u = 0;
+    for (int t = 0; t < trials; ++t) {
+      const AdditiveOnlineGame game = MakeAdditiveGame(scenario, cost, rng);
+
+      const RegretAdditiveResult optimal =
+          RunRegretAdditive(game, RegretPricing::kOptimal);
+      const RegretAdditiveResult residual =
+          RunRegretAdditive(game, RegretPricing::kResidualsOnly);
+      opt_u += optimal.TotalUtility();
+      res_u += residual.TotalUtility();
+      opt_b += optimal.CloudBalance();
+      res_b += residual.CloudBalance();
+      regret_u += optimal.TotalUtility();
+
+      welfare += OptimalOnlineWelfare(game);
+      const AddOnResult mech = RunAddOn(game);
+      addon_u += AccountAddOn(game, mech).TotalUtility();
+    }
+    const double n = trials;
+    pricing_table.AddNumericRow(
+        {cost, opt_u / n, res_u / n, opt_b / n, res_b / n}, 4);
+    efficiency_table.AddNumericRow(
+        {cost, welfare / n, addon_u / n,
+         welfare > 0 ? addon_u / welfare : 1.0, regret_u / n},
+        4);
+  }
+
+  std::cout << "Ablation 1 — Regret price-candidate sets (Fig. 2(a) setup, "
+            << trials << " trials/point)\n"
+            << "Total utility is identical by construction of the trigger;\n"
+            << "the candidate set moves money between users and the cloud.\n\n"
+            << pricing_table.Render() << "\n";
+
+  std::cout << "Ablation 2 — efficiency loss of truthful cost recovery\n"
+            << "(hindsight optimum = implement at t=1 iff total value >= "
+               "cost)\n\n"
+            << efficiency_table.Render();
+  return 0;
+}

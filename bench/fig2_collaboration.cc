@@ -1,0 +1,56 @@
+// Figure 2 (§7.3): total utility vs optimization cost for small (6-user)
+// and large (24-user) collaborations, additive (AddOn) and substitutable
+// (SubstOn) optimizations, against the Regret baseline.
+//
+// Optionally writes fig2{a,b,c,d}.csv into the directory given as argv[1].
+#include <fstream>
+#include <iostream>
+
+#include "exp/figures.h"
+#include "exp/report.h"
+
+namespace {
+
+int ExportCsv(const std::string& dir, const std::string& name,
+              const std::vector<optshare::exp::UtilityPoint>& points) {
+  const std::string path = dir + "/" + name;
+  std::ofstream out(path);
+  optshare::Status st = optshare::exp::WriteUtilityCurveCsv(&out, points);
+  if (!st.ok()) {
+    std::cerr << "CSV export failed: " << st.ToString() << "\n";
+    return 1;
+  }
+  std::cout << "wrote " << path << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace optshare;
+
+  exp::Fig2Config config;
+  const exp::Fig2Series series = exp::RunFig2(config);
+
+  std::cout << "Figure 2 — Collaboration Size (" << config.trials
+            << " trials/point)\n\n";
+  std::cout << "(a) Additive optimization, small collaboration (6 users)\n"
+            << exp::RenderUtilityCurve(series.additive_small, "AddOn") << "\n";
+  std::cout << "(b) Additive optimization, large collaboration (24 users)\n"
+            << exp::RenderUtilityCurve(series.additive_large, "AddOn") << "\n";
+  std::cout << "(c) Substitutive optimization, small collaboration (6 users)\n"
+            << exp::RenderUtilityCurve(series.subst_small, "SubstOn") << "\n";
+  std::cout << "(d) Substitutive optimization, large collaboration (24 users)\n"
+            << exp::RenderUtilityCurve(series.subst_large, "SubstOn") << "\n";
+
+  if (argc > 1) {
+    const std::string dir = argv[1];
+    if (ExportCsv(dir, "fig2a.csv", series.additive_small) ||
+        ExportCsv(dir, "fig2b.csv", series.additive_large) ||
+        ExportCsv(dir, "fig2c.csv", series.subst_small) ||
+        ExportCsv(dir, "fig2d.csv", series.subst_large)) {
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,219 @@
+// The Moulin-Shenker impossibility triangle, measured (paper §3: "one
+// cannot achieve cost-recovery, truthfulness and efficiency
+// simultaneously"). Three mechanisms, each sacrificing one corner:
+//
+//   naive (pay-your-bid)  — cost-recovering + efficient-ish, NOT truthful
+//   VCG                   — truthful + efficient, NOT cost-recovering
+//   Shapley (AddOff)      — truthful + cost-recovering, NOT efficient
+//
+// For seeded random single-optimization games this bench reports, per
+// mechanism: mean welfare relative to the optimum, mean cloud balance,
+// fraction of games with a cloud loss, and mean per-user exploitability
+// (the best utility gain any user can find over a deviation grid).
+#include <algorithm>
+#include <iostream>
+
+#include "baseline/naive.h"
+#include "baseline/vcg.h"
+#include "common/rng.h"
+#include "common/table.h"
+#include "core/add_off.h"
+#include "core/strategy.h"
+
+namespace optshare {
+namespace {
+
+struct TriangleRow {
+  double welfare_ratio = 0.0;  // Achieved / optimal welfare.
+  double balance = 0.0;        // Payments - cost.
+  double loss_rate = 0.0;      // Fraction of games with balance < 0.
+  double exploitability = 0.0; // Mean best deviation gain per game.
+};
+
+struct GameEval {
+  double welfare = 0.0;
+  double balance = 0.0;
+  // Truthful utility per user, for the exploitability probe.
+  std::vector<double> utility;
+};
+
+GameEval EvalNaive(const std::vector<double>& values, double cost) {
+  GameEval e;
+  NaiveResult r = RunNaive(cost, values);
+  e.utility.assign(values.size(), 0.0);
+  if (r.implemented) {
+    for (size_t i = 0; i < values.size(); ++i) {
+      e.welfare += values[i];
+      e.utility[i] = values[i] - r.payments[i];  // Pays her own bid.
+    }
+    e.welfare -= cost;
+    e.balance = r.TotalPayment() - cost;
+  }
+  return e;
+}
+
+double NaiveDeviationGain(const std::vector<double>& values, double cost,
+                          size_t i, const std::vector<double>& grid) {
+  const GameEval truthful = EvalNaive(values, cost);
+  double best = 0.0;
+  for (double bid : grid) {
+    std::vector<double> bids = values;
+    bids[i] = bid;
+    NaiveResult r = RunNaive(cost, bids);
+    const double utility = r.implemented ? values[i] - bid : 0.0;
+    best = std::max(best, utility - truthful.utility[i]);
+  }
+  return best;
+}
+
+GameEval EvalVcg(const std::vector<double>& values, double cost) {
+  GameEval e;
+  AdditiveOfflineGame g;
+  g.costs = {cost};
+  for (double v : values) g.bids.push_back({v});
+  VcgResult r = RunVcg(g);
+  e.utility.assign(values.size(), 0.0);
+  if (r.per_opt[0].implemented) {
+    for (size_t i = 0; i < values.size(); ++i) {
+      if (r.per_opt[0].serviced[i]) {
+        e.welfare += values[i];
+        e.utility[i] = values[i] - r.per_opt[0].payments[i];
+      }
+    }
+    e.welfare -= cost;
+    e.balance = r.per_opt[0].TotalPayment() - cost;
+  }
+  return e;
+}
+
+double VcgDeviationGain(const std::vector<double>& values, double cost,
+                        size_t i, const std::vector<double>& grid) {
+  const GameEval truthful = EvalVcg(values, cost);
+  double best = 0.0;
+  for (double bid : grid) {
+    std::vector<double> bids = values;
+    bids[i] = bid;
+    AdditiveOfflineGame g;
+    g.costs = {cost};
+    for (double v : bids) g.bids.push_back({v});
+    VcgResult r = RunVcg(g);
+    // Utility against her *true* value, not the declared bid.
+    double utility = 0.0;
+    if (r.per_opt[0].implemented && r.per_opt[0].serviced[i]) {
+      utility = values[i] - r.per_opt[0].payments[i];
+    }
+    best = std::max(best, utility - truthful.utility[i]);
+  }
+  return best;
+}
+
+GameEval EvalShapley(const std::vector<double>& values, double cost) {
+  GameEval e;
+  ShapleyResult r = RunShapley(cost, values);
+  e.utility.assign(values.size(), 0.0);
+  if (r.implemented) {
+    for (size_t i = 0; i < values.size(); ++i) {
+      if (r.serviced[i]) {
+        e.welfare += values[i];
+        e.utility[i] = values[i] - r.payments[i];
+      }
+    }
+    e.welfare -= cost;
+    e.balance = r.TotalPayment() - cost;
+  }
+  return e;
+}
+
+double ShapleyDeviationGain(const std::vector<double>& values, double cost,
+                            size_t i, const std::vector<double>& grid) {
+  const GameEval truthful = EvalShapley(values, cost);
+  double best = 0.0;
+  for (double bid : grid) {
+    std::vector<double> bids = values;
+    bids[i] = bid;
+    ShapleyResult r = RunShapley(cost, bids);
+    double utility = 0.0;
+    if (r.implemented && r.serviced[i]) utility = values[i] - r.payments[i];
+    best = std::max(best, utility - truthful.utility[i]);
+  }
+  return best;
+}
+
+}  // namespace
+}  // namespace optshare
+
+int main() {
+  using namespace optshare;
+
+  const int trials = 2000;
+  const int m = 6;
+  Rng rng(4242);
+
+  TriangleRow naive, vcg, shapley;
+  double optimal_sum = 0.0;
+  double naive_w = 0, vcg_w = 0, shap_w = 0;
+
+  for (int trial = 0; trial < trials; ++trial) {
+    std::vector<double> values;
+    for (int i = 0; i < m; ++i) values.push_back(rng.Uniform(0.0, 1.0));
+    const double cost = rng.Uniform(0.2, 3.0);
+
+    double total = 0.0;
+    for (double v : values) total += v;
+    optimal_sum += std::max(0.0, total - cost);
+
+    const std::vector<double> grid =
+        CandidateDeviationBids({cost}, values, m);
+
+    const GameEval ne = EvalNaive(values, cost);
+    naive_w += ne.welfare;
+    naive.balance += ne.balance;
+    naive.loss_rate += ne.balance < -1e-9 ? 1 : 0;
+    const GameEval ve = EvalVcg(values, cost);
+    vcg_w += ve.welfare;
+    vcg.balance += ve.balance;
+    vcg.loss_rate += ve.balance < -1e-9 ? 1 : 0;
+    const GameEval se = EvalShapley(values, cost);
+    shap_w += se.welfare;
+    shapley.balance += se.balance;
+    shapley.loss_rate += se.balance < -1e-9 ? 1 : 0;
+
+    // Exploitability of user 0 only (grids are dense; one user suffices
+    // for the mean gain statistic).
+    naive.exploitability += NaiveDeviationGain(values, cost, 0, grid);
+    vcg.exploitability += VcgDeviationGain(values, cost, 0, grid);
+    shapley.exploitability += ShapleyDeviationGain(values, cost, 0, grid);
+  }
+
+  auto finalize = [&](TriangleRow& row, double welfare) {
+    row.welfare_ratio = optimal_sum > 0 ? welfare / optimal_sum : 1.0;
+    row.balance /= trials;
+    row.loss_rate /= trials;
+    row.exploitability /= trials;
+  };
+  finalize(naive, naive_w);
+  finalize(vcg, vcg_w);
+  finalize(shapley, shap_w);
+
+  TextTable t({"mechanism", "welfare/optimal", "mean_balance", "loss_rate",
+               "exploitability"});
+  t.AddRow({"naive", FormatFixed(naive.welfare_ratio, 4),
+            FormatFixed(naive.balance, 4), FormatFixed(naive.loss_rate, 4),
+            FormatFixed(naive.exploitability, 4)});
+  t.AddRow({"vcg", FormatFixed(vcg.welfare_ratio, 4),
+            FormatFixed(vcg.balance, 4), FormatFixed(vcg.loss_rate, 4),
+            FormatFixed(vcg.exploitability, 4)});
+  t.AddRow({"shapley", FormatFixed(shapley.welfare_ratio, 4),
+            FormatFixed(shapley.balance, 4), FormatFixed(shapley.loss_rate, 4),
+            FormatFixed(shapley.exploitability, 4)});
+
+  std::cout
+      << "The impossibility triangle, measured (" << trials
+      << " random 6-user games, cost U[0.2,3), values U[0,1))\n"
+      << "Each mechanism gives up one property; no row can be clean in all "
+         "three.\n\n"
+      << t.Render()
+      << "\nexploitability = mean best utility gain user 0 finds over a "
+         "deviation grid\n";
+  return 0;
+}

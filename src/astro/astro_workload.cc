@@ -1,0 +1,176 @@
+#include "astro/astro_workload.h"
+
+#include <algorithm>
+
+namespace optshare::astro {
+
+std::vector<int> SnapshotsForStride(int stride, int num_snapshots) {
+  std::vector<int> out;
+  for (int s = num_snapshots; s >= 1; s -= stride) out.push_back(s);
+  return out;
+}
+
+double AstroWorkloadModel::BaselineDollarsPerExecution(int user) const {
+  return runtime_sec[static_cast<size_t>(user)] / 3600.0 * instance_per_hour;
+}
+
+AstroWorkloadModel PaperWorkloadModel() {
+  AstroWorkloadModel m;
+  m.instance_per_hour = 0.50;
+
+  // §7.2: per-execution runtimes without optimizations (minutes).
+  const double runtime_min[kAstroUsers] = {81, 36, 16, 83, 44, 17};
+  // Savings from the snapshot-27 view (cents per execution).
+  const double final_view_cents[kAstroUsers] = {18, 7, 3, 16, 9, 4};
+  // Savings from any other consulted view (cents per execution).
+  const double other_view_cents = 1.0;
+  // Strides: users 0-2 trace γ1, users 3-5 trace γ2.
+  const int strides[kAstroUsers] = {1, 2, 4, 1, 2, 4};
+
+  m.view_cost_dollars.assign(kAstroSnapshots, 2.31);  // §7.2 average cost.
+  for (int u = 0; u < kAstroUsers; ++u) {
+    m.runtime_sec.push_back(runtime_min[u] * 60.0);
+    std::vector<double> savings(kAstroSnapshots, 0.0);
+    for (int s : SnapshotsForStride(strides[u], kAstroSnapshots)) {
+      savings[static_cast<size_t>(s - 1)] =
+          (s == kAstroSnapshots ? final_view_cents[u] : other_view_cents) /
+          100.0;
+    }
+    m.savings_dollars.push_back(std::move(savings));
+  }
+  return m;
+}
+
+Result<AstroWorkloadModel> MeasureWorkloads(
+    const std::vector<Snapshot>& snapshots,
+    const std::vector<HaloCatalog>& catalogs, const QueryCosts& costs,
+    double instance_per_hour, double view_cost_dollars, int targets_per_set) {
+  if (snapshots.empty() || snapshots.size() != catalogs.size()) {
+    return Status::InvalidArgument(
+        "need equally many snapshots and halo catalogs");
+  }
+  if (targets_per_set < 1) {
+    return Status::InvalidArgument("need at least one target halo per set");
+  }
+  const int num_snaps = static_cast<int>(snapshots.size());
+  const HaloCatalog& final_catalog = catalogs.back();
+  if (final_catalog.num_halos() < 2 * targets_per_set) {
+    return Status::FailedPrecondition(
+        "final snapshot has too few halos for two disjoint target sets");
+  }
+
+  // γ1 = heaviest halos, γ2 = next heaviest — "different halo mass ranges
+  // that different people focus on" (§2).
+  const std::vector<int> by_mass = final_catalog.HalosByMass();
+  std::vector<int> gamma1(by_mass.begin(), by_mass.begin() + targets_per_set);
+  std::vector<int> gamma2(by_mass.begin() + targets_per_set,
+                          by_mass.begin() + 2 * targets_per_set);
+
+  const int strides[kAstroUsers] = {1, 2, 4, 1, 2, 4};
+  const std::vector<int>* gammas[kAstroUsers] = {&gamma1, &gamma1, &gamma1,
+                                                 &gamma2, &gamma2, &gamma2};
+
+  MergerTreeEngine engine(&snapshots, &catalogs);
+
+  // One user's workload: queries (a) and (b) for each target halo over her
+  // snapshot set. Returns simulated seconds under the given view set.
+  auto run_user = [&](int u, const std::vector<bool>& views) -> double {
+    engine.SetAvailableViews(views);
+    engine.ResetStats();
+    const int stride = strides[u];
+    for (int g : *gammas[u]) {
+      // Query (b): the stride-spaced max-mass chain.
+      auto chain = engine.TraceChain(g, stride);
+      // Query (a): top particle contributor in each consulted snapshot.
+      for (int s : SnapshotsForStride(stride, num_snaps)) {
+        if (s == num_snaps) continue;
+        auto pr = engine.ProgenitorByCount(num_snaps - 1, g, s - 1);
+        (void)pr;
+      }
+      (void)chain;
+    }
+    return costs.Seconds(engine.stats());
+  };
+
+  AstroWorkloadModel model;
+  model.instance_per_hour = instance_per_hour;
+  model.view_cost_dollars.assign(static_cast<size_t>(num_snaps),
+                                 view_cost_dollars);
+
+  const std::vector<bool> no_views(static_cast<size_t>(num_snaps), false);
+  for (int u = 0; u < kAstroUsers; ++u) {
+    const double base_sec = run_user(u, no_views);
+    model.runtime_sec.push_back(base_sec);
+    std::vector<double> savings(static_cast<size_t>(num_snaps), 0.0);
+    for (int s : SnapshotsForStride(strides[u], num_snaps)) {
+      std::vector<bool> views = no_views;
+      views[static_cast<size_t>(s - 1)] = true;
+      const double with_view_sec = run_user(u, views);
+      savings[static_cast<size_t>(s - 1)] =
+          std::max(0.0, base_sec - with_view_sec) / 3600.0 * instance_per_hour;
+    }
+    model.savings_dollars.push_back(std::move(savings));
+  }
+  return model;
+}
+
+Result<MultiAdditiveOnlineGame> BuildAstroGame(const AstroWorkloadModel& model,
+                                               const AstroGameSpec& spec) {
+  if (static_cast<int>(spec.intervals.size()) != model.num_users()) {
+    return Status::InvalidArgument("need one interval per user");
+  }
+  if (spec.num_slots < 1) {
+    return Status::InvalidArgument("need at least one slot");
+  }
+  if (!(spec.executions >= 0.0)) {
+    return Status::InvalidArgument("executions must be non-negative");
+  }
+
+  MultiAdditiveOnlineGame game;
+  game.num_slots = spec.num_slots;
+  game.costs = model.view_cost_dollars;
+
+  for (int u = 0; u < model.num_users(); ++u) {
+    const auto [s, e] = spec.intervals[static_cast<size_t>(u)];
+    if (s < 1 || e < s || e > spec.num_slots) {
+      return Status::InvalidArgument("user interval outside the horizon");
+    }
+    const double slots = static_cast<double>(e - s + 1);
+    std::vector<SlotValues> row;
+    row.reserve(static_cast<size_t>(model.num_views()));
+    for (int j = 0; j < model.num_views(); ++j) {
+      const double total =
+          model.savings_dollars[static_cast<size_t>(u)][static_cast<size_t>(j)] *
+          spec.executions;
+      row.push_back(SlotValues::Constant(s, e, total / slots));
+    }
+    game.bids.push_back(std::move(row));
+  }
+
+  Status st = game.Validate();
+  if (!st.ok()) return st;
+  return game;
+}
+
+std::vector<std::pair<TimeSlot, TimeSlot>> AllIntervals(int num_slots) {
+  std::vector<std::pair<TimeSlot, TimeSlot>> out;
+  for (TimeSlot s = 1; s <= num_slots; ++s) {
+    for (TimeSlot e = s; e <= num_slots; ++e) out.emplace_back(s, e);
+  }
+  return out;
+}
+
+std::vector<std::pair<TimeSlot, TimeSlot>> SampleIntervals(int num_slots,
+                                                           int num_users,
+                                                           Rng& rng) {
+  const auto all = AllIntervals(num_slots);
+  std::vector<std::pair<TimeSlot, TimeSlot>> out;
+  out.reserve(static_cast<size_t>(num_users));
+  for (int u = 0; u < num_users; ++u) {
+    out.push_back(all[static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(all.size()) - 1))]);
+  }
+  return out;
+}
+
+}  // namespace optshare::astro

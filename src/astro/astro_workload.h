@@ -1,0 +1,93 @@
+// The §7.2 astronomy workload: six users tracing halo evolution (two halo
+// sets γ1/γ2, each studied at snapshot strides 1, 2 and 4), the per-user
+// runtimes and per-view savings, and the construction of the mechanism
+// game (27 per-snapshot materialized views, quarterly slots, EC2 pricing).
+//
+// Two sources for the workload numbers:
+//  * MeasureWorkloads() runs the real (simulated) pipeline — universe,
+//    FoF, merger-tree queries — and measures runtimes with/without views.
+//  * PaperWorkloadModel() returns the constants §7.2 reports (runtimes
+//    81/36/16/83/44/17 min; snapshot-27 view savings 18/7/3/16/9/4 cents
+//    per execution; 1 cent per other used view), used by the Figure 1
+//    bench so the economic layer reproduces the paper exactly.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "core/game.h"
+#include "astro/merger_tree.h"
+
+namespace optshare::astro {
+
+/// Number of users in the §7.2 study.
+inline constexpr int kAstroUsers = 6;
+/// Snapshots in the simulation trace.
+inline constexpr int kAstroSnapshots = 27;
+
+/// Which snapshots a user with the given stride consults: the final
+/// snapshot and every `stride`-th one before it (1-based indices,
+/// descending).
+std::vector<int> SnapshotsForStride(int stride, int num_snapshots);
+
+/// Per-user workload economics: per-execution runtime and per-execution
+/// dollar savings from each candidate view.
+struct AstroWorkloadModel {
+  /// runtime_sec[u]: one workload execution without any views.
+  std::vector<double> runtime_sec;
+  /// savings_dollars[u][s]: dollars saved per execution by the view on
+  /// snapshot s+1 (0 when the user does not consult that snapshot).
+  std::vector<std::vector<double>> savings_dollars;
+  /// Cost of each view for the subscription period.
+  std::vector<double> view_cost_dollars;
+  /// Instance $/hour used to monetize runtimes.
+  double instance_per_hour = 0.50;
+
+  int num_users() const { return static_cast<int>(runtime_sec.size()); }
+  int num_views() const { return static_cast<int>(view_cost_dollars.size()); }
+
+  /// Dollars one execution of user u's workload costs without views.
+  double BaselineDollarsPerExecution(int user) const;
+};
+
+/// The paper's calibrated constants (see file comment).
+AstroWorkloadModel PaperWorkloadModel();
+
+/// Measures the workload model from an actual simulated universe: runs the
+/// merger-tree queries of users {γ1, γ2} x strides {1, 2, 4} with and
+/// without each per-snapshot view, converting operation counts to time via
+/// `costs` and time to money via `instance_per_hour`. `targets_per_set`
+/// controls how many top-mass halos each γ set traces.
+Result<AstroWorkloadModel> MeasureWorkloads(
+    const std::vector<Snapshot>& snapshots,
+    const std::vector<HaloCatalog>& catalogs, const QueryCosts& costs,
+    double instance_per_hour, double view_cost_dollars,
+    int targets_per_set = 2);
+
+/// Builds the Figure 1 game: every view is one additive optimization; user
+/// u bids over her quarter interval, with her total `executions` spread
+/// evenly across its slots.
+struct AstroGameSpec {
+  /// Quarters in the service year.
+  int num_slots = 4;
+  /// [start, end] quarter per user (1-based, inclusive).
+  std::vector<std::pair<TimeSlot, TimeSlot>> intervals;
+  /// Total workload executions per user over her interval.
+  double executions = 1.0;
+};
+
+Result<MultiAdditiveOnlineGame> BuildAstroGame(const AstroWorkloadModel& model,
+                                               const AstroGameSpec& spec);
+
+/// All contiguous [s, e] intervals over `num_slots` slots (the 10 quarter
+/// choices of §7.2; 10^6 combinations across six users).
+std::vector<std::pair<TimeSlot, TimeSlot>> AllIntervals(int num_slots);
+
+/// Draws one interval assignment (one interval per user) uniformly.
+std::vector<std::pair<TimeSlot, TimeSlot>> SampleIntervals(int num_slots,
+                                                           int num_users,
+                                                           Rng& rng);
+
+}  // namespace optshare::astro

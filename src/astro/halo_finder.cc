@@ -1,0 +1,160 @@
+#include "astro/halo_finder.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <unordered_map>
+
+namespace optshare::astro {
+
+DisjointSets::DisjointSets(int n)
+    : parent_(static_cast<size_t>(n)), rank_(static_cast<size_t>(n), 0),
+      components_(n) {
+  std::iota(parent_.begin(), parent_.end(), 0);
+}
+
+int DisjointSets::Find(int x) {
+  while (parent_[static_cast<size_t>(x)] != x) {
+    parent_[static_cast<size_t>(x)] =
+        parent_[static_cast<size_t>(parent_[static_cast<size_t>(x)])];
+    x = parent_[static_cast<size_t>(x)];
+  }
+  return x;
+}
+
+void DisjointSets::Union(int a, int b) {
+  a = Find(a);
+  b = Find(b);
+  if (a == b) return;
+  if (rank_[static_cast<size_t>(a)] < rank_[static_cast<size_t>(b)]) {
+    std::swap(a, b);
+  }
+  parent_[static_cast<size_t>(b)] = a;
+  if (rank_[static_cast<size_t>(a)] == rank_[static_cast<size_t>(b)]) {
+    ++rank_[static_cast<size_t>(a)];
+  }
+  --components_;
+}
+
+namespace {
+
+/// Packs three non-negative cell coordinates into one hashable key.
+uint64_t CellKey(int cx, int cy, int cz) {
+  return (static_cast<uint64_t>(static_cast<uint32_t>(cx)) << 42) |
+         (static_cast<uint64_t>(static_cast<uint32_t>(cy)) << 21) |
+         static_cast<uint64_t>(static_cast<uint32_t>(cz));
+}
+
+/// Minimum-image distance squared under periodic boundaries.
+double PeriodicDist2(const Particle& a, const Particle& b, double box) {
+  auto axis = [box](double d) {
+    d = std::abs(d);
+    return std::min(d, box - d);
+  };
+  const double dx = axis(a.x - b.x);
+  const double dy = axis(a.y - b.y);
+  const double dz = axis(a.z - b.z);
+  return dx * dx + dy * dy + dz * dz;
+}
+
+}  // namespace
+
+Result<HaloCatalog> FindHalos(const Snapshot& snapshot, double box_size,
+                              const FofParams& params) {
+  if (!(box_size > 0.0)) {
+    return Status::InvalidArgument("box size must be positive");
+  }
+  if (!(params.linking_length > 0.0)) {
+    return Status::InvalidArgument("linking length must be positive");
+  }
+  if (params.min_halo_size < 1) {
+    return Status::InvalidArgument("min halo size must be >= 1");
+  }
+
+  const int n = static_cast<int>(snapshot.particles.size());
+  const double b = params.linking_length;
+  const double b2 = b * b;
+  const int cells = std::max(1, static_cast<int>(box_size / b));
+  const double cell_size = box_size / cells;
+
+  // Bucket particles into grid cells.
+  std::unordered_map<uint64_t, std::vector<int>> grid;
+  grid.reserve(static_cast<size_t>(n));
+  auto cell_of = [&](double v) {
+    int c = static_cast<int>(v / cell_size);
+    if (c >= cells) c = cells - 1;
+    if (c < 0) c = 0;
+    return c;
+  };
+  for (int i = 0; i < n; ++i) {
+    const Particle& p = snapshot.particles[static_cast<size_t>(i)];
+    grid[CellKey(cell_of(p.x), cell_of(p.y), cell_of(p.z))].push_back(i);
+  }
+
+  // Link friends across each cell's 3x3x3 neighborhood (periodic wrap).
+  DisjointSets sets(n);
+  for (const auto& [key, members] : grid) {
+    const int cx = static_cast<int>((key >> 42) & 0x1FFFFF);
+    const int cy = static_cast<int>((key >> 21) & 0x1FFFFF);
+    const int cz = static_cast<int>(key & 0x1FFFFF);
+    for (int dx = -1; dx <= 1; ++dx) {
+      for (int dy = -1; dy <= 1; ++dy) {
+        for (int dz = -1; dz <= 1; ++dz) {
+          const int nx = (cx + dx + cells) % cells;
+          const int ny = (cy + dy + cells) % cells;
+          const int nz = (cz + dz + cells) % cells;
+          auto it = grid.find(CellKey(nx, ny, nz));
+          if (it == grid.end()) continue;
+          for (int i : members) {
+            for (int j : it->second) {
+              if (j <= i) continue;  // Each pair once.
+              if (PeriodicDist2(snapshot.particles[static_cast<size_t>(i)],
+                                snapshot.particles[static_cast<size_t>(j)],
+                                box_size) <= b2) {
+                sets.Union(i, j);
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+
+  // Densify component ids into halo ids and aggregate.
+  HaloCatalog catalog;
+  catalog.halo_of.assign(static_cast<size_t>(n), -1);
+  std::unordered_map<int, int> root_to_halo;
+  std::unordered_map<int, int> root_count;
+  for (int i = 0; i < n; ++i) ++root_count[sets.Find(i)];
+
+  for (int i = 0; i < n; ++i) {
+    const int root = sets.Find(i);
+    if (root_count[root] < params.min_halo_size) continue;  // Noise.
+    auto [it, inserted] =
+        root_to_halo.emplace(root, static_cast<int>(catalog.halo_mass.size()));
+    if (inserted) {
+      catalog.halo_mass.push_back(0.0);
+      catalog.halo_size.push_back(0);
+    }
+    const int halo = it->second;
+    catalog.halo_of[static_cast<size_t>(i)] = halo;
+    catalog.halo_mass[static_cast<size_t>(halo)] +=
+        snapshot.particles[static_cast<size_t>(i)].mass;
+    ++catalog.halo_size[static_cast<size_t>(halo)];
+  }
+  return catalog;
+}
+
+std::vector<int> HaloCatalog::HalosByMass() const {
+  std::vector<int> order(halo_mass.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [this](int a, int b) {
+    if (halo_mass[static_cast<size_t>(a)] != halo_mass[static_cast<size_t>(b)])
+      return halo_mass[static_cast<size_t>(a)] >
+             halo_mass[static_cast<size_t>(b)];
+    return a < b;
+  });
+  return order;
+}
+
+}  // namespace optshare::astro

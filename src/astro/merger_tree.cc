@@ -1,0 +1,133 @@
+#include "astro/merger_tree.h"
+
+#include <unordered_map>
+
+namespace optshare::astro {
+
+MergerTreeEngine::MergerTreeEngine(const std::vector<Snapshot>* snapshots,
+                                   const std::vector<HaloCatalog>* catalogs)
+    : snapshots_(snapshots), catalogs_(catalogs),
+      has_view_(snapshots->size(), false) {}
+
+void MergerTreeEngine::SetAvailableViews(std::vector<bool> has_view) {
+  has_view.resize(snapshots_->size(), false);
+  has_view_ = std::move(has_view);
+}
+
+Status MergerTreeEngine::CheckIndex(int idx) const {
+  if (idx < 0 || idx >= static_cast<int>(snapshots_->size())) {
+    return Status::OutOfRange("snapshot index out of range");
+  }
+  return Status::OK();
+}
+
+std::vector<int> MergerTreeEngine::ResolveMembership(
+    int idx, const std::vector<int>& particle_ids) {
+  const HaloCatalog& catalog = (*catalogs_)[static_cast<size_t>(idx)];
+  if (has_view_[static_cast<size_t>(idx)]) {
+    stats_.view_lookups += static_cast<int64_t>(particle_ids.size());
+  } else {
+    stats_.rows_scanned += static_cast<int64_t>(catalog.halo_of.size());
+  }
+  std::vector<int> membership;
+  membership.reserve(particle_ids.size());
+  for (int pid : particle_ids) {
+    membership.push_back(catalog.halo_of[static_cast<size_t>(pid)]);
+  }
+  return membership;
+}
+
+std::vector<int> MergerTreeEngine::ParticlesOfHalo(int idx, int halo) {
+  const HaloCatalog& catalog = (*catalogs_)[static_cast<size_t>(idx)];
+  // Inverting particle -> halo needs a pass either way, but the
+  // materialized view is a compact two-column relation: scanning it is far
+  // cheaper than deriving membership from the raw particle data.
+  if (has_view_[static_cast<size_t>(idx)]) {
+    stats_.view_lookups += static_cast<int64_t>(catalog.halo_of.size());
+  } else {
+    stats_.rows_scanned += static_cast<int64_t>(catalog.halo_of.size());
+  }
+  std::vector<int> ids;
+  for (size_t i = 0; i < catalog.halo_of.size(); ++i) {
+    if (catalog.halo_of[i] == halo) ids.push_back(static_cast<int>(i));
+  }
+  return ids;
+}
+
+Result<int> MergerTreeEngine::ProgenitorByCount(int at_idx, int halo,
+                                                int from_idx) {
+  OPTSHARE_RETURN_NOT_OK(CheckIndex(at_idx));
+  OPTSHARE_RETURN_NOT_OK(CheckIndex(from_idx));
+  if (at_idx == from_idx) {
+    return Status::InvalidArgument("progenitor snapshot equals target");
+  }
+  const HaloCatalog& at = (*catalogs_)[static_cast<size_t>(at_idx)];
+  if (halo < 0 || halo >= at.num_halos()) {
+    return Status::OutOfRange("halo id out of range");
+  }
+  ++stats_.queries_run;
+
+  const std::vector<int> members = ParticlesOfHalo(at_idx, halo);
+  const std::vector<int> origin = ResolveMembership(from_idx, members);
+
+  std::unordered_map<int, int> counts;
+  for (int h : origin) {
+    if (h >= 0) ++counts[h];
+  }
+  int best = -1, best_count = 0;
+  for (const auto& [h, c] : counts) {
+    if (c > best_count || (c == best_count && best >= 0 && h < best)) {
+      best = h;
+      best_count = c;
+    }
+  }
+  return best;
+}
+
+Result<std::vector<ChainLink>> MergerTreeEngine::TraceChain(int final_halo,
+                                                            int stride) {
+  if (stride < 1) return Status::InvalidArgument("stride must be >= 1");
+  const int last = static_cast<int>(snapshots_->size()) - 1;
+  OPTSHARE_RETURN_NOT_OK(CheckIndex(last));
+  const HaloCatalog& final_catalog = (*catalogs_)[static_cast<size_t>(last)];
+  if (final_halo < 0 || final_halo >= final_catalog.num_halos()) {
+    return Status::OutOfRange("final halo id out of range");
+  }
+
+  std::vector<ChainLink> chain;
+  chain.push_back(
+      {(*snapshots_)[static_cast<size_t>(last)].index, final_halo, 0.0});
+
+  int current_idx = last;
+  int current_halo = final_halo;
+  while (current_idx - stride >= 0) {
+    const int prev_idx = current_idx - stride;
+    ++stats_.queries_run;
+    const std::vector<int> members = ParticlesOfHalo(current_idx, current_halo);
+    const std::vector<int> origin = ResolveMembership(prev_idx, members);
+
+    // Max *mass* contribution (query (b)).
+    std::unordered_map<int, double> mass;
+    const Snapshot& prev_snap = (*snapshots_)[static_cast<size_t>(prev_idx)];
+    for (size_t k = 0; k < members.size(); ++k) {
+      const int h = origin[k];
+      if (h < 0) continue;
+      mass[h] += prev_snap.particles[static_cast<size_t>(members[k])].mass;
+    }
+    int best = -1;
+    double best_mass = 0.0;
+    for (const auto& [h, m] : mass) {
+      if (m > best_mass || (m == best_mass && best >= 0 && h < best)) {
+        best = h;
+        best_mass = m;
+      }
+    }
+    if (best < 0) break;  // The halo has no traceable ancestor.
+    chain.push_back({prev_snap.index, best, best_mass});
+    current_idx = prev_idx;
+    current_halo = best;
+  }
+  return chain;
+}
+
+}  // namespace optshare::astro

@@ -1,0 +1,96 @@
+// Merger-tree queries over halo catalogs — the two query templates of the
+// §7.2 workload:
+//   (a) for a halo g in snapshot t, the halo in an earlier snapshot
+//       contributing the most *particles* to g;
+//   (b) the chain (h_1, ..., h_final = g) following, backward in time, the
+//       progenitor contributing the most *mass*.
+//
+// The engine also does the bookkeeping that turns these logical queries
+// into simulated runtimes: resolving the halo membership of a particle
+// batch at snapshot τ costs a full scan of that snapshot's particle-halo
+// association unless the (particleID, haloID) materialized view for τ is
+// available, in which case it costs per-particle lookups. This is exactly
+// the speedup the paper's per-snapshot materialized views buy.
+#pragma once
+
+#include <vector>
+
+#include "common/status.h"
+#include "astro/halo_finder.h"
+#include "astro/universe.h"
+
+namespace optshare::astro {
+
+/// Simulated I/O counters accumulated by the engine.
+struct OpStats {
+  int64_t rows_scanned = 0;   ///< Rows touched via full association scans.
+  int64_t view_lookups = 0;   ///< Point lookups through materialized views.
+  int64_t queries_run = 0;
+
+  void Reset() { *this = OpStats{}; }
+};
+
+/// Runtime model: converts operation counts into seconds.
+struct QueryCosts {
+  double sec_per_scanned_row = 2.0e-4;
+  double sec_per_lookup = 1.0e-5;
+
+  double Seconds(const OpStats& stats) const {
+    return static_cast<double>(stats.rows_scanned) * sec_per_scanned_row +
+           static_cast<double>(stats.view_lookups) * sec_per_lookup;
+  }
+};
+
+/// One step of a traced chain.
+struct ChainLink {
+  int snapshot_index = 0;  ///< 1-based snapshot.
+  int halo = -1;           ///< Halo id within that snapshot's catalog.
+  double contributed_mass = 0.0;  ///< Mass it contributes to the next link.
+};
+
+/// Engine bound to a snapshot sequence and its halo catalogs
+/// (catalogs[k] corresponds to snapshots[k]).
+class MergerTreeEngine {
+ public:
+  MergerTreeEngine(const std::vector<Snapshot>* snapshots,
+                   const std::vector<HaloCatalog>* catalogs);
+
+  /// Marks the set of snapshots whose (particleID, haloID) view exists;
+  /// has_view[k] guards snapshots[k]. Defaults to no views.
+  void SetAvailableViews(std::vector<bool> has_view);
+
+  /// Query (a): the halo of snapshots[from_idx] contributing the most
+  /// particles to halo `halo` of snapshots[at_idx]. Returns -1 if no
+  /// particle of the halo belongs to any halo there. Indices are 0-based
+  /// positions in the snapshot vector; from_idx != at_idx.
+  Result<int> ProgenitorByCount(int at_idx, int halo, int from_idx);
+
+  /// Query (b): trace the max-mass-contribution chain of `final_halo`
+  /// (halo id in the last snapshot) visiting every `stride`-th snapshot
+  /// backward. The chain stops early if a step has no progenitor.
+  Result<std::vector<ChainLink>> TraceChain(int final_halo, int stride);
+
+  /// Simulated I/O counters since the last Reset.
+  const OpStats& stats() const { return stats_; }
+  void ResetStats() { stats_.Reset(); }
+
+ private:
+  /// Membership of the given particle ids at snapshot `idx`, with cost
+  /// accounting: view -> per-particle lookups; no view -> full scan.
+  std::vector<int> ResolveMembership(int idx,
+                                     const std::vector<int>& particle_ids);
+  /// Particle ids belonging to `halo` at snapshot `idx`. The inverse image
+  /// requires a pass either way, but with the view it is a cheap scan of
+  /// the compact (particleID, haloID) relation instead of a derivation
+  /// from raw particle data.
+  std::vector<int> ParticlesOfHalo(int idx, int halo);
+
+  Status CheckIndex(int idx) const;
+
+  const std::vector<Snapshot>* snapshots_;
+  const std::vector<HaloCatalog>* catalogs_;
+  std::vector<bool> has_view_;
+  OpStats stats_;
+};
+
+}  // namespace optshare::astro

@@ -1,0 +1,106 @@
+#include "astro/statistics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace optshare::astro {
+
+int MassFunction::TotalHalos() const {
+  int sum = 0;
+  for (int c : counts) sum += c;
+  return sum;
+}
+
+Result<MassFunction> ComputeMassFunction(const HaloCatalog& catalog,
+                                         int num_bins) {
+  if (catalog.num_halos() == 0) {
+    return Status::FailedPrecondition("catalog has no halos");
+  }
+  if (num_bins < 1) {
+    return Status::InvalidArgument("need at least one bin");
+  }
+  double lo = catalog.halo_mass[0], hi = catalog.halo_mass[0];
+  for (double m : catalog.halo_mass) {
+    lo = std::min(lo, m);
+    hi = std::max(hi, m);
+  }
+  if (!(lo > 0.0)) {
+    return Status::FailedPrecondition("halo masses must be positive");
+  }
+
+  MassFunction mf;
+  mf.log10_min = std::log10(lo);
+  const double log_hi = std::log10(hi);
+  mf.bin_width =
+      std::max((log_hi - mf.log10_min) / num_bins, 1e-12);
+  mf.counts.assign(static_cast<size_t>(num_bins), 0);
+  for (double m : catalog.halo_mass) {
+    int bin = static_cast<int>((std::log10(m) - mf.log10_min) / mf.bin_width);
+    bin = std::clamp(bin, 0, num_bins - 1);
+    ++mf.counts[static_cast<size_t>(bin)];
+  }
+  return mf;
+}
+
+Result<std::vector<int>> HalosInBand(const HaloCatalog& catalog,
+                                     MassBand band) {
+  if (catalog.num_halos() == 0) {
+    return Status::FailedPrecondition("catalog has no halos");
+  }
+  const std::vector<int> by_mass = catalog.HalosByMass();  // Heaviest first.
+  const int n = static_cast<int>(by_mass.size());
+  // Quartiles over the mass-ranked list; kCluster = top quartile.
+  const int quartile = 3 - static_cast<int>(band);
+  const int begin = quartile * n / 4;
+  const int end = (quartile + 1) * n / 4;
+  std::vector<int> out(by_mass.begin() + begin,
+                       by_mass.begin() + std::max(begin, end));
+  if (out.empty() && n > 0) {
+    // Tiny catalogs: fall back to the nearest halo by rank.
+    out.push_back(by_mass[std::min(begin, n - 1)]);
+  }
+  return out;
+}
+
+Result<MergerStats> ComputeMergerStats(const HaloCatalog& earlier,
+                                       const HaloCatalog& later) {
+  if (earlier.halo_of.size() != later.halo_of.size()) {
+    return Status::InvalidArgument(
+        "catalogs describe different particle sets");
+  }
+  MergerStats stats;
+  stats.earlier_halos = earlier.num_halos();
+  stats.later_halos = later.num_halos();
+
+  // Plurality successor of each earlier halo.
+  std::vector<std::unordered_map<int, int>> successor_votes(
+      static_cast<size_t>(earlier.num_halos()));
+  for (size_t p = 0; p < earlier.halo_of.size(); ++p) {
+    const int from = earlier.halo_of[p];
+    const int to = later.halo_of[p];
+    if (from >= 0 && to >= 0) {
+      ++successor_votes[static_cast<size_t>(from)][to];
+    }
+  }
+  std::vector<int> successor(static_cast<size_t>(earlier.num_halos()), -1);
+  std::unordered_map<int, int> successors_in_use;
+  for (int h = 0; h < earlier.num_halos(); ++h) {
+    int best = -1, votes = 0;
+    for (const auto& [to, v] : successor_votes[static_cast<size_t>(h)]) {
+      if (v > votes || (v == votes && to < best)) {
+        best = to;
+        votes = v;
+      }
+    }
+    successor[static_cast<size_t>(h)] = best;
+    if (best >= 0) ++successors_in_use[best];
+  }
+  for (int h = 0; h < earlier.num_halos(); ++h) {
+    const int s = successor[static_cast<size_t>(h)];
+    if (s >= 0 && successors_in_use[s] > 1) ++stats.merged;
+  }
+  return stats;
+}
+
+}  // namespace optshare::astro

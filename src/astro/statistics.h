@@ -1,0 +1,61 @@
+// Analysis statistics astronomers compute over halo catalogs (paper §2:
+// "three or four different halo mass ranges that different people focus
+// on"): the halo mass function (counts per logarithmic mass bin), mass-band
+// selection used to build the γ target sets, and merger rates between
+// snapshots. These drive workload construction and the examples.
+#pragma once
+
+#include <vector>
+
+#include "common/status.h"
+#include "astro/halo_finder.h"
+
+namespace optshare::astro {
+
+/// Halo mass function: halo counts in logarithmic mass bins.
+struct MassFunction {
+  double log10_min = 0.0;   ///< Lower edge of the first bin.
+  double bin_width = 0.25;  ///< Bin width in log10(mass).
+  std::vector<int> counts;
+
+  int TotalHalos() const;
+};
+
+/// Computes the mass function of one catalog with `num_bins` bins spanning
+/// [min halo mass, max halo mass]. Requires a non-empty catalog and
+/// num_bins >= 1.
+Result<MassFunction> ComputeMassFunction(const HaloCatalog& catalog,
+                                         int num_bins);
+
+/// Mass bands of §2 ("cluster", "Milky Way", "sub-Milky-Way", "dwarf"),
+/// defined by quartiles of the catalog's halo masses.
+enum class MassBand { kDwarf = 0, kSubMilkyWay = 1, kMilkyWay = 2, kCluster = 3 };
+
+/// Halos of the catalog falling in the requested quartile band, heaviest
+/// band = kCluster. Requires a non-empty catalog.
+Result<std::vector<int>> HalosInBand(const HaloCatalog& catalog,
+                                     MassBand band);
+
+/// Merger statistics between two consecutive catalogs: how many halos of
+/// `earlier` merged (their particles' plurality-successor halo is shared
+/// with another earlier halo).
+struct MergerStats {
+  int earlier_halos = 0;
+  int later_halos = 0;
+  /// Earlier halos whose plurality successor also absorbs another earlier
+  /// halo (i.e. participated in a merger).
+  int merged = 0;
+
+  double MergerFraction() const {
+    return earlier_halos > 0
+               ? static_cast<double>(merged) / earlier_halos
+               : 0.0;
+  }
+};
+
+/// Computes merger stats; the two catalogs must describe the same particle
+/// set (equal halo_of sizes).
+Result<MergerStats> ComputeMergerStats(const HaloCatalog& earlier,
+                                       const HaloCatalog& later);
+
+}  // namespace optshare::astro

@@ -1,0 +1,149 @@
+#include "astro/universe.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace optshare::astro {
+namespace {
+
+/// Standard normal via Box-Muller on the deterministic RNG.
+double Gaussian(Rng& rng) {
+  double u1;
+  do {
+    u1 = rng.NextDouble();
+  } while (u1 <= 0.0);
+  const double u2 = rng.NextDouble();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+}
+
+double WrapIntoBox(double v, double box) {
+  v = std::fmod(v, box);
+  return v < 0 ? v + box : v;
+}
+
+}  // namespace
+
+Status UniverseParams::Validate() const {
+  if (num_snapshots < 1) {
+    return Status::InvalidArgument("need at least one snapshot");
+  }
+  if (num_halos < 1) return Status::InvalidArgument("need at least one halo");
+  if (particles_per_halo < 1) {
+    return Status::InvalidArgument("need at least one particle per halo");
+  }
+  if (!(box_size > 0.0) || !(halo_sigma > 0.0)) {
+    return Status::InvalidArgument("box size and halo sigma must be positive");
+  }
+  if (merge_probability < 0.0 || merge_probability > 1.0) {
+    return Status::InvalidArgument("merge probability must be in [0, 1]");
+  }
+  if (!(mass_min > 0.0) || mass_max < mass_min) {
+    return Status::InvalidArgument("mass range must satisfy 0 < min <= max");
+  }
+  return Status::OK();
+}
+
+UniverseSimulator::UniverseSimulator(UniverseParams params)
+    : params_(params) {}
+
+std::vector<Snapshot> UniverseSimulator::Run() {
+  assert(params_.Validate().ok());
+  Rng rng(params_.seed);
+  const int n_halos = params_.num_halos;
+  const int n_particles = num_particles();
+
+  // Halo state: center coordinates and whether the halo has been absorbed
+  // into another (alive[h] == false after a merger).
+  std::vector<double> cx(static_cast<size_t>(n_halos));
+  std::vector<double> cy(static_cast<size_t>(n_halos));
+  std::vector<double> cz(static_cast<size_t>(n_halos));
+  std::vector<bool> alive(static_cast<size_t>(n_halos), true);
+  for (int h = 0; h < n_halos; ++h) {
+    cx[static_cast<size_t>(h)] = rng.Uniform(0.0, params_.box_size);
+    cy[static_cast<size_t>(h)] = rng.Uniform(0.0, params_.box_size);
+    cz[static_cast<size_t>(h)] = rng.Uniform(0.0, params_.box_size);
+  }
+
+  // Particle state: owning halo and fixed mass.
+  std::vector<int> owner(static_cast<size_t>(n_particles));
+  std::vector<double> mass(static_cast<size_t>(n_particles));
+  for (int p = 0; p < n_particles; ++p) {
+    owner[static_cast<size_t>(p)] = p % n_halos;
+    mass[static_cast<size_t>(p)] = rng.Uniform(params_.mass_min,
+                                               params_.mass_max);
+  }
+
+  std::vector<Snapshot> snapshots;
+  snapshots.reserve(static_cast<size_t>(params_.num_snapshots));
+  true_membership_.clear();
+  true_membership_.reserve(static_cast<size_t>(params_.num_snapshots));
+
+  for (int t = 1; t <= params_.num_snapshots; ++t) {
+    if (t > 1) {
+      // Drift surviving halo centers.
+      for (int h = 0; h < n_halos; ++h) {
+        if (!alive[static_cast<size_t>(h)]) continue;
+        cx[static_cast<size_t>(h)] = WrapIntoBox(
+            cx[static_cast<size_t>(h)] + params_.drift_sigma * Gaussian(rng),
+            params_.box_size);
+        cy[static_cast<size_t>(h)] = WrapIntoBox(
+            cy[static_cast<size_t>(h)] + params_.drift_sigma * Gaussian(rng),
+            params_.box_size);
+        cz[static_cast<size_t>(h)] = WrapIntoBox(
+            cz[static_cast<size_t>(h)] + params_.drift_sigma * Gaussian(rng),
+            params_.box_size);
+      }
+      // Occasional mergers: an alive halo is absorbed by another alive
+      // halo; its particles change owner (hierarchical structure growth).
+      for (int h = 0; h < n_halos; ++h) {
+        if (!alive[static_cast<size_t>(h)]) continue;
+        if (!rng.Bernoulli(params_.merge_probability)) continue;
+        // Pick the absorber uniformly among other alive halos.
+        int target = -1;
+        int alive_others = 0;
+        for (int g = 0; g < n_halos; ++g) {
+          if (g != h && alive[static_cast<size_t>(g)]) ++alive_others;
+        }
+        if (alive_others == 0) continue;
+        int pick = static_cast<int>(rng.UniformInt(0, alive_others - 1));
+        for (int g = 0; g < n_halos; ++g) {
+          if (g != h && alive[static_cast<size_t>(g)] && pick-- == 0) {
+            target = g;
+            break;
+          }
+        }
+        alive[static_cast<size_t>(h)] = false;
+        for (int p = 0; p < n_particles; ++p) {
+          if (owner[static_cast<size_t>(p)] == h) {
+            owner[static_cast<size_t>(p)] = target;
+          }
+        }
+      }
+    }
+
+    Snapshot snap;
+    snap.index = t;
+    snap.particles.reserve(static_cast<size_t>(n_particles));
+    for (int p = 0; p < n_particles; ++p) {
+      const int h = owner[static_cast<size_t>(p)];
+      Particle particle;
+      particle.id = p;
+      particle.mass = mass[static_cast<size_t>(p)];
+      particle.x = WrapIntoBox(
+          cx[static_cast<size_t>(h)] + params_.halo_sigma * Gaussian(rng),
+          params_.box_size);
+      particle.y = WrapIntoBox(
+          cy[static_cast<size_t>(h)] + params_.halo_sigma * Gaussian(rng),
+          params_.box_size);
+      particle.z = WrapIntoBox(
+          cz[static_cast<size_t>(h)] + params_.halo_sigma * Gaussian(rng),
+          params_.box_size);
+      snap.particles.push_back(particle);
+    }
+    snapshots.push_back(std::move(snap));
+    true_membership_.push_back(owner);
+  }
+  return snapshots;
+}
+
+}  // namespace optshare::astro

@@ -1,0 +1,72 @@
+// Procedural universe simulation — the substitute for the UW astronomy
+// N-body dataset of paper §2 (see DESIGN.md §3). The universe is a set of
+// particles grouped into halos; halos drift and occasionally merge across
+// snapshots. Particle ids persist across snapshots, which is what makes
+// merger-tree queries meaningful.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace optshare::astro {
+
+/// One simulation particle (dark matter / gas / star abstracted away:
+/// only position and mass matter to the queries).
+struct Particle {
+  int64_t id = 0;
+  double x = 0.0, y = 0.0, z = 0.0;
+  double mass = 1.0;
+};
+
+/// One snapshot: the state of all particles at a simulation step.
+struct Snapshot {
+  int index = 0;  ///< 1-based snapshot number.
+  std::vector<Particle> particles;
+};
+
+/// Simulation parameters. Defaults produce a small universe adequate for
+/// tests and examples; scale knobs let benches grow it.
+struct UniverseParams {
+  int num_snapshots = 27;      ///< The paper's workload traces 27.
+  int num_halos = 16;          ///< Initial halo count.
+  int particles_per_halo = 48;
+  double box_size = 100.0;     ///< Periodic box edge length.
+  double halo_sigma = 0.45;    ///< Gaussian radius of a halo.
+  double drift_sigma = 0.25;   ///< Per-snapshot center drift.
+  double merge_probability = 0.04;  ///< Per halo-pair-eligible step.
+  double mass_min = 0.5, mass_max = 4.0;  ///< Particle mass range.
+  uint64_t seed = 42;
+
+  Status Validate() const;
+};
+
+/// Generates the snapshot sequence. Deterministic in the seed.
+class UniverseSimulator {
+ public:
+  explicit UniverseSimulator(UniverseParams params);
+
+  /// Runs the simulation and returns all snapshots in order.
+  /// Precondition: params().Validate().ok().
+  std::vector<Snapshot> Run();
+
+  /// Ground-truth halo membership per snapshot (halo index per particle id)
+  /// — used by tests to score the halo finder; real astronomers do not
+  /// have this.
+  const std::vector<std::vector<int>>& TrueMembership() const {
+    return true_membership_;
+  }
+
+  const UniverseParams& params() const { return params_; }
+  int num_particles() const {
+    return params_.num_halos * params_.particles_per_halo;
+  }
+
+ private:
+  UniverseParams params_;
+  std::vector<std::vector<int>> true_membership_;
+};
+
+}  // namespace optshare::astro

@@ -1,0 +1,30 @@
+#include "baseline/naive.h"
+
+#include <cassert>
+
+#include "common/money.h"
+
+namespace optshare {
+
+double NaiveResult::TotalPayment() const {
+  double sum = 0.0;
+  for (double p : payments) sum += p;
+  return sum;
+}
+
+NaiveResult RunNaive(double cost, const std::vector<double>& bids) {
+  assert(cost > 0.0);
+  NaiveResult result;
+  result.payments.assign(bids.size(), 0.0);
+  double total = 0.0;
+  for (double b : bids) {
+    assert(b >= 0.0);
+    total += b;
+  }
+  if (!MoneyGe(total, cost)) return result;
+  result.implemented = true;
+  result.payments = bids;
+  return result;
+}
+
+}  // namespace optshare

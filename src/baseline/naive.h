@@ -1,0 +1,24 @@
+// The naive pay-your-bid mechanism of paper Example 1: implement the
+// optimization when the bids cover its cost and charge each serviced user
+// exactly her bid. Cost-recovering but *not* truthful — users gain by
+// underbidding. Kept as a teaching baseline and for the Example 1 tests.
+#pragma once
+
+#include <vector>
+
+namespace optshare {
+
+/// Outcome of the naive mechanism for one optimization.
+struct NaiveResult {
+  bool implemented = false;
+  /// Per-user payment (her own bid when implemented, 0 otherwise).
+  std::vector<double> payments;
+
+  double TotalPayment() const;
+};
+
+/// Implements the optimization iff the bid sum covers `cost`; every user is
+/// then serviced and pays her bid. `cost` must be > 0; bids non-negative.
+NaiveResult RunNaive(double cost, const std::vector<double>& bids);
+
+}  // namespace optshare

@@ -1,0 +1,51 @@
+#include "baseline/naive_online.h"
+
+#include <cassert>
+
+#include "core/shapley.h"
+
+namespace optshare {
+
+double NaiveOnlineResult::TotalPayment() const {
+  double sum = 0.0;
+  for (double p : payments) sum += p;
+  return sum;
+}
+
+NaiveOnlineResult RunNaiveOnline(const AdditiveOnlineGame& game) {
+  assert(game.Validate().ok());
+  const int m = game.num_users();
+  const int z = game.num_slots;
+
+  NaiveOnlineResult result;
+  result.payments.assign(static_cast<size_t>(m), 0.0);
+  result.serviced.resize(static_cast<size_t>(z));
+
+  std::vector<double> residual(static_cast<size_t>(m));
+  for (TimeSlot t = 1; t <= z; ++t) {
+    if (!result.implemented) {
+      for (UserId i = 0; i < m; ++i) {
+        const auto& u = game.users[static_cast<size_t>(i)];
+        residual[static_cast<size_t>(i)] =
+            (t >= u.start) ? u.ResidualFrom(t) : 0.0;
+      }
+      ShapleyResult sh = RunShapley(game.cost, residual);
+      if (sh.implemented) {
+        result.implemented = true;
+        result.implemented_at = t;
+        result.payments = sh.payments;  // Funders pay; later users do not.
+      }
+    }
+    if (result.implemented) {
+      // Free access for every active user from the funding slot onward.
+      auto& s_t = result.serviced[static_cast<size_t>(t - 1)];
+      for (UserId i = 0; i < m; ++i) {
+        const auto& u = game.users[static_cast<size_t>(i)];
+        if (t >= u.start && t <= u.end) s_t.push_back(i);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace optshare

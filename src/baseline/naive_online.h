@@ -1,0 +1,34 @@
+// The naive online adaptation of the Shapley Value Mechanism that paper
+// Example 2 constructs and then demolishes: run Shapley each slot on
+// *current-slot* bids until the optimization is funded, charge the funding
+// users, and serve everyone for free afterwards. Cost-recovering but not
+// truthful — a user can hide her early value, let others fund the build,
+// and free-ride later. Implemented as a teaching baseline; the tests
+// reproduce Example 2's exploit verbatim.
+#pragma once
+
+#include <vector>
+
+#include "core/game.h"
+
+namespace optshare {
+
+/// Outcome of the naive online scheme.
+struct NaiveOnlineResult {
+  bool implemented = false;
+  TimeSlot implemented_at = 0;   ///< Slot whose Shapley run funded it.
+  std::vector<double> payments;  ///< Charged only to the funding users.
+  /// serviced[t-1]: users with access at slot t (funders from the funding
+  /// slot; everyone present afterwards — access is free once built).
+  std::vector<std::vector<UserId>> serviced;
+
+  double TotalPayment() const;
+};
+
+/// Runs the Example 2 scheme: at each slot, Shapley over the *residual*
+/// values of present users; first funded slot builds the optimization and
+/// charges its serviced set; afterwards every user whose interval is
+/// active gets free access. Precondition: game.Validate().ok().
+NaiveOnlineResult RunNaiveOnline(const AdditiveOnlineGame& game);
+
+}  // namespace optshare

@@ -1,0 +1,210 @@
+#include "baseline/regret.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/money.h"
+
+namespace optshare {
+namespace {
+
+/// Picks the loss-minimizing price from `residuals` (future value per
+/// eligible user). Returns {price, loss}. Candidates are 0 and each distinct
+/// positive residual: raising the price above a residual only sheds that
+/// buyer, so optima occur at residuals.
+struct PriceChoice {
+  double price = 0.0;
+  double loss = 0.0;
+};
+
+PriceChoice ChoosePrice(std::vector<double> residuals, double cost,
+                        RegretPricing pricing = RegretPricing::kOptimal) {
+  // Loss(p) = max{C - p*I(p), 0} with I(p) a decreasing step function, so
+  // optima occur at the step edges (the residuals) or at break-even points
+  // C/k inside a step. Enumerating both finds the exact minimum, and
+  // scanning in increasing order returns the smallest minimizer (the
+  // paper's tie rule, maximizing user utility).
+  std::vector<double> candidates = {0.0};
+  for (double r : residuals) {
+    if (r > 0.0) candidates.push_back(r);
+  }
+  if (pricing == RegretPricing::kOptimal) {
+    for (size_t k = 1; k <= residuals.size(); ++k) {
+      candidates.push_back(cost / static_cast<double>(k));
+    }
+  }
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+
+  PriceChoice best;
+  best.loss = cost;  // Price 0 collects nothing: loss = cost.
+  for (double p : candidates) {
+    int buyers = 0;
+    for (double r : residuals) {
+      if (r > 0.0 && MoneyGe(r, p)) ++buyers;
+    }
+    const double loss =
+        std::max(cost - p * static_cast<double>(buyers), 0.0);
+    // Strict improvement keeps the smallest minimizing price (candidates
+    // are scanned in increasing order).
+    if (loss < best.loss - kMoneyEpsilon) {
+      best.price = p;
+      best.loss = loss;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+int RegretAdditiveResult::NumBuyers() const {
+  int n = 0;
+  for (bool b : buyer) n += b ? 1 : 0;
+  return n;
+}
+
+RegretAdditiveResult RunRegretAdditive(const AdditiveOnlineGame& game,
+                                       RegretPricing pricing) {
+  assert(game.Validate().ok());
+  const int m = game.num_users();
+  const int z = game.num_slots;
+
+  RegretAdditiveResult result;
+  result.buyer.assign(static_cast<size_t>(m), false);
+  result.regret.assign(static_cast<size_t>(z), 0.0);
+
+  // R_j(t) = sum over slots tau < t of all user values: the value forgone
+  // because the optimization did not exist.
+  double accumulated = 0.0;
+  for (TimeSlot t = 1; t <= z; ++t) {
+    result.regret[static_cast<size_t>(t - 1)] = accumulated;
+    if (!result.implemented && MoneyGe(accumulated, game.cost)) {
+      result.implemented = true;
+      result.implemented_at = t;
+    }
+    for (UserId i = 0; i < m; ++i) {
+      accumulated += game.users[static_cast<size_t>(i)].At(t);
+    }
+  }
+
+  if (!result.implemented) return result;
+
+  result.total_cost = game.cost;
+  const TimeSlot tr = result.implemented_at;
+  std::vector<double> residuals(static_cast<size_t>(m));
+  for (UserId i = 0; i < m; ++i) {
+    residuals[static_cast<size_t>(i)] =
+        game.users[static_cast<size_t>(i)].ResidualFrom(tr + 1);
+  }
+
+  const PriceChoice choice = ChoosePrice(residuals, game.cost, pricing);
+  result.price = choice.price;
+  for (UserId i = 0; i < m; ++i) {
+    const double r = residuals[static_cast<size_t>(i)];
+    if (r > 0.0 && MoneyGe(r, result.price)) {
+      result.buyer[static_cast<size_t>(i)] = true;
+      result.total_value += r;
+      result.total_payment += result.price;
+    }
+  }
+  return result;
+}
+
+std::vector<RegretAdditiveResult> RunRegretAdditiveAll(
+    const MultiAdditiveOnlineGame& game) {
+  assert(game.Validate().ok());
+  std::vector<RegretAdditiveResult> results;
+  results.reserve(static_cast<size_t>(game.num_opts()));
+  for (OptId j = 0; j < game.num_opts(); ++j) {
+    results.push_back(RunRegretAdditive(game.ProjectOpt(j)));
+  }
+  return results;
+}
+
+RegretLedger SumLedgers(const std::vector<RegretAdditiveResult>& results) {
+  RegretLedger ledger;
+  for (const auto& r : results) {
+    ledger.total_value += r.total_value;
+    ledger.total_payment += r.total_payment;
+    ledger.total_cost += r.total_cost;
+  }
+  return ledger;
+}
+
+RegretSubstResult RunRegretSubst(const SubstOnlineGame& game) {
+  assert(game.Validate().ok());
+  const int m = game.num_users();
+  const int n = game.num_opts();
+  const int z = game.num_slots;
+
+  RegretSubstResult result;
+  result.implemented_at.assign(static_cast<size_t>(n), 0);
+  result.price.assign(static_cast<size_t>(n), 0.0);
+  result.bought.assign(static_cast<size_t>(m), kNoOpt);
+  result.payments.assign(static_cast<size_t>(m), 0.0);
+
+  // capture_slot[i]: trigger slot of the optimization user i bought
+  // (0 = still uncaptured). A captured user is serviced for t > capture
+  // slot, so she accrues regret for other substitutes only up to it.
+  std::vector<TimeSlot> capture_slot(static_cast<size_t>(m), 0);
+
+  auto user_wants = [&](UserId i, OptId j) {
+    const auto& subs = game.users[static_cast<size_t>(i)].substitutes;
+    return std::find(subs.begin(), subs.end(), j) != subs.end();
+  };
+
+  for (TimeSlot t = 1; t <= z; ++t) {
+    for (OptId j = 0; j < n; ++j) {
+      if (result.implemented_at[static_cast<size_t>(j)] != 0) continue;
+      // Recompute R_j(t); horizons here are small (z,m,n <= a few dozen).
+      double regret = 0.0;
+      for (UserId i = 0; i < m; ++i) {
+        if (!user_wants(i, j)) continue;
+        // A captured user stops adding regret for other substitutes from
+        // her capture slot onward (she is being serviced instead).
+        const TimeSlot cap = capture_slot[static_cast<size_t>(i)];
+        const TimeSlot limit =
+            (result.bought[static_cast<size_t>(i)] == kNoOpt)
+                ? t - 1
+                : std::min<TimeSlot>(t - 1, cap - 1);
+        const auto& stream = game.users[static_cast<size_t>(i)].stream;
+        for (TimeSlot tau = 1; tau <= limit; ++tau) {
+          regret += stream.At(tau);
+        }
+      }
+      if (!MoneyGe(regret, game.costs[static_cast<size_t>(j)])) continue;
+
+      // Trigger: implement j now and price access for uncaptured users.
+      result.implemented_at[static_cast<size_t>(j)] = t;
+      result.total_cost += game.costs[static_cast<size_t>(j)];
+
+      std::vector<double> residuals;
+      std::vector<UserId> eligible;
+      for (UserId i = 0; i < m; ++i) {
+        if (result.bought[static_cast<size_t>(i)] != kNoOpt) continue;
+        if (!user_wants(i, j)) continue;
+        eligible.push_back(i);
+        residuals.push_back(
+            game.users[static_cast<size_t>(i)].stream.ResidualFrom(t + 1));
+      }
+      const PriceChoice choice =
+          ChoosePrice(residuals, game.costs[static_cast<size_t>(j)]);
+      result.price[static_cast<size_t>(j)] = choice.price;
+      for (size_t k = 0; k < eligible.size(); ++k) {
+        const double r = residuals[k];
+        if (r > 0.0 && MoneyGe(r, choice.price)) {
+          const UserId i = eligible[k];
+          result.bought[static_cast<size_t>(i)] = j;
+          result.payments[static_cast<size_t>(i)] = choice.price;
+          capture_slot[static_cast<size_t>(i)] = t;
+          result.total_value += r;
+          result.total_payment += choice.price;
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace optshare

@@ -1,0 +1,93 @@
+// Regret-based amortization baseline (paper §7.1; Dash, Kantere et al.).
+//
+// The cloud observes workloads, accumulates for each optimization j the
+// value R_j(t) that *would have been realized* had j existed from the start
+// (regret), and greedily implements j at the first slot t with
+// R_j(t) >= C_j. Users in subsequent slots gain access after paying a price
+// p_j chosen — with perfect knowledge of future values, an upper bound on
+// the real algorithm — to minimize the cloud's loss
+// max{C_j - p_j * I_j(p_j, t_r), 0}, where I_j counts future users whose
+// residual value reaches p_j. Ties choose the smallest price so user
+// utilities are maximized.
+//
+// Unlike the mechanisms in core/, Regret (a) trusts reported values and
+// (b) does not guarantee cost recovery: its cloud balance can go negative.
+#pragma once
+
+#include <vector>
+
+#include "core/game.h"
+
+namespace optshare {
+
+/// Outcome of Regret on a single additive optimization.
+struct RegretAdditiveResult {
+  bool implemented = false;
+  TimeSlot implemented_at = 0;  ///< Trigger slot t_r (0 when not triggered).
+  double price = 0.0;           ///< One-time access price p_j.
+  std::vector<bool> buyer;      ///< Users who paid p_j for access.
+  std::vector<double> regret;   ///< regret[t-1] = R_j(t), for diagnostics.
+
+  // Ledger (values are true values: Regret assumes truthful reporting).
+  double total_value = 0.0;    ///< Value realized by buyers for t > t_r.
+  double total_payment = 0.0;  ///< p_j * #buyers.
+  double total_cost = 0.0;     ///< C_j if implemented, else 0.
+
+  double TotalUtility() const { return total_value - total_cost; }
+  double CloudBalance() const { return total_payment - total_cost; }
+  int NumBuyers() const;
+};
+
+/// Price-selection policy after the trigger fires.
+enum class RegretPricing {
+  /// Exact loss minimizer: candidates are residuals and break-even points
+  /// C/k (the default; an upper bound on the published algorithm).
+  kOptimal,
+  /// Residual-value candidates only — the literal reading of "p such that
+  /// future users' payments equal c_j"; kept for the ablation bench.
+  kResidualsOnly,
+};
+
+/// Runs Regret for one additive optimization over the game's horizon.
+/// Precondition: game.Validate().ok().
+RegretAdditiveResult RunRegretAdditive(
+    const AdditiveOnlineGame& game,
+    RegretPricing pricing = RegretPricing::kOptimal);
+
+/// Runs Regret independently per optimization of an additive multi-opt game.
+std::vector<RegretAdditiveResult> RunRegretAdditiveAll(
+    const MultiAdditiveOnlineGame& game);
+
+/// Aggregated ledger across several additive Regret runs.
+struct RegretLedger {
+  double total_value = 0.0;
+  double total_payment = 0.0;
+  double total_cost = 0.0;
+  double TotalUtility() const { return total_value - total_cost; }
+  double CloudBalance() const { return total_payment - total_cost; }
+};
+RegretLedger SumLedgers(const std::vector<RegretAdditiveResult>& results);
+
+/// Outcome of Regret with substitutable optimizations: once a user buys
+/// access to one implemented substitute she stops accruing regret (and
+/// value) for the others.
+struct RegretSubstResult {
+  std::vector<TimeSlot> implemented_at;  ///< Per opt (0 = never).
+  std::vector<double> price;             ///< Per opt (0 when not implemented).
+  std::vector<OptId> bought;             ///< Per user (kNoOpt = none).
+  std::vector<double> payments;          ///< Per user.
+
+  double total_value = 0.0;
+  double total_payment = 0.0;
+  double total_cost = 0.0;
+
+  double TotalUtility() const { return total_value - total_cost; }
+  double CloudBalance() const { return total_payment - total_cost; }
+};
+
+/// Runs substitutable Regret. Within a slot, optimizations whose regret
+/// crosses their cost trigger in increasing id order.
+/// Precondition: game.Validate().ok().
+RegretSubstResult RunRegretSubst(const SubstOnlineGame& game);
+
+}  // namespace optshare

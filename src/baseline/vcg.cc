@@ -1,0 +1,115 @@
+#include "baseline/vcg.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+
+#include "common/money.h"
+
+namespace optshare {
+
+double VcgOptResult::TotalPayment() const {
+  double sum = 0.0;
+  for (double p : payments) sum += p;
+  return sum;
+}
+
+double VcgResult::ImplementedCost(const std::vector<double>& costs) const {
+  assert(costs.size() == per_opt.size());
+  double sum = 0.0;
+  for (size_t j = 0; j < per_opt.size(); ++j) {
+    if (per_opt[j].implemented) sum += costs[j];
+  }
+  return sum;
+}
+
+VcgResult RunVcg(const AdditiveOfflineGame& game) {
+  assert(game.Validate().ok());
+  const int m = game.num_users();
+  const int n = game.num_opts();
+
+  VcgResult result;
+  result.per_opt.reserve(static_cast<size_t>(n));
+  result.total_payment.assign(static_cast<size_t>(m), 0.0);
+
+  for (OptId j = 0; j < n; ++j) {
+    const double cost = game.costs[static_cast<size_t>(j)];
+    VcgOptResult opt;
+    opt.serviced.assign(static_cast<size_t>(m), false);
+    opt.payments.assign(static_cast<size_t>(m), 0.0);
+
+    double total_bid = 0.0;
+    for (UserId i = 0; i < m; ++i) {
+      total_bid += game.bids[static_cast<size_t>(i)][static_cast<size_t>(j)];
+    }
+    if (MoneyGe(total_bid, cost)) {
+      opt.implemented = true;
+      for (UserId i = 0; i < m; ++i) {
+        const double b =
+            game.bids[static_cast<size_t>(i)][static_cast<size_t>(j)];
+        if (b <= 0.0) continue;
+        opt.serviced[static_cast<size_t>(i)] = true;
+        // Clarke tax: the shortfall the others face because i's bid was
+        // needed to justify the cost.
+        const double others = total_bid - b;
+        const double payment = std::max(0.0, cost - others);
+        opt.payments[static_cast<size_t>(i)] = payment;
+        result.total_payment[static_cast<size_t>(i)] += payment;
+      }
+    }
+    result.per_opt.push_back(std::move(opt));
+  }
+  return result;
+}
+
+double OptimalAdditiveWelfare(const AdditiveOfflineGame& truth) {
+  assert(truth.Validate().ok());
+  double welfare = 0.0;
+  for (OptId j = 0; j < truth.num_opts(); ++j) {
+    double total = 0.0;
+    for (UserId i = 0; i < truth.num_users(); ++i) {
+      total += truth.bids[static_cast<size_t>(i)][static_cast<size_t>(j)];
+    }
+    welfare += std::max(0.0, total - truth.costs[static_cast<size_t>(j)]);
+  }
+  return welfare;
+}
+
+double OptimalSubstWelfare(const SubstOfflineGame& truth) {
+  assert(truth.Validate().ok());
+  const int n = truth.num_opts();
+  assert(n <= 20 && "subset enumeration is exponential in num_opts");
+
+  // Precompute each user's substitute mask.
+  std::vector<uint32_t> user_mask;
+  user_mask.reserve(truth.users.size());
+  for (const auto& u : truth.users) {
+    uint32_t mask = 0;
+    for (OptId j : u.substitutes) mask |= 1u << j;
+    user_mask.push_back(mask);
+  }
+
+  double best = 0.0;
+  for (uint32_t subset = 0; subset < (1u << n); ++subset) {
+    double welfare = 0.0;
+    for (OptId j = 0; j < n; ++j) {
+      if (subset & (1u << j)) welfare -= truth.costs[static_cast<size_t>(j)];
+    }
+    for (size_t i = 0; i < truth.users.size(); ++i) {
+      if (user_mask[i] & subset) welfare += truth.users[i].value;
+    }
+    best = std::max(best, welfare);
+  }
+  return best;
+}
+
+double OptimalOnlineWelfare(const AdditiveOnlineGame& truth) {
+  assert(truth.Validate().ok());
+  // With hindsight the best implementation slot is t = 1 (residuals only
+  // shrink), so the optimum is total value minus cost, floored at zero.
+  double total = 0.0;
+  for (const auto& u : truth.users) total += u.Total();
+  return std::max(0.0, total - truth.cost);
+}
+
+}  // namespace optshare

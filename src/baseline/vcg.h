@@ -1,0 +1,68 @@
+// VCG (Vickrey-Clarke-Groves) reference mechanism for additive offline
+// games. The paper (§3) invokes the Moulin-Shenker impossibility: no
+// mechanism is simultaneously truthful, cost-recovering and efficient. VCG
+// occupies the truthful+efficient corner of that triangle — it always picks
+// the welfare-maximizing configuration and charges each serviced user her
+// externality — but is *not* cost-recovering. It is implemented here as the
+// efficiency yardstick for the ablation bench and tests.
+//
+// For additive optimizations the welfare-optimal choice decomposes per
+// optimization j: implement j iff sum_i b_ij >= C_j, and grant it to every
+// user with b_ij > 0. User i's VCG payment for j is her externality:
+//   max(0, C_j - sum_{k != i} b_kj)   if j is implemented with her, plus
+//   max(0, sum_{k != i} b_kj - C_j)   worth of welfare she displaced when j
+// would have been implemented without her but is not with her (which cannot
+// happen here since bids are non-negative) — so only the first term
+// remains.
+#pragma once
+
+#include <vector>
+
+#include "core/game.h"
+
+namespace optshare {
+
+/// Outcome of VCG on one optimization.
+struct VcgOptResult {
+  bool implemented = false;
+  /// serviced[i]: user granted access (every positive bidder when
+  /// implemented — efficiency never excludes a positive-value user).
+  std::vector<bool> serviced;
+  /// Externality payment per user (the pivotal "clarke tax").
+  std::vector<double> payments;
+
+  double TotalPayment() const;
+};
+
+/// Outcome of VCG on a full additive offline game.
+struct VcgResult {
+  std::vector<VcgOptResult> per_opt;
+  std::vector<double> total_payment;  ///< Per user.
+
+  /// Sum of implemented optimization costs.
+  double ImplementedCost(const std::vector<double>& costs) const;
+};
+
+/// Runs VCG per optimization. Precondition: game.Validate().ok().
+VcgResult RunVcg(const AdditiveOfflineGame& game);
+
+/// The welfare-optimal (efficient) total utility of an additive offline
+/// game under truthful values: sum over j of max(0, sum_i v_ij - C_j).
+/// Upper-bounds every mechanism's total utility.
+double OptimalAdditiveWelfare(const AdditiveOfflineGame& truth);
+
+/// Welfare-optimal total utility of a single-optimization online game when
+/// the implementation slot can be chosen with hindsight: the best
+/// max(0, sum_i residual_i(t) - C) over slots t (users are serviced from t
+/// onward). Upper-bounds AddOn and Regret alike.
+double OptimalOnlineWelfare(const AdditiveOnlineGame& truth);
+
+/// Exact welfare optimum of an offline substitutable game, by enumerating
+/// every subset of optimizations to implement (each user then freely uses
+/// any implemented substitute): max over S of
+///   sum_{i: J_i ∩ S != ∅} v_i  -  sum_{j in S} C_j.
+/// Exponential in the optimization count; requires num_opts() <= 20.
+/// Upper-bounds SubstOff and substitutable Regret.
+double OptimalSubstWelfare(const SubstOfflineGame& truth);
+
+}  // namespace optshare

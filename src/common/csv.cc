@@ -1,0 +1,74 @@
+#include "common/csv.h"
+
+#include <charconv>
+#include <cmath>
+
+namespace optshare {
+
+std::string CsvEscape(std::string_view field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quotes) return std::string(field);
+  std::string out;
+  out.reserve(field.size() + 2);
+  out.push_back('"');
+  for (char c : field) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string FormatDouble(double v) {
+  if (std::isnan(v)) return "nan";
+  if (std::isinf(v)) return v > 0 ? "inf" : "-inf";
+  char buf[64];
+  auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  (void)ec;
+  return std::string(buf, ptr);
+}
+
+Status CsvWriter::WriteHeader(const std::vector<std::string>& columns) {
+  if (columns.empty()) {
+    return Status::InvalidArgument("CSV header must have at least one column");
+  }
+  if (columns_ != 0) {
+    return Status::FailedPrecondition("CSV header already written");
+  }
+  columns_ = columns.size();
+  return WriteFields(columns);
+}
+
+Status CsvWriter::WriteRow(const std::vector<std::string>& fields) {
+  if (columns_ != 0 && fields.size() != columns_) {
+    return Status::InvalidArgument("CSV row width does not match header");
+  }
+  Status st = WriteFields(fields);
+  if (st.ok()) ++rows_written_;
+  return st;
+}
+
+Status CsvWriter::WriteRow(const std::vector<double>& fields) {
+  std::vector<std::string> as_strings;
+  as_strings.reserve(fields.size());
+  for (double v : fields) as_strings.push_back(FormatDouble(v));
+  return WriteRow(as_strings);
+}
+
+Status CsvWriter::WriteFields(const std::vector<std::string>& fields) {
+  if (out_ == nullptr) {
+    return Status::FailedPrecondition("CSV writer has no output stream");
+  }
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) *out_ << ',';
+    *out_ << CsvEscape(fields[i]);
+  }
+  *out_ << '\n';
+  if (!out_->good()) {
+    return Status::Internal("CSV output stream write failed");
+  }
+  return Status::OK();
+}
+
+}  // namespace optshare

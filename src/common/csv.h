@@ -1,0 +1,45 @@
+// Minimal CSV writer for exporting experiment series (one file per figure).
+// Handles RFC-4180 quoting of fields containing commas, quotes, or newlines.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace optshare {
+
+/// Escapes one CSV field per RFC 4180 (quote iff it contains , " or newline).
+std::string CsvEscape(std::string_view field);
+
+/// Streams rows to an std::ostream as CSV. The writer does not own the
+/// stream. Row widths are validated against the header when one is set.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream* out) : out_(out) {}
+
+  /// Writes the header row and fixes the column count.
+  Status WriteHeader(const std::vector<std::string>& columns);
+
+  /// Writes one row of string fields.
+  Status WriteRow(const std::vector<std::string>& fields);
+
+  /// Writes one row of doubles with full round-trip precision.
+  Status WriteRow(const std::vector<double>& fields);
+
+  size_t rows_written() const { return rows_written_; }
+
+ private:
+  Status WriteFields(const std::vector<std::string>& fields);
+
+  std::ostream* out_;
+  size_t columns_ = 0;  // 0 until the header defines the width.
+  size_t rows_written_ = 0;
+};
+
+/// Formats a double with enough digits to round-trip.
+std::string FormatDouble(double v);
+
+}  // namespace optshare

@@ -1,0 +1,372 @@
+#include "common/json.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+
+#include "common/csv.h"  // FormatDouble.
+
+namespace optshare {
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  if (!is_object()) return nullptr;
+  const Object& obj = AsObject();
+  auto it = obj.find(key);
+  return it == obj.end() ? nullptr : &it->second;
+}
+
+void JsonValue::Set(const std::string& key, JsonValue v) {
+  AsObject()[key] = std::move(v);
+}
+
+void JsonValue::Append(JsonValue v) { AsArray().push_back(std::move(v)); }
+
+std::string JsonEscape(std::string_view s) {
+  std::string out = "\"";
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+namespace {
+
+void DumpTo(const JsonValue& v, int indent, int depth, std::string* out) {
+  const bool pretty = indent >= 0;
+  const std::string pad = pretty ? std::string(
+      static_cast<size_t>(indent) * static_cast<size_t>(depth + 1), ' ')
+                                 : "";
+  const std::string close_pad =
+      pretty ? std::string(
+          static_cast<size_t>(indent) * static_cast<size_t>(depth), ' ')
+             : "";
+  const char* nl = pretty ? "\n" : "";
+
+  switch (v.type()) {
+    case JsonValue::Type::kNull:
+      *out += "null";
+      return;
+    case JsonValue::Type::kBool:
+      *out += v.AsBool() ? "true" : "false";
+      return;
+    case JsonValue::Type::kNumber: {
+      const double d = v.AsNumber();
+      // JSON has no Infinity/NaN; serialize as null per common practice.
+      if (std::isnan(d) || std::isinf(d)) {
+        *out += "null";
+      } else {
+        *out += FormatDouble(d);
+      }
+      return;
+    }
+    case JsonValue::Type::kString:
+      *out += JsonEscape(v.AsString());
+      return;
+    case JsonValue::Type::kArray: {
+      const auto& arr = v.AsArray();
+      if (arr.empty()) {
+        *out += "[]";
+        return;
+      }
+      *out += '[';
+      *out += nl;
+      for (size_t i = 0; i < arr.size(); ++i) {
+        *out += pad;
+        DumpTo(arr[i], indent, depth + 1, out);
+        if (i + 1 < arr.size()) *out += ',';
+        *out += nl;
+      }
+      *out += close_pad;
+      *out += ']';
+      return;
+    }
+    case JsonValue::Type::kObject: {
+      const auto& obj = v.AsObject();
+      if (obj.empty()) {
+        *out += "{}";
+        return;
+      }
+      *out += '{';
+      *out += nl;
+      size_t i = 0;
+      for (const auto& [key, value] : obj) {
+        *out += pad;
+        *out += JsonEscape(key);
+        *out += pretty ? ": " : ":";
+        DumpTo(value, indent, depth + 1, out);
+        if (++i < obj.size()) *out += ',';
+        *out += nl;
+      }
+      *out += close_pad;
+      *out += '}';
+      return;
+    }
+  }
+}
+
+/// Recursive-descent parser.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<JsonValue> ParseDocument() {
+    SkipWhitespace();
+    Result<JsonValue> v = ParseValue();
+    if (!v.ok()) return v;
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after JSON document");
+    }
+    return v;
+  }
+
+ private:
+  Status Error(const std::string& message) const {
+    return Status::InvalidArgument("JSON parse error at offset " +
+                                   std::to_string(pos_) + ": " + message);
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeLiteral(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) == literal) {
+      pos_ += literal.size();
+      return true;
+    }
+    return false;
+  }
+
+  Result<JsonValue> ParseValue() {
+    if (depth_ > kMaxDepth) return Error("nesting too deep");
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == 'n') {
+      if (ConsumeLiteral("null")) return JsonValue::Null();
+      return Error("invalid literal");
+    }
+    if (c == 't') {
+      if (ConsumeLiteral("true")) return JsonValue::Bool(true);
+      return Error("invalid literal");
+    }
+    if (c == 'f') {
+      if (ConsumeLiteral("false")) return JsonValue::Bool(false);
+      return Error("invalid literal");
+    }
+    if (c == '"') return ParseString();
+    if (c == '[') return ParseArray();
+    if (c == '{') return ParseObject();
+    return ParseNumber();
+  }
+
+  Result<JsonValue> ParseNumber() {
+    const size_t start = pos_;
+    if (Consume('-')) {
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Error("expected a value");
+    double d = 0.0;
+    const auto [ptr, ec] =
+        std::from_chars(text_.data() + start, text_.data() + pos_, d);
+    if (ec != std::errc() || ptr != text_.data() + pos_) {
+      return Error("malformed number");
+    }
+    return JsonValue::Number(d);
+  }
+
+  Result<JsonValue> ParseString() {
+    std::string s;
+    OPTSHARE_RETURN_NOT_OK(ParseRawString(&s));
+    return JsonValue::Str(std::move(s));
+  }
+
+  Status ParseRawString(std::string* out) {
+    if (!Consume('"')) return Error("expected '\"'");
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return Status::OK();
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return Error("dangling escape");
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"':
+            *out += '"';
+            break;
+          case '\\':
+            *out += '\\';
+            break;
+          case '/':
+            *out += '/';
+            break;
+          case 'n':
+            *out += '\n';
+            break;
+          case 't':
+            *out += '\t';
+            break;
+          case 'r':
+            *out += '\r';
+            break;
+          case 'b':
+            *out += '\b';
+            break;
+          case 'f':
+            *out += '\f';
+            break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return Error("short \\u escape");
+            unsigned code = 0;
+            for (int k = 0; k < 4; ++k) {
+              const char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') {
+                code |= static_cast<unsigned>(h - '0');
+              } else if (h >= 'a' && h <= 'f') {
+                code |= static_cast<unsigned>(h - 'a' + 10);
+              } else if (h >= 'A' && h <= 'F') {
+                code |= static_cast<unsigned>(h - 'A' + 10);
+              } else {
+                return Error("invalid \\u escape");
+              }
+            }
+            // UTF-8 encode (BMP only; surrogate pairs unsupported).
+            if (code < 0x80) {
+              *out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              *out += static_cast<char>(0xC0 | (code >> 6));
+              *out += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              *out += static_cast<char>(0xE0 | (code >> 12));
+              *out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              *out += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default:
+            return Error("unknown escape");
+        }
+      } else {
+        *out += c;
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  Result<JsonValue> ParseArray() {
+    ++depth_;
+    Consume('[');
+    JsonValue arr = JsonValue::MakeArray();
+    SkipWhitespace();
+    if (Consume(']')) {
+      --depth_;
+      return arr;
+    }
+    while (true) {
+      SkipWhitespace();
+      Result<JsonValue> v = ParseValue();
+      if (!v.ok()) return v;
+      arr.Append(std::move(*v));
+      SkipWhitespace();
+      if (Consume(']')) break;
+      if (!Consume(',')) return Error("expected ',' or ']'");
+    }
+    --depth_;
+    return arr;
+  }
+
+  Result<JsonValue> ParseObject() {
+    ++depth_;
+    Consume('{');
+    JsonValue obj = JsonValue::MakeObject();
+    SkipWhitespace();
+    if (Consume('}')) {
+      --depth_;
+      return obj;
+    }
+    while (true) {
+      SkipWhitespace();
+      std::string key;
+      OPTSHARE_RETURN_NOT_OK(ParseRawString(&key));
+      SkipWhitespace();
+      if (!Consume(':')) return Error("expected ':'");
+      SkipWhitespace();
+      Result<JsonValue> v = ParseValue();
+      if (!v.ok()) return v;
+      obj.Set(key, std::move(*v));
+      SkipWhitespace();
+      if (Consume('}')) break;
+      if (!Consume(',')) return Error("expected ',' or '}'");
+    }
+    --depth_;
+    return obj;
+  }
+
+  static constexpr int kMaxDepth = 128;
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+std::string JsonValue::Dump(int indent) const {
+  std::string out;
+  DumpTo(*this, indent, 0, &out);
+  return out;
+}
+
+Result<JsonValue> JsonValue::Parse(std::string_view text) {
+  return Parser(text).ParseDocument();
+}
+
+}  // namespace optshare

@@ -1,0 +1,86 @@
+// Minimal JSON document model, parser and serializer — enough for the game
+// file format (core/serialization.h) and the CLI, with RFC 8259 escaping
+// and round-trip number formatting. No external dependencies.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "common/status.h"
+
+namespace optshare {
+
+/// A JSON value: null, bool, number (double), string, array or object.
+/// Objects preserve no insertion order (keys are sorted), which keeps
+/// serialization deterministic.
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  using Array = std::vector<JsonValue>;
+  using Object = std::map<std::string, JsonValue>;
+
+  JsonValue() : value_(nullptr) {}
+
+  static JsonValue Null() { return JsonValue(); }
+  static JsonValue Bool(bool b) { return JsonValue(b); }
+  static JsonValue Number(double d) { return JsonValue(d); }
+  static JsonValue Str(std::string s) { return JsonValue(std::move(s)); }
+  static JsonValue MakeArray() { return JsonValue(Array{}); }
+  static JsonValue MakeObject() { return JsonValue(Object{}); }
+
+  Type type() const { return static_cast<Type>(value_.index()); }
+  bool is_null() const { return type() == Type::kNull; }
+  bool is_bool() const { return type() == Type::kBool; }
+  bool is_number() const { return type() == Type::kNumber; }
+  bool is_string() const { return type() == Type::kString; }
+  bool is_array() const { return type() == Type::kArray; }
+  bool is_object() const { return type() == Type::kObject; }
+
+  /// Typed accessors; precondition: matching type.
+  bool AsBool() const { return std::get<bool>(value_); }
+  double AsNumber() const { return std::get<double>(value_); }
+  const std::string& AsString() const { return std::get<std::string>(value_); }
+  const Array& AsArray() const { return std::get<Array>(value_); }
+  Array& AsArray() { return std::get<Array>(value_); }
+  const Object& AsObject() const { return std::get<Object>(value_); }
+  Object& AsObject() { return std::get<Object>(value_); }
+
+  /// Object field lookup; nullptr when absent or not an object.
+  const JsonValue* Find(const std::string& key) const;
+
+  /// Object field write (precondition: is_object()).
+  void Set(const std::string& key, JsonValue v);
+  /// Array append (precondition: is_array()).
+  void Append(JsonValue v);
+
+  /// Serializes; `indent` < 0 emits compact JSON, otherwise pretty-prints
+  /// with that many spaces per level.
+  std::string Dump(int indent = -1) const;
+
+  /// Parses a complete JSON document (rejects trailing garbage).
+  static Result<JsonValue> Parse(std::string_view text);
+
+  bool operator==(const JsonValue& other) const {
+    return value_ == other.value_;
+  }
+
+ private:
+  explicit JsonValue(std::nullptr_t) : value_(nullptr) {}
+  explicit JsonValue(bool b) : value_(b) {}
+  explicit JsonValue(double d) : value_(d) {}
+  explicit JsonValue(std::string s) : value_(std::move(s)) {}
+  explicit JsonValue(Array a) : value_(std::move(a)) {}
+  explicit JsonValue(Object o) : value_(std::move(o)) {}
+
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object>
+      value_;
+};
+
+/// Escapes a string per RFC 8259 (quotes included).
+std::string JsonEscape(std::string_view s);
+
+}  // namespace optshare

@@ -1,0 +1,47 @@
+// Minimal leveled logger. Benches and examples log at Info; tests keep the
+// default threshold at Warning so output stays clean.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace optshare {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Global log threshold; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+/// Emits one log line ("[LEVEL] message") to stderr if `level` passes the
+/// threshold.
+void LogMessage(LogLevel level, const std::string& message);
+
+namespace internal {
+
+/// Stream-style log statement builder; emits on destruction.
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { LogMessage(level_, stream_.str()); }
+
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define OPTSHARE_LOG(level) \
+  ::optshare::internal::LogStream(::optshare::LogLevel::k##level)
+
+}  // namespace optshare

@@ -1,0 +1,31 @@
+#include "common/money.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace optshare {
+
+std::string FormatDollars(double amount) {
+  char buf[64];
+  // Normalize sub-cent negatives so ledgers do not print "-$0.00".
+  if (amount < 0.0 && amount > -0.005) amount = 0.0;
+  if (amount < 0) {
+    std::snprintf(buf, sizeof(buf), "-$%.2f", -amount);
+  } else {
+    std::snprintf(buf, sizeof(buf), "$%.2f", amount);
+  }
+  return buf;
+}
+
+std::string FormatCents(double dollars) {
+  char buf[64];
+  const double cents = dollars * 100.0;
+  if (std::abs(cents - std::round(cents)) < 1e-9) {
+    std::snprintf(buf, sizeof(buf), "%.0fc", cents);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2fc", cents);
+  }
+  return buf;
+}
+
+}  // namespace optshare

@@ -1,0 +1,32 @@
+// Monetary amounts. Mechanism arithmetic uses double (the paper's values are
+// continuous); this header centralizes the tolerance used for monetary
+// comparisons and provides display formatting.
+#pragma once
+
+#include <string>
+
+namespace optshare {
+
+/// Absolute tolerance for monetary/value comparisons throughout the library.
+/// All experiment quantities are O(1)..O(1e3) dollars, so an absolute
+/// epsilon is appropriate.
+inline constexpr double kMoneyEpsilon = 1e-9;
+
+/// a >= b within tolerance.
+inline bool MoneyGe(double a, double b) { return a >= b - kMoneyEpsilon; }
+
+/// a <= b within tolerance.
+inline bool MoneyLe(double a, double b) { return a <= b + kMoneyEpsilon; }
+
+/// |a - b| within tolerance.
+inline bool MoneyEq(double a, double b) {
+  return a - b <= kMoneyEpsilon && b - a <= kMoneyEpsilon;
+}
+
+/// Formats dollars as e.g. "$12.34" / "-$0.07".
+std::string FormatDollars(double amount);
+
+/// Formats cents-scale amounts as e.g. "18c".
+std::string FormatCents(double dollars);
+
+}  // namespace optshare

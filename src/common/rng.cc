@@ -1,0 +1,46 @@
+#include "common/rng.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace optshare {
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  assert(lo <= hi);
+  const uint64_t range = static_cast<uint64_t>(hi - lo) + 1;
+  if (range == 0) {
+    // Full 64-bit range requested.
+    return static_cast<int64_t>(NextUint64());
+  }
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t limit = UINT64_MAX - UINT64_MAX % range;
+  uint64_t draw;
+  do {
+    draw = NextUint64();
+  } while (draw >= limit);
+  return lo + static_cast<int64_t>(draw % range);
+}
+
+double Rng::Exponential(double mean) {
+  assert(mean > 0.0);
+  // Inverse transform; guard against log(0).
+  double u;
+  do {
+    u = NextDouble();
+  } while (u <= 0.0);
+  return -mean * std::log(u);
+}
+
+std::vector<int> Rng::SampleWithoutReplacement(int n, int k) {
+  assert(0 <= k && k <= n);
+  std::vector<int> pool(n);
+  for (int i = 0; i < n; ++i) pool[i] = i;
+  for (int i = 0; i < k; ++i) {
+    const int j = static_cast<int>(UniformInt(i, n - 1));
+    std::swap(pool[i], pool[j]);
+  }
+  pool.resize(k);
+  return pool;
+}
+
+}  // namespace optshare

@@ -1,0 +1,79 @@
+// Deterministic random number generation. All simulated experiments are
+// seeded, and distribution sampling is implemented here (rather than via
+// <random>'s distributions, whose output is implementation-defined) so that
+// results are bit-reproducible across standard libraries.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace optshare {
+
+/// SplitMix64: tiny, fast, high-quality 64-bit PRNG. Used directly and as
+/// the seeding routine for derived streams.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+/// Deterministic RNG with the distribution samplers the experiments need.
+/// Independent streams for parallel/per-trial use come from `Fork`.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : gen_(seed) {}
+
+  /// Raw 64 bits.
+  uint64_t NextUint64() { return gen_.Next(); }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    // 53 high-quality bits -> [0,1) with full double precision.
+    return static_cast<double>(gen_.Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi). Requires lo <= hi.
+  double Uniform(double lo, double hi) {
+    return lo + (hi - lo) * NextDouble();
+  }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Exponential with the given mean (= 1/lambda). Requires mean > 0.
+  double Exponential(double mean);
+
+  /// Bernoulli trial with success probability p in [0, 1].
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Chooses `k` distinct values from {0, .., n-1}, in random order
+  /// (partial Fisher-Yates). Requires 0 <= k <= n.
+  std::vector<int> SampleWithoutReplacement(int n, int k);
+
+  /// Uniform random permutation of {0, .., n-1}.
+  std::vector<int> Permutation(int n) {
+    return SampleWithoutReplacement(n, n);
+  }
+
+  /// Derives an independent child stream. Children with distinct indices
+  /// (and distinct parents) do not overlap for practical stream lengths.
+  Rng Fork(uint64_t stream_index) {
+    SplitMix64 mix(NextUint64() ^ (0xA5A5A5A5DEADBEEFULL + stream_index));
+    return Rng(mix.Next());
+  }
+
+ private:
+  SplitMix64 gen_;
+};
+
+}  // namespace optshare

@@ -1,0 +1,85 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace optshare {
+
+void RunningStat::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStat::Merge(const RunningStat& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double n1 = static_cast<double>(count_);
+  const double n2 = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = n1 + n2;
+  mean_ += delta * n2 / n;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStat::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+double RunningStat::min() const { return count_ == 0 ? 0.0 : min_; }
+
+double RunningStat::max() const { return count_ == 0 ? 0.0 : max_; }
+
+double Percentile(std::vector<double> sample, double q) {
+  assert(!sample.empty());
+  assert(0.0 <= q && q <= 1.0);
+  std::sort(sample.begin(), sample.end());
+  if (sample.size() == 1) return sample[0];
+  const double pos = q * static_cast<double>(sample.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, sample.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sample[lo] + frac * (sample[hi] - sample[lo]);
+}
+
+double Mean(const std::vector<double>& sample) {
+  if (sample.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : sample) sum += x;
+  return sum / static_cast<double>(sample.size());
+}
+
+Summary Summarize(const std::vector<double>& sample) {
+  Summary s;
+  if (sample.empty()) return s;
+  RunningStat rs;
+  for (double x : sample) rs.Add(x);
+  s.count = rs.count();
+  s.mean = rs.mean();
+  s.stddev = rs.stddev();
+  s.min = rs.min();
+  s.max = rs.max();
+  s.median = Percentile(sample, 0.5);
+  s.p10 = Percentile(sample, 0.1);
+  s.p90 = Percentile(sample, 0.9);
+  return s;
+}
+
+}  // namespace optshare

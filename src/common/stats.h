@@ -1,0 +1,60 @@
+// Streaming and batch statistics used by the experiment harness to aggregate
+// repeated trials (mean, stddev, min/max, percentiles).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace optshare {
+
+/// Numerically stable running mean/variance (Welford's algorithm).
+class RunningStat {
+ public:
+  /// Adds one observation.
+  void Add(double x);
+
+  /// Merges another accumulator into this one (parallel-friendly).
+  void Merge(const RunningStat& other);
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two observations.
+  double variance() const;
+  /// Sample standard deviation.
+  double stddev() const;
+  double min() const;
+  double max() const;
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;  // Sum of squared deviations from the running mean.
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Batch summary of a sample.
+struct Summary {
+  size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+  double p10 = 0.0;
+  double p90 = 0.0;
+};
+
+/// Summarizes a sample. Percentiles use linear interpolation between order
+/// statistics. An empty sample yields an all-zero summary.
+Summary Summarize(const std::vector<double>& sample);
+
+/// Linear-interpolated percentile of a sample, q in [0, 1].
+/// Requires a non-empty sample.
+double Percentile(std::vector<double> sample, double q);
+
+/// Mean of a sample (0 for an empty sample).
+double Mean(const std::vector<double>& sample);
+
+}  // namespace optshare

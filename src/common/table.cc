@@ -1,0 +1,80 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace optshare {
+
+std::string FormatFixed(double v, int precision) {
+  if (std::isnan(v)) return "nan";
+  if (std::isinf(v)) return v > 0 ? "inf" : "-inf";
+  // Normalize negative zero so tables do not mix "-0.00" and "0.00".
+  if (v == 0.0) v = 0.0;
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  std::string out(buf);
+  if (out == std::string("-0.") + std::string(precision, '0')) {
+    out.erase(out.begin());
+  }
+  return out;
+}
+
+TextTable::TextTable(std::vector<std::string> columns)
+    : columns_(std::move(columns)), aligns_(columns_.size(), Align::kRight) {
+  if (!aligns_.empty()) aligns_[0] = Align::kLeft;
+}
+
+void TextTable::SetAlign(size_t column, Align align) {
+  if (column < aligns_.size()) aligns_[column] = align;
+}
+
+void TextTable::AddRow(std::vector<std::string> cells) {
+  cells.resize(columns_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::AddNumericRow(const std::vector<double>& cells,
+                              int precision) {
+  std::vector<std::string> formatted;
+  formatted.reserve(cells.size());
+  for (double v : cells) formatted.push_back(FormatFixed(v, precision));
+  AddRow(std::move(formatted));
+}
+
+std::string TextTable::Render() const {
+  std::vector<size_t> widths(columns_.size());
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    widths[c] = columns_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto render_cell = [&](const std::string& cell, size_t c) {
+    std::string pad(widths[c] - cell.size(), ' ');
+    return aligns_[c] == Align::kLeft ? cell + pad : pad + cell;
+  };
+
+  std::string out;
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    if (c > 0) out += "  ";
+    out += render_cell(columns_[c], c);
+  }
+  out += '\n';
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    if (c > 0) out += "  ";
+    out += std::string(widths[c], '-');
+  }
+  out += '\n';
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      if (c > 0) out += "  ";
+      out += render_cell(row[c], c);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace optshare

@@ -1,0 +1,47 @@
+// ASCII table rendering for bench output: the figure-regeneration binaries
+// print the same rows/series the paper plots, in aligned columns.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace optshare {
+
+/// Column alignment within a rendered table.
+enum class Align { kLeft, kRight };
+
+/// Builds a fixed-schema text table row by row, then renders it with
+/// per-column width computation and a header separator.
+class TextTable {
+ public:
+  /// `columns` fixes the schema. Numeric columns default to right alignment
+  /// when rendered via AddRow(vector<double>).
+  explicit TextTable(std::vector<std::string> columns);
+
+  /// Overrides alignment for one column (0-based). Out-of-range is ignored.
+  void SetAlign(size_t column, Align align);
+
+  /// Appends one row of preformatted cells. Rows narrower than the schema
+  /// are padded with empty cells; wider rows are truncated.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Appends one row of numbers formatted with `precision` decimals.
+  void AddNumericRow(const std::vector<double>& cells, int precision = 4);
+
+  /// Renders the full table, including header and separator.
+  std::string Render() const;
+
+  size_t num_rows() const { return rows_.size(); }
+  size_t num_columns() const { return columns_.size(); }
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<Align> aligns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats `v` with fixed `precision` decimals ("-0.0000" normalized to
+/// "0.0000").
+std::string FormatFixed(double v, int precision);
+
+}  // namespace optshare

@@ -1,0 +1,140 @@
+#include "core/accounting.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/money.h"
+
+namespace optshare {
+namespace {
+
+bool Contains(const std::vector<OptId>& set, OptId j) {
+  return std::find(set.begin(), set.end(), j) != set.end();
+}
+
+}  // namespace
+
+double Accounting::TotalValue() const {
+  double sum = 0.0;
+  for (double v : user_value) sum += v;
+  return sum;
+}
+
+double Accounting::TotalPayment() const {
+  double sum = 0.0;
+  for (double p : user_payment) sum += p;
+  return sum;
+}
+
+bool Accounting::CostRecovered() const {
+  return MoneyGe(TotalPayment(), total_cost);
+}
+
+Accounting AccountAddOff(const AdditiveOfflineGame& truth,
+                         const AddOffResult& outcome) {
+  const int m = truth.num_users();
+  const int n = truth.num_opts();
+  assert(static_cast<int>(outcome.per_opt.size()) == n);
+
+  Accounting acc;
+  acc.user_value.assign(static_cast<size_t>(m), 0.0);
+  acc.user_payment = outcome.total_payment;
+  for (OptId j = 0; j < n; ++j) {
+    const auto& r = outcome.per_opt[static_cast<size_t>(j)];
+    if (!r.implemented) continue;
+    acc.total_cost += truth.costs[static_cast<size_t>(j)];
+    for (UserId i = 0; i < m; ++i) {
+      if (r.serviced[static_cast<size_t>(i)]) {
+        acc.user_value[static_cast<size_t>(i)] +=
+            truth.bids[static_cast<size_t>(i)][static_cast<size_t>(j)];
+      }
+    }
+  }
+  return acc;
+}
+
+Accounting AccountAddOn(const AdditiveOnlineGame& truth,
+                        const AddOnResult& outcome) {
+  const int m = truth.num_users();
+
+  Accounting acc;
+  acc.user_value.assign(static_cast<size_t>(m), 0.0);
+  acc.user_payment = outcome.payments;
+  if (outcome.implemented) acc.total_cost = truth.cost;
+
+  for (TimeSlot t = 1; t <= static_cast<TimeSlot>(outcome.serviced.size());
+       ++t) {
+    for (UserId i : outcome.serviced[static_cast<size_t>(t - 1)]) {
+      acc.user_value[static_cast<size_t>(i)] +=
+          truth.users[static_cast<size_t>(i)].At(t);
+    }
+  }
+  return acc;
+}
+
+Accounting AccountAddOnAll(const MultiAdditiveOnlineGame& truth,
+                           const std::vector<AddOnResult>& outcomes) {
+  const int m = truth.num_users();
+  const int n = truth.num_opts();
+  assert(static_cast<int>(outcomes.size()) == n);
+
+  Accounting acc;
+  acc.user_value.assign(static_cast<size_t>(m), 0.0);
+  acc.user_payment.assign(static_cast<size_t>(m), 0.0);
+  for (OptId j = 0; j < n; ++j) {
+    Accounting one = AccountAddOn(truth.ProjectOpt(j),
+                                  outcomes[static_cast<size_t>(j)]);
+    acc.total_cost += one.total_cost;
+    for (UserId i = 0; i < m; ++i) {
+      acc.user_value[static_cast<size_t>(i)] +=
+          one.user_value[static_cast<size_t>(i)];
+      acc.user_payment[static_cast<size_t>(i)] +=
+          one.user_payment[static_cast<size_t>(i)];
+    }
+  }
+  return acc;
+}
+
+Accounting AccountSubstOff(const SubstOfflineGame& truth,
+                           const SubstOffResult& outcome) {
+  const int m = truth.num_users();
+
+  Accounting acc;
+  acc.user_value.assign(static_cast<size_t>(m), 0.0);
+  acc.user_payment = outcome.payments;
+  acc.total_cost = outcome.ImplementedCost(truth.costs);
+  for (UserId i = 0; i < m; ++i) {
+    const OptId g = outcome.grant[static_cast<size_t>(i)];
+    if (g == kNoOpt) continue;
+    const auto& u = truth.users[static_cast<size_t>(i)];
+    // Value accrues only when the grant is truly useful to the user.
+    if (Contains(u.substitutes, g)) {
+      acc.user_value[static_cast<size_t>(i)] = u.value;
+    }
+  }
+  return acc;
+}
+
+Accounting AccountSubstOn(const SubstOnlineGame& truth,
+                          const SubstOnResult& outcome) {
+  const int m = truth.num_users();
+
+  Accounting acc;
+  acc.user_value.assign(static_cast<size_t>(m), 0.0);
+  acc.user_payment = outcome.payments;
+  acc.total_cost = outcome.ImplementedCost(truth.costs);
+
+  for (TimeSlot t = 1; t <= static_cast<TimeSlot>(outcome.serviced.size());
+       ++t) {
+    for (UserId i : outcome.serviced[static_cast<size_t>(t - 1)]) {
+      const auto& u = truth.users[static_cast<size_t>(i)];
+      const OptId g = outcome.grant[static_cast<size_t>(i)];
+      if (g != kNoOpt && Contains(u.substitutes, g)) {
+        acc.user_value[static_cast<size_t>(i)] += u.stream.At(t);
+      }
+    }
+  }
+  return acc;
+}
+
+}  // namespace optshare

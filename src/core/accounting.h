@@ -1,0 +1,70 @@
+// Accounting: measures what an outcome is *worth* by re-introducing true
+// values. Mechanisms only ever see bids; utility, cost-recovery and cloud
+// balance are judged against the true game here.
+//
+// Conventions (paper §3 and §7.1):
+//   total utility  = realized user value - cost of implemented optimizations
+//   user utility   = realized value - payment
+//   cloud balance  = payments - cost of implemented optimizations
+// A negative cloud balance means the cloud lost money (the mechanisms in
+// core/ never allow this; the Regret baseline can).
+#pragma once
+
+#include <vector>
+
+#include "core/add_off.h"
+#include "core/add_on.h"
+#include "core/game.h"
+#include "core/subst_off.h"
+#include "core/subst_on.h"
+
+namespace optshare {
+
+/// Value/payment/cost ledger of one mechanism outcome.
+struct Accounting {
+  std::vector<double> user_value;    ///< Realized true value per user.
+  std::vector<double> user_payment;  ///< Payment per user.
+  double total_cost = 0.0;           ///< Cost of implemented optimizations.
+
+  double TotalValue() const;
+  double TotalPayment() const;
+  /// Total social utility: value minus cost (paper Eq. 3 objective).
+  double TotalUtility() const { return TotalValue() - total_cost; }
+  /// Provider's balance: payments minus cost (negative = cloud loss).
+  double CloudBalance() const { return TotalPayment() - total_cost; }
+  /// One user's utility U_i = V_i - P_i.
+  double UserUtility(UserId i) const {
+    return user_value[static_cast<size_t>(i)] -
+           user_payment[static_cast<size_t>(i)];
+  }
+  /// True iff payments cover the implemented cost (within tolerance).
+  bool CostRecovered() const;
+};
+
+/// Offline additive: realized value of user i is the sum of her true values
+/// over optimizations she was granted. `truth` supplies true values; its
+/// shape must match the game the mechanism ran on.
+Accounting AccountAddOff(const AdditiveOfflineGame& truth,
+                         const AddOffResult& outcome);
+
+/// Online additive, single optimization: user i realizes her true value at
+/// every slot where the outcome lists her as actively serviced.
+Accounting AccountAddOn(const AdditiveOnlineGame& truth,
+                        const AddOnResult& outcome);
+
+/// Online additive, several optimizations: sums the per-optimization ledgers.
+Accounting AccountAddOnAll(const MultiAdditiveOnlineGame& truth,
+                           const std::vector<AddOnResult>& outcomes);
+
+/// Offline substitutable: user i realizes v_i iff she was granted an
+/// optimization that belongs to her *true* substitute set.
+Accounting AccountSubstOff(const SubstOfflineGame& truth,
+                           const SubstOffResult& outcome);
+
+/// Online substitutable: user i realizes her true per-slot value from her
+/// grant slot through her active interval, iff the granted optimization is
+/// in her true substitute set.
+Accounting AccountSubstOn(const SubstOnlineGame& truth,
+                          const SubstOnResult& outcome);
+
+}  // namespace optshare

@@ -1,0 +1,54 @@
+#include "core/add_off.h"
+
+#include <cassert>
+
+namespace optshare {
+
+std::vector<OptId> AddOffResult::ImplementedOpts() const {
+  std::vector<OptId> out;
+  for (OptId j = 0; j < static_cast<OptId>(per_opt.size()); ++j) {
+    if (per_opt[static_cast<size_t>(j)].implemented) out.push_back(j);
+  }
+  return out;
+}
+
+bool AddOffResult::Granted(UserId i, OptId j) const {
+  const auto& r = per_opt[static_cast<size_t>(j)];
+  return r.implemented && r.serviced[static_cast<size_t>(i)];
+}
+
+double AddOffResult::ImplementedCost(const std::vector<double>& costs) const {
+  assert(costs.size() == per_opt.size());
+  double sum = 0.0;
+  for (size_t j = 0; j < per_opt.size(); ++j) {
+    if (per_opt[j].implemented) sum += costs[j];
+  }
+  return sum;
+}
+
+AddOffResult RunAddOff(const AdditiveOfflineGame& game) {
+  assert(game.Validate().ok());
+  const int m = game.num_users();
+  const int n = game.num_opts();
+
+  AddOffResult result;
+  result.per_opt.reserve(static_cast<size_t>(n));
+  result.total_payment.assign(static_cast<size_t>(m), 0.0);
+
+  std::vector<double> column(static_cast<size_t>(m));
+  for (OptId j = 0; j < n; ++j) {
+    for (UserId i = 0; i < m; ++i) {
+      column[static_cast<size_t>(i)] =
+          game.bids[static_cast<size_t>(i)][static_cast<size_t>(j)];
+    }
+    ShapleyResult r = RunShapley(game.costs[static_cast<size_t>(j)], column);
+    for (UserId i = 0; i < m; ++i) {
+      result.total_payment[static_cast<size_t>(i)] +=
+          r.payments[static_cast<size_t>(i)];
+    }
+    result.per_opt.push_back(std::move(r));
+  }
+  return result;
+}
+
+}  // namespace optshare

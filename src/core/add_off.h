@@ -1,0 +1,32 @@
+// AddOff Mechanism (paper §4.2): offline pricing of *additive* optimizations.
+// Because values add across optimizations, each optimization is priced by an
+// independent run of the Shapley Value Mechanism; truthfulness and
+// cost-recovery are inherited per optimization.
+#pragma once
+
+#include <vector>
+
+#include "core/game.h"
+#include "core/shapley.h"
+
+namespace optshare {
+
+/// Outcome of AddOff over all optimizations of an offline additive game.
+struct AddOffResult {
+  /// Per-optimization Shapley outcome, indexed by OptId.
+  std::vector<ShapleyResult> per_opt;
+  /// Total payment P_i per user across all optimizations.
+  std::vector<double> total_payment;
+
+  /// Ids of implemented optimizations in increasing order.
+  std::vector<OptId> ImplementedOpts() const;
+  /// True iff user i was granted optimization j.
+  bool Granted(UserId i, OptId j) const;
+  /// Total cost of the implemented optimizations.
+  double ImplementedCost(const std::vector<double>& costs) const;
+};
+
+/// Runs AddOff on a validated game. Precondition: game.Validate().ok().
+AddOffResult RunAddOff(const AdditiveOfflineGame& game);
+
+}  // namespace optshare

@@ -1,0 +1,93 @@
+#include "core/add_on.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "core/shapley.h"
+
+namespace optshare {
+
+bool AddOnResult::InCumulative(UserId i, TimeSlot t) const {
+  if (t < 1 || t > static_cast<TimeSlot>(cumulative.size())) return false;
+  const auto& cs = cumulative[static_cast<size_t>(t - 1)];
+  return std::binary_search(cs.begin(), cs.end(), i);
+}
+
+double AddOnResult::TotalPayment() const {
+  double sum = 0.0;
+  for (double p : payments) sum += p;
+  return sum;
+}
+
+AddOnResult RunAddOn(const AdditiveOnlineGame& game) {
+  assert(game.Validate().ok());
+  const int m = game.num_users();
+  const int z = game.num_slots;
+
+  AddOnResult result;
+  result.serviced.resize(static_cast<size_t>(z));
+  result.cumulative.resize(static_cast<size_t>(z));
+  result.payments.assign(static_cast<size_t>(m), 0.0);
+  result.cost_share.assign(static_cast<size_t>(z), kInfiniteBid);
+
+  // in_cs[i]: i entered the cumulative serviced set at some earlier slot.
+  std::vector<bool> in_cs(static_cast<size_t>(m), false);
+  std::vector<double> residual(static_cast<size_t>(m));
+
+  for (TimeSlot t = 1; t <= z; ++t) {
+    for (UserId i = 0; i < m; ++i) {
+      const auto& u = game.users[static_cast<size_t>(i)];
+      if (in_cs[static_cast<size_t>(i)]) {
+        // Mechanism 2 line 5: force previously serviced users to stay.
+        residual[static_cast<size_t>(i)] = kInfiniteBid;
+      } else if (t >= u.start) {
+        // Line 7: remaining declared value from slot t onward.
+        residual[static_cast<size_t>(i)] = u.ResidualFrom(t);
+      } else {
+        // Line 9: bids are not visible before the user arrives.
+        residual[static_cast<size_t>(i)] = 0.0;
+      }
+    }
+
+    ShapleyResult sh = RunShapley(game.cost, residual);
+
+    auto& cs_t = result.cumulative[static_cast<size_t>(t - 1)];
+    auto& s_t = result.serviced[static_cast<size_t>(t - 1)];
+    if (sh.implemented) {
+      if (!result.implemented) {
+        result.implemented = true;
+        result.implemented_at = t;
+      }
+      result.cost_share[static_cast<size_t>(t - 1)] = sh.cost_share;
+      for (UserId i = 0; i < m; ++i) {
+        if (!sh.serviced[static_cast<size_t>(i)]) continue;
+        in_cs[static_cast<size_t>(i)] = true;
+        cs_t.push_back(i);
+        // Line 14: only users whose declared interval is still running are
+        // actively serviced.
+        if (t <= game.users[static_cast<size_t>(i)].end) s_t.push_back(i);
+      }
+    }
+
+    // Lines 15-19: users departing now pay the current share if serviced.
+    for (UserId i = 0; i < m; ++i) {
+      if (game.users[static_cast<size_t>(i)].end == t &&
+          sh.implemented && sh.serviced[static_cast<size_t>(i)]) {
+        result.payments[static_cast<size_t>(i)] = sh.cost_share;
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<AddOnResult> RunAddOnAll(const MultiAdditiveOnlineGame& game) {
+  assert(game.Validate().ok());
+  std::vector<AddOnResult> results;
+  results.reserve(static_cast<size_t>(game.num_opts()));
+  for (OptId j = 0; j < game.num_opts(); ++j) {
+    results.push_back(RunAddOn(game.ProjectOpt(j)));
+  }
+  return results;
+}
+
+}  // namespace optshare

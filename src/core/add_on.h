@@ -1,0 +1,53 @@
+// AddOn Mechanism (paper §5, Mechanism 2): online pricing of an additive
+// optimization when users join and leave over time slots 1..z.
+//
+// At each slot the Shapley Value Mechanism runs over *residual* bids
+// (the value each present user could still obtain from slot t onward).
+// Users serviced once stay serviced — their future bids are forced to
+// infinity so the cumulative serviced set CS_j(t) only grows, and the even
+// cost-share C_j/|CS_j(t)| only falls. A user pays exactly once, at her
+// declared departure slot e_i, the (lowest-so-far) share at that moment.
+//
+// Properties proven in the paper: truthful in the model-free sense
+// (Prop. 1), cost-recovering, and multi-identity bids cannot reduce other
+// users' utility (Prop. 2).
+#pragma once
+
+#include <vector>
+
+#include "core/game.h"
+
+namespace optshare {
+
+/// Outcome of AddOn for one optimization.
+struct AddOnResult {
+  /// True iff the optimization was implemented in some slot.
+  bool implemented = false;
+  /// First slot whose Shapley run yielded a non-empty serviced set
+  /// (0 when never implemented).
+  TimeSlot implemented_at = 0;
+  /// serviced[t-1] = S_j(t): users serviced *and active* at slot t.
+  std::vector<std::vector<UserId>> serviced;
+  /// cumulative[t-1] = CS_j(t): all users ever serviced up to slot t
+  /// (includes users already departed; Mechanism 2 keeps them at bid inf).
+  std::vector<std::vector<UserId>> cumulative;
+  /// Per-user payment, charged at the user's departure slot.
+  std::vector<double> payments;
+  /// cost_share[t-1] = C_j / |CS_j(t)| (infinity while CS is empty).
+  std::vector<double> cost_share;
+
+  /// True iff user i belongs to CS_j(t).
+  bool InCumulative(UserId i, TimeSlot t) const;
+  /// Sum of all user payments.
+  double TotalPayment() const;
+};
+
+/// Runs Mechanism 2 on a validated single-optimization online game.
+/// Precondition: game.Validate().ok().
+AddOnResult RunAddOn(const AdditiveOnlineGame& game);
+
+/// Runs AddOn independently for every optimization of a multi-optimization
+/// additive online game (additivity makes the runs independent).
+std::vector<AddOnResult> RunAddOnAll(const MultiAdditiveOnlineGame& game);
+
+}  // namespace optshare

@@ -1,0 +1,124 @@
+#include "core/game.h"
+
+#include <cmath>
+#include <unordered_set>
+
+namespace optshare {
+
+Status ValidateCosts(const std::vector<double>& costs) {
+  for (double c : costs) {
+    if (std::isnan(c) || std::isinf(c) || c <= 0.0) {
+      return Status::InvalidArgument(
+          "optimization costs must be finite and positive");
+    }
+  }
+  return Status::OK();
+}
+
+Status ValidateSubstituteSet(const std::vector<OptId>& substitutes,
+                             int num_opts) {
+  if (substitutes.empty()) {
+    return Status::InvalidArgument("substitute set J_i must be non-empty");
+  }
+  std::unordered_set<OptId> seen;
+  for (OptId j : substitutes) {
+    if (j < 0 || j >= num_opts) {
+      return Status::OutOfRange("substitute optimization id out of range");
+    }
+    if (!seen.insert(j).second) {
+      return Status::InvalidArgument("substitute set contains duplicates");
+    }
+  }
+  return Status::OK();
+}
+
+namespace {
+
+Status ValidateBidValue(double b) {
+  if (std::isnan(b) || std::isinf(b) || b < 0.0) {
+    return Status::InvalidArgument("bids must be finite and non-negative");
+  }
+  return Status::OK();
+}
+
+Status ValidateStreamWithin(const SlotValues& sv, int num_slots) {
+  OPTSHARE_RETURN_NOT_OK(sv.Validate());
+  if (sv.end > num_slots) {
+    return Status::OutOfRange("user interval extends past the game horizon");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status AdditiveOfflineGame::Validate() const {
+  OPTSHARE_RETURN_NOT_OK(ValidateCosts(costs));
+  for (const auto& row : bids) {
+    if (row.size() != costs.size()) {
+      return Status::InvalidArgument(
+          "bid matrix must be rectangular with one column per optimization");
+    }
+    for (double b : row) OPTSHARE_RETURN_NOT_OK(ValidateBidValue(b));
+  }
+  return Status::OK();
+}
+
+Status AdditiveOnlineGame::Validate() const {
+  if (num_slots < 1) {
+    return Status::InvalidArgument("game must have at least one slot");
+  }
+  OPTSHARE_RETURN_NOT_OK(ValidateCosts({cost}));
+  for (const auto& u : users) {
+    OPTSHARE_RETURN_NOT_OK(ValidateStreamWithin(u, num_slots));
+  }
+  return Status::OK();
+}
+
+Status MultiAdditiveOnlineGame::Validate() const {
+  if (num_slots < 1) {
+    return Status::InvalidArgument("game must have at least one slot");
+  }
+  OPTSHARE_RETURN_NOT_OK(ValidateCosts(costs));
+  for (const auto& row : bids) {
+    if (row.size() != costs.size()) {
+      return Status::InvalidArgument(
+          "bid matrix must be rectangular with one column per optimization");
+    }
+    for (const auto& sv : row) {
+      OPTSHARE_RETURN_NOT_OK(ValidateStreamWithin(sv, num_slots));
+    }
+  }
+  return Status::OK();
+}
+
+AdditiveOnlineGame MultiAdditiveOnlineGame::ProjectOpt(OptId j) const {
+  AdditiveOnlineGame g;
+  g.num_slots = num_slots;
+  g.cost = costs[static_cast<size_t>(j)];
+  g.users.reserve(bids.size());
+  for (const auto& row : bids) g.users.push_back(row[static_cast<size_t>(j)]);
+  return g;
+}
+
+Status SubstOfflineGame::Validate() const {
+  OPTSHARE_RETURN_NOT_OK(ValidateCosts(costs));
+  for (const auto& u : users) {
+    OPTSHARE_RETURN_NOT_OK(ValidateSubstituteSet(u.substitutes, num_opts()));
+    OPTSHARE_RETURN_NOT_OK(ValidateBidValue(u.value));
+  }
+  return Status::OK();
+}
+
+Status SubstOnlineGame::Validate() const {
+  if (num_slots < 1) {
+    return Status::InvalidArgument("game must have at least one slot");
+  }
+  OPTSHARE_RETURN_NOT_OK(ValidateCosts(costs));
+  for (const auto& u : users) {
+    OPTSHARE_RETURN_NOT_OK(ValidateStreamWithin(u.stream, num_slots));
+    OPTSHARE_RETURN_NOT_OK(ValidateSubstituteSet(u.substitutes, num_opts()));
+  }
+  return Status::OK();
+}
+
+}  // namespace optshare

@@ -1,0 +1,100 @@
+// Game descriptions: who the users are, which optimizations exist, what they
+// cost, and what each user *declares* (bids) or *truly derives* (values).
+// The same structs serve both roles — mechanisms consume a game of bids,
+// accounting consumes a game of true values.
+#pragma once
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/types.h"
+
+namespace optshare {
+
+/// Offline additive game (§4): m users, n optimizations, independent values.
+/// bids[i][j] is user i's declared value for optimization j.
+struct AdditiveOfflineGame {
+  std::vector<double> costs;               ///< Per-optimization cost C_j > 0.
+  std::vector<std::vector<double>> bids;   ///< [user][opt] declared values.
+
+  int num_users() const { return static_cast<int>(bids.size()); }
+  int num_opts() const { return static_cast<int>(costs.size()); }
+
+  /// Structural validity: rectangular bid matrix matching costs; positive
+  /// finite costs; non-negative finite bids.
+  Status Validate() const;
+};
+
+/// Online additive game for a *single* optimization (§5). Additive
+/// optimizations are priced independently, so the multi-optimization online
+/// game is simply one of these per optimization (see MultiAdditiveOnlineGame).
+struct AdditiveOnlineGame {
+  int num_slots = 1;                 ///< z: slots 1..z.
+  double cost = 0.0;                 ///< C_j.
+  std::vector<SlotValues> users;     ///< Declared (s_i, e_i, b_i(t)) per user.
+
+  int num_users() const { return static_cast<int>(users.size()); }
+
+  Status Validate() const;
+};
+
+/// Online additive game with several independent optimizations. Every user
+/// has one (s_i, e_i) interval; her value stream may differ per optimization.
+struct MultiAdditiveOnlineGame {
+  int num_slots = 1;
+  std::vector<double> costs;                       ///< C_j per optimization.
+  std::vector<std::vector<SlotValues>> bids;       ///< [user][opt].
+
+  int num_users() const { return static_cast<int>(bids.size()); }
+  int num_opts() const { return static_cast<int>(costs.size()); }
+
+  Status Validate() const;
+
+  /// Projects the single-optimization game for optimization j.
+  AdditiveOnlineGame ProjectOpt(OptId j) const;
+};
+
+/// One user of a substitutable offline game (§6): she values *any one*
+/// optimization in `substitutes` at `value`, and extra substitutes add
+/// nothing.
+struct SubstOfflineUser {
+  std::vector<OptId> substitutes;  ///< J_i, non-empty, distinct, in range.
+  double value = 0.0;              ///< v_i > 0.
+};
+
+/// Offline substitutable game (§6.1).
+struct SubstOfflineGame {
+  std::vector<double> costs;
+  std::vector<SubstOfflineUser> users;
+
+  int num_users() const { return static_cast<int>(users.size()); }
+  int num_opts() const { return static_cast<int>(costs.size()); }
+
+  Status Validate() const;
+};
+
+/// One user of an online substitutable game (§6.2): bid
+/// omega_i = (s_i, e_i, b_i(t), J_i).
+struct SubstOnlineUser {
+  SlotValues stream;               ///< (s_i, e_i, b_i(t)).
+  std::vector<OptId> substitutes;  ///< J_i.
+};
+
+/// Online substitutable game (§6.2).
+struct SubstOnlineGame {
+  int num_slots = 1;
+  std::vector<double> costs;
+  std::vector<SubstOnlineUser> users;
+
+  int num_users() const { return static_cast<int>(users.size()); }
+  int num_opts() const { return static_cast<int>(costs.size()); }
+
+  Status Validate() const;
+};
+
+/// Shared validation helpers.
+Status ValidateCosts(const std::vector<double>& costs);
+Status ValidateSubstituteSet(const std::vector<OptId>& substitutes,
+                             int num_opts);
+
+}  // namespace optshare

@@ -1,0 +1,92 @@
+#include "core/group_strategy.h"
+
+#include <cassert>
+
+#include "common/money.h"
+
+namespace optshare {
+namespace {
+
+std::vector<double> UtilitiesUnderBids(const CostSharingMethod& method,
+                                       const std::vector<double>& values,
+                                       const std::vector<double>& bids) {
+  const ShapleyResult r = RunMoulin(method, bids);
+  std::vector<double> utilities(values.size(), 0.0);
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (r.implemented && r.serviced[i]) {
+      utilities[i] = values[i] - r.payments[i];
+    }
+  }
+  return utilities;
+}
+
+}  // namespace
+
+GroupDeviationOutcome ProbeGroupDeviation(
+    const CostSharingMethod& method, const std::vector<double>& values,
+    const std::vector<UserId>& coalition,
+    const std::vector<double>& coalition_bids) {
+  assert(coalition.size() == coalition_bids.size());
+
+  const std::vector<double> truthful =
+      UtilitiesUnderBids(method, values, values);
+
+  std::vector<double> bids = values;
+  for (size_t k = 0; k < coalition.size(); ++k) {
+    bids[static_cast<size_t>(coalition[k])] = coalition_bids[k];
+  }
+  const std::vector<double> deviated =
+      UtilitiesUnderBids(method, values, bids);
+
+  GroupDeviationOutcome outcome;
+  bool nobody_worse = true;
+  bool somebody_better = false;
+  for (UserId i : coalition) {
+    const double delta = deviated[static_cast<size_t>(i)] -
+                         truthful[static_cast<size_t>(i)];
+    outcome.utility_delta.push_back(delta);
+    if (delta < -kMoneyEpsilon) nobody_worse = false;
+    if (delta > kMoneyEpsilon) somebody_better = true;
+  }
+  outcome.successful_manipulation = nobody_worse && somebody_better;
+  return outcome;
+}
+
+bool ExistsGroupManipulation(const CostSharingMethod& method,
+                             const std::vector<double>& values,
+                             int max_coalition_size,
+                             const std::vector<double>& grid) {
+  const int m = static_cast<int>(values.size());
+  assert(m <= 16);
+  for (int mask = 1; mask < (1 << m); ++mask) {
+    std::vector<UserId> coalition;
+    for (int i = 0; i < m; ++i) {
+      if (mask & (1 << i)) coalition.push_back(i);
+    }
+    if (static_cast<int>(coalition.size()) > max_coalition_size) continue;
+
+    // Enumerate grid^|coalition| joint deviations via odometer.
+    std::vector<size_t> pick(coalition.size(), 0);
+    while (true) {
+      std::vector<double> bids;
+      bids.reserve(coalition.size());
+      for (size_t k = 0; k < coalition.size(); ++k) {
+        bids.push_back(grid[pick[k]]);
+      }
+      if (ProbeGroupDeviation(method, values, coalition, bids)
+              .successful_manipulation) {
+        return true;
+      }
+      // Advance the odometer.
+      size_t d = 0;
+      while (d < pick.size() && ++pick[d] == grid.size()) {
+        pick[d] = 0;
+        ++d;
+      }
+      if (d == pick.size()) break;
+    }
+  }
+  return false;
+}
+
+}  // namespace optshare

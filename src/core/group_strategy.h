@@ -1,0 +1,40 @@
+// Group (coalition) strategy analysis. Moulin mechanisms with
+// cross-monotonic cost sharing are *group*-strategyproof: no coalition can
+// misreport so that every member is no worse off and some member is
+// strictly better off. This module provides the empirical coalition probe
+// used by property tests, and is exposed publicly so operators can audit
+// custom cost-sharing methods.
+#pragma once
+
+#include <vector>
+
+#include "core/moulin.h"
+
+namespace optshare {
+
+/// Outcome of probing one coalition deviation.
+struct GroupDeviationOutcome {
+  /// True iff every coalition member's utility is >= truthful (within
+  /// tolerance) and at least one is strictly greater.
+  bool successful_manipulation = false;
+  /// Per-coalition-member utility change (deviation minus truthful).
+  std::vector<double> utility_delta;
+};
+
+/// Evaluates one coalition deviation under a Moulin mechanism: members of
+/// `coalition` (user indices) bid `coalition_bids` (same order) while
+/// everyone else bids truthfully; utilities are measured against `values`.
+GroupDeviationOutcome ProbeGroupDeviation(
+    const CostSharingMethod& method, const std::vector<double>& values,
+    const std::vector<UserId>& coalition,
+    const std::vector<double>& coalition_bids);
+
+/// Searches all coalitions up to `max_coalition_size` over a deviation grid
+/// per member (grid size^|coalition| combinations — keep inputs small).
+/// Returns true iff some coalition finds a successful manipulation.
+bool ExistsGroupManipulation(const CostSharingMethod& method,
+                             const std::vector<double>& values,
+                             int max_coalition_size,
+                             const std::vector<double>& grid);
+
+}  // namespace optshare

@@ -1,0 +1,129 @@
+#include "core/moulin.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "common/money.h"
+
+namespace optshare {
+
+std::vector<double> EgalitarianSharing::Shares(
+    const std::vector<bool>& members) const {
+  int count = 0;
+  for (bool m : members) count += m ? 1 : 0;
+  assert(count > 0);
+  std::vector<double> shares(members.size(), 0.0);
+  const double share = cost_ / static_cast<double>(count);
+  for (size_t i = 0; i < members.size(); ++i) {
+    if (members[i]) shares[i] = share;
+  }
+  return shares;
+}
+
+Result<WeightedSharing> WeightedSharing::Make(double cost,
+                                              std::vector<double> weights) {
+  if (!(cost > 0.0)) {
+    return Status::InvalidArgument("service cost must be positive");
+  }
+  if (weights.empty()) {
+    return Status::InvalidArgument("need at least one weight");
+  }
+  for (double w : weights) {
+    if (!(w > 0.0) || std::isinf(w) || std::isnan(w)) {
+      return Status::InvalidArgument("weights must be positive and finite");
+    }
+  }
+  return WeightedSharing(cost, std::move(weights));
+}
+
+std::vector<double> WeightedSharing::Shares(
+    const std::vector<bool>& members) const {
+  assert(members.size() == weights_.size());
+  double total_weight = 0.0;
+  for (size_t i = 0; i < members.size(); ++i) {
+    if (members[i]) total_weight += weights_[i];
+  }
+  assert(total_weight > 0.0);
+  std::vector<double> shares(members.size(), 0.0);
+  for (size_t i = 0; i < members.size(); ++i) {
+    if (members[i]) shares[i] = cost_ * weights_[i] / total_weight;
+  }
+  return shares;
+}
+
+ShapleyResult RunMoulin(const CostSharingMethod& method,
+                        const std::vector<double>& bids) {
+  const size_t m = bids.size();
+  ShapleyResult result;
+  result.serviced.assign(m, true);
+  result.payments.assign(m, 0.0);
+
+  size_t remaining = m;
+  bool changed = true;
+  std::vector<double> shares;
+  while (remaining > 0 && changed) {
+    ++result.iterations;
+    shares = method.Shares(result.serviced);
+    changed = false;
+    for (size_t i = 0; i < m; ++i) {
+      if (!result.serviced[i]) continue;
+      if (!MoneyGe(bids[i], shares[i])) {
+        result.serviced[i] = false;
+        --remaining;
+        changed = true;
+      }
+    }
+  }
+
+  if (remaining == 0) {
+    result.serviced.assign(m, false);
+    return result;
+  }
+
+  result.implemented = true;
+  shares = method.Shares(result.serviced);
+  double max_share = 0.0;
+  for (size_t i = 0; i < m; ++i) {
+    if (result.serviced[i]) {
+      result.payments[i] = shares[i];
+      max_share = std::max(max_share, shares[i]);
+    }
+  }
+  // For unequal sharing methods cost_share reports the largest member
+  // share (for the egalitarian method this is the common share).
+  result.cost_share = max_share;
+  return result;
+}
+
+bool IsCrossMonotonic(const CostSharingMethod& method, int num_users,
+                      double tolerance) {
+  assert(num_users > 0 && num_users <= 16);
+  const int full = 1 << num_users;
+  for (int mask = 1; mask < full; ++mask) {
+    std::vector<bool> members(static_cast<size_t>(num_users));
+    int count = 0;
+    for (int i = 0; i < num_users; ++i) {
+      members[static_cast<size_t>(i)] = (mask >> i) & 1;
+      count += (mask >> i) & 1;
+    }
+    if (count < 2) continue;
+    const std::vector<double> base = method.Shares(members);
+    // Remove each member in turn; remaining members' shares must not drop.
+    for (int removed = 0; removed < num_users; ++removed) {
+      if (!members[static_cast<size_t>(removed)]) continue;
+      std::vector<bool> smaller = members;
+      smaller[static_cast<size_t>(removed)] = false;
+      const std::vector<double> after = method.Shares(smaller);
+      for (int i = 0; i < num_users; ++i) {
+        if (i == removed || !members[static_cast<size_t>(i)]) continue;
+        if (after[static_cast<size_t>(i)] <
+            base[static_cast<size_t>(i)] - tolerance) {
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace optshare

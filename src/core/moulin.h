@@ -1,0 +1,87 @@
+// Moulin mechanisms (Moulin & Shenker, 2001) — the family the paper's
+// Shapley Value Mechanism belongs to (paper §8: "We build on the Shapley
+// Value Mechanism, which is an instance of Moulin Mechanisms").
+//
+// A Moulin mechanism is parameterized by a *cost-sharing method* xi(S)
+// assigning each member of a candidate coalition S a share of the service
+// cost. The mechanism starts from the full user set and repeatedly evicts
+// users whose current share exceeds their bid, until the set is stable.
+// When xi is *cross-monotonic* — a user's share never decreases as the
+// coalition shrinks — the mechanism is (group-)strategyproof, and when xi
+// is budget-balanced it recovers the cost exactly.
+//
+// The egalitarian method xi_i(S) = C/|S| recovers RunShapley; the weighted
+// method splits C in proportion to exogenous user weights (e.g. tenant
+// tiers). Both are cross-monotonic and budget-balanced.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "core/shapley.h"
+
+namespace optshare {
+
+/// A cost-sharing method: shares of the service cost for a coalition.
+class CostSharingMethod {
+ public:
+  virtual ~CostSharingMethod() = default;
+
+  /// Returns one share per user; entries for users outside `members`
+  /// (members[i] == false) are ignored by the mechanism. The sum of member
+  /// shares must equal the service cost for budget balance. `members` has
+  /// one entry per user and at least one member.
+  virtual std::vector<double> Shares(const std::vector<bool>& members) const = 0;
+
+  /// Service cost this method splits.
+  virtual double cost() const = 0;
+};
+
+/// Egalitarian split xi_i(S) = C / |S| — the Shapley value of the uniform
+/// public-good cost function, i.e. exactly Mechanism 1's shares.
+class EgalitarianSharing final : public CostSharingMethod {
+ public:
+  explicit EgalitarianSharing(double cost) : cost_(cost) {}
+  std::vector<double> Shares(const std::vector<bool>& members) const override;
+  double cost() const override { return cost_; }
+
+ private:
+  double cost_;
+};
+
+/// Weighted proportional split xi_i(S) = C * w_i / sum_{k in S} w_k.
+/// Cross-monotonic for positive weights. Models tenant tiers (a "large"
+/// tenant shoulders a larger fraction of a shared structure).
+class WeightedSharing final : public CostSharingMethod {
+ public:
+  /// Requires every weight > 0; `Make` validates.
+  static Result<WeightedSharing> Make(double cost, std::vector<double> weights);
+
+  std::vector<double> Shares(const std::vector<bool>& members) const override;
+  double cost() const override { return cost_; }
+  const std::vector<double>& weights() const { return weights_; }
+
+ private:
+  WeightedSharing(double cost, std::vector<double> weights)
+      : cost_(cost), weights_(std::move(weights)) {}
+
+  double cost_;
+  std::vector<double> weights_;
+};
+
+/// Runs the Moulin mechanism for `method` against `bids` (one per user;
+/// kInfiniteBid allowed). Returns the same shape as RunShapley, with
+/// per-user (possibly unequal) payments. The number of bids must match the
+/// method's expectations (WeightedSharing: weights().size()).
+ShapleyResult RunMoulin(const CostSharingMethod& method,
+                        const std::vector<double>& bids);
+
+/// Empirical cross-monotonicity check used by tests and by callers
+/// supplying custom methods: verifies that removing any single member
+/// never lowers a remaining member's share, over all coalitions of the
+/// given user count (exponential; keep num_users small).
+bool IsCrossMonotonic(const CostSharingMethod& method, int num_users,
+                      double tolerance = 1e-9);
+
+}  // namespace optshare

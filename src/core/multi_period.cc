@@ -1,0 +1,53 @@
+#include "core/multi_period.h"
+
+#include <cassert>
+
+#include "common/money.h"
+
+namespace optshare {
+
+double MultiPeriodResult::TotalUtility() const {
+  double sum = 0.0;
+  for (const auto& l : ledgers) sum += l.TotalUtility();
+  return sum;
+}
+
+double MultiPeriodResult::TotalPayment() const {
+  double sum = 0.0;
+  for (const auto& l : ledgers) sum += l.TotalPayment();
+  return sum;
+}
+
+double MultiPeriodResult::TotalCost() const {
+  double sum = 0.0;
+  for (const auto& l : ledgers) sum += l.total_cost;
+  return sum;
+}
+
+bool MultiPeriodResult::AllPeriodsRecovered() const {
+  for (const auto& l : ledgers) {
+    if (!l.CostRecovered()) return false;
+  }
+  return true;
+}
+
+MultiPeriodResult RunMultiPeriod(std::vector<ServicePeriod> periods,
+                                 double rebuild_discount) {
+  assert(rebuild_discount >= 0.0 && rebuild_discount <= 1.0);
+  MultiPeriodResult result;
+  bool built_before = false;
+  for (auto& period : periods) {
+    if (built_before && rebuild_discount < 1.0) {
+      period.game.cost =
+          std::max(period.game.cost * rebuild_discount, 1e-12);
+    }
+    assert(period.game.Validate().ok());
+    AddOnResult outcome = RunAddOn(period.game);
+    result.ledgers.push_back(AccountAddOn(period.game, outcome));
+    built_before = built_before || outcome.implemented;
+    result.per_period.push_back(std::move(outcome));
+  }
+  return result;
+}
+
+}  // namespace optshare

@@ -1,0 +1,42 @@
+// Multi-period service (paper §5): "at the end of this time-period, the
+// optimization's cost is recomputed and all interested users must purchase
+// it again." This driver chains AddOn across consecutive periods: each
+// period has its own cost (e.g. maintenance-only once built) and its own
+// bid set; nothing carries over except what the caller encodes in the
+// per-period costs.
+#pragma once
+
+#include <vector>
+
+#include "core/accounting.h"
+#include "core/add_on.h"
+#include "core/game.h"
+
+namespace optshare {
+
+/// One period of a chained service: the game to play in that period.
+struct ServicePeriod {
+  AdditiveOnlineGame game;
+};
+
+/// Per-period outcome plus a running ledger.
+struct MultiPeriodResult {
+  std::vector<AddOnResult> per_period;
+  std::vector<Accounting> ledgers;  ///< Against each period's own values.
+
+  double TotalUtility() const;
+  double TotalPayment() const;
+  double TotalCost() const;
+  /// True iff every period individually recovered its cost.
+  bool AllPeriodsRecovered() const;
+};
+
+/// Runs AddOn period by period. Each period's game must validate.
+/// `rebuild_discount` in [0, 1] scales the cost of any period that follows
+/// a period in which the optimization was implemented (modeling
+/// maintenance-only re-purchase: the structure already exists). 1.0 keeps
+/// the declared costs.
+MultiPeriodResult RunMultiPeriod(std::vector<ServicePeriod> periods,
+                                 double rebuild_discount = 1.0);
+
+}  // namespace optshare

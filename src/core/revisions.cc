@@ -1,0 +1,159 @@
+#include "core/revisions.h"
+
+#include <cassert>
+
+#include "common/money.h"
+#include "core/shapley.h"
+
+namespace optshare {
+
+const SlotValues* RevisionSchedule::EffectiveAt(TimeSlot t) const {
+  const SlotValues* effective = nullptr;
+  for (const auto& rev : revisions) {
+    if (rev.submitted <= t) {
+      effective = &rev.stream;
+    } else {
+      break;
+    }
+  }
+  return effective;
+}
+
+TimeSlot RevisionSchedule::FinalEnd() const {
+  return revisions.empty() ? 0 : revisions.back().stream.end;
+}
+
+Status RevisionSchedule::Validate(int num_slots) const {
+  if (revisions.empty()) {
+    return Status::InvalidArgument("user has no declarations");
+  }
+  const BidRevision* prev = nullptr;
+  for (const auto& rev : revisions) {
+    OPTSHARE_RETURN_NOT_OK(rev.stream.Validate());
+    if (rev.stream.end > num_slots) {
+      return Status::OutOfRange("declared interval past the game horizon");
+    }
+    if (rev.submitted < 1 || rev.submitted > num_slots) {
+      return Status::OutOfRange("submission slot outside the horizon");
+    }
+    if (prev == nullptr) {
+      // The first declaration happens at the declared arrival (a bid
+      // cannot be retroactive: s_i >= submission).
+      if (rev.stream.start < rev.submitted) {
+        return Status::InvalidArgument(
+            "initial declaration is retroactive (start < submission)");
+      }
+    } else {
+      if (rev.submitted <= prev->submitted) {
+        return Status::InvalidArgument(
+            "revision submissions must be strictly increasing");
+      }
+      // The arrival is fixed by the first declaration.
+      if (rev.stream.start != prev->stream.start) {
+        return Status::InvalidArgument("revisions may not change the arrival");
+      }
+      // e_i may only grow (footnote 4).
+      if (rev.stream.end < prev->stream.end) {
+        return Status::InvalidArgument(
+            "revisions may not shorten the service interval");
+      }
+      // Values strictly in the past must be untouched, and future values
+      // may only rise.
+      for (TimeSlot t = rev.stream.start; t <= rev.stream.end; ++t) {
+        const double before = prev->stream.At(t);
+        const double after = rev.stream.At(t);
+        if (t < rev.submitted) {
+          if (!MoneyEq(before, after)) {
+            return Status::InvalidArgument(
+                "revision changes a value in the past");
+          }
+        } else if (after < before - kMoneyEpsilon) {
+          return Status::InvalidArgument(
+              "revisions may only raise future values");
+        }
+      }
+    }
+    prev = &rev;
+  }
+  return Status::OK();
+}
+
+Status RevisableOnlineGame::Validate() const {
+  if (num_slots < 1) {
+    return Status::InvalidArgument("game must have at least one slot");
+  }
+  OPTSHARE_RETURN_NOT_OK(ValidateCosts({cost}));
+  for (const auto& u : users) {
+    OPTSHARE_RETURN_NOT_OK(u.Validate(num_slots));
+  }
+  return Status::OK();
+}
+
+AddOnResult RunAddOnWithRevisions(const RevisableOnlineGame& game) {
+  assert(game.Validate().ok());
+  const int m = game.num_users();
+  const int z = game.num_slots;
+
+  AddOnResult result;
+  result.serviced.resize(static_cast<size_t>(z));
+  result.cumulative.resize(static_cast<size_t>(z));
+  result.payments.assign(static_cast<size_t>(m), 0.0);
+  result.cost_share.assign(static_cast<size_t>(z), kInfiniteBid);
+
+  std::vector<bool> in_cs(static_cast<size_t>(m), false);
+  std::vector<double> residual(static_cast<size_t>(m));
+
+  for (TimeSlot t = 1; t <= z; ++t) {
+    for (UserId i = 0; i < m; ++i) {
+      const SlotValues* stream =
+          game.users[static_cast<size_t>(i)].EffectiveAt(t);
+      if (in_cs[static_cast<size_t>(i)]) {
+        residual[static_cast<size_t>(i)] = kInfiniteBid;
+      } else if (stream != nullptr && t >= stream->start) {
+        residual[static_cast<size_t>(i)] = stream->ResidualFrom(t);
+      } else {
+        residual[static_cast<size_t>(i)] = 0.0;
+      }
+    }
+
+    ShapleyResult sh = RunShapley(game.cost, residual);
+
+    auto& cs_t = result.cumulative[static_cast<size_t>(t - 1)];
+    auto& s_t = result.serviced[static_cast<size_t>(t - 1)];
+    if (sh.implemented) {
+      if (!result.implemented) {
+        result.implemented = true;
+        result.implemented_at = t;
+      }
+      result.cost_share[static_cast<size_t>(t - 1)] = sh.cost_share;
+      for (UserId i = 0; i < m; ++i) {
+        if (!sh.serviced[static_cast<size_t>(i)]) continue;
+        in_cs[static_cast<size_t>(i)] = true;
+        cs_t.push_back(i);
+        const SlotValues* stream =
+            game.users[static_cast<size_t>(i)].EffectiveAt(t);
+        if (stream != nullptr && t <= stream->end) s_t.push_back(i);
+      }
+    }
+
+    // A user pays at her departure per the declaration in force then; a
+    // later revision extending e_i moves the payment slot with it.
+    for (UserId i = 0; i < m; ++i) {
+      const auto& schedule = game.users[static_cast<size_t>(i)];
+      const SlotValues* stream = schedule.EffectiveAt(t);
+      if (stream == nullptr || stream->end != t) continue;
+      // Only final if no future revision extends her stay.
+      bool extended_later = false;
+      for (const auto& rev : schedule.revisions) {
+        if (rev.submitted > t && rev.stream.end > t) extended_later = true;
+      }
+      if (extended_later) continue;
+      if (sh.implemented && sh.serviced[static_cast<size_t>(i)]) {
+        result.payments[static_cast<size_t>(i)] = sh.cost_share;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace optshare

@@ -1,0 +1,57 @@
+// Upward bid revisions (paper §5.1): "users are allowed to revise their
+// future bids upwards" — e.g. bid (1,3,[10,10,10]) at t=1, then at t=2
+// revise to b(2)=20, b(3)=10; the departure slot e_i may only grow.
+//
+// A RevisionSchedule is the user's declaration history; the effective bid
+// the mechanism sees at slot t is the latest declaration submitted at or
+// before t. AddOn runs exactly as Mechanism 2 with residuals taken from
+// the effective declaration, and the user pays at her *latest declared*
+// departure.
+#pragma once
+
+#include <vector>
+
+#include "core/add_on.h"
+#include "core/game.h"
+
+namespace optshare {
+
+/// One declaration: the stream the user announces starting at `submitted`.
+struct BidRevision {
+  TimeSlot submitted = 1;  ///< Slot at which this declaration is made.
+  SlotValues stream;       ///< The declared (s_i, e_i, b_i(t)).
+};
+
+/// A user's declaration history, ordered by submission slot.
+struct RevisionSchedule {
+  std::vector<BidRevision> revisions;
+
+  /// The declaration in force at slot t (the latest with submitted <= t);
+  /// nullptr before the first submission.
+  const SlotValues* EffectiveAt(TimeSlot t) const;
+
+  /// The final declared departure slot (0 when empty).
+  TimeSlot FinalEnd() const;
+
+  /// Checks the §5.1 rules: submissions strictly increasing, first
+  /// submission at the declared arrival; a revision may not be retroactive
+  /// (it can only change values at slots >= its submission), may only
+  /// *raise* future values, and may only extend the departure e_i.
+  Status Validate(int num_slots) const;
+};
+
+/// Online additive game with revisable bids (single optimization).
+struct RevisableOnlineGame {
+  int num_slots = 1;
+  double cost = 0.0;
+  std::vector<RevisionSchedule> users;
+
+  int num_users() const { return static_cast<int>(users.size()); }
+  Status Validate() const;
+};
+
+/// Runs Mechanism 2 over the effective declarations.
+/// Precondition: game.Validate().ok().
+AddOnResult RunAddOnWithRevisions(const RevisableOnlineGame& game);
+
+}  // namespace optshare

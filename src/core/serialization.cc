@@ -1,0 +1,250 @@
+#include "core/serialization.h"
+
+namespace optshare {
+namespace {
+
+JsonValue NumbersToJson(const std::vector<double>& xs) {
+  JsonValue arr = JsonValue::MakeArray();
+  for (double x : xs) arr.Append(JsonValue::Number(x));
+  return arr;
+}
+
+JsonValue OptIdsToJson(const std::vector<OptId>& xs) {
+  JsonValue arr = JsonValue::MakeArray();
+  for (OptId x : xs) arr.Append(JsonValue::Number(x));
+  return arr;
+}
+
+JsonValue StreamToJson(const SlotValues& sv) {
+  JsonValue obj = JsonValue::MakeObject();
+  obj.Set("start", JsonValue::Number(sv.start));
+  obj.Set("end", JsonValue::Number(sv.end));
+  obj.Set("values", NumbersToJson(sv.values));
+  return obj;
+}
+
+Result<std::vector<double>> NumbersFromJson(const JsonValue* v,
+                                            const std::string& field) {
+  if (v == nullptr || !v->is_array()) {
+    return Status::InvalidArgument("missing or non-array field: " + field);
+  }
+  std::vector<double> out;
+  out.reserve(v->AsArray().size());
+  for (const auto& item : v->AsArray()) {
+    if (!item.is_number()) {
+      return Status::InvalidArgument("non-numeric entry in " + field);
+    }
+    out.push_back(item.AsNumber());
+  }
+  return out;
+}
+
+Result<double> NumberFromJson(const JsonValue* v, const std::string& field) {
+  if (v == nullptr || !v->is_number()) {
+    return Status::InvalidArgument("missing or non-numeric field: " + field);
+  }
+  return v->AsNumber();
+}
+
+Result<int> IntFromJson(const JsonValue* v, const std::string& field) {
+  Result<double> d = NumberFromJson(v, field);
+  if (!d.ok()) return d.status();
+  const int i = static_cast<int>(*d);
+  if (static_cast<double>(i) != *d) {
+    return Status::InvalidArgument("field must be an integer: " + field);
+  }
+  return i;
+}
+
+Result<SlotValues> StreamFromJson(const JsonValue& v) {
+  if (!v.is_object()) {
+    return Status::InvalidArgument("user entry must be an object");
+  }
+  Result<int> start = IntFromJson(v.Find("start"), "start");
+  if (!start.ok()) return start.status();
+  Result<int> end = IntFromJson(v.Find("end"), "end");
+  if (!end.ok()) return end.status();
+  Result<std::vector<double>> values =
+      NumbersFromJson(v.Find("values"), "values");
+  if (!values.ok()) return values.status();
+  return SlotValues::Make(*start, *end, std::move(*values));
+}
+
+Result<std::vector<OptId>> OptIdsFromJson(const JsonValue* v,
+                                          const std::string& field) {
+  Result<std::vector<double>> nums = NumbersFromJson(v, field);
+  if (!nums.ok()) return nums.status();
+  std::vector<OptId> out;
+  out.reserve(nums->size());
+  for (double d : *nums) {
+    const OptId j = static_cast<OptId>(d);
+    if (static_cast<double>(j) != d) {
+      return Status::InvalidArgument("non-integer optimization id in " +
+                                     field);
+    }
+    out.push_back(j);
+  }
+  return out;
+}
+
+Status CheckType(const JsonValue& v, const std::string& expected) {
+  if (GameTypeOf(v) != expected) {
+    return Status::InvalidArgument("expected game type \"" + expected +
+                                   "\", found \"" + GameTypeOf(v) + "\"");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string GameTypeOf(const JsonValue& v) {
+  const JsonValue* type = v.Find("type");
+  return (type != nullptr && type->is_string()) ? type->AsString() : "";
+}
+
+JsonValue ToJson(const AdditiveOfflineGame& game) {
+  JsonValue obj = JsonValue::MakeObject();
+  obj.Set("type", JsonValue::Str("additive_offline"));
+  obj.Set("costs", NumbersToJson(game.costs));
+  JsonValue bids = JsonValue::MakeArray();
+  for (const auto& row : game.bids) bids.Append(NumbersToJson(row));
+  obj.Set("bids", std::move(bids));
+  return obj;
+}
+
+JsonValue ToJson(const AdditiveOnlineGame& game) {
+  JsonValue obj = JsonValue::MakeObject();
+  obj.Set("type", JsonValue::Str("additive_online"));
+  obj.Set("num_slots", JsonValue::Number(game.num_slots));
+  obj.Set("cost", JsonValue::Number(game.cost));
+  JsonValue users = JsonValue::MakeArray();
+  for (const auto& u : game.users) users.Append(StreamToJson(u));
+  obj.Set("users", std::move(users));
+  return obj;
+}
+
+JsonValue ToJson(const SubstOfflineGame& game) {
+  JsonValue obj = JsonValue::MakeObject();
+  obj.Set("type", JsonValue::Str("subst_offline"));
+  obj.Set("costs", NumbersToJson(game.costs));
+  JsonValue users = JsonValue::MakeArray();
+  for (const auto& u : game.users) {
+    JsonValue entry = JsonValue::MakeObject();
+    entry.Set("substitutes", OptIdsToJson(u.substitutes));
+    entry.Set("value", JsonValue::Number(u.value));
+    users.Append(std::move(entry));
+  }
+  obj.Set("users", std::move(users));
+  return obj;
+}
+
+JsonValue ToJson(const SubstOnlineGame& game) {
+  JsonValue obj = JsonValue::MakeObject();
+  obj.Set("type", JsonValue::Str("subst_online"));
+  obj.Set("num_slots", JsonValue::Number(game.num_slots));
+  obj.Set("costs", NumbersToJson(game.costs));
+  JsonValue users = JsonValue::MakeArray();
+  for (const auto& u : game.users) {
+    JsonValue entry = StreamToJson(u.stream);
+    entry.Set("substitutes", OptIdsToJson(u.substitutes));
+    users.Append(std::move(entry));
+  }
+  obj.Set("users", std::move(users));
+  return obj;
+}
+
+Result<AdditiveOfflineGame> AdditiveOfflineGameFromJson(const JsonValue& v) {
+  OPTSHARE_RETURN_NOT_OK(CheckType(v, "additive_offline"));
+  AdditiveOfflineGame game;
+  Result<std::vector<double>> costs = NumbersFromJson(v.Find("costs"), "costs");
+  if (!costs.ok()) return costs.status();
+  game.costs = std::move(*costs);
+  const JsonValue* bids = v.Find("bids");
+  if (bids == nullptr || !bids->is_array()) {
+    return Status::InvalidArgument("missing or non-array field: bids");
+  }
+  for (const auto& row : bids->AsArray()) {
+    Result<std::vector<double>> parsed = NumbersFromJson(&row, "bids row");
+    if (!parsed.ok()) return parsed.status();
+    game.bids.push_back(std::move(*parsed));
+  }
+  OPTSHARE_RETURN_NOT_OK(game.Validate());
+  return game;
+}
+
+Result<AdditiveOnlineGame> AdditiveOnlineGameFromJson(const JsonValue& v) {
+  OPTSHARE_RETURN_NOT_OK(CheckType(v, "additive_online"));
+  AdditiveOnlineGame game;
+  Result<int> slots = IntFromJson(v.Find("num_slots"), "num_slots");
+  if (!slots.ok()) return slots.status();
+  game.num_slots = *slots;
+  Result<double> cost = NumberFromJson(v.Find("cost"), "cost");
+  if (!cost.ok()) return cost.status();
+  game.cost = *cost;
+  const JsonValue* users = v.Find("users");
+  if (users == nullptr || !users->is_array()) {
+    return Status::InvalidArgument("missing or non-array field: users");
+  }
+  for (const auto& u : users->AsArray()) {
+    Result<SlotValues> stream = StreamFromJson(u);
+    if (!stream.ok()) return stream.status();
+    game.users.push_back(std::move(*stream));
+  }
+  OPTSHARE_RETURN_NOT_OK(game.Validate());
+  return game;
+}
+
+Result<SubstOfflineGame> SubstOfflineGameFromJson(const JsonValue& v) {
+  OPTSHARE_RETURN_NOT_OK(CheckType(v, "subst_offline"));
+  SubstOfflineGame game;
+  Result<std::vector<double>> costs = NumbersFromJson(v.Find("costs"), "costs");
+  if (!costs.ok()) return costs.status();
+  game.costs = std::move(*costs);
+  const JsonValue* users = v.Find("users");
+  if (users == nullptr || !users->is_array()) {
+    return Status::InvalidArgument("missing or non-array field: users");
+  }
+  for (const auto& u : users->AsArray()) {
+    SubstOfflineUser user;
+    Result<std::vector<OptId>> subs =
+        OptIdsFromJson(u.Find("substitutes"), "substitutes");
+    if (!subs.ok()) return subs.status();
+    user.substitutes = std::move(*subs);
+    Result<double> value = NumberFromJson(u.Find("value"), "value");
+    if (!value.ok()) return value.status();
+    user.value = *value;
+    game.users.push_back(std::move(user));
+  }
+  OPTSHARE_RETURN_NOT_OK(game.Validate());
+  return game;
+}
+
+Result<SubstOnlineGame> SubstOnlineGameFromJson(const JsonValue& v) {
+  OPTSHARE_RETURN_NOT_OK(CheckType(v, "subst_online"));
+  SubstOnlineGame game;
+  Result<int> slots = IntFromJson(v.Find("num_slots"), "num_slots");
+  if (!slots.ok()) return slots.status();
+  game.num_slots = *slots;
+  Result<std::vector<double>> costs = NumbersFromJson(v.Find("costs"), "costs");
+  if (!costs.ok()) return costs.status();
+  game.costs = std::move(*costs);
+  const JsonValue* users = v.Find("users");
+  if (users == nullptr || !users->is_array()) {
+    return Status::InvalidArgument("missing or non-array field: users");
+  }
+  for (const auto& u : users->AsArray()) {
+    SubstOnlineUser user;
+    Result<SlotValues> stream = StreamFromJson(u);
+    if (!stream.ok()) return stream.status();
+    user.stream = std::move(*stream);
+    Result<std::vector<OptId>> subs =
+        OptIdsFromJson(u.Find("substitutes"), "substitutes");
+    if (!subs.ok()) return subs.status();
+    user.substitutes = std::move(*subs);
+    game.users.push_back(std::move(user));
+  }
+  OPTSHARE_RETURN_NOT_OK(game.Validate());
+  return game;
+}
+
+}  // namespace optshare

@@ -1,0 +1,36 @@
+// JSON (de)serialization of game descriptions — the file format consumed
+// by the optshare CLI and usable by downstream tooling.
+//
+// Additive offline:
+//   {"type": "additive_offline", "costs": [..], "bids": [[..], ..]}
+// Additive online (single opt):
+//   {"type": "additive_online", "num_slots": z, "cost": c,
+//    "users": [{"start": s, "end": e, "values": [..]}, ..]}
+// Substitutable offline:
+//   {"type": "subst_offline", "costs": [..],
+//    "users": [{"substitutes": [..], "value": v}, ..]}
+// Substitutable online:
+//   {"type": "subst_online", "num_slots": z, "costs": [..],
+//    "users": [{"start": s, "end": e, "values": [..],
+//               "substitutes": [..]}, ..]}
+#pragma once
+
+#include "common/json.h"
+#include "core/game.h"
+
+namespace optshare {
+
+JsonValue ToJson(const AdditiveOfflineGame& game);
+JsonValue ToJson(const AdditiveOnlineGame& game);
+JsonValue ToJson(const SubstOfflineGame& game);
+JsonValue ToJson(const SubstOnlineGame& game);
+
+Result<AdditiveOfflineGame> AdditiveOfflineGameFromJson(const JsonValue& v);
+Result<AdditiveOnlineGame> AdditiveOnlineGameFromJson(const JsonValue& v);
+Result<SubstOfflineGame> SubstOfflineGameFromJson(const JsonValue& v);
+Result<SubstOnlineGame> SubstOnlineGameFromJson(const JsonValue& v);
+
+/// The "type" discriminator of a game document ("" when absent).
+std::string GameTypeOf(const JsonValue& v);
+
+}  // namespace optshare

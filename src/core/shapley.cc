@@ -1,0 +1,70 @@
+#include "core/shapley.h"
+
+#include <cassert>
+
+#include "common/money.h"
+
+namespace optshare {
+
+int ShapleyResult::NumServiced() const {
+  int n = 0;
+  for (bool s : serviced) n += s ? 1 : 0;
+  return n;
+}
+
+std::vector<UserId> ShapleyResult::ServicedUsers() const {
+  std::vector<UserId> out;
+  for (UserId i = 0; i < static_cast<UserId>(serviced.size()); ++i) {
+    if (serviced[static_cast<size_t>(i)]) out.push_back(i);
+  }
+  return out;
+}
+
+double ShapleyResult::TotalPayment() const {
+  double sum = 0.0;
+  for (double p : payments) sum += p;
+  return sum;
+}
+
+ShapleyResult RunShapley(double cost, const std::vector<double>& bids) {
+  assert(cost > 0.0 && "optimization cost must be positive");
+  const size_t m = bids.size();
+
+  ShapleyResult result;
+  result.serviced.assign(m, true);
+  result.payments.assign(m, 0.0);
+
+  size_t remaining = m;
+  bool changed = true;
+  double share = 0.0;
+  while (remaining > 0 && changed) {
+    ++result.iterations;
+    share = cost / static_cast<double>(remaining);
+    changed = false;
+    for (size_t i = 0; i < m; ++i) {
+      if (!result.serviced[i]) continue;
+      // Keep users willing to pay the even share (p <= b_ij, with tolerance
+      // so a bid exactly at the share is serviced).
+      if (!MoneyGe(bids[i], share)) {
+        result.serviced[i] = false;
+        --remaining;
+        changed = true;
+      }
+    }
+  }
+
+  if (remaining == 0) {
+    // No subset of users bid enough: the optimization is not implemented.
+    result.serviced.assign(m, false);
+    return result;
+  }
+
+  result.implemented = true;
+  result.cost_share = cost / static_cast<double>(remaining);
+  for (size_t i = 0; i < m; ++i) {
+    if (result.serviced[i]) result.payments[i] = result.cost_share;
+  }
+  return result;
+}
+
+}  // namespace optshare

@@ -1,0 +1,50 @@
+// Shapley Value Mechanism (paper §4.1, Mechanism 1) — the building block of
+// every mechanism in this library.
+//
+// Given one optimization with cost C and a bid per user, it finds the
+// largest user set S such that splitting C evenly over S charges each
+// member no more than her bid, by iteratively dropping users priced out at
+// the current even share. Serviced users all pay C/|S|; everyone else pays
+// nothing. The mechanism is truthful and cost-recovering (Moulin/Shenker),
+// and among such mechanisms minimizes the efficiency loss.
+#pragma once
+
+#include <vector>
+
+#include "core/types.h"
+
+namespace optshare {
+
+/// Outcome of one Shapley value run for a single optimization.
+struct ShapleyResult {
+  /// True iff some non-empty user set could cover the cost.
+  bool implemented = false;
+  /// serviced[i] — user i is granted access.
+  std::vector<bool> serviced;
+  /// Even share paid by each serviced user (C / |S|); 0 if not implemented.
+  double cost_share = 0.0;
+  /// Per-user payment: cost_share for serviced users, 0 otherwise.
+  std::vector<double> payments;
+  /// Number of even-split refinement rounds executed.
+  int iterations = 0;
+
+  /// Number of serviced users.
+  int NumServiced() const;
+  /// Ids of serviced users in increasing order.
+  std::vector<UserId> ServicedUsers() const;
+  /// Total collected payment (= cost when implemented, by construction).
+  double TotalPayment() const;
+};
+
+/// Runs Mechanism 1.
+///
+/// `bids` may contain kInfiniteBid (used by the online mechanisms to pin
+/// already-serviced users into the set); all finite bids must be >= 0.
+/// A bid equal to the even share (within kMoneyEpsilon) keeps the user in
+/// the set, matching the paper's `p <= b_ij` test.
+///
+/// Edge cases: with no users, or when every refinement empties the set, the
+/// optimization is not implemented. `cost` must be > 0.
+ShapleyResult RunShapley(double cost, const std::vector<double>& bids);
+
+}  // namespace optshare

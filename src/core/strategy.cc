@@ -1,0 +1,92 @@
+#include "core/strategy.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace optshare {
+
+double AddOffUtilityUnderBid(const AdditiveOfflineGame& truth, UserId i,
+                             const std::vector<double>& deviating_bids) {
+  assert(deviating_bids.size() == static_cast<size_t>(truth.num_opts()));
+  AdditiveOfflineGame declared = truth;
+  declared.bids[static_cast<size_t>(i)] = deviating_bids;
+  AddOffResult outcome = RunAddOff(declared);
+  // Realized value must come from true values, not the declared ones.
+  Accounting acc = AccountAddOff(truth, outcome);
+  return acc.UserUtility(i);
+}
+
+double AddOnUtilityUnderBid(const AdditiveOnlineGame& truth, UserId i,
+                            const SlotValues& deviating_stream) {
+  AdditiveOnlineGame declared = truth;
+  declared.users[static_cast<size_t>(i)] = deviating_stream;
+  AddOnResult outcome = RunAddOn(declared);
+
+  // Access follows the declaration; realized value follows the truth.
+  const auto& true_stream = truth.users[static_cast<size_t>(i)];
+  double value = 0.0;
+  for (TimeSlot t = 1; t <= truth.num_slots; ++t) {
+    const auto& s_t = outcome.serviced[static_cast<size_t>(t - 1)];
+    if (std::find(s_t.begin(), s_t.end(), i) != s_t.end()) {
+      value += true_stream.At(t);
+    }
+  }
+  return value - outcome.payments[static_cast<size_t>(i)];
+}
+
+double SubstOffUtilityUnderBid(const SubstOfflineGame& truth, UserId i,
+                               const std::vector<OptId>& deviating_substitutes,
+                               double deviating_value) {
+  SubstOfflineGame declared = truth;
+  declared.users[static_cast<size_t>(i)].substitutes = deviating_substitutes;
+  declared.users[static_cast<size_t>(i)].value = deviating_value;
+  SubstOffResult outcome = RunSubstOff(declared);
+  Accounting acc = AccountSubstOff(truth, outcome);
+  return acc.UserUtility(i);
+}
+
+double SubstOnUtilityUnderBid(const SubstOnlineGame& truth, UserId i,
+                              const SubstOnlineUser& deviation) {
+  SubstOnlineGame declared = truth;
+  declared.users[static_cast<size_t>(i)] = deviation;
+  SubstOnResult outcome = RunSubstOn(declared);
+
+  const auto& u_true = truth.users[static_cast<size_t>(i)];
+  const OptId g = outcome.grant[static_cast<size_t>(i)];
+  double value = 0.0;
+  if (g != kNoOpt &&
+      std::find(u_true.substitutes.begin(), u_true.substitutes.end(), g) !=
+          u_true.substitutes.end()) {
+    for (TimeSlot t = 1; t <= truth.num_slots; ++t) {
+      const auto& s_t = outcome.serviced[static_cast<size_t>(t - 1)];
+      if (std::find(s_t.begin(), s_t.end(), i) != s_t.end()) {
+        value += u_true.stream.At(t);
+      }
+    }
+  }
+  return value - outcome.payments[static_cast<size_t>(i)];
+}
+
+std::vector<double> CandidateDeviationBids(const std::vector<double>& costs,
+                                           const std::vector<double>& values,
+                                           int max_users) {
+  std::vector<double> candidates = {0.0};
+  auto add_with_perturbations = [&candidates](double x) {
+    if (x < 0.0) return;
+    candidates.push_back(x);
+    candidates.push_back(x + 1e-6);
+    if (x > 1e-6) candidates.push_back(x - 1e-6);
+  };
+  for (double c : costs) {
+    for (int k = 1; k <= max_users; ++k) {
+      add_with_perturbations(c / static_cast<double>(k));
+    }
+  }
+  for (double v : values) add_with_perturbations(v);
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+  return candidates;
+}
+
+}  // namespace optshare

@@ -1,0 +1,50 @@
+// Strategy analysis: utilities a single user obtains from deviating bids.
+// Used by the truthfulness property tests and by the examples to
+// demonstrate strategy-proofness empirically.
+//
+// For online mechanisms, truthfulness is model-free (paper §5.2): a user
+// evaluates her *worst-case* utility over future arrivals, and the paper
+// shows the worst case is "no further bids arrive". The helpers here
+// therefore run the game exactly as given (the no-future-arrivals
+// completion) and report the deviating user's realized utility.
+#pragma once
+
+#include <vector>
+
+#include "core/accounting.h"
+#include "core/game.h"
+
+namespace optshare {
+
+/// Utility of user i in an offline additive game when she bids
+/// `deviating_bids` (one bid per optimization) while everyone else bids
+/// truthfully. `truth` holds true values for all users.
+double AddOffUtilityUnderBid(const AdditiveOfflineGame& truth, UserId i,
+                             const std::vector<double>& deviating_bids);
+
+/// Utility of user i in an online additive game when she declares
+/// `deviating_stream` instead of her true stream. Other users bid
+/// truthfully; value is realized against her true stream.
+double AddOnUtilityUnderBid(const AdditiveOnlineGame& truth, UserId i,
+                            const SlotValues& deviating_stream);
+
+/// Utility of user i in an offline substitutable game when she declares
+/// (deviating_substitutes, deviating_value).
+double SubstOffUtilityUnderBid(const SubstOfflineGame& truth, UserId i,
+                               const std::vector<OptId>& deviating_substitutes,
+                               double deviating_value);
+
+/// Utility of user i in an online substitutable game under a deviating
+/// declaration.
+double SubstOnUtilityUnderBid(const SubstOnlineGame& truth, UserId i,
+                              const SubstOnlineUser& deviation);
+
+/// Candidate deviating bid values around the interesting thresholds of a
+/// game: 0, each cost split by each possible coalition size, each user's
+/// value, and small perturbations of these. Used to probe truthfulness
+/// without exhaustively scanning the reals.
+std::vector<double> CandidateDeviationBids(const std::vector<double>& costs,
+                                           const std::vector<double>& values,
+                                           int max_users);
+
+}  // namespace optshare

@@ -1,0 +1,108 @@
+#include "core/subst_off.h"
+
+#include <cassert>
+#include <limits>
+
+#include "common/money.h"
+#include "core/shapley.h"
+
+namespace optshare {
+
+bool SubstOffResult::Implemented(OptId j) const {
+  for (OptId k : implemented) {
+    if (k == j) return true;
+  }
+  return false;
+}
+
+std::vector<UserId> SubstOffResult::GrantedUsers(OptId j) const {
+  std::vector<UserId> out;
+  for (UserId i = 0; i < static_cast<UserId>(grant.size()); ++i) {
+    if (grant[static_cast<size_t>(i)] == j) out.push_back(i);
+  }
+  return out;
+}
+
+double SubstOffResult::ImplementedCost(
+    const std::vector<double>& costs) const {
+  double sum = 0.0;
+  for (OptId j : implemented) sum += costs[static_cast<size_t>(j)];
+  return sum;
+}
+
+double SubstOffResult::TotalPayment() const {
+  double sum = 0.0;
+  for (double p : payments) sum += p;
+  return sum;
+}
+
+SubstOffResult RunSubstOffMatrix(const std::vector<double>& costs,
+                                 std::vector<std::vector<double>> bids) {
+  const int m = static_cast<int>(bids.size());
+  const int n = static_cast<int>(costs.size());
+
+  SubstOffResult result;
+  result.grant.assign(static_cast<size_t>(m), kNoOpt);
+  result.payments.assign(static_cast<size_t>(m), 0.0);
+
+  std::vector<bool> opt_done(static_cast<size_t>(n), false);
+  std::vector<double> column(static_cast<size_t>(m));
+
+  // Each phase implements one optimization, so at most n phases run.
+  for (int phase = 0; phase < n; ++phase) {
+    OptId best = kNoOpt;
+    double best_share = std::numeric_limits<double>::infinity();
+    ShapleyResult best_result;
+
+    for (OptId j = 0; j < n; ++j) {
+      if (opt_done[static_cast<size_t>(j)]) continue;
+      for (UserId i = 0; i < m; ++i) {
+        column[static_cast<size_t>(i)] =
+            bids[static_cast<size_t>(i)][static_cast<size_t>(j)];
+      }
+      ShapleyResult sh = RunShapley(costs[static_cast<size_t>(j)], column);
+      if (!sh.implemented) continue;
+      // Strict < breaks ties toward the lowest optimization id.
+      if (sh.cost_share < best_share - kMoneyEpsilon ||
+          (best == kNoOpt)) {
+        best = j;
+        best_share = sh.cost_share;
+        best_result = std::move(sh);
+      }
+    }
+
+    if (best == kNoOpt) break;  // No feasible optimization remains.
+
+    result.implemented.push_back(best);
+    result.cost_share.push_back(best_result.cost_share);
+    opt_done[static_cast<size_t>(best)] = true;
+    for (UserId i = 0; i < m; ++i) {
+      if (!best_result.serviced[static_cast<size_t>(i)]) continue;
+      result.grant[static_cast<size_t>(i)] = best;
+      result.payments[static_cast<size_t>(i)] = best_result.cost_share;
+      // Granted users stop bidding for every other optimization.
+      for (OptId j = 0; j < n; ++j) {
+        bids[static_cast<size_t>(i)][static_cast<size_t>(j)] = 0.0;
+      }
+    }
+  }
+  return result;
+}
+
+SubstOffResult RunSubstOff(const SubstOfflineGame& game) {
+  assert(game.Validate().ok());
+  const int m = game.num_users();
+  const int n = game.num_opts();
+
+  std::vector<std::vector<double>> bids(
+      static_cast<size_t>(m), std::vector<double>(static_cast<size_t>(n), 0.0));
+  for (UserId i = 0; i < m; ++i) {
+    const auto& u = game.users[static_cast<size_t>(i)];
+    for (OptId j : u.substitutes) {
+      bids[static_cast<size_t>(i)][static_cast<size_t>(j)] = u.value;
+    }
+  }
+  return RunSubstOffMatrix(game.costs, std::move(bids));
+}
+
+}  // namespace optshare

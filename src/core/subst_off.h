@@ -1,0 +1,51 @@
+// SubstOff Mechanism (paper §6.1, Mechanism 3): offline pricing of
+// *substitutable* optimizations. Each user values any one optimization from
+// her substitute set J_i at v_i and gains nothing from further ones.
+//
+// The mechanism proceeds in phases: run the Shapley Value Mechanism for
+// every optimization independently, implement the feasible optimization with
+// the smallest even cost-share, grant it to its serviced users, remove those
+// users (their bids drop to 0) and that optimization, and repeat until no
+// optimization is feasible. Truthful when users do not know others' bids,
+// and cost-recovering.
+#pragma once
+
+#include <vector>
+
+#include "core/game.h"
+
+namespace optshare {
+
+/// Outcome of SubstOff.
+struct SubstOffResult {
+  /// Implemented optimizations in phase (selection) order.
+  std::vector<OptId> implemented;
+  /// Per-user granted optimization (kNoOpt when unserviced).
+  std::vector<OptId> grant;
+  /// Per-user payment (the cost-share of the granted optimization).
+  std::vector<double> payments;
+  /// cost_share[k]: even share charged for implemented[k].
+  std::vector<double> cost_share;
+
+  /// True iff optimization j was implemented.
+  bool Implemented(OptId j) const;
+  /// Users granted optimization j, increasing order.
+  std::vector<UserId> GrantedUsers(OptId j) const;
+  /// Total cost of implemented optimizations.
+  double ImplementedCost(const std::vector<double>& costs) const;
+  /// Sum of all payments.
+  double TotalPayment() const;
+};
+
+/// Runs Mechanism 3 on a validated game. Ties for the minimum cost-share
+/// break toward the lowest optimization id (deterministic; the paper permits
+/// any choice). Precondition: game.Validate().ok().
+SubstOffResult RunSubstOff(const SubstOfflineGame& game);
+
+/// Lower-level entry point used by SubstOn: bids arrive as a dense
+/// [user][opt] matrix where a zero bid means "not interested" and
+/// kInfiniteBid pins a user to an optimization. Costs must be positive.
+SubstOffResult RunSubstOffMatrix(const std::vector<double>& costs,
+                                 std::vector<std::vector<double>> bids);
+
+}  // namespace optshare

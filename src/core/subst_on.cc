@@ -1,0 +1,97 @@
+#include "core/subst_on.h"
+
+#include <cassert>
+
+namespace optshare {
+
+std::vector<OptId> SubstOnResult::ImplementedOpts() const {
+  std::vector<OptId> out;
+  for (OptId j = 0; j < static_cast<OptId>(implemented_at.size()); ++j) {
+    if (implemented_at[static_cast<size_t>(j)] > 0) out.push_back(j);
+  }
+  return out;
+}
+
+double SubstOnResult::ImplementedCost(const std::vector<double>& costs) const {
+  double sum = 0.0;
+  for (OptId j : ImplementedOpts()) sum += costs[static_cast<size_t>(j)];
+  return sum;
+}
+
+double SubstOnResult::TotalPayment() const {
+  double sum = 0.0;
+  for (double p : payments) sum += p;
+  return sum;
+}
+
+SubstOnResult RunSubstOn(const SubstOnlineGame& game) {
+  assert(game.Validate().ok());
+  const int m = game.num_users();
+  const int n = game.num_opts();
+  const int z = game.num_slots;
+
+  SubstOnResult result;
+  result.grant.assign(static_cast<size_t>(m), kNoOpt);
+  result.grant_slot.assign(static_cast<size_t>(m), 0);
+  result.payments.assign(static_cast<size_t>(m), 0.0);
+  result.implemented_at.assign(static_cast<size_t>(n), 0);
+  result.serviced.resize(static_cast<size_t>(z));
+
+  std::vector<std::vector<double>> bids(
+      static_cast<size_t>(m), std::vector<double>(static_cast<size_t>(n)));
+
+  for (TimeSlot t = 1; t <= z; ++t) {
+    for (UserId i = 0; i < m; ++i) {
+      auto& row = bids[static_cast<size_t>(i)];
+      const auto& u = game.users[static_cast<size_t>(i)];
+      const OptId granted = result.grant[static_cast<size_t>(i)];
+      if (granted != kNoOpt) {
+        // Once serviced by j, the user is pinned to j: infinite bid on j,
+        // zero on everything else (no switching).
+        for (OptId j = 0; j < n; ++j) {
+          row[static_cast<size_t>(j)] = (j == granted) ? kInfiniteBid : 0.0;
+        }
+      } else if (t >= u.stream.start) {
+        const double residual = u.stream.ResidualFrom(t);
+        for (OptId j = 0; j < n; ++j) row[static_cast<size_t>(j)] = 0.0;
+        for (OptId j : u.substitutes) {
+          row[static_cast<size_t>(j)] = residual;
+        }
+      } else {
+        // Not yet arrived: invisible to the mechanism.
+        for (OptId j = 0; j < n; ++j) row[static_cast<size_t>(j)] = 0.0;
+      }
+    }
+
+    SubstOffResult off = RunSubstOffMatrix(game.costs, bids);
+
+    for (OptId j : off.implemented) {
+      if (result.implemented_at[static_cast<size_t>(j)] == 0) {
+        result.implemented_at[static_cast<size_t>(j)] = t;
+      }
+    }
+
+    auto& s_t = result.serviced[static_cast<size_t>(t - 1)];
+    for (UserId i = 0; i < m; ++i) {
+      const OptId g = off.grant[static_cast<size_t>(i)];
+      if (g == kNoOpt) continue;
+      if (result.grant[static_cast<size_t>(i)] == kNoOpt) {
+        result.grant[static_cast<size_t>(i)] = g;
+        result.grant_slot[static_cast<size_t>(i)] = t;
+      }
+      // A pinned user is always re-granted her optimization; record her as
+      // actively serviced while her declared interval lasts.
+      if (t <= game.users[static_cast<size_t>(i)].stream.end) {
+        s_t.push_back(i);
+      }
+      // Users departing now pay the share computed by this run.
+      if (game.users[static_cast<size_t>(i)].stream.end == t) {
+        result.payments[static_cast<size_t>(i)] =
+            off.payments[static_cast<size_t>(i)];
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace optshare

@@ -1,0 +1,41 @@
+// SubstOn Mechanism (paper §6.2, Mechanism 4): online pricing of
+// substitutable optimizations. Runs SubstOff each slot over residual bids.
+// The first time a user is granted an optimization j, her bid for j becomes
+// infinite and her bids for all other optimizations become zero: she can
+// never switch, which Example 8 shows is crucial for truthfulness. Users pay
+// the cost-share computed at their departure slot.
+#pragma once
+
+#include <vector>
+
+#include "core/game.h"
+#include "core/subst_off.h"
+
+namespace optshare {
+
+/// Outcome of SubstOn.
+struct SubstOnResult {
+  /// Per-user granted optimization (kNoOpt when never serviced).
+  std::vector<OptId> grant;
+  /// Slot at which each user was first granted (0 when never serviced).
+  std::vector<TimeSlot> grant_slot;
+  /// Per-user payment, assessed at the user's departure slot e_i.
+  std::vector<double> payments;
+  /// implemented_at[j]: first slot whose SubstOff run implemented j
+  /// (0 when j was never implemented).
+  std::vector<TimeSlot> implemented_at;
+  /// serviced[t-1] = union over j of S_j(t): users granted and still active.
+  std::vector<std::vector<UserId>> serviced;
+
+  /// Ids of implemented optimizations, increasing order.
+  std::vector<OptId> ImplementedOpts() const;
+  /// Total cost of implemented optimizations.
+  double ImplementedCost(const std::vector<double>& costs) const;
+  /// Sum of all payments.
+  double TotalPayment() const;
+};
+
+/// Runs Mechanism 4 on a validated game. Precondition: game.Validate().ok().
+SubstOnResult RunSubstOn(const SubstOnlineGame& game);
+
+}  // namespace optshare

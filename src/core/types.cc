@@ -1,0 +1,66 @@
+#include "core/types.h"
+
+#include <cmath>
+
+namespace optshare {
+
+Result<SlotValues> SlotValues::Make(TimeSlot start, TimeSlot end,
+                                    std::vector<double> values) {
+  SlotValues sv{start, end, std::move(values)};
+  Status st = sv.Validate();
+  if (!st.ok()) return st;
+  return sv;
+}
+
+SlotValues SlotValues::Constant(TimeSlot start, TimeSlot end, double value) {
+  SlotValues sv;
+  sv.start = start;
+  sv.end = end;
+  sv.values.assign(static_cast<size_t>(end - start + 1), value);
+  return sv;
+}
+
+SlotValues SlotValues::Single(TimeSlot slot, double value) {
+  return Constant(slot, slot, value);
+}
+
+double SlotValues::At(TimeSlot t) const {
+  if (t < start || t > end) return 0.0;
+  return values[static_cast<size_t>(t - start)];
+}
+
+double SlotValues::Total() const {
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum;
+}
+
+double SlotValues::ResidualFrom(TimeSlot t) const {
+  double sum = 0.0;
+  for (TimeSlot tau = std::max(t, start); tau <= end; ++tau) {
+    sum += values[static_cast<size_t>(tau - start)];
+  }
+  return sum;
+}
+
+Status SlotValues::Validate() const {
+  if (start < 1) {
+    return Status::InvalidArgument("slot interval must start at slot >= 1");
+  }
+  if (end < start) {
+    return Status::InvalidArgument("slot interval end precedes start");
+  }
+  if (values.size() != static_cast<size_t>(end - start + 1)) {
+    return Status::InvalidArgument(
+        "value stream length does not match interval length");
+  }
+  for (double v : values) {
+    if (std::isnan(v) || std::isinf(v) || v < 0.0) {
+      return Status::InvalidArgument(
+          "slot values must be finite and non-negative");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace optshare

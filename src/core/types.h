@@ -1,0 +1,69 @@
+// Fundamental identifiers and value-stream types shared by all mechanisms.
+//
+// Terminology follows the paper (Table 1): users i, optimizations j, time
+// slots t (1-based), outcomes/alternatives a. A bid is a *declared* value;
+// mechanisms never see true values, only bids. Accounting (accounting.h)
+// re-introduces true values to measure realized utility.
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "common/status.h"
+
+namespace optshare {
+
+/// Index of a user (0-based internally; examples print 1-based like the
+/// paper).
+using UserId = int;
+
+/// Index of an optimization (index, materialized view, replica, ...).
+using OptId = int;
+
+/// 1-based time slot within the pricing period T (paper §5.1).
+using TimeSlot = int;
+
+/// Sentinel "no optimization granted".
+inline constexpr OptId kNoOpt = -1;
+
+/// Bid value standing for "must be serviced" (used internally by the online
+/// mechanisms for already-serviced users; see Mechanism 2 line 5).
+inline constexpr double kInfiniteBid = std::numeric_limits<double>::infinity();
+
+/// A per-slot value stream over a user's declared service interval
+/// [start, end] (both inclusive). values[k] is the value at slot start + k.
+/// Outside the interval the value is 0 (paper: v_ij(t) = 0 for t < s_i or
+/// t > e_i).
+struct SlotValues {
+  TimeSlot start = 1;
+  TimeSlot end = 1;
+  std::vector<double> values;
+
+  /// Builds a stream; validates interval and length.
+  static Result<SlotValues> Make(TimeSlot start, TimeSlot end,
+                                 std::vector<double> values);
+
+  /// A stream with the same value in every slot of [start, end].
+  static SlotValues Constant(TimeSlot start, TimeSlot end, double value);
+
+  /// A single-slot stream.
+  static SlotValues Single(TimeSlot slot, double value);
+
+  /// Value at slot t (0 outside [start, end]).
+  double At(TimeSlot t) const;
+
+  /// Total value over the whole interval.
+  double Total() const;
+
+  /// Residual value sum_{tau >= t} v(tau) — Mechanism 2 line 7.
+  double ResidualFrom(TimeSlot t) const;
+
+  /// Number of slots in the interval.
+  int Length() const { return end - start + 1; }
+
+  /// Structural validity: start >= 1, end >= start, values.size() == length,
+  /// all values finite and non-negative.
+  Status Validate() const;
+};
+
+}  // namespace optshare

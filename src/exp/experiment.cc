@@ -1,0 +1,93 @@
+#include "exp/experiment.h"
+
+#include "baseline/regret.h"
+#include "core/accounting.h"
+#include "core/add_on.h"
+#include "core/subst_on.h"
+
+namespace optshare::exp {
+
+std::vector<double> LinearSweep(double start, double step, int count) {
+  std::vector<double> out;
+  out.reserve(static_cast<size_t>(count));
+  for (int k = 0; k < count; ++k) out.push_back(start + step * k);
+  return out;
+}
+
+std::vector<double> Fig2SmallCosts() { return LinearSweep(0.03, 0.18, 17); }
+std::vector<double> Fig2LargeCosts() { return LinearSweep(0.12, 0.72, 17); }
+std::vector<double> Fig4Costs() { return LinearSweep(0.03, 0.12, 15); }
+std::vector<double> Fig5Costs() { return LinearSweep(0.03, 0.15, 19); }
+
+std::vector<UtilityPoint> RunAdditiveComparison(
+    const AdditiveScenario& scenario, const std::vector<double>& costs,
+    int trials, uint64_t seed) {
+  Rng root(seed);
+  std::vector<UtilityPoint> points;
+  points.reserve(costs.size());
+  for (double cost : costs) {
+    UtilityPoint p;
+    p.cost = cost;
+    Rng rng = root.Fork(static_cast<uint64_t>(points.size()));
+    for (int trial = 0; trial < trials; ++trial) {
+      const AdditiveOnlineGame game = MakeAdditiveGame(scenario, cost, rng);
+
+      const AddOnResult mech = RunAddOn(game);
+      const Accounting acc = AccountAddOn(game, mech);
+      p.mech_utility += acc.TotalUtility();
+      p.mech_balance += acc.CloudBalance();
+
+      const RegretAdditiveResult reg = RunRegretAdditive(game);
+      p.regret_utility += reg.TotalUtility();
+      p.regret_balance += reg.CloudBalance();
+    }
+    const double n = static_cast<double>(trials);
+    p.mech_utility /= n;
+    p.mech_balance /= n;
+    p.regret_utility /= n;
+    p.regret_balance /= n;
+    points.push_back(p);
+  }
+  return points;
+}
+
+std::vector<UtilityPoint> RunSubstComparison(const SubstScenario& scenario,
+                                             const std::vector<double>& costs,
+                                             int trials, uint64_t seed) {
+  Rng root(seed);
+  std::vector<UtilityPoint> points;
+  points.reserve(costs.size());
+  for (double mean_cost : costs) {
+    UtilityPoint p;
+    p.cost = mean_cost;
+    Rng rng = root.Fork(static_cast<uint64_t>(points.size()));
+    for (int trial = 0; trial < trials; ++trial) {
+      const SubstOnlineGame game = MakeSubstGame(scenario, mean_cost, rng);
+
+      const SubstOnResult mech = RunSubstOn(game);
+      const Accounting acc = AccountSubstOn(game, mech);
+      p.mech_utility += acc.TotalUtility();
+      p.mech_balance += acc.CloudBalance();
+
+      const RegretSubstResult reg = RunRegretSubst(game);
+      p.regret_utility += reg.TotalUtility();
+      p.regret_balance += reg.CloudBalance();
+    }
+    const double n = static_cast<double>(trials);
+    p.mech_utility /= n;
+    p.mech_balance /= n;
+    p.regret_utility /= n;
+    p.regret_balance /= n;
+    points.push_back(p);
+  }
+  return points;
+}
+
+double MeanUtilityGap(const std::vector<UtilityPoint>& points) {
+  if (points.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& p : points) sum += p.mech_utility - p.regret_utility;
+  return sum / static_cast<double>(points.size());
+}
+
+}  // namespace optshare::exp

@@ -1,0 +1,45 @@
+// Shared experiment infrastructure: cost sweeps, trial aggregation, and the
+// comparison runners (mechanism vs Regret) every figure is built from.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "workload/scenario.h"
+
+namespace optshare::exp {
+
+/// `count` evenly spaced values start, start+step, ...
+std::vector<double> LinearSweep(double start, double step, int count);
+
+/// The paper's x-axes (figure tick spacing).
+std::vector<double> Fig2SmallCosts();   ///< 0.03 .. 2.91 step 0.18.
+std::vector<double> Fig2LargeCosts();   ///< 0.12 .. 11.64 step 0.72.
+std::vector<double> Fig4Costs();        ///< 0.03 .. 1.71 step 0.12.
+std::vector<double> Fig5Costs();        ///< 0.03 .. 2.73 step 0.15.
+
+/// One point of a mechanism-vs-Regret utility curve, averaged over trials.
+struct UtilityPoint {
+  double cost = 0.0;             ///< Mean optimization cost (x axis).
+  double mech_utility = 0.0;     ///< AddOn / SubstOn total utility.
+  double regret_utility = 0.0;   ///< Regret total utility.
+  double regret_balance = 0.0;   ///< Regret cloud balance (<0 = loss).
+  double mech_balance = 0.0;     ///< Mechanism balance (always >= 0).
+};
+
+/// Sweeps additive optimization costs, averaging AddOn and Regret over
+/// `trials` seeded game draws per cost (§7.3.1 setup).
+std::vector<UtilityPoint> RunAdditiveComparison(
+    const AdditiveScenario& scenario, const std::vector<double>& costs,
+    int trials, uint64_t seed);
+
+/// Same for substitutable optimizations (SubstOn vs substitutable Regret,
+/// §7.3.2): `mean_costs` are the x-axis means of the U[0, 2c] cost draws.
+std::vector<UtilityPoint> RunSubstComparison(const SubstScenario& scenario,
+                                             const std::vector<double>& costs,
+                                             int trials, uint64_t seed);
+
+/// Mean over the points' mech_utility - regret_utility (Figure 3's y axis).
+double MeanUtilityGap(const std::vector<UtilityPoint>& points);
+
+}  // namespace optshare::exp

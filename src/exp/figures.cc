@@ -1,0 +1,178 @@
+#include "exp/figures.h"
+
+#include "baseline/regret.h"
+#include "common/stats.h"
+#include "core/accounting.h"
+#include "core/add_on.h"
+
+namespace optshare::exp {
+
+std::vector<Fig1Point> RunFig1(const astro::AstroWorkloadModel& model,
+                               const Fig1Config& config) {
+  std::vector<Fig1Point> points;
+  points.reserve(config.executions.size());
+  Rng root(config.seed);
+
+  // The interval alternatives are resampled identically for every x value
+  // so the curves differ only in usage intensity.
+  std::vector<std::vector<std::pair<TimeSlot, TimeSlot>>> assignments;
+  {
+    Rng rng = root.Fork(0);
+    assignments.reserve(static_cast<size_t>(config.sampled_alternatives));
+    for (int a = 0; a < config.sampled_alternatives; ++a) {
+      assignments.push_back(
+          astro::SampleIntervals(4, model.num_users(), rng));
+    }
+  }
+
+  for (double executions : config.executions) {
+    Fig1Point p;
+    p.executions = executions;
+    for (int u = 0; u < model.num_users(); ++u) {
+      p.baseline_cost += model.BaselineDollarsPerExecution(u) * executions;
+    }
+
+    RunningStat addon_stat, regret_stat, balance_stat;
+    for (const auto& intervals : assignments) {
+      astro::AstroGameSpec spec;
+      spec.num_slots = 4;
+      spec.intervals = intervals;
+      spec.executions = executions;
+      auto game_r = astro::BuildAstroGame(model, spec);
+      if (!game_r.ok()) continue;  // Defensive; spec is always valid here.
+      const MultiAdditiveOnlineGame& game = *game_r;
+
+      const std::vector<AddOnResult> mech = RunAddOnAll(game);
+      const Accounting acc = AccountAddOnAll(game, mech);
+      addon_stat.Add(acc.TotalUtility());
+
+      const RegretLedger ledger = SumLedgers(RunRegretAdditiveAll(game));
+      regret_stat.Add(ledger.TotalUtility());
+      balance_stat.Add(ledger.CloudBalance());
+    }
+    p.addon_mean = addon_stat.mean();
+    p.addon_std = addon_stat.stddev();
+    p.regret_mean = regret_stat.mean();
+    p.regret_std = regret_stat.stddev();
+    p.regret_balance_mean = balance_stat.mean();
+    points.push_back(p);
+  }
+  return points;
+}
+
+Fig2Series RunFig2(const Fig2Config& config) {
+  Fig2Series series;
+
+  AdditiveScenario small_add;
+  small_add.num_users = 6;
+  small_add.num_slots = 12;
+  series.additive_small = RunAdditiveComparison(
+      small_add, Fig2SmallCosts(), config.trials, config.seed ^ 0xA1);
+
+  AdditiveScenario large_add = small_add;
+  large_add.num_users = 24;
+  series.additive_large = RunAdditiveComparison(
+      large_add, Fig2LargeCosts(), config.trials, config.seed ^ 0xA2);
+
+  SubstScenario small_sub;
+  small_sub.num_users = 6;
+  small_sub.num_slots = 12;
+  small_sub.num_opts = 12;
+  small_sub.substitutes_per_user = 3;
+  series.subst_small = RunSubstComparison(
+      small_sub, Fig2SmallCosts(), config.trials, config.seed ^ 0xA3);
+
+  SubstScenario large_sub = small_sub;
+  large_sub.num_users = 24;
+  series.subst_large = RunSubstComparison(
+      large_sub, Fig2LargeCosts(), config.trials, config.seed ^ 0xA4);
+
+  return series;
+}
+
+std::vector<Fig3Point> RunFig3SingleSlot(const Fig3Config& config) {
+  std::vector<Fig3Point> points;
+  for (int slots = 1; slots <= 12; ++slots) {
+    AdditiveScenario scenario;
+    scenario.num_users = 6;
+    scenario.num_slots = slots;
+    scenario.duration = 1;
+    const auto curve =
+        RunAdditiveComparison(scenario, Fig2SmallCosts(), config.trials,
+                              config.seed + static_cast<uint64_t>(slots));
+    points.push_back({slots, MeanUtilityGap(curve)});
+  }
+  return points;
+}
+
+std::vector<Fig3Point> RunFig3MultiSlot(const Fig3Config& config) {
+  std::vector<Fig3Point> points;
+  for (int d = 1; d <= 12; ++d) {
+    AdditiveScenario scenario;
+    scenario.num_users = 6;
+    scenario.num_slots = 12;
+    scenario.duration = d;
+    const auto curve = RunAdditiveComparison(
+        scenario, Fig2SmallCosts(), config.trials,
+        config.seed + 100 + static_cast<uint64_t>(d));
+    points.push_back({d, MeanUtilityGap(curve)});
+  }
+  return points;
+}
+
+std::vector<Fig4Point> RunFig4(const Fig4Config& config) {
+  const std::vector<double> costs = Fig4Costs();
+
+  auto run = [&](ArrivalProcess arrival, uint64_t salt) {
+    AdditiveScenario scenario;
+    scenario.num_users = 6;
+    scenario.num_slots = 12;
+    scenario.arrival = arrival;
+    return RunAdditiveComparison(scenario, costs, config.trials,
+                                 config.seed ^ salt);
+  };
+  const auto uniform = run(ArrivalProcess::kUniform, 0xB1);
+  const auto early = run(ArrivalProcess::kEarly, 0xB2);
+  const auto late = run(ArrivalProcess::kLate, 0xB3);
+
+  std::vector<Fig4Point> points;
+  points.reserve(costs.size());
+  for (size_t k = 0; k < costs.size(); ++k) {
+    Fig4Point p;
+    p.cost = costs[k];
+    p.uniform_addon = uniform[k].mech_utility;
+    p.uniform_regret = uniform[k].regret_utility;
+    p.early_addon = early[k].mech_utility;
+    p.early_regret = early[k].regret_utility;
+    p.late_addon = late[k].mech_utility;
+    p.late_regret = late[k].regret_utility;
+    points.push_back(p);
+  }
+  return points;
+}
+
+double Fig4Ratio(const Fig4Point& point, double value) {
+  if (point.early_addon == 0.0) return 0.0;
+  return value / point.early_addon;
+}
+
+Fig5Series RunFig5(const Fig5Config& config) {
+  Fig5Series series;
+
+  SubstScenario low;  // 3 substitutes of 4 optimizations.
+  low.num_users = 6;
+  low.num_slots = 12;
+  low.num_opts = 4;
+  low.substitutes_per_user = 3;
+  series.low_selectivity = RunSubstComparison(low, Fig5Costs(), config.trials,
+                                              config.seed ^ 0xC1);
+
+  SubstScenario high = low;  // 3 of 12.
+  high.num_opts = 12;
+  series.high_selectivity = RunSubstComparison(
+      high, Fig5Costs(), config.trials, config.seed ^ 0xC2);
+
+  return series;
+}
+
+}  // namespace optshare::exp

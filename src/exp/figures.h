@@ -1,0 +1,113 @@
+// One driver per paper figure. Each returns the plotted series so benches
+// print them, integration tests assert their shapes, and examples reuse
+// them. Figure/section mapping is in DESIGN.md §4.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "astro/astro_workload.h"
+#include "exp/experiment.h"
+#include "workload/arrival.h"
+
+namespace optshare::exp {
+
+// ---------------------------------------------------------------------------
+// Figure 1 — astronomy use-case (§7.2).
+
+struct Fig1Point {
+  double executions = 0.0;       ///< Workload executions per user (x axis).
+  double baseline_cost = 0.0;    ///< Operating expense without views.
+  double addon_mean = 0.0;       ///< AddOn total utility, mean over bids.
+  double addon_std = 0.0;
+  double regret_mean = 0.0;      ///< Regret total utility.
+  double regret_std = 0.0;
+  double regret_balance_mean = 0.0;
+};
+
+struct Fig1Config {
+  std::vector<double> executions = {1, 10, 20, 30, 40, 50, 60, 70, 80, 90};
+  /// Bid-interval assignments sampled from the 10^6 alternatives
+  /// (DESIGN.md §3 documents the sampling substitution).
+  int sampled_alternatives = 500;
+  uint64_t seed = 20120827;  ///< VLDB'12 started Aug 27, 2012.
+};
+
+std::vector<Fig1Point> RunFig1(const astro::AstroWorkloadModel& model,
+                               const Fig1Config& config);
+
+// ---------------------------------------------------------------------------
+// Figure 2 — collaboration size (§7.3).
+
+struct Fig2Series {
+  std::vector<UtilityPoint> additive_small;  ///< (a) 6 users.
+  std::vector<UtilityPoint> additive_large;  ///< (b) 24 users.
+  std::vector<UtilityPoint> subst_small;     ///< (c) 6 users.
+  std::vector<UtilityPoint> subst_large;     ///< (d) 24 users.
+};
+
+struct Fig2Config {
+  int trials = 1000;
+  uint64_t seed = 2;
+};
+
+Fig2Series RunFig2(const Fig2Config& config);
+
+// ---------------------------------------------------------------------------
+// Figure 3 — overlap in usage (§7.4).
+
+struct Fig3Point {
+  int x = 0;          ///< (a): total slots; (b): bid duration d.
+  double gap = 0.0;   ///< Mean AddOn utility minus Regret utility.
+};
+
+struct Fig3Config {
+  int trials = 400;
+  uint64_t seed = 3;
+};
+
+/// (a): 6 users bidding one slot while the horizon shrinks 12 -> 1.
+std::vector<Fig3Point> RunFig3SingleSlot(const Fig3Config& config);
+/// (b): 12-slot horizon, users bid d contiguous slots, d = 1..12.
+std::vector<Fig3Point> RunFig3MultiSlot(const Fig3Config& config);
+
+// ---------------------------------------------------------------------------
+// Figure 4 — arrival skew (§7.5).
+
+struct Fig4Point {
+  double cost = 0.0;
+  /// Utilities in paper order: Uniform/Early/Late x AddOn/Regret.
+  double uniform_addon = 0.0, uniform_regret = 0.0;
+  double early_addon = 0.0, early_regret = 0.0;
+  double late_addon = 0.0, late_regret = 0.0;
+};
+
+struct Fig4Config {
+  int trials = 1000;
+  uint64_t seed = 4;
+};
+
+/// Absolute utilities; the paper plots each divided by early_addon at the
+/// same cost (helper below).
+std::vector<Fig4Point> RunFig4(const Fig4Config& config);
+
+/// Ratio of `value` to the early-AddOn utility at the same point, the
+/// paper's y axis (0 when the denominator vanishes).
+double Fig4Ratio(const Fig4Point& point, double value);
+
+// ---------------------------------------------------------------------------
+// Figure 5 — selectivity of substitutes (§7.6).
+
+struct Fig5Series {
+  std::vector<UtilityPoint> low_selectivity;   ///< (a) 3 of 4 opts.
+  std::vector<UtilityPoint> high_selectivity;  ///< (b) 3 of 12 opts.
+};
+
+struct Fig5Config {
+  int trials = 1000;
+  uint64_t seed = 5;
+};
+
+Fig5Series RunFig5(const Fig5Config& config);
+
+}  // namespace optshare::exp

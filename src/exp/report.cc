@@ -1,0 +1,103 @@
+#include "exp/report.h"
+
+#include "common/csv.h"
+#include "common/table.h"
+
+namespace optshare::exp {
+
+std::string RenderFig1(const std::vector<Fig1Point>& points) {
+  TextTable t({"executions", "baseline_cost", "addon_utility", "addon_sd",
+               "regret_utility", "regret_sd", "regret_balance"});
+  for (const auto& p : points) {
+    t.AddNumericRow({p.executions, p.baseline_cost, p.addon_mean, p.addon_std,
+                     p.regret_mean, p.regret_std, p.regret_balance_mean},
+                    2);
+  }
+  return t.Render();
+}
+
+std::string RenderUtilityCurve(const std::vector<UtilityPoint>& points,
+                               const std::string& mech_name) {
+  TextTable t({"cost", mech_name + "_utility", "regret_utility",
+               "regret_balance"});
+  for (const auto& p : points) {
+    t.AddNumericRow(
+        {p.cost, p.mech_utility, p.regret_utility, p.regret_balance}, 4);
+  }
+  return t.Render();
+}
+
+std::string RenderFig3(const std::vector<Fig3Point>& points,
+                       const std::string& x_name) {
+  TextTable t({x_name, "addon_minus_regret"});
+  for (const auto& p : points) {
+    t.AddNumericRow({static_cast<double>(p.x), p.gap}, 4);
+  }
+  return t.Render();
+}
+
+std::string RenderFig4(const std::vector<Fig4Point>& points) {
+  TextTable t({"cost", "uniform_addon", "uniform_regret", "early_addon",
+               "early_regret", "late_addon", "late_regret"});
+  for (const auto& p : points) {
+    t.AddNumericRow({p.cost, Fig4Ratio(p, p.uniform_addon),
+                     Fig4Ratio(p, p.uniform_regret),
+                     Fig4Ratio(p, p.early_addon),
+                     Fig4Ratio(p, p.early_regret), Fig4Ratio(p, p.late_addon),
+                     Fig4Ratio(p, p.late_regret)},
+                    4);
+  }
+  return t.Render();
+}
+
+Status WriteFig1Csv(std::ostream* out, const std::vector<Fig1Point>& points) {
+  CsvWriter w(out);
+  OPTSHARE_RETURN_NOT_OK(w.WriteHeader({"executions", "baseline_cost",
+                                        "addon_utility", "addon_sd",
+                                        "regret_utility", "regret_sd",
+                                        "regret_balance"}));
+  for (const auto& p : points) {
+    OPTSHARE_RETURN_NOT_OK(w.WriteRow(std::vector<double>{
+        p.executions, p.baseline_cost, p.addon_mean, p.addon_std,
+        p.regret_mean, p.regret_std, p.regret_balance_mean}));
+  }
+  return Status::OK();
+}
+
+Status WriteUtilityCurveCsv(std::ostream* out,
+                            const std::vector<UtilityPoint>& points) {
+  CsvWriter w(out);
+  OPTSHARE_RETURN_NOT_OK(w.WriteHeader(
+      {"cost", "mech_utility", "regret_utility", "regret_balance"}));
+  for (const auto& p : points) {
+    OPTSHARE_RETURN_NOT_OK(w.WriteRow(std::vector<double>{
+        p.cost, p.mech_utility, p.regret_utility, p.regret_balance}));
+  }
+  return Status::OK();
+}
+
+Status WriteFig3Csv(std::ostream* out, const std::vector<Fig3Point>& points) {
+  CsvWriter w(out);
+  OPTSHARE_RETURN_NOT_OK(w.WriteHeader({"x", "addon_minus_regret"}));
+  for (const auto& p : points) {
+    OPTSHARE_RETURN_NOT_OK(
+        w.WriteRow(std::vector<double>{static_cast<double>(p.x), p.gap}));
+  }
+  return Status::OK();
+}
+
+Status WriteFig4Csv(std::ostream* out, const std::vector<Fig4Point>& points) {
+  CsvWriter w(out);
+  OPTSHARE_RETURN_NOT_OK(w.WriteHeader(
+      {"cost", "uniform_addon", "uniform_regret", "early_addon",
+       "early_regret", "late_addon", "late_regret"}));
+  for (const auto& p : points) {
+    OPTSHARE_RETURN_NOT_OK(w.WriteRow(std::vector<double>{
+        p.cost, Fig4Ratio(p, p.uniform_addon), Fig4Ratio(p, p.uniform_regret),
+        Fig4Ratio(p, p.early_addon), Fig4Ratio(p, p.early_regret),
+        Fig4Ratio(p, p.late_addon), Fig4Ratio(p, p.late_regret)}));
+  }
+  return Status::OK();
+}
+
+}  // namespace optshare::exp

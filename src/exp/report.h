@@ -1,0 +1,38 @@
+// Rendering of figure series as aligned text tables (what the bench
+// binaries print) and CSV files (for external plotting).
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "exp/figures.h"
+
+namespace optshare::exp {
+
+/// Figure 1 table: executions, baseline cost, AddOn/Regret utility +/- sd,
+/// Regret balance.
+std::string RenderFig1(const std::vector<Fig1Point>& points);
+
+/// Utility-curve table (Figures 2 and 5 panels): cost, mechanism utility,
+/// Regret utility, Regret balance. `mech_name` labels the mechanism column
+/// ("AddOn" or "SubstOn").
+std::string RenderUtilityCurve(const std::vector<UtilityPoint>& points,
+                               const std::string& mech_name);
+
+/// Figure 3 table: x (slots or duration) and the AddOn-Regret gap.
+std::string RenderFig3(const std::vector<Fig3Point>& points,
+                       const std::string& x_name);
+
+/// Figure 4 table of utility ratios relative to Early-AddOn.
+std::string RenderFig4(const std::vector<Fig4Point>& points);
+
+/// CSV exports matching the tables.
+Status WriteFig1Csv(std::ostream* out, const std::vector<Fig1Point>& points);
+Status WriteUtilityCurveCsv(std::ostream* out,
+                            const std::vector<UtilityPoint>& points);
+Status WriteFig3Csv(std::ostream* out, const std::vector<Fig3Point>& points);
+Status WriteFig4Csv(std::ostream* out, const std::vector<Fig4Point>& points);
+
+}  // namespace optshare::exp

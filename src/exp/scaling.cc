@@ -1,0 +1,38 @@
+#include "exp/scaling.h"
+
+namespace optshare::exp {
+
+std::vector<ScalingPoint> RunGroupScaling(const ScalingConfig& config) {
+  std::vector<ScalingPoint> points;
+  points.reserve(config.group_sizes.size());
+  for (int users : config.group_sizes) {
+    ScalingPoint p;
+    p.num_users = users;
+
+    AdditiveScenario additive;
+    additive.num_users = users;
+    additive.num_slots = 12;
+    const auto add_curve =
+        RunAdditiveComparison(additive, {config.cost}, config.trials,
+                              config.seed + static_cast<uint64_t>(users));
+    p.addon_utility = add_curve[0].mech_utility;
+    p.regret_utility = add_curve[0].regret_utility;
+    p.regret_balance = add_curve[0].regret_balance;
+
+    SubstScenario subst;
+    subst.num_users = users;
+    subst.num_slots = 12;
+    subst.num_opts = 12;
+    subst.substitutes_per_user = 3;
+    const auto sub_curve = RunSubstComparison(
+        subst, {config.cost}, config.trials,
+        config.seed + 1000 + static_cast<uint64_t>(users));
+    p.subst_utility = sub_curve[0].mech_utility;
+    p.subst_regret_utility = sub_curve[0].regret_utility;
+
+    points.push_back(p);
+  }
+  return points;
+}
+
+}  // namespace optshare::exp

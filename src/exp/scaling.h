@@ -1,0 +1,35 @@
+// Extension experiment (not a paper figure): total utility as the
+// collaboration grows, at a fixed optimization cost. §7.3 varies cost for
+// two group sizes; this driver fixes the cost and sweeps the size, which
+// shows where a collaboration becomes large enough to fund an optimization
+// under each approach.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "exp/experiment.h"
+
+namespace optshare::exp {
+
+struct ScalingPoint {
+  int num_users = 0;
+  double addon_utility = 0.0;
+  double regret_utility = 0.0;
+  double regret_balance = 0.0;
+  double subst_utility = 0.0;          ///< SubstOn (12 opts, 3 substitutes).
+  double subst_regret_utility = 0.0;
+};
+
+struct ScalingConfig {
+  /// Group sizes to sweep.
+  std::vector<int> group_sizes = {2, 4, 6, 9, 12, 18, 24, 36, 48};
+  /// Fixed additive optimization cost and substitutable mean cost.
+  double cost = 1.5;
+  int trials = 500;
+  uint64_t seed = 6;
+};
+
+std::vector<ScalingPoint> RunGroupScaling(const ScalingConfig& config);
+
+}  // namespace optshare::exp

@@ -1,0 +1,97 @@
+#include "service/cloud_service.h"
+
+#include <algorithm>
+
+#include "core/add_on.h"
+
+namespace optshare::service {
+
+int PeriodReport::ActiveStructures() const {
+  int n = 0;
+  for (const auto& s : structures) n += s.active ? 1 : 0;
+  return n;
+}
+
+CloudService::CloudService(simdb::Catalog catalog, ServiceConfig config)
+    : catalog_(std::move(catalog)), config_(config) {}
+
+Result<PeriodReport> CloudService::RunPeriod(
+    const std::vector<simdb::SimUser>& tenants) {
+  if (tenants.empty()) {
+    return Status::InvalidArgument("a period needs at least one tenant");
+  }
+  for (const auto& t : tenants) {
+    if (t.start < 1 || t.end < t.start || t.end > config_.slots_per_period) {
+      return Status::InvalidArgument(
+          "tenant interval outside the period's slots");
+    }
+  }
+
+  simdb::CostModel model(&catalog_);
+  simdb::PricingModel pricing(config_.pricing);
+  Result<std::vector<simdb::Proposal>> proposals_r = simdb::ProposeOptimizations(
+      catalog_, model, pricing, tenants, config_.advisor);
+  if (!proposals_r.ok()) return proposals_r.status();
+  const std::vector<simdb::Proposal>& proposals = *proposals_r;
+
+  PeriodReport report;
+  report.period = ++periods_run_;
+
+  // One AddOn game per proposal (additive structures are priced
+  // independently); carried-over structures cost maintenance only.
+  std::vector<std::string> next_built;
+  Accounting ledger;
+  ledger.user_value.assign(tenants.size(), 0.0);
+  ledger.user_payment.assign(tenants.size(), 0.0);
+
+  for (const auto& proposal : proposals) {
+    StructureOutcome outcome;
+    outcome.name = proposal.spec.DisplayName();
+    outcome.carried_over =
+        std::find(built_names_.begin(), built_names_.end(), outcome.name) !=
+        built_names_.end();
+    outcome.cost = outcome.carried_over
+                       ? std::max(proposal.cost * config_.maintenance_fraction,
+                                  1e-12)
+                       : proposal.cost;
+
+    AdditiveOnlineGame game;
+    game.num_slots = config_.slots_per_period;
+    game.cost = outcome.cost;
+    for (size_t i = 0; i < tenants.size(); ++i) {
+      const double per_slot =
+          proposal.user_savings[i] /
+          static_cast<double>(tenants[i].end - tenants[i].start + 1);
+      game.users.push_back(
+          SlotValues::Constant(tenants[i].start, tenants[i].end, per_slot));
+    }
+    Status st = game.Validate();
+    if (!st.ok()) return st;
+
+    const AddOnResult result = RunAddOn(game);
+    const Accounting acc = AccountAddOn(game, result);
+    outcome.active = result.implemented;
+    if (result.implemented) {
+      int subscribers = 0;
+      for (double p : result.payments) subscribers += p > 0.0 ? 1 : 0;
+      outcome.num_subscribers = subscribers;
+      next_built.push_back(outcome.name);
+      ledger.total_cost += acc.total_cost;
+      for (size_t i = 0; i < tenants.size(); ++i) {
+        ledger.user_value[i] += acc.user_value[i];
+        ledger.user_payment[i] += acc.user_payment[i];
+      }
+    } else if (outcome.carried_over) {
+      // Nobody renewed: the structure is dropped.
+    }
+    report.structures.push_back(std::move(outcome));
+  }
+
+  built_names_ = std::move(next_built);
+  cumulative_balance_ += ledger.CloudBalance();
+  cumulative_utility_ += ledger.TotalUtility();
+  report.ledger = std::move(ledger);
+  return report;
+}
+
+}  // namespace optshare::service

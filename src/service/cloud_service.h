@@ -1,0 +1,84 @@
+// CloudService: the integration layer a provider would deploy. Ties the
+// substrates together across billing periods:
+//
+//   per period:  observe tenant workloads  ->  advisor proposes candidate
+//   optimizations  ->  AddOn prices them over the period's slots  ->
+//   structures are built, tenants charged, ledger updated.
+//
+// Structures built in an earlier period persist; their re-purchase price in
+// later periods is maintenance-only (a configurable fraction of the build
+// cost), implementing §5's "cost is recomputed and all interested users
+// must purchase it again".
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/accounting.h"
+#include "simdb/advisor.h"
+#include "simdb/scenarios.h"
+
+namespace optshare::service {
+
+/// Configuration of the service.
+struct ServiceConfig {
+  int slots_per_period = 12;
+  /// Fraction of the full cost charged for keeping an already-built
+  /// structure alive another period.
+  double maintenance_fraction = 0.25;
+  simdb::AdvisorOptions advisor;
+  simdb::PricingParams pricing;
+};
+
+/// What happened to one optimization in one period.
+struct StructureOutcome {
+  std::string name;          ///< DisplayName of the structure.
+  double cost = 0.0;         ///< Price charged this period (build or maint.).
+  bool active = false;       ///< Funded and available this period.
+  bool carried_over = false; ///< Was already built in an earlier period.
+  int num_subscribers = 0;   ///< Users serviced.
+};
+
+/// One period's report.
+struct PeriodReport {
+  int period = 0;
+  std::vector<StructureOutcome> structures;
+  Accounting ledger;
+
+  int ActiveStructures() const;
+};
+
+/// The running service.
+class CloudService {
+ public:
+  /// The catalog describes the shared datasets; tenants may change between
+  /// periods (see RunPeriod).
+  CloudService(simdb::Catalog catalog, ServiceConfig config = {});
+
+  /// Executes one billing period for the given tenant set: advisor,
+  /// pricing mechanism, ledger. Tenant intervals are interpreted within
+  /// the period's slots.
+  Result<PeriodReport> RunPeriod(const std::vector<simdb::SimUser>& tenants);
+
+  /// Structures currently built (carried across periods).
+  const std::vector<std::string>& built_structures() const {
+    return built_names_;
+  }
+  /// Cumulative provider balance across all periods (never negative:
+  /// AddOn is cost-recovering period by period).
+  double cumulative_balance() const { return cumulative_balance_; }
+  /// Cumulative total (social) utility.
+  double cumulative_utility() const { return cumulative_utility_; }
+  int periods_run() const { return periods_run_; }
+
+ private:
+  simdb::Catalog catalog_;
+  ServiceConfig config_;
+  std::vector<std::string> built_names_;
+  double cumulative_balance_ = 0.0;
+  double cumulative_utility_ = 0.0;
+  int periods_run_ = 0;
+};
+
+}  // namespace optshare::service

@@ -1,0 +1,60 @@
+// Optimization advisor: proposes the candidate optimization set J that the
+// mechanisms then select from and price (the paper assumes J exists; a real
+// cloud derives it from observed workloads, the way index advisors do).
+//
+// For every (table, column) pair filtered by any user's workload, the
+// advisor considers a secondary index and a materialized view (with the
+// view selectivity matched to the predicate), plus one replica per touched
+// table; it scores each candidate by total estimated workload savings per
+// period against its cost and returns those above a benefit threshold.
+#pragma once
+
+#include <vector>
+
+#include "common/status.h"
+#include "simdb/cost_model.h"
+#include "simdb/pricing.h"
+
+namespace optshare::simdb {
+
+/// One advisor proposal.
+struct Proposal {
+  OptimizationSpec spec;
+  double cost = 0.0;            ///< C_j from the pricing model.
+  double total_savings = 0.0;   ///< Summed per-period user savings.
+  /// Per-user per-period dollar savings (aligned with the users argument).
+  std::vector<double> user_savings;
+
+  /// Benefit ratio used for ranking.
+  double BenefitRatio() const {
+    return cost > 0.0 ? total_savings / cost : 0.0;
+  }
+};
+
+/// Advisor options.
+struct AdvisorOptions {
+  /// Keep only proposals whose total savings exceed this fraction of cost.
+  double min_benefit_ratio = 0.1;
+  /// Propose replicas (off by default: they help every query a little,
+  /// which inflates J with weak candidates).
+  bool propose_replicas = false;
+  /// Cap on proposals (highest benefit first; 0 = unlimited).
+  int max_proposals = 0;
+};
+
+/// Analyzes the users' workloads against the catalog and proposes
+/// optimizations. The catalog's existing optimization list is ignored;
+/// proposals are returned ranked by descending benefit ratio.
+Result<std::vector<Proposal>> ProposeOptimizations(
+    const Catalog& catalog, const CostModel& model,
+    const PricingModel& pricing, const std::vector<SimUser>& users,
+    const AdvisorOptions& options = {});
+
+/// Registers the proposals in `catalog` and builds the additive offline
+/// game for one period: bids[i][j] = user i's per-period savings from
+/// proposal j, costs[j] = proposal cost. (Offline because the advisor runs
+/// once per period; use BuildAdditiveGame for the online formulation.)
+Result<AdditiveOfflineGame> GameFromProposals(
+    const std::vector<Proposal>& proposals);
+
+}  // namespace optshare::simdb

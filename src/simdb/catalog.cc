@@ -1,0 +1,47 @@
+#include "simdb/catalog.h"
+
+namespace optshare::simdb {
+
+Status Catalog::AddTable(TableDef table) {
+  OPTSHARE_RETURN_NOT_OK(table.Validate());
+  for (const auto& t : tables_) {
+    if (t.name == table.name) {
+      return Status::AlreadyExists("table already registered: " + table.name);
+    }
+  }
+  tables_.push_back(std::move(table));
+  return Status::OK();
+}
+
+Result<const TableDef*> Catalog::GetTable(const std::string& name) const {
+  for (const auto& t : tables_) {
+    if (t.name == name) return &t;
+  }
+  return Status::NotFound("no such table: " + name);
+}
+
+Status Catalog::ValidateSpec(const OptimizationSpec& spec) const {
+  Result<const TableDef*> table = GetTable(spec.table);
+  if (!table.ok()) return table.status();
+  if (spec.kind != OptKind::kReplica) {
+    if ((*table)->FindColumn(spec.column) < 0) {
+      return Status::NotFound("no column " + spec.column + " in table " +
+                              spec.table);
+    }
+  }
+  if (spec.kind == OptKind::kMaterializedView) {
+    if (!(spec.view_selectivity > 0.0) || spec.view_selectivity > 1.0) {
+      return Status::InvalidArgument(
+          "materialized view selectivity must be in (0, 1]");
+    }
+  }
+  return Status::OK();
+}
+
+Result<int> Catalog::AddOptimization(OptimizationSpec spec) {
+  OPTSHARE_RETURN_NOT_OK(ValidateSpec(spec));
+  optimizations_.push_back(std::move(spec));
+  return static_cast<int>(optimizations_.size()) - 1;
+}
+
+}  // namespace optshare::simdb

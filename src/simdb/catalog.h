@@ -1,0 +1,43 @@
+// Catalog: the named collection of tables shared by all cloud users, plus
+// the candidate physical optimizations defined over them.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "simdb/optimization.h"
+#include "simdb/schema.h"
+
+namespace optshare::simdb {
+
+/// Shared-dataset catalog. Tables are registered once; optimizations refer
+/// to tables by name and are validated against the schema.
+class Catalog {
+ public:
+  /// Registers a table; rejects duplicates and invalid definitions.
+  Status AddTable(TableDef table);
+
+  /// Looks up a table by name.
+  Result<const TableDef*> GetTable(const std::string& name) const;
+
+  /// Registers a candidate optimization after validating its references.
+  /// Returns the assigned optimization id.
+  Result<int> AddOptimization(OptimizationSpec spec);
+
+  const std::vector<TableDef>& tables() const { return tables_; }
+  const std::vector<OptimizationSpec>& optimizations() const {
+    return optimizations_;
+  }
+  int num_optimizations() const {
+    return static_cast<int>(optimizations_.size());
+  }
+
+ private:
+  Status ValidateSpec(const OptimizationSpec& spec) const;
+
+  std::vector<TableDef> tables_;
+  std::vector<OptimizationSpec> optimizations_;
+};
+
+}  // namespace optshare::simdb

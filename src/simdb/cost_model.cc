@@ -1,0 +1,188 @@
+#include "simdb/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace optshare::simdb {
+namespace {
+
+constexpr double kAggregateOutputBytes = 64.0;
+
+}  // namespace
+
+Result<double> CostModel::ScanTime(const TableDef& table,
+                                   const Query& query) const {
+  const double bytes = static_cast<double>(table.TotalBytes());
+  const double rows = static_cast<double>(table.row_count);
+  const double matching = rows * query.CombinedSelectivity();
+  double t = bytes / params_.seq_scan_bytes_per_sec +
+             rows * params_.per_row_cpu_sec;
+  const double out_bytes =
+      query.aggregate ? kAggregateOutputBytes
+                      : matching * static_cast<double>(table.RowBytes());
+  t += out_bytes / params_.network_bytes_per_sec;
+  return t;
+}
+
+Result<double> CostModel::QueryTime(const Query& query,
+                                    const std::vector<int>& available) const {
+  OPTSHARE_RETURN_NOT_OK(query.Validate());
+  Result<const TableDef*> table_r = catalog_->GetTable(query.table);
+  if (!table_r.ok()) return table_r.status();
+  const TableDef& table = **table_r;
+  for (const auto& p : query.predicates) {
+    if (table.FindColumn(p.column) < 0) {
+      return Status::NotFound("no column " + p.column + " in " + query.table);
+    }
+  }
+
+  Result<double> base = ScanTime(table, query);
+  double best = *base;
+  bool replica_available = false;
+
+  const auto& specs = catalog_->optimizations();
+  for (int id : available) {
+    if (id < 0 || id >= static_cast<int>(specs.size())) {
+      return Status::OutOfRange("optimization id out of range");
+    }
+    const OptimizationSpec& spec = specs[static_cast<size_t>(id)];
+    if (spec.table != query.table) continue;
+
+    switch (spec.kind) {
+      case OptKind::kSecondaryIndex: {
+        // Applicable when some predicate filters the indexed column.
+        double index_sel = 1.0;
+        bool applicable = false;
+        for (const auto& p : query.predicates) {
+          if (p.column == spec.column) {
+            applicable = true;
+            index_sel = p.selectivity;
+          }
+        }
+        if (!applicable) break;
+        const double rows = static_cast<double>(table.row_count);
+        const double fetched = rows * index_sel;
+        // Descend the B-tree, then fetch matching rows; clustered-run
+        // assumption caps random reads at one per 100 rows fetched.
+        double t = params_.random_io_sec * std::log2(std::max(rows, 2.0)) +
+                   std::min(fetched, fetched / 100.0 + 1.0) *
+                       params_.random_io_sec +
+                   fetched * params_.per_row_cpu_sec;
+        // Residual predicates filter fetched rows; output ships the final
+        // matching set.
+        const double matching = rows * query.CombinedSelectivity();
+        const double out_bytes =
+            query.aggregate
+                ? kAggregateOutputBytes
+                : matching * static_cast<double>(table.RowBytes());
+        t += out_bytes / params_.network_bytes_per_sec;
+        best = std::min(best, t);
+        break;
+      }
+      case OptKind::kMaterializedView: {
+        // Applicable when the view's filter column is one of the query's
+        // predicates: the view pre-applies that predicate.
+        bool applicable = false;
+        double residual_sel = 1.0;
+        for (const auto& p : query.predicates) {
+          if (p.column == spec.column) {
+            applicable = true;
+          } else {
+            residual_sel *= p.selectivity;
+          }
+        }
+        if (!applicable) break;
+        const double view_rows =
+            static_cast<double>(table.row_count) * spec.view_selectivity;
+        const double view_bytes =
+            view_rows * static_cast<double>(table.RowBytes());
+        double t = view_bytes / params_.seq_scan_bytes_per_sec +
+                   view_rows * params_.per_row_cpu_sec;
+        const double matching = view_rows * residual_sel;
+        const double out_bytes =
+            query.aggregate
+                ? kAggregateOutputBytes
+                : matching * static_cast<double>(table.RowBytes());
+        t += out_bytes / params_.network_bytes_per_sec;
+        best = std::min(best, t);
+        break;
+      }
+      case OptKind::kReplica:
+        replica_available = true;
+        break;
+    }
+  }
+
+  if (replica_available) best *= params_.replica_speedup;
+  return best;
+}
+
+Result<double> CostModel::WorkloadTime(const Workload& workload,
+                                       const std::vector<int>& available) const {
+  OPTSHARE_RETURN_NOT_OK(workload.Validate());
+  double total = 0.0;
+  for (const auto& e : workload.entries) {
+    Result<double> t = QueryTime(e.query, available);
+    if (!t.ok()) return t.status();
+    total += *t * e.frequency;
+  }
+  return total;
+}
+
+Result<double> CostModel::BuildTimeSec(int id) const {
+  const auto& specs = catalog_->optimizations();
+  if (id < 0 || id >= static_cast<int>(specs.size())) {
+    return Status::OutOfRange("optimization id out of range");
+  }
+  const OptimizationSpec& spec = specs[static_cast<size_t>(id)];
+  Result<const TableDef*> table_r = catalog_->GetTable(spec.table);
+  if (!table_r.ok()) return table_r.status();
+  const TableDef& table = **table_r;
+
+  const double rows = static_cast<double>(table.row_count);
+  const double scan =
+      static_cast<double>(table.TotalBytes()) / params_.seq_scan_bytes_per_sec;
+  switch (spec.kind) {
+    case OptKind::kSecondaryIndex:
+      // Scan + sort-build.
+      return scan + rows * params_.per_row_cpu_sec *
+                        std::log2(std::max(rows, 2.0));
+    case OptKind::kMaterializedView: {
+      Result<uint64_t> bytes = StorageBytes(id);
+      return scan + rows * params_.per_row_cpu_sec +
+             static_cast<double>(*bytes) / params_.seq_scan_bytes_per_sec;
+    }
+    case OptKind::kReplica:
+      // Full copy.
+      return 2.0 * scan;
+  }
+  return Status::Internal("unknown optimization kind");
+}
+
+Result<uint64_t> CostModel::StorageBytes(int id) const {
+  const auto& specs = catalog_->optimizations();
+  if (id < 0 || id >= static_cast<int>(specs.size())) {
+    return Status::OutOfRange("optimization id out of range");
+  }
+  const OptimizationSpec& spec = specs[static_cast<size_t>(id)];
+  Result<const TableDef*> table_r = catalog_->GetTable(spec.table);
+  if (!table_r.ok()) return table_r.status();
+  const TableDef& table = **table_r;
+
+  switch (spec.kind) {
+    case OptKind::kSecondaryIndex: {
+      const int col = table.FindColumn(spec.column);
+      const uint64_t key_bytes = static_cast<uint64_t>(
+          ColumnTypeWidth(table.columns[static_cast<size_t>(col)].type));
+      return table.row_count * (key_bytes + 8);  // Key + row pointer.
+    }
+    case OptKind::kMaterializedView:
+      return static_cast<uint64_t>(static_cast<double>(table.TotalBytes()) *
+                                   spec.view_selectivity);
+    case OptKind::kReplica:
+      return table.TotalBytes();
+  }
+  return Status::Internal("unknown optimization kind");
+}
+
+}  // namespace optshare::simdb

@@ -1,0 +1,65 @@
+// I/O-centric cost model: estimates per-query runtime given the catalog and
+// the set of available optimizations, in the style of a textbook optimizer
+// cost function. Times are seconds on the reference instance.
+//
+// Plan selection is implicit and greedy: for each query the model uses the
+// single best applicable structure (cheapest estimated time) among
+// sequential scan, secondary index lookup, and materialized-view scan;
+// a replica applies a latency discount multiplicatively.
+#pragma once
+
+#include <vector>
+
+#include "common/status.h"
+#include "simdb/catalog.h"
+#include "simdb/query.h"
+
+namespace optshare::simdb {
+
+/// Hardware/service constants of the reference instance. Defaults are
+/// ballpark 2011 cloud-instance figures (the paper's EC2 High-Memory XL).
+struct CostModelParams {
+  double seq_scan_bytes_per_sec = 100.0 * 1024 * 1024;  ///< 100 MB/s.
+  double random_io_sec = 5e-3;                          ///< 5 ms seek.
+  double per_row_cpu_sec = 2e-7;                        ///< Tuple overhead.
+  double network_bytes_per_sec = 25.0 * 1024 * 1024;    ///< Result shipping.
+  /// Latency multiplier when a replica of the table is available (< 1).
+  double replica_speedup = 0.7;
+  /// Months of maintenance folded into an optimization's one-time cost
+  /// (the paper's period T, e.g. a month-granularity subscription).
+  double maintenance_months = 12.0;
+};
+
+/// Cost model bound to a catalog.
+class CostModel {
+ public:
+  CostModel(const Catalog* catalog, CostModelParams params = {})
+      : catalog_(catalog), params_(params) {}
+
+  /// Estimated runtime (seconds) of `query` when the optimizations whose
+  /// ids appear in `available` (indices into catalog->optimizations())
+  /// exist. Unknown tables/columns yield an error.
+  Result<double> QueryTime(const Query& query,
+                           const std::vector<int>& available) const;
+
+  /// Total runtime of a workload (one run).
+  Result<double> WorkloadTime(const Workload& workload,
+                              const std::vector<int>& available) const;
+
+  /// One-time build cost (seconds of instance time) of optimization `id`:
+  /// a full scan plus per-row build work (and write-out for views).
+  Result<double> BuildTimeSec(int id) const;
+
+  /// Storage footprint (bytes) of optimization `id`.
+  Result<uint64_t> StorageBytes(int id) const;
+
+  const CostModelParams& params() const { return params_; }
+
+ private:
+  Result<double> ScanTime(const TableDef& table, const Query& query) const;
+
+  const Catalog* catalog_;
+  CostModelParams params_;
+};
+
+}  // namespace optshare::simdb

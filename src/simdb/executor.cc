@@ -1,0 +1,117 @@
+#include "simdb/executor.h"
+
+namespace optshare::simdb {
+namespace {
+
+/// Resolves predicate/sum column names to indices once per execution.
+struct BoundQuery {
+  std::vector<std::pair<size_t, int64_t>> predicates;  // (column idx, key).
+  int sum_column = -1;
+};
+
+Result<BoundQuery> Bind(const StoredTable& table, const ExecQuery& query) {
+  BoundQuery bound;
+  for (const auto& p : query.predicates) {
+    const int col = table.schema().FindColumn(p.column);
+    if (col < 0) return Status::NotFound("no column " + p.column);
+    bound.predicates.emplace_back(static_cast<size_t>(col), p.key);
+  }
+  if (query.sum_column.has_value()) {
+    bound.sum_column = table.schema().FindColumn(*query.sum_column);
+    if (bound.sum_column < 0) {
+      return Status::NotFound("no column " + *query.sum_column);
+    }
+  }
+  return bound;
+}
+
+bool RowMatches(const StoredTable& table, const BoundQuery& bound,
+                uint32_t row) {
+  for (const auto& [col, key] : bound.predicates) {
+    if (table.At(row, col) != key) return false;
+  }
+  return true;
+}
+
+void Emit(const StoredTable& table, const BoundQuery& bound, uint32_t row,
+          ExecResult* out) {
+  ++out->matched;
+  if (bound.sum_column >= 0) {
+    out->sum += static_cast<double>(
+        table.At(row, static_cast<size_t>(bound.sum_column)));
+  } else {
+    out->row_ids.push_back(row);
+  }
+}
+
+}  // namespace
+
+Result<ExecResult> ExecuteSeqScan(const StoredTable& table,
+                                  const ExecQuery& query) {
+  Result<BoundQuery> bound = Bind(table, query);
+  if (!bound.ok()) return bound.status();
+  ExecResult out;
+  const uint32_t n = static_cast<uint32_t>(table.num_rows());
+  out.rows_touched = n;
+  for (uint32_t r = 0; r < n; ++r) {
+    if (RowMatches(table, *bound, r)) Emit(table, *bound, r, &out);
+  }
+  return out;
+}
+
+Result<ExecResult> ExecuteIndexScan(const StoredTable& table,
+                                    const HashIndex& index,
+                                    const ExecQuery& query) {
+  Result<BoundQuery> bound = Bind(table, query);
+  if (!bound.ok()) return bound.status();
+
+  // Find the predicate served by the index.
+  int64_t index_key = 0;
+  bool found = false;
+  for (const auto& [col, key] : bound->predicates) {
+    if (static_cast<int>(col) == index.column_index()) {
+      index_key = key;
+      found = true;
+      break;
+    }
+  }
+  if (!found) {
+    return Status::FailedPrecondition(
+        "query has no predicate on the indexed column");
+  }
+
+  ExecResult out;
+  for (uint32_t r : index.Lookup(index_key)) {
+    ++out.rows_touched;
+    if (RowMatches(table, *bound, r)) Emit(table, *bound, r, &out);
+  }
+  return out;
+}
+
+Result<ExecResult> ExecuteViewScan(const StoredTable& table,
+                                   const MaterializedViewData& view,
+                                   const ExecQuery& query) {
+  Result<BoundQuery> bound = Bind(table, query);
+  if (!bound.ok()) return bound.status();
+
+  bool found = false;
+  for (const auto& [col, key] : bound->predicates) {
+    if (static_cast<int>(col) == view.column_index() && key == view.key()) {
+      found = true;
+      break;
+    }
+  }
+  if (!found) {
+    return Status::FailedPrecondition(
+        "query predicates do not cover the view's filter");
+  }
+
+  ExecResult out;
+  for (uint32_t r : view.rows()) {
+    ++out.rows_touched;
+    if (RowMatches(table, *bound, r)) Emit(table, *bound, r, &out);
+  }
+  return out;
+}
+
+}  // namespace optshare::simdb

@@ -1,0 +1,54 @@
+// Query executor over the row store: sequential scan, index scan, and
+// materialized-view scan with equality predicates and count/sum
+// aggregation. Every operator reports the rows it touched, which is the
+// executor-side quantity the cost model predicts.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/status.h"
+#include "simdb/rowstore.h"
+
+namespace optshare::simdb {
+
+/// Concrete equality predicate: column == key.
+struct EqPredicate {
+  std::string column;
+  int64_t key = 0;
+};
+
+/// A concrete executable query: conjunctive equality predicates over one
+/// stored table, optionally summing a column instead of returning ids.
+struct ExecQuery {
+  std::vector<EqPredicate> predicates;
+  /// When set, the result is the sum of this column over matching rows;
+  /// otherwise matching row ids are returned.
+  std::optional<std::string> sum_column;
+};
+
+/// Result of an execution.
+struct ExecResult {
+  std::vector<uint32_t> row_ids;  ///< Matching rows (empty when summing).
+  double sum = 0.0;               ///< Sum when sum_column was requested.
+  uint64_t matched = 0;           ///< Number of matching rows.
+  uint64_t rows_touched = 0;      ///< Rows the operator inspected.
+};
+
+/// Executes by full sequential scan.
+Result<ExecResult> ExecuteSeqScan(const StoredTable& table,
+                                  const ExecQuery& query);
+
+/// Executes via the hash index: the index's column must appear among the
+/// predicates; residual predicates are applied to fetched rows.
+Result<ExecResult> ExecuteIndexScan(const StoredTable& table,
+                                    const HashIndex& index,
+                                    const ExecQuery& query);
+
+/// Executes via a materialized view: the view's (column, key) must match
+/// one predicate exactly; residual predicates are applied to view rows.
+Result<ExecResult> ExecuteViewScan(const StoredTable& table,
+                                   const MaterializedViewData& view,
+                                   const ExecQuery& query);
+
+}  // namespace optshare::simdb

@@ -1,0 +1,30 @@
+#include "simdb/optimization.h"
+
+namespace optshare::simdb {
+
+const char* OptKindName(OptKind kind) {
+  switch (kind) {
+    case OptKind::kSecondaryIndex:
+      return "index";
+    case OptKind::kMaterializedView:
+      return "matview";
+    case OptKind::kReplica:
+      return "replica";
+  }
+  return "?";
+}
+
+std::string OptimizationSpec::DisplayName() const {
+  if (!label.empty()) return label;
+  std::string out(OptKindName(kind));
+  out += "(";
+  out += table;
+  if (kind != OptKind::kReplica) {
+    out += ".";
+    out += column;
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace optshare::simdb

@@ -1,0 +1,33 @@
+// Candidate physical optimizations over the shared datasets (paper §1, §3):
+// secondary indexes, materialized views, and replicas — the "binary
+// optimizations" the mechanisms select and price.
+#pragma once
+
+#include <string>
+
+namespace optshare::simdb {
+
+/// Kind of physical structure.
+enum class OptKind {
+  kSecondaryIndex,    ///< B-tree on (table, column).
+  kMaterializedView,  ///< Precomputed filtered projection of a table.
+  kReplica,           ///< Extra copy in another zone (cuts access latency).
+};
+
+const char* OptKindName(OptKind kind);
+
+/// Specification of one candidate optimization.
+struct OptimizationSpec {
+  OptKind kind = OptKind::kSecondaryIndex;
+  std::string table;   ///< Base table name.
+  std::string column;  ///< Indexed / view-filter column (unused by replica).
+  /// For materialized views: fraction of base rows the view retains.
+  double view_selectivity = 1.0;
+  /// Human-readable label for reports.
+  std::string label;
+
+  /// Canonical label when none was provided, e.g. "idx(particles.haloId)".
+  std::string DisplayName() const;
+};
+
+}  // namespace optshare::simdb

@@ -1,0 +1,57 @@
+#include "simdb/pricing.h"
+
+namespace optshare::simdb {
+
+Result<double> PricingModel::OptimizationCost(const CostModel& model,
+                                              int opt_id) const {
+  Result<double> build = model.BuildTimeSec(opt_id);
+  if (!build.ok()) return build.status();
+  Result<uint64_t> bytes = model.StorageBytes(opt_id);
+  if (!bytes.ok()) return bytes.status();
+  return InstanceDollars(*build) +
+         StorageDollars(*bytes, model.params().maintenance_months);
+}
+
+Result<MultiAdditiveOnlineGame> BuildAdditiveGame(
+    const Catalog& catalog, const CostModel& model, const PricingModel& pricing,
+    const std::vector<SimUser>& users, int num_slots) {
+  MultiAdditiveOnlineGame game;
+  game.num_slots = num_slots;
+
+  const int n = catalog.num_optimizations();
+  for (int j = 0; j < n; ++j) {
+    Result<double> cost = pricing.OptimizationCost(model, j);
+    if (!cost.ok()) return cost.status();
+    game.costs.push_back(*cost);
+  }
+
+  for (const auto& user : users) {
+    if (user.start < 1 || user.end < user.start || user.end > num_slots) {
+      return Status::InvalidArgument("user interval outside game horizon");
+    }
+    if (!(user.executions_per_slot >= 0.0)) {
+      return Status::InvalidArgument("executions per slot must be >= 0");
+    }
+    Result<double> base = model.WorkloadTime(user.workload, {});
+    if (!base.ok()) return base.status();
+
+    std::vector<SlotValues> row;
+    row.reserve(static_cast<size_t>(n));
+    for (int j = 0; j < n; ++j) {
+      Result<double> with_j = model.WorkloadTime(user.workload, {j});
+      if (!with_j.ok()) return with_j.status();
+      const double saved_sec = *base - *with_j;
+      const double dollars_per_slot =
+          pricing.InstanceDollars(saved_sec) * user.executions_per_slot;
+      row.push_back(
+          SlotValues::Constant(user.start, user.end, dollars_per_slot));
+    }
+    game.bids.push_back(std::move(row));
+  }
+
+  Status st = game.Validate();
+  if (!st.ok()) return st;
+  return game;
+}
+
+}  // namespace optshare::simdb

@@ -1,0 +1,67 @@
+// Pricing model: converts instance time and storage into dollars, and
+// derives the mechanism inputs — optimization costs C_j and user values
+// v_ij — from the cost model. Defaults follow the paper's §7.2 setup
+// (Amazon EC2 High-Memory Extra Large, 2011 on-demand pricing).
+#pragma once
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/game.h"
+#include "simdb/cost_model.h"
+#include "simdb/query.h"
+
+namespace optshare::simdb {
+
+/// Dollar rates of the reference instance.
+struct PricingParams {
+  double instance_per_hour = 0.50;     ///< EC2 m2.xlarge, 2011 on-demand.
+  double storage_per_gb_month = 0.10;  ///< EBS-era storage rate.
+};
+
+/// Converts times/bytes into money.
+class PricingModel {
+ public:
+  explicit PricingModel(PricingParams params = {}) : params_(params) {}
+
+  /// Dollars for `seconds` of instance time.
+  double InstanceDollars(double seconds) const {
+    return seconds / 3600.0 * params_.instance_per_hour;
+  }
+
+  /// Dollars to keep `bytes` stored for `months`.
+  double StorageDollars(uint64_t bytes, double months) const {
+    return static_cast<double>(bytes) / (1024.0 * 1024.0 * 1024.0) *
+           params_.storage_per_gb_month * months;
+  }
+
+  /// Full cost C_j of an optimization: build instance time plus storage
+  /// for the model's maintenance period (paper §5: one fixed cost covering
+  /// implementation and maintenance over T).
+  Result<double> OptimizationCost(const CostModel& model, int opt_id) const;
+
+  const PricingParams& params() const { return params_; }
+
+ private:
+  PricingParams params_;
+};
+
+/// A cloud user: her workload and how often she runs it per time slot over
+/// her subscription interval.
+struct SimUser {
+  Workload workload;
+  TimeSlot start = 1;
+  TimeSlot end = 1;
+  double executions_per_slot = 1.0;
+};
+
+/// Derives the full additive online game from the simulated database:
+/// v_ij(t) = (workload time without j - with j) * instance rate *
+/// executions, for t in [start_i, end_i]; C_j from build + storage cost.
+/// Optimizations are taken as additive (each saves on different queries),
+/// matching §7.2's treatment.
+Result<MultiAdditiveOnlineGame> BuildAdditiveGame(
+    const Catalog& catalog, const CostModel& model, const PricingModel& pricing,
+    const std::vector<SimUser>& users, int num_slots);
+
+}  // namespace optshare::simdb

@@ -1,0 +1,34 @@
+#include "simdb/query.h"
+
+namespace optshare::simdb {
+
+double Query::CombinedSelectivity() const {
+  double s = 1.0;
+  for (const auto& p : predicates) s *= p.selectivity;
+  return s;
+}
+
+Status Query::Validate() const {
+  if (table.empty()) return Status::InvalidArgument("query has no table");
+  for (const auto& p : predicates) {
+    if (p.column.empty()) {
+      return Status::InvalidArgument("predicate has no column");
+    }
+    if (!(p.selectivity > 0.0) || p.selectivity > 1.0) {
+      return Status::InvalidArgument("selectivity must be in (0, 1]");
+    }
+  }
+  return Status::OK();
+}
+
+Status Workload::Validate() const {
+  for (const auto& e : entries) {
+    OPTSHARE_RETURN_NOT_OK(e.query.Validate());
+    if (!(e.frequency > 0.0)) {
+      return Status::InvalidArgument("query frequency must be positive");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace optshare::simdb

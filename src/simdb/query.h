@@ -1,0 +1,48 @@
+// Query and workload model. A query is a predicate scan (optionally
+// aggregating) over one table; a workload is a weighted bag of queries run
+// some number of times per slot. This is the level of detail the paper's
+// economy operates at: what matters is how much time an optimization saves
+// each workload.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace optshare::simdb {
+
+/// Equality/range predicate with an estimated selectivity.
+struct Predicate {
+  std::string column;
+  /// Fraction of rows matching, in (0, 1].
+  double selectivity = 1.0;
+};
+
+/// One query: scan `table`, apply `predicates` (conjunctive), optionally
+/// aggregate the result (aggregation makes the output tiny; otherwise
+/// matching rows are shipped to the client).
+struct Query {
+  std::string table;
+  std::vector<Predicate> predicates;
+  bool aggregate = false;
+
+  /// Combined selectivity under independence.
+  double CombinedSelectivity() const;
+
+  Status Validate() const;
+};
+
+/// A user's workload: queries with per-execution frequencies.
+struct Workload {
+  struct Entry {
+    Query query;
+    /// Executions of this query per workload run.
+    double frequency = 1.0;
+  };
+  std::vector<Entry> entries;
+
+  Status Validate() const;
+};
+
+}  // namespace optshare::simdb

@@ -1,0 +1,109 @@
+#include "simdb/rowstore.h"
+
+#include <cmath>
+
+namespace optshare::simdb {
+namespace {
+
+/// Samples Zipf(s = 1.1) over [0, n) by inverse-CDF on a precomputed
+/// cumulative table (n is bounded by the column's distinct_values; callers
+/// keep generated tables small).
+class ZipfSampler {
+ public:
+  ZipfSampler(uint64_t n, double s = 1.1) : cdf_(n) {
+    double sum = 0.0;
+    for (uint64_t k = 0; k < n; ++k) {
+      sum += 1.0 / std::pow(static_cast<double>(k + 1), s);
+      cdf_[k] = sum;
+    }
+    for (uint64_t k = 0; k < n; ++k) cdf_[k] /= sum;
+  }
+
+  int64_t Sample(Rng& rng) const {
+    const double u = rng.NextDouble();
+    // Binary search the CDF.
+    size_t lo = 0, hi = cdf_.size() - 1;
+    while (lo < hi) {
+      const size_t mid = (lo + hi) / 2;
+      if (cdf_[mid] < u) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return static_cast<int64_t>(lo);
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace
+
+Result<StoredTable> StoredTable::Generate(
+    const TableDef& table, const std::vector<ColumnGenSpec>& specs, Rng& rng) {
+  OPTSHARE_RETURN_NOT_OK(table.Validate());
+  if (table.row_count > 50'000'000) {
+    return Status::InvalidArgument(
+        "refusing to materialize more than 50M rows; use the cost model for "
+        "larger scales");
+  }
+  StoredTable stored;
+  stored.schema_ = table;
+  stored.columns_.resize(table.columns.size());
+
+  for (size_t c = 0; c < table.columns.size(); ++c) {
+    const uint64_t distinct = table.columns[c].distinct_values;
+    const ColumnGenSpec spec =
+        c < specs.size() ? specs[c] : ColumnGenSpec{};
+    auto& data = stored.columns_[c];
+    data.reserve(table.row_count);
+    if (spec.distribution == ValueDistribution::kZipf) {
+      ZipfSampler zipf(distinct);
+      for (uint64_t r = 0; r < table.row_count; ++r) {
+        data.push_back(zipf.Sample(rng));
+      }
+    } else {
+      for (uint64_t r = 0; r < table.row_count; ++r) {
+        data.push_back(rng.UniformInt(0, static_cast<int64_t>(distinct) - 1));
+      }
+    }
+  }
+  return stored;
+}
+
+const std::vector<uint32_t> HashIndex::kEmpty{};
+
+Result<HashIndex> HashIndex::Build(const StoredTable& table,
+                                   const std::string& column) {
+  const int col = table.schema().FindColumn(column);
+  if (col < 0) return Status::NotFound("no column " + column);
+  HashIndex index;
+  index.column_index_ = col;
+  const auto& data = table.Column(static_cast<size_t>(col));
+  for (uint32_t r = 0; r < static_cast<uint32_t>(data.size()); ++r) {
+    index.buckets_[data[r]].push_back(r);
+  }
+  return index;
+}
+
+const std::vector<uint32_t>& HashIndex::Lookup(int64_t key) const {
+  auto it = buckets_.find(key);
+  return it == buckets_.end() ? kEmpty : it->second;
+}
+
+Result<MaterializedViewData> MaterializedViewData::Build(
+    const StoredTable& table, const std::string& column, int64_t key) {
+  const int col = table.schema().FindColumn(column);
+  if (col < 0) return Status::NotFound("no column " + column);
+  MaterializedViewData view;
+  view.column_index_ = col;
+  view.key_ = key;
+  const auto& data = table.Column(static_cast<size_t>(col));
+  for (uint32_t r = 0; r < static_cast<uint32_t>(data.size()); ++r) {
+    if (data[r] == key) view.rows_.push_back(r);
+  }
+  return view;
+}
+
+}  // namespace optshare::simdb

@@ -1,0 +1,101 @@
+// A small columnar row store with synthetic data generation. The cost
+// model (cost_model.h) predicts runtimes from statistics; this executor
+// actually runs the queries on generated data so tests can cross-validate
+// the model's *ordering* (an index must touch fewer rows than a scan, a
+// materialized view must touch fewer than the base table, predicted
+// selectivities must match realized frequencies).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "simdb/schema.h"
+
+namespace optshare::simdb {
+
+/// Value distribution of a generated int64 column.
+enum class ValueDistribution {
+  kUniform,  ///< Uniform over [0, distinct_values).
+  kZipf,     ///< Zipf(s ~ 1.1) over [0, distinct_values): skewed hot keys.
+};
+
+/// Generation recipe for one column (strings are "s<int>" of the drawn
+/// key; doubles are the drawn key scaled to [0, 1)).
+struct ColumnGenSpec {
+  ValueDistribution distribution = ValueDistribution::kUniform;
+};
+
+/// Materialized table: column-major storage of generated rows. Only the
+/// int64 representation is stored; strings/doubles are derived views of
+/// the key space, which is all the executor's equality predicates need.
+class StoredTable {
+ public:
+  /// Generates `table.row_count` rows per `table`'s schema. `specs` gives
+  /// per-column distributions (defaults to uniform when shorter than the
+  /// column list).
+  static Result<StoredTable> Generate(const TableDef& table,
+                                      const std::vector<ColumnGenSpec>& specs,
+                                      Rng& rng);
+
+  const TableDef& schema() const { return schema_; }
+  uint64_t num_rows() const {
+    return columns_.empty() ? 0 : columns_[0].size();
+  }
+
+  /// Key of `row` in column `col` (bounds-checked by assertion).
+  int64_t At(size_t row, size_t col) const {
+    return columns_[col][row];
+  }
+
+  /// Raw column data (for index builds).
+  const std::vector<int64_t>& Column(size_t col) const {
+    return columns_[col];
+  }
+
+ private:
+  TableDef schema_;
+  std::vector<std::vector<int64_t>> columns_;
+};
+
+/// Hash-based secondary index: key -> row ids.
+class HashIndex {
+ public:
+  /// Builds over one column of a stored table.
+  static Result<HashIndex> Build(const StoredTable& table,
+                                 const std::string& column);
+
+  /// Row ids with the given key (empty when absent).
+  const std::vector<uint32_t>& Lookup(int64_t key) const;
+
+  size_t num_keys() const { return buckets_.size(); }
+  int column_index() const { return column_index_; }
+
+ private:
+  std::unordered_map<int64_t, std::vector<uint32_t>> buckets_;
+  int column_index_ = -1;
+  static const std::vector<uint32_t> kEmpty;
+};
+
+/// Materialized view: the subset of rows matching `column == key`,
+/// stored as row ids into the base table (a positional view).
+class MaterializedViewData {
+ public:
+  static Result<MaterializedViewData> Build(const StoredTable& table,
+                                            const std::string& column,
+                                            int64_t key);
+
+  const std::vector<uint32_t>& rows() const { return rows_; }
+  int column_index() const { return column_index_; }
+  int64_t key() const { return key_; }
+
+ private:
+  std::vector<uint32_t> rows_;
+  int column_index_ = -1;
+  int64_t key_ = 0;
+};
+
+}  // namespace optshare::simdb

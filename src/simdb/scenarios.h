@@ -1,0 +1,34 @@
+// Canned catalogs and workloads: ready-made shared-dataset scenarios used
+// by examples, tests and benches (and a convenient starting point for
+// library users). Each returns a populated catalog plus a set of tenants
+// whose workloads exercise it.
+#pragma once
+
+#include <vector>
+
+#include "common/status.h"
+#include "simdb/catalog.h"
+#include "simdb/pricing.h"
+
+namespace optshare::simdb {
+
+/// A packaged scenario: catalog + tenants.
+struct Scenario {
+  Catalog catalog;
+  std::vector<SimUser> tenants;
+};
+
+/// Clickstream analytics: one wide event table, tenants running per-user
+/// funnels (highly selective lookups) at different intensities.
+Result<Scenario> ClickstreamScenario(int num_tenants = 6, int num_slots = 12);
+
+/// Retail sales: fact table filtered by region/sku; tenants run regional
+/// aggregate reports. Substitutable structures (index vs filtered view)
+/// both help.
+Result<Scenario> RetailScenario(int num_tenants = 6, int num_slots = 12);
+
+/// IoT telemetry: device-series lookups over a billion-row table; a mix of
+/// enterprise and starter tenants.
+Result<Scenario> TelemetryScenario(int num_tenants = 6, int num_slots = 12);
+
+}  // namespace optshare::simdb

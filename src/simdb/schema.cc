@@ -1,0 +1,57 @@
+#include "simdb/schema.h"
+
+#include <unordered_set>
+
+namespace optshare::simdb {
+
+int ColumnTypeWidth(ColumnType type) {
+  switch (type) {
+    case ColumnType::kInt64:
+      return 8;
+    case ColumnType::kDouble:
+      return 8;
+    case ColumnType::kString:
+      return 32;  // Average inline string payload.
+  }
+  return 8;
+}
+
+Status Column::Validate() const {
+  if (name.empty()) return Status::InvalidArgument("column name is empty");
+  if (distinct_values == 0) {
+    return Status::InvalidArgument("column must have at least one distinct value");
+  }
+  return Status::OK();
+}
+
+uint64_t TableDef::RowBytes() const {
+  uint64_t bytes = 0;
+  for (const auto& c : columns) {
+    bytes += static_cast<uint64_t>(ColumnTypeWidth(c.type));
+  }
+  return bytes;
+}
+
+int TableDef::FindColumn(const std::string& column_name) const {
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (columns[i].name == column_name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Status TableDef::Validate() const {
+  if (name.empty()) return Status::InvalidArgument("table name is empty");
+  if (columns.empty()) {
+    return Status::InvalidArgument("table must have at least one column");
+  }
+  std::unordered_set<std::string> seen;
+  for (const auto& c : columns) {
+    OPTSHARE_RETURN_NOT_OK(c.Validate());
+    if (!seen.insert(c.name).second) {
+      return Status::AlreadyExists("duplicate column name: " + c.name);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace optshare::simdb

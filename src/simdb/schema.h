@@ -1,0 +1,48 @@
+// Logical schema of the simulated cloud database: tables, columns, and the
+// physical statistics (row counts, widths, distinct values) the cost model
+// consumes. The simulator does not store tuples; it stores statistics, the
+// way a query optimizer sees a database.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace optshare::simdb {
+
+/// Column data types (affects width and index key size).
+enum class ColumnType { kInt64, kDouble, kString };
+
+/// Bytes a value of this type occupies in a row (strings use an average
+/// inline width).
+int ColumnTypeWidth(ColumnType type);
+
+/// One column with the statistics a cost model needs.
+struct Column {
+  std::string name;
+  ColumnType type = ColumnType::kInt64;
+  /// Number of distinct values (for equality selectivity = 1/distinct).
+  uint64_t distinct_values = 1;
+
+  Status Validate() const;
+};
+
+/// One table: columns plus cardinality.
+struct TableDef {
+  std::string name;
+  std::vector<Column> columns;
+  uint64_t row_count = 0;
+
+  /// Width of one row in bytes (sum of column widths).
+  uint64_t RowBytes() const;
+  /// Total table size in bytes.
+  uint64_t TotalBytes() const { return row_count * RowBytes(); }
+  /// Index of a column by name, or -1.
+  int FindColumn(const std::string& column_name) const;
+
+  Status Validate() const;
+};
+
+}  // namespace optshare::simdb

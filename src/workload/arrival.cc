@@ -1,0 +1,40 @@
+#include "workload/arrival.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace optshare {
+
+TimeSlot SampleArrival(Rng& rng, ArrivalProcess process, int num_slots,
+                       const ArrivalParams& params) {
+  switch (process) {
+    case ArrivalProcess::kUniform:
+      return static_cast<TimeSlot>(rng.UniformInt(1, num_slots));
+    case ArrivalProcess::kEarly: {
+      const TimeSlot s =
+          1 + static_cast<TimeSlot>(std::floor(rng.Exponential(params.early_mean)));
+      return std::clamp(s, 1, num_slots);
+    }
+    case ArrivalProcess::kLate: {
+      const TimeSlot s =
+          num_slots -
+          static_cast<TimeSlot>(std::floor(rng.Exponential(params.late_mean)));
+      return std::clamp(s, 1, num_slots);
+    }
+  }
+  return 1;
+}
+
+const char* ArrivalProcessName(ArrivalProcess process) {
+  switch (process) {
+    case ArrivalProcess::kUniform:
+      return "uniform";
+    case ArrivalProcess::kEarly:
+      return "early";
+    case ArrivalProcess::kLate:
+      return "late";
+  }
+  return "?";
+}
+
+}  // namespace optshare

@@ -1,0 +1,32 @@
+// Arrival processes for simulated users (paper §7.3, §7.5): uniform over
+// the horizon, early-clustered (exponential), or late-clustered (reflected
+// exponential). Early arrivals model datasets that go stale; late arrivals
+// model datasets that become popular.
+#pragma once
+
+#include "common/rng.h"
+#include "core/types.h"
+
+namespace optshare {
+
+enum class ArrivalProcess {
+  kUniform,  ///< s_i ~ U{1..z}.
+  kEarly,    ///< s_i = 1 + floor(x), x ~ Exp(mean), clipped to [1, z].
+  kLate,     ///< s_i = z - floor(x), x ~ Exp(mean), clipped to [1, z].
+};
+
+/// Parameters of the skewed arrival distributions (paper §7.5 uses
+/// mean 1.28 for early and 1.2 for late).
+struct ArrivalParams {
+  double early_mean = 1.28;
+  double late_mean = 1.2;
+};
+
+/// Samples one arrival slot in [1, num_slots].
+TimeSlot SampleArrival(Rng& rng, ArrivalProcess process, int num_slots,
+                       const ArrivalParams& params = {});
+
+/// Short name for logs/tables ("uniform", "early", "late").
+const char* ArrivalProcessName(ArrivalProcess process);
+
+}  // namespace optshare

@@ -1,0 +1,96 @@
+#include "workload/scenario.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace optshare {
+
+Status AdditiveScenario::Validate() const {
+  if (num_users < 1) return Status::InvalidArgument("need at least one user");
+  if (num_slots < 1) return Status::InvalidArgument("need at least one slot");
+  if (duration < 1 || duration > num_slots) {
+    return Status::InvalidArgument("duration must be in [1, num_slots]");
+  }
+  if (!(value_lo >= 0.0) || !(value_hi > value_lo)) {
+    return Status::InvalidArgument("value range must satisfy 0 <= lo < hi");
+  }
+  return Status::OK();
+}
+
+Status SubstScenario::Validate() const {
+  if (num_users < 1) return Status::InvalidArgument("need at least one user");
+  if (num_slots < 1) return Status::InvalidArgument("need at least one slot");
+  if (num_opts < 1) {
+    return Status::InvalidArgument("need at least one optimization");
+  }
+  if (substitutes_per_user < 1 || substitutes_per_user > num_opts) {
+    return Status::InvalidArgument(
+        "substitutes per user must be in [1, num_opts]");
+  }
+  if (duration < 1 || duration > num_slots) {
+    return Status::InvalidArgument("duration must be in [1, num_slots]");
+  }
+  if (!(value_lo >= 0.0) || !(value_hi > value_lo)) {
+    return Status::InvalidArgument("value range must satisfy 0 <= lo < hi");
+  }
+  return Status::OK();
+}
+
+SlotValues SpreadValue(TimeSlot start, int duration, int num_slots,
+                       double value) {
+  assert(start >= 1 && start <= num_slots);
+  const TimeSlot end = std::min<TimeSlot>(start + duration - 1, num_slots);
+  const int len = end - start + 1;
+  return SlotValues::Constant(start, end,
+                              value / static_cast<double>(len));
+}
+
+AdditiveOnlineGame MakeAdditiveGame(const AdditiveScenario& scenario,
+                                    double cost, Rng& rng) {
+  assert(scenario.Validate().ok());
+  assert(cost > 0.0);
+  AdditiveOnlineGame game;
+  game.num_slots = scenario.num_slots;
+  game.cost = cost;
+  game.users.reserve(static_cast<size_t>(scenario.num_users));
+  for (int i = 0; i < scenario.num_users; ++i) {
+    TimeSlot s = SampleArrival(rng, scenario.arrival, scenario.num_slots,
+                               scenario.arrival_params);
+    // Clamp the arrival so the full duration fits the horizon (§7.4's
+    // multi-slot bids always span d slots; see DESIGN.md §5).
+    s = std::min<TimeSlot>(s, scenario.num_slots - scenario.duration + 1);
+    const double value = rng.Uniform(scenario.value_lo, scenario.value_hi);
+    game.users.push_back(
+        SpreadValue(s, scenario.duration, scenario.num_slots, value));
+  }
+  return game;
+}
+
+SubstOnlineGame MakeSubstGame(const SubstScenario& scenario, double mean_cost,
+                              Rng& rng) {
+  assert(scenario.Validate().ok());
+  assert(mean_cost > 0.0);
+  SubstOnlineGame game;
+  game.num_slots = scenario.num_slots;
+  game.costs.reserve(static_cast<size_t>(scenario.num_opts));
+  for (int j = 0; j < scenario.num_opts; ++j) {
+    // U[0, 2c) has mean c; clamp away from zero (costs must be positive).
+    game.costs.push_back(std::max(rng.Uniform(0.0, 2.0 * mean_cost), 1e-12));
+  }
+  game.users.reserve(static_cast<size_t>(scenario.num_users));
+  for (int i = 0; i < scenario.num_users; ++i) {
+    SubstOnlineUser user;
+    const TimeSlot s = SampleArrival(rng, scenario.arrival, scenario.num_slots,
+                                     scenario.arrival_params);
+    const double value = rng.Uniform(scenario.value_lo, scenario.value_hi);
+    user.stream = SpreadValue(s, scenario.duration, scenario.num_slots, value);
+    std::vector<int> picks = rng.SampleWithoutReplacement(
+        scenario.num_opts, scenario.substitutes_per_user);
+    std::sort(picks.begin(), picks.end());
+    user.substitutes.assign(picks.begin(), picks.end());
+    game.users.push_back(std::move(user));
+  }
+  return game;
+}
+
+}  // namespace optshare

@@ -1,0 +1,69 @@
+// Scenario descriptions and seeded game generators for the simulated
+// experiments of §7.3-§7.6. A scenario captures everything except the
+// optimization cost, which the experiment harness sweeps along the x axis.
+#pragma once
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "core/game.h"
+#include "workload/arrival.h"
+
+namespace optshare {
+
+/// Simulated additive scenario (one optimization; §7.3.1, §7.4, §7.5).
+/// Each user draws a total value ~ U[value_lo, value_hi), an arrival slot
+/// from the arrival process, and spreads her value evenly over `duration`
+/// consecutive slots (clipped at the horizon; §7.4).
+struct AdditiveScenario {
+  int num_users = 6;
+  int num_slots = 12;
+  int duration = 1;
+  ArrivalProcess arrival = ArrivalProcess::kUniform;
+  ArrivalParams arrival_params;
+  double value_lo = 0.0;
+  double value_hi = 1.0;
+
+  Status Validate() const;
+};
+
+/// Draws one additive online game (true values) for the given cost.
+AdditiveOnlineGame MakeAdditiveGame(const AdditiveScenario& scenario,
+                                    double cost, Rng& rng);
+
+/// Simulated substitutable scenario (§7.3.2, §7.6). Each user draws a value
+/// ~ U[value_lo, value_hi), one arrival slot, and `substitutes_per_user`
+/// distinct optimizations uniformly at random. Optimization costs are drawn
+/// per game from U[0, 2 * mean_cost) — "not all substitutes are equally
+/// expensive" — clamped away from zero to keep costs positive.
+struct SubstScenario {
+  int num_users = 6;
+  int num_slots = 12;
+  int num_opts = 12;
+  int substitutes_per_user = 3;
+  int duration = 1;
+  ArrivalProcess arrival = ArrivalProcess::kUniform;
+  ArrivalParams arrival_params;
+  double value_lo = 0.0;
+  double value_hi = 1.0;
+
+  /// Selectivity as defined in §7.6: substitutes per user / total opts.
+  double Selectivity() const {
+    return static_cast<double>(substitutes_per_user) /
+           static_cast<double>(num_opts);
+  }
+
+  Status Validate() const;
+};
+
+/// Draws one substitutable online game (true values) for the given mean
+/// optimization cost.
+SubstOnlineGame MakeSubstGame(const SubstScenario& scenario, double mean_cost,
+                              Rng& rng);
+
+/// Builds the per-slot value stream of one simulated user: total value
+/// `value` spread evenly over `duration` slots starting at `start`, clipped
+/// to the horizon.
+SlotValues SpreadValue(TimeSlot start, int duration, int num_slots,
+                       double value);
+
+}  // namespace optshare

@@ -1,0 +1,147 @@
+// Tests for halo catalog statistics (mass function, mass bands, mergers).
+#include "astro/statistics.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "astro/universe.h"
+
+namespace optshare::astro {
+namespace {
+
+HaloCatalog MakeCatalog(std::vector<double> masses) {
+  HaloCatalog c;
+  c.halo_mass = std::move(masses);
+  c.halo_size.assign(c.halo_mass.size(), 1);
+  c.halo_of.resize(c.halo_mass.size());
+  std::iota(c.halo_of.begin(), c.halo_of.end(), 0);
+  return c;
+}
+
+TEST(MassFunctionTest, CountsAllHalos) {
+  const HaloCatalog c = MakeCatalog({1.0, 2.0, 4.0, 8.0, 16.0, 32.0});
+  auto mf = ComputeMassFunction(c, 5);
+  ASSERT_TRUE(mf.ok());
+  EXPECT_EQ(mf->TotalHalos(), 6);
+  EXPECT_EQ(mf->counts.size(), 5u);
+}
+
+TEST(MassFunctionTest, LogBinsSeparateDecades) {
+  const HaloCatalog c = MakeCatalog({1.0, 1.1, 10.0, 11.0, 100.0});
+  auto mf = ComputeMassFunction(c, 2);
+  ASSERT_TRUE(mf.ok());
+  // Bins split [0, 2] in log10: {1, 1.1, 10} vs {11?, 100}. 10 sits at the
+  // boundary 1.0 -> bin index 1 exactly... verify only totals + nonempty
+  // extremes.
+  EXPECT_EQ(mf->TotalHalos(), 5);
+  EXPECT_GT(mf->counts.front(), 0);
+  EXPECT_GT(mf->counts.back(), 0);
+}
+
+TEST(MassFunctionTest, ErrorsOnBadInput) {
+  EXPECT_FALSE(ComputeMassFunction(HaloCatalog{}, 4).ok());
+  const HaloCatalog c = MakeCatalog({1.0});
+  EXPECT_FALSE(ComputeMassFunction(c, 0).ok());
+}
+
+TEST(MassBandTest, QuartilesPartitionByMass) {
+  const HaloCatalog c =
+      MakeCatalog({1, 2, 3, 4, 5, 6, 7, 8});  // Ranked 7..0 by mass.
+  const auto cluster = *HalosInBand(c, MassBand::kCluster);
+  const auto dwarf = *HalosInBand(c, MassBand::kDwarf);
+  ASSERT_EQ(cluster.size(), 2u);
+  ASSERT_EQ(dwarf.size(), 2u);
+  // Cluster band holds the two heaviest halos (ids 7, 6).
+  EXPECT_EQ(cluster[0], 7);
+  EXPECT_EQ(cluster[1], 6);
+  // Dwarf band holds the two lightest (ids 1, 0).
+  EXPECT_EQ(dwarf[0], 1);
+  EXPECT_EQ(dwarf[1], 0);
+}
+
+TEST(MassBandTest, BandsAreDisjointAndCoverCatalog) {
+  const HaloCatalog c = MakeCatalog({5, 1, 9, 3, 7, 2, 8, 6});
+  std::vector<bool> seen(8, false);
+  for (MassBand band : {MassBand::kDwarf, MassBand::kSubMilkyWay,
+                        MassBand::kMilkyWay, MassBand::kCluster}) {
+    const auto band_halos = *HalosInBand(c, band);
+    for (int h : band_halos) {
+      EXPECT_FALSE(seen[static_cast<size_t>(h)]) << "halo in two bands";
+      seen[static_cast<size_t>(h)] = true;
+    }
+  }
+  for (bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(MassBandTest, TinyCatalogFallsBack) {
+  const HaloCatalog c = MakeCatalog({2.0});
+  for (MassBand band : {MassBand::kDwarf, MassBand::kCluster}) {
+    auto halos = HalosInBand(c, band);
+    ASSERT_TRUE(halos.ok());
+    EXPECT_FALSE(halos->empty());
+  }
+}
+
+TEST(MergerStatsTest, NoMergersWhenMembershipIdentical) {
+  HaloCatalog a;
+  a.halo_of = {0, 0, 1, 1, 2, 2};
+  a.halo_mass = {2, 2, 2};
+  a.halo_size = {2, 2, 2};
+  auto stats = ComputeMergerStats(a, a);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->merged, 0);
+  EXPECT_DOUBLE_EQ(stats->MergerFraction(), 0.0);
+}
+
+TEST(MergerStatsTest, DetectsAMerger) {
+  HaloCatalog earlier;
+  earlier.halo_of = {0, 0, 1, 1, 2, 2};
+  earlier.halo_mass = {2, 2, 2};
+  earlier.halo_size = {2, 2, 2};
+  HaloCatalog later;  // Halos 0 and 1 merged into later halo 0.
+  later.halo_of = {0, 0, 0, 0, 1, 1};
+  later.halo_mass = {4, 2};
+  later.halo_size = {4, 2};
+  auto stats = ComputeMergerStats(earlier, later);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->earlier_halos, 3);
+  EXPECT_EQ(stats->later_halos, 2);
+  EXPECT_EQ(stats->merged, 2);  // Both progenitors share successor 0.
+  EXPECT_NEAR(stats->MergerFraction(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(MergerStatsTest, RejectsMismatchedParticleSets) {
+  HaloCatalog a, b;
+  a.halo_of = {0, 0};
+  b.halo_of = {0};
+  EXPECT_FALSE(ComputeMergerStats(a, b).ok());
+}
+
+TEST(MergerStatsTest, EndToEndOnSimulatedUniverse) {
+  UniverseParams p;
+  p.num_snapshots = 15;
+  p.num_halos = 12;
+  p.particles_per_halo = 24;
+  p.merge_probability = 0.1;
+  p.seed = 21;
+  UniverseSimulator sim(p);
+  const auto snapshots = sim.Run();
+  std::vector<HaloCatalog> catalogs;
+  for (const auto& s : snapshots) catalogs.push_back(*FindHalos(s, p.box_size));
+
+  // Across the full run some mergers must register, and the mass function
+  // of the last snapshot must account for every halo.
+  int total_merged = 0;
+  for (size_t k = 1; k < catalogs.size(); ++k) {
+    total_merged += ComputeMergerStats(catalogs[k - 1], catalogs[k])->merged;
+  }
+  EXPECT_GT(total_merged, 0);
+
+  auto mf = ComputeMassFunction(catalogs.back(), 6);
+  ASSERT_TRUE(mf.ok());
+  EXPECT_EQ(mf->TotalHalos(), catalogs.back().num_halos());
+}
+
+}  // namespace
+}  // namespace optshare::astro

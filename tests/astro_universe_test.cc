@@ -1,0 +1,212 @@
+// Tests for the procedural universe and the FoF halo finder.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "astro/halo_finder.h"
+#include "astro/universe.h"
+
+namespace optshare::astro {
+namespace {
+
+UniverseParams SmallParams() {
+  UniverseParams p;
+  p.num_snapshots = 8;
+  p.num_halos = 10;
+  p.particles_per_halo = 32;
+  p.seed = 7;
+  return p;
+}
+
+TEST(UniverseTest, ParamValidation) {
+  UniverseParams p = SmallParams();
+  EXPECT_TRUE(p.Validate().ok());
+  p.num_snapshots = 0;
+  EXPECT_FALSE(p.Validate().ok());
+  p = SmallParams();
+  p.merge_probability = 1.5;
+  EXPECT_FALSE(p.Validate().ok());
+  p = SmallParams();
+  p.mass_min = 0.0;
+  EXPECT_FALSE(p.Validate().ok());
+}
+
+TEST(UniverseTest, ProducesRequestedShape) {
+  UniverseSimulator sim(SmallParams());
+  const auto snapshots = sim.Run();
+  ASSERT_EQ(snapshots.size(), 8u);
+  for (size_t k = 0; k < snapshots.size(); ++k) {
+    EXPECT_EQ(snapshots[k].index, static_cast<int>(k) + 1);
+    EXPECT_EQ(snapshots[k].particles.size(), 320u);
+  }
+}
+
+TEST(UniverseTest, ParticleIdsPersistAcrossSnapshots) {
+  UniverseSimulator sim(SmallParams());
+  const auto snapshots = sim.Run();
+  for (const auto& snap : snapshots) {
+    std::set<int64_t> ids;
+    for (const auto& p : snap.particles) ids.insert(p.id);
+    EXPECT_EQ(ids.size(), snap.particles.size());
+    EXPECT_EQ(*ids.begin(), 0);
+    EXPECT_EQ(*ids.rbegin(), 319);
+  }
+}
+
+TEST(UniverseTest, ParticlesStayInBox) {
+  UniverseSimulator sim(SmallParams());
+  const auto snapshots = sim.Run();
+  for (const auto& snap : snapshots) {
+    for (const auto& p : snap.particles) {
+      EXPECT_GE(p.x, 0.0);
+      EXPECT_LT(p.x, 100.0);
+      EXPECT_GE(p.y, 0.0);
+      EXPECT_LT(p.y, 100.0);
+      EXPECT_GE(p.z, 0.0);
+      EXPECT_LT(p.z, 100.0);
+      EXPECT_GT(p.mass, 0.0);
+    }
+  }
+}
+
+TEST(UniverseTest, DeterministicInSeed) {
+  UniverseSimulator a(SmallParams()), b(SmallParams());
+  const auto sa = a.Run();
+  const auto sb = b.Run();
+  ASSERT_EQ(sa.size(), sb.size());
+  for (size_t k = 0; k < sa.size(); ++k) {
+    for (size_t i = 0; i < sa[k].particles.size(); ++i) {
+      EXPECT_DOUBLE_EQ(sa[k].particles[i].x, sb[k].particles[i].x);
+    }
+  }
+}
+
+TEST(UniverseTest, MergersOnlyReduceHaloCount) {
+  UniverseParams p = SmallParams();
+  p.num_snapshots = 20;
+  p.merge_probability = 0.1;
+  UniverseSimulator sim(p);
+  sim.Run();
+  const auto& membership = sim.TrueMembership();
+  size_t prev = SIZE_MAX;
+  for (const auto& owners : membership) {
+    std::set<int> halos(owners.begin(), owners.end());
+    EXPECT_LE(halos.size(), prev);
+    prev = halos.size();
+  }
+}
+
+TEST(DisjointSetsTest, UnionFindBasics) {
+  DisjointSets sets(5);
+  EXPECT_EQ(sets.num_components(), 5);
+  sets.Union(0, 1);
+  sets.Union(3, 4);
+  EXPECT_EQ(sets.num_components(), 3);
+  EXPECT_EQ(sets.Find(0), sets.Find(1));
+  EXPECT_NE(sets.Find(0), sets.Find(3));
+  sets.Union(1, 4);
+  EXPECT_EQ(sets.Find(0), sets.Find(3));
+  sets.Union(0, 3);  // Already joined: no change.
+  EXPECT_EQ(sets.num_components(), 2);
+}
+
+TEST(HaloFinderTest, RecoversTrueClusters) {
+  // With well-separated compact halos, FoF must reproduce the ground-truth
+  // partition (up to label permutation).
+  UniverseParams p = SmallParams();
+  p.num_snapshots = 1;
+  UniverseSimulator sim(p);
+  const auto snapshots = sim.Run();
+  const auto& truth = sim.TrueMembership()[0];
+
+  auto catalog_r = FindHalos(snapshots[0], p.box_size);
+  ASSERT_TRUE(catalog_r.ok());
+  const HaloCatalog& catalog = *catalog_r;
+
+  // Same-halo pairs must share FoF labels; cross-halo pairs must not.
+  // (Sampled pairs keep the test O(n).)
+  const int n = static_cast<int>(truth.size());
+  int agree = 0, total = 0;
+  for (int i = 0; i < n; i += 3) {
+    for (int j = i + 1; j < n; j += 7) {
+      const bool same_truth = truth[static_cast<size_t>(i)] ==
+                              truth[static_cast<size_t>(j)];
+      const bool same_fof = catalog.halo_of[static_cast<size_t>(i)] ==
+                            catalog.halo_of[static_cast<size_t>(j)];
+      agree += (same_truth == same_fof) ? 1 : 0;
+      ++total;
+    }
+  }
+  EXPECT_GT(static_cast<double>(agree) / total, 0.97);
+}
+
+TEST(HaloFinderTest, MassAndSizeAggregates) {
+  UniverseParams p = SmallParams();
+  p.num_snapshots = 1;
+  UniverseSimulator sim(p);
+  const auto snapshots = sim.Run();
+  const HaloCatalog catalog = *FindHalos(snapshots[0], p.box_size);
+
+  double total_mass = 0.0;
+  for (const auto& particle : snapshots[0].particles) {
+    total_mass += particle.mass;
+  }
+  double catalog_mass = 0.0;
+  int catalog_size = 0;
+  for (int h = 0; h < catalog.num_halos(); ++h) {
+    catalog_mass += catalog.halo_mass[static_cast<size_t>(h)];
+    catalog_size += catalog.halo_size[static_cast<size_t>(h)];
+  }
+  EXPECT_NEAR(catalog_mass, total_mass, 1e-9);
+  EXPECT_EQ(catalog_size, 320);
+}
+
+TEST(HaloFinderTest, HalosByMassIsSortedDescending) {
+  UniverseParams p = SmallParams();
+  p.num_snapshots = 1;
+  UniverseSimulator sim(p);
+  const auto snapshots = sim.Run();
+  const HaloCatalog catalog = *FindHalos(snapshots[0], p.box_size);
+  const auto order = catalog.HalosByMass();
+  for (size_t k = 1; k < order.size(); ++k) {
+    EXPECT_GE(catalog.halo_mass[static_cast<size_t>(order[k - 1])],
+              catalog.halo_mass[static_cast<size_t>(order[k])]);
+  }
+}
+
+TEST(HaloFinderTest, MinHaloSizeFiltersNoise) {
+  UniverseParams p = SmallParams();
+  p.num_snapshots = 1;
+  UniverseSimulator sim(p);
+  const auto snapshots = sim.Run();
+  FofParams fof;
+  fof.min_halo_size = 1000;  // Larger than any halo.
+  const HaloCatalog catalog = *FindHalos(snapshots[0], p.box_size, fof);
+  EXPECT_EQ(catalog.num_halos(), 0);
+  for (int h : catalog.halo_of) EXPECT_EQ(h, -1);
+}
+
+TEST(HaloFinderTest, RejectsBadParams) {
+  Snapshot empty;
+  EXPECT_FALSE(FindHalos(empty, -1.0).ok());
+  FofParams fof;
+  fof.linking_length = 0.0;
+  EXPECT_FALSE(FindHalos(empty, 100.0, fof).ok());
+  fof.linking_length = 1.0;
+  fof.min_halo_size = 0;
+  EXPECT_FALSE(FindHalos(empty, 100.0, fof).ok());
+}
+
+TEST(HaloFinderTest, TinyLinkingLengthIsolatesParticles) {
+  UniverseParams p = SmallParams();
+  p.num_snapshots = 1;
+  UniverseSimulator sim(p);
+  const auto snapshots = sim.Run();
+  FofParams fof;
+  fof.linking_length = 1e-9;
+  const HaloCatalog catalog = *FindHalos(snapshots[0], p.box_size, fof);
+  EXPECT_EQ(catalog.num_halos(), 320);  // Every particle its own halo.
+}
+
+}  // namespace
+}  // namespace optshare::astro

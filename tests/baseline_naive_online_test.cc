@@ -1,0 +1,77 @@
+// Tests for the naive online scheme of paper Example 2 — built to fail:
+// cost-recovering but gameable by hiding early value.
+#include "baseline/naive_online.h"
+
+#include <gtest/gtest.h>
+
+namespace optshare {
+namespace {
+
+// Example 2's game: cost 100; user 0 (1,1,[101]), user 1 (1,2,[26,26]).
+AdditiveOnlineGame Example2Game() {
+  AdditiveOnlineGame g;
+  g.num_slots = 2;
+  g.cost = 100.0;
+  g.users = {SlotValues::Single(1, 101.0),
+             *SlotValues::Make(1, 2, {26.0, 26.0})};
+  return g;
+}
+
+TEST(NaiveOnlineTest, TruthfulPlayChargesBothFunders) {
+  NaiveOnlineResult r = RunNaiveOnline(Example2Game());
+  ASSERT_TRUE(r.implemented);
+  EXPECT_EQ(r.implemented_at, 1);
+  // Both users fund at t=1, each paying 50 (Example 2's trace).
+  EXPECT_DOUBLE_EQ(r.payments[0], 50.0);
+  EXPECT_DOUBLE_EQ(r.payments[1], 50.0);
+  // User 1's utility: 52 - 50 = 2.
+}
+
+TEST(NaiveOnlineTest, Example2FreeRideExploit) {
+  // User 1 hides her slot-1 value and bids (2,2,[26]). User 0 funds the
+  // whole 100 at t=1; at t=2 user 1 rides for free with utility 26 > 2.
+  AdditiveOnlineGame cheat = Example2Game();
+  cheat.users[1] = SlotValues::Single(2, 26.0);
+  NaiveOnlineResult r = RunNaiveOnline(cheat);
+  ASSERT_TRUE(r.implemented);
+  EXPECT_EQ(r.implemented_at, 1);
+  EXPECT_DOUBLE_EQ(r.payments[0], 100.0);
+  EXPECT_DOUBLE_EQ(r.payments[1], 0.0);  // The free ride.
+  // She is serviced at t=2 regardless.
+  const auto& s2 = r.serviced[1];
+  EXPECT_NE(std::find(s2.begin(), s2.end(), 1), s2.end());
+  // The scheme is therefore not truthful: 26 - 0 > 52 - 50. AddOn closes
+  // exactly this hole (see core_add_on_test.cc Example2 test).
+}
+
+TEST(NaiveOnlineTest, StillCostRecovering) {
+  NaiveOnlineResult r = RunNaiveOnline(Example2Game());
+  EXPECT_GE(r.TotalPayment(), 100.0 - 1e-9);
+}
+
+TEST(NaiveOnlineTest, NeverFundedMeansNoService) {
+  AdditiveOnlineGame g;
+  g.num_slots = 3;
+  g.cost = 1000.0;
+  g.users = {SlotValues::Constant(1, 3, 10.0)};
+  NaiveOnlineResult r = RunNaiveOnline(g);
+  EXPECT_FALSE(r.implemented);
+  EXPECT_DOUBLE_EQ(r.TotalPayment(), 0.0);
+  for (const auto& s : r.serviced) EXPECT_TRUE(s.empty());
+}
+
+TEST(NaiveOnlineTest, LateArrivalsServedFreeAfterFunding) {
+  AdditiveOnlineGame g;
+  g.num_slots = 3;
+  g.cost = 50.0;
+  g.users = {SlotValues::Single(1, 60.0), SlotValues::Single(3, 10.0)};
+  NaiveOnlineResult r = RunNaiveOnline(g);
+  ASSERT_TRUE(r.implemented);
+  EXPECT_DOUBLE_EQ(r.payments[0], 50.0);
+  EXPECT_DOUBLE_EQ(r.payments[1], 0.0);
+  const auto& s3 = r.serviced[2];
+  EXPECT_NE(std::find(s3.begin(), s3.end(), 1), s3.end());
+}
+
+}  // namespace
+}  // namespace optshare

@@ -1,0 +1,56 @@
+// Tests for the naive pay-your-bid mechanism (paper Example 1): it recovers
+// costs but is not truthful.
+#include "baseline/naive.h"
+
+#include <gtest/gtest.h>
+
+namespace optshare {
+namespace {
+
+TEST(NaiveTest, ImplementsWhenBidsCoverCost) {
+  NaiveResult r = RunNaive(100.0, {60.0, 50.0});
+  EXPECT_TRUE(r.implemented);
+  EXPECT_DOUBLE_EQ(r.payments[0], 60.0);
+  EXPECT_DOUBLE_EQ(r.payments[1], 50.0);
+  EXPECT_DOUBLE_EQ(r.TotalPayment(), 110.0);
+}
+
+TEST(NaiveTest, NotImplementedWhenBidsFallShort) {
+  NaiveResult r = RunNaive(100.0, {60.0, 30.0});
+  EXPECT_FALSE(r.implemented);
+  EXPECT_DOUBLE_EQ(r.TotalPayment(), 0.0);
+}
+
+TEST(NaiveTest, ExactCoverageImplements) {
+  NaiveResult r = RunNaive(100.0, {50.0, 50.0});
+  EXPECT_TRUE(r.implemented);
+}
+
+TEST(NaiveTest, CostRecoveringByConstruction) {
+  NaiveResult r = RunNaive(80.0, {50.0, 40.0, 30.0});
+  ASSERT_TRUE(r.implemented);
+  EXPECT_GE(r.TotalPayment(), 80.0);
+}
+
+TEST(NaiveTest, Example1UnderbiddingPays) {
+  // Example 1: a user with value 60 who shades her bid to 20 still gets the
+  // optimization (others cover it) and pays 40 less — the mechanism is
+  // gameable, which motivates the Shapley approach.
+  const double value = 60.0;
+  NaiveResult truthful = RunNaive(100.0, {value, 50.0});
+  ASSERT_TRUE(truthful.implemented);
+  const double truthful_utility = value - truthful.payments[0];
+
+  NaiveResult shaded = RunNaive(100.0, {20.0, 80.0});
+  ASSERT_TRUE(shaded.implemented);
+  const double shaded_utility = value - shaded.payments[0];
+  EXPECT_GT(shaded_utility, truthful_utility);
+}
+
+TEST(NaiveTest, EmptyBids) {
+  NaiveResult r = RunNaive(10.0, {});
+  EXPECT_FALSE(r.implemented);
+}
+
+}  // namespace
+}  // namespace optshare

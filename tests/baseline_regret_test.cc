@@ -1,0 +1,201 @@
+// Tests for the Regret baseline (paper §7.1): greedy trigger, omniscient
+// loss-minimizing price, lack of cost-recovery guarantees, and the
+// substitutable variant's capture semantics.
+#include "baseline/regret.h"
+
+#include <gtest/gtest.h>
+
+#include "common/money.h"
+
+namespace optshare {
+namespace {
+
+TEST(RegretAdditiveTest, TriggersWhenRegretReachesCost) {
+  // Values: 10 per slot from one user; cost 25. R(1)=0, R(2)=10, R(3)=20,
+  // R(4)=30 >= 25 -> implemented at t=4.
+  AdditiveOnlineGame g;
+  g.num_slots = 6;
+  g.cost = 25.0;
+  g.users = {SlotValues::Constant(1, 6, 10.0)};
+  RegretAdditiveResult r = RunRegretAdditive(g);
+  ASSERT_TRUE(r.implemented);
+  EXPECT_EQ(r.implemented_at, 4);
+  EXPECT_DOUBLE_EQ(r.regret[0], 0.0);
+  EXPECT_DOUBLE_EQ(r.regret[3], 30.0);
+}
+
+TEST(RegretAdditiveTest, RegretExcludesCurrentSlot) {
+  // R(t) sums strictly past slots: with cost exactly 10 and one 10-valued
+  // slot stream, the trigger is t=2, not t=1.
+  AdditiveOnlineGame g;
+  g.num_slots = 3;
+  g.cost = 10.0;
+  g.users = {SlotValues::Constant(1, 3, 10.0)};
+  RegretAdditiveResult r = RunRegretAdditive(g);
+  ASSERT_TRUE(r.implemented);
+  EXPECT_EQ(r.implemented_at, 2);
+}
+
+TEST(RegretAdditiveTest, NeverTriggersWhenValueTooLow) {
+  AdditiveOnlineGame g;
+  g.num_slots = 4;
+  g.cost = 1000.0;
+  g.users = {SlotValues::Constant(1, 4, 1.0)};
+  RegretAdditiveResult r = RunRegretAdditive(g);
+  EXPECT_FALSE(r.implemented);
+  EXPECT_DOUBLE_EQ(r.TotalUtility(), 0.0);
+  EXPECT_DOUBLE_EQ(r.CloudBalance(), 0.0);
+}
+
+TEST(RegretAdditiveTest, PriceMinimizesCloudLoss) {
+  // Cost 30. One user worth 10/slot over [1,6] triggers at t=4 with
+  // residual 20; a second user worth 15 in slot 5 has residual 15.
+  // Candidate prices {15, 20}: p=15 -> 2 buyers, revenue 30 (loss 0);
+  // p=20 -> 1 buyer, revenue 20 (loss 10). Price 15 wins.
+  AdditiveOnlineGame g;
+  g.num_slots = 6;
+  g.cost = 30.0;
+  g.users = {SlotValues::Constant(1, 6, 10.0), SlotValues::Single(5, 15.0)};
+  RegretAdditiveResult r = RunRegretAdditive(g);
+  ASSERT_TRUE(r.implemented);
+  EXPECT_EQ(r.implemented_at, 4);  // R(4) = 10+10+10 = 30.
+  // Residuals from t=5: user 0 -> 20, user 1 -> 15.
+  EXPECT_DOUBLE_EQ(r.price, 15.0);
+  EXPECT_EQ(r.NumBuyers(), 2);
+  EXPECT_DOUBLE_EQ(r.total_payment, 30.0);
+  EXPECT_DOUBLE_EQ(r.CloudBalance(), 0.0);
+  EXPECT_DOUBLE_EQ(r.total_value, 35.0);
+}
+
+TEST(RegretAdditiveTest, SmallestPriceAmongTies) {
+  // Cost 10, residuals {10, 10}: p=10 -> revenue 20, p=5? not candidate.
+  // Candidates {10}: single. Make a tie: residuals {10, 20}; p=10 ->
+  // revenue 20 loss 0; p=20 -> revenue 20 loss 0. Smallest (10) chosen.
+  AdditiveOnlineGame g;
+  g.num_slots = 3;
+  g.cost = 10.0;
+  g.users = {*SlotValues::Make(1, 2, {10.0, 10.0}),
+             *SlotValues::Make(1, 3, {0.0, 10.0, 10.0})};
+  RegretAdditiveResult r = RunRegretAdditive(g);
+  ASSERT_TRUE(r.implemented);
+  EXPECT_EQ(r.implemented_at, 2);  // R(2) = 10.
+  // Residuals from t=3: user 0 -> 0, user 1 -> 10.
+  EXPECT_DOUBLE_EQ(r.price, 10.0);
+  EXPECT_EQ(r.NumBuyers(), 1);
+}
+
+TEST(RegretAdditiveTest, CloudLossWhenResidualInsufficient) {
+  // The key failure mode the paper highlights: regret builds up, the
+  // optimization is implemented, but too little future value remains.
+  AdditiveOnlineGame g;
+  g.num_slots = 4;
+  g.cost = 30.0;
+  g.users = {*SlotValues::Make(1, 4, {10.0, 10.0, 10.0, 2.0})};
+  RegretAdditiveResult r = RunRegretAdditive(g);
+  ASSERT_TRUE(r.implemented);
+  EXPECT_EQ(r.implemented_at, 4);
+  // Residual after t=4 is 0: no buyers, full loss.
+  EXPECT_EQ(r.NumBuyers(), 0);
+  EXPECT_DOUBLE_EQ(r.CloudBalance(), -30.0);
+  EXPECT_DOUBLE_EQ(r.TotalUtility(), -30.0);
+  EXPECT_FALSE(MoneyGe(r.CloudBalance(), 0.0));
+}
+
+TEST(RegretAdditiveTest, BuyersPayOnceAndValueIsResidualOnly) {
+  AdditiveOnlineGame g;
+  g.num_slots = 4;
+  g.cost = 10.0;
+  g.users = {SlotValues::Constant(1, 4, 10.0)};
+  RegretAdditiveResult r = RunRegretAdditive(g);
+  ASSERT_TRUE(r.implemented);
+  EXPECT_EQ(r.implemented_at, 2);
+  // Value realized is only t=3..4 (post-trigger): 20, not 40. The
+  // break-even price 10 (= C/1) undercuts the residual 20.
+  EXPECT_DOUBLE_EQ(r.total_value, 20.0);
+  EXPECT_DOUBLE_EQ(r.price, 10.0);
+  EXPECT_DOUBLE_EQ(r.total_payment, 10.0);
+}
+
+TEST(RegretAdditiveTest, MultiOptIndependence) {
+  MultiAdditiveOnlineGame g;
+  g.num_slots = 3;
+  g.costs = {5.0, 500.0};
+  g.bids = {
+      {SlotValues::Constant(1, 3, 10.0), SlotValues::Constant(1, 3, 1.0)},
+  };
+  auto results = RunRegretAdditiveAll(g);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_TRUE(results[0].implemented);
+  EXPECT_FALSE(results[1].implemented);
+  RegretLedger ledger = SumLedgers(results);
+  EXPECT_DOUBLE_EQ(ledger.total_cost, 5.0);
+}
+
+TEST(RegretSubstTest, CapturedUsersStopAccruingRegret) {
+  // Two substitutable opts, one user wanting both. Once opt 0 triggers and
+  // captures her, opt 1 must never trigger from her later value.
+  SubstOnlineGame g;
+  g.num_slots = 8;
+  g.costs = {20.0, 25.0};
+  g.users = {{SlotValues::Constant(1, 8, 10.0), {0, 1}}};
+  RegretSubstResult r = RunRegretSubst(g);
+  EXPECT_EQ(r.implemented_at[0], 3);  // R(3) = 20.
+  EXPECT_EQ(r.bought[0], 0);
+  EXPECT_EQ(r.implemented_at[1], 0) << "opt 1 must not trigger";
+  EXPECT_DOUBLE_EQ(r.total_cost, 20.0);
+  // Residual from t=4: 50.
+  EXPECT_DOUBLE_EQ(r.total_value, 50.0);
+}
+
+TEST(RegretSubstTest, UncapturedUsersKeepAccruing) {
+  // User 0 wants only opt 0; user 1 wants only opt 1. Both trigger
+  // independently.
+  SubstOnlineGame g;
+  g.num_slots = 6;
+  g.costs = {20.0, 20.0};
+  g.users = {
+      {SlotValues::Constant(1, 6, 10.0), {0}},
+      {SlotValues::Constant(1, 6, 5.0), {1}},
+  };
+  RegretSubstResult r = RunRegretSubst(g);
+  EXPECT_EQ(r.implemented_at[0], 3);
+  EXPECT_EQ(r.implemented_at[1], 5);
+  EXPECT_EQ(r.bought[0], 0);
+  EXPECT_EQ(r.bought[1], 1);
+}
+
+TEST(RegretSubstTest, NonBuyerRemainsEligibleForOtherOpts) {
+  // User 1's residual at opt 0's trigger is below the chosen price, so she
+  // is not captured and may later support/buy opt 1.
+  SubstOnlineGame g;
+  g.num_slots = 10;
+  g.costs = {30.0, 8.0};
+  g.users = {
+      {SlotValues::Constant(1, 10, 10.0), {0}},   // Drives opt 0.
+      {*SlotValues::Make(1, 10, {1, 1, 1, 1, 1, 1, 1, 1, 1, 1}), {1}},
+  };
+  RegretSubstResult r = RunRegretSubst(g);
+  ASSERT_GT(r.implemented_at[0], 0);
+  ASSERT_GT(r.implemented_at[1], 0);
+  EXPECT_EQ(r.bought[1], 1);
+}
+
+TEST(RegretSubstTest, LedgerConsistency) {
+  SubstOnlineGame g;
+  g.num_slots = 6;
+  g.costs = {15.0, 12.0};
+  g.users = {
+      {SlotValues::Constant(1, 6, 4.0), {0, 1}},
+      {SlotValues::Constant(2, 6, 5.0), {0}},
+      {SlotValues::Constant(1, 5, 3.0), {1}},
+  };
+  RegretSubstResult r = RunRegretSubst(g);
+  double payments = 0.0;
+  for (double p : r.payments) payments += p;
+  EXPECT_NEAR(payments, r.total_payment, 1e-9);
+  EXPECT_DOUBLE_EQ(r.TotalUtility(), r.total_value - r.total_cost);
+  EXPECT_DOUBLE_EQ(r.CloudBalance(), r.total_payment - r.total_cost);
+}
+
+}  // namespace
+}  // namespace optshare

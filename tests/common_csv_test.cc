@@ -1,0 +1,85 @@
+#include "common/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace optshare {
+namespace {
+
+TEST(CsvEscapeTest, PlainFieldUnchanged) {
+  EXPECT_EQ(CsvEscape("hello"), "hello");
+  EXPECT_EQ(CsvEscape("12.5"), "12.5");
+  EXPECT_EQ(CsvEscape(""), "");
+}
+
+TEST(CsvEscapeTest, CommaTriggersQuoting) {
+  EXPECT_EQ(CsvEscape("a,b"), "\"a,b\"");
+}
+
+TEST(CsvEscapeTest, QuotesAreDoubled) {
+  EXPECT_EQ(CsvEscape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(CsvEscapeTest, NewlineTriggersQuoting) {
+  EXPECT_EQ(CsvEscape("a\nb"), "\"a\nb\"");
+}
+
+TEST(CsvWriterTest, HeaderAndRows) {
+  std::ostringstream out;
+  CsvWriter w(&out);
+  ASSERT_TRUE(w.WriteHeader({"cost", "utility"}).ok());
+  ASSERT_TRUE(w.WriteRow(std::vector<std::string>{"0.5", "1.25"}).ok());
+  ASSERT_TRUE(w.WriteRow(std::vector<double>{1.0, -2.5}).ok());
+  EXPECT_EQ(out.str(), "cost,utility\n0.5,1.25\n1,-2.5\n");
+  EXPECT_EQ(w.rows_written(), 2u);
+}
+
+TEST(CsvWriterTest, RejectsWidthMismatch) {
+  std::ostringstream out;
+  CsvWriter w(&out);
+  ASSERT_TRUE(w.WriteHeader({"a", "b"}).ok());
+  Status st = w.WriteRow(std::vector<std::string>{"only-one"});
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CsvWriterTest, RejectsDoubleHeader) {
+  std::ostringstream out;
+  CsvWriter w(&out);
+  ASSERT_TRUE(w.WriteHeader({"a"}).ok());
+  EXPECT_EQ(w.WriteHeader({"b"}).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(CsvWriterTest, RejectsEmptyHeader) {
+  std::ostringstream out;
+  CsvWriter w(&out);
+  EXPECT_EQ(w.WriteHeader({}).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CsvWriterTest, RowsWithoutHeaderAreUnchecked) {
+  std::ostringstream out;
+  CsvWriter w(&out);
+  ASSERT_TRUE(w.WriteRow(std::vector<std::string>{"x", "y", "z"}).ok());
+  EXPECT_EQ(out.str(), "x,y,z\n");
+}
+
+TEST(CsvWriterTest, NullStreamFails) {
+  CsvWriter w(nullptr);
+  EXPECT_EQ(w.WriteRow(std::vector<std::string>{"x"}).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(FormatDoubleTest, RoundTrips) {
+  EXPECT_EQ(FormatDouble(1.0), "1");
+  EXPECT_EQ(FormatDouble(0.1), "0.1");
+  EXPECT_EQ(FormatDouble(-2.5), "-2.5");
+}
+
+TEST(FormatDoubleTest, SpecialValues) {
+  EXPECT_EQ(FormatDouble(std::numeric_limits<double>::infinity()), "inf");
+  EXPECT_EQ(FormatDouble(-std::numeric_limits<double>::infinity()), "-inf");
+  EXPECT_EQ(FormatDouble(std::numeric_limits<double>::quiet_NaN()), "nan");
+}
+
+}  // namespace
+}  // namespace optshare

@@ -1,0 +1,146 @@
+// Tests for the JSON document model, parser and serializer.
+#include "common/json.h"
+
+#include <gtest/gtest.h>
+
+namespace optshare {
+namespace {
+
+TEST(JsonValueTest, TypePredicates) {
+  EXPECT_TRUE(JsonValue::Null().is_null());
+  EXPECT_TRUE(JsonValue::Bool(true).is_bool());
+  EXPECT_TRUE(JsonValue::Number(1.5).is_number());
+  EXPECT_TRUE(JsonValue::Str("x").is_string());
+  EXPECT_TRUE(JsonValue::MakeArray().is_array());
+  EXPECT_TRUE(JsonValue::MakeObject().is_object());
+}
+
+TEST(JsonValueTest, ObjectAccess) {
+  JsonValue obj = JsonValue::MakeObject();
+  obj.Set("a", JsonValue::Number(1.0));
+  obj.Set("b", JsonValue::Str("two"));
+  ASSERT_NE(obj.Find("a"), nullptr);
+  EXPECT_DOUBLE_EQ(obj.Find("a")->AsNumber(), 1.0);
+  EXPECT_EQ(obj.Find("b")->AsString(), "two");
+  EXPECT_EQ(obj.Find("missing"), nullptr);
+  EXPECT_EQ(JsonValue::Number(1.0).Find("a"), nullptr);  // Not an object.
+}
+
+TEST(JsonDumpTest, Scalars) {
+  EXPECT_EQ(JsonValue::Null().Dump(), "null");
+  EXPECT_EQ(JsonValue::Bool(true).Dump(), "true");
+  EXPECT_EQ(JsonValue::Bool(false).Dump(), "false");
+  EXPECT_EQ(JsonValue::Number(2.5).Dump(), "2.5");
+  EXPECT_EQ(JsonValue::Number(42).Dump(), "42");
+  EXPECT_EQ(JsonValue::Str("hi").Dump(), "\"hi\"");
+}
+
+TEST(JsonDumpTest, NonFiniteNumbersBecomeNull) {
+  EXPECT_EQ(JsonValue::Number(std::numeric_limits<double>::infinity()).Dump(),
+            "null");
+  EXPECT_EQ(JsonValue::Number(std::numeric_limits<double>::quiet_NaN()).Dump(),
+            "null");
+}
+
+TEST(JsonDumpTest, CompactContainers) {
+  JsonValue arr = JsonValue::MakeArray();
+  arr.Append(JsonValue::Number(1));
+  arr.Append(JsonValue::Str("x"));
+  EXPECT_EQ(arr.Dump(), "[1,\"x\"]");
+
+  JsonValue obj = JsonValue::MakeObject();
+  obj.Set("b", JsonValue::Number(2));
+  obj.Set("a", JsonValue::Number(1));
+  // Keys are sorted for deterministic output.
+  EXPECT_EQ(obj.Dump(), "{\"a\":1,\"b\":2}");
+
+  EXPECT_EQ(JsonValue::MakeArray().Dump(), "[]");
+  EXPECT_EQ(JsonValue::MakeObject().Dump(), "{}");
+}
+
+TEST(JsonDumpTest, PrettyPrint) {
+  JsonValue obj = JsonValue::MakeObject();
+  obj.Set("k", JsonValue::Number(1));
+  EXPECT_EQ(obj.Dump(2), "{\n  \"k\": 1\n}");
+}
+
+TEST(JsonEscapeTest, SpecialCharacters) {
+  EXPECT_EQ(JsonEscape("a\"b"), "\"a\\\"b\"");
+  EXPECT_EQ(JsonEscape("a\\b"), "\"a\\\\b\"");
+  EXPECT_EQ(JsonEscape("a\nb"), "\"a\\nb\"");
+  EXPECT_EQ(JsonEscape(std::string("a\x01") + "b"), "\"a\\u0001b\"");
+}
+
+TEST(JsonParseTest, Scalars) {
+  EXPECT_TRUE(JsonValue::Parse("null")->is_null());
+  EXPECT_TRUE(JsonValue::Parse("true")->AsBool());
+  EXPECT_FALSE(JsonValue::Parse("false")->AsBool());
+  EXPECT_DOUBLE_EQ(JsonValue::Parse("3.25")->AsNumber(), 3.25);
+  EXPECT_DOUBLE_EQ(JsonValue::Parse("-1e3")->AsNumber(), -1000.0);
+  EXPECT_EQ(JsonValue::Parse("\"hello\"")->AsString(), "hello");
+}
+
+TEST(JsonParseTest, Containers) {
+  auto v = JsonValue::Parse(R"({"costs": [60, 180], "nested": {"x": true}})");
+  ASSERT_TRUE(v.ok());
+  ASSERT_TRUE(v->is_object());
+  const JsonValue* costs = v->Find("costs");
+  ASSERT_NE(costs, nullptr);
+  ASSERT_EQ(costs->AsArray().size(), 2u);
+  EXPECT_DOUBLE_EQ(costs->AsArray()[1].AsNumber(), 180.0);
+  EXPECT_TRUE(v->Find("nested")->Find("x")->AsBool());
+}
+
+TEST(JsonParseTest, WhitespaceTolerant) {
+  auto v = JsonValue::Parse("  {\n\t\"a\" :\r [ 1 , 2 ]\n} ");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->Find("a")->AsArray().size(), 2u);
+}
+
+TEST(JsonParseTest, StringEscapes) {
+  EXPECT_EQ(JsonValue::Parse(R"("a\"b")")->AsString(), "a\"b");
+  EXPECT_EQ(JsonValue::Parse(R"("line\nbreak")")->AsString(), "line\nbreak");
+  EXPECT_EQ(JsonValue::Parse(R"("A")")->AsString(), "A");
+  EXPECT_EQ(JsonValue::Parse(R"("é")")->AsString(), "\xC3\xA9");  // é.
+  EXPECT_EQ(JsonValue::Parse(R"("€")")->AsString(),
+            "\xE2\x82\xAC");  // €.
+}
+
+TEST(JsonParseTest, Errors) {
+  EXPECT_FALSE(JsonValue::Parse("").ok());
+  EXPECT_FALSE(JsonValue::Parse("{").ok());
+  EXPECT_FALSE(JsonValue::Parse("[1,]").ok());
+  EXPECT_FALSE(JsonValue::Parse("{\"a\" 1}").ok());
+  EXPECT_FALSE(JsonValue::Parse("nul").ok());
+  EXPECT_FALSE(JsonValue::Parse("\"unterminated").ok());
+  EXPECT_FALSE(JsonValue::Parse("\"bad\\q\"").ok());
+  EXPECT_FALSE(JsonValue::Parse("\"\\u12\"").ok());
+  EXPECT_FALSE(JsonValue::Parse("1 2").ok());  // Trailing garbage.
+  EXPECT_FALSE(JsonValue::Parse("--1").ok());
+}
+
+TEST(JsonParseTest, DeepNestingIsBounded) {
+  std::string deep(200, '[');
+  deep += std::string(200, ']');
+  EXPECT_FALSE(JsonValue::Parse(deep).ok());
+}
+
+TEST(JsonRoundTripTest, DumpThenParse) {
+  JsonValue obj = JsonValue::MakeObject();
+  obj.Set("name", JsonValue::Str("game \"x\"\n"));
+  obj.Set("cost", JsonValue::Number(2.31));
+  obj.Set("flag", JsonValue::Bool(false));
+  obj.Set("nothing", JsonValue::Null());
+  JsonValue arr = JsonValue::MakeArray();
+  for (double d : {0.03, 0.21, 1e-9}) arr.Append(JsonValue::Number(d));
+  obj.Set("sweep", std::move(arr));
+
+  for (int indent : {-1, 0, 2, 4}) {
+    auto parsed = JsonValue::Parse(obj.Dump(indent));
+    ASSERT_TRUE(parsed.ok()) << "indent " << indent;
+    EXPECT_EQ(*parsed, obj) << "indent " << indent;
+  }
+}
+
+}  // namespace
+}  // namespace optshare

@@ -1,0 +1,57 @@
+// Tests for the logging facility.
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace optshare {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_ = GetLogLevel(); }
+  void TearDown() override { SetLogLevel(saved_); }
+  LogLevel saved_ = LogLevel::kWarning;
+};
+
+TEST_F(LoggingTest, LevelRoundTrips) {
+  for (LogLevel level : {LogLevel::kDebug, LogLevel::kInfo, LogLevel::kWarning,
+                         LogLevel::kError}) {
+    SetLogLevel(level);
+    EXPECT_EQ(GetLogLevel(), level);
+  }
+}
+
+TEST_F(LoggingTest, EmitBelowThresholdIsDropped) {
+  SetLogLevel(LogLevel::kError);
+  // Captures stderr around the emission.
+  testing::internal::CaptureStderr();
+  OPTSHARE_LOG(Info) << "invisible " << 42;
+  EXPECT_EQ(testing::internal::GetCapturedStderr(), "");
+}
+
+TEST_F(LoggingTest, EmitAtThresholdIsPrinted) {
+  SetLogLevel(LogLevel::kInfo);
+  testing::internal::CaptureStderr();
+  OPTSHARE_LOG(Info) << "visible " << 42;
+  const std::string out = testing::internal::GetCapturedStderr();
+  EXPECT_NE(out.find("[INFO] visible 42"), std::string::npos);
+}
+
+TEST_F(LoggingTest, ErrorAlwaysPasses) {
+  SetLogLevel(LogLevel::kError);
+  testing::internal::CaptureStderr();
+  OPTSHARE_LOG(Error) << "bad thing";
+  EXPECT_NE(testing::internal::GetCapturedStderr().find("[ERROR] bad thing"),
+            std::string::npos);
+}
+
+TEST_F(LoggingTest, StreamFormatsMixedTypes) {
+  SetLogLevel(LogLevel::kDebug);
+  testing::internal::CaptureStderr();
+  OPTSHARE_LOG(Debug) << "cost=" << 2.5 << " users=" << 6 << " ok=" << true;
+  const std::string out = testing::internal::GetCapturedStderr();
+  EXPECT_NE(out.find("cost=2.5 users=6 ok=1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace optshare

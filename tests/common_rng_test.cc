@@ -1,0 +1,134 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace optshare {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, NextDoubleMeanNearHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.NextDouble();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, UniformRespectsBounds) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.Uniform(2.5, 3.5);
+    EXPECT_GE(x, 2.5);
+    EXPECT_LT(x, 3.5);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRangeInclusive) {
+  Rng rng(17);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t x = rng.UniformInt(1, 6);
+    EXPECT_GE(x, 1);
+    EXPECT_LE(x, 6);
+    seen.insert(x);
+  }
+  EXPECT_EQ(seen.size(), 6u);  // All die faces appear in 1000 rolls.
+}
+
+TEST(RngTest, UniformIntDegenerateRange) {
+  Rng rng(19);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.UniformInt(5, 5), 5);
+}
+
+TEST(RngTest, ExponentialIsPositiveWithRequestedMean) {
+  Rng rng(23);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Exponential(1.28);
+    EXPECT_GT(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / n, 1.28, 0.02);
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  Rng rng(29);
+  for (int trial = 0; trial < 100; ++trial) {
+    auto picks = rng.SampleWithoutReplacement(12, 3);
+    ASSERT_EQ(picks.size(), 3u);
+    std::set<int> distinct(picks.begin(), picks.end());
+    EXPECT_EQ(distinct.size(), 3u);
+    for (int p : picks) {
+      EXPECT_GE(p, 0);
+      EXPECT_LT(p, 12);
+    }
+  }
+}
+
+TEST(RngTest, SampleWithoutReplacementFullSetIsPermutation) {
+  Rng rng(31);
+  auto perm = rng.Permutation(10);
+  std::sort(perm.begin(), perm.end());
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(perm[i], i);
+}
+
+TEST(RngTest, SampleWithoutReplacementUniformFirstElement) {
+  // Each value should appear as the first pick about n/12 of the time.
+  Rng rng(37);
+  std::vector<int> counts(12, 0);
+  const int n = 24000;
+  for (int i = 0; i < n; ++i) {
+    ++counts[static_cast<size_t>(rng.SampleWithoutReplacement(12, 1)[0])];
+  }
+  for (int c : counts) EXPECT_NEAR(c, n / 12, 300);
+}
+
+TEST(RngTest, ForkProducesIndependentStreams) {
+  Rng parent(41);
+  Rng a = parent.Fork(0);
+  Rng b = parent.Fork(1);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(43);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+}  // namespace
+}  // namespace optshare

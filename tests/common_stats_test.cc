@@ -1,0 +1,120 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace optshare {
+namespace {
+
+TEST(RunningStatTest, EmptyIsZero) {
+  RunningStat rs;
+  EXPECT_EQ(rs.count(), 0u);
+  EXPECT_EQ(rs.mean(), 0.0);
+  EXPECT_EQ(rs.variance(), 0.0);
+  EXPECT_EQ(rs.min(), 0.0);
+  EXPECT_EQ(rs.max(), 0.0);
+}
+
+TEST(RunningStatTest, SingleObservation) {
+  RunningStat rs;
+  rs.Add(4.5);
+  EXPECT_EQ(rs.count(), 1u);
+  EXPECT_EQ(rs.mean(), 4.5);
+  EXPECT_EQ(rs.variance(), 0.0);
+  EXPECT_EQ(rs.min(), 4.5);
+  EXPECT_EQ(rs.max(), 4.5);
+}
+
+TEST(RunningStatTest, KnownSample) {
+  // Sample {2, 4, 4, 4, 5, 5, 7, 9}: mean 5, sample variance 32/7.
+  RunningStat rs;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) rs.Add(x);
+  EXPECT_DOUBLE_EQ(rs.mean(), 5.0);
+  EXPECT_NEAR(rs.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(rs.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_EQ(rs.min(), 2.0);
+  EXPECT_EQ(rs.max(), 9.0);
+  EXPECT_DOUBLE_EQ(rs.sum(), 40.0);
+}
+
+TEST(RunningStatTest, MergeMatchesSequential) {
+  RunningStat all, left, right;
+  for (int i = 0; i < 50; ++i) {
+    const double x = 0.1 * i * i - 3.0 * i;
+    all.Add(x);
+    (i < 20 ? left : right).Add(x);
+  }
+  left.Merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
+  EXPECT_EQ(left.min(), all.min());
+  EXPECT_EQ(left.max(), all.max());
+}
+
+TEST(RunningStatTest, MergeWithEmptyIsIdentity) {
+  RunningStat rs, empty;
+  rs.Add(1.0);
+  rs.Add(3.0);
+  rs.Merge(empty);
+  EXPECT_EQ(rs.count(), 2u);
+  EXPECT_DOUBLE_EQ(rs.mean(), 2.0);
+
+  RunningStat empty2;
+  empty2.Merge(rs);
+  EXPECT_EQ(empty2.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty2.mean(), 2.0);
+}
+
+TEST(RunningStatTest, NumericallyStableForLargeOffsets) {
+  // Classic catastrophic-cancellation case: huge mean, tiny variance.
+  RunningStat rs;
+  for (double x : {1e9 + 4, 1e9 + 7, 1e9 + 13, 1e9 + 16}) rs.Add(x);
+  EXPECT_NEAR(rs.mean(), 1e9 + 10, 1e-3);
+  EXPECT_NEAR(rs.variance(), 30.0, 1e-6);
+}
+
+TEST(PercentileTest, MedianOfOddSample) {
+  EXPECT_DOUBLE_EQ(Percentile({3.0, 1.0, 2.0}, 0.5), 2.0);
+}
+
+TEST(PercentileTest, InterpolatesBetweenOrderStatistics) {
+  // Sorted {10, 20}: q=0.25 -> 12.5.
+  EXPECT_DOUBLE_EQ(Percentile({20.0, 10.0}, 0.25), 12.5);
+}
+
+TEST(PercentileTest, Extremes) {
+  std::vector<double> v = {5.0, 1.0, 9.0};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 1.0), 9.0);
+}
+
+TEST(PercentileTest, SingleElement) {
+  EXPECT_DOUBLE_EQ(Percentile({7.0}, 0.9), 7.0);
+}
+
+TEST(MeanTest, EmptyIsZero) { EXPECT_EQ(Mean({}), 0.0); }
+
+TEST(MeanTest, Basic) { EXPECT_DOUBLE_EQ(Mean({1.0, 2.0, 6.0}), 3.0); }
+
+TEST(SummarizeTest, EmptySample) {
+  Summary s = Summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(SummarizeTest, FullSummary) {
+  Summary s = Summarize({1.0, 2.0, 3.0, 4.0, 5.0});
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(2.5), 1e-12);
+  EXPECT_NEAR(s.p10, 1.4, 1e-12);
+  EXPECT_NEAR(s.p90, 4.6, 1e-12);
+}
+
+}  // namespace
+}  // namespace optshare

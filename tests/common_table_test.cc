@@ -1,0 +1,88 @@
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+#include "common/money.h"
+
+namespace optshare {
+namespace {
+
+TEST(FormatFixedTest, Precision) {
+  EXPECT_EQ(FormatFixed(1.23456, 2), "1.23");
+  EXPECT_EQ(FormatFixed(1.23456, 4), "1.2346");
+  EXPECT_EQ(FormatFixed(-3.5, 1), "-3.5");
+}
+
+TEST(FormatFixedTest, NegativeZeroNormalized) {
+  EXPECT_EQ(FormatFixed(-0.00001, 2), "0.00");
+}
+
+TEST(FormatFixedTest, SpecialValues) {
+  EXPECT_EQ(FormatFixed(std::numeric_limits<double>::infinity(), 2), "inf");
+  EXPECT_EQ(FormatFixed(std::numeric_limits<double>::quiet_NaN(), 2), "nan");
+}
+
+TEST(TextTableTest, RendersHeaderSeparatorAndRows) {
+  TextTable t({"name", "value"});
+  t.AddRow({"alpha", "1"});
+  t.AddRow({"b", "22"});
+  const std::string expected =
+      "name   value\n"
+      "-----  -----\n"
+      "alpha      1\n"
+      "b         22\n";
+  EXPECT_EQ(t.Render(), expected);
+}
+
+TEST(TextTableTest, FirstColumnLeftAlignedByDefault) {
+  TextTable t({"k", "v"});
+  t.AddRow({"long-key", "9"});
+  const std::string rendered = t.Render();
+  EXPECT_NE(rendered.find("long-key  9"), std::string::npos);
+}
+
+TEST(TextTableTest, NumericRowFormatting) {
+  TextTable t({"x", "y"});
+  t.AddNumericRow({1.5, -2.25}, 2);
+  EXPECT_NE(t.Render().find("1.50"), std::string::npos);
+  EXPECT_NE(t.Render().find("-2.25"), std::string::npos);
+}
+
+TEST(TextTableTest, ShortRowsPadded) {
+  TextTable t({"a", "b", "c"});
+  t.AddRow({"x"});
+  EXPECT_EQ(t.num_rows(), 1u);
+  EXPECT_EQ(t.num_columns(), 3u);
+  // Renders without crashing and keeps three columns.
+  EXPECT_FALSE(t.Render().empty());
+}
+
+TEST(TextTableTest, AlignOverride) {
+  TextTable t({"a", "b"});
+  t.SetAlign(1, Align::kLeft);
+  t.AddRow({"x", "y"});
+  EXPECT_FALSE(t.Render().empty());
+}
+
+TEST(MoneyTest, FormatDollars) {
+  EXPECT_EQ(FormatDollars(2.31), "$2.31");
+  EXPECT_EQ(FormatDollars(-0.07), "-$0.07");
+  EXPECT_EQ(FormatDollars(0.0), "$0.00");
+}
+
+TEST(MoneyTest, FormatCents) {
+  EXPECT_EQ(FormatCents(0.18), "18c");
+  EXPECT_EQ(FormatCents(0.015), "1.50c");
+}
+
+TEST(MoneyTest, Comparisons) {
+  EXPECT_TRUE(MoneyGe(1.0, 1.0));
+  EXPECT_TRUE(MoneyGe(1.0, 1.0 + 1e-12));  // Within tolerance.
+  EXPECT_FALSE(MoneyGe(1.0, 1.1));
+  EXPECT_TRUE(MoneyLe(1.0, 1.0));
+  EXPECT_TRUE(MoneyEq(0.1 + 0.2, 0.3));  // Floating-point residue absorbed.
+  EXPECT_FALSE(MoneyEq(1.0, 1.001));
+}
+
+}  // namespace
+}  // namespace optshare

@@ -1,0 +1,88 @@
+// Direct tests of the Accounting ledger invariants and edge cases.
+#include "core/accounting.h"
+
+#include <gtest/gtest.h>
+
+namespace optshare {
+namespace {
+
+TEST(AccountingTest, EmptyLedger) {
+  Accounting acc;
+  EXPECT_DOUBLE_EQ(acc.TotalValue(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.TotalPayment(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.TotalUtility(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.CloudBalance(), 0.0);
+  EXPECT_TRUE(acc.CostRecovered());  // 0 >= 0.
+}
+
+TEST(AccountingTest, LedgerArithmetic) {
+  Accounting acc;
+  acc.user_value = {10.0, 5.0, 0.0};
+  acc.user_payment = {4.0, 4.0, 0.0};
+  acc.total_cost = 8.0;
+  EXPECT_DOUBLE_EQ(acc.TotalValue(), 15.0);
+  EXPECT_DOUBLE_EQ(acc.TotalPayment(), 8.0);
+  EXPECT_DOUBLE_EQ(acc.TotalUtility(), 7.0);
+  EXPECT_DOUBLE_EQ(acc.CloudBalance(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.UserUtility(0), 6.0);
+  EXPECT_DOUBLE_EQ(acc.UserUtility(1), 1.0);
+  EXPECT_DOUBLE_EQ(acc.UserUtility(2), 0.0);
+  EXPECT_TRUE(acc.CostRecovered());
+}
+
+TEST(AccountingTest, UnderRecoveryDetected) {
+  Accounting acc;
+  acc.user_value = {10.0};
+  acc.user_payment = {4.0};
+  acc.total_cost = 8.0;
+  EXPECT_FALSE(acc.CostRecovered());
+  EXPECT_DOUBLE_EQ(acc.CloudBalance(), -4.0);
+}
+
+TEST(AccountingTest, AddOffNotImplementedIsAllZero) {
+  AdditiveOfflineGame g;
+  g.costs = {1000.0};
+  g.bids = {{1.0}, {2.0}};
+  Accounting acc = AccountAddOff(g, RunAddOff(g));
+  EXPECT_DOUBLE_EQ(acc.TotalValue(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.TotalPayment(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.total_cost, 0.0);
+}
+
+TEST(AccountingTest, SubstOffValueRequiresTrueSubstituteMembership) {
+  // Mechanism grants per *declared* bids; value accrues per *true* sets.
+  SubstOfflineGame declared;
+  declared.costs = {50.0, 50.0};
+  declared.users = {{{0}, 60.0}};
+  SubstOffResult r = RunSubstOff(declared);
+  ASSERT_EQ(r.grant[0], 0);
+
+  SubstOfflineGame truth = declared;
+  truth.users[0].substitutes = {1};  // Truly wants the other one.
+  Accounting acc = AccountSubstOff(truth, r);
+  EXPECT_DOUBLE_EQ(acc.user_value[0], 0.0);  // Granted a useless opt.
+  EXPECT_DOUBLE_EQ(acc.user_payment[0], 50.0);
+  EXPECT_LT(acc.UserUtility(0), 0.0);
+}
+
+TEST(AccountingTest, AddOnValueCountsServicedSlotsOnly) {
+  AdditiveOnlineGame g;
+  g.num_slots = 3;
+  g.cost = 60.0;
+  // Value exists at all three slots but service starts at t=2 (user 0's
+  // residual 50 at t=1 is below the cost; user 1's arrival funds it).
+  g.users = {*SlotValues::Make(1, 3, {20.0, 15.0, 15.0}),
+             SlotValues::Constant(2, 3, 25.0)};
+  AddOnResult r = RunAddOn(g);
+  ASSERT_TRUE(r.implemented);
+  EXPECT_EQ(r.implemented_at, 2);
+  Accounting acc = AccountAddOn(g, r);
+  // User 0's slot-1 value of 20 is lost forever; t=2..3 realize 30.
+  EXPECT_DOUBLE_EQ(acc.user_value[0], 30.0);
+  EXPECT_DOUBLE_EQ(acc.user_value[1], 50.0);
+  EXPECT_DOUBLE_EQ(acc.user_payment[0], 30.0);
+  EXPECT_DOUBLE_EQ(acc.user_payment[1], 30.0);
+}
+
+}  // namespace
+}  // namespace optshare

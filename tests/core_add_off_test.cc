@@ -1,0 +1,143 @@
+// Tests for AddOff (paper §4.2): independent Shapley runs per additive
+// optimization, aggregated payments, inherited truthfulness/cost-recovery.
+#include "core/add_off.h"
+
+#include <gtest/gtest.h>
+
+#include "common/money.h"
+#include "common/rng.h"
+#include "core/accounting.h"
+#include "core/strategy.h"
+
+namespace optshare {
+namespace {
+
+AdditiveOfflineGame TwoOptGame() {
+  AdditiveOfflineGame g;
+  g.costs = {90.0, 50.0};
+  g.bids = {
+      {40.0, 0.0},   // User 0 only wants opt 0.
+      {30.0, 60.0},  // User 1 wants both.
+      {35.0, 10.0},  // User 2's opt-1 bid is too low once shares settle.
+  };
+  return g;
+}
+
+TEST(AddOffTest, IndependentPerOptimization) {
+  AddOffResult r = RunAddOff(TwoOptGame());
+  ASSERT_EQ(r.per_opt.size(), 2u);
+  // Opt 0: shares of 30 keep everyone.
+  EXPECT_TRUE(r.per_opt[0].implemented);
+  EXPECT_EQ(r.per_opt[0].NumServiced(), 3);
+  EXPECT_DOUBLE_EQ(r.per_opt[0].cost_share, 30.0);
+  // Opt 1: only user 1 can cover the cost alone.
+  EXPECT_TRUE(r.per_opt[1].implemented);
+  EXPECT_EQ(r.per_opt[1].ServicedUsers(), std::vector<UserId>{1});
+  EXPECT_DOUBLE_EQ(r.per_opt[1].cost_share, 50.0);
+}
+
+TEST(AddOffTest, TotalPaymentsAggregateAcrossOpts) {
+  AddOffResult r = RunAddOff(TwoOptGame());
+  EXPECT_DOUBLE_EQ(r.total_payment[0], 30.0);
+  EXPECT_DOUBLE_EQ(r.total_payment[1], 80.0);  // 30 + 50.
+  EXPECT_DOUBLE_EQ(r.total_payment[2], 30.0);
+}
+
+TEST(AddOffTest, GrantedAndImplementedHelpers) {
+  AddOffResult r = RunAddOff(TwoOptGame());
+  EXPECT_EQ(r.ImplementedOpts(), (std::vector<OptId>{0, 1}));
+  EXPECT_TRUE(r.Granted(0, 0));
+  EXPECT_FALSE(r.Granted(0, 1));
+  EXPECT_TRUE(r.Granted(1, 1));
+  EXPECT_DOUBLE_EQ(r.ImplementedCost({90.0, 50.0}), 140.0);
+}
+
+TEST(AddOffTest, UnaffordableOptNotImplemented) {
+  AdditiveOfflineGame g;
+  g.costs = {1000.0};
+  g.bids = {{10.0}, {20.0}};
+  AddOffResult r = RunAddOff(g);
+  EXPECT_FALSE(r.per_opt[0].implemented);
+  EXPECT_TRUE(r.ImplementedOpts().empty());
+  EXPECT_DOUBLE_EQ(r.ImplementedCost(g.costs), 0.0);
+}
+
+TEST(AddOffTest, AccountingLedger) {
+  AdditiveOfflineGame g = TwoOptGame();
+  AddOffResult r = RunAddOff(g);
+  Accounting acc = AccountAddOff(g, r);
+  // Values realized: opt0 by all three, opt1 by user 1.
+  EXPECT_DOUBLE_EQ(acc.TotalValue(), 40.0 + 30.0 + 35.0 + 60.0);
+  EXPECT_DOUBLE_EQ(acc.TotalPayment(), 140.0);
+  EXPECT_DOUBLE_EQ(acc.total_cost, 140.0);
+  EXPECT_DOUBLE_EQ(acc.TotalUtility(), 165.0 - 140.0);
+  EXPECT_DOUBLE_EQ(acc.CloudBalance(), 0.0);
+  EXPECT_TRUE(acc.CostRecovered());
+  EXPECT_DOUBLE_EQ(acc.UserUtility(0), 10.0);
+  EXPECT_DOUBLE_EQ(acc.UserUtility(1), 10.0);  // 90 value - 80 payment.
+}
+
+TEST(AddOffTest, CollaborationBeatsIndividualPurchase) {
+  // The paper's motivation: an optimization none can afford alone is funded
+  // jointly.
+  AdditiveOfflineGame g;
+  g.costs = {100.0};
+  g.bids = {{40.0}, {40.0}, {40.0}};
+  AddOffResult r = RunAddOff(g);
+  EXPECT_TRUE(r.per_opt[0].implemented);
+  EXPECT_EQ(r.per_opt[0].NumServiced(), 3);
+  EXPECT_NEAR(r.per_opt[0].cost_share, 100.0 / 3.0, 1e-12);
+}
+
+TEST(AddOffTest, MultiIdentityDoesNotHurtOthers) {
+  // Proposition 2 (Alice example, §5.2), offline variant: Alice splitting
+  // into identities that lower the share cannot reduce other users'
+  // utility.
+  AdditiveOfflineGame honest;
+  honest.costs = {101.0};
+  honest.bids = {{101.0}};
+  for (int i = 0; i < 99; ++i) honest.bids.push_back({1.0});
+  AddOffResult r1 = RunAddOff(honest);
+  // Only Alice is serviced: 101/100 = 1.01 > 1 prices the others out.
+  EXPECT_EQ(r1.per_opt[0].ServicedUsers(), std::vector<UserId>{0});
+  EXPECT_DOUBLE_EQ(r1.total_payment[0], 101.0);
+
+  AdditiveOfflineGame split = honest;
+  split.bids.push_back({101.0});  // Alice's second identity.
+  AddOffResult r2 = RunAddOff(split);
+  // Now 101 bidders: share 1.0 services everyone.
+  EXPECT_EQ(r2.per_opt[0].NumServiced(), 101);
+  EXPECT_DOUBLE_EQ(r2.per_opt[0].cost_share, 1.0);
+  // Every honest 1.0-value user now has utility 0 instead of 0 — no one is
+  // worse off; Alice pays 2 instead of 101.
+  EXPECT_DOUBLE_EQ(r2.total_payment[0] + r2.total_payment[100], 2.0);
+  for (int i = 1; i < 100; ++i) {
+    const double utility_before = 0.0;  // Unserviced.
+    const double utility_after = 1.0 - r2.total_payment[static_cast<size_t>(i)];
+    EXPECT_GE(utility_after + 1e-12, utility_before);
+  }
+}
+
+TEST(AddOffTest, TruthfulnessViaStrategyHelper) {
+  AdditiveOfflineGame g = TwoOptGame();
+  Rng rng(5);
+  for (UserId i = 0; i < g.num_users(); ++i) {
+    const std::vector<double> truthful = g.bids[static_cast<size_t>(i)];
+    const double truthful_utility = AddOffUtilityUnderBid(g, i, truthful);
+    for (int trial = 0; trial < 50; ++trial) {
+      std::vector<double> dev = {rng.Uniform(0.0, 120.0),
+                                 rng.Uniform(0.0, 120.0)};
+      EXPECT_LE(AddOffUtilityUnderBid(g, i, dev), truthful_utility + 1e-9);
+    }
+  }
+}
+
+TEST(AddOffTest, EmptyGameYieldsEmptyResult) {
+  AdditiveOfflineGame g;  // No users, no opts.
+  AddOffResult r = RunAddOff(g);
+  EXPECT_TRUE(r.per_opt.empty());
+  EXPECT_TRUE(r.total_payment.empty());
+}
+
+}  // namespace
+}  // namespace optshare

@@ -1,0 +1,280 @@
+// Tests for AddOn (paper §5, Mechanism 2), tracing Examples 2, 3 and 4 and
+// the multiple-identities discussion of §5.2.
+#include "core/add_on.h"
+
+#include <gtest/gtest.h>
+
+#include "common/money.h"
+#include "core/accounting.h"
+#include "core/strategy.h"
+
+namespace optshare {
+namespace {
+
+// Paper Example 3: cost 100; bids (1,1,[101]), (1,3,[16,16,16]),
+// (2,2,[26]), (2,2,[26]).
+AdditiveOnlineGame Example3Game() {
+  AdditiveOnlineGame g;
+  g.num_slots = 3;
+  g.cost = 100.0;
+  g.users = {
+      SlotValues::Single(1, 101.0),
+      *SlotValues::Make(1, 3, {16.0, 16.0, 16.0}),
+      SlotValues::Single(2, 26.0),
+      SlotValues::Single(2, 26.0),
+  };
+  return g;
+}
+
+TEST(AddOnTest, Example3CumulativeSets) {
+  AddOnResult r = RunAddOn(Example3Game());
+  ASSERT_TRUE(r.implemented);
+  EXPECT_EQ(r.implemented_at, 1);
+  // CS(1) = {user 0}: user 1's residual 48 < 100/2.
+  EXPECT_EQ(r.cumulative[0], std::vector<UserId>{0});
+  // CS(2) = CS(3) = all four users.
+  EXPECT_EQ(r.cumulative[1], (std::vector<UserId>{0, 1, 2, 3}));
+  EXPECT_EQ(r.cumulative[2], (std::vector<UserId>{0, 1, 2, 3}));
+}
+
+TEST(AddOnTest, Example3Payments) {
+  AddOnResult r = RunAddOn(Example3Game());
+  // Users leave at t = 1, 3, 2, 2 and pay 100, 25, 25, 25 (paper text).
+  EXPECT_DOUBLE_EQ(r.payments[0], 100.0);
+  EXPECT_DOUBLE_EQ(r.payments[1], 25.0);
+  EXPECT_DOUBLE_EQ(r.payments[2], 25.0);
+  EXPECT_DOUBLE_EQ(r.payments[3], 25.0);
+  EXPECT_DOUBLE_EQ(r.TotalPayment(), 175.0);  // Over-recovery is expected.
+}
+
+TEST(AddOnTest, Example3ActiveServiceSets) {
+  AddOnResult r = RunAddOn(Example3Game());
+  // S(t) keeps only users whose interval is still running.
+  EXPECT_EQ(r.serviced[0], std::vector<UserId>{0});
+  EXPECT_EQ(r.serviced[1], (std::vector<UserId>{1, 2, 3}));  // User 0 left.
+  EXPECT_EQ(r.serviced[2], std::vector<UserId>{1});
+}
+
+TEST(AddOnTest, Example3CostShareDecreases) {
+  AddOnResult r = RunAddOn(Example3Game());
+  EXPECT_DOUBLE_EQ(r.cost_share[0], 100.0);
+  EXPECT_DOUBLE_EQ(r.cost_share[1], 25.0);
+  EXPECT_DOUBLE_EQ(r.cost_share[2], 25.0);
+}
+
+TEST(AddOnTest, Example3Accounting) {
+  AdditiveOnlineGame g = Example3Game();
+  AddOnResult r = RunAddOn(g);
+  Accounting acc = AccountAddOn(g, r);
+  // Realized values: 101 (user 0), 16+16 = 32 (user 1, serviced from t=2),
+  // 26, 26.
+  EXPECT_DOUBLE_EQ(acc.user_value[0], 101.0);
+  EXPECT_DOUBLE_EQ(acc.user_value[1], 32.0);
+  EXPECT_DOUBLE_EQ(acc.user_value[2], 26.0);
+  EXPECT_DOUBLE_EQ(acc.user_value[3], 26.0);
+  EXPECT_DOUBLE_EQ(acc.UserUtility(1), 7.0);  // Example 4: 32 - 25 = 7.
+  EXPECT_TRUE(acc.CostRecovered());
+  EXPECT_DOUBLE_EQ(acc.CloudBalance(), 75.0);
+}
+
+TEST(AddOnTest, Example2NaiveFreeRideIsClosed) {
+  // Paper Example 2: cost 100, users (1,1,[101]) and (1,2,[26,26]). The
+  // naive "charge once then free" scheme lets user 2 hide at t=1 and ride
+  // free at t=2. Under AddOn, hiding (2,2,[26]) leaves her residual 26 <
+  // 50, so she is serviced at t=2 only because user 1 already covered the
+  // cost — but she still pays the t=2 share, not zero.
+  AdditiveOnlineGame truth;
+  truth.num_slots = 2;
+  truth.cost = 100.0;
+  truth.users = {
+      SlotValues::Single(1, 101.0),
+      *SlotValues::Make(1, 2, {26.0, 26.0}),
+  };
+  AddOnResult truthful = RunAddOn(truth);
+  // Truthful: user 2's residual 52 >= 50 at t=1, both serviced, each pays
+  // the share at departure.
+  EXPECT_EQ(truthful.cumulative[0], (std::vector<UserId>{0, 1}));
+  EXPECT_DOUBLE_EQ(truthful.payments[0], 50.0);
+  EXPECT_DOUBLE_EQ(truthful.payments[1], 50.0);
+
+  // Deviation: user 2 delays her declaration to (2,2,[26]). At t=2 her
+  // residual 26 is below the even share 50 (user 1 stays pinned in CS), so
+  // AddOn refuses to service her: utility 0 instead of the free ride worth
+  // 26 that the naive scheme would have granted.
+  const double truthful_utility = 52.0 - 50.0;
+  const double deviated_utility =
+      AddOnUtilityUnderBid(truth, 1, SlotValues::Single(2, 26.0));
+  EXPECT_DOUBLE_EQ(deviated_utility, 0.0);
+  EXPECT_LT(deviated_utility, truthful_utility);
+}
+
+TEST(AddOnTest, Example4OverbiddingWorstCase) {
+  // Example 4: user 1 (0-indexed) truly values [16,16,16]. Overbidding
+  // [17,17,17] with no future arrivals (the model-free worst case is the
+  // game with only users 0 and 1) cannot raise her worst-case utility.
+  AdditiveOnlineGame worst;
+  worst.num_slots = 3;
+  worst.cost = 100.0;
+  worst.users = {
+      SlotValues::Single(1, 101.0),
+      *SlotValues::Make(1, 3, {16.0, 16.0, 16.0}),
+  };
+  const double truthful = AddOnUtilityUnderBid(
+      worst, 1, *SlotValues::Make(1, 3, {16.0, 16.0, 16.0}));
+  const double overbid = AddOnUtilityUnderBid(
+      worst, 1, *SlotValues::Make(1, 3, {17.0, 17.0, 17.0}));
+  EXPECT_LE(overbid, truthful + 1e-9);
+
+  // Overbidding enough to get serviced alone (>= 50/slot residual) is
+  // strictly harmful: she pays 50 for a true value of 48.
+  const double big_overbid = AddOnUtilityUnderBid(
+      worst, 1, *SlotValues::Make(1, 3, {50.0, 50.0, 50.0}));
+  EXPECT_DOUBLE_EQ(big_overbid, 48.0 - 50.0);
+  EXPECT_LT(big_overbid, truthful);
+}
+
+TEST(AddOnTest, NeverImplementedWhenValuesTooLow) {
+  AdditiveOnlineGame g;
+  g.num_slots = 4;
+  g.cost = 1000.0;
+  g.users = {SlotValues::Constant(1, 4, 10.0), SlotValues::Single(2, 50.0)};
+  AddOnResult r = RunAddOn(g);
+  EXPECT_FALSE(r.implemented);
+  EXPECT_EQ(r.implemented_at, 0);
+  EXPECT_DOUBLE_EQ(r.TotalPayment(), 0.0);
+  for (const auto& s : r.serviced) EXPECT_TRUE(s.empty());
+}
+
+TEST(AddOnTest, LateArrivalTriggersImplementation) {
+  AdditiveOnlineGame g;
+  g.num_slots = 3;
+  g.cost = 60.0;
+  g.users = {
+      SlotValues::Single(3, 40.0),  // Alone, cannot afford 60.
+      SlotValues::Single(3, 40.0),
+  };
+  AddOnResult r = RunAddOn(g);
+  ASSERT_TRUE(r.implemented);
+  EXPECT_EQ(r.implemented_at, 3);
+  EXPECT_DOUBLE_EQ(r.payments[0], 30.0);
+  EXPECT_DOUBLE_EQ(r.payments[1], 30.0);
+}
+
+TEST(AddOnTest, ResidualBidAggregatesFutureSlots) {
+  // A user whose per-slot value is small but whose residual covers the
+  // cost gets serviced at her arrival.
+  AdditiveOnlineGame g;
+  g.num_slots = 4;
+  g.cost = 40.0;
+  g.users = {SlotValues::Constant(1, 4, 11.0)};  // Residual 44 at t=1.
+  AddOnResult r = RunAddOn(g);
+  ASSERT_TRUE(r.implemented);
+  EXPECT_EQ(r.implemented_at, 1);
+  EXPECT_DOUBLE_EQ(r.payments[0], 40.0);
+  Accounting acc = AccountAddOn(g, r);
+  EXPECT_DOUBLE_EQ(acc.user_value[0], 44.0);
+  EXPECT_DOUBLE_EQ(acc.UserUtility(0), 4.0);
+}
+
+TEST(AddOnTest, CostShareNeverIncreasesOverTime) {
+  AdditiveOnlineGame g;
+  g.num_slots = 5;
+  g.cost = 90.0;
+  g.users = {
+      SlotValues::Single(1, 95.0),
+      SlotValues::Single(2, 50.0),
+      SlotValues::Single(3, 40.0),
+      SlotValues::Single(4, 30.0),
+      SlotValues::Single(5, 25.0),
+  };
+  AddOnResult r = RunAddOn(g);
+  ASSERT_TRUE(r.implemented);
+  double prev = kInfiniteBid;
+  for (double share : r.cost_share) {
+    EXPECT_LE(share, prev + 1e-12);
+    prev = share;
+  }
+}
+
+TEST(AddOnTest, DepartedUsersStayInCumulativeSet) {
+  // Users who paid remain in CS so later arrivals' shares keep falling
+  // (Mechanism 2 line 5).
+  AdditiveOnlineGame g;
+  g.num_slots = 2;
+  g.cost = 100.0;
+  g.users = {
+      SlotValues::Single(1, 100.0),
+      SlotValues::Single(2, 60.0),
+  };
+  AddOnResult r = RunAddOn(g);
+  ASSERT_TRUE(r.implemented);
+  EXPECT_TRUE(r.InCumulative(0, 1));
+  EXPECT_TRUE(r.InCumulative(0, 2));  // Still there after departing.
+  EXPECT_TRUE(r.InCumulative(1, 2));
+  EXPECT_DOUBLE_EQ(r.payments[0], 100.0);
+  EXPECT_DOUBLE_EQ(r.payments[1], 50.0);
+}
+
+TEST(AddOnTest, AliceMultipleIdentities) {
+  // §5.2: Alice (value 101, cost 101) plus 99 users of value 1. With one
+  // identity only Alice is serviced and pays 101 (utility 0).
+  AdditiveOnlineGame honest;
+  honest.num_slots = 1;
+  honest.cost = 101.0;
+  honest.users = {SlotValues::Single(1, 101.0)};
+  for (int i = 0; i < 99; ++i) {
+    honest.users.push_back(SlotValues::Single(1, 1.0));
+  }
+  AddOnResult r1 = RunAddOn(honest);
+  ASSERT_TRUE(r1.implemented);
+  EXPECT_EQ(r1.cumulative[0], std::vector<UserId>{0});
+  EXPECT_DOUBLE_EQ(r1.payments[0], 101.0);
+
+  // With a second identity bidding 101, all 101 identities are serviced at
+  // share 1.0: Alice pays 2, the 99 honest users pay 1 each — and no
+  // honest user's utility decreased (Proposition 2).
+  AdditiveOnlineGame split = honest;
+  split.users.push_back(SlotValues::Single(1, 101.0));
+  AddOnResult r2 = RunAddOn(split);
+  ASSERT_TRUE(r2.implemented);
+  EXPECT_EQ(r2.cumulative[0].size(), 101u);
+  EXPECT_DOUBLE_EQ(r2.payments[0] + r2.payments[100], 2.0);
+  for (int i = 1; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(r2.payments[static_cast<size_t>(i)], 1.0);
+  }
+}
+
+TEST(AddOnTest, SingleSlotReducesToShapley) {
+  // With z = 1 the mechanism degenerates to one Shapley run.
+  AdditiveOnlineGame g;
+  g.num_slots = 1;
+  g.cost = 90.0;
+  g.users = {SlotValues::Single(1, 40.0), SlotValues::Single(1, 30.0),
+             SlotValues::Single(1, 35.0)};
+  AddOnResult r = RunAddOn(g);
+  ASSERT_TRUE(r.implemented);
+  EXPECT_EQ(r.cumulative[0], (std::vector<UserId>{0, 1, 2}));
+  for (UserId i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(r.payments[static_cast<size_t>(i)], 30.0);
+  }
+}
+
+TEST(AddOnTest, MultiOptRunsIndependently) {
+  MultiAdditiveOnlineGame g;
+  g.num_slots = 2;
+  g.costs = {50.0, 500.0};
+  g.bids = {
+      {SlotValues::Single(1, 60.0), SlotValues::Single(1, 10.0)},
+      {SlotValues::Single(2, 30.0), SlotValues::Single(2, 20.0)},
+  };
+  auto results = RunAddOnAll(g);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_TRUE(results[0].implemented);
+  EXPECT_FALSE(results[1].implemented);
+  Accounting acc = AccountAddOnAll(g, results);
+  EXPECT_DOUBLE_EQ(acc.total_cost, 50.0);
+  EXPECT_TRUE(acc.CostRecovered());
+}
+
+}  // namespace
+}  // namespace optshare

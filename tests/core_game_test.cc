@@ -1,0 +1,128 @@
+#include "core/game.h"
+
+#include <gtest/gtest.h>
+
+namespace optshare {
+namespace {
+
+TEST(AdditiveOfflineGameTest, ValidGame) {
+  AdditiveOfflineGame g;
+  g.costs = {10.0, 20.0};
+  g.bids = {{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_TRUE(g.Validate().ok());
+  EXPECT_EQ(g.num_users(), 2);
+  EXPECT_EQ(g.num_opts(), 2);
+}
+
+TEST(AdditiveOfflineGameTest, RejectsNonPositiveCost) {
+  AdditiveOfflineGame g;
+  g.costs = {0.0};
+  g.bids = {{1.0}};
+  EXPECT_FALSE(g.Validate().ok());
+  g.costs = {-5.0};
+  EXPECT_FALSE(g.Validate().ok());
+}
+
+TEST(AdditiveOfflineGameTest, RejectsRaggedBids) {
+  AdditiveOfflineGame g;
+  g.costs = {10.0, 20.0};
+  g.bids = {{1.0}};
+  EXPECT_FALSE(g.Validate().ok());
+}
+
+TEST(AdditiveOfflineGameTest, RejectsNegativeBid) {
+  AdditiveOfflineGame g;
+  g.costs = {10.0};
+  g.bids = {{-1.0}};
+  EXPECT_FALSE(g.Validate().ok());
+}
+
+TEST(AdditiveOnlineGameTest, ValidGame) {
+  AdditiveOnlineGame g;
+  g.num_slots = 3;
+  g.cost = 100.0;
+  g.users = {SlotValues::Single(1, 101.0), SlotValues::Constant(1, 2, 26.0)};
+  EXPECT_TRUE(g.Validate().ok());
+}
+
+TEST(AdditiveOnlineGameTest, RejectsIntervalPastHorizon) {
+  AdditiveOnlineGame g;
+  g.num_slots = 2;
+  g.cost = 1.0;
+  g.users = {SlotValues::Constant(1, 3, 1.0)};
+  EXPECT_FALSE(g.Validate().ok());
+}
+
+TEST(AdditiveOnlineGameTest, RejectsZeroSlots) {
+  AdditiveOnlineGame g;
+  g.num_slots = 0;
+  g.cost = 1.0;
+  EXPECT_FALSE(g.Validate().ok());
+}
+
+TEST(MultiAdditiveOnlineGameTest, ProjectOpt) {
+  MultiAdditiveOnlineGame g;
+  g.num_slots = 2;
+  g.costs = {10.0, 20.0};
+  g.bids = {
+      {SlotValues::Single(1, 1.0), SlotValues::Single(2, 2.0)},
+      {SlotValues::Single(2, 3.0), SlotValues::Single(1, 4.0)},
+  };
+  ASSERT_TRUE(g.Validate().ok());
+  AdditiveOnlineGame p = g.ProjectOpt(1);
+  EXPECT_DOUBLE_EQ(p.cost, 20.0);
+  EXPECT_EQ(p.num_users(), 2);
+  EXPECT_DOUBLE_EQ(p.users[0].At(2), 2.0);
+  EXPECT_DOUBLE_EQ(p.users[1].At(1), 4.0);
+}
+
+TEST(SubstOfflineGameTest, ValidGame) {
+  SubstOfflineGame g;
+  g.costs = {60.0, 180.0, 100.0};
+  g.users = {{{0, 1}, 100.0}, {{2}, 101.0}, {{0, 1, 2}, 60.0}, {{1}, 70.0}};
+  EXPECT_TRUE(g.Validate().ok());
+}
+
+TEST(SubstOfflineGameTest, RejectsEmptySubstituteSet) {
+  SubstOfflineGame g;
+  g.costs = {60.0};
+  g.users = {{{}, 10.0}};
+  EXPECT_FALSE(g.Validate().ok());
+}
+
+TEST(SubstOfflineGameTest, RejectsOutOfRangeSubstitute) {
+  SubstOfflineGame g;
+  g.costs = {60.0};
+  g.users = {{{1}, 10.0}};
+  EXPECT_FALSE(g.Validate().ok());
+}
+
+TEST(SubstOfflineGameTest, RejectsDuplicateSubstitutes) {
+  SubstOfflineGame g;
+  g.costs = {60.0, 70.0};
+  g.users = {{{0, 0}, 10.0}};
+  EXPECT_FALSE(g.Validate().ok());
+}
+
+TEST(SubstOnlineGameTest, ValidGame) {
+  SubstOnlineGame g;
+  g.num_slots = 3;
+  g.costs = {60.0, 100.0, 50.0};
+  g.users = {
+      {SlotValues::Constant(1, 2, 50.0), {0, 1}},
+      {SlotValues::Constant(2, 3, 50.0), {0, 1, 2}},
+      {SlotValues::Single(3, 100.0), {2}},
+  };
+  EXPECT_TRUE(g.Validate().ok());
+}
+
+TEST(ValidateSubstituteSetTest, Direct) {
+  EXPECT_TRUE(ValidateSubstituteSet({0, 2, 1}, 3).ok());
+  EXPECT_FALSE(ValidateSubstituteSet({}, 3).ok());
+  EXPECT_FALSE(ValidateSubstituteSet({3}, 3).ok());
+  EXPECT_FALSE(ValidateSubstituteSet({-1}, 3).ok());
+  EXPECT_FALSE(ValidateSubstituteSet({1, 1}, 3).ok());
+}
+
+}  // namespace
+}  // namespace optshare

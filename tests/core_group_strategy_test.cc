@@ -1,0 +1,131 @@
+// Group strategyproofness of Moulin mechanisms with cross-monotonic
+// sharing (and a demonstration that the naive mechanism has profitable
+// coalitions).
+#include "core/group_strategy.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/strategy.h"
+
+namespace optshare {
+namespace {
+
+TEST(GroupStrategyTest, ProbeReportsDeltas) {
+  EgalitarianSharing method(60.0);
+  const std::vector<double> values = {40.0, 35.0, 10.0};
+  // Truthful: share 20 services users 0 and 1 after user 2 is evicted...
+  // First round share 20 keeps everyone (10 < 20 evicts user 2), then
+  // share 30 keeps {0, 1}.
+  GroupDeviationOutcome outcome =
+      ProbeGroupDeviation(method, values, {0, 1}, {40.0, 35.0});
+  EXPECT_FALSE(outcome.successful_manipulation);  // Truthful re-bid: no-op.
+  EXPECT_DOUBLE_EQ(outcome.utility_delta[0], 0.0);
+  EXPECT_DOUBLE_EQ(outcome.utility_delta[1], 0.0);
+}
+
+TEST(GroupStrategyTest, JointUnderbidHurtsSomeMember) {
+  EgalitarianSharing method(60.0);
+  const std::vector<double> values = {40.0, 35.0, 10.0};
+  // If both remaining users shade below the 30 share, the optimization
+  // dies and both lose their surplus.
+  GroupDeviationOutcome outcome =
+      ProbeGroupDeviation(method, values, {0, 1}, {25.0, 25.0});
+  EXPECT_FALSE(outcome.successful_manipulation);
+  EXPECT_LT(outcome.utility_delta[0], 0.0);
+  EXPECT_LT(outcome.utility_delta[1], 0.0);
+}
+
+class GroupStrategyProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GroupStrategyProperty, EgalitarianHasNoGroupManipulation) {
+  Rng rng(GetParam() * 61);
+  const int m = 4;
+  std::vector<double> values;
+  for (int i = 0; i < m; ++i) values.push_back(rng.Uniform(0.0, 1.0));
+  const double cost = rng.Uniform(0.3, 2.5);
+
+  const std::vector<double> grid =
+      CandidateDeviationBids({cost}, values, m);
+  // Thin the grid to keep grid^|coalition| tractable.
+  std::vector<double> coarse;
+  for (size_t k = 0; k < grid.size(); k += 3) coarse.push_back(grid[k]);
+  coarse.push_back(10.0);
+
+  EXPECT_FALSE(ExistsGroupManipulation(EgalitarianSharing(cost), values,
+                                       /*max_coalition_size=*/2, coarse))
+      << "seed " << GetParam();
+}
+
+TEST_P(GroupStrategyProperty, WeightedHasNoGroupManipulation) {
+  Rng rng(GetParam() * 67);
+  const int m = 4;
+  std::vector<double> values, weights;
+  for (int i = 0; i < m; ++i) {
+    values.push_back(rng.Uniform(0.0, 1.0));
+    weights.push_back(rng.Uniform(0.5, 2.0));
+  }
+  const double cost = rng.Uniform(0.3, 2.0);
+  const WeightedSharing method = *WeightedSharing::Make(cost, weights);
+
+  std::vector<double> coarse = {0.0, 0.2, 0.5, 1.0, 2.0, 10.0};
+  EXPECT_FALSE(ExistsGroupManipulation(method, values,
+                                       /*max_coalition_size=*/2, coarse))
+      << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(SeededGames, GroupStrategyProperty,
+                         ::testing::Range<uint64_t>(1, 26));
+
+TEST(GroupStrategyTest, NonCrossMonotonicIterationMissesStableCoalitions) {
+  // Why cross-monotonicity matters: under the "lowest member pays the
+  // remainder" scheme the top-down eviction loop can kill the service even
+  // though a stable, mutually beneficial coalition exists — the user whose
+  // share would *fall* once others leave is evicted first.
+  class LowestPaysRemainder final : public CostSharingMethod {
+   public:
+    explicit LowestPaysRemainder(double cost) : cost_(cost) {}
+    std::vector<double> Shares(
+        const std::vector<bool>& members) const override {
+      int count = 0, lowest = -1;
+      for (size_t i = 0; i < members.size(); ++i) {
+        if (members[i]) {
+          ++count;
+          if (lowest < 0) lowest = static_cast<int>(i);
+        }
+      }
+      std::vector<double> shares(members.size(), 0.0);
+      const double per_head = cost_ / (count * count);
+      double assigned = 0.0;
+      for (size_t i = 0; i < members.size(); ++i) {
+        if (members[i] && static_cast<int>(i) != lowest) {
+          shares[i] = per_head;
+          assigned += per_head;
+        }
+      }
+      if (lowest >= 0) shares[static_cast<size_t>(lowest)] = cost_ - assigned;
+      return shares;
+    }
+    double cost() const override { return cost_; }
+
+   private:
+    double cost_;
+  };
+
+  // Values {0.76, 0.55, 0.12}, cost 1. With all three present user 0 owes
+  // 1 - 2/9 = 0.778 > 0.76 and is evicted; the cascade then kills the
+  // service. Yet {user 0, user 1} alone is stable under the same scheme
+  // (shares 0.75 and 0.25, both within value).
+  const std::vector<double> values = {0.76, 0.55, 0.12};
+  LowestPaysRemainder method(1.0);
+  EXPECT_FALSE(IsCrossMonotonic(method, 3));
+  const ShapleyResult r = RunMoulin(method, values);
+  EXPECT_FALSE(r.implemented) << "iteration should cascade to empty";
+  // The egalitarian (cross-monotonic) split of the same cost finds a
+  // funded coalition from the identical values.
+  const ShapleyResult egal = RunMoulin(EgalitarianSharing(1.0), values);
+  EXPECT_TRUE(egal.implemented);
+}
+
+}  // namespace
+}  // namespace optshare

@@ -1,0 +1,189 @@
+// Tests for the generalized Moulin mechanism family: the egalitarian
+// instance must coincide with Mechanism 1, weighted sharing must stay
+// truthful (cross-monotonicity), and a deliberately broken method must be
+// caught by the cross-monotonicity checker.
+#include "core/moulin.h"
+
+#include <gtest/gtest.h>
+
+#include "common/money.h"
+#include "common/rng.h"
+
+namespace optshare {
+namespace {
+
+TEST(EgalitarianTest, SharesSplitEvenly) {
+  EgalitarianSharing method(90.0);
+  const auto shares = method.Shares({true, false, true, true});
+  EXPECT_DOUBLE_EQ(shares[0], 30.0);
+  EXPECT_DOUBLE_EQ(shares[1], 0.0);
+  EXPECT_DOUBLE_EQ(shares[2], 30.0);
+  EXPECT_DOUBLE_EQ(shares[3], 30.0);
+}
+
+TEST(EgalitarianTest, MoulinEqualsShapleyOnRandomGames) {
+  Rng rng(17);
+  for (int trial = 0; trial < 300; ++trial) {
+    const int m = 1 + static_cast<int>(rng.UniformInt(0, 9));
+    std::vector<double> bids;
+    for (int i = 0; i < m; ++i) bids.push_back(rng.Uniform(0.0, 1.5));
+    const double cost = rng.Uniform(0.1, 4.0);
+
+    const ShapleyResult direct = RunShapley(cost, bids);
+    const ShapleyResult viaMoulin = RunMoulin(EgalitarianSharing(cost), bids);
+
+    EXPECT_EQ(direct.implemented, viaMoulin.implemented);
+    EXPECT_EQ(direct.serviced, viaMoulin.serviced);
+    for (int i = 0; i < m; ++i) {
+      EXPECT_NEAR(direct.payments[static_cast<size_t>(i)],
+                  viaMoulin.payments[static_cast<size_t>(i)], 1e-12);
+    }
+  }
+}
+
+TEST(WeightedTest, MakeValidatesInputs) {
+  EXPECT_TRUE(WeightedSharing::Make(10.0, {1.0, 2.0}).ok());
+  EXPECT_FALSE(WeightedSharing::Make(0.0, {1.0}).ok());
+  EXPECT_FALSE(WeightedSharing::Make(10.0, {}).ok());
+  EXPECT_FALSE(WeightedSharing::Make(10.0, {1.0, 0.0}).ok());
+  EXPECT_FALSE(WeightedSharing::Make(10.0, {1.0, -2.0}).ok());
+}
+
+TEST(WeightedTest, SharesProportionalToWeights) {
+  const WeightedSharing method = *WeightedSharing::Make(60.0, {1.0, 2.0, 3.0});
+  const auto shares = method.Shares({true, true, true});
+  EXPECT_DOUBLE_EQ(shares[0], 10.0);
+  EXPECT_DOUBLE_EQ(shares[1], 20.0);
+  EXPECT_DOUBLE_EQ(shares[2], 30.0);
+  // After user 2 leaves, the cost re-splits 1:2.
+  const auto smaller = method.Shares({true, true, false});
+  EXPECT_DOUBLE_EQ(smaller[0], 20.0);
+  EXPECT_DOUBLE_EQ(smaller[1], 40.0);
+}
+
+TEST(WeightedTest, MoulinWithWeightsIsBudgetBalanced) {
+  Rng rng(23);
+  for (int trial = 0; trial < 200; ++trial) {
+    const int m = 2 + static_cast<int>(rng.UniformInt(0, 6));
+    std::vector<double> weights, bids;
+    for (int i = 0; i < m; ++i) {
+      weights.push_back(rng.Uniform(0.1, 3.0));
+      bids.push_back(rng.Uniform(0.0, 2.0));
+    }
+    const double cost = rng.Uniform(0.2, 4.0);
+    const WeightedSharing method =
+        *WeightedSharing::Make(cost, weights);
+    const ShapleyResult r = RunMoulin(method, bids);
+    if (r.implemented) {
+      EXPECT_NEAR(r.TotalPayment(), cost, 1e-9);
+      for (int i = 0; i < m; ++i) {
+        if (r.serviced[static_cast<size_t>(i)]) {
+          EXPECT_TRUE(MoneyLe(r.payments[static_cast<size_t>(i)],
+                              bids[static_cast<size_t>(i)]));
+        }
+      }
+    } else {
+      EXPECT_DOUBLE_EQ(r.TotalPayment(), 0.0);
+    }
+  }
+}
+
+TEST(WeightedTest, MoulinWithWeightsIsTruthful) {
+  // Cross-monotonic sharing => strategyproof: probe unilateral deviations.
+  Rng rng(29);
+  for (int trial = 0; trial < 100; ++trial) {
+    const int m = 4;
+    std::vector<double> weights, values;
+    for (int i = 0; i < m; ++i) {
+      weights.push_back(rng.Uniform(0.5, 2.0));
+      values.push_back(rng.Uniform(0.0, 1.0));
+    }
+    const double cost = rng.Uniform(0.3, 2.5);
+    const WeightedSharing method = *WeightedSharing::Make(cost, weights);
+
+    const ShapleyResult truthful = RunMoulin(method, values);
+    for (int i = 0; i < m; ++i) {
+      const double truthful_utility =
+          truthful.serviced[static_cast<size_t>(i)]
+              ? values[static_cast<size_t>(i)] -
+                    truthful.payments[static_cast<size_t>(i)]
+              : 0.0;
+      for (double bid : {0.0, values[static_cast<size_t>(i)] * 0.5,
+                         values[static_cast<size_t>(i)] * 1.5, cost, 10.0}) {
+        std::vector<double> bids = values;
+        bids[static_cast<size_t>(i)] = bid;
+        const ShapleyResult dev = RunMoulin(method, bids);
+        const double dev_utility =
+            dev.serviced[static_cast<size_t>(i)]
+                ? values[static_cast<size_t>(i)] -
+                      dev.payments[static_cast<size_t>(i)]
+                : 0.0;
+        EXPECT_LE(dev_utility, truthful_utility + 1e-9)
+            << "trial " << trial << " user " << i << " bid " << bid;
+      }
+    }
+  }
+}
+
+TEST(CrossMonotonicityTest, EgalitarianAndWeightedPass) {
+  EXPECT_TRUE(IsCrossMonotonic(EgalitarianSharing(10.0), 6));
+  EXPECT_TRUE(IsCrossMonotonic(
+      *WeightedSharing::Make(10.0, {1.0, 5.0, 2.0, 0.5, 3.0, 1.0}), 6));
+}
+
+/// Deliberately non-cross-monotonic: every member pays C/|S|^2 except the
+/// lowest-indexed one, who pays the remainder C - (|S|-1)C/|S|^2. That
+/// remainder *falls* from 7C/9 (|S|=3) to 3C/4 (|S|=2) when another member
+/// leaves, violating cross-monotonicity.
+class BrokenSharing final : public CostSharingMethod {
+ public:
+  explicit BrokenSharing(double cost) : cost_(cost) {}
+  std::vector<double> Shares(const std::vector<bool>& members) const override {
+    int count = 0;
+    int lowest = -1;
+    for (size_t i = 0; i < members.size(); ++i) {
+      if (members[i]) {
+        ++count;
+        if (lowest < 0) lowest = static_cast<int>(i);
+      }
+    }
+    std::vector<double> shares(members.size(), 0.0);
+    const double per_head =
+        cost_ / (static_cast<double>(count) * static_cast<double>(count));
+    double assigned = 0.0;
+    for (size_t i = 0; i < members.size(); ++i) {
+      if (members[i] && static_cast<int>(i) != lowest) {
+        shares[i] = per_head;
+        assigned += per_head;
+      }
+    }
+    if (lowest >= 0) shares[static_cast<size_t>(lowest)] = cost_ - assigned;
+    return shares;
+  }
+  double cost() const override { return cost_; }
+
+ private:
+  double cost_;
+};
+
+TEST(CrossMonotonicityTest, BrokenMethodIsDetected) {
+  EXPECT_FALSE(IsCrossMonotonic(BrokenSharing(9.0), 4));
+}
+
+TEST(MoulinTest, InfiniteBidsPinUsers) {
+  const WeightedSharing method = *WeightedSharing::Make(30.0, {1.0, 1.0, 4.0});
+  const ShapleyResult r = RunMoulin(method, {kInfiniteBid, 0.0, kInfiniteBid});
+  ASSERT_TRUE(r.implemented);
+  EXPECT_TRUE(r.serviced[0]);
+  EXPECT_FALSE(r.serviced[1]);
+  EXPECT_TRUE(r.serviced[2]);
+  EXPECT_DOUBLE_EQ(r.payments[0], 6.0);
+  EXPECT_DOUBLE_EQ(r.payments[2], 24.0);
+}
+
+TEST(MoulinTest, EmptyBidsNotImplemented) {
+  EXPECT_FALSE(RunMoulin(EgalitarianSharing(5.0), {}).implemented);
+}
+
+}  // namespace
+}  // namespace optshare

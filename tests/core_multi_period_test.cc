@@ -1,0 +1,80 @@
+// Tests for multi-period service chaining (§5's repurchase-each-period
+// model).
+#include "core/multi_period.h"
+
+#include <gtest/gtest.h>
+
+namespace optshare {
+namespace {
+
+ServicePeriod MakePeriod(double cost, std::vector<SlotValues> users) {
+  ServicePeriod p;
+  p.game.num_slots = 4;
+  p.game.cost = cost;
+  p.game.users = std::move(users);
+  return p;
+}
+
+TEST(MultiPeriodTest, IndependentPeriods) {
+  std::vector<ServicePeriod> periods;
+  periods.push_back(MakePeriod(
+      100.0, {SlotValues::Single(1, 80.0), SlotValues::Single(1, 70.0)}));
+  periods.push_back(MakePeriod(100.0, {SlotValues::Single(2, 30.0)}));
+
+  MultiPeriodResult r = RunMultiPeriod(periods);
+  ASSERT_EQ(r.per_period.size(), 2u);
+  EXPECT_TRUE(r.per_period[0].implemented);
+  EXPECT_FALSE(r.per_period[1].implemented);  // 30 < 100, no discount.
+  EXPECT_TRUE(r.AllPeriodsRecovered());
+  EXPECT_DOUBLE_EQ(r.TotalCost(), 100.0);
+  EXPECT_DOUBLE_EQ(r.TotalUtility(), 150.0 - 100.0);
+}
+
+TEST(MultiPeriodTest, RebuildDiscountKeepsStructureAlive) {
+  // Same setup, but once built the re-purchase price is maintenance-only
+  // (20%): period 2's single user can now afford it.
+  std::vector<ServicePeriod> periods;
+  periods.push_back(MakePeriod(
+      100.0, {SlotValues::Single(1, 80.0), SlotValues::Single(1, 70.0)}));
+  periods.push_back(MakePeriod(100.0, {SlotValues::Single(2, 30.0)}));
+
+  MultiPeriodResult r = RunMultiPeriod(periods, /*rebuild_discount=*/0.2);
+  EXPECT_TRUE(r.per_period[0].implemented);
+  EXPECT_TRUE(r.per_period[1].implemented);
+  EXPECT_DOUBLE_EQ(r.ledgers[1].total_cost, 20.0);
+  EXPECT_DOUBLE_EQ(r.ledgers[1].TotalPayment(), 20.0);
+  EXPECT_TRUE(r.AllPeriodsRecovered());
+}
+
+TEST(MultiPeriodTest, DiscountOnlyAfterFirstBuild) {
+  // Period 1 fails to fund; period 2 must still pay the full price.
+  std::vector<ServicePeriod> periods;
+  periods.push_back(MakePeriod(100.0, {SlotValues::Single(1, 10.0)}));
+  periods.push_back(MakePeriod(100.0, {SlotValues::Single(1, 50.0)}));
+  MultiPeriodResult r = RunMultiPeriod(periods, 0.2);
+  EXPECT_FALSE(r.per_period[0].implemented);
+  EXPECT_FALSE(r.per_period[1].implemented);  // 50 < 100: full price holds.
+  EXPECT_DOUBLE_EQ(r.TotalCost(), 0.0);
+}
+
+TEST(MultiPeriodTest, LedgerAggregation) {
+  std::vector<ServicePeriod> periods;
+  periods.push_back(MakePeriod(
+      60.0, {SlotValues::Single(1, 40.0), SlotValues::Single(1, 40.0)}));
+  periods.push_back(MakePeriod(
+      60.0, {SlotValues::Single(3, 45.0), SlotValues::Single(3, 35.0)}));
+  MultiPeriodResult r = RunMultiPeriod(periods);
+  EXPECT_DOUBLE_EQ(r.TotalCost(), 120.0);
+  EXPECT_DOUBLE_EQ(r.TotalPayment(), 120.0);
+  EXPECT_DOUBLE_EQ(r.TotalUtility(), (80.0 - 60.0) + (80.0 - 60.0));
+}
+
+TEST(MultiPeriodTest, EmptyChain) {
+  MultiPeriodResult r = RunMultiPeriod({});
+  EXPECT_TRUE(r.per_period.empty());
+  EXPECT_DOUBLE_EQ(r.TotalUtility(), 0.0);
+  EXPECT_TRUE(r.AllPeriodsRecovered());
+}
+
+}  // namespace
+}  // namespace optshare

@@ -1,0 +1,222 @@
+// Property tests: cost recovery (paper Eq. 4) of all four mechanisms on
+// seeded random games — the cloud never implements an optimization whose
+// cost the collected payments fail to cover — plus AddOn share monotonicity
+// and Proposition 2 (multi-identity bids never hurt other users).
+#include <gtest/gtest.h>
+
+#include "common/money.h"
+#include "common/rng.h"
+#include "core/accounting.h"
+#include "workload/scenario.h"
+
+namespace optshare {
+namespace {
+
+class AdditiveRecovery : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AdditiveRecovery, AddOffRecoversEveryImplementedOpt) {
+  Rng rng(GetParam() * 31);
+  AdditiveOfflineGame g;
+  const int m = 1 + static_cast<int>(rng.UniformInt(0, 7));
+  const int n = 1 + static_cast<int>(rng.UniformInt(0, 4));
+  for (int j = 0; j < n; ++j) g.costs.push_back(rng.Uniform(0.1, 3.0));
+  for (int i = 0; i < m; ++i) {
+    std::vector<double> row;
+    for (int j = 0; j < n; ++j) row.push_back(rng.Uniform(0.0, 1.0));
+    g.bids.push_back(row);
+  }
+  AddOffResult r = RunAddOff(g);
+  for (OptId j = 0; j < n; ++j) {
+    const auto& opt = r.per_opt[static_cast<size_t>(j)];
+    if (opt.implemented) {
+      EXPECT_NEAR(opt.TotalPayment(), g.costs[static_cast<size_t>(j)], 1e-9);
+    } else {
+      EXPECT_DOUBLE_EQ(opt.TotalPayment(), 0.0);
+    }
+  }
+  Accounting acc = AccountAddOff(g, r);
+  EXPECT_TRUE(acc.CostRecovered());
+}
+
+TEST_P(AdditiveRecovery, AddOnRecoversAndSharesDecrease) {
+  Rng rng(GetParam() * 37);
+  AdditiveScenario scenario;
+  scenario.num_users = 1 + static_cast<int>(rng.UniformInt(0, 9));
+  scenario.num_slots = 1 + static_cast<int>(rng.UniformInt(0, 11));
+  scenario.duration =
+      1 + static_cast<int>(rng.UniformInt(0, scenario.num_slots - 1));
+  AdditiveOnlineGame g =
+      MakeAdditiveGame(scenario, rng.Uniform(0.05, 2.5), rng);
+  AddOnResult r = RunAddOn(g);
+
+  if (r.implemented) {
+    EXPECT_TRUE(MoneyGe(r.TotalPayment(), g.cost))
+        << "seed " << GetParam() << ": payments " << r.TotalPayment()
+        << " < cost " << g.cost;
+  } else {
+    EXPECT_DOUBLE_EQ(r.TotalPayment(), 0.0);
+  }
+
+  // Cost-share is non-increasing once implemented.
+  double prev = kInfiniteBid;
+  for (double share : r.cost_share) {
+    EXPECT_LE(share, prev * (1 + 1e-12));
+    prev = share;
+  }
+
+  // The cumulative serviced set only grows.
+  for (size_t t = 1; t < r.cumulative.size(); ++t) {
+    for (UserId i : r.cumulative[t - 1]) {
+      EXPECT_TRUE(r.InCumulative(i, static_cast<TimeSlot>(t + 1)));
+    }
+  }
+
+  // No serviced user pays more than her declared total value.
+  Accounting acc = AccountAddOn(g, r);
+  for (UserId i = 0; i < g.num_users(); ++i) {
+    if (r.payments[static_cast<size_t>(i)] > 0.0) {
+      EXPECT_TRUE(MoneyLe(r.payments[static_cast<size_t>(i)],
+                          g.users[static_cast<size_t>(i)].Total()));
+    }
+  }
+  EXPECT_TRUE(acc.CostRecovered());
+}
+
+INSTANTIATE_TEST_SUITE_P(SeededGames, AdditiveRecovery,
+                         ::testing::Range<uint64_t>(1, 101));
+
+class SubstRecovery : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SubstRecovery, SubstOffRecoversEveryImplementedOpt) {
+  Rng rng(GetParam() * 41);
+  SubstOfflineGame g;
+  const int n = 2 + static_cast<int>(rng.UniformInt(0, 6));
+  const int m = 1 + static_cast<int>(rng.UniformInt(0, 9));
+  for (int j = 0; j < n; ++j) g.costs.push_back(rng.Uniform(0.1, 2.0));
+  for (int i = 0; i < m; ++i) {
+    SubstOfflineUser u;
+    const int k = 1 + static_cast<int>(rng.UniformInt(0, n - 1));
+    auto picks = rng.SampleWithoutReplacement(n, k);
+    std::sort(picks.begin(), picks.end());
+    u.substitutes.assign(picks.begin(), picks.end());
+    u.value = rng.Uniform(0.0, 1.5);
+    g.users.push_back(u);
+  }
+  SubstOffResult r = RunSubstOff(g);
+
+  // Per-optimization recovery: granted users of j pay exactly C_j.
+  for (size_t k = 0; k < r.implemented.size(); ++k) {
+    const OptId j = r.implemented[k];
+    double collected = 0.0;
+    for (UserId i : r.GrantedUsers(j)) {
+      collected += r.payments[static_cast<size_t>(i)];
+    }
+    EXPECT_NEAR(collected, g.costs[static_cast<size_t>(j)], 1e-9)
+        << "opt " << j;
+  }
+  // Users granted nothing pay nothing.
+  for (UserId i = 0; i < m; ++i) {
+    if (r.grant[static_cast<size_t>(i)] == kNoOpt) {
+      EXPECT_DOUBLE_EQ(r.payments[static_cast<size_t>(i)], 0.0);
+    }
+  }
+  // Each user granted at most one optimization, from her substitute set.
+  for (UserId i = 0; i < m; ++i) {
+    const OptId gr = r.grant[static_cast<size_t>(i)];
+    if (gr != kNoOpt) {
+      const auto& subs = g.users[static_cast<size_t>(i)].substitutes;
+      EXPECT_NE(std::find(subs.begin(), subs.end(), gr), subs.end());
+    }
+  }
+}
+
+TEST_P(SubstRecovery, SubstOnRecoversTotalCost) {
+  Rng rng(GetParam() * 43);
+  SubstScenario scenario;
+  scenario.num_users = 1 + static_cast<int>(rng.UniformInt(0, 9));
+  scenario.num_slots = 1 + static_cast<int>(rng.UniformInt(0, 7));
+  scenario.num_opts = 2 + static_cast<int>(rng.UniformInt(0, 6));
+  scenario.substitutes_per_user =
+      1 + static_cast<int>(rng.UniformInt(0, scenario.num_opts - 1));
+  SubstOnlineGame g = MakeSubstGame(scenario, rng.Uniform(0.05, 1.5), rng);
+  SubstOnResult r = RunSubstOn(g);
+
+  EXPECT_TRUE(MoneyGe(r.TotalPayment(), r.ImplementedCost(g.costs)))
+      << "seed " << GetParam();
+
+  Accounting acc = AccountSubstOn(g, r);
+  EXPECT_TRUE(acc.CostRecovered());
+
+  // Grants respect declared substitute sets.
+  for (UserId i = 0; i < g.num_users(); ++i) {
+    const OptId gr = r.grant[static_cast<size_t>(i)];
+    if (gr != kNoOpt) {
+      const auto& subs = g.users[static_cast<size_t>(i)].substitutes;
+      EXPECT_NE(std::find(subs.begin(), subs.end(), gr), subs.end());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SeededGames, SubstRecovery,
+                         ::testing::Range<uint64_t>(1, 101));
+
+class IdentityProposition : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(IdentityProposition, SplittingABidNeverHurtsOthersAdditive) {
+  // Proposition 2: in AddOn, replacing one user's bid by several identities
+  // never decreases any other user's utility.
+  Rng rng(GetParam() * 53);
+  AdditiveScenario scenario;
+  scenario.num_users = 3 + static_cast<int>(rng.UniformInt(0, 4));
+  scenario.num_slots = 4;
+  AdditiveOnlineGame base =
+      MakeAdditiveGame(scenario, rng.Uniform(0.2, 2.0), rng);
+  AddOnResult r_base = RunAddOn(base);
+  Accounting acc_base = AccountAddOn(base, r_base);
+
+  // Split user 0 into k identities, each declaring a 1/k slice.
+  const int k = 2 + static_cast<int>(rng.UniformInt(0, 2));
+  AdditiveOnlineGame split = base;
+  SlotValues slice = base.users[0];
+  for (double& v : slice.values) v /= static_cast<double>(k);
+  split.users[0] = slice;
+  for (int c = 1; c < k; ++c) split.users.push_back(slice);
+
+  AddOnResult r_split = RunAddOn(split);
+  Accounting acc_split = AccountAddOn(split, r_split);
+
+  // The splitter's utility: she realizes her full true value at any slot
+  // where at least one identity is serviced, and pays for all identities.
+  double split_value = 0.0;
+  for (TimeSlot t = 1; t <= split.num_slots; ++t) {
+    bool any = false;
+    for (UserId id : r_split.serviced[static_cast<size_t>(t - 1)]) {
+      if (id == 0 || id >= base.num_users()) any = true;
+    }
+    if (any) split_value += base.users[0].At(t);
+  }
+  double split_payment = r_split.payments[0];
+  for (int c = 1; c < k; ++c) {
+    split_payment +=
+        r_split.payments[static_cast<size_t>(base.num_users() + c - 1)];
+  }
+  const double splitter_gain =
+      (split_value - split_payment) - acc_base.UserUtility(0);
+
+  // Proposition 2 is conditional: *when* the split benefits the splitter,
+  // no other user is worse off. (An unprofitable split can hurt others —
+  // e.g. slices too small to keep the optimization funded.)
+  if (splitter_gain > 1e-9) {
+    for (UserId i = 1; i < base.num_users(); ++i) {
+      EXPECT_GE(acc_split.UserUtility(i) + 1e-9, acc_base.UserUtility(i))
+          << "seed " << GetParam() << " user " << i
+          << " harmed by a profitable identity split";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SeededGames, IdentityProposition,
+                         ::testing::Range<uint64_t>(1, 61));
+
+}  // namespace
+}  // namespace optshare

@@ -1,0 +1,158 @@
+// Tests for §5.1 upward bid revisions.
+#include "core/revisions.h"
+
+#include <gtest/gtest.h>
+
+namespace optshare {
+namespace {
+
+RevisionSchedule SingleDeclaration(TimeSlot submitted, SlotValues stream) {
+  RevisionSchedule s;
+  s.revisions.push_back({submitted, std::move(stream)});
+  return s;
+}
+
+TEST(RevisionScheduleTest, EffectiveAtPicksLatestSubmission) {
+  RevisionSchedule s;
+  s.revisions.push_back({1, *SlotValues::Make(1, 3, {10, 10, 10})});
+  s.revisions.push_back({2, *SlotValues::Make(1, 3, {10, 20, 10})});
+  EXPECT_EQ(s.EffectiveAt(0), nullptr);
+  EXPECT_DOUBLE_EQ(s.EffectiveAt(1)->At(2), 10.0);
+  EXPECT_DOUBLE_EQ(s.EffectiveAt(2)->At(2), 20.0);
+  EXPECT_DOUBLE_EQ(s.EffectiveAt(3)->At(2), 20.0);
+  EXPECT_EQ(s.FinalEnd(), 3);
+}
+
+TEST(RevisionScheduleTest, PaperSection51Example) {
+  // "at time t = 1, let user 1 bid (1, 3, [10, 10, 10]); at time t = 2 she
+  // may revise her bids as b(2) = 20, b(3) = 10."
+  RevisionSchedule s;
+  s.revisions.push_back({1, *SlotValues::Make(1, 3, {10, 10, 10})});
+  s.revisions.push_back({2, *SlotValues::Make(1, 3, {10, 20, 10})});
+  EXPECT_TRUE(s.Validate(3).ok());
+}
+
+TEST(RevisionScheduleTest, ValidationRejectsRetroactiveInitialBid) {
+  // First declaration submitted at t=2 claiming value from t=1.
+  RevisionSchedule s =
+      SingleDeclaration(2, *SlotValues::Make(1, 3, {5, 5, 5}));
+  EXPECT_FALSE(s.Validate(3).ok());
+}
+
+TEST(RevisionScheduleTest, ValidationRejectsPastEdits) {
+  RevisionSchedule s;
+  s.revisions.push_back({1, *SlotValues::Make(1, 3, {10, 10, 10})});
+  // Submitted at t=3 but changes the value at t=2.
+  s.revisions.push_back({3, *SlotValues::Make(1, 3, {10, 99, 10})});
+  EXPECT_FALSE(s.Validate(3).ok());
+}
+
+TEST(RevisionScheduleTest, ValidationRejectsDownwardRevision) {
+  RevisionSchedule s;
+  s.revisions.push_back({1, *SlotValues::Make(1, 3, {10, 10, 10})});
+  s.revisions.push_back({2, *SlotValues::Make(1, 3, {10, 5, 10})});
+  EXPECT_FALSE(s.Validate(3).ok());
+}
+
+TEST(RevisionScheduleTest, ValidationRejectsShrinkingInterval) {
+  RevisionSchedule s;
+  s.revisions.push_back({1, *SlotValues::Make(1, 3, {10, 10, 10})});
+  s.revisions.push_back({2, *SlotValues::Make(1, 2, {10, 10})});
+  EXPECT_FALSE(s.Validate(3).ok());
+}
+
+TEST(RevisionScheduleTest, ValidationRejectsChangedArrival) {
+  RevisionSchedule s;
+  s.revisions.push_back({1, *SlotValues::Make(1, 3, {10, 10, 10})});
+  s.revisions.push_back({2, *SlotValues::Make(2, 3, {20, 10})});
+  EXPECT_FALSE(s.Validate(3).ok());
+}
+
+TEST(RevisionScheduleTest, ValidationRejectsNonIncreasingSubmissions) {
+  RevisionSchedule s;
+  s.revisions.push_back({2, *SlotValues::Make(2, 3, {10, 10})});
+  s.revisions.push_back({2, *SlotValues::Make(2, 3, {20, 10})});
+  EXPECT_FALSE(s.Validate(3).ok());
+}
+
+TEST(RunAddOnWithRevisionsTest, MatchesPlainAddOnWithoutRevisions) {
+  RevisableOnlineGame g;
+  g.num_slots = 3;
+  g.cost = 100.0;
+  g.users = {
+      SingleDeclaration(1, SlotValues::Single(1, 101.0)),
+      SingleDeclaration(1, *SlotValues::Make(1, 3, {16, 16, 16})),
+      SingleDeclaration(2, SlotValues::Single(2, 26.0)),
+      SingleDeclaration(2, SlotValues::Single(2, 26.0)),
+  };
+  ASSERT_TRUE(g.Validate().ok());
+  const AddOnResult revised = RunAddOnWithRevisions(g);
+
+  AdditiveOnlineGame plain;
+  plain.num_slots = 3;
+  plain.cost = 100.0;
+  plain.users = {SlotValues::Single(1, 101.0),
+                 *SlotValues::Make(1, 3, {16, 16, 16}),
+                 SlotValues::Single(2, 26.0), SlotValues::Single(2, 26.0)};
+  const AddOnResult direct = RunAddOn(plain);
+
+  EXPECT_EQ(revised.payments, direct.payments);
+  EXPECT_EQ(revised.cumulative, direct.cumulative);
+  EXPECT_EQ(revised.serviced, direct.serviced);
+}
+
+TEST(RunAddOnWithRevisionsTest, UpwardRevisionCanFundTheOptimization) {
+  // Initially nobody can cover 60; at t=2 user 0 raises her remaining
+  // value and the optimization is built then.
+  RevisableOnlineGame g;
+  g.num_slots = 3;
+  g.cost = 60.0;
+  RevisionSchedule u0;
+  u0.revisions.push_back({1, *SlotValues::Make(1, 3, {10, 10, 10})});
+  u0.revisions.push_back({2, *SlotValues::Make(1, 3, {10, 40, 40})});
+  g.users = {u0};
+  ASSERT_TRUE(g.Validate().ok());
+
+  const AddOnResult r = RunAddOnWithRevisions(g);
+  ASSERT_TRUE(r.implemented);
+  EXPECT_EQ(r.implemented_at, 2);  // Residual 80 >= 60 only after revising.
+  EXPECT_DOUBLE_EQ(r.payments[0], 60.0);
+}
+
+TEST(RunAddOnWithRevisionsTest, ExtendedIntervalMovesPaymentSlot) {
+  // User 0 initially leaves at t=1; a revision at t=2 keeps her through
+  // t=3, so she pays the (lower) share current at her *final* departure.
+  RevisableOnlineGame g;
+  g.num_slots = 3;
+  g.cost = 100.0;
+  RevisionSchedule u0;
+  u0.revisions.push_back({1, SlotValues::Single(1, 120.0)});
+  u0.revisions.push_back({2, *SlotValues::Make(1, 3, {120, 5, 5})});
+  g.users = {u0,
+             SingleDeclaration(3, SlotValues::Single(3, 60.0))};
+  ASSERT_TRUE(g.Validate().ok());
+
+  const AddOnResult r = RunAddOnWithRevisions(g);
+  ASSERT_TRUE(r.implemented);
+  EXPECT_EQ(r.implemented_at, 1);
+  // At t=3 user 1 joins CS; the share halves and user 0 pays 50, not 100.
+  EXPECT_DOUBLE_EQ(r.payments[0], 50.0);
+  EXPECT_DOUBLE_EQ(r.payments[1], 50.0);
+}
+
+TEST(RevisableGameTest, Validation) {
+  RevisableOnlineGame g;
+  g.num_slots = 0;
+  EXPECT_FALSE(g.Validate().ok());
+  g.num_slots = 2;
+  g.cost = 0.0;
+  EXPECT_FALSE(g.Validate().ok());
+  g.cost = 5.0;
+  g.users = {RevisionSchedule{}};
+  EXPECT_FALSE(g.Validate().ok());  // Empty schedule.
+  g.users = {SingleDeclaration(1, SlotValues::Single(1, 1.0))};
+  EXPECT_TRUE(g.Validate().ok());
+}
+
+}  // namespace
+}  // namespace optshare

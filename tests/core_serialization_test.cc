@@ -1,0 +1,139 @@
+// Tests for game (de)serialization: round trips, schema validation, and
+// rejection of structurally valid JSON describing invalid games.
+#include "core/serialization.h"
+
+#include <gtest/gtest.h>
+
+#include "core/add_on.h"
+
+namespace optshare {
+namespace {
+
+TEST(SerializationTest, AdditiveOfflineRoundTrip) {
+  AdditiveOfflineGame g;
+  g.costs = {90.0, 50.0};
+  g.bids = {{40.0, 0.0}, {30.0, 60.0}};
+  auto parsed = AdditiveOfflineGameFromJson(ToJson(g));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->costs, g.costs);
+  EXPECT_EQ(parsed->bids, g.bids);
+}
+
+TEST(SerializationTest, AdditiveOnlineRoundTrip) {
+  AdditiveOnlineGame g;
+  g.num_slots = 3;
+  g.cost = 100.0;
+  g.users = {SlotValues::Single(1, 101.0),
+             *SlotValues::Make(2, 3, {26.0, 27.0})};
+  auto parsed = AdditiveOnlineGameFromJson(ToJson(g));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->num_slots, 3);
+  EXPECT_DOUBLE_EQ(parsed->cost, 100.0);
+  ASSERT_EQ(parsed->users.size(), 2u);
+  EXPECT_EQ(parsed->users[1].start, 2);
+  EXPECT_EQ(parsed->users[1].end, 3);
+  EXPECT_DOUBLE_EQ(parsed->users[1].At(3), 27.0);
+}
+
+TEST(SerializationTest, SubstOfflineRoundTrip) {
+  SubstOfflineGame g;
+  g.costs = {60.0, 180.0, 100.0};
+  g.users = {{{0, 1}, 100.0}, {{2}, 101.0}};
+  auto parsed = SubstOfflineGameFromJson(ToJson(g));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->users[0].substitutes, (std::vector<OptId>{0, 1}));
+  EXPECT_DOUBLE_EQ(parsed->users[1].value, 101.0);
+}
+
+TEST(SerializationTest, SubstOnlineRoundTrip) {
+  SubstOnlineGame g;
+  g.num_slots = 3;
+  g.costs = {60.0, 100.0, 50.0};
+  g.users = {{SlotValues::Constant(1, 2, 50.0), {0, 1}},
+             {SlotValues::Single(3, 100.0), {2}}};
+  auto parsed = SubstOnlineGameFromJson(ToJson(g));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->users[0].substitutes, (std::vector<OptId>{0, 1}));
+  EXPECT_DOUBLE_EQ(parsed->users[0].stream.Total(), 100.0);
+}
+
+TEST(SerializationTest, GameTypeOfHandlesMissingType) {
+  EXPECT_EQ(GameTypeOf(*JsonValue::Parse("{}")), "");
+  EXPECT_EQ(GameTypeOf(*JsonValue::Parse("{\"type\": 3}")), "");
+  EXPECT_EQ(GameTypeOf(*JsonValue::Parse("{\"type\": \"x\"}")), "x");
+}
+
+TEST(SerializationTest, RejectsWrongType) {
+  AdditiveOfflineGame g;
+  g.costs = {1.0};
+  g.bids = {{0.5}};
+  const JsonValue doc = ToJson(g);
+  EXPECT_FALSE(AdditiveOnlineGameFromJson(doc).ok());
+  EXPECT_FALSE(SubstOfflineGameFromJson(doc).ok());
+}
+
+TEST(SerializationTest, RejectsMissingFields) {
+  auto doc = *JsonValue::Parse(R"({"type": "additive_offline"})");
+  EXPECT_FALSE(AdditiveOfflineGameFromJson(doc).ok());
+
+  auto no_users = *JsonValue::Parse(
+      R"({"type": "additive_online", "num_slots": 2, "cost": 5})");
+  EXPECT_FALSE(AdditiveOnlineGameFromJson(no_users).ok());
+}
+
+TEST(SerializationTest, RejectsMalformedEntries) {
+  auto bad_bid = *JsonValue::Parse(
+      R"({"type": "additive_offline", "costs": [5], "bids": [["x"]]})");
+  EXPECT_FALSE(AdditiveOfflineGameFromJson(bad_bid).ok());
+
+  auto frac_slot = *JsonValue::Parse(
+      R"({"type": "additive_online", "num_slots": 2, "cost": 5,
+          "users": [{"start": 1.5, "end": 2, "values": [1]}]})");
+  EXPECT_FALSE(AdditiveOnlineGameFromJson(frac_slot).ok());
+
+  auto frac_opt = *JsonValue::Parse(
+      R"({"type": "subst_offline", "costs": [5],
+          "users": [{"substitutes": [0.5], "value": 1}]})");
+  EXPECT_FALSE(SubstOfflineGameFromJson(frac_opt).ok());
+}
+
+TEST(SerializationTest, RejectsSemanticallyInvalidGames) {
+  // Well-formed JSON but the game fails Validate(): negative cost.
+  auto negative_cost = *JsonValue::Parse(
+      R"({"type": "additive_offline", "costs": [-5], "bids": [[1]]})");
+  EXPECT_FALSE(AdditiveOfflineGameFromJson(negative_cost).ok());
+
+  // Interval extends past the horizon.
+  auto bad_interval = *JsonValue::Parse(
+      R"({"type": "additive_online", "num_slots": 2, "cost": 5,
+          "users": [{"start": 1, "end": 3, "values": [1, 1, 1]}]})");
+  EXPECT_FALSE(AdditiveOnlineGameFromJson(bad_interval).ok());
+
+  // Substitute id out of range.
+  auto bad_sub = *JsonValue::Parse(
+      R"({"type": "subst_online", "num_slots": 1, "costs": [5],
+          "users": [{"start": 1, "end": 1, "values": [1],
+                     "substitutes": [3]}]})");
+  EXPECT_FALSE(SubstOnlineGameFromJson(bad_sub).ok());
+}
+
+TEST(SerializationTest, ParsedGameRunsIdenticallyToOriginal) {
+  // Serialization must be lossless w.r.t. mechanism outcomes.
+  AdditiveOnlineGame g;
+  g.num_slots = 3;
+  g.cost = 100.0;
+  g.users = {SlotValues::Single(1, 101.0),
+             *SlotValues::Make(1, 3, {16.0, 16.0, 16.0}),
+             SlotValues::Single(2, 26.0), SlotValues::Single(2, 26.0)};
+  auto round_tripped = AdditiveOnlineGameFromJson(ToJson(g));
+  ASSERT_TRUE(round_tripped.ok());
+
+  const AddOnResult a = RunAddOn(g);
+  const AddOnResult b = RunAddOn(*round_tripped);
+  EXPECT_EQ(a.payments, b.payments);
+  EXPECT_EQ(a.implemented_at, b.implemented_at);
+  EXPECT_EQ(a.serviced, b.serviced);
+}
+
+}  // namespace
+}  // namespace optshare

@@ -1,0 +1,192 @@
+// Tests for the Shapley Value Mechanism (paper §4.1, Mechanism 1), including
+// the truthfulness rationale discussed under Mechanism 1 and seeded property
+// sweeps over random bid profiles.
+#include "core/shapley.h"
+
+#include <gtest/gtest.h>
+
+#include "common/money.h"
+#include "common/rng.h"
+
+namespace optshare {
+namespace {
+
+TEST(ShapleyTest, AllUsersAffordEvenSplit) {
+  // Cost 90 over three users bidding >= 30 each: everyone serviced at 30.
+  ShapleyResult r = RunShapley(90.0, {40.0, 30.0, 35.0});
+  EXPECT_TRUE(r.implemented);
+  EXPECT_EQ(r.NumServiced(), 3);
+  EXPECT_DOUBLE_EQ(r.cost_share, 30.0);
+  EXPECT_DOUBLE_EQ(r.TotalPayment(), 90.0);
+}
+
+TEST(ShapleyTest, IterativelyDropsPricedOutUsers) {
+  // Cost 100, bids {101, 26}: split 50 prices out user 2; user 1 pays 100.
+  // This is the t=1 state of paper Example 2.
+  ShapleyResult r = RunShapley(100.0, {101.0, 26.0});
+  EXPECT_TRUE(r.implemented);
+  EXPECT_EQ(r.ServicedUsers(), std::vector<UserId>{0});
+  EXPECT_DOUBLE_EQ(r.cost_share, 100.0);
+  EXPECT_DOUBLE_EQ(r.payments[0], 100.0);
+  EXPECT_DOUBLE_EQ(r.payments[1], 0.0);
+}
+
+TEST(ShapleyTest, CascadingRemovals) {
+  // Cost 100 over 4 users: share 25 drops {10}, share 33.3 drops {30},
+  // share 50 keeps {60, 70}.
+  ShapleyResult r = RunShapley(100.0, {10.0, 30.0, 60.0, 70.0});
+  EXPECT_TRUE(r.implemented);
+  EXPECT_EQ(r.ServicedUsers(), (std::vector<UserId>{2, 3}));
+  EXPECT_DOUBLE_EQ(r.cost_share, 50.0);
+  EXPECT_GE(r.iterations, 3);
+}
+
+TEST(ShapleyTest, NobodyCanAfford) {
+  ShapleyResult r = RunShapley(100.0, {10.0, 10.0, 10.0});
+  EXPECT_FALSE(r.implemented);
+  EXPECT_EQ(r.NumServiced(), 0);
+  EXPECT_DOUBLE_EQ(r.TotalPayment(), 0.0);
+}
+
+TEST(ShapleyTest, NoUsers) {
+  ShapleyResult r = RunShapley(5.0, {});
+  EXPECT_FALSE(r.implemented);
+  EXPECT_EQ(r.NumServiced(), 0);
+}
+
+TEST(ShapleyTest, SingleUserCoversFullCost) {
+  ShapleyResult r = RunShapley(5.0, {5.0});
+  EXPECT_TRUE(r.implemented);
+  EXPECT_DOUBLE_EQ(r.payments[0], 5.0);
+}
+
+TEST(ShapleyTest, BidExactlyAtShareIsServiced) {
+  // p <= b_ij keeps users bidding exactly the even share (Example 7 relies
+  // on this: a bid of exactly 30 keeps the user in).
+  ShapleyResult r = RunShapley(60.0, {30.0, 100.0});
+  EXPECT_TRUE(r.implemented);
+  EXPECT_EQ(r.NumServiced(), 2);
+  EXPECT_DOUBLE_EQ(r.cost_share, 30.0);
+}
+
+TEST(ShapleyTest, BidJustBelowShareIsDropped) {
+  ShapleyResult r = RunShapley(60.0, {30.0 - 1e-3, 100.0});
+  EXPECT_TRUE(r.implemented);
+  EXPECT_EQ(r.ServicedUsers(), std::vector<UserId>{1});
+  EXPECT_DOUBLE_EQ(r.cost_share, 60.0);
+}
+
+TEST(ShapleyTest, InfiniteBidsAlwaysServiced) {
+  // The online mechanisms pin serviced users with infinite bids.
+  ShapleyResult r = RunShapley(100.0, {kInfiniteBid, 1.0, kInfiniteBid});
+  EXPECT_TRUE(r.implemented);
+  EXPECT_EQ(r.ServicedUsers(), (std::vector<UserId>{0, 2}));
+  EXPECT_DOUBLE_EQ(r.cost_share, 50.0);
+}
+
+TEST(ShapleyTest, ZeroBiddersNeverServiced) {
+  ShapleyResult r = RunShapley(10.0, {0.0, 0.0, 20.0});
+  EXPECT_TRUE(r.implemented);
+  EXPECT_EQ(r.ServicedUsers(), std::vector<UserId>{2});
+}
+
+TEST(ShapleyTest, CostRecoveryExactWhenImplemented) {
+  Rng rng(99);
+  for (int trial = 0; trial < 500; ++trial) {
+    const int m = static_cast<int>(rng.UniformInt(1, 10));
+    std::vector<double> bids;
+    for (int i = 0; i < m; ++i) bids.push_back(rng.Uniform(0.0, 2.0));
+    const double cost = rng.Uniform(0.1, 5.0);
+    ShapleyResult r = RunShapley(cost, bids);
+    if (r.implemented) {
+      EXPECT_NEAR(r.TotalPayment(), cost, 1e-9);
+    } else {
+      EXPECT_DOUBLE_EQ(r.TotalPayment(), 0.0);
+    }
+  }
+}
+
+TEST(ShapleyTest, ServicedUsersNeverPayMoreThanBid) {
+  Rng rng(7);
+  for (int trial = 0; trial < 500; ++trial) {
+    const int m = static_cast<int>(rng.UniformInt(1, 12));
+    std::vector<double> bids;
+    for (int i = 0; i < m; ++i) bids.push_back(rng.Uniform(0.0, 3.0));
+    ShapleyResult r = RunShapley(rng.Uniform(0.1, 6.0), bids);
+    for (int i = 0; i < m; ++i) {
+      if (r.serviced[static_cast<size_t>(i)]) {
+        EXPECT_TRUE(MoneyLe(r.payments[static_cast<size_t>(i)],
+                            bids[static_cast<size_t>(i)]));
+      } else {
+        EXPECT_DOUBLE_EQ(r.payments[static_cast<size_t>(i)], 0.0);
+      }
+    }
+  }
+}
+
+TEST(ShapleyTest, ServicedSetMonotoneInBids) {
+  // Raising one user's bid never shrinks the serviced set below its old
+  // members (population monotonicity of the Shapley cost-share scheme).
+  Rng rng(13);
+  for (int trial = 0; trial < 300; ++trial) {
+    const int m = 6;
+    std::vector<double> bids;
+    for (int i = 0; i < m; ++i) bids.push_back(rng.Uniform(0.0, 1.0));
+    const double cost = rng.Uniform(0.1, 3.0);
+    ShapleyResult base = RunShapley(cost, bids);
+
+    std::vector<double> raised = bids;
+    const int who = static_cast<int>(rng.UniformInt(0, m - 1));
+    raised[static_cast<size_t>(who)] += rng.Uniform(0.0, 2.0);
+    ShapleyResult after = RunShapley(cost, raised);
+
+    for (int i = 0; i < m; ++i) {
+      if (base.serviced[static_cast<size_t>(i)]) {
+        EXPECT_TRUE(after.serviced[static_cast<size_t>(i)])
+            << "raising user " << who << "'s bid evicted user " << i;
+      }
+    }
+  }
+}
+
+TEST(ShapleyTest, TruthfulAgainstBidGrid) {
+  // For random 4-user games, no unilateral deviation from truthful bidding
+  // improves a user's utility (utility = value - payment if serviced).
+  Rng rng(101);
+  for (int trial = 0; trial < 200; ++trial) {
+    const int m = 4;
+    std::vector<double> values;
+    for (int i = 0; i < m; ++i) values.push_back(rng.Uniform(0.0, 1.0));
+    const double cost = rng.Uniform(0.1, 2.5);
+
+    ShapleyResult truthful = RunShapley(cost, values);
+    for (int i = 0; i < m; ++i) {
+      const double truthful_utility =
+          truthful.serviced[static_cast<size_t>(i)]
+              ? values[static_cast<size_t>(i)] -
+                    truthful.payments[static_cast<size_t>(i)]
+              : 0.0;
+      for (double bid :
+           {0.0, values[static_cast<size_t>(i)] / 2.0,
+            values[static_cast<size_t>(i)] * 0.99,
+            values[static_cast<size_t>(i)] * 1.01,
+            values[static_cast<size_t>(i)] + 0.5, cost, cost / 2.0, 10.0}) {
+        std::vector<double> bids = values;
+        bids[static_cast<size_t>(i)] = bid;
+        ShapleyResult dev = RunShapley(cost, bids);
+        const double dev_utility =
+            dev.serviced[static_cast<size_t>(i)]
+                ? values[static_cast<size_t>(i)] -
+                      dev.payments[static_cast<size_t>(i)]
+                : 0.0;
+        EXPECT_LE(dev_utility, truthful_utility + 1e-9)
+            << "profitable deviation: user " << i << " bids " << bid
+            << " (value " << values[static_cast<size_t>(i)] << ", cost "
+            << cost << ")";
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace optshare

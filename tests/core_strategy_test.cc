@@ -1,0 +1,87 @@
+// Tests for the strategy-analysis helpers (deviation grids and utility
+// probes) themselves — the machinery the truthfulness suites rely on.
+#include "core/strategy.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace optshare {
+namespace {
+
+TEST(CandidateDeviationBidsTest, ContainsCriticalPoints) {
+  const auto grid = CandidateDeviationBids({60.0}, {25.0, 40.0}, 3);
+  // Always includes zero.
+  EXPECT_NE(std::find(grid.begin(), grid.end(), 0.0), grid.end());
+  // Includes every even split of the cost.
+  for (double share : {60.0, 30.0, 20.0}) {
+    EXPECT_NE(std::find(grid.begin(), grid.end(), share), grid.end());
+  }
+  // Includes the user values.
+  for (double v : {25.0, 40.0}) {
+    EXPECT_NE(std::find(grid.begin(), grid.end(), v), grid.end());
+  }
+}
+
+TEST(CandidateDeviationBidsTest, SortedAndDeduplicated) {
+  const auto grid = CandidateDeviationBids({10.0, 10.0}, {5.0, 5.0}, 2);
+  EXPECT_TRUE(std::is_sorted(grid.begin(), grid.end()));
+  EXPECT_EQ(std::adjacent_find(grid.begin(), grid.end()), grid.end());
+}
+
+TEST(CandidateDeviationBidsTest, PerturbationsBracketEachPoint) {
+  const auto grid = CandidateDeviationBids({60.0}, {}, 1);
+  // 60 should come with 60 +/- 1e-6 neighbours, probing both sides of the
+  // threshold.
+  EXPECT_NE(std::find(grid.begin(), grid.end(), 60.0), grid.end());
+  EXPECT_NE(std::find(grid.begin(), grid.end(), 60.0 + 1e-6), grid.end());
+  EXPECT_NE(std::find(grid.begin(), grid.end(), 60.0 - 1e-6), grid.end());
+}
+
+TEST(CandidateDeviationBidsTest, NoNegativeCandidates) {
+  const auto grid = CandidateDeviationBids({1e-7}, {0.0}, 4);
+  for (double g : grid) EXPECT_GE(g, 0.0);
+}
+
+TEST(StrategyHelpersTest, AddOffUtilityMatchesManualComputation) {
+  AdditiveOfflineGame g;
+  g.costs = {90.0};
+  g.bids = {{40.0}, {30.0}, {35.0}};
+  // Truthful: all serviced at 30; user 0's utility = 40 - 30 = 10.
+  EXPECT_DOUBLE_EQ(AddOffUtilityUnderBid(g, 0, {40.0}), 10.0);
+  // Bidding 0 drops her out entirely: utility 0.
+  EXPECT_DOUBLE_EQ(AddOffUtilityUnderBid(g, 0, {0.0}), 0.0);
+  // Overbidding changes nothing (same serviced set, same share).
+  EXPECT_DOUBLE_EQ(AddOffUtilityUnderBid(g, 0, {500.0}), 10.0);
+}
+
+TEST(StrategyHelpersTest, AddOnUtilityAccountsTrueValuesOnly) {
+  AdditiveOnlineGame g;
+  g.num_slots = 2;
+  g.cost = 50.0;
+  g.users = {*SlotValues::Make(1, 2, {30.0, 30.0})};
+  // Truthful: residual 60 >= 50 at t=1, pays 50 at t=2; value 60.
+  EXPECT_DOUBLE_EQ(
+      AddOnUtilityUnderBid(g, 0, *SlotValues::Make(1, 2, {30.0, 30.0})),
+      10.0);
+  // Declaring a one-slot interval realizes only slot 1's true value but
+  // still pays the full cost alone: 30 - 50 = -20.
+  EXPECT_DOUBLE_EQ(AddOnUtilityUnderBid(g, 0, SlotValues::Single(1, 60.0)),
+                   -20.0);
+}
+
+TEST(StrategyHelpersTest, SubstOffUtilityReflectsTrueSubstituteSet) {
+  SubstOfflineGame g;
+  g.costs = {50.0, 50.0};
+  g.users = {{{0}, 60.0}, {{1}, 60.0}};
+  // Truthful: each user funds her own optimization at 50.
+  EXPECT_DOUBLE_EQ(SubstOffUtilityUnderBid(g, 0, {0}, 60.0), 10.0);
+  // Declaring the *other* optimization gets her granted opt 1, which is
+  // outside her true substitute set: she pays without realizing value.
+  const double lied = SubstOffUtilityUnderBid(g, 0, {1}, 60.0);
+  EXPECT_LT(lied, 10.0);
+  EXPECT_LE(lied, 0.0);
+}
+
+}  // namespace
+}  // namespace optshare

@@ -1,0 +1,181 @@
+// Tests for SubstOff (paper §6.1, Mechanism 3), tracing Examples 5, 6 and 7
+// and the §6.2 multiple-identities example.
+#include "core/subst_off.h"
+
+#include <gtest/gtest.h>
+
+#include "core/accounting.h"
+#include "core/strategy.h"
+
+namespace optshare {
+namespace {
+
+// Paper Example 5: costs C1=60, C2=180, C3=100 (0-indexed 0,1,2); bids
+// user0 ({0,1},100), user1 ({2},101), user2 ({0,1,2},60), user3 ({1},70).
+SubstOfflineGame Example5Game() {
+  SubstOfflineGame g;
+  g.costs = {60.0, 180.0, 100.0};
+  g.users = {
+      {{0, 1}, 100.0},
+      {{2}, 101.0},
+      {{0, 1, 2}, 60.0},
+      {{1}, 70.0},
+  };
+  return g;
+}
+
+TEST(SubstOffTest, Example6PhaseOneImplementsCheapestShare) {
+  SubstOffResult r = RunSubstOff(Example5Game());
+  // Phase 1: opt 0 has share 60/2 = 30 over users {0, 2}; implemented first.
+  ASSERT_GE(r.implemented.size(), 1u);
+  EXPECT_EQ(r.implemented[0], 0);
+  EXPECT_DOUBLE_EQ(r.cost_share[0], 30.0);
+  EXPECT_EQ(r.GrantedUsers(0), (std::vector<UserId>{0, 2}));
+}
+
+TEST(SubstOffTest, Example6PhaseTwoServicesRemainingUsers) {
+  SubstOffResult r = RunSubstOff(Example5Game());
+  // Phase 2 over users {1, 3} and opts {1, 2}: S_1 = {} (70 < 90 and
+  // 180 alone too dear), S_2 = {1}; opt 2 implemented for user 1.
+  ASSERT_EQ(r.implemented.size(), 2u);
+  EXPECT_EQ(r.implemented[1], 2);
+  EXPECT_DOUBLE_EQ(r.cost_share[1], 100.0);
+  EXPECT_EQ(r.GrantedUsers(2), std::vector<UserId>{1});
+  // User 3 gets nothing.
+  EXPECT_EQ(r.grant[3], kNoOpt);
+  EXPECT_DOUBLE_EQ(r.payments[3], 0.0);
+}
+
+TEST(SubstOffTest, Example6Payments) {
+  SubstOffResult r = RunSubstOff(Example5Game());
+  EXPECT_DOUBLE_EQ(r.payments[0], 30.0);
+  EXPECT_DOUBLE_EQ(r.payments[1], 100.0);
+  EXPECT_DOUBLE_EQ(r.payments[2], 30.0);
+  EXPECT_DOUBLE_EQ(r.TotalPayment(), 160.0);
+  EXPECT_DOUBLE_EQ(r.ImplementedCost(Example5Game().costs), 160.0);
+}
+
+TEST(SubstOffTest, Example6Accounting) {
+  SubstOfflineGame g = Example5Game();
+  SubstOffResult r = RunSubstOff(g);
+  Accounting acc = AccountSubstOff(g, r);
+  EXPECT_DOUBLE_EQ(acc.TotalValue(), 100.0 + 101.0 + 60.0);
+  EXPECT_DOUBLE_EQ(acc.TotalUtility(), 261.0 - 160.0);
+  EXPECT_DOUBLE_EQ(acc.CloudBalance(), 0.0);
+  EXPECT_TRUE(acc.CostRecovered());
+  EXPECT_DOUBLE_EQ(acc.UserUtility(0), 70.0);
+  EXPECT_DOUBLE_EQ(acc.UserUtility(1), 1.0);
+  EXPECT_DOUBLE_EQ(acc.UserUtility(2), 30.0);
+  EXPECT_DOUBLE_EQ(acc.UserUtility(3), 0.0);
+}
+
+TEST(SubstOffTest, Example7UnderbiddingLosesService) {
+  // Example 7: user 2 (0-indexed) underbidding below the 30 share loses
+  // service entirely (other shares are higher), dropping her utility to 0.
+  SubstOfflineGame g = Example5Game();
+  const double truthful = SubstOffUtilityUnderBid(g, 2, {0, 1, 2}, 60.0);
+  EXPECT_DOUBLE_EQ(truthful, 30.0);
+  const double underbid = SubstOffUtilityUnderBid(g, 2, {0, 1, 2}, 29.0);
+  EXPECT_DOUBLE_EQ(underbid, 0.0);
+  // Any bid at or above the share leaves the outcome unchanged.
+  for (double b : {30.0, 45.0, 60.0, 500.0}) {
+    EXPECT_DOUBLE_EQ(SubstOffUtilityUnderBid(g, 2, {0, 1, 2}, b), 30.0);
+  }
+}
+
+TEST(SubstOffTest, Example7HidingAWantedOptimization) {
+  // Example 7 (cont.): if user 2 hides opt 0 from her substitute set and
+  // bids ({1,2}, 60), opt 0's share rises to 60 (user 0 alone); the
+  // implemented configuration changes and user 2 ends strictly worse off
+  // than her truthful utility of 30.
+  SubstOfflineGame g = Example5Game();
+  const double deviated = SubstOffUtilityUnderBid(g, 2, {1, 2}, 60.0);
+  EXPECT_LT(deviated, 30.0);
+}
+
+TEST(SubstOffTest, TieBreaksTowardLowestOptId) {
+  SubstOfflineGame g;
+  g.costs = {50.0, 50.0};
+  g.users = {{{0}, 60.0}, {{1}, 60.0}};
+  SubstOffResult r = RunSubstOff(g);
+  // Both opts feasible at share 50; phase 1 picks opt 0 deterministically,
+  // phase 2 then implements opt 1.
+  ASSERT_EQ(r.implemented.size(), 2u);
+  EXPECT_EQ(r.implemented[0], 0);
+  EXPECT_EQ(r.implemented[1], 1);
+}
+
+TEST(SubstOffTest, GrantedUsersLeaveRemainingPhases) {
+  // Once granted, a user must not subsidize later optimizations.
+  SubstOfflineGame g;
+  g.costs = {10.0, 40.0};
+  g.users = {
+      {{0, 1}, 50.0},
+      {{1}, 25.0},
+  };
+  SubstOffResult r = RunSubstOff(g);
+  // Phase 1: opt 0 share 10 (user 0). Phase 2: opt 1 over user 1 alone:
+  // 25 < 40, infeasible.
+  EXPECT_EQ(r.implemented, std::vector<OptId>{0});
+  EXPECT_EQ(r.grant[0], 0);
+  EXPECT_EQ(r.grant[1], kNoOpt);
+}
+
+TEST(SubstOffTest, NoFeasibleOptimization) {
+  SubstOfflineGame g;
+  g.costs = {100.0, 100.0};
+  g.users = {{{0}, 10.0}, {{1}, 20.0}};
+  SubstOffResult r = RunSubstOff(g);
+  EXPECT_TRUE(r.implemented.empty());
+  EXPECT_DOUBLE_EQ(r.TotalPayment(), 0.0);
+  EXPECT_EQ(r.grant[0], kNoOpt);
+  EXPECT_EQ(r.grant[1], kNoOpt);
+}
+
+TEST(SubstOffTest, Section62DummyIdentitiesExample) {
+  // §6.2: users {0,1,2} bid ({0},5), ({0,1},2.51), ({1},7); costs C0=6,
+  // C1=5. Honest play implements opt 1 at share 2.5 for users 1 and 2.
+  SubstOfflineGame honest;
+  honest.costs = {6.0, 5.0};
+  honest.users = {{{0}, 5.0}, {{0, 1}, 2.51}, {{1}, 7.0}};
+  SubstOffResult r1 = RunSubstOff(honest);
+  EXPECT_EQ(r1.implemented, std::vector<OptId>{1});
+  EXPECT_EQ(r1.GrantedUsers(1), (std::vector<UserId>{1, 2}));
+  EXPECT_DOUBLE_EQ(r1.payments[1], 2.5);
+  EXPECT_DOUBLE_EQ(r1.payments[2], 2.5);
+
+  // User 0 replaces her bid with dummies 0' and 0'' bidding ({0}, 2.5)
+  // each (she runs her queries under a dummy identity). Opt 0's share over
+  // {0', 0'', 1} falls to 6/3 = 2, now the cheapest: both optimizations
+  // get implemented, per the paper's trace.
+  SubstOfflineGame cheat;
+  cheat.costs = honest.costs;
+  cheat.users = {{{0}, 2.5}, {{0}, 2.5}, {{0, 1}, 2.51}, {{1}, 7.0}};
+  SubstOffResult r2 = RunSubstOff(cheat);
+  ASSERT_EQ(r2.implemented.size(), 2u);
+  EXPECT_EQ(r2.implemented[0], 0);
+  EXPECT_DOUBLE_EQ(r2.cost_share[0], 2.0);
+  EXPECT_EQ(r2.GrantedUsers(0), (std::vector<UserId>{0, 1, 2}));
+  EXPECT_EQ(r2.implemented[1], 1);
+  // User 0's (person's) utility: value 5 - dummy payments 2*2 = 1; user 1:
+  // 2.51 - 2 = 0.51; user 2 drops from 4.5 to 7 - 5 = 2. Dummies *can*
+  // hurt others with substitutes — but only with knowledge of all bids.
+  EXPECT_DOUBLE_EQ(r2.payments[0] + r2.payments[1], 4.0);
+  EXPECT_DOUBLE_EQ(r2.payments[2], 2.0);
+  EXPECT_DOUBLE_EQ(r2.payments[3], 5.0);
+}
+
+TEST(SubstOffTest, MatrixEntryPointWithPinnedUser) {
+  // kInfiniteBid pins a user (SubstOn uses this): she is always granted
+  // her optimization even if no one else bids.
+  SubstOffResult r = RunSubstOffMatrix(
+      {60.0, 50.0},
+      {{kInfiniteBid, 0.0}, {0.0, 20.0}});
+  EXPECT_TRUE(r.Implemented(0));
+  EXPECT_EQ(r.grant[0], 0);
+  EXPECT_DOUBLE_EQ(r.payments[0], 60.0);
+  EXPECT_FALSE(r.Implemented(1));
+}
+
+}  // namespace
+}  // namespace optshare

@@ -1,0 +1,161 @@
+// Tests for SubstOn (paper §6.2, Mechanism 4), tracing Example 8 and the
+// no-switching rule it illustrates.
+#include "core/subst_on.h"
+
+#include <gtest/gtest.h>
+
+#include "core/accounting.h"
+#include "core/strategy.h"
+
+namespace optshare {
+namespace {
+
+// Paper Example 8 (0-indexed): costs C0=60, C1=100, C2=50. User 0 bids
+// (1,2,100,{0,1}); user 1 bids (2,3,100,{0,1,2}); user 2 bids (3,3,100,{2}).
+// The paper states each user's value for the whole interval; the mechanism
+// only consumes residual sums, so we spread each value evenly.
+SubstOnlineGame Example8Game() {
+  SubstOnlineGame g;
+  g.num_slots = 3;
+  g.costs = {60.0, 100.0, 50.0};
+  g.users = {
+      {SlotValues::Constant(1, 2, 50.0), {0, 1}},
+      {SlotValues::Constant(2, 3, 50.0), {0, 1, 2}},
+      {SlotValues::Single(3, 100.0), {2}},
+  };
+  return g;
+}
+
+TEST(SubstOnTest, Example8Grants) {
+  SubstOnResult r = RunSubstOn(Example8Game());
+  // t=1: only user 0 -> opt 0 implemented (share 60 <= 100 residual).
+  EXPECT_EQ(r.implemented_at[0], 1);
+  EXPECT_EQ(r.grant[0], 0);
+  EXPECT_EQ(r.grant_slot[0], 1);
+  // t=2: user 1 joins opt 0 (share 30).
+  EXPECT_EQ(r.grant[1], 0);
+  EXPECT_EQ(r.grant_slot[1], 2);
+  // t=3: opt 2 implemented for user 2 alone.
+  EXPECT_EQ(r.implemented_at[2], 3);
+  EXPECT_EQ(r.grant[2], 2);
+  // Opt 1 never implemented.
+  EXPECT_EQ(r.implemented_at[1], 0);
+  EXPECT_EQ(r.ImplementedOpts(), (std::vector<OptId>{0, 2}));
+}
+
+TEST(SubstOnTest, Example8Payments) {
+  SubstOnResult r = RunSubstOn(Example8Game());
+  // User 0 leaves at t=2 paying 60/2 = 30; user 1 ends at t=3 paying 30
+  // (user 0 stays in the cost-share computation after leaving); user 2
+  // pays 50.
+  EXPECT_DOUBLE_EQ(r.payments[0], 30.0);
+  EXPECT_DOUBLE_EQ(r.payments[1], 30.0);
+  EXPECT_DOUBLE_EQ(r.payments[2], 50.0);
+  EXPECT_DOUBLE_EQ(r.TotalPayment(), 110.0);
+  EXPECT_DOUBLE_EQ(r.ImplementedCost(Example8Game().costs), 110.0);
+}
+
+TEST(SubstOnTest, Example8NoSwitching) {
+  // User 1 is pinned to opt 0 from t=2; at t=3 she must not be migrated to
+  // the cheaper opt 2 (the paper shows switching would break
+  // truthfulness).
+  SubstOnResult r = RunSubstOn(Example8Game());
+  EXPECT_EQ(r.grant[1], 0);
+  // Opt 2 is implemented for user 2 alone at share 50, not 50/2.
+  EXPECT_DOUBLE_EQ(r.payments[2], 50.0);
+}
+
+TEST(SubstOnTest, Example8Accounting) {
+  SubstOnlineGame g = Example8Game();
+  SubstOnResult r = RunSubstOn(g);
+  Accounting acc = AccountSubstOn(g, r);
+  // User 0 serviced t=1..2 (value 100); user 1 serviced t=2..3 (value
+  // 100); user 2 serviced t=3 (value 100).
+  EXPECT_DOUBLE_EQ(acc.TotalValue(), 300.0);
+  EXPECT_DOUBLE_EQ(acc.total_cost, 110.0);
+  EXPECT_DOUBLE_EQ(acc.TotalUtility(), 190.0);
+  EXPECT_TRUE(acc.CostRecovered());
+  EXPECT_DOUBLE_EQ(acc.UserUtility(0), 70.0);
+  EXPECT_DOUBLE_EQ(acc.UserUtility(1), 70.0);
+  EXPECT_DOUBLE_EQ(acc.UserUtility(2), 50.0);
+}
+
+TEST(SubstOnTest, LateBidderCannotForceSwitch) {
+  // Example 8's closing remark: a user 3 arriving at t=3 wanting {0, 2}
+  // and bidding only for opt 2 cannot make user 1 switch: she shares
+  // opt 2's cost only with user 2.
+  SubstOnlineGame g = Example8Game();
+  g.users.push_back({SlotValues::Single(3, 100.0), {2}});
+  SubstOnResult r = RunSubstOn(g);
+  EXPECT_EQ(r.grant[1], 0);  // Still on opt 0.
+  EXPECT_DOUBLE_EQ(r.payments[1], 30.0);
+  EXPECT_EQ(r.grant[2], 2);
+  EXPECT_EQ(r.grant[3], 2);
+  EXPECT_DOUBLE_EQ(r.payments[2], 25.0);  // 50/2.
+  EXPECT_DOUBLE_EQ(r.payments[3], 25.0);
+}
+
+TEST(SubstOnTest, NothingFeasible) {
+  SubstOnlineGame g;
+  g.num_slots = 2;
+  g.costs = {1000.0};
+  g.users = {{SlotValues::Constant(1, 2, 5.0), {0}}};
+  SubstOnResult r = RunSubstOn(g);
+  EXPECT_TRUE(r.ImplementedOpts().empty());
+  EXPECT_EQ(r.grant[0], kNoOpt);
+  EXPECT_DOUBLE_EQ(r.TotalPayment(), 0.0);
+}
+
+TEST(SubstOnTest, SingleSlotReducesToSubstOff) {
+  SubstOnlineGame g;
+  g.num_slots = 1;
+  g.costs = {60.0, 180.0, 100.0};
+  g.users = {
+      {SlotValues::Single(1, 100.0), {0, 1}},
+      {SlotValues::Single(1, 101.0), {2}},
+      {SlotValues::Single(1, 60.0), {0, 1, 2}},
+      {SlotValues::Single(1, 70.0), {1}},
+  };
+  SubstOnResult r = RunSubstOn(g);
+  // Matches the Example 6 offline outcome.
+  EXPECT_EQ(r.grant[0], 0);
+  EXPECT_EQ(r.grant[1], 2);
+  EXPECT_EQ(r.grant[2], 0);
+  EXPECT_EQ(r.grant[3], kNoOpt);
+  EXPECT_DOUBLE_EQ(r.payments[0], 30.0);
+  EXPECT_DOUBLE_EQ(r.payments[1], 100.0);
+  EXPECT_DOUBLE_EQ(r.payments[2], 30.0);
+}
+
+TEST(SubstOnTest, TruthfulInModelFreeWorstCase) {
+  // With no future arrivals, underbidding value or hiding wanted
+  // optimizations never beats truth-telling for user 1 of Example 8's
+  // prefix game (users 0 and 1 only).
+  SubstOnlineGame g = Example8Game();
+  g.users.pop_back();  // Drop user 2: worst case for user 1 at her arrival.
+  SubstOnlineUser truthful = g.users[1];
+  const double truthful_utility = SubstOnUtilityUnderBid(g, 1, truthful);
+
+  for (double v : {10.0, 25.0, 40.0, 60.0, 200.0}) {
+    SubstOnlineUser dev = truthful;
+    dev.stream = SlotValues::Constant(2, 3, v / 2.0);
+    EXPECT_LE(SubstOnUtilityUnderBid(g, 1, dev), truthful_utility + 1e-9)
+        << "value deviation " << v;
+  }
+  for (std::vector<OptId> subs :
+       {std::vector<OptId>{0}, {1}, {2}, {0, 2}, {1, 2}}) {
+    SubstOnlineUser dev = truthful;
+    dev.substitutes = subs;
+    EXPECT_LE(SubstOnUtilityUnderBid(g, 1, dev), truthful_utility + 1e-9);
+  }
+}
+
+TEST(SubstOnTest, DepartedUserStillAnchorsCostShare) {
+  // After user 0 leaves at t=2 having paid 30, user 1's share at t=3 stays
+  // 30 (not 60): the departed user remains in the Shapley computation.
+  SubstOnResult r = RunSubstOn(Example8Game());
+  EXPECT_DOUBLE_EQ(r.payments[1], 30.0);
+}
+
+}  // namespace
+}  // namespace optshare

@@ -1,0 +1,214 @@
+// Property tests: truthfulness of all four mechanisms on seeded random
+// games. Offline mechanisms are checked directly (no unilateral deviation
+// over a candidate grid beats truth-telling). Online mechanisms are checked
+// in the paper's model-free sense (§5.2): the deviating user's utility is
+// evaluated in the worst case over future arrivals, which Prop. 1 shows is
+// the game where no bids arrive after hers — so deviations are tested in
+// games truncated to the bidders present at her arrival.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "core/strategy.h"
+#include "workload/scenario.h"
+
+namespace optshare {
+namespace {
+
+class AddOffTruthfulness : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AddOffTruthfulness, NoProfitableUnilateralDeviation) {
+  Rng rng(GetParam());
+  const int m = 2 + static_cast<int>(rng.UniformInt(0, 3));
+  const int n = 1 + static_cast<int>(rng.UniformInt(0, 2));
+
+  AdditiveOfflineGame truth;
+  for (int j = 0; j < n; ++j) truth.costs.push_back(rng.Uniform(0.2, 2.0));
+  for (int i = 0; i < m; ++i) {
+    std::vector<double> row;
+    for (int j = 0; j < n; ++j) row.push_back(rng.Uniform(0.0, 1.0));
+    truth.bids.push_back(row);
+  }
+  ASSERT_TRUE(truth.Validate().ok());
+
+  for (UserId i = 0; i < m; ++i) {
+    const double truthful =
+        AddOffUtilityUnderBid(truth, i, truth.bids[static_cast<size_t>(i)]);
+    // Deviate on each optimization independently over the candidate grid
+    // (additivity makes per-opt deviations exhaustive in effect).
+    const std::vector<double> grid = CandidateDeviationBids(
+        truth.costs, truth.bids[static_cast<size_t>(i)], m);
+    for (OptId j = 0; j < n; ++j) {
+      for (double bid : grid) {
+        std::vector<double> dev = truth.bids[static_cast<size_t>(i)];
+        dev[static_cast<size_t>(j)] = bid;
+        EXPECT_LE(AddOffUtilityUnderBid(truth, i, dev), truthful + 1e-9)
+            << "user " << i << " gains by bidding " << bid << " on opt " << j;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SeededGames, AddOffTruthfulness,
+                         ::testing::Range<uint64_t>(1, 41));
+
+class AddOnTruthfulness : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AddOnTruthfulness, ModelFreeWorstCaseDeviations) {
+  Rng rng(GetParam() * 7919);
+  AdditiveScenario scenario;
+  scenario.num_users = 2 + static_cast<int>(rng.UniformInt(0, 3));
+  scenario.num_slots = 4;
+  scenario.duration = 1 + static_cast<int>(rng.UniformInt(0, 2));
+  AdditiveOnlineGame full =
+      MakeAdditiveGame(scenario, rng.Uniform(0.2, 2.0), rng);
+
+  for (UserId i = 0; i < full.num_users(); ++i) {
+    const SlotValues truth_stream = full.users[static_cast<size_t>(i)];
+    // Model-free worst case at user i's arrival: only users who arrived at
+    // or before her are present.
+    AdditiveOnlineGame worst;
+    worst.num_slots = full.num_slots;
+    worst.cost = full.cost;
+    std::vector<UserId> kept;
+    for (UserId k = 0; k < full.num_users(); ++k) {
+      if (full.users[static_cast<size_t>(k)].start <= truth_stream.start) {
+        if (k == i) kept.push_back(static_cast<UserId>(worst.users.size()));
+        worst.users.push_back(full.users[static_cast<size_t>(k)]);
+      }
+    }
+    const UserId me = kept[0];
+    const double truthful = AddOnUtilityUnderBid(worst, me, truth_stream);
+
+    // Value deviations: scale the declared stream.
+    for (double scale : {0.0, 0.3, 0.7, 0.95, 1.05, 1.5, 3.0}) {
+      SlotValues dev = truth_stream;
+      for (double& v : dev.values) v *= scale;
+      EXPECT_LE(AddOnUtilityUnderBid(worst, me, dev), truthful + 1e-9)
+          << "seed " << GetParam() << " user " << i << " scale " << scale;
+    }
+    // Time deviations: declare a later arrival or earlier departure
+    // (bids cannot be retroactive, so earlier-than-true arrival is not in
+    // the strategy space; extending e_i only adds zero-value slots).
+    for (TimeSlot s = truth_stream.start; s <= worst.num_slots; ++s) {
+      for (TimeSlot e = s; e <= worst.num_slots; ++e) {
+        SlotValues dev;
+        dev.start = s;
+        dev.end = e;
+        dev.values.clear();
+        for (TimeSlot t = s; t <= e; ++t) {
+          dev.values.push_back(truth_stream.At(t));
+        }
+        EXPECT_LE(AddOnUtilityUnderBid(worst, me, dev), truthful + 1e-9)
+            << "seed " << GetParam() << " user " << i << " declares [" << s
+            << "," << e << "]";
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SeededGames, AddOnTruthfulness,
+                         ::testing::Range<uint64_t>(1, 31));
+
+class SubstOffTruthfulness : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SubstOffTruthfulness, NoProfitableUnilateralDeviation) {
+  Rng rng(GetParam() * 104729);
+  const int m = 2 + static_cast<int>(rng.UniformInt(0, 3));
+  const int n = 2 + static_cast<int>(rng.UniformInt(0, 2));
+
+  SubstOfflineGame truth;
+  for (int j = 0; j < n; ++j) truth.costs.push_back(rng.Uniform(0.2, 1.5));
+  for (int i = 0; i < m; ++i) {
+    SubstOfflineUser u;
+    const int k = 1 + static_cast<int>(rng.UniformInt(0, n - 1));
+    auto picks = rng.SampleWithoutReplacement(n, k);
+    std::sort(picks.begin(), picks.end());
+    u.substitutes.assign(picks.begin(), picks.end());
+    u.value = rng.Uniform(0.05, 1.0);
+    truth.users.push_back(u);
+  }
+  ASSERT_TRUE(truth.Validate().ok());
+
+  std::vector<double> all_values;
+  for (const auto& u : truth.users) all_values.push_back(u.value);
+
+  for (UserId i = 0; i < m; ++i) {
+    const auto& u = truth.users[static_cast<size_t>(i)];
+    const double truthful =
+        SubstOffUtilityUnderBid(truth, i, u.substitutes, u.value);
+    // Value deviations on the true substitute set.
+    for (double bid :
+         CandidateDeviationBids(truth.costs, all_values, m)) {
+      EXPECT_LE(SubstOffUtilityUnderBid(truth, i, u.substitutes, bid),
+                truthful + 1e-9)
+          << "user " << i << " value deviation " << bid;
+    }
+    // Set deviations: every non-empty subset of all optimizations (n <= 4
+    // keeps this cheap), at the true value.
+    for (int mask = 1; mask < (1 << n); ++mask) {
+      std::vector<OptId> subs;
+      for (OptId j = 0; j < n; ++j) {
+        if (mask & (1 << j)) subs.push_back(j);
+      }
+      EXPECT_LE(SubstOffUtilityUnderBid(truth, i, subs, u.value),
+                truthful + 1e-9)
+          << "user " << i << " set deviation mask " << mask;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SeededGames, SubstOffTruthfulness,
+                         ::testing::Range<uint64_t>(1, 31));
+
+class SubstOnTruthfulness : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SubstOnTruthfulness, ModelFreeWorstCaseDeviations) {
+  Rng rng(GetParam() * 1299709);
+  SubstScenario scenario;
+  scenario.num_users = 2 + static_cast<int>(rng.UniformInt(0, 2));
+  scenario.num_slots = 3;
+  scenario.num_opts = 3;
+  scenario.substitutes_per_user = 1 + static_cast<int>(rng.UniformInt(0, 2));
+  SubstOnlineGame full = MakeSubstGame(scenario, rng.Uniform(0.2, 1.0), rng);
+
+  for (UserId i = 0; i < full.num_users(); ++i) {
+    const SubstOnlineUser truth_user = full.users[static_cast<size_t>(i)];
+    SubstOnlineGame worst;
+    worst.num_slots = full.num_slots;
+    worst.costs = full.costs;
+    UserId me = 0;
+    for (UserId k = 0; k < full.num_users(); ++k) {
+      if (full.users[static_cast<size_t>(k)].stream.start <=
+          truth_user.stream.start) {
+        if (k == i) me = static_cast<UserId>(worst.users.size());
+        worst.users.push_back(full.users[static_cast<size_t>(k)]);
+      }
+    }
+    const double truthful = SubstOnUtilityUnderBid(worst, me, truth_user);
+
+    for (double scale : {0.0, 0.5, 0.9, 1.1, 2.0}) {
+      SubstOnlineUser dev = truth_user;
+      for (double& v : dev.stream.values) v *= scale;
+      EXPECT_LE(SubstOnUtilityUnderBid(worst, me, dev), truthful + 1e-9)
+          << "seed " << GetParam() << " user " << i << " scale " << scale;
+    }
+    const int n = static_cast<int>(worst.costs.size());
+    for (int mask = 1; mask < (1 << n); ++mask) {
+      SubstOnlineUser dev = truth_user;
+      dev.substitutes.clear();
+      for (OptId j = 0; j < n; ++j) {
+        if (mask & (1 << j)) dev.substitutes.push_back(j);
+      }
+      EXPECT_LE(SubstOnUtilityUnderBid(worst, me, dev), truthful + 1e-9)
+          << "seed " << GetParam() << " user " << i << " mask " << mask;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SeededGames, SubstOnTruthfulness,
+                         ::testing::Range<uint64_t>(1, 31));
+
+}  // namespace
+}  // namespace optshare

@@ -1,0 +1,67 @@
+#include "core/types.h"
+
+#include <gtest/gtest.h>
+
+namespace optshare {
+namespace {
+
+TEST(SlotValuesTest, ConstantStream) {
+  SlotValues sv = SlotValues::Constant(2, 4, 5.0);
+  EXPECT_EQ(sv.start, 2);
+  EXPECT_EQ(sv.end, 4);
+  EXPECT_EQ(sv.Length(), 3);
+  EXPECT_DOUBLE_EQ(sv.Total(), 15.0);
+  EXPECT_TRUE(sv.Validate().ok());
+}
+
+TEST(SlotValuesTest, SingleSlot) {
+  SlotValues sv = SlotValues::Single(3, 7.0);
+  EXPECT_EQ(sv.start, 3);
+  EXPECT_EQ(sv.end, 3);
+  EXPECT_DOUBLE_EQ(sv.Total(), 7.0);
+}
+
+TEST(SlotValuesTest, AtInsideAndOutsideInterval) {
+  auto sv = SlotValues::Make(2, 4, {1.0, 2.0, 3.0});
+  ASSERT_TRUE(sv.ok());
+  EXPECT_DOUBLE_EQ(sv->At(1), 0.0);  // Before arrival.
+  EXPECT_DOUBLE_EQ(sv->At(2), 1.0);
+  EXPECT_DOUBLE_EQ(sv->At(3), 2.0);
+  EXPECT_DOUBLE_EQ(sv->At(4), 3.0);
+  EXPECT_DOUBLE_EQ(sv->At(5), 0.0);  // After departure.
+}
+
+TEST(SlotValuesTest, ResidualFrom) {
+  auto sv = SlotValues::Make(1, 3, {10.0, 10.0, 10.0});
+  ASSERT_TRUE(sv.ok());
+  EXPECT_DOUBLE_EQ(sv->ResidualFrom(1), 30.0);
+  EXPECT_DOUBLE_EQ(sv->ResidualFrom(2), 20.0);
+  EXPECT_DOUBLE_EQ(sv->ResidualFrom(3), 10.0);
+  EXPECT_DOUBLE_EQ(sv->ResidualFrom(4), 0.0);
+  // Residual before the arrival is the full value.
+  EXPECT_DOUBLE_EQ(sv->ResidualFrom(0), 30.0);
+}
+
+TEST(SlotValuesTest, MakeRejectsBadIntervals) {
+  EXPECT_FALSE(SlotValues::Make(0, 1, {1.0, 1.0}).ok());  // Slot 0 invalid.
+  EXPECT_FALSE(SlotValues::Make(3, 2, {}).ok());          // end < start.
+  EXPECT_FALSE(SlotValues::Make(1, 2, {1.0}).ok());       // Wrong length.
+}
+
+TEST(SlotValuesTest, MakeRejectsBadValues) {
+  EXPECT_FALSE(SlotValues::Make(1, 1, {-1.0}).ok());
+  EXPECT_FALSE(
+      SlotValues::Make(1, 1, {std::numeric_limits<double>::infinity()}).ok());
+  EXPECT_FALSE(
+      SlotValues::Make(1, 1, {std::numeric_limits<double>::quiet_NaN()}).ok());
+}
+
+TEST(SlotValuesTest, ZeroValuesAreAllowed) {
+  // A user may value only a subset of her interval's slots (paper §5.1).
+  auto sv = SlotValues::Make(1, 3, {0.0, 5.0, 0.0});
+  ASSERT_TRUE(sv.ok());
+  EXPECT_DOUBLE_EQ(sv->Total(), 5.0);
+}
+
+}  // namespace
+}  // namespace optshare

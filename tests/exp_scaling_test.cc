@@ -1,0 +1,38 @@
+// Integration test for the collaboration-scaling extension experiment.
+#include "exp/scaling.h"
+
+#include <gtest/gtest.h>
+
+namespace optshare::exp {
+namespace {
+
+TEST(GroupScalingTest, UtilityGrowsWithGroupSize) {
+  ScalingConfig config;
+  config.group_sizes = {2, 6, 24};
+  config.trials = 200;
+  const auto points = RunGroupScaling(config);
+  ASSERT_EQ(points.size(), 3u);
+
+  // Larger groups fund the optimization more often: AddOn utility grows.
+  EXPECT_GT(points[2].addon_utility, points[1].addon_utility);
+  EXPECT_GT(points[1].addon_utility, points[0].addon_utility);
+  EXPECT_GT(points[2].subst_utility, points[0].subst_utility);
+
+  // AddOn never negative at any size.
+  for (const auto& p : points) {
+    EXPECT_GE(p.addon_utility, -1e-9);
+    EXPECT_GE(p.subst_utility, -1e-9);
+  }
+}
+
+TEST(GroupScalingTest, TinyGroupsCannotFundCostlyOpt) {
+  ScalingConfig config;
+  config.group_sizes = {2};
+  config.cost = 3.0;  // Expected total value of 2 users is 1.0.
+  config.trials = 200;
+  const auto points = RunGroupScaling(config);
+  EXPECT_NEAR(points[0].addon_utility, 0.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace optshare::exp

@@ -1,0 +1,111 @@
+// Tests for the CloudService integration layer.
+#include "service/cloud_service.h"
+
+#include <gtest/gtest.h>
+
+namespace optshare::service {
+namespace {
+
+class CloudServiceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto scenario = simdb::TelemetryScenario(6, 12);
+    ASSERT_TRUE(scenario.ok());
+    catalog_ = std::move(scenario->catalog);
+    tenants_ = std::move(scenario->tenants);
+  }
+
+  simdb::Catalog catalog_;
+  std::vector<simdb::SimUser> tenants_;
+};
+
+TEST_F(CloudServiceTest, FirstPeriodBuildsStructures) {
+  CloudService service(std::move(catalog_));
+  auto report = service.RunPeriod(tenants_);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->period, 1);
+  EXPECT_GT(report->ActiveStructures(), 0);
+  EXPECT_TRUE(report->ledger.CostRecovered());
+  EXPECT_GE(service.cumulative_balance(), -1e-9);
+  EXPECT_GT(service.cumulative_utility(), 0.0);
+  EXPECT_FALSE(service.built_structures().empty());
+}
+
+TEST_F(CloudServiceTest, SecondPeriodChargesMaintenanceOnly) {
+  ServiceConfig config;
+  config.maintenance_fraction = 0.25;
+  CloudService service(std::move(catalog_), config);
+  auto first = service.RunPeriod(tenants_);
+  ASSERT_TRUE(first.ok());
+  auto second = service.RunPeriod(tenants_);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->period, 2);
+
+  // Structures active in period 1 carry over and cost 25% in period 2.
+  bool any_carried = false;
+  for (const auto& s2 : second->structures) {
+    if (!s2.carried_over) continue;
+    any_carried = true;
+    for (const auto& s1 : first->structures) {
+      if (s1.name == s2.name && s1.active && !s1.carried_over) {
+        EXPECT_NEAR(s2.cost, s1.cost * 0.25, 1e-9);
+      }
+    }
+  }
+  EXPECT_TRUE(any_carried);
+  // Maintenance is cheaper, so the period-2 cost is lower.
+  EXPECT_LT(second->ledger.total_cost, first->ledger.total_cost);
+  EXPECT_TRUE(second->ledger.CostRecovered());
+}
+
+TEST_F(CloudServiceTest, StructuresDroppedWhenNobodyRenews) {
+  CloudService service(std::move(catalog_));
+  ASSERT_TRUE(service.RunPeriod(tenants_).ok());
+  ASSERT_FALSE(service.built_structures().empty());
+
+  // Period 2: tenants with negligible usage cannot fund even maintenance.
+  std::vector<simdb::SimUser> idle = tenants_;
+  for (auto& t : idle) t.executions_per_slot = 1e-9;
+  auto report = service.RunPeriod(idle);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->ActiveStructures(), 0);
+  EXPECT_TRUE(service.built_structures().empty());
+}
+
+TEST_F(CloudServiceTest, BalanceNeverNegativeAcrossPeriods) {
+  CloudService service(std::move(catalog_));
+  for (int period = 0; period < 5; ++period) {
+    // Usage drifts period to period.
+    std::vector<simdb::SimUser> drifted = tenants_;
+    for (size_t i = 0; i < drifted.size(); ++i) {
+      drifted[i].executions_per_slot *=
+          (period % 2 == 0) ? 1.5 : 0.4;
+    }
+    auto report = service.RunPeriod(drifted);
+    ASSERT_TRUE(report.ok());
+    EXPECT_TRUE(report->ledger.CostRecovered()) << "period " << period;
+  }
+  EXPECT_GE(service.cumulative_balance(), -1e-9);
+}
+
+TEST_F(CloudServiceTest, RejectsBadTenants) {
+  CloudService service(std::move(catalog_));
+  EXPECT_FALSE(service.RunPeriod({}).ok());
+
+  simdb::SimUser bad = tenants_[0];
+  bad.end = 99;  // Past the period's slots.
+  EXPECT_FALSE(service.RunPeriod({bad}).ok());
+}
+
+TEST_F(CloudServiceTest, ChangingTenantPopulation) {
+  CloudService service(std::move(catalog_));
+  ASSERT_TRUE(service.RunPeriod(tenants_).ok());
+  // A different (smaller) tenant set next period still works.
+  std::vector<simdb::SimUser> fewer(tenants_.begin(), tenants_.begin() + 2);
+  auto report = service.RunPeriod(fewer);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->ledger.user_value.size(), 2u);
+}
+
+}  // namespace
+}  // namespace optshare::service

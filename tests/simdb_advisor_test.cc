@@ -1,0 +1,157 @@
+// Tests for the optimization advisor.
+#include "simdb/advisor.h"
+
+#include <gtest/gtest.h>
+
+#include "core/accounting.h"
+#include "core/add_off.h"
+
+namespace optshare::simdb {
+namespace {
+
+class AdvisorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TableDef logs;
+    logs.name = "logs";
+    logs.columns = {
+        {"tenant", ColumnType::kInt64, 100'000},
+        {"severity", ColumnType::kInt64, 8},
+        {"message", ColumnType::kString, 1'000'000'000},
+    };
+    logs.row_count = 2'000'000'000;
+    ASSERT_TRUE(catalog_.AddTable(logs).ok());
+  }
+
+  SimUser MakeUser(double selectivity, const std::string& column,
+                   double executions) {
+    Query q;
+    q.table = "logs";
+    q.predicates = {{column, selectivity}};
+    q.aggregate = true;
+    SimUser user;
+    user.workload.entries = {{q, 1.0}};
+    user.start = 1;
+    user.end = 12;
+    user.executions_per_slot = executions;
+    return user;
+  }
+
+  Catalog catalog_;
+  PricingModel pricing_;
+};
+
+TEST_F(AdvisorTest, ProposesIndexAndViewForFilteredColumns) {
+  CostModel model(&catalog_);
+  const std::vector<SimUser> users = {MakeUser(1e-5, "tenant", 200.0),
+                                      MakeUser(1e-5, "tenant", 50.0)};
+  auto proposals = ProposeOptimizations(catalog_, model, pricing_, users);
+  ASSERT_TRUE(proposals.ok()) << proposals.status().ToString();
+  ASSERT_FALSE(proposals->empty());
+  bool has_index = false, has_view = false;
+  for (const auto& p : *proposals) {
+    EXPECT_EQ(p.spec.table, "logs");
+    EXPECT_EQ(p.spec.column, "tenant");
+    if (p.spec.kind == OptKind::kSecondaryIndex) has_index = true;
+    if (p.spec.kind == OptKind::kMaterializedView) {
+      has_view = true;
+      EXPECT_DOUBLE_EQ(p.spec.view_selectivity, 1e-5);
+    }
+    EXPECT_EQ(p.user_savings.size(), 2u);
+    EXPECT_GT(p.total_savings, 0.0);
+    EXPECT_GT(p.cost, 0.0);
+  }
+  EXPECT_TRUE(has_index);
+  EXPECT_TRUE(has_view);
+}
+
+TEST_F(AdvisorTest, RankedByBenefitRatio) {
+  CostModel model(&catalog_);
+  const std::vector<SimUser> users = {MakeUser(1e-5, "tenant", 500.0),
+                                      MakeUser(0.125, "severity", 500.0)};
+  auto proposals = ProposeOptimizations(catalog_, model, pricing_, users);
+  ASSERT_TRUE(proposals.ok());
+  for (size_t k = 1; k < proposals->size(); ++k) {
+    EXPECT_GE((*proposals)[k - 1].BenefitRatio(),
+              (*proposals)[k].BenefitRatio());
+  }
+}
+
+TEST_F(AdvisorTest, ThresholdFiltersWeakCandidates) {
+  CostModel model(&catalog_);
+  // A nearly worthless workload: barely selective predicate, one run.
+  const std::vector<SimUser> users = {MakeUser(0.9, "severity", 0.001)};
+  AdvisorOptions strict;
+  strict.min_benefit_ratio = 10.0;
+  auto proposals =
+      ProposeOptimizations(catalog_, model, pricing_, users, strict);
+  ASSERT_TRUE(proposals.ok());
+  EXPECT_TRUE(proposals->empty());
+}
+
+TEST_F(AdvisorTest, MaxProposalsCap) {
+  CostModel model(&catalog_);
+  const std::vector<SimUser> users = {MakeUser(1e-5, "tenant", 500.0),
+                                      MakeUser(0.125, "severity", 500.0)};
+  AdvisorOptions capped;
+  capped.max_proposals = 1;
+  capped.min_benefit_ratio = 0.0;
+  auto proposals =
+      ProposeOptimizations(catalog_, model, pricing_, users, capped);
+  ASSERT_TRUE(proposals.ok());
+  EXPECT_EQ(proposals->size(), 1u);
+}
+
+TEST_F(AdvisorTest, ReplicasOnlyWhenRequested) {
+  CostModel model(&catalog_);
+  const std::vector<SimUser> users = {MakeUser(1e-5, "tenant", 500.0)};
+  AdvisorOptions with_replicas;
+  with_replicas.propose_replicas = true;
+  with_replicas.min_benefit_ratio = 0.0;
+  auto proposals =
+      ProposeOptimizations(catalog_, model, pricing_, users, with_replicas);
+  ASSERT_TRUE(proposals.ok());
+  bool has_replica = false;
+  for (const auto& p : *proposals) {
+    if (p.spec.kind == OptKind::kReplica) has_replica = true;
+  }
+  EXPECT_TRUE(has_replica);
+}
+
+TEST_F(AdvisorTest, UnknownColumnIsError) {
+  CostModel model(&catalog_);
+  Query q;
+  q.table = "logs";
+  q.predicates = {{"missing", 0.5}};
+  SimUser user;
+  user.workload.entries = {{q, 1.0}};
+  EXPECT_FALSE(
+      ProposeOptimizations(catalog_, model, pricing_, {user}).ok());
+}
+
+TEST_F(AdvisorTest, GameFromProposalsFeedsAddOff) {
+  CostModel model(&catalog_);
+  const std::vector<SimUser> users = {MakeUser(1e-5, "tenant", 300.0),
+                                      MakeUser(1e-5, "tenant", 250.0),
+                                      MakeUser(1e-5, "tenant", 10.0)};
+  auto proposals = ProposeOptimizations(catalog_, model, pricing_, users);
+  ASSERT_TRUE(proposals.ok());
+  ASSERT_FALSE(proposals->empty());
+
+  auto game = GameFromProposals(*proposals);
+  ASSERT_TRUE(game.ok()) << game.status().ToString();
+  EXPECT_EQ(game->num_users(), 3);
+  EXPECT_EQ(game->num_opts(), static_cast<int>(proposals->size()));
+
+  // The full pipeline terminates in a priced configuration.
+  optshare::AddOffResult r = optshare::RunAddOff(*game);
+  optshare::Accounting acc = optshare::AccountAddOff(*game, r);
+  EXPECT_TRUE(acc.CostRecovered());
+}
+
+TEST_F(AdvisorTest, GameFromEmptyProposalsFails) {
+  EXPECT_FALSE(GameFromProposals({}).ok());
+}
+
+}  // namespace
+}  // namespace optshare::simdb

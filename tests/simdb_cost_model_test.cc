@@ -1,0 +1,188 @@
+// Tests for the simdb cost model and pricing: optimizations must actually
+// speed up the queries they claim to, and the derived games must be valid
+// mechanism inputs.
+#include <gtest/gtest.h>
+
+#include "simdb/cost_model.h"
+#include "simdb/pricing.h"
+
+namespace optshare::simdb {
+namespace {
+
+class CostModelTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TableDef t;
+    t.name = "events";
+    t.columns = {
+        {"id", ColumnType::kInt64, 100'000'000},
+        {"user_id", ColumnType::kInt64, 1'000'000},
+        {"kind", ColumnType::kString, 100},
+    };
+    t.row_count = 100'000'000;
+    ASSERT_TRUE(catalog_.AddTable(t).ok());
+
+    idx_ = *catalog_.AddOptimization(
+        {OptKind::kSecondaryIndex, "events", "user_id", 1.0, ""});
+    view_ = *catalog_.AddOptimization(
+        {OptKind::kMaterializedView, "events", "kind", 0.01, ""});
+    replica_ = *catalog_.AddOptimization(
+        {OptKind::kReplica, "events", "", 1.0, ""});
+  }
+
+  Query PointLookup() const {
+    Query q;
+    q.table = "events";
+    q.predicates = {{"user_id", 1e-6}};
+    q.aggregate = true;
+    return q;
+  }
+
+  Query KindScan() const {
+    Query q;
+    q.table = "events";
+    q.predicates = {{"kind", 0.01}};
+    q.aggregate = true;
+    return q;
+  }
+
+  Catalog catalog_;
+  int idx_ = -1, view_ = -1, replica_ = -1;
+};
+
+TEST_F(CostModelTest, IndexSpeedsUpSelectiveLookup) {
+  CostModel model(&catalog_);
+  const double base = *model.QueryTime(PointLookup(), {});
+  const double with_index = *model.QueryTime(PointLookup(), {idx_});
+  EXPECT_LT(with_index, base / 100.0)
+      << "a 1e-6-selective lookup should be orders of magnitude faster";
+}
+
+TEST_F(CostModelTest, IrrelevantIndexDoesNotHelp) {
+  CostModel model(&catalog_);
+  const double base = *model.QueryTime(KindScan(), {});
+  const double with_index = *model.QueryTime(KindScan(), {idx_});
+  EXPECT_DOUBLE_EQ(with_index, base);
+}
+
+TEST_F(CostModelTest, ViewSpeedsUpItsFilter) {
+  CostModel model(&catalog_);
+  const double base = *model.QueryTime(KindScan(), {});
+  const double with_view = *model.QueryTime(KindScan(), {view_});
+  EXPECT_LT(with_view, base / 10.0);
+}
+
+TEST_F(CostModelTest, ReplicaAppliesLatencyDiscount) {
+  CostModel model(&catalog_);
+  const double base = *model.QueryTime(KindScan(), {});
+  const double with_replica = *model.QueryTime(KindScan(), {replica_});
+  EXPECT_NEAR(with_replica, base * model.params().replica_speedup, 1e-9);
+}
+
+TEST_F(CostModelTest, BestStructureWins) {
+  // With all structures available the estimate never exceeds any single
+  // structure's estimate.
+  CostModel model(&catalog_);
+  for (const Query& q : {PointLookup(), KindScan()}) {
+    const double all = *model.QueryTime(q, {idx_, view_, replica_});
+    for (int opt : {idx_, view_, replica_}) {
+      EXPECT_LE(all, *model.QueryTime(q, {opt}) + 1e-12);
+    }
+  }
+}
+
+TEST_F(CostModelTest, AggregationShrinksOutput) {
+  CostModel model(&catalog_);
+  Query agg = KindScan();
+  Query ship = agg;
+  ship.aggregate = false;
+  EXPECT_LT(*model.QueryTime(agg, {}), *model.QueryTime(ship, {}));
+}
+
+TEST_F(CostModelTest, ErrorsOnUnknownEntities) {
+  CostModel model(&catalog_);
+  Query q;
+  q.table = "missing";
+  EXPECT_FALSE(model.QueryTime(q, {}).ok());
+
+  Query bad_col;
+  bad_col.table = "events";
+  bad_col.predicates = {{"missing", 0.5}};
+  EXPECT_FALSE(model.QueryTime(bad_col, {}).ok());
+
+  EXPECT_FALSE(model.QueryTime(PointLookup(), {99}).ok());
+  EXPECT_FALSE(model.BuildTimeSec(99).ok());
+  EXPECT_FALSE(model.StorageBytes(-1).ok());
+}
+
+TEST_F(CostModelTest, StorageFootprints) {
+  CostModel model(&catalog_);
+  const auto table = *catalog_.GetTable("events");
+  // Index: key + pointer per row.
+  EXPECT_EQ(*model.StorageBytes(idx_), table->row_count * 16u);
+  // View: selectivity fraction of the table.
+  EXPECT_EQ(*model.StorageBytes(view_),
+            static_cast<uint64_t>(table->TotalBytes() * 0.01));
+  // Replica: full copy.
+  EXPECT_EQ(*model.StorageBytes(replica_), table->TotalBytes());
+}
+
+TEST_F(CostModelTest, BuildTimesArePositiveAndOrdered) {
+  CostModel model(&catalog_);
+  for (int opt : {idx_, view_, replica_}) {
+    EXPECT_GT(*model.BuildTimeSec(opt), 0.0);
+  }
+  // A replica copies everything twice; it costs at least as much as a
+  // small view.
+  EXPECT_GT(*model.BuildTimeSec(replica_), *model.BuildTimeSec(view_));
+}
+
+TEST_F(CostModelTest, WorkloadTimeSumsWeightedQueries) {
+  CostModel model(&catalog_);
+  Workload w;
+  w.entries = {{PointLookup(), 2.0}, {KindScan(), 1.0}};
+  const double expected = 2.0 * *model.QueryTime(PointLookup(), {}) +
+                          *model.QueryTime(KindScan(), {});
+  EXPECT_NEAR(*model.WorkloadTime(w, {}), expected, 1e-9);
+}
+
+TEST_F(CostModelTest, PricingConvertsTimeAndStorage) {
+  PricingModel pricing({0.50, 0.10});
+  EXPECT_DOUBLE_EQ(pricing.InstanceDollars(3600.0), 0.50);
+  EXPECT_DOUBLE_EQ(pricing.StorageDollars(1024ull * 1024 * 1024, 2.0), 0.20);
+
+  CostModel model(&catalog_);
+  const double cost = *pricing.OptimizationCost(model, view_);
+  EXPECT_GT(cost, 0.0);
+}
+
+TEST_F(CostModelTest, BuildAdditiveGameProducesValidGame) {
+  CostModel model(&catalog_);
+  PricingModel pricing;
+  SimUser user;
+  user.workload.entries = {{PointLookup(), 1.0}};
+  user.start = 2;
+  user.end = 9;
+  user.executions_per_slot = 100.0;
+  auto game = BuildAdditiveGame(catalog_, model, pricing, {user, user}, 12);
+  ASSERT_TRUE(game.ok());
+  EXPECT_TRUE(game->Validate().ok());
+  EXPECT_EQ(game->num_users(), 2);
+  EXPECT_EQ(game->num_opts(), 3);
+  // The index saves this workload money; the unrelated view saves nothing.
+  EXPECT_GT(game->bids[0][static_cast<size_t>(idx_)].Total(), 0.0);
+  EXPECT_DOUBLE_EQ(game->bids[0][static_cast<size_t>(view_)].Total(), 0.0);
+}
+
+TEST_F(CostModelTest, BuildAdditiveGameRejectsBadIntervals) {
+  CostModel model(&catalog_);
+  PricingModel pricing;
+  SimUser user;
+  user.workload.entries = {{PointLookup(), 1.0}};
+  user.start = 5;
+  user.end = 20;  // Past the 12-slot horizon.
+  EXPECT_FALSE(BuildAdditiveGame(catalog_, model, pricing, {user}, 12).ok());
+}
+
+}  // namespace
+}  // namespace optshare::simdb

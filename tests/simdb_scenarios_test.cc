@@ -1,0 +1,83 @@
+// Tests for the canned scenarios: they must validate, drive the advisor to
+// non-trivial proposals, and flow through the full pricing pipeline.
+#include "simdb/scenarios.h"
+
+#include <gtest/gtest.h>
+
+#include "core/accounting.h"
+#include "core/add_off.h"
+#include "simdb/advisor.h"
+
+namespace optshare::simdb {
+namespace {
+
+using ScenarioFactory = Result<Scenario> (*)(int, int);
+
+class ScenariosTest
+    : public ::testing::TestWithParam<ScenarioFactory> {};
+
+TEST_P(ScenariosTest, ValidAndAdvisable) {
+  auto scenario = GetParam()(6, 12);
+  ASSERT_TRUE(scenario.ok()) << scenario.status().ToString();
+  EXPECT_FALSE(scenario->catalog.tables().empty());
+  ASSERT_EQ(scenario->tenants.size(), 6u);
+  for (const auto& t : scenario->tenants) {
+    EXPECT_TRUE(t.workload.Validate().ok());
+    EXPECT_GE(t.start, 1);
+    EXPECT_LE(t.end, 12);
+    EXPECT_GT(t.executions_per_slot, 0.0);
+  }
+
+  CostModel model(&scenario->catalog);
+  PricingModel pricing;
+  auto proposals = ProposeOptimizations(scenario->catalog, model, pricing,
+                                        scenario->tenants);
+  ASSERT_TRUE(proposals.ok()) << proposals.status().ToString();
+  EXPECT_FALSE(proposals->empty());
+
+  auto game = GameFromProposals(*proposals);
+  ASSERT_TRUE(game.ok());
+  optshare::AddOffResult r = optshare::RunAddOff(*game);
+  optshare::Accounting acc = optshare::AccountAddOff(*game, r);
+  EXPECT_TRUE(acc.CostRecovered());
+}
+
+TEST_P(ScenariosTest, RejectsDegenerateParameters) {
+  EXPECT_FALSE(GetParam()(0, 12).ok());
+  EXPECT_FALSE(GetParam()(6, 0).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllScenarios, ScenariosTest,
+                         ::testing::Values(&ClickstreamScenario,
+                                           &RetailScenario,
+                                           &TelemetryScenario));
+
+TEST(ScenariosTest2, TelemetryMixesTenantSizes) {
+  auto scenario = TelemetryScenario(6, 12);
+  ASSERT_TRUE(scenario.ok());
+  double lo = 1e18, hi = 0;
+  for (const auto& t : scenario->tenants) {
+    lo = std::min(lo, t.executions_per_slot);
+    hi = std::max(hi, t.executions_per_slot);
+  }
+  EXPECT_GT(hi, lo * 10);
+}
+
+TEST(ScenariosTest2, RetailCoversTwoColumns) {
+  auto scenario = RetailScenario(6, 12);
+  ASSERT_TRUE(scenario.ok());
+  bool region = false, sku = false;
+  for (const auto& t : scenario->tenants) {
+    for (const auto& e : t.workload.entries) {
+      for (const auto& p : e.query.predicates) {
+        if (p.column == "region") region = true;
+        if (p.column == "sku") sku = true;
+      }
+    }
+  }
+  EXPECT_TRUE(region);
+  EXPECT_TRUE(sku);
+}
+
+}  // namespace
+}  // namespace optshare::simdb

@@ -1,0 +1,138 @@
+// Tests for the simdb schema, catalog and query model.
+#include <gtest/gtest.h>
+
+#include "simdb/catalog.h"
+#include "simdb/query.h"
+
+namespace optshare::simdb {
+namespace {
+
+TableDef SampleTable() {
+  TableDef t;
+  t.name = "particles";
+  t.columns = {
+      {"particle_id", ColumnType::kInt64, 1000000},
+      {"halo_id", ColumnType::kInt64, 500},
+      {"mass", ColumnType::kDouble, 100000},
+      {"kind", ColumnType::kString, 3},
+  };
+  t.row_count = 1000000;
+  return t;
+}
+
+TEST(SchemaTest, ColumnTypeWidths) {
+  EXPECT_EQ(ColumnTypeWidth(ColumnType::kInt64), 8);
+  EXPECT_EQ(ColumnTypeWidth(ColumnType::kDouble), 8);
+  EXPECT_EQ(ColumnTypeWidth(ColumnType::kString), 32);
+}
+
+TEST(SchemaTest, RowAndTableBytes) {
+  TableDef t = SampleTable();
+  EXPECT_EQ(t.RowBytes(), 8u + 8u + 8u + 32u);
+  EXPECT_EQ(t.TotalBytes(), t.row_count * 56u);
+}
+
+TEST(SchemaTest, FindColumn) {
+  TableDef t = SampleTable();
+  EXPECT_EQ(t.FindColumn("halo_id"), 1);
+  EXPECT_EQ(t.FindColumn("nope"), -1);
+}
+
+TEST(SchemaTest, ValidationRejectsBadDefinitions) {
+  TableDef t = SampleTable();
+  EXPECT_TRUE(t.Validate().ok());
+  t.columns.push_back({"halo_id", ColumnType::kInt64, 5});  // Duplicate.
+  EXPECT_EQ(t.Validate().code(), StatusCode::kAlreadyExists);
+
+  TableDef empty;
+  empty.name = "x";
+  EXPECT_FALSE(empty.Validate().ok());
+
+  TableDef bad_col = SampleTable();
+  bad_col.columns[0].distinct_values = 0;
+  EXPECT_FALSE(bad_col.Validate().ok());
+
+  TableDef unnamed = SampleTable();
+  unnamed.name.clear();
+  EXPECT_FALSE(unnamed.Validate().ok());
+}
+
+TEST(CatalogTest, AddAndLookupTables) {
+  Catalog c;
+  ASSERT_TRUE(c.AddTable(SampleTable()).ok());
+  EXPECT_EQ(c.AddTable(SampleTable()).code(), StatusCode::kAlreadyExists);
+  auto t = c.GetTable("particles");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ((*t)->row_count, 1000000u);
+  EXPECT_EQ(c.GetTable("missing").status().code(), StatusCode::kNotFound);
+}
+
+TEST(CatalogTest, OptimizationValidation) {
+  Catalog c;
+  ASSERT_TRUE(c.AddTable(SampleTable()).ok());
+
+  OptimizationSpec idx{OptKind::kSecondaryIndex, "particles", "halo_id", 1.0,
+                       ""};
+  auto id = c.AddOptimization(idx);
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(*id, 0);
+
+  OptimizationSpec bad_table = idx;
+  bad_table.table = "nope";
+  EXPECT_FALSE(c.AddOptimization(bad_table).ok());
+
+  OptimizationSpec bad_col = idx;
+  bad_col.column = "nope";
+  EXPECT_FALSE(c.AddOptimization(bad_col).ok());
+
+  OptimizationSpec bad_view{OptKind::kMaterializedView, "particles", "halo_id",
+                            0.0, ""};
+  EXPECT_FALSE(c.AddOptimization(bad_view).ok());
+
+  OptimizationSpec replica{OptKind::kReplica, "particles", "", 1.0, ""};
+  EXPECT_TRUE(c.AddOptimization(replica).ok());
+  EXPECT_EQ(c.num_optimizations(), 2);
+}
+
+TEST(OptimizationTest, DisplayNames) {
+  OptimizationSpec idx{OptKind::kSecondaryIndex, "t", "c", 1.0, ""};
+  EXPECT_EQ(idx.DisplayName(), "index(t.c)");
+  OptimizationSpec rep{OptKind::kReplica, "t", "", 1.0, ""};
+  EXPECT_EQ(rep.DisplayName(), "replica(t)");
+  OptimizationSpec labeled{OptKind::kReplica, "t", "", 1.0, "my label"};
+  EXPECT_EQ(labeled.DisplayName(), "my label");
+}
+
+TEST(QueryTest, CombinedSelectivity) {
+  Query q;
+  q.table = "particles";
+  q.predicates = {{"halo_id", 0.01}, {"mass", 0.5}};
+  EXPECT_DOUBLE_EQ(q.CombinedSelectivity(), 0.005);
+}
+
+TEST(QueryTest, Validation) {
+  Query q;
+  EXPECT_FALSE(q.Validate().ok());  // No table.
+  q.table = "particles";
+  EXPECT_TRUE(q.Validate().ok());
+  q.predicates = {{"halo_id", 0.0}};
+  EXPECT_FALSE(q.Validate().ok());  // Zero selectivity.
+  q.predicates = {{"halo_id", 1.5}};
+  EXPECT_FALSE(q.Validate().ok());  // > 1.
+  q.predicates = {{"", 0.5}};
+  EXPECT_FALSE(q.Validate().ok());  // Unnamed column.
+}
+
+TEST(WorkloadTest, Validation) {
+  Workload w;
+  EXPECT_TRUE(w.Validate().ok());  // Empty workload is fine.
+  Query q;
+  q.table = "particles";
+  w.entries = {{q, 0.0}};
+  EXPECT_FALSE(w.Validate().ok());  // Non-positive frequency.
+  w.entries = {{q, 2.5}};
+  EXPECT_TRUE(w.Validate().ok());
+}
+
+}  // namespace
+}  // namespace optshare::simdb

@@ -1,0 +1,184 @@
+// Stress and robustness tests: mechanisms at scale, extreme values, and
+// fuzzed JSON input. These guard invariants rather than exact numbers.
+#include <gtest/gtest.h>
+
+#include "common/json.h"
+#include "common/money.h"
+#include "common/rng.h"
+#include "core/accounting.h"
+#include "core/add_on.h"
+#include "core/subst_on.h"
+#include "workload/scenario.h"
+
+namespace optshare {
+namespace {
+
+TEST(StressTest, AddOnWithManyUsersAndSlots) {
+  AdditiveScenario scenario;
+  scenario.num_users = 1000;
+  scenario.num_slots = 100;
+  scenario.duration = 10;
+  Rng rng(1);
+  const AdditiveOnlineGame game = MakeAdditiveGame(scenario, 15.0, rng);
+  const AddOnResult r = RunAddOn(game);
+  ASSERT_TRUE(r.implemented);
+  EXPECT_TRUE(MoneyGe(r.TotalPayment(), game.cost));
+  const Accounting acc = AccountAddOn(game, r);
+  EXPECT_TRUE(acc.CostRecovered());
+  // Shares never increase.
+  double prev = kInfiniteBid;
+  for (double share : r.cost_share) {
+    EXPECT_LE(share, prev * (1 + 1e-12));
+    prev = share;
+  }
+}
+
+TEST(StressTest, SubstOnWithManyUsersAndOpts) {
+  SubstScenario scenario;
+  scenario.num_users = 200;
+  scenario.num_slots = 20;
+  scenario.num_opts = 40;
+  scenario.substitutes_per_user = 5;
+  Rng rng(2);
+  const SubstOnlineGame game = MakeSubstGame(scenario, 2.0, rng);
+  const SubstOnResult r = RunSubstOn(game);
+  const Accounting acc = AccountSubstOn(game, r);
+  EXPECT_TRUE(acc.CostRecovered());
+  // Every granted optimization was implemented, and vice versa every
+  // implemented optimization has at least one grantee.
+  for (UserId i = 0; i < game.num_users(); ++i) {
+    const OptId g = r.grant[static_cast<size_t>(i)];
+    if (g != kNoOpt) {
+      EXPECT_GT(r.implemented_at[static_cast<size_t>(g)], 0);
+    }
+  }
+  for (OptId j : r.ImplementedOpts()) {
+    bool any = false;
+    for (UserId i = 0; i < game.num_users(); ++i) {
+      if (r.grant[static_cast<size_t>(i)] == j) any = true;
+    }
+    EXPECT_TRUE(any) << "opt " << j << " implemented with no grantee";
+  }
+}
+
+TEST(StressTest, ShapleyWithExtremeMagnitudes) {
+  // Mixing 1e-9 and 1e9 bids must not break the iteration or recovery.
+  const ShapleyResult r =
+      RunShapley(1e6, {1e-9, 1e9, 5e5, 2e-3, 7e8, 1e6});
+  ASSERT_TRUE(r.implemented);
+  EXPECT_NEAR(r.TotalPayment(), 1e6, 1e-3);
+  for (size_t i = 0; i < r.serviced.size(); ++i) {
+    if (r.serviced[i]) {
+      EXPECT_GE(r.payments[i], 0.0);
+    } else {
+      EXPECT_DOUBLE_EQ(r.payments[i], 0.0);
+    }
+  }
+}
+
+TEST(StressTest, ShapleyWithNearlyIdenticalBids) {
+  // Bids straddle the even share by epsilon-scale amounts; the iteration
+  // must terminate and keep recovery exact.
+  std::vector<double> bids(100, 1.0);
+  for (size_t i = 0; i < bids.size(); ++i) {
+    bids[i] += (i % 2 == 0 ? 1e-12 : -1e-12);
+  }
+  const ShapleyResult r = RunShapley(100.0, bids);
+  ASSERT_TRUE(r.implemented);
+  EXPECT_NEAR(r.TotalPayment(), 100.0, 1e-6);
+}
+
+TEST(StressTest, AddOnAllValueInLastSlot) {
+  AdditiveOnlineGame g;
+  g.num_slots = 50;
+  g.cost = 10.0;
+  g.users = {SlotValues::Single(50, 11.0)};
+  const AddOnResult r = RunAddOn(g);
+  ASSERT_TRUE(r.implemented);
+  EXPECT_EQ(r.implemented_at, 50);
+  EXPECT_DOUBLE_EQ(r.payments[0], 10.0);
+}
+
+TEST(JsonFuzzTest, RandomBytesNeverCrash) {
+  Rng rng(77);
+  for (int trial = 0; trial < 3000; ++trial) {
+    const int len = static_cast<int>(rng.UniformInt(0, 64));
+    std::string input;
+    for (int k = 0; k < len; ++k) {
+      input.push_back(static_cast<char>(rng.UniformInt(0, 127)));
+    }
+    // Must return (ok or error) without crashing or hanging.
+    auto result = JsonValue::Parse(input);
+    (void)result;
+  }
+}
+
+TEST(JsonFuzzTest, StructuredMutationsNeverCrash) {
+  // Mutate a valid document at random positions.
+  const std::string base =
+      R"({"type":"additive_online","num_slots":3,"cost":100,)"
+      R"("users":[{"start":1,"end":3,"values":[16,16,16]}]})";
+  Rng rng(78);
+  for (int trial = 0; trial < 3000; ++trial) {
+    std::string mutated = base;
+    const int edits = 1 + static_cast<int>(rng.UniformInt(0, 3));
+    for (int e = 0; e < edits; ++e) {
+      const size_t pos = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(mutated.size()) - 1));
+      mutated[pos] = static_cast<char>(rng.UniformInt(32, 126));
+    }
+    auto result = JsonValue::Parse(mutated);
+    (void)result;
+  }
+}
+
+TEST(JsonFuzzTest, RandomValidDocumentsRoundTrip) {
+  Rng rng(79);
+  // Build random nested documents and require Dump -> Parse identity.
+  std::function<JsonValue(int)> make = [&](int depth) -> JsonValue {
+    const int kind =
+        static_cast<int>(rng.UniformInt(0, depth > 3 ? 3 : 5));
+    switch (kind) {
+      case 0:
+        return JsonValue::Null();
+      case 1:
+        return JsonValue::Bool(rng.Bernoulli(0.5));
+      case 2:
+        return JsonValue::Number(rng.Uniform(-1e6, 1e6));
+      case 3: {
+        std::string s;
+        const int len = static_cast<int>(rng.UniformInt(0, 12));
+        for (int k = 0; k < len; ++k) {
+          s.push_back(static_cast<char>(rng.UniformInt(1, 127)));
+        }
+        return JsonValue::Str(s);
+      }
+      case 4: {
+        JsonValue arr = JsonValue::MakeArray();
+        const int n = static_cast<int>(rng.UniformInt(0, 4));
+        for (int k = 0; k < n; ++k) arr.Append(make(depth + 1));
+        return arr;
+      }
+      default: {
+        JsonValue obj = JsonValue::MakeObject();
+        const int n = static_cast<int>(rng.UniformInt(0, 4));
+        for (int k = 0; k < n; ++k) {
+          obj.Set("k" + std::to_string(k), make(depth + 1));
+        }
+        return obj;
+      }
+    }
+  };
+  for (int trial = 0; trial < 500; ++trial) {
+    const JsonValue doc = make(0);
+    auto parsed = JsonValue::Parse(doc.Dump());
+    ASSERT_TRUE(parsed.ok()) << doc.Dump();
+    EXPECT_EQ(*parsed, doc);
+    auto pretty = JsonValue::Parse(doc.Dump(2));
+    ASSERT_TRUE(pretty.ok());
+    EXPECT_EQ(*pretty, doc);
+  }
+}
+
+}  // namespace
+}  // namespace optshare

@@ -1,0 +1,164 @@
+// Tests for the workload generators of §7.3-§7.6.
+#include <gtest/gtest.h>
+
+#include "workload/arrival.h"
+#include "workload/scenario.h"
+
+namespace optshare {
+namespace {
+
+TEST(ArrivalTest, UniformCoversAllSlots) {
+  Rng rng(1);
+  std::vector<int> counts(12, 0);
+  for (int i = 0; i < 12000; ++i) {
+    const TimeSlot s = SampleArrival(rng, ArrivalProcess::kUniform, 12);
+    ASSERT_GE(s, 1);
+    ASSERT_LE(s, 12);
+    ++counts[static_cast<size_t>(s - 1)];
+  }
+  for (int c : counts) EXPECT_NEAR(c, 1000, 150);
+}
+
+TEST(ArrivalTest, EarlySkewsTowardSlotOne) {
+  Rng rng(2);
+  int first_two = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    const TimeSlot s = SampleArrival(rng, ArrivalProcess::kEarly, 12);
+    ASSERT_GE(s, 1);
+    ASSERT_LE(s, 12);
+    if (s <= 2) ++first_two;
+  }
+  // Exp(mean 1.28): P(floor(x) <= 1) = 1 - exp(-2/1.28) ~ 0.79.
+  EXPECT_GT(first_two, n * 7 / 10);
+}
+
+TEST(ArrivalTest, LateSkewsTowardLastSlot) {
+  Rng rng(3);
+  int last_two = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    const TimeSlot s = SampleArrival(rng, ArrivalProcess::kLate, 12);
+    ASSERT_GE(s, 1);
+    ASSERT_LE(s, 12);
+    if (s >= 11) ++last_two;
+  }
+  EXPECT_GT(last_two, n * 7 / 10);
+}
+
+TEST(ArrivalTest, Names) {
+  EXPECT_STREQ(ArrivalProcessName(ArrivalProcess::kUniform), "uniform");
+  EXPECT_STREQ(ArrivalProcessName(ArrivalProcess::kEarly), "early");
+  EXPECT_STREQ(ArrivalProcessName(ArrivalProcess::kLate), "late");
+}
+
+TEST(SpreadValueTest, SplitsEvenly) {
+  SlotValues sv = SpreadValue(3, 4, 12, 2.0);
+  EXPECT_EQ(sv.start, 3);
+  EXPECT_EQ(sv.end, 6);
+  EXPECT_DOUBLE_EQ(sv.At(4), 0.5);
+  EXPECT_DOUBLE_EQ(sv.Total(), 2.0);
+}
+
+TEST(SpreadValueTest, ClipsAtHorizon) {
+  // §7.4: interval (s, s+d-1) clipped at the last slot; the value is split
+  // over the clipped length, preserving the total.
+  SlotValues sv = SpreadValue(11, 4, 12, 1.0);
+  EXPECT_EQ(sv.start, 11);
+  EXPECT_EQ(sv.end, 12);
+  EXPECT_DOUBLE_EQ(sv.At(11), 0.5);
+  EXPECT_DOUBLE_EQ(sv.Total(), 1.0);
+}
+
+TEST(ScenarioTest, AdditiveValidation) {
+  AdditiveScenario s;
+  EXPECT_TRUE(s.Validate().ok());
+  s.duration = 13;
+  EXPECT_FALSE(s.Validate().ok());
+  s.duration = 1;
+  s.num_users = 0;
+  EXPECT_FALSE(s.Validate().ok());
+}
+
+TEST(ScenarioTest, SubstValidation) {
+  SubstScenario s;
+  EXPECT_TRUE(s.Validate().ok());
+  EXPECT_DOUBLE_EQ(s.Selectivity(), 0.25);  // 3 of 12.
+  s.substitutes_per_user = 13;
+  EXPECT_FALSE(s.Validate().ok());
+}
+
+TEST(ScenarioTest, MakeAdditiveGameIsValid) {
+  Rng rng(5);
+  AdditiveScenario scenario;  // Paper defaults: 6 users, 12 slots.
+  for (int trial = 0; trial < 50; ++trial) {
+    AdditiveOnlineGame g = MakeAdditiveGame(scenario, 0.5, rng);
+    ASSERT_TRUE(g.Validate().ok());
+    EXPECT_EQ(g.num_users(), 6);
+    EXPECT_EQ(g.num_slots, 12);
+    for (const auto& u : g.users) {
+      EXPECT_EQ(u.Length(), 1);  // duration 1.
+      EXPECT_GE(u.Total(), 0.0);
+      EXPECT_LT(u.Total(), 1.0);
+    }
+  }
+}
+
+TEST(ScenarioTest, MakeAdditiveGameRespectsDuration) {
+  Rng rng(6);
+  AdditiveScenario scenario;
+  scenario.duration = 5;
+  AdditiveOnlineGame g = MakeAdditiveGame(scenario, 0.5, rng);
+  for (const auto& u : g.users) {
+    EXPECT_LE(u.Length(), 5);
+    EXPECT_EQ(u.end, std::min(u.start + 4, 12));
+  }
+}
+
+TEST(ScenarioTest, MakeSubstGameIsValid) {
+  Rng rng(7);
+  SubstScenario scenario;  // 6 users, 12 opts, 3 substitutes.
+  for (int trial = 0; trial < 50; ++trial) {
+    SubstOnlineGame g = MakeSubstGame(scenario, 0.5, rng);
+    ASSERT_TRUE(g.Validate().ok());
+    EXPECT_EQ(g.num_opts(), 12);
+    for (const auto& u : g.users) {
+      EXPECT_EQ(u.substitutes.size(), 3u);
+    }
+    for (double c : g.costs) {
+      EXPECT_GT(c, 0.0);
+      EXPECT_LT(c, 1.0);  // U[0, 2*0.5).
+    }
+  }
+}
+
+TEST(ScenarioTest, SubstCostsAverageToMeanCost) {
+  Rng rng(8);
+  SubstScenario scenario;
+  double sum = 0.0;
+  int count = 0;
+  for (int trial = 0; trial < 400; ++trial) {
+    SubstOnlineGame g = MakeSubstGame(scenario, 0.75, rng);
+    for (double c : g.costs) {
+      sum += c;
+      ++count;
+    }
+  }
+  EXPECT_NEAR(sum / count, 0.75, 0.02);
+}
+
+TEST(ScenarioTest, GenerationIsDeterministicPerSeed) {
+  AdditiveScenario scenario;
+  Rng rng1(99), rng2(99);
+  AdditiveOnlineGame a = MakeAdditiveGame(scenario, 0.5, rng1);
+  AdditiveOnlineGame b = MakeAdditiveGame(scenario, 0.5, rng2);
+  for (int i = 0; i < a.num_users(); ++i) {
+    EXPECT_EQ(a.users[static_cast<size_t>(i)].start,
+              b.users[static_cast<size_t>(i)].start);
+    EXPECT_DOUBLE_EQ(a.users[static_cast<size_t>(i)].Total(),
+                     b.users[static_cast<size_t>(i)].Total());
+  }
+}
+
+}  // namespace
+}  // namespace optshare

@@ -1,0 +1,261 @@
+// optshare CLI: run the pricing mechanisms on game files.
+//
+//   optshare_cli sample <type>            # emit a sample game document
+//   optshare_cli validate <file>          # parse + validate a game file
+//   optshare_cli run <file> [--mechanism NAME] [--json]
+//
+// Game types: additive_offline, additive_online, subst_offline,
+// subst_online (see core/serialization.h for the schema). The default
+// mechanism is the paper's mechanism for the game's type (AddOff, AddOn,
+// SubstOff, SubstOn); `--mechanism regret` runs the baseline on online
+// additive/substitutable games, `--mechanism vcg` the VCG reference on
+// offline additive games.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "baseline/regret.h"
+#include "baseline/vcg.h"
+#include "common/money.h"
+#include "core/accounting.h"
+#include "core/serialization.h"
+
+namespace optshare {
+namespace {
+
+int Fail(const std::string& message) {
+  std::cerr << "error: " << message << "\n";
+  return 1;
+}
+
+int Usage() {
+  std::cerr << "usage: optshare_cli sample <type>\n"
+            << "       optshare_cli validate <file>\n"
+            << "       optshare_cli run <file> [--mechanism NAME] [--json]\n"
+            << "game types: additive_offline additive_online subst_offline "
+               "subst_online\n"
+            << "mechanisms: default (paper mechanism for the type), regret, "
+               "vcg\n";
+  return 2;
+}
+
+Result<JsonValue> LoadGameFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open " + path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return JsonValue::Parse(buffer.str());
+}
+
+int EmitSample(const std::string& type) {
+  JsonValue doc;
+  if (type == "additive_offline") {
+    AdditiveOfflineGame g;
+    g.costs = {90.0, 50.0};
+    g.bids = {{40.0, 0.0}, {30.0, 60.0}, {35.0, 10.0}};
+    doc = ToJson(g);
+  } else if (type == "additive_online") {
+    AdditiveOnlineGame g;
+    g.num_slots = 3;
+    g.cost = 100.0;
+    g.users = {SlotValues::Single(1, 101.0),
+               *SlotValues::Make(1, 3, {16.0, 16.0, 16.0}),
+               SlotValues::Single(2, 26.0), SlotValues::Single(2, 26.0)};
+    doc = ToJson(g);
+  } else if (type == "subst_offline") {
+    SubstOfflineGame g;
+    g.costs = {60.0, 180.0, 100.0};
+    g.users = {{{0, 1}, 100.0}, {{2}, 101.0}, {{0, 1, 2}, 60.0}, {{1}, 70.0}};
+    doc = ToJson(g);
+  } else if (type == "subst_online") {
+    SubstOnlineGame g;
+    g.num_slots = 3;
+    g.costs = {60.0, 100.0, 50.0};
+    g.users = {{SlotValues::Constant(1, 2, 50.0), {0, 1}},
+               {SlotValues::Constant(2, 3, 50.0), {0, 1, 2}},
+               {SlotValues::Single(3, 100.0), {2}}};
+    doc = ToJson(g);
+  } else {
+    return Fail("unknown game type: " + type);
+  }
+  std::cout << doc.Dump(2) << "\n";
+  return 0;
+}
+
+void PrintLedger(const Accounting& acc) {
+  std::cout << "total value    " << FormatDollars(acc.TotalValue()) << "\n"
+            << "total payments " << FormatDollars(acc.TotalPayment()) << "\n"
+            << "total cost     " << FormatDollars(acc.total_cost) << "\n"
+            << "total utility  " << FormatDollars(acc.TotalUtility()) << "\n"
+            << "cloud balance  " << FormatDollars(acc.CloudBalance()) << "\n";
+  for (size_t i = 0; i < acc.user_value.size(); ++i) {
+    std::cout << "user " << i << ": value "
+              << FormatDollars(acc.user_value[i]) << ", pays "
+              << FormatDollars(acc.user_payment[i]) << ", utility "
+              << FormatDollars(acc.UserUtility(static_cast<UserId>(i)))
+              << "\n";
+  }
+}
+
+JsonValue LedgerToJson(const Accounting& acc) {
+  JsonValue obj = JsonValue::MakeObject();
+  obj.Set("total_value", JsonValue::Number(acc.TotalValue()));
+  obj.Set("total_payments", JsonValue::Number(acc.TotalPayment()));
+  obj.Set("total_cost", JsonValue::Number(acc.total_cost));
+  obj.Set("total_utility", JsonValue::Number(acc.TotalUtility()));
+  obj.Set("cloud_balance", JsonValue::Number(acc.CloudBalance()));
+  JsonValue users = JsonValue::MakeArray();
+  for (size_t i = 0; i < acc.user_value.size(); ++i) {
+    JsonValue u = JsonValue::MakeObject();
+    u.Set("value", JsonValue::Number(acc.user_value[i]));
+    u.Set("payment", JsonValue::Number(acc.user_payment[i]));
+    users.Append(std::move(u));
+  }
+  obj.Set("users", std::move(users));
+  return obj;
+}
+
+int RunGame(const JsonValue& doc, const std::string& mechanism, bool json) {
+  const std::string type = GameTypeOf(doc);
+  Accounting acc;
+
+  if (type == "additive_offline") {
+    Result<AdditiveOfflineGame> game = AdditiveOfflineGameFromJson(doc);
+    if (!game.ok()) return Fail(game.status().ToString());
+    if (mechanism == "default" || mechanism == "addoff") {
+      acc = AccountAddOff(*game, RunAddOff(*game));
+    } else if (mechanism == "vcg") {
+      VcgResult r = RunVcg(*game);
+      acc.user_payment = r.total_payment;
+      acc.user_value.assign(static_cast<size_t>(game->num_users()), 0.0);
+      acc.total_cost = r.ImplementedCost(game->costs);
+      for (OptId j = 0; j < game->num_opts(); ++j) {
+        if (!r.per_opt[static_cast<size_t>(j)].implemented) continue;
+        for (UserId i = 0; i < game->num_users(); ++i) {
+          if (r.per_opt[static_cast<size_t>(j)].serviced[static_cast<size_t>(i)]) {
+            acc.user_value[static_cast<size_t>(i)] +=
+                game->bids[static_cast<size_t>(i)][static_cast<size_t>(j)];
+          }
+        }
+      }
+    } else {
+      return Fail("mechanism \"" + mechanism + "\" not valid for " + type);
+    }
+  } else if (type == "additive_online") {
+    Result<AdditiveOnlineGame> game = AdditiveOnlineGameFromJson(doc);
+    if (!game.ok()) return Fail(game.status().ToString());
+    if (mechanism == "default" || mechanism == "addon") {
+      acc = AccountAddOn(*game, RunAddOn(*game));
+    } else if (mechanism == "regret") {
+      RegretAdditiveResult r = RunRegretAdditive(*game);
+      acc.user_value.assign(static_cast<size_t>(game->num_users()), 0.0);
+      acc.user_payment.assign(static_cast<size_t>(game->num_users()), 0.0);
+      acc.total_cost = r.total_cost;
+      for (UserId i = 0; i < game->num_users(); ++i) {
+        if (r.buyer[static_cast<size_t>(i)]) {
+          acc.user_value[static_cast<size_t>(i)] =
+              game->users[static_cast<size_t>(i)].ResidualFrom(
+                  r.implemented_at + 1);
+          acc.user_payment[static_cast<size_t>(i)] = r.price;
+        }
+      }
+    } else {
+      return Fail("mechanism \"" + mechanism + "\" not valid for " + type);
+    }
+  } else if (type == "subst_offline") {
+    Result<SubstOfflineGame> game = SubstOfflineGameFromJson(doc);
+    if (!game.ok()) return Fail(game.status().ToString());
+    if (mechanism != "default" && mechanism != "substoff") {
+      return Fail("mechanism \"" + mechanism + "\" not valid for " + type);
+    }
+    acc = AccountSubstOff(*game, RunSubstOff(*game));
+  } else if (type == "subst_online") {
+    Result<SubstOnlineGame> game = SubstOnlineGameFromJson(doc);
+    if (!game.ok()) return Fail(game.status().ToString());
+    if (mechanism == "default" || mechanism == "subston") {
+      acc = AccountSubstOn(*game, RunSubstOn(*game));
+    } else if (mechanism == "regret") {
+      RegretSubstResult r = RunRegretSubst(*game);
+      acc.user_payment = r.payments;
+      acc.user_value.assign(static_cast<size_t>(game->num_users()), 0.0);
+      acc.total_cost = r.total_cost;
+      for (UserId i = 0; i < game->num_users(); ++i) {
+        const OptId j = r.bought[static_cast<size_t>(i)];
+        if (j != kNoOpt) {
+          acc.user_value[static_cast<size_t>(i)] =
+              game->users[static_cast<size_t>(i)].stream.ResidualFrom(
+                  r.implemented_at[static_cast<size_t>(j)] + 1);
+        }
+      }
+    } else {
+      return Fail("mechanism \"" + mechanism + "\" not valid for " + type);
+    }
+  } else {
+    return Fail("unknown or missing game type: \"" + type + "\"");
+  }
+
+  if (json) {
+    std::cout << LedgerToJson(acc).Dump(2) << "\n";
+  } else {
+    PrintLedger(acc);
+  }
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  const std::string command = argv[1];
+
+  if (command == "sample") return EmitSample(argv[2]);
+
+  Result<JsonValue> doc = LoadGameFile(argv[2]);
+  if (!doc.ok()) return Fail(doc.status().ToString());
+
+  if (command == "validate") {
+    const std::string type = GameTypeOf(*doc);
+    Status st;
+    if (type == "additive_offline") {
+      st = AdditiveOfflineGameFromJson(*doc).ok()
+               ? Status::OK()
+               : AdditiveOfflineGameFromJson(*doc).status();
+    } else if (type == "additive_online") {
+      auto g = AdditiveOnlineGameFromJson(*doc);
+      st = g.ok() ? Status::OK() : g.status();
+    } else if (type == "subst_offline") {
+      auto g = SubstOfflineGameFromJson(*doc);
+      st = g.ok() ? Status::OK() : g.status();
+    } else if (type == "subst_online") {
+      auto g = SubstOnlineGameFromJson(*doc);
+      st = g.ok() ? Status::OK() : g.status();
+    } else {
+      return Fail("unknown game type: \"" + type + "\"");
+    }
+    if (!st.ok()) return Fail(st.ToString());
+    std::cout << "valid " << type << " game\n";
+    return 0;
+  }
+
+  if (command == "run") {
+    std::string mechanism = "default";
+    bool json = false;
+    for (int a = 3; a < argc; ++a) {
+      const std::string arg = argv[a];
+      if (arg == "--mechanism" && a + 1 < argc) {
+        mechanism = argv[++a];
+      } else if (arg == "--json") {
+        json = true;
+      } else {
+        return Usage();
+      }
+    }
+    return RunGame(*doc, mechanism, json);
+  }
+
+  return Usage();
+}
+
+}  // namespace
+}  // namespace optshare
+
+int main(int argc, char** argv) { return optshare::Main(argc, argv); }
