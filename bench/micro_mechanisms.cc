@@ -2,11 +2,17 @@
 // slots and optimizations, of the Regret baseline, and of the astronomy
 // substrate (FoF halo finding, merger-tree queries). Not part of the paper;
 // documents the computational footprint of the library.
+//
+// The engine-vs-dense pairs (BM_Shapley/BM_ShapleyDense, BM_AddOn/
+// BM_AddOnDense) track the unified-engine speedup; bench/mech_speed.cc is
+// the canonical harness for that comparison and emits
+// BENCH_mechanisms.json.
 #include <benchmark/benchmark.h>
 
 #include "astro/astro_workload.h"
 #include "baseline/regret.h"
 #include "core/add_on.h"
+#include "core/reference.h"
 #include "core/shapley.h"
 #include "core/subst_on.h"
 #include "core/serialization.h"
@@ -28,7 +34,20 @@ void BM_Shapley(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * m);
 }
-BENCHMARK(BM_Shapley)->Arg(8)->Arg(64)->Arg(512)->Arg(4096);
+BENCHMARK(BM_Shapley)->Arg(8)->Arg(64)->Arg(512)->Arg(4096)->Arg(100000);
+
+void BM_ShapleyDense(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  Rng rng(1);
+  std::vector<double> bids;
+  for (int i = 0; i < m; ++i) bids.push_back(rng.Uniform(0.0, 1.0));
+  const double cost = 0.3 * m;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(reference::RunShapleyDense(cost, bids));
+  }
+  state.SetItemsProcessed(state.iterations() * m);
+}
+BENCHMARK(BM_ShapleyDense)->Arg(4096)->Arg(100000);
 
 void BM_AddOn(benchmark::State& state) {
   const int m = static_cast<int>(state.range(0));
@@ -45,7 +64,23 @@ void BM_AddOn(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * m * z);
 }
 BENCHMARK(BM_AddOn)->Args({6, 12})->Args({24, 12})->Args({96, 12})
-    ->Args({24, 96});
+    ->Args({24, 96})->Args({100000, 50});
+
+void BM_AddOnDense(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  const int z = static_cast<int>(state.range(1));
+  Rng rng(2);
+  AdditiveScenario scenario;
+  scenario.num_users = m;
+  scenario.num_slots = z;
+  scenario.duration = std::max(1, z / 4);
+  AdditiveOnlineGame game = MakeAdditiveGame(scenario, 0.2 * m, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(reference::RunAddOnDense(game));
+  }
+  state.SetItemsProcessed(state.iterations() * m * z);
+}
+BENCHMARK(BM_AddOnDense)->Args({96, 12})->Args({100000, 50});
 
 void BM_SubstOn(benchmark::State& state) {
   const int m = static_cast<int>(state.range(0));

@@ -76,10 +76,13 @@ int main() {
 
   const double base_sec = *model.QueryTime(lookup, {});
   const double fast_sec = *model.QueryTime(lookup, {*opt_id});
+  const SparseOnlineColumn column = ProjectSparseColumn(game, 0);
   std::cout << "index " << catalog.optimizations()[0].DisplayName()
             << ": query " << base_sec << " s -> " << fast_sec
             << " s; build+storage cost "
-            << FormatDollars(game.costs[0]) << "\n\n";
+            << FormatDollars(game.costs[0]) << "\n"
+            << "tenants deriving value from it: " << column.users.size()
+            << " of " << game.num_users() << "\n\n";
 
   AdditiveOnlineGame single = game.ProjectOpt(0);
   AddOnResult outcome = RunAddOn(single);

@@ -43,7 +43,10 @@ int main() {
                 << (s.active ? (s.carried_over ? "renewed" : "built")
                              : "not funded")
                 << "  price " << FormatDollars(s.cost);
-      if (s.active) std::cout << "  subscribers " << s.num_subscribers;
+      if (s.active) {
+        std::cout << "  subscribers " << s.num_subscribers << "/"
+                  << s.num_candidates;
+      }
       std::cout << "\n";
     }
     std::cout << "   quarter utility "

@@ -1,0 +1,118 @@
+#include "baseline/baseline_mechanisms.h"
+
+#include <memory>
+
+#include "baseline/naive.h"
+#include "baseline/naive_online.h"
+#include "baseline/regret.h"
+#include "baseline/vcg.h"
+#include "core/mechanism.h"
+
+namespace optshare {
+namespace {
+
+class NaiveMechanism final : public Mechanism {
+ public:
+  std::string_view name() const override { return "naive"; }
+  bool Supports(GameKind kind) const override {
+    return kind == GameKind::kAdditiveOffline;
+  }
+  Result<MechanismResult> Run(const GameView& game) const override {
+    if (!Supports(game.kind())) return UnsupportedKind(name(), game.kind());
+    OPTSHARE_RETURN_NOT_OK(game.Validate());
+    const AdditiveOfflineGame& g = game.additive_offline();
+
+    // Additive values: the pay-your-bid rule applies per optimization.
+    MechanismResult r;
+    r.num_users = g.num_users();
+    r.num_opts = g.num_opts();
+    r.payments.assign(static_cast<size_t>(g.num_users()), 0.0);
+    std::vector<double> column(static_cast<size_t>(g.num_users()));
+    for (OptId j = 0; j < g.num_opts(); ++j) {
+      for (UserId i = 0; i < g.num_users(); ++i) {
+        column[static_cast<size_t>(i)] =
+            g.bids[static_cast<size_t>(i)][static_cast<size_t>(j)];
+      }
+      MechanismResult one = ToMechanismResult(
+          RunNaive(g.costs[static_cast<size_t>(j)], column));
+      r.implemented = r.implemented || one.implemented;
+      r.implemented_at.push_back(one.implemented_at[0]);
+      r.cost_share.push_back(one.cost_share[0]);
+      r.serviced.push_back(std::move(one.serviced[0]));
+      for (UserId i = 0; i < g.num_users(); ++i) {
+        r.payments[static_cast<size_t>(i)] +=
+            one.payments[static_cast<size_t>(i)];
+      }
+    }
+    return r;
+  }
+};
+
+class NaiveOnlineMechanism final : public Mechanism {
+ public:
+  std::string_view name() const override { return "naive_online"; }
+  bool Supports(GameKind kind) const override {
+    return kind == GameKind::kAdditiveOnline;
+  }
+  Result<MechanismResult> Run(const GameView& game) const override {
+    if (!Supports(game.kind())) return UnsupportedKind(name(), game.kind());
+    OPTSHARE_RETURN_NOT_OK(game.Validate());
+    const AdditiveOnlineGame& g = game.additive_online();
+    return ToMechanismResult(RunNaiveOnline(g), g.num_users(), g.num_slots);
+  }
+};
+
+class VcgMechanism final : public Mechanism {
+ public:
+  std::string_view name() const override { return "vcg"; }
+  bool Supports(GameKind kind) const override {
+    return kind == GameKind::kAdditiveOffline;
+  }
+  Result<MechanismResult> Run(const GameView& game) const override {
+    if (!Supports(game.kind())) return UnsupportedKind(name(), game.kind());
+    OPTSHARE_RETURN_NOT_OK(game.Validate());
+    const AdditiveOfflineGame& g = game.additive_offline();
+    return ToMechanismResult(RunVcg(g), g.num_users());
+  }
+};
+
+class RegretMechanism final : public Mechanism {
+ public:
+  std::string_view name() const override { return "regret"; }
+  bool Supports(GameKind kind) const override {
+    return kind == GameKind::kAdditiveOnline ||
+           kind == GameKind::kSubstOnline;
+  }
+  Result<MechanismResult> Run(const GameView& game) const override {
+    if (!Supports(game.kind())) return UnsupportedKind(name(), game.kind());
+    OPTSHARE_RETURN_NOT_OK(game.Validate());
+    if (game.kind() == GameKind::kAdditiveOnline) {
+      const AdditiveOnlineGame& g = game.additive_online();
+      return ToMechanismResult(RunRegretAdditive(g), g);
+    }
+    const SubstOnlineGame& g = game.subst_online();
+    return ToMechanismResult(RunRegretSubst(g), g);
+  }
+};
+
+}  // namespace
+
+void RegisterBaselineMechanisms() {
+  static const bool registered = [] {
+    MechanismRegistry& registry = MechanismRegistry::Global();
+    (void)registry.Register("naive",
+                            [] { return std::make_unique<NaiveMechanism>(); });
+    (void)registry.Register("naive_online", [] {
+      return std::make_unique<NaiveOnlineMechanism>();
+    });
+    (void)registry.Register("vcg",
+                            [] { return std::make_unique<VcgMechanism>(); });
+    (void)registry.Register("regret", [] {
+      return std::make_unique<RegretMechanism>();
+    });
+    return true;
+  }();
+  (void)registered;
+}
+
+}  // namespace optshare

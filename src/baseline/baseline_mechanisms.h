@@ -1,0 +1,20 @@
+// Registry glue for the baselines: wraps Naive, NaiveOnline, VCG and Regret
+// behind the core Mechanism interface so callers — the CLI, the cloud
+// service, the experiment harness — can select them by name next to the
+// paper's mechanisms and compare outcomes uniformly (MechanismResult /
+// AccountResult).
+//
+// Registered names:
+//   "naive"         additive offline (pay-your-bid, Example 1)
+//   "naive_online"  additive online  (free-ride scheme, Example 2)
+//   "vcg"           additive offline (efficient, not cost-recovering)
+//   "regret"        additive online + substitutable online (§7.1 baseline)
+#pragma once
+
+namespace optshare {
+
+/// Idempotently registers the baseline mechanisms with
+/// MechanismRegistry::Global(). Safe to call from multiple entry points.
+void RegisterBaselineMechanisms();
+
+}  // namespace optshare

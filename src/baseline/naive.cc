@@ -12,6 +12,20 @@ double NaiveResult::TotalPayment() const {
   return sum;
 }
 
+MechanismResult ToMechanismResult(const NaiveResult& outcome) {
+  const int m = static_cast<int>(outcome.payments.size());
+  MechanismResult r;
+  r.num_users = m;
+  r.num_opts = 1;
+  r.implemented = outcome.implemented;
+  r.implemented_at = {outcome.implemented ? 1 : 0};
+  r.cost_share = {0.0};  // Pay-your-bid has no common share.
+  r.payments = outcome.payments;
+  r.serviced.resize(1);
+  if (outcome.implemented) r.serviced[0] = Coalition::All(m);
+  return r;
+}
+
 NaiveResult RunNaive(double cost, const std::vector<double>& bids) {
   assert(cost > 0.0);
   NaiveResult result;

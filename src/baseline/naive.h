@@ -6,6 +6,8 @@
 
 #include <vector>
 
+#include "core/mechanism.h"
+
 namespace optshare {
 
 /// Outcome of the naive mechanism for one optimization.
@@ -20,5 +22,11 @@ struct NaiveResult {
 /// Implements the optimization iff the bid sum covers `cost`; every user is
 /// then serviced and pays her bid. `cost` must be > 0; bids non-negative.
 NaiveResult RunNaive(double cost, const std::vector<double>& bids);
+
+/// Uniform-result view of a single-optimization naive outcome: when
+/// implemented, every user is serviced and pays her bid. Lets experiments
+/// compare the baseline through the engine's shared result shape (see
+/// baseline/baseline_mechanisms.h for the registry entry).
+MechanismResult ToMechanismResult(const NaiveResult& outcome);
 
 }  // namespace optshare

@@ -12,6 +12,26 @@ double NaiveOnlineResult::TotalPayment() const {
   return sum;
 }
 
+MechanismResult ToMechanismResult(const NaiveOnlineResult& outcome,
+                                  int num_users, int num_slots) {
+  MechanismResult r;
+  r.num_users = num_users;
+  r.num_opts = 1;
+  r.num_slots = num_slots;
+  r.implemented = outcome.implemented;
+  r.implemented_at = {outcome.implemented_at};
+  r.cost_share = {0.0};  // Funders pay Shapley shares; later users nothing.
+  r.payments = outcome.payments;
+  r.serviced.resize(1);
+  r.active.resize(1);
+  r.active[0].resize(static_cast<size_t>(num_slots));
+  for (size_t t = 0; t < outcome.serviced.size(); ++t) {
+    r.active[0][t] = Coalition::FromSorted(outcome.serviced[t]);
+    for (UserId i : outcome.serviced[t]) r.serviced[0].Insert(i);
+  }
+  return r;
+}
+
 NaiveOnlineResult RunNaiveOnline(const AdditiveOnlineGame& game) {
   assert(game.Validate().ok());
   const int m = game.num_users();

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "core/game.h"
+#include "core/mechanism.h"
 
 namespace optshare {
 
@@ -30,5 +31,9 @@ struct NaiveOnlineResult {
 /// charges its serviced set; afterwards every user whose interval is
 /// active gets free access. Precondition: game.Validate().ok().
 NaiveOnlineResult RunNaiveOnline(const AdditiveOnlineGame& game);
+
+/// Uniform-result view: funders' payments, per-slot active access sets.
+MechanismResult ToMechanismResult(const NaiveOnlineResult& outcome,
+                                  int num_users, int num_slots);
 
 }  // namespace optshare

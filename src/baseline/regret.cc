@@ -58,6 +58,72 @@ PriceChoice ChoosePrice(std::vector<double> residuals, double cost,
 
 }  // namespace
 
+MechanismResult ToMechanismResult(const RegretAdditiveResult& outcome,
+                                  const AdditiveOnlineGame& game) {
+  const int m = game.num_users();
+  const int z = game.num_slots;
+  MechanismResult r;
+  r.num_users = m;
+  r.num_opts = 1;
+  r.num_slots = z;
+  r.implemented = outcome.implemented;
+  r.implemented_at = {outcome.implemented_at};
+  r.cost_share = {0.0};  // Regret charges a posted price, not a share.
+  r.payments.assign(static_cast<size_t>(m), 0.0);
+  r.serviced.resize(1);
+  r.active.resize(1);
+  r.active[0].resize(static_cast<size_t>(z));
+  if (!outcome.implemented) return r;
+  std::vector<UserId> buyers;
+  for (UserId i = 0; i < m; ++i) {
+    if (outcome.buyer[static_cast<size_t>(i)]) {
+      buyers.push_back(i);
+      r.payments[static_cast<size_t>(i)] = outcome.price;
+    }
+  }
+  r.serviced[0] = Coalition::FromSorted(buyers);
+  // Buyers hold access from the slot after the trigger; At(t) is zero
+  // outside a user's interval, so the accounting recovers exactly the
+  // residual each buyer paid for.
+  for (TimeSlot t = outcome.implemented_at + 1; t <= z; ++t) {
+    r.active[0][static_cast<size_t>(t - 1)] = r.serviced[0];
+  }
+  return r;
+}
+
+MechanismResult ToMechanismResult(const RegretSubstResult& outcome,
+                                  const SubstOnlineGame& game) {
+  const int m = game.num_users();
+  const int n = game.num_opts();
+  const int z = game.num_slots;
+  MechanismResult r;
+  r.num_users = m;
+  r.num_opts = n;
+  r.num_slots = z;
+  r.implemented_at = outcome.implemented_at;
+  r.cost_share.assign(static_cast<size_t>(n), 0.0);
+  r.payments = outcome.payments;
+  r.grant = outcome.bought;
+  r.serviced.resize(static_cast<size_t>(n));
+  r.active.resize(static_cast<size_t>(n));
+  for (auto& per_slot : r.active) per_slot.resize(static_cast<size_t>(z));
+  for (OptId j = 0; j < n; ++j) {
+    if (outcome.implemented_at[static_cast<size_t>(j)] > 0) {
+      r.implemented = true;
+    }
+  }
+  for (UserId i = 0; i < m; ++i) {
+    const OptId j = outcome.bought[static_cast<size_t>(i)];
+    if (j == kNoOpt) continue;
+    r.serviced[static_cast<size_t>(j)].Insert(i);
+    for (TimeSlot t = outcome.implemented_at[static_cast<size_t>(j)] + 1;
+         t <= z; ++t) {
+      r.active[static_cast<size_t>(j)][static_cast<size_t>(t - 1)].Insert(i);
+    }
+  }
+  return r;
+}
+
 int RegretAdditiveResult::NumBuyers() const {
   int n = 0;
   for (bool b : buyer) n += b ? 1 : 0;

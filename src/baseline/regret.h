@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "core/game.h"
+#include "core/mechanism.h"
 
 namespace optshare {
 
@@ -89,5 +90,13 @@ struct RegretSubstResult {
 /// crosses their cost trigger in increasing id order.
 /// Precondition: game.Validate().ok().
 RegretSubstResult RunRegretSubst(const SubstOnlineGame& game);
+
+/// Uniform-result views: buyers become the serviced coalition, active from
+/// the slot after the trigger through the horizon (their realized value is
+/// exactly the residual they bought). The game supplies interval bounds.
+MechanismResult ToMechanismResult(const RegretAdditiveResult& outcome,
+                                  const AdditiveOnlineGame& game);
+MechanismResult ToMechanismResult(const RegretSubstResult& outcome,
+                                  const SubstOnlineGame& game);
 
 }  // namespace optshare

@@ -23,6 +23,25 @@ double VcgResult::ImplementedCost(const std::vector<double>& costs) const {
   return sum;
 }
 
+MechanismResult ToMechanismResult(const VcgResult& outcome, int num_users) {
+  const int n = static_cast<int>(outcome.per_opt.size());
+  MechanismResult r;
+  r.num_users = num_users;
+  r.num_opts = n;
+  r.implemented_at.assign(static_cast<size_t>(n), 0);
+  r.cost_share.assign(static_cast<size_t>(n), 0.0);
+  r.payments = outcome.total_payment;
+  r.serviced.resize(static_cast<size_t>(n));
+  for (OptId j = 0; j < n; ++j) {
+    const VcgOptResult& opt = outcome.per_opt[static_cast<size_t>(j)];
+    if (!opt.implemented) continue;
+    r.implemented = true;
+    r.implemented_at[static_cast<size_t>(j)] = 1;
+    r.serviced[static_cast<size_t>(j)] = Coalition::FromMask(opt.serviced);
+  }
+  return r;
+}
+
 VcgResult RunVcg(const AdditiveOfflineGame& game) {
   assert(game.Validate().ok());
   const int m = game.num_users();

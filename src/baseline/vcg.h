@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "core/game.h"
+#include "core/mechanism.h"
 
 namespace optshare {
 
@@ -45,6 +46,11 @@ struct VcgResult {
 
 /// Runs VCG per optimization. Precondition: game.Validate().ok().
 VcgResult RunVcg(const AdditiveOfflineGame& game);
+
+/// Uniform-result view: per-opt serviced coalitions and Clarke payments
+/// (cost_share stays 0 — VCG has no cost-sharing notion, which is exactly
+/// why it is not cost-recovering).
+MechanismResult ToMechanismResult(const VcgResult& outcome, int num_users);
 
 /// The welfare-optimal (efficient) total utility of an additive offline
 /// game under truthful values: sum over j of max(0, sum_i v_ij - C_j).

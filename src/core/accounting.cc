@@ -115,6 +115,93 @@ Accounting AccountSubstOff(const SubstOfflineGame& truth,
   return acc;
 }
 
+Accounting AccountResult(const GameView& truth,
+                         const MechanismResult& outcome) {
+  const int m = truth.num_users();
+  assert(outcome.num_users == m);
+
+  Accounting acc;
+  acc.user_value.assign(static_cast<size_t>(m), 0.0);
+  acc.user_payment = outcome.payments;
+
+  switch (truth.kind()) {
+    case GameKind::kAdditiveOffline: {
+      const AdditiveOfflineGame& g = truth.additive_offline();
+      acc.total_cost = outcome.ImplementedCost(g.costs);
+      for (OptId j : outcome.ImplementedOpts()) {
+        for (UserId i : outcome.serviced[static_cast<size_t>(j)]) {
+          acc.user_value[static_cast<size_t>(i)] +=
+              g.bids[static_cast<size_t>(i)][static_cast<size_t>(j)];
+        }
+      }
+      break;
+    }
+    case GameKind::kAdditiveOnline: {
+      const AdditiveOnlineGame& g = truth.additive_online();
+      if (outcome.implemented) acc.total_cost = g.cost;
+      for (const auto& per_slot : outcome.active) {
+        for (TimeSlot t = 1; t <= static_cast<TimeSlot>(per_slot.size());
+             ++t) {
+          for (UserId i : per_slot[static_cast<size_t>(t - 1)]) {
+            acc.user_value[static_cast<size_t>(i)] +=
+                g.users[static_cast<size_t>(i)].At(t);
+          }
+        }
+      }
+      break;
+    }
+    case GameKind::kMultiAdditiveOnline: {
+      const MultiAdditiveOnlineGame& g = truth.multi_additive_online();
+      acc.total_cost = outcome.ImplementedCost(g.costs);
+      for (OptId j = 0;
+           j < static_cast<OptId>(outcome.active.size()); ++j) {
+        const auto& per_slot = outcome.active[static_cast<size_t>(j)];
+        for (TimeSlot t = 1; t <= static_cast<TimeSlot>(per_slot.size());
+             ++t) {
+          for (UserId i : per_slot[static_cast<size_t>(t - 1)]) {
+            acc.user_value[static_cast<size_t>(i)] +=
+                g.bids[static_cast<size_t>(i)][static_cast<size_t>(j)].At(t);
+          }
+        }
+      }
+      break;
+    }
+    case GameKind::kSubstOffline: {
+      const SubstOfflineGame& g = truth.subst_offline();
+      acc.total_cost = outcome.ImplementedCost(g.costs);
+      for (UserId i = 0; i < m; ++i) {
+        const OptId gnt = outcome.grant[static_cast<size_t>(i)];
+        if (gnt == kNoOpt) continue;
+        const auto& u = g.users[static_cast<size_t>(i)];
+        // Value accrues only when the grant is truly useful to the user.
+        if (Contains(u.substitutes, gnt)) {
+          acc.user_value[static_cast<size_t>(i)] = u.value;
+        }
+      }
+      break;
+    }
+    case GameKind::kSubstOnline: {
+      const SubstOnlineGame& g = truth.subst_online();
+      acc.total_cost = outcome.ImplementedCost(g.costs);
+      for (OptId j = 0;
+           j < static_cast<OptId>(outcome.active.size()); ++j) {
+        const auto& per_slot = outcome.active[static_cast<size_t>(j)];
+        for (TimeSlot t = 1; t <= static_cast<TimeSlot>(per_slot.size());
+             ++t) {
+          for (UserId i : per_slot[static_cast<size_t>(t - 1)]) {
+            const auto& u = g.users[static_cast<size_t>(i)];
+            if (Contains(u.substitutes, j)) {
+              acc.user_value[static_cast<size_t>(i)] += u.stream.At(t);
+            }
+          }
+        }
+      }
+      break;
+    }
+  }
+  return acc;
+}
+
 Accounting AccountSubstOn(const SubstOnlineGame& truth,
                           const SubstOnResult& outcome) {
   const int m = truth.num_users();

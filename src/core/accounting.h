@@ -15,6 +15,7 @@
 #include "core/add_off.h"
 #include "core/add_on.h"
 #include "core/game.h"
+#include "core/mechanism.h"
 #include "core/subst_off.h"
 #include "core/subst_on.h"
 
@@ -66,5 +67,15 @@ Accounting AccountSubstOff(const SubstOfflineGame& truth,
 /// in her true substitute set.
 Accounting AccountSubstOn(const SubstOnlineGame& truth,
                           const SubstOnResult& outcome);
+
+/// Uniform accounting over the engine's MechanismResult, for any game kind:
+/// offline value accrues from the per-opt serviced coalitions, online value
+/// from the per-slot active coalitions, substitutable value only when the
+/// grant lies in the user's *true* substitute set. For the paper mechanisms
+/// this agrees exactly with the per-mechanism functions above; it also
+/// covers the baselines' adapters, so experiments compare every mechanism
+/// through one ledger.
+Accounting AccountResult(const GameView& truth,
+                         const MechanismResult& outcome);
 
 }  // namespace optshare

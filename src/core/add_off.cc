@@ -26,6 +26,8 @@ double AddOffResult::ImplementedCost(const std::vector<double>& costs) const {
   return sum;
 }
 
+// Additivity makes the per-optimization runs independent; each column goes
+// through the engine-backed RunShapley (sorted prefix scan).
 AddOffResult RunAddOff(const AdditiveOfflineGame& game) {
   assert(game.Validate().ok());
   const int m = game.num_users();

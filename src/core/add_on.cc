@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
-#include "core/shapley.h"
+#include "core/mechanism.h"
 
 namespace optshare {
 
@@ -19,62 +19,43 @@ double AddOnResult::TotalPayment() const {
   return sum;
 }
 
+// Engine-backed since the unified-mechanism refactor: the slot loop runs in
+// engine::RunAddOnEngine (residual suffix sums computed once, per-slot
+// sorted prefix scans over present users only); this adapter materializes
+// the legacy per-slot CS_j(t)/S_j(t) views from the engine's per-slot
+// deltas. Results are identical to reference::RunAddOnDense.
 AddOnResult RunAddOn(const AdditiveOnlineGame& game) {
   assert(game.Validate().ok());
-  const int m = game.num_users();
   const int z = game.num_slots;
 
+  engine::OnlineAdditiveOutcome eng = engine::RunAddOnEngine(game);
+
   AddOnResult result;
+  result.implemented = eng.implemented;
+  result.implemented_at = eng.implemented_at;
+  result.payments = std::move(eng.payments);
+  result.cost_share = std::move(eng.slot_share);
   result.serviced.resize(static_cast<size_t>(z));
   result.cumulative.resize(static_cast<size_t>(z));
-  result.payments.assign(static_cast<size_t>(m), 0.0);
-  result.cost_share.assign(static_cast<size_t>(z), kInfiniteBid);
 
-  // in_cs[i]: i entered the cumulative serviced set at some earlier slot.
-  std::vector<bool> in_cs(static_cast<size_t>(m), false);
-  std::vector<double> residual(static_cast<size_t>(m));
-
+  std::vector<UserId> cs;  // cumulative serviced set, ascending
+  std::vector<UserId> merged;
   for (TimeSlot t = 1; t <= z; ++t) {
-    for (UserId i = 0; i < m; ++i) {
-      const auto& u = game.users[static_cast<size_t>(i)];
-      if (in_cs[static_cast<size_t>(i)]) {
-        // Mechanism 2 line 5: force previously serviced users to stay.
-        residual[static_cast<size_t>(i)] = kInfiniteBid;
-      } else if (t >= u.start) {
-        // Line 7: remaining declared value from slot t onward.
-        residual[static_cast<size_t>(i)] = u.ResidualFrom(t);
-      } else {
-        // Line 9: bids are not visible before the user arrives.
-        residual[static_cast<size_t>(i)] = 0.0;
-      }
+    const auto& added = eng.newly_serviced[static_cast<size_t>(t - 1)];
+    if (!added.empty()) {
+      merged.clear();
+      merged.reserve(cs.size() + added.size());
+      std::merge(cs.begin(), cs.end(), added.begin(), added.end(),
+                 std::back_inserter(merged));
+      cs.swap(merged);
     }
-
-    ShapleyResult sh = RunShapley(game.cost, residual);
-
-    auto& cs_t = result.cumulative[static_cast<size_t>(t - 1)];
+    // The dense loop left both views empty at slots before the first
+    // implementation; afterwards CS is non-empty and always implemented.
+    if (cs.empty()) continue;
+    result.cumulative[static_cast<size_t>(t - 1)] = cs;
     auto& s_t = result.serviced[static_cast<size_t>(t - 1)];
-    if (sh.implemented) {
-      if (!result.implemented) {
-        result.implemented = true;
-        result.implemented_at = t;
-      }
-      result.cost_share[static_cast<size_t>(t - 1)] = sh.cost_share;
-      for (UserId i = 0; i < m; ++i) {
-        if (!sh.serviced[static_cast<size_t>(i)]) continue;
-        in_cs[static_cast<size_t>(i)] = true;
-        cs_t.push_back(i);
-        // Line 14: only users whose declared interval is still running are
-        // actively serviced.
-        if (t <= game.users[static_cast<size_t>(i)].end) s_t.push_back(i);
-      }
-    }
-
-    // Lines 15-19: users departing now pay the current share if serviced.
-    for (UserId i = 0; i < m; ++i) {
-      if (game.users[static_cast<size_t>(i)].end == t &&
-          sh.implemented && sh.serviced[static_cast<size_t>(i)]) {
-        result.payments[static_cast<size_t>(i)] = sh.cost_share;
-      }
+    for (UserId i : cs) {
+      if (t <= game.users[static_cast<size_t>(i)].end) s_t.push_back(i);
     }
   }
   return result;

@@ -1,0 +1,70 @@
+#include "core/coalition.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace optshare {
+
+Coalition Coalition::FromSorted(std::vector<UserId> ids) {
+  assert(std::is_sorted(ids.begin(), ids.end()));
+  assert(std::adjacent_find(ids.begin(), ids.end()) == ids.end());
+  Coalition c;
+  c.ids_ = std::move(ids);
+  return c;
+}
+
+Coalition Coalition::FromUnsorted(std::vector<UserId> ids) {
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  Coalition c;
+  c.ids_ = std::move(ids);
+  return c;
+}
+
+Coalition Coalition::FromMask(const std::vector<bool>& mask) {
+  Coalition c;
+  for (UserId i = 0; i < static_cast<UserId>(mask.size()); ++i) {
+    if (mask[static_cast<size_t>(i)]) c.ids_.push_back(i);
+  }
+  return c;
+}
+
+Coalition Coalition::All(int num_users) {
+  Coalition c;
+  c.ids_.resize(static_cast<size_t>(num_users));
+  for (int i = 0; i < num_users; ++i) c.ids_[static_cast<size_t>(i)] = i;
+  return c;
+}
+
+bool Coalition::Contains(UserId id) const {
+  return std::binary_search(ids_.begin(), ids_.end(), id);
+}
+
+void Coalition::Insert(UserId id) {
+  if (ids_.empty() || id > ids_.back()) {
+    ids_.push_back(id);
+    return;
+  }
+  auto it = std::lower_bound(ids_.begin(), ids_.end(), id);
+  if (it != ids_.end() && *it == id) return;
+  ids_.insert(it, id);
+}
+
+std::vector<bool> Coalition::ToMask(int num_users) const {
+  std::vector<bool> mask(static_cast<size_t>(num_users), false);
+  for (UserId i : ids_) {
+    assert(i >= 0 && i < num_users);
+    mask[static_cast<size_t>(i)] = true;
+  }
+  return mask;
+}
+
+Coalition Coalition::Union(const Coalition& a, const Coalition& b) {
+  Coalition c;
+  c.ids_.reserve(a.ids_.size() + b.ids_.size());
+  std::set_union(a.ids_.begin(), a.ids_.end(), b.ids_.begin(), b.ids_.end(),
+                 std::back_inserter(c.ids_));
+  return c;
+}
+
+}  // namespace optshare

@@ -1,0 +1,64 @@
+// Coalition: a sparse user set, stored as a sorted span of user ids.
+//
+// The mechanisms reason about sets of users constantly — serviced sets S,
+// cumulative sets CS_j(t), substitute-interest sets — and the seed code
+// represented all of them as dense `std::vector<bool>` masks scanned
+// linearly. At "millions of users" scale most of those sets are small
+// relative to the user universe, so the engine (core/mechanism.h) and the
+// result structs use this sorted-span representation instead: membership is
+// a binary search, iteration touches only members, and set algebra is a
+// linear merge over members rather than over the universe.
+#pragma once
+
+#include <vector>
+
+#include "core/types.h"
+
+namespace optshare {
+
+class Coalition {
+ public:
+  Coalition() = default;
+
+  /// Wraps an already sorted, duplicate-free id list (asserted in debug).
+  static Coalition FromSorted(std::vector<UserId> ids);
+
+  /// Sorts and deduplicates an arbitrary id list.
+  static Coalition FromUnsorted(std::vector<UserId> ids);
+
+  /// Members of a dense mask, ascending.
+  static Coalition FromMask(const std::vector<bool>& mask);
+
+  /// The full set {0, .., num_users - 1}.
+  static Coalition All(int num_users);
+
+  /// Membership by binary search — the sorted-span replacement for the
+  /// linear scans the seed's result structs performed.
+  bool Contains(UserId id) const;
+
+  int size() const { return static_cast<int>(ids_.size()); }
+  bool empty() const { return ids_.empty(); }
+
+  /// Members in increasing order.
+  const std::vector<UserId>& ids() const { return ids_; }
+  std::vector<UserId>::const_iterator begin() const { return ids_.begin(); }
+  std::vector<UserId>::const_iterator end() const { return ids_.end(); }
+
+  /// Inserts a member, keeping the span sorted. Appending ids in increasing
+  /// order is O(1) amortized; out-of-order inserts shift the tail.
+  void Insert(UserId id);
+
+  /// Dense projection onto a universe of `num_users` users.
+  std::vector<bool> ToMask(int num_users) const;
+
+  /// Sorted-merge set union.
+  static Coalition Union(const Coalition& a, const Coalition& b);
+
+  bool operator==(const Coalition& other) const { return ids_ == other.ids_; }
+  bool operator!=(const Coalition& other) const { return ids_ != other.ids_; }
+
+ private:
+  std::vector<UserId> ids_;  // sorted ascending, no duplicates
+};
+
+}  // namespace optshare

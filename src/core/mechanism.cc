@@ -1,0 +1,605 @@
+#include "core/mechanism.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/money.h"
+#include "core/add_off.h"
+#include "core/add_on.h"
+#include "core/shapley.h"
+#include "core/subst_off.h"
+#include "core/subst_on.h"
+
+namespace optshare {
+
+// ---------------------------------------------------------------------------
+// Engine primitives
+// ---------------------------------------------------------------------------
+namespace engine {
+
+EvenSplitOutcome EvenSplitFixedPoint(double cost,
+                                     const std::vector<double>& bids,
+                                     int num_pinned, int num_zero) {
+  assert(cost > 0.0 && "optimization cost must be positive");
+  const int num_finite = static_cast<int>(bids.size());
+  const int m = num_pinned + num_finite + num_zero;
+
+  EvenSplitOutcome out;
+  if (m == 0) return out;  // The dense loop never runs: 0 iterations.
+
+  // Replay the dense loop's shrink sequence. Each round evicts every member
+  // below the current even share; shares only grow as the set shrinks, so
+  // survivor counts are non-increasing and anyone evicted once stays
+  // evicted — the count per round fully determines the dense semantics.
+  // Counting rounds are linear over the candidates; if convergence drags
+  // past the round budget (an eviction cascade), sort once and finish with
+  // binary searches.
+  constexpr int kCountingRoundBudget = 24;
+  std::vector<double> sorted;  // Built lazily, descending.
+  int remaining = m;
+  while (true) {
+    ++out.iterations;
+    const double share = cost / static_cast<double>(remaining);
+    int finite_in;
+    if (out.iterations > kCountingRoundBudget && sorted.empty() &&
+        num_finite > 0) {
+      sorted = bids;
+      std::sort(sorted.begin(), sorted.end(), std::greater<double>());
+    }
+    if (!sorted.empty()) {
+      const auto first_out = std::partition_point(
+          sorted.begin(), sorted.end(),
+          [share](double b) { return MoneyGe(b, share); });
+      finite_in = static_cast<int>(first_out - sorted.begin());
+    } else {
+      finite_in = 0;
+      for (double b : bids) finite_in += MoneyGe(b, share) ? 1 : 0;
+    }
+    const bool zeros_in = MoneyGe(0.0, share);
+    const int next = num_pinned + finite_in + (zeros_in ? num_zero : 0);
+    assert(next <= remaining);
+    if (next == 0) return out;  // Everyone evicted: not implemented.
+    if (next == remaining) {
+      out.implemented = true;
+      out.num_serviced = remaining;
+      out.share = share;
+      out.num_finite_in = finite_in;
+      out.zeros_in = zeros_in;
+      return out;
+    }
+    remaining = next;
+  }
+}
+
+ResidualSuffixArena::ResidualSuffixArena(int num_users) {
+  offset_.reserve(static_cast<size_t>(num_users) + 1);
+  offset_.push_back(0);
+  start_.reserve(static_cast<size_t>(num_users));
+  end_.reserve(static_cast<size_t>(num_users));
+}
+
+void ResidualSuffixArena::AddUser(TimeSlot start, TimeSlot end,
+                                  const std::vector<double>& values) {
+  const size_t base = offset_.back();
+  offset_.push_back(base + values.size());
+  start_.push_back(start);
+  end_.push_back(end);
+  suffix_.resize(base + values.size());
+  double acc = 0.0;
+  for (size_t k = values.size(); k-- > 0;) {
+    acc = values[k] + acc;
+    suffix_[base + k] = acc;
+  }
+}
+
+OnlineAdditiveOutcome RunAddOnEngine(const AdditiveOnlineGame& game) {
+  assert(game.Validate().ok());
+  const int m = game.num_users();
+  const int z = game.num_slots;
+
+  OnlineAdditiveOutcome out;
+  out.slot_share.assign(static_cast<size_t>(z), kInfiniteBid);
+  out.payments.assign(static_cast<size_t>(m), 0.0);
+  out.newly_serviced.resize(static_cast<size_t>(z));
+
+  // Residual-bid state, computed once and reused across slots.
+  ResidualSuffixArena residuals(m);
+  size_t total_values = 0;
+  for (UserId i = 0; i < m; ++i) {
+    total_values += game.users[static_cast<size_t>(i)].values.size();
+  }
+  residuals.ReserveValues(total_values);
+  for (UserId i = 0; i < m; ++i) {
+    const auto& u = game.users[static_cast<size_t>(i)];
+    residuals.AddUser(u.start, u.end, u.values);
+  }
+
+  // Arrival/departure buckets drive the active candidate set; only present,
+  // not-yet-serviced users are touched per slot.
+  std::vector<std::vector<UserId>> by_start(static_cast<size_t>(z) + 1);
+  std::vector<std::vector<UserId>> by_end(static_cast<size_t>(z) + 1);
+  for (UserId i = 0; i < m; ++i) {
+    const auto& u = game.users[static_cast<size_t>(i)];
+    by_start[static_cast<size_t>(u.start)].push_back(i);
+    by_end[static_cast<size_t>(u.end)].push_back(i);
+  }
+
+  std::vector<char> in_cs(static_cast<size_t>(m), 0);
+  int cs_count = 0;
+  std::vector<UserId> alive;
+  std::vector<double> cand_bids;
+  std::vector<UserId> cand_ids;
+
+  for (TimeSlot t = 1; t <= z; ++t) {
+    for (UserId i : by_start[static_cast<size_t>(t)]) alive.push_back(i);
+
+    cand_bids.clear();
+    cand_ids.clear();
+    size_t write = 0;
+    for (UserId i : alive) {
+      if (in_cs[static_cast<size_t>(i)]) continue;  // Pinned at infinity.
+      const auto& u = game.users[static_cast<size_t>(i)];
+      if (u.end < t) continue;  // Departed unserviced: zero bid forever.
+      // Alive since u.start and not departed, so t is inside the interval.
+      const double residual = residuals.ResidualWithin(i, t - u.start);
+      if (residual > 0.0) {
+        cand_bids.push_back(residual);
+        cand_ids.push_back(i);
+      }
+      alive[write++] = i;
+    }
+    alive.resize(write);
+
+    // Every user not pinned and not a positive candidate — absent, departed,
+    // or zero-residual — is a zero bidder, as in the dense residual vector.
+    const int num_zero = m - cs_count - static_cast<int>(cand_bids.size());
+
+    const EvenSplitOutcome fp =
+        EvenSplitFixedPoint(game.cost, cand_bids, cs_count, num_zero);
+    if (!fp.implemented) continue;  // CS empty: no shares, no payments.
+
+    if (!out.implemented) {
+      out.implemented = true;
+      out.implemented_at = t;
+    }
+    out.slot_share[static_cast<size_t>(t - 1)] = fp.share;
+
+    auto& added = out.newly_serviced[static_cast<size_t>(t - 1)];
+    if (fp.zeros_in) {
+      // Share fell to <= epsilon: the whole universe is serviced.
+      for (UserId i = 0; i < m; ++i) {
+        if (!in_cs[static_cast<size_t>(i)]) added.push_back(i);
+      }
+    } else {
+      for (size_t k = 0; k < cand_bids.size(); ++k) {
+        if (MoneyGe(cand_bids[k], fp.share)) added.push_back(cand_ids[k]);
+      }
+      std::sort(added.begin(), added.end());
+    }
+    for (UserId i : added) {
+      in_cs[static_cast<size_t>(i)] = 1;
+      ++cs_count;
+    }
+
+    // Users departing now pay the current share if serviced (Mechanism 2
+    // lines 15-19).
+    for (UserId i : by_end[static_cast<size_t>(t)]) {
+      if (in_cs[static_cast<size_t>(i)]) {
+        out.payments[static_cast<size_t>(i)] = fp.share;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace engine
+
+// ---------------------------------------------------------------------------
+// GameView
+// ---------------------------------------------------------------------------
+
+std::string_view GameKindName(GameKind kind) {
+  switch (kind) {
+    case GameKind::kAdditiveOffline: return "additive_offline";
+    case GameKind::kAdditiveOnline: return "additive_online";
+    case GameKind::kMultiAdditiveOnline: return "multi_additive_online";
+    case GameKind::kSubstOffline: return "subst_offline";
+    case GameKind::kSubstOnline: return "subst_online";
+  }
+  return "unknown";
+}
+
+const AdditiveOfflineGame& GameView::additive_offline() const {
+  assert(kind_ == GameKind::kAdditiveOffline);
+  return *static_cast<const AdditiveOfflineGame*>(ptr_);
+}
+const AdditiveOnlineGame& GameView::additive_online() const {
+  assert(kind_ == GameKind::kAdditiveOnline);
+  return *static_cast<const AdditiveOnlineGame*>(ptr_);
+}
+const MultiAdditiveOnlineGame& GameView::multi_additive_online() const {
+  assert(kind_ == GameKind::kMultiAdditiveOnline);
+  return *static_cast<const MultiAdditiveOnlineGame*>(ptr_);
+}
+const SubstOfflineGame& GameView::subst_offline() const {
+  assert(kind_ == GameKind::kSubstOffline);
+  return *static_cast<const SubstOfflineGame*>(ptr_);
+}
+const SubstOnlineGame& GameView::subst_online() const {
+  assert(kind_ == GameKind::kSubstOnline);
+  return *static_cast<const SubstOnlineGame*>(ptr_);
+}
+
+int GameView::num_users() const {
+  switch (kind_) {
+    case GameKind::kAdditiveOffline: return additive_offline().num_users();
+    case GameKind::kAdditiveOnline: return additive_online().num_users();
+    case GameKind::kMultiAdditiveOnline:
+      return multi_additive_online().num_users();
+    case GameKind::kSubstOffline: return subst_offline().num_users();
+    case GameKind::kSubstOnline: return subst_online().num_users();
+  }
+  return 0;
+}
+
+int GameView::num_opts() const {
+  switch (kind_) {
+    case GameKind::kAdditiveOffline: return additive_offline().num_opts();
+    case GameKind::kAdditiveOnline: return 1;
+    case GameKind::kMultiAdditiveOnline:
+      return multi_additive_online().num_opts();
+    case GameKind::kSubstOffline: return subst_offline().num_opts();
+    case GameKind::kSubstOnline: return subst_online().num_opts();
+  }
+  return 0;
+}
+
+int GameView::num_slots() const {
+  switch (kind_) {
+    case GameKind::kAdditiveOffline:
+    case GameKind::kSubstOffline:
+      return 0;
+    case GameKind::kAdditiveOnline: return additive_online().num_slots;
+    case GameKind::kMultiAdditiveOnline:
+      return multi_additive_online().num_slots;
+    case GameKind::kSubstOnline: return subst_online().num_slots;
+  }
+  return 0;
+}
+
+Status GameView::Validate() const {
+  switch (kind_) {
+    case GameKind::kAdditiveOffline: return additive_offline().Validate();
+    case GameKind::kAdditiveOnline: return additive_online().Validate();
+    case GameKind::kMultiAdditiveOnline:
+      return multi_additive_online().Validate();
+    case GameKind::kSubstOffline: return subst_offline().Validate();
+    case GameKind::kSubstOnline: return subst_online().Validate();
+  }
+  return Status::Internal("unknown game kind");
+}
+
+// ---------------------------------------------------------------------------
+// MechanismResult
+// ---------------------------------------------------------------------------
+
+bool MechanismResult::Implemented(OptId j) const {
+  return j >= 0 && j < static_cast<OptId>(implemented_at.size()) &&
+         implemented_at[static_cast<size_t>(j)] > 0;
+}
+
+std::vector<OptId> MechanismResult::ImplementedOpts() const {
+  std::vector<OptId> out;
+  for (OptId j = 0; j < static_cast<OptId>(implemented_at.size()); ++j) {
+    if (implemented_at[static_cast<size_t>(j)] > 0) out.push_back(j);
+  }
+  return out;
+}
+
+bool MechanismResult::Serviced(UserId i, OptId j) const {
+  if (j < 0 || j >= static_cast<OptId>(serviced.size())) return false;
+  return serviced[static_cast<size_t>(j)].Contains(i);
+}
+
+double MechanismResult::ImplementedCost(
+    const std::vector<double>& costs) const {
+  double sum = 0.0;
+  for (OptId j : ImplementedOpts()) sum += costs[static_cast<size_t>(j)];
+  return sum;
+}
+
+double MechanismResult::TotalPayment() const {
+  double sum = 0.0;
+  for (double p : payments) sum += p;
+  return sum;
+}
+
+// ---------------------------------------------------------------------------
+// Core mechanism adapters
+// ---------------------------------------------------------------------------
+Status UnsupportedKind(std::string_view mechanism, GameKind kind) {
+  return Status::InvalidArgument(std::string("mechanism \"") +
+                                 std::string(mechanism) +
+                                 "\" does not support " +
+                                 std::string(GameKindName(kind)) + " games");
+}
+
+namespace {
+
+/// AddOff (§4.2): per-optimization Shapley runs over an offline additive
+/// game. Registered as both "addoff" and "shapley".
+class AddOffMechanism final : public Mechanism {
+ public:
+  std::string_view name() const override { return "addoff"; }
+  bool Supports(GameKind kind) const override {
+    return kind == GameKind::kAdditiveOffline;
+  }
+  Result<MechanismResult> Run(const GameView& game) const override {
+    if (!Supports(game.kind())) return UnsupportedKind(name(), game.kind());
+    OPTSHARE_RETURN_NOT_OK(game.Validate());
+    const AdditiveOfflineGame& g = game.additive_offline();
+    const AddOffResult off = RunAddOff(g);
+
+    MechanismResult r;
+    r.num_users = g.num_users();
+    r.num_opts = g.num_opts();
+    r.implemented_at.assign(static_cast<size_t>(g.num_opts()), 0);
+    r.cost_share.assign(static_cast<size_t>(g.num_opts()), 0.0);
+    r.payments = off.total_payment;
+    r.serviced.resize(static_cast<size_t>(g.num_opts()));
+    for (OptId j = 0; j < g.num_opts(); ++j) {
+      const ShapleyResult& sh = off.per_opt[static_cast<size_t>(j)];
+      if (!sh.implemented) continue;
+      r.implemented = true;
+      r.implemented_at[static_cast<size_t>(j)] = 1;
+      r.cost_share[static_cast<size_t>(j)] = sh.cost_share;
+      r.serviced[static_cast<size_t>(j)] = Coalition::FromMask(sh.serviced);
+    }
+    return r;
+  }
+};
+
+/// AddOn (§5): the online additive mechanism, run natively by the engine.
+/// Also handles multi-optimization additive games by independent per-opt
+/// runs (additivity makes them independent).
+class AddOnMechanism final : public Mechanism {
+ public:
+  std::string_view name() const override { return "addon"; }
+  bool Supports(GameKind kind) const override {
+    return kind == GameKind::kAdditiveOnline ||
+           kind == GameKind::kMultiAdditiveOnline;
+  }
+  Result<MechanismResult> Run(const GameView& game) const override {
+    if (!Supports(game.kind())) return UnsupportedKind(name(), game.kind());
+    OPTSHARE_RETURN_NOT_OK(game.Validate());
+    if (game.kind() == GameKind::kAdditiveOnline) {
+      return RunSingle(game.additive_online());
+    }
+    const MultiAdditiveOnlineGame& g = game.multi_additive_online();
+    MechanismResult r;
+    r.num_users = g.num_users();
+    r.num_opts = g.num_opts();
+    r.num_slots = g.num_slots;
+    r.payments.assign(static_cast<size_t>(g.num_users()), 0.0);
+    for (OptId j = 0; j < g.num_opts(); ++j) {
+      MechanismResult one = RunSingle(g.ProjectOpt(j));
+      r.implemented = r.implemented || one.implemented;
+      r.implemented_at.push_back(one.implemented_at[0]);
+      r.cost_share.push_back(one.cost_share[0]);
+      r.serviced.push_back(std::move(one.serviced[0]));
+      r.active.push_back(std::move(one.active[0]));
+      for (UserId i = 0; i < g.num_users(); ++i) {
+        r.payments[static_cast<size_t>(i)] +=
+            one.payments[static_cast<size_t>(i)];
+      }
+    }
+    return r;
+  }
+
+ private:
+  static MechanismResult RunSingle(const AdditiveOnlineGame& g) {
+    engine::OnlineAdditiveOutcome eng = engine::RunAddOnEngine(g);
+    MechanismResult r;
+    r.num_users = g.num_users();
+    r.num_opts = 1;
+    r.num_slots = g.num_slots;
+    r.implemented = eng.implemented;
+    r.implemented_at = {eng.implemented_at};
+    r.payments = std::move(eng.payments);
+    r.serviced.resize(1);
+    r.active.resize(1);
+    r.active[0].resize(static_cast<size_t>(g.num_slots));
+
+    Coalition cs;
+    for (TimeSlot t = 1; t <= g.num_slots; ++t) {
+      for (UserId i : eng.newly_serviced[static_cast<size_t>(t - 1)]) {
+        cs.Insert(i);
+      }
+      if (cs.empty()) continue;
+      std::vector<UserId> active_now;
+      for (UserId i : cs) {
+        if (t <= g.users[static_cast<size_t>(i)].end) active_now.push_back(i);
+      }
+      r.active[0][static_cast<size_t>(t - 1)] =
+          Coalition::FromSorted(std::move(active_now));
+    }
+    r.serviced[0] = std::move(cs);
+    // Final share: CS only grows, so the last slot's share is the final
+    // C / |CS_j(z)|.
+    r.cost_share = {eng.implemented
+                        ? eng.slot_share[static_cast<size_t>(g.num_slots - 1)]
+                        : 0.0};
+    return r;
+  }
+};
+
+/// SubstOff (§6.1, Mechanism 3).
+class SubstOffMechanism final : public Mechanism {
+ public:
+  std::string_view name() const override { return "substoff"; }
+  bool Supports(GameKind kind) const override {
+    return kind == GameKind::kSubstOffline;
+  }
+  Result<MechanismResult> Run(const GameView& game) const override {
+    if (!Supports(game.kind())) return UnsupportedKind(name(), game.kind());
+    OPTSHARE_RETURN_NOT_OK(game.Validate());
+    const SubstOfflineGame& g = game.subst_offline();
+    const SubstOffResult off = RunSubstOff(g);
+
+    MechanismResult r;
+    r.num_users = g.num_users();
+    r.num_opts = g.num_opts();
+    r.implemented = !off.implemented.empty();
+    r.implemented_at.assign(static_cast<size_t>(g.num_opts()), 0);
+    r.cost_share.assign(static_cast<size_t>(g.num_opts()), 0.0);
+    for (size_t k = 0; k < off.implemented.size(); ++k) {
+      r.implemented_at[static_cast<size_t>(off.implemented[k])] = 1;
+      r.cost_share[static_cast<size_t>(off.implemented[k])] =
+          off.cost_share[k];
+    }
+    r.payments = off.payments;
+    r.grant = off.grant;
+    r.serviced.resize(static_cast<size_t>(g.num_opts()));
+    for (UserId i = 0; i < g.num_users(); ++i) {
+      const OptId gnt = off.grant[static_cast<size_t>(i)];
+      if (gnt != kNoOpt) r.serviced[static_cast<size_t>(gnt)].Insert(i);
+    }
+    return r;
+  }
+};
+
+/// SubstOn (§6.2, Mechanism 4).
+class SubstOnMechanism final : public Mechanism {
+ public:
+  std::string_view name() const override { return "subston"; }
+  bool Supports(GameKind kind) const override {
+    return kind == GameKind::kSubstOnline;
+  }
+  Result<MechanismResult> Run(const GameView& game) const override {
+    if (!Supports(game.kind())) return UnsupportedKind(name(), game.kind());
+    OPTSHARE_RETURN_NOT_OK(game.Validate());
+    const SubstOnlineGame& g = game.subst_online();
+    const SubstOnEngineOutcome eng = RunSubstOnEngine(g);
+    const SubstOnResult& on = eng.result;
+
+    MechanismResult r;
+    r.num_users = g.num_users();
+    r.num_opts = g.num_opts();
+    r.num_slots = g.num_slots;
+    r.implemented_at = on.implemented_at;
+    r.implemented = !on.ImplementedOpts().empty();
+    r.cost_share = eng.last_share;
+    r.payments = on.payments;
+    r.grant = on.grant;
+    r.grant_slot = on.grant_slot;
+    r.serviced.resize(static_cast<size_t>(g.num_opts()));
+    r.active.resize(static_cast<size_t>(g.num_opts()));
+    for (auto& per_slot : r.active) {
+      per_slot.resize(static_cast<size_t>(g.num_slots));
+    }
+    for (UserId i = 0; i < g.num_users(); ++i) {
+      const OptId gnt = on.grant[static_cast<size_t>(i)];
+      if (gnt != kNoOpt) r.serviced[static_cast<size_t>(gnt)].Insert(i);
+    }
+    for (TimeSlot t = 1; t <= g.num_slots; ++t) {
+      for (UserId i : on.serviced[static_cast<size_t>(t - 1)]) {
+        const OptId gnt = on.grant[static_cast<size_t>(i)];
+        r.active[static_cast<size_t>(gnt)][static_cast<size_t>(t - 1)]
+            .Insert(i);
+      }
+    }
+    return r;
+  }
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+MechanismRegistry& MechanismRegistry::Global() {
+  static MechanismRegistry* registry = [] {
+    auto* r = new MechanismRegistry();
+    (void)r->Register("addoff",
+                      [] { return std::make_unique<AddOffMechanism>(); });
+    // "shapley" is the paper's name for the same per-optimization run.
+    (void)r->Register("shapley",
+                      [] { return std::make_unique<AddOffMechanism>(); });
+    (void)r->Register("addon",
+                      [] { return std::make_unique<AddOnMechanism>(); });
+    (void)r->Register("substoff",
+                      [] { return std::make_unique<SubstOffMechanism>(); });
+    (void)r->Register("subston",
+                      [] { return std::make_unique<SubstOnMechanism>(); });
+    return r;
+  }();
+  return *registry;
+}
+
+Status MechanismRegistry::Register(const std::string& name,
+                                   MechanismFactory factory) {
+  if (Contains(name)) {
+    return Status::AlreadyExists("mechanism \"" + name +
+                                 "\" is already registered");
+  }
+  entries_.push_back({name, std::move(factory)});
+  return Status::OK();
+}
+
+bool MechanismRegistry::Contains(const std::string& name) const {
+  for (const auto& [entry_name, factory] : entries_) {
+    if (entry_name == name) return true;
+  }
+  return false;
+}
+
+Result<std::unique_ptr<Mechanism>> MechanismRegistry::Create(
+    const std::string& name) const {
+  for (const auto& [entry_name, factory] : entries_) {
+    if (entry_name == name) return factory();
+  }
+  return Status::NotFound("no mechanism named \"" + name +
+                          "\" (see MechanismRegistry::Names)");
+}
+
+std::vector<std::string> MechanismRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(entries_.size());
+  for (const auto& [entry_name, factory] : entries_) {
+    names.push_back(entry_name);
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+std::string MechanismRegistry::DefaultFor(GameKind kind) {
+  switch (kind) {
+    case GameKind::kAdditiveOffline: return "addoff";
+    case GameKind::kAdditiveOnline:
+    case GameKind::kMultiAdditiveOnline:
+      return "addon";
+    case GameKind::kSubstOffline: return "substoff";
+    case GameKind::kSubstOnline: return "subston";
+  }
+  return "addoff";
+}
+
+Result<std::unique_ptr<Mechanism>> ResolveMechanism(const std::string& name,
+                                                    GameKind kind) {
+  Result<std::unique_ptr<Mechanism>> mech =
+      MechanismRegistry::Global().Create(name);
+  if (!mech.ok()) return mech.status();
+  if (!(*mech)->Supports(kind)) return UnsupportedKind(name, kind);
+  return mech;
+}
+
+Result<MechanismResult> RunMechanism(const std::string& name,
+                                     const GameView& game) {
+  Result<std::unique_ptr<Mechanism>> mech =
+      ResolveMechanism(name, game.kind());
+  if (!mech.ok()) return mech.status();
+  return (*mech)->Run(game);
+}
+
+}  // namespace optshare

@@ -53,6 +53,16 @@ std::vector<double> WeightedSharing::Shares(
 
 ShapleyResult RunMoulin(const CostSharingMethod& method,
                         const std::vector<double>& bids) {
+  // Egalitarian sharing is exactly Mechanism 1, whose eviction fixed point
+  // the engine computes by sorted prefix scan — this is the single shared
+  // path for RunShapley and the egalitarian Moulin case (previously two
+  // copies of the same dense loop). Arbitrary sharing methods have no
+  // sortable eviction order, so they keep the generic dense loop below.
+  if (dynamic_cast<const EgalitarianSharing*>(&method) != nullptr &&
+      method.cost() > 0.0) {
+    return RunShapley(method.cost(), bids);
+  }
+
   const size_t m = bids.size();
   ShapleyResult result;
   result.serviced.assign(m, true);

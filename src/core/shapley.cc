@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "common/money.h"
+#include "core/mechanism.h"
 
 namespace optshare {
 
@@ -26,43 +27,49 @@ double ShapleyResult::TotalPayment() const {
   return sum;
 }
 
+// Engine-backed since the unified-mechanism refactor: the eviction fixed
+// point is found by counting rounds over the finite candidates (sort
+// fallback for adversarial cascades) instead of rescanning a dense
+// serviced mask every round. Results are identical to the dense loop
+// (reference::RunShapleyDense).
 ShapleyResult RunShapley(double cost, const std::vector<double>& bids) {
   assert(cost > 0.0 && "optimization cost must be positive");
-  const size_t m = bids.size();
+  const int m = static_cast<int>(bids.size());
 
   ShapleyResult result;
-  result.serviced.assign(m, true);
-  result.payments.assign(m, 0.0);
+  result.serviced.assign(static_cast<size_t>(m), false);
+  result.payments.assign(static_cast<size_t>(m), 0.0);
 
-  size_t remaining = m;
-  bool changed = true;
-  double share = 0.0;
-  while (remaining > 0 && changed) {
-    ++result.iterations;
-    share = cost / static_cast<double>(remaining);
-    changed = false;
-    for (size_t i = 0; i < m; ++i) {
-      if (!result.serviced[i]) continue;
-      // Keep users willing to pay the even share (p <= b_ij, with tolerance
-      // so a bid exactly at the share is serviced).
-      if (!MoneyGe(bids[i], share)) {
-        result.serviced[i] = false;
-        --remaining;
-        changed = true;
-      }
+  // Partition: pinned infinite bids / finite bids / zero bids.
+  std::vector<double> finite;
+  int num_pinned = 0;
+  int num_zero = 0;
+  for (UserId i = 0; i < m; ++i) {
+    const double b = bids[static_cast<size_t>(i)];
+    if (b == kInfiniteBid) {
+      ++num_pinned;
+    } else if (b == 0.0) {
+      ++num_zero;
+    } else {
+      finite.push_back(b);
     }
   }
 
-  if (remaining == 0) {
-    // No subset of users bid enough: the optimization is not implemented.
-    result.serviced.assign(m, false);
-    return result;
-  }
+  const engine::EvenSplitOutcome fp =
+      engine::EvenSplitFixedPoint(cost, finite, num_pinned, num_zero);
+  result.iterations = fp.iterations;
+  if (!fp.implemented) return result;
 
   result.implemented = true;
-  result.cost_share = cost / static_cast<double>(remaining);
-  for (size_t i = 0; i < m; ++i) {
-    if (result.serviced[i]) result.payments[i] = result.cost_share;
+  result.cost_share = fp.share;
+  // Membership is the dense loop's final-round rule: afford the final
+  // share. Infinite bids always pass; zero bids pass only when the share
+  // fell to <= epsilon.
+  for (UserId i = 0; i < m; ++i) {
+    if (MoneyGe(bids[static_cast<size_t>(i)], fp.share)) {
+      result.serviced[static_cast<size_t>(i)] = true;
+      result.payments[static_cast<size_t>(i)] = result.cost_share;
+    }
   }
   return result;
 }

@@ -1,10 +1,12 @@
 #include "core/subst_off.h"
 
+#include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <limits>
 
 #include "common/money.h"
-#include "core/shapley.h"
+#include "core/mechanism.h"
 
 namespace optshare {
 
@@ -36,9 +38,9 @@ double SubstOffResult::TotalPayment() const {
   return sum;
 }
 
-SubstOffResult RunSubstOffMatrix(const std::vector<double>& costs,
-                                 std::vector<std::vector<double>> bids) {
-  const int m = static_cast<int>(bids.size());
+SubstOffResult RunSubstOffSparse(const std::vector<double>& costs,
+                                 std::vector<SparseSubstUserRow> rows) {
+  const int m = static_cast<int>(rows.size());
   const int n = static_cast<int>(costs.size());
 
   SubstOffResult result;
@@ -46,63 +48,106 @@ SubstOffResult RunSubstOffMatrix(const std::vector<double>& costs,
   result.payments.assign(static_cast<size_t>(m), 0.0);
 
   std::vector<bool> opt_done(static_cast<size_t>(n), false);
-  std::vector<double> column(static_cast<size_t>(m));
+  // Per-opt candidates, rebuilt each phase from the surviving rows. Users
+  // serviced in an earlier phase have empty rows and so become implicit
+  // zero bidders, exactly like the dense matrix after its rows are zeroed.
+  std::vector<std::vector<std::pair<double, UserId>>> positive(
+      static_cast<size_t>(n));
+  std::vector<std::vector<UserId>> pinned(static_cast<size_t>(n));
+  std::vector<double> column_bids;
 
   // Each phase implements one optimization, so at most n phases run.
   for (int phase = 0; phase < n; ++phase) {
+    for (auto& v : positive) v.clear();
+    for (auto& v : pinned) v.clear();
+    for (UserId i = 0; i < m; ++i) {
+      for (const SparseSubstBid& b : rows[static_cast<size_t>(i)].bids) {
+        if (opt_done[static_cast<size_t>(b.opt)]) continue;
+        if (std::isinf(b.value)) {
+          pinned[static_cast<size_t>(b.opt)].push_back(i);
+        } else if (b.value > 0.0) {
+          positive[static_cast<size_t>(b.opt)].push_back({b.value, i});
+        }
+      }
+    }
+
     OptId best = kNoOpt;
     double best_share = std::numeric_limits<double>::infinity();
-    ShapleyResult best_result;
+    engine::EvenSplitOutcome best_fp;
 
     for (OptId j = 0; j < n; ++j) {
       if (opt_done[static_cast<size_t>(j)]) continue;
-      for (UserId i = 0; i < m; ++i) {
-        column[static_cast<size_t>(i)] =
-            bids[static_cast<size_t>(i)][static_cast<size_t>(j)];
-      }
-      ShapleyResult sh = RunShapley(costs[static_cast<size_t>(j)], column);
-      if (!sh.implemented) continue;
+      const auto& pos = positive[static_cast<size_t>(j)];
+      column_bids.clear();
+      for (const auto& pv : pos) column_bids.push_back(pv.first);
+      const int num_pinned =
+          static_cast<int>(pinned[static_cast<size_t>(j)].size());
+      const int num_zero = m - num_pinned - static_cast<int>(pos.size());
+      engine::EvenSplitOutcome fp = engine::EvenSplitFixedPoint(
+          costs[static_cast<size_t>(j)], column_bids, num_pinned, num_zero);
+      if (!fp.implemented) continue;
       // Strict < breaks ties toward the lowest optimization id.
-      if (sh.cost_share < best_share - kMoneyEpsilon ||
-          (best == kNoOpt)) {
+      if (fp.share < best_share - kMoneyEpsilon || (best == kNoOpt)) {
         best = j;
-        best_share = sh.cost_share;
-        best_result = std::move(sh);
+        best_share = fp.share;
+        best_fp = fp;
       }
     }
 
     if (best == kNoOpt) break;  // No feasible optimization remains.
 
     result.implemented.push_back(best);
-    result.cost_share.push_back(best_result.cost_share);
+    result.cost_share.push_back(best_fp.share);
     opt_done[static_cast<size_t>(best)] = true;
-    for (UserId i = 0; i < m; ++i) {
-      if (!best_result.serviced[static_cast<size_t>(i)]) continue;
-      result.grant[static_cast<size_t>(i)] = best;
-      result.payments[static_cast<size_t>(i)] = best_result.cost_share;
-      // Granted users stop bidding for every other optimization.
-      for (OptId j = 0; j < n; ++j) {
-        bids[static_cast<size_t>(i)][static_cast<size_t>(j)] = 0.0;
+
+    // Serviced members, ascending: pinned users, the positive bidders
+    // affording the final share, and — when the share fell to <= epsilon —
+    // every zero bidder too (at that point all positives afford it, so the
+    // set is the whole universe).
+    std::vector<UserId> members;
+    if (best_fp.zeros_in) {
+      members.resize(static_cast<size_t>(m));
+      for (UserId i = 0; i < m; ++i) members[static_cast<size_t>(i)] = i;
+    } else {
+      members = pinned[static_cast<size_t>(best)];
+      for (const auto& pv : positive[static_cast<size_t>(best)]) {
+        if (MoneyGe(pv.first, best_fp.share)) members.push_back(pv.second);
       }
+      std::sort(members.begin(), members.end());
+    }
+    for (UserId i : members) {
+      result.grant[static_cast<size_t>(i)] = best;
+      result.payments[static_cast<size_t>(i)] = best_fp.share;
+      // Granted users stop bidding for every other optimization.
+      rows[static_cast<size_t>(i)].bids.clear();
     }
   }
   return result;
 }
 
-SubstOffResult RunSubstOff(const SubstOfflineGame& game) {
-  assert(game.Validate().ok());
-  const int m = game.num_users();
-  const int n = game.num_opts();
-
-  std::vector<std::vector<double>> bids(
-      static_cast<size_t>(m), std::vector<double>(static_cast<size_t>(n), 0.0));
-  for (UserId i = 0; i < m; ++i) {
-    const auto& u = game.users[static_cast<size_t>(i)];
-    for (OptId j : u.substitutes) {
-      bids[static_cast<size_t>(i)][static_cast<size_t>(j)] = u.value;
+SubstOffResult RunSubstOffMatrix(const std::vector<double>& costs,
+                                 std::vector<std::vector<double>> bids) {
+  std::vector<SparseSubstUserRow> rows(bids.size());
+  for (size_t i = 0; i < bids.size(); ++i) {
+    for (OptId j = 0; j < static_cast<OptId>(bids[i].size()); ++j) {
+      const double v = bids[i][static_cast<size_t>(j)];
+      if (v != 0.0) rows[i].bids.push_back({j, v});
     }
   }
-  return RunSubstOffMatrix(game.costs, std::move(bids));
+  return RunSubstOffSparse(costs, std::move(rows));
+}
+
+SubstOffResult RunSubstOff(const SubstOfflineGame& game) {
+  assert(game.Validate().ok());
+  std::vector<SparseSubstUserRow> rows(
+      static_cast<size_t>(game.num_users()));
+  for (UserId i = 0; i < game.num_users(); ++i) {
+    const auto& u = game.users[static_cast<size_t>(i)];
+    for (OptId j : u.substitutes) {
+      rows[static_cast<size_t>(i)].bids.push_back({j, u.value});
+    }
+  }
+  return RunSubstOffSparse(game.costs, std::move(rows));
 }
 
 }  // namespace optshare

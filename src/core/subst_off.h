@@ -8,6 +8,12 @@
 // users (their bids drop to 0) and that optimization, and repeat until no
 // optimization is feasible. Truthful when users do not know others' bids,
 // and cost-recovering.
+//
+// Since the engine refactor the phase loop runs over the sparse bid
+// representation below (per-user (opt, value) pairs) via
+// engine::EvenSplitFixedPoint; the dense-matrix entry point converts and
+// delegates. Results are identical to the original dense scans
+// (reference::RunSubstOffMatrixDense).
 #pragma once
 
 #include <vector>
@@ -37,6 +43,20 @@ struct SubstOffResult {
   double TotalPayment() const;
 };
 
+/// One declared (optimization, value) interest of a user. `value` is either
+/// a positive finite bid or kInfiniteBid (pinning the user to the
+/// optimization, as SubstOn does for already-granted users). Optimizations
+/// absent from a user's list carry an implicit zero bid.
+struct SparseSubstBid {
+  OptId opt = kNoOpt;
+  double value = 0.0;
+};
+
+/// A user's sparse bid row. An empty row is an all-zero bidder.
+struct SparseSubstUserRow {
+  std::vector<SparseSubstBid> bids;
+};
+
 /// Runs Mechanism 3 on a validated game. Ties for the minimum cost-share
 /// break toward the lowest optimization id (deterministic; the paper permits
 /// any choice). Precondition: game.Validate().ok().
@@ -47,5 +67,12 @@ SubstOffResult RunSubstOff(const SubstOfflineGame& game);
 /// kInfiniteBid pins a user to an optimization. Costs must be positive.
 SubstOffResult RunSubstOffMatrix(const std::vector<double>& costs,
                                  std::vector<std::vector<double>> bids);
+
+/// Engine-native entry point over sparse rows — what RunSubstOff,
+/// RunSubstOffMatrix and the SubstOn slot loop all delegate to. Rows are
+/// consumed (granted users' bids are cleared phase by phase, mirroring the
+/// dense matrix semantics).
+SubstOffResult RunSubstOffSparse(const std::vector<double>& costs,
+                                 std::vector<SparseSubstUserRow> rows);
 
 }  // namespace optshare

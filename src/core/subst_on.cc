@@ -1,6 +1,9 @@
 #include "core/subst_on.h"
 
+#include <algorithm>
 #include <cassert>
+
+#include "core/mechanism.h"
 
 namespace optshare {
 
@@ -24,74 +27,119 @@ double SubstOnResult::TotalPayment() const {
   return sum;
 }
 
-SubstOnResult RunSubstOn(const SubstOnlineGame& game) {
+SubstOnEngineOutcome RunSubstOnEngine(const SubstOnlineGame& game) {
   assert(game.Validate().ok());
   const int m = game.num_users();
   const int n = game.num_opts();
   const int z = game.num_slots;
 
-  SubstOnResult result;
+  SubstOnEngineOutcome out;
+  SubstOnResult& result = out.result;
   result.grant.assign(static_cast<size_t>(m), kNoOpt);
   result.grant_slot.assign(static_cast<size_t>(m), 0);
   result.payments.assign(static_cast<size_t>(m), 0.0);
   result.implemented_at.assign(static_cast<size_t>(n), 0);
   result.serviced.resize(static_cast<size_t>(z));
+  out.last_share.assign(static_cast<size_t>(n), 0.0);
 
-  std::vector<std::vector<double>> bids(
-      static_cast<size_t>(m), std::vector<double>(static_cast<size_t>(n)));
+  // Residual-bid state, computed once and reused across slots.
+  engine::ResidualSuffixArena residuals(m);
+  size_t total_values = 0;
+  for (UserId i = 0; i < m; ++i) {
+    total_values += game.users[static_cast<size_t>(i)].stream.values.size();
+  }
+  residuals.ReserveValues(total_values);
+  for (UserId i = 0; i < m; ++i) {
+    const auto& s = game.users[static_cast<size_t>(i)].stream;
+    residuals.AddUser(s.start, s.end, s.values);
+  }
+
+  // Users become bid-visible at their arrival slot.
+  std::vector<std::vector<UserId>> by_start(static_cast<size_t>(z) + 1);
+  for (UserId i = 0; i < m; ++i) {
+    by_start[static_cast<size_t>(game.users[static_cast<size_t>(i)]
+                                     .stream.start)]
+        .push_back(i);
+  }
+
+  // Active candidates: arrived, not yet granted. Granted users leave this
+  // list (they are pinned instead); users past their interval contribute a
+  // zero residual and are dropped lazily.
+  std::vector<UserId> alive;
+  // Granted users in increasing id order — the serviced lists and sparse
+  // pin rows are built from this.
+  std::vector<UserId> granted;
+
+  std::vector<SparseSubstUserRow> rows;
 
   for (TimeSlot t = 1; t <= z; ++t) {
-    for (UserId i = 0; i < m; ++i) {
-      auto& row = bids[static_cast<size_t>(i)];
-      const auto& u = game.users[static_cast<size_t>(i)];
-      const OptId granted = result.grant[static_cast<size_t>(i)];
-      if (granted != kNoOpt) {
-        // Once serviced by j, the user is pinned to j: infinite bid on j,
-        // zero on everything else (no switching).
-        for (OptId j = 0; j < n; ++j) {
-          row[static_cast<size_t>(j)] = (j == granted) ? kInfiniteBid : 0.0;
-        }
-      } else if (t >= u.stream.start) {
-        const double residual = u.stream.ResidualFrom(t);
-        for (OptId j = 0; j < n; ++j) row[static_cast<size_t>(j)] = 0.0;
-        for (OptId j : u.substitutes) {
-          row[static_cast<size_t>(j)] = residual;
-        }
-      } else {
-        // Not yet arrived: invisible to the mechanism.
-        for (OptId j = 0; j < n; ++j) row[static_cast<size_t>(j)] = 0.0;
-      }
+    for (UserId i : by_start[static_cast<size_t>(t)]) alive.push_back(i);
+
+    rows.assign(static_cast<size_t>(m), SparseSubstUserRow{});
+    // Once serviced by j, the user is pinned to j: infinite bid on j,
+    // zero on everything else (no switching).
+    for (UserId i : granted) {
+      rows[static_cast<size_t>(i)].bids.push_back(
+          {result.grant[static_cast<size_t>(i)], kInfiniteBid});
     }
+    size_t write = 0;
+    for (UserId i : alive) {
+      if (result.grant[static_cast<size_t>(i)] != kNoOpt) continue;
+      // Departed, never-granted users keep an (implicit) all-zero row and
+      // need no further per-slot work.
+      if (t > game.users[static_cast<size_t>(i)].stream.end) continue;
+      const double residual = residuals.ResidualFrom(i, t);
+      if (residual > 0.0) {
+        for (OptId j : game.users[static_cast<size_t>(i)].substitutes) {
+          rows[static_cast<size_t>(i)].bids.push_back({j, residual});
+        }
+      }
+      alive[write++] = i;
+    }
+    alive.resize(write);
 
-    SubstOffResult off = RunSubstOffMatrix(game.costs, bids);
+    SubstOffResult off = RunSubstOffSparse(game.costs, std::move(rows));
 
-    for (OptId j : off.implemented) {
+    for (size_t k = 0; k < off.implemented.size(); ++k) {
+      const OptId j = off.implemented[k];
       if (result.implemented_at[static_cast<size_t>(j)] == 0) {
         result.implemented_at[static_cast<size_t>(j)] = t;
       }
+      out.last_share[static_cast<size_t>(j)] = off.cost_share[k];
     }
 
-    auto& s_t = result.serviced[static_cast<size_t>(t - 1)];
+    // Record new grants; the granted list stays sorted by id.
+    bool granted_changed = false;
     for (UserId i = 0; i < m; ++i) {
       const OptId g = off.grant[static_cast<size_t>(i)];
       if (g == kNoOpt) continue;
       if (result.grant[static_cast<size_t>(i)] == kNoOpt) {
         result.grant[static_cast<size_t>(i)] = g;
         result.grant_slot[static_cast<size_t>(i)] = t;
+        granted.push_back(i);
+        granted_changed = true;
       }
-      // A pinned user is always re-granted her optimization; record her as
-      // actively serviced while her declared interval lasts.
-      if (t <= game.users[static_cast<size_t>(i)].stream.end) {
-        s_t.push_back(i);
-      }
-      // Users departing now pay the share computed by this run.
-      if (game.users[static_cast<size_t>(i)].stream.end == t) {
+    }
+    if (granted_changed) std::sort(granted.begin(), granted.end());
+
+    // A pinned user is always re-granted her optimization; record her as
+    // actively serviced while her declared interval lasts, and charge her
+    // this run's share at her departure slot.
+    auto& s_t = result.serviced[static_cast<size_t>(t - 1)];
+    for (UserId i : granted) {
+      const TimeSlot end = game.users[static_cast<size_t>(i)].stream.end;
+      if (t <= end) s_t.push_back(i);
+      if (end == t) {
         result.payments[static_cast<size_t>(i)] =
             off.payments[static_cast<size_t>(i)];
       }
     }
   }
-  return result;
+  return out;
+}
+
+SubstOnResult RunSubstOn(const SubstOnlineGame& game) {
+  return RunSubstOnEngine(game).result;
 }
 
 }  // namespace optshare

@@ -4,6 +4,14 @@
 // infinite and her bids for all other optimizations become zero: she can
 // never switch, which Example 8 shows is crucial for truthfulness. Users pay
 // the cost-share computed at their departure slot.
+//
+// Engine-backed: per-user residual suffix sums are precomputed once and the
+// per-slot SubstOff runs consume sparse bid rows — only present users carry
+// bids, and only for their substitutes — instead of rebuilding a dense
+// [user][opt] value matrix every slot. (The per-slot row *vector* is still
+// sized to the user universe so SubstOff's grant output stays id-indexed;
+// shrinking that to the present users needs an id remap and is left to a
+// later scaling PR.) Results are identical to reference::RunSubstOnDense.
 #pragma once
 
 #include <vector>
@@ -35,7 +43,19 @@ struct SubstOnResult {
   double TotalPayment() const;
 };
 
+/// SubstOn outcome plus the extras the Mechanism adapter reports.
+struct SubstOnEngineOutcome {
+  SubstOnResult result;
+  /// last_share[j]: cost share of j at the last slot it was implemented
+  /// (0 when never implemented) — the final per-opt share a departing
+  /// member would have paid.
+  std::vector<double> last_share;
+};
+
 /// Runs Mechanism 4 on a validated game. Precondition: game.Validate().ok().
 SubstOnResult RunSubstOn(const SubstOnlineGame& game);
+
+/// Engine entry point: RunSubstOn plus per-opt final shares.
+SubstOnEngineOutcome RunSubstOnEngine(const SubstOnlineGame& game);
 
 }  // namespace optshare

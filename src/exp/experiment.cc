@@ -1,11 +1,40 @@
 #include "exp/experiment.h"
 
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+#include "baseline/baseline_mechanisms.h"
 #include "baseline/regret.h"
 #include "core/accounting.h"
-#include "core/add_on.h"
-#include "core/subst_on.h"
+#include "core/mechanism.h"
 
 namespace optshare::exp {
+namespace {
+
+// Resolves the mechanism once per sweep; the registry makes the mechanism
+// side of every figure a runtime parameter. The support check happens at
+// resolve time so a registered-but-incompatible name fails before the
+// sweep starts, not on its first Run.
+Result<std::unique_ptr<Mechanism>> Resolve(const std::string& name,
+                                           GameKind kind) {
+  RegisterBaselineMechanisms();
+  return ResolveMechanism(name, kind);
+}
+
+// The plain overloads run the paper's own mechanisms, which are always
+// registered and support their game class — a failure here is a bug, not
+// an input error.
+std::vector<UtilityPoint> MustRun(Result<std::vector<UtilityPoint>> points) {
+  if (!points.ok()) {
+    std::fprintf(stderr, "comparison sweep: %s\n",
+                 points.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(*points);
+}
+
+}  // namespace
 
 std::vector<double> LinearSweep(double start, double step, int count) {
   std::vector<double> out;
@@ -22,6 +51,15 @@ std::vector<double> Fig5Costs() { return LinearSweep(0.03, 0.15, 19); }
 std::vector<UtilityPoint> RunAdditiveComparison(
     const AdditiveScenario& scenario, const std::vector<double>& costs,
     int trials, uint64_t seed) {
+  return MustRun(RunAdditiveComparison("addon", scenario, costs, trials, seed));
+}
+
+Result<std::vector<UtilityPoint>> RunAdditiveComparison(
+    const std::string& mechanism, const AdditiveScenario& scenario,
+    const std::vector<double>& costs, int trials, uint64_t seed) {
+  Result<std::unique_ptr<Mechanism>> mech =
+      Resolve(mechanism, GameKind::kAdditiveOnline);
+  if (!mech.ok()) return mech.status();
   Rng root(seed);
   std::vector<UtilityPoint> points;
   points.reserve(costs.size());
@@ -32,8 +70,9 @@ std::vector<UtilityPoint> RunAdditiveComparison(
     for (int trial = 0; trial < trials; ++trial) {
       const AdditiveOnlineGame game = MakeAdditiveGame(scenario, cost, rng);
 
-      const AddOnResult mech = RunAddOn(game);
-      const Accounting acc = AccountAddOn(game, mech);
+      const Result<MechanismResult> result = (*mech)->Run(GameView(game));
+      if (!result.ok()) return result.status();
+      const Accounting acc = AccountResult(GameView(game), *result);
       p.mech_utility += acc.TotalUtility();
       p.mech_balance += acc.CloudBalance();
 
@@ -54,6 +93,15 @@ std::vector<UtilityPoint> RunAdditiveComparison(
 std::vector<UtilityPoint> RunSubstComparison(const SubstScenario& scenario,
                                              const std::vector<double>& costs,
                                              int trials, uint64_t seed) {
+  return MustRun(RunSubstComparison("subston", scenario, costs, trials, seed));
+}
+
+Result<std::vector<UtilityPoint>> RunSubstComparison(
+    const std::string& mechanism, const SubstScenario& scenario,
+    const std::vector<double>& costs, int trials, uint64_t seed) {
+  Result<std::unique_ptr<Mechanism>> mech =
+      Resolve(mechanism, GameKind::kSubstOnline);
+  if (!mech.ok()) return mech.status();
   Rng root(seed);
   std::vector<UtilityPoint> points;
   points.reserve(costs.size());
@@ -64,8 +112,9 @@ std::vector<UtilityPoint> RunSubstComparison(const SubstScenario& scenario,
     for (int trial = 0; trial < trials; ++trial) {
       const SubstOnlineGame game = MakeSubstGame(scenario, mean_cost, rng);
 
-      const SubstOnResult mech = RunSubstOn(game);
-      const Accounting acc = AccountSubstOn(game, mech);
+      const Result<MechanismResult> result = (*mech)->Run(GameView(game));
+      if (!result.ok()) return result.status();
+      const Accounting acc = AccountResult(GameView(game), *result);
       p.mech_utility += acc.TotalUtility();
       p.mech_balance += acc.CloudBalance();
 

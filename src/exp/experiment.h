@@ -3,8 +3,10 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "workload/scenario.h"
 
 namespace optshare::exp {
@@ -33,11 +35,26 @@ std::vector<UtilityPoint> RunAdditiveComparison(
     const AdditiveScenario& scenario, const std::vector<double>& costs,
     int trials, uint64_t seed);
 
+/// Same sweep with the mechanism side selected by registry name (any
+/// mechanism supporting additive online games: "addon", "naive_online",
+/// "regret", ...). NotFound / InvalidArgument for unknown or incompatible
+/// names. The plain overload above is equivalent to passing "addon".
+Result<std::vector<UtilityPoint>> RunAdditiveComparison(
+    const std::string& mechanism, const AdditiveScenario& scenario,
+    const std::vector<double>& costs, int trials, uint64_t seed);
+
 /// Same for substitutable optimizations (SubstOn vs substitutable Regret,
 /// §7.3.2): `mean_costs` are the x-axis means of the U[0, 2c] cost draws.
 std::vector<UtilityPoint> RunSubstComparison(const SubstScenario& scenario,
                                              const std::vector<double>& costs,
                                              int trials, uint64_t seed);
+
+/// Substitutable sweep with the mechanism side selected by registry name
+/// ("subston", "regret", ...). NotFound / InvalidArgument for unknown or
+/// incompatible names. The plain overload passes "subston".
+Result<std::vector<UtilityPoint>> RunSubstComparison(
+    const std::string& mechanism, const SubstScenario& scenario,
+    const std::vector<double>& costs, int trials, uint64_t seed);
 
 /// Mean over the points' mech_utility - regret_utility (Figure 3's y axis).
 double MeanUtilityGap(const std::vector<UtilityPoint>& points);

@@ -2,7 +2,8 @@
 
 #include <algorithm>
 
-#include "core/add_on.h"
+#include "baseline/baseline_mechanisms.h"
+#include "core/mechanism.h"
 
 namespace optshare::service {
 
@@ -20,6 +21,13 @@ Result<PeriodReport> CloudService::RunPeriod(
   if (tenants.empty()) {
     return Status::InvalidArgument("a period needs at least one tenant");
   }
+  // Mechanism choice is a runtime parameter: resolve the configured name
+  // against the registry (paper mechanisms + baselines).
+  RegisterBaselineMechanisms();
+  Result<std::unique_ptr<Mechanism>> mechanism_r =
+      ResolveMechanism(config_.mechanism, GameKind::kAdditiveOnline);
+  if (!mechanism_r.ok()) return mechanism_r.status();
+  const Mechanism& mechanism = **mechanism_r;
   for (const auto& t : tenants) {
     if (t.start < 1 || t.end < t.start || t.end > config_.slots_per_period) {
       return Status::InvalidArgument(
@@ -47,6 +55,7 @@ Result<PeriodReport> CloudService::RunPeriod(
   for (const auto& proposal : proposals) {
     StructureOutcome outcome;
     outcome.name = proposal.spec.DisplayName();
+    outcome.num_candidates = proposal.beneficiaries.size();
     outcome.carried_over =
         std::find(built_names_.begin(), built_names_.end(), outcome.name) !=
         built_names_.end();
@@ -68,8 +77,10 @@ Result<PeriodReport> CloudService::RunPeriod(
     Status st = game.Validate();
     if (!st.ok()) return st;
 
-    const AddOnResult result = RunAddOn(game);
-    const Accounting acc = AccountAddOn(game, result);
+    Result<MechanismResult> result_r = mechanism.Run(GameView(game));
+    if (!result_r.ok()) return result_r.status();
+    const MechanismResult& result = *result_r;
+    const Accounting acc = AccountResult(GameView(game), result);
     outcome.active = result.implemented;
     if (result.implemented) {
       int subscribers = 0;

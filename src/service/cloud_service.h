@@ -27,6 +27,11 @@ struct ServiceConfig {
   /// Fraction of the full cost charged for keeping an already-built
   /// structure alive another period.
   double maintenance_fraction = 0.25;
+  /// Registry name of the pricing mechanism driving each period (any
+  /// mechanism supporting additive online games: "addon" — the paper's
+  /// choice — or baselines like "regret" / "naive_online" for what-if
+  /// deployments). Resolved per period via MechanismRegistry.
+  std::string mechanism = "addon";
   simdb::AdvisorOptions advisor;
   simdb::PricingParams pricing;
 };
@@ -37,6 +42,8 @@ struct StructureOutcome {
   double cost = 0.0;         ///< Price charged this period (build or maint.).
   bool active = false;       ///< Funded and available this period.
   bool carried_over = false; ///< Was already built in an earlier period.
+  int num_candidates = 0;    ///< Advisor beneficiaries: users with positive
+                             ///< declared savings (subscribers is a subset).
   int num_subscribers = 0;   ///< Users serviced.
 };
 
@@ -65,8 +72,9 @@ class CloudService {
   const std::vector<std::string>& built_structures() const {
     return built_names_;
   }
-  /// Cumulative provider balance across all periods (never negative:
-  /// AddOn is cost-recovering period by period).
+  /// Cumulative provider balance across all periods. Never negative under
+  /// the default cost-recovering mechanism ("addon"); baselines like
+  /// "regret" can drive it below zero.
   double cumulative_balance() const { return cumulative_balance_; }
   /// Cumulative total (social) utility.
   double cumulative_utility() const { return cumulative_utility_; }

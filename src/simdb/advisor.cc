@@ -99,6 +99,10 @@ Result<std::vector<Proposal>> ProposeOptimizations(
       Result<double> savings =
           UserPeriodSavings(scratch_model, pricing, user, *id);
       if (!savings.ok()) return savings.status();
+      if (*savings > 0.0) {
+        p.beneficiaries.Insert(
+            static_cast<UserId>(p.user_savings.size()));
+      }
       p.user_savings.push_back(*savings);
       p.total_savings += *savings;
     }

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "core/coalition.h"
 #include "simdb/cost_model.h"
 #include "simdb/pricing.h"
 
@@ -24,6 +25,10 @@ struct Proposal {
   double total_savings = 0.0;   ///< Summed per-period user savings.
   /// Per-user per-period dollar savings (aligned with the users argument).
   std::vector<double> user_savings;
+  /// Users with positive savings — the sparse game column this proposal
+  /// induces. Everyone else is an implicit zero bidder, which the engine
+  /// (core/mechanism.h) counts without materializing.
+  Coalition beneficiaries;
 
   /// Benefit ratio used for ranking.
   double BenefitRatio() const {

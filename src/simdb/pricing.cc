@@ -54,4 +54,19 @@ Result<MultiAdditiveOnlineGame> BuildAdditiveGame(
   return game;
 }
 
+SparseOnlineColumn ProjectSparseColumn(const MultiAdditiveOnlineGame& game,
+                                       OptId j) {
+  SparseOnlineColumn column;
+  column.cost = game.costs[static_cast<size_t>(j)];
+  for (UserId i = 0; i < game.num_users(); ++i) {
+    const SlotValues& stream =
+        game.bids[static_cast<size_t>(i)][static_cast<size_t>(j)];
+    if (stream.Total() > 0.0) {
+      column.users.Insert(i);
+      column.streams.push_back(stream);
+    }
+  }
+  return column;
+}
+
 }  // namespace optshare::simdb

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "core/coalition.h"
 #include "core/game.h"
 #include "simdb/cost_model.h"
 #include "simdb/query.h"
@@ -63,5 +64,21 @@ struct SimUser {
 Result<MultiAdditiveOnlineGame> BuildAdditiveGame(
     const Catalog& catalog, const CostModel& model, const PricingModel& pricing,
     const std::vector<SimUser>& users, int num_slots);
+
+/// One optimization's sparse column of an additive online game: the users
+/// with any positive declared value for it, with their value streams. This
+/// is the representation the engine (core/mechanism.h) consumes — everyone
+/// outside `users` is an implicit zero bidder.
+struct SparseOnlineColumn {
+  double cost = 0.0;
+  Coalition users;
+  std::vector<SlotValues> streams;  ///< Aligned with users.ids().
+};
+
+/// Projects optimization j's sparse column from a multi-opt game (most
+/// tenants derive no value from most structures, so columns are small
+/// relative to the tenant universe).
+SparseOnlineColumn ProjectSparseColumn(const MultiAdditiveOnlineGame& game,
+                                       OptId j);
 
 }  // namespace optshare::simdb

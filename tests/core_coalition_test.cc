@@ -1,0 +1,59 @@
+// Tests for the sparse Coalition type backing the mechanism engine.
+#include "core/coalition.h"
+
+#include <gtest/gtest.h>
+
+namespace optshare {
+namespace {
+
+TEST(CoalitionTest, EmptyByDefault) {
+  Coalition c;
+  EXPECT_TRUE(c.empty());
+  EXPECT_EQ(c.size(), 0);
+  EXPECT_FALSE(c.Contains(0));
+}
+
+TEST(CoalitionTest, FromUnsortedSortsAndDedups) {
+  Coalition c = Coalition::FromUnsorted({5, 1, 3, 1, 5});
+  EXPECT_EQ(c.ids(), (std::vector<UserId>{1, 3, 5}));
+  EXPECT_TRUE(c.Contains(3));
+  EXPECT_FALSE(c.Contains(2));
+}
+
+TEST(CoalitionTest, MaskRoundTrip) {
+  const std::vector<bool> mask = {true, false, false, true, true};
+  Coalition c = Coalition::FromMask(mask);
+  EXPECT_EQ(c.ids(), (std::vector<UserId>{0, 3, 4}));
+  EXPECT_EQ(c.ToMask(5), mask);
+}
+
+TEST(CoalitionTest, AllSpansUniverse) {
+  Coalition c = Coalition::All(4);
+  EXPECT_EQ(c.size(), 4);
+  for (UserId i = 0; i < 4; ++i) EXPECT_TRUE(c.Contains(i));
+  EXPECT_FALSE(c.Contains(4));
+}
+
+TEST(CoalitionTest, InsertKeepsOrderAndIgnoresDuplicates) {
+  Coalition c;
+  c.Insert(4);
+  c.Insert(1);
+  c.Insert(7);
+  c.Insert(4);
+  EXPECT_EQ(c.ids(), (std::vector<UserId>{1, 4, 7}));
+}
+
+TEST(CoalitionTest, UnionMerges) {
+  Coalition a = Coalition::FromUnsorted({1, 3, 5});
+  Coalition b = Coalition::FromUnsorted({2, 3, 6});
+  EXPECT_EQ(Coalition::Union(a, b).ids(),
+            (std::vector<UserId>{1, 2, 3, 5, 6}));
+}
+
+TEST(CoalitionTest, Equality) {
+  EXPECT_EQ(Coalition::FromUnsorted({2, 1}), Coalition::FromUnsorted({1, 2}));
+  EXPECT_NE(Coalition::FromUnsorted({1}), Coalition::FromUnsorted({1, 2}));
+}
+
+}  // namespace
+}  // namespace optshare

@@ -174,6 +174,37 @@ TEST_F(CostModelTest, BuildAdditiveGameProducesValidGame) {
   EXPECT_DOUBLE_EQ(game->bids[0][static_cast<size_t>(view_)].Total(), 0.0);
 }
 
+TEST_F(CostModelTest, SparseColumnMatchesDenseProjection) {
+  CostModel model(&catalog_);
+  PricingModel pricing;
+  SimUser user;
+  user.workload.entries = {{PointLookup(), 1.0}};
+  user.start = 2;
+  user.end = 9;
+  user.executions_per_slot = 100.0;
+  auto game = BuildAdditiveGame(catalog_, model, pricing, {user, user}, 12);
+  ASSERT_TRUE(game.ok());
+  for (OptId j = 0; j < game->num_opts(); ++j) {
+    const SparseOnlineColumn column = ProjectSparseColumn(*game, j);
+    EXPECT_DOUBLE_EQ(column.cost, game->costs[static_cast<size_t>(j)]);
+    ASSERT_EQ(column.streams.size(),
+              static_cast<size_t>(column.users.size()));
+    // Exactly the users with a positive declared total, with their streams.
+    for (UserId i = 0; i < game->num_users(); ++i) {
+      const SlotValues& dense =
+          game->bids[static_cast<size_t>(i)][static_cast<size_t>(j)];
+      EXPECT_EQ(column.users.Contains(i), dense.Total() > 0.0);
+    }
+    for (size_t k = 0; k < column.streams.size(); ++k) {
+      const UserId i = column.users.ids()[k];
+      const SlotValues& dense =
+          game->bids[static_cast<size_t>(i)][static_cast<size_t>(j)];
+      EXPECT_EQ(column.streams[k].start, dense.start);
+      EXPECT_EQ(column.streams[k].values, dense.values);
+    }
+  }
+}
+
 TEST_F(CostModelTest, BuildAdditiveGameRejectsBadIntervals) {
   CostModel model(&catalog_);
   PricingModel pricing;

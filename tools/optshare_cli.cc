@@ -3,22 +3,23 @@
 //   optshare_cli sample <type>            # emit a sample game document
 //   optshare_cli validate <file>          # parse + validate a game file
 //   optshare_cli run <file> [--mechanism NAME] [--json]
+//   optshare_cli mechanisms               # list registered mechanisms
 //
 // Game types: additive_offline, additive_online, subst_offline,
-// subst_online (see core/serialization.h for the schema). The default
-// mechanism is the paper's mechanism for the game's type (AddOff, AddOn,
-// SubstOff, SubstOn); `--mechanism regret` runs the baseline on online
-// additive/substitutable games, `--mechanism vcg` the VCG reference on
-// offline additive games.
+// subst_online (see core/serialization.h for the schema). Mechanisms are
+// resolved by name against the MechanismRegistry — the paper's mechanisms
+// ("addoff"/"shapley", "addon", "substoff", "subston") plus the baselines
+// ("naive", "naive_online", "vcg", "regret"). The default is the paper's
+// mechanism for the game's type.
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
 
-#include "baseline/regret.h"
-#include "baseline/vcg.h"
+#include "baseline/baseline_mechanisms.h"
 #include "common/money.h"
 #include "core/accounting.h"
+#include "core/mechanism.h"
 #include "core/serialization.h"
 
 namespace optshare {
@@ -33,10 +34,11 @@ int Usage() {
   std::cerr << "usage: optshare_cli sample <type>\n"
             << "       optshare_cli validate <file>\n"
             << "       optshare_cli run <file> [--mechanism NAME] [--json]\n"
+            << "       optshare_cli mechanisms\n"
             << "game types: additive_offline additive_online subst_offline "
                "subst_online\n"
-            << "mechanisms: default (paper mechanism for the type), regret, "
-               "vcg\n";
+            << "mechanisms: default (paper mechanism for the type) or any "
+               "name from `optshare_cli mechanisms`\n";
   return 2;
 }
 
@@ -116,84 +118,16 @@ JsonValue LedgerToJson(const Accounting& acc) {
   return obj;
 }
 
-int RunGame(const JsonValue& doc, const std::string& mechanism, bool json) {
-  const std::string type = GameTypeOf(doc);
-  Accounting acc;
-
-  if (type == "additive_offline") {
-    Result<AdditiveOfflineGame> game = AdditiveOfflineGameFromJson(doc);
-    if (!game.ok()) return Fail(game.status().ToString());
-    if (mechanism == "default" || mechanism == "addoff") {
-      acc = AccountAddOff(*game, RunAddOff(*game));
-    } else if (mechanism == "vcg") {
-      VcgResult r = RunVcg(*game);
-      acc.user_payment = r.total_payment;
-      acc.user_value.assign(static_cast<size_t>(game->num_users()), 0.0);
-      acc.total_cost = r.ImplementedCost(game->costs);
-      for (OptId j = 0; j < game->num_opts(); ++j) {
-        if (!r.per_opt[static_cast<size_t>(j)].implemented) continue;
-        for (UserId i = 0; i < game->num_users(); ++i) {
-          if (r.per_opt[static_cast<size_t>(j)].serviced[static_cast<size_t>(i)]) {
-            acc.user_value[static_cast<size_t>(i)] +=
-                game->bids[static_cast<size_t>(i)][static_cast<size_t>(j)];
-          }
-        }
-      }
-    } else {
-      return Fail("mechanism \"" + mechanism + "\" not valid for " + type);
-    }
-  } else if (type == "additive_online") {
-    Result<AdditiveOnlineGame> game = AdditiveOnlineGameFromJson(doc);
-    if (!game.ok()) return Fail(game.status().ToString());
-    if (mechanism == "default" || mechanism == "addon") {
-      acc = AccountAddOn(*game, RunAddOn(*game));
-    } else if (mechanism == "regret") {
-      RegretAdditiveResult r = RunRegretAdditive(*game);
-      acc.user_value.assign(static_cast<size_t>(game->num_users()), 0.0);
-      acc.user_payment.assign(static_cast<size_t>(game->num_users()), 0.0);
-      acc.total_cost = r.total_cost;
-      for (UserId i = 0; i < game->num_users(); ++i) {
-        if (r.buyer[static_cast<size_t>(i)]) {
-          acc.user_value[static_cast<size_t>(i)] =
-              game->users[static_cast<size_t>(i)].ResidualFrom(
-                  r.implemented_at + 1);
-          acc.user_payment[static_cast<size_t>(i)] = r.price;
-        }
-      }
-    } else {
-      return Fail("mechanism \"" + mechanism + "\" not valid for " + type);
-    }
-  } else if (type == "subst_offline") {
-    Result<SubstOfflineGame> game = SubstOfflineGameFromJson(doc);
-    if (!game.ok()) return Fail(game.status().ToString());
-    if (mechanism != "default" && mechanism != "substoff") {
-      return Fail("mechanism \"" + mechanism + "\" not valid for " + type);
-    }
-    acc = AccountSubstOff(*game, RunSubstOff(*game));
-  } else if (type == "subst_online") {
-    Result<SubstOnlineGame> game = SubstOnlineGameFromJson(doc);
-    if (!game.ok()) return Fail(game.status().ToString());
-    if (mechanism == "default" || mechanism == "subston") {
-      acc = AccountSubstOn(*game, RunSubstOn(*game));
-    } else if (mechanism == "regret") {
-      RegretSubstResult r = RunRegretSubst(*game);
-      acc.user_payment = r.payments;
-      acc.user_value.assign(static_cast<size_t>(game->num_users()), 0.0);
-      acc.total_cost = r.total_cost;
-      for (UserId i = 0; i < game->num_users(); ++i) {
-        const OptId j = r.bought[static_cast<size_t>(i)];
-        if (j != kNoOpt) {
-          acc.user_value[static_cast<size_t>(i)] =
-              game->users[static_cast<size_t>(i)].stream.ResidualFrom(
-                  r.implemented_at[static_cast<size_t>(j)] + 1);
-        }
-      }
-    } else {
-      return Fail("mechanism \"" + mechanism + "\" not valid for " + type);
-    }
-  } else {
-    return Fail("unknown or missing game type: \"" + type + "\"");
+/// Runs the named (or default) mechanism on the parsed game and accounts
+/// the outcome against the same game as truth — one registry-driven path
+/// for every game type and mechanism.
+int RunView(const GameView& view, std::string mechanism, bool json) {
+  if (mechanism == "default") {
+    mechanism = MechanismRegistry::DefaultFor(view.kind());
   }
+  Result<MechanismResult> result = RunMechanism(mechanism, view);
+  if (!result.ok()) return Fail(result.status().ToString());
+  const Accounting acc = AccountResult(view, *result);
 
   if (json) {
     std::cout << LedgerToJson(acc).Dump(2) << "\n";
@@ -203,7 +137,39 @@ int RunGame(const JsonValue& doc, const std::string& mechanism, bool json) {
   return 0;
 }
 
+int RunGame(const JsonValue& doc, const std::string& mechanism, bool json) {
+  const std::string type = GameTypeOf(doc);
+  if (type == "additive_offline") {
+    Result<AdditiveOfflineGame> game = AdditiveOfflineGameFromJson(doc);
+    if (!game.ok()) return Fail(game.status().ToString());
+    return RunView(GameView(*game), mechanism, json);
+  }
+  if (type == "additive_online") {
+    Result<AdditiveOnlineGame> game = AdditiveOnlineGameFromJson(doc);
+    if (!game.ok()) return Fail(game.status().ToString());
+    return RunView(GameView(*game), mechanism, json);
+  }
+  if (type == "subst_offline") {
+    Result<SubstOfflineGame> game = SubstOfflineGameFromJson(doc);
+    if (!game.ok()) return Fail(game.status().ToString());
+    return RunView(GameView(*game), mechanism, json);
+  }
+  if (type == "subst_online") {
+    Result<SubstOnlineGame> game = SubstOnlineGameFromJson(doc);
+    if (!game.ok()) return Fail(game.status().ToString());
+    return RunView(GameView(*game), mechanism, json);
+  }
+  return Fail("unknown or missing game type: \"" + type + "\"");
+}
+
 int Main(int argc, char** argv) {
+  RegisterBaselineMechanisms();
+  if (argc >= 2 && std::string(argv[1]) == "mechanisms") {
+    for (const std::string& name : MechanismRegistry::Global().Names()) {
+      std::cout << name << "\n";
+    }
+    return 0;
+  }
   if (argc < 3) return Usage();
   const std::string command = argv[1];
 
@@ -216,9 +182,8 @@ int Main(int argc, char** argv) {
     const std::string type = GameTypeOf(*doc);
     Status st;
     if (type == "additive_offline") {
-      st = AdditiveOfflineGameFromJson(*doc).ok()
-               ? Status::OK()
-               : AdditiveOfflineGameFromJson(*doc).status();
+      auto g = AdditiveOfflineGameFromJson(*doc);
+      st = g.ok() ? Status::OK() : g.status();
     } else if (type == "additive_online") {
       auto g = AdditiveOnlineGameFromJson(*doc);
       st = g.ok() ? Status::OK() : g.status();
