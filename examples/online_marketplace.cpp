@@ -1,118 +1,128 @@
 // Online data marketplace (paper §5): tenants of a shared-data service come
-// and go over a 12-slot period; the cloud uses AddOn to decide when a
-// shared secondary index becomes worth building and how to split its cost.
-// The index cost and tenant values are derived from the simdb cost model,
-// not hand-picked.
+// and go over a 12-slot period; the provider uses a streaming
+// PricingSession to decide when a shared secondary index becomes worth
+// building and how to split its cost. Unlike the batch RunPeriod API, the
+// session ingests tenants *as they show up*: a latecomer signs up after
+// the period has already started — the scenario the batch API could not
+// express — and the advisor folds her into the running game at the next
+// slot boundary.
 //
 //   cmake --build build && ./build/examples/online_marketplace
 #include <iostream>
 
 #include "common/money.h"
-#include "core/accounting.h"
-#include "core/add_on.h"
-#include "simdb/pricing.h"
+#include "service/pricing_session.h"
 
 int main() {
   using namespace optshare;
-  using namespace optshare::simdb;
+  using namespace optshare::service;
 
-  // A shared clickstream table and one candidate optimization: an index on
-  // the user-id column.
-  Catalog catalog;
-  TableDef events;
+  // A shared clickstream table; the advisor will propose the index itself.
+  simdb::Catalog catalog;
+  simdb::TableDef events;
   events.name = "events";
   events.columns = {
-      {"event_id", ColumnType::kInt64, 2'000'000'000},
-      {"user_id", ColumnType::kInt64, 50'000'000},
-      {"kind", ColumnType::kString, 200},
-      {"payload", ColumnType::kString, 1'000'000'000},
+      {"event_id", simdb::ColumnType::kInt64, 2'000'000'000},
+      {"user_id", simdb::ColumnType::kInt64, 50'000'000},
+      {"kind", simdb::ColumnType::kString, 200},
+      {"payload", simdb::ColumnType::kString, 1'000'000'000},
   };
   events.row_count = 2'000'000'000;
   if (Status st = catalog.AddTable(events); !st.ok()) {
     std::cerr << st.ToString() << "\n";
     return 1;
   }
-  OptimizationSpec index;
-  index.kind = OptKind::kSecondaryIndex;
-  index.table = "events";
-  index.column = "user_id";
-  auto opt_id = catalog.AddOptimization(index);
-  if (!opt_id.ok()) {
-    std::cerr << opt_id.status().ToString() << "\n";
-    return 1;
-  }
 
-  CostModel model(&catalog);
-  PricingModel pricing;
-
-  // Tenants run per-user lookups; each tenant subscribes for an interval
-  // of the year and runs the query workload at her own rate.
-  Query lookup;
+  // Tenants run per-user lookups at their own rates over their own
+  // subscription intervals.
+  simdb::Query lookup;
   lookup.table = "events";
   lookup.predicates = {{"user_id", 1e-7}};
   lookup.aggregate = true;
 
-  std::vector<SimUser> tenants;
-  const struct {
-    TimeSlot start, end;
-    double executions;
-  } plans[] = {{1, 12, 400},  {3, 8, 900},  {5, 12, 250},
-               {2, 4, 1200},  {9, 12, 800}, {6, 6, 2000}};
-  for (const auto& plan : plans) {
-    SimUser tenant;
+  const auto make_tenant = [&](TimeSlot start, TimeSlot end,
+                               double executions) {
+    simdb::SimUser tenant;
     tenant.workload.entries = {{lookup, 1.0}};
-    tenant.start = plan.start;
-    tenant.end = plan.end;
-    tenant.executions_per_slot = plan.executions;
-    tenants.push_back(tenant);
-  }
+    tenant.start = start;
+    tenant.end = end;
+    tenant.executions_per_slot = executions;
+    return tenant;
+  };
 
-  auto game_r = BuildAdditiveGame(catalog, model, pricing, tenants, 12);
-  if (!game_r.ok()) {
-    std::cerr << game_r.status().ToString() << "\n";
+  ServiceConfig config;
+  config.slots_per_period = 12;
+  auto session = PricingSession::Open(&catalog, config);
+  if (!session.ok()) {
+    std::cerr << session.status().ToString() << "\n";
     return 1;
   }
-  const MultiAdditiveOnlineGame& game = *game_r;
 
-  const double base_sec = *model.QueryTime(lookup, {});
-  const double fast_sec = *model.QueryTime(lookup, {*opt_id});
-  const SparseOnlineColumn column = ProjectSparseColumn(game, 0);
-  std::cout << "index " << catalog.optimizations()[0].DisplayName()
-            << ": query " << base_sec << " s -> " << fast_sec
-            << " s; build+storage cost "
-            << FormatDollars(game.costs[0]) << "\n"
-            << "tenants deriving value from it: " << column.users.size()
-            << " of " << game.num_users() << "\n\n";
-
-  AdditiveOnlineGame single = game.ProjectOpt(0);
-  AddOnResult outcome = RunAddOn(single);
-  if (!outcome.implemented) {
-    std::cout << "the index never pays for itself; nothing is built\n";
-    return 0;
+  // Five tenants are known when the period opens...
+  for (const auto& t :
+       {make_tenant(1, 12, 400), make_tenant(3, 8, 900),
+        make_tenant(5, 12, 250), make_tenant(2, 4, 1200),
+        make_tenant(6, 6, 2000)}) {
+    if (auto id = session->Submit(t); !id.ok()) {
+      std::cerr << id.status().ToString() << "\n";
+      return 1;
+    }
   }
-  std::cout << "AddOn builds the index at slot " << outcome.implemented_at
-            << "; cost-share trajectory:\n";
-  for (TimeSlot t = 1; t <= single.num_slots; ++t) {
-    const double share = outcome.cost_share[static_cast<size_t>(t - 1)];
-    std::cout << "  slot " << t << ": "
-              << (share == kInfiniteBid ? std::string("-")
-                                        : FormatDollars(share))
-              << "  serviced:";
-    for (UserId i : outcome.serviced[static_cast<size_t>(t - 1)]) {
-      std::cout << " t" << i;
+
+  // ...and the period starts streaming.
+  std::cout << "slots 1-8 with the opening roster of "
+            << session->num_tenants() << " tenants\n";
+  for (TimeSlot t = 1; t <= 8; ++t) {
+    if (Status st = session->AdvanceSlot(); !st.ok()) {
+      std::cerr << st.ToString() << "\n";
+      return 1;
+    }
+  }
+
+  // Slot 8 has elapsed when a heavy latecomer signs up for slots 9-12.
+  // Submit feeds her declaration into every structure's running game; she
+  // is priced from slot 9 on, exactly as Mechanism 2 treats an arrival.
+  auto late = session->Submit(make_tenant(9, 12, 800));
+  if (!late.ok()) {
+    std::cerr << late.status().ToString() << "\n";
+    return 1;
+  }
+  std::cout << "slot 8 elapsed: tenant t" << *late
+            << " arrives mid-period for slots 9-12\n\n";
+  for (TimeSlot t = 9; t <= 12; ++t) {
+    if (Status st = session->AdvanceSlot(); !st.ok()) {
+      std::cerr << st.ToString() << "\n";
+      return 1;
+    }
+  }
+
+  auto report = session->Close();
+  if (!report.ok()) {
+    std::cerr << report.status().ToString() << "\n";
+    return 1;
+  }
+
+  std::cout << "structures priced this period:\n";
+  for (const auto& s : report->structures) {
+    std::cout << "   " << s.name << "  "
+              << (s.active ? "built" : "not funded") << "  price "
+              << FormatDollars(s.cost);
+    if (s.active) {
+      std::cout << "  subscribers " << s.num_subscribers << "/"
+                << s.num_candidates;
     }
     std::cout << "\n";
   }
 
-  Accounting acc = AccountAddOn(single, outcome);
-  std::cout << "\npayments (charged at departure):\n";
-  for (UserId i = 0; i < single.num_users(); ++i) {
-    std::cout << "  tenant t" << i << ": "
-              << FormatDollars(outcome.payments[static_cast<size_t>(i)])
-              << " for savings of "
-              << FormatDollars(acc.user_value[static_cast<size_t>(i)]) << "\n";
+  const Accounting& ledger = report->ledger;
+  std::cout << "\nper-tenant ledger (latecomer last):\n";
+  for (size_t i = 0; i < ledger.user_value.size(); ++i) {
+    std::cout << "  tenant t" << i << ": savings "
+              << FormatDollars(ledger.user_value[i]) << ", pays "
+              << FormatDollars(ledger.user_payment[i]) << "\n";
   }
-  std::cout << "cloud balance " << FormatDollars(acc.CloudBalance())
-            << "; total utility " << FormatDollars(acc.TotalUtility()) << "\n";
+  std::cout << "cloud balance " << FormatDollars(ledger.CloudBalance())
+            << "; total utility " << FormatDollars(ledger.TotalUtility())
+            << (ledger.CostRecovered() ? " (cost recovered)" : "") << "\n";
   return 0;
 }

@@ -4,6 +4,12 @@
 // maintenance-only price the next; everything is priced by AddOn, so the
 // provider's balance never goes negative.
 //
+// This example deliberately stays on the batch CloudService::RunPeriod
+// API — now a thin adapter over the streaming PricingSession — to show
+// that pre-redesign integrations keep working unchanged (and, per the
+// parity suite, bit-identically). See online_marketplace.cpp for the
+// streaming API itself.
+//
 //   cmake --build build && ./build/examples/service_year
 #include <iostream>
 

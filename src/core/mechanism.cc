@@ -92,104 +92,219 @@ void ResidualSuffixArena::AddUser(TimeSlot start, TimeSlot end,
   }
 }
 
+AddOnSlotEngine::AddOnSlotEngine(double cost, int num_slots)
+    : cost_(cost), num_slots_(num_slots), residuals_(0) {
+  assert(cost_ > 0.0 && "optimization cost must be positive");
+  assert(num_slots_ >= 1 && "period needs at least one slot");
+  out_.slot_share.assign(static_cast<size_t>(num_slots_), kInfiniteBid);
+  out_.newly_serviced.resize(static_cast<size_t>(num_slots_));
+  // Index z+1 holds registrations that land after the last slot.
+  by_start_.resize(static_cast<size_t>(num_slots_) + 2);
+  by_end_.resize(static_cast<size_t>(num_slots_) + 2);
+}
+
+void AddOnSlotEngine::Reserve(int num_users, size_t total_values) {
+  const size_t n = static_cast<size_t>(num_users);
+  present_.reserve(n);
+  in_cs_.reserve(n);
+  joined_.reserve(n);
+  start_.reserve(n);
+  decl_end_.reserve(n);
+  eff_end_.reserve(n);
+  stream_idx_.reserve(n);
+  out_.payments.reserve(n);
+  residuals_.ReserveValues(total_values);
+}
+
+Status AddOnSlotEngine::Register(UserId i, TimeSlot start, TimeSlot end,
+                                 const std::vector<double>* values) {
+  if (i < 0) return Status::InvalidArgument("user id must be non-negative");
+  if (start < 1 || end < start || end > num_slots_) {
+    return Status::InvalidArgument("user interval outside the period's slots");
+  }
+  const size_t u = static_cast<size_t>(i);
+  if (u >= present_.size()) {
+    const size_t n = u + 1;
+    present_.resize(n, 0);
+    in_cs_.resize(n, 0);
+    joined_.resize(n, 0);
+    start_.resize(n, 0);
+    decl_end_.resize(n, 0);
+    eff_end_.resize(n, 0);
+    stream_idx_.resize(n, -1);
+    out_.payments.resize(n, 0.0);
+  }
+  const bool fresh = present_[u] == 0;
+  if (!fresh) {
+    if (values == nullptr) {
+      return Status::AlreadyExists("user already registered");
+    }
+    if (stream_idx_[u] >= 0) {
+      return Status::AlreadyExists("user already declared a value stream");
+    }
+    if (eff_end_[u] < decl_end_[u]) {
+      return Status::FailedPrecondition("user departed; cannot declare");
+    }
+  }
+  present_[u] = 1;
+  if (fresh) ++registered_count_;
+  start_[u] = start;
+  decl_end_[u] = end;
+  eff_end_[u] = end;
+  if (values != nullptr) {
+    residuals_.AddUser(start, end, *values);
+    stream_idx_[u] = arena_users_++;
+  }
+  if (!joined_[u]) {
+    // Activation bucket: at her declared start, or the upcoming slot when
+    // the interval already began (mid-period structure additions).
+    const TimeSlot join = start > current_ ? start : current_ + 1;
+    by_start_[static_cast<size_t>(join)].push_back(i);
+  }
+  by_end_[static_cast<size_t>(end)].push_back(i);
+  return Status::OK();
+}
+
+Status AddOnSlotEngine::Arrive(UserId i, TimeSlot start, TimeSlot end) {
+  return Register(i, start, end, nullptr);
+}
+
+Status AddOnSlotEngine::Declare(UserId i, const SlotValues& stream) {
+  OPTSHARE_RETURN_NOT_OK(stream.Validate());
+  return Register(i, stream.start, stream.end, &stream.values);
+}
+
+Status AddOnSlotEngine::Depart(UserId i) {
+  if (!registered(i)) return Status::NotFound("unknown user id");
+  const size_t u = static_cast<size_t>(i);
+  const TimeSlot t = current_ + 1;  // Present through the upcoming slot.
+  if (start_[u] > t) {
+    return Status::InvalidArgument("cannot depart before arrival");
+  }
+  if (eff_end_[u] <= t) return Status::OK();  // Already ends by then.
+  eff_end_[u] = t;
+  by_end_[static_cast<size_t>(t)].push_back(i);
+  return Status::OK();
+}
+
+void AddOnSlotEngine::Retire() {
+  if (retired_) return;
+  retired_ = true;
+  retired_at_ = current_;
+  // Serviced members who have not reached their departure slot pay the
+  // last priced share now — as if the period ended at the retire point
+  // (Mechanism 2's departure rule, departure moved up for everyone).
+  for (size_t u = 0; u < present_.size(); ++u) {
+    if (present_[u] && in_cs_[u] &&
+        eff_end_[u] > current_) {
+      out_.payments[u] = last_priced_share_;
+    }
+  }
+}
+
+Status AddOnSlotEngine::StepSlot() {
+  if (current_ >= num_slots_) {
+    return Status::FailedPrecondition("period exhausted");
+  }
+  const TimeSlot t = ++current_;
+  if (retired_) return Status::OK();  // Frozen: no pricing, share stays inf.
+
+  for (UserId i : by_start_[static_cast<size_t>(t)]) {
+    if (!joined_[static_cast<size_t>(i)]) {
+      joined_[static_cast<size_t>(i)] = 1;
+      alive_.push_back(i);
+    }
+  }
+
+  cand_bids_.clear();
+  cand_ids_.clear();
+  size_t write = 0;
+  for (UserId i : alive_) {
+    const size_t u = static_cast<size_t>(i);
+    if (in_cs_[u]) continue;  // Pinned at infinity.
+    if (eff_end_[u] < t) continue;  // Departed unserviced: zero bid forever.
+    double residual = 0.0;
+    if (stream_idx_[u] >= 0 && t >= start_[u]) {
+      residual = residuals_.ResidualWithin(stream_idx_[u], t - start_[u]);
+      if (eff_end_[u] < decl_end_[u]) {
+        // Early departure truncates the declared stream.
+        residual -= residuals_.ResidualFrom(stream_idx_[u], eff_end_[u] + 1);
+      }
+    }
+    if (residual > 0.0) {
+      cand_bids_.push_back(residual);
+      cand_ids_.push_back(i);
+    }
+    alive_[write++] = i;
+  }
+  alive_.resize(write);
+
+  // Every registered user not pinned and not a positive candidate —
+  // absent, departed, or zero-residual — is a zero bidder, as in the dense
+  // residual vector.
+  const int num_zero =
+      registered_count_ - cs_count_ - static_cast<int>(cand_bids_.size());
+
+  const EvenSplitOutcome fp =
+      EvenSplitFixedPoint(cost_, cand_bids_, cs_count_, num_zero);
+  if (!fp.implemented) return Status::OK();  // CS empty: no payments.
+
+  if (!out_.implemented) {
+    out_.implemented = true;
+    out_.implemented_at = t;
+  }
+  out_.slot_share[static_cast<size_t>(t - 1)] = fp.share;
+  last_priced_share_ = fp.share;
+
+  auto& added = out_.newly_serviced[static_cast<size_t>(t - 1)];
+  if (fp.zeros_in) {
+    // Share fell to <= epsilon: the whole registered universe is serviced.
+    for (size_t u = 0; u < present_.size(); ++u) {
+      if (present_[u] && !in_cs_[u]) added.push_back(static_cast<UserId>(u));
+    }
+  } else {
+    for (size_t k = 0; k < cand_bids_.size(); ++k) {
+      if (MoneyGe(cand_bids_[k], fp.share)) added.push_back(cand_ids_[k]);
+    }
+    std::sort(added.begin(), added.end());
+  }
+  for (UserId i : added) {
+    in_cs_[static_cast<size_t>(i)] = 1;
+    ++cs_count_;
+  }
+
+  // Users departing now pay the current share if serviced (Mechanism 2
+  // lines 15-19).
+  for (UserId i : by_end_[static_cast<size_t>(t)]) {
+    const size_t u = static_cast<size_t>(i);
+    if (eff_end_[u] == t && in_cs_[u]) {
+      out_.payments[u] = fp.share;
+    }
+  }
+  return Status::OK();
+}
+
 OnlineAdditiveOutcome RunAddOnEngine(const AdditiveOnlineGame& game) {
   assert(game.Validate().ok());
   const int m = game.num_users();
-  const int z = game.num_slots;
 
-  OnlineAdditiveOutcome out;
-  out.slot_share.assign(static_cast<size_t>(z), kInfiniteBid);
-  out.payments.assign(static_cast<size_t>(m), 0.0);
-  out.newly_serviced.resize(static_cast<size_t>(z));
-
-  // Residual-bid state, computed once and reused across slots.
-  ResidualSuffixArena residuals(m);
+  AddOnSlotEngine eng(game.cost, game.num_slots);
   size_t total_values = 0;
   for (UserId i = 0; i < m; ++i) {
     total_values += game.users[static_cast<size_t>(i)].values.size();
   }
-  residuals.ReserveValues(total_values);
+  eng.Reserve(m, total_values);
   for (UserId i = 0; i < m; ++i) {
-    const auto& u = game.users[static_cast<size_t>(i)];
-    residuals.AddUser(u.start, u.end, u.values);
+    const Status st = eng.Declare(i, game.users[static_cast<size_t>(i)]);
+    assert(st.ok());
+    (void)st;
   }
-
-  // Arrival/departure buckets drive the active candidate set; only present,
-  // not-yet-serviced users are touched per slot.
-  std::vector<std::vector<UserId>> by_start(static_cast<size_t>(z) + 1);
-  std::vector<std::vector<UserId>> by_end(static_cast<size_t>(z) + 1);
-  for (UserId i = 0; i < m; ++i) {
-    const auto& u = game.users[static_cast<size_t>(i)];
-    by_start[static_cast<size_t>(u.start)].push_back(i);
-    by_end[static_cast<size_t>(u.end)].push_back(i);
+  for (TimeSlot t = 1; t <= game.num_slots; ++t) {
+    const Status st = eng.StepSlot();
+    assert(st.ok());
+    (void)st;
   }
-
-  std::vector<char> in_cs(static_cast<size_t>(m), 0);
-  int cs_count = 0;
-  std::vector<UserId> alive;
-  std::vector<double> cand_bids;
-  std::vector<UserId> cand_ids;
-
-  for (TimeSlot t = 1; t <= z; ++t) {
-    for (UserId i : by_start[static_cast<size_t>(t)]) alive.push_back(i);
-
-    cand_bids.clear();
-    cand_ids.clear();
-    size_t write = 0;
-    for (UserId i : alive) {
-      if (in_cs[static_cast<size_t>(i)]) continue;  // Pinned at infinity.
-      const auto& u = game.users[static_cast<size_t>(i)];
-      if (u.end < t) continue;  // Departed unserviced: zero bid forever.
-      // Alive since u.start and not departed, so t is inside the interval.
-      const double residual = residuals.ResidualWithin(i, t - u.start);
-      if (residual > 0.0) {
-        cand_bids.push_back(residual);
-        cand_ids.push_back(i);
-      }
-      alive[write++] = i;
-    }
-    alive.resize(write);
-
-    // Every user not pinned and not a positive candidate — absent, departed,
-    // or zero-residual — is a zero bidder, as in the dense residual vector.
-    const int num_zero = m - cs_count - static_cast<int>(cand_bids.size());
-
-    const EvenSplitOutcome fp =
-        EvenSplitFixedPoint(game.cost, cand_bids, cs_count, num_zero);
-    if (!fp.implemented) continue;  // CS empty: no shares, no payments.
-
-    if (!out.implemented) {
-      out.implemented = true;
-      out.implemented_at = t;
-    }
-    out.slot_share[static_cast<size_t>(t - 1)] = fp.share;
-
-    auto& added = out.newly_serviced[static_cast<size_t>(t - 1)];
-    if (fp.zeros_in) {
-      // Share fell to <= epsilon: the whole universe is serviced.
-      for (UserId i = 0; i < m; ++i) {
-        if (!in_cs[static_cast<size_t>(i)]) added.push_back(i);
-      }
-    } else {
-      for (size_t k = 0; k < cand_bids.size(); ++k) {
-        if (MoneyGe(cand_bids[k], fp.share)) added.push_back(cand_ids[k]);
-      }
-      std::sort(added.begin(), added.end());
-    }
-    for (UserId i : added) {
-      in_cs[static_cast<size_t>(i)] = 1;
-      ++cs_count;
-    }
-
-    // Users departing now pay the current share if serviced (Mechanism 2
-    // lines 15-19).
-    for (UserId i : by_end[static_cast<size_t>(t)]) {
-      if (in_cs[static_cast<size_t>(i)]) {
-        out.payments[static_cast<size_t>(i)] = fp.share;
-      }
-    }
-  }
-  return out;
+  return eng.TakeOutcome();
 }
 
 }  // namespace engine
@@ -398,38 +513,11 @@ class AddOnMechanism final : public Mechanism {
 
  private:
   static MechanismResult RunSingle(const AdditiveOnlineGame& g) {
-    engine::OnlineAdditiveOutcome eng = engine::RunAddOnEngine(g);
-    MechanismResult r;
-    r.num_users = g.num_users();
-    r.num_opts = 1;
-    r.num_slots = g.num_slots;
-    r.implemented = eng.implemented;
-    r.implemented_at = {eng.implemented_at};
-    r.payments = std::move(eng.payments);
-    r.serviced.resize(1);
-    r.active.resize(1);
-    r.active[0].resize(static_cast<size_t>(g.num_slots));
-
-    Coalition cs;
-    for (TimeSlot t = 1; t <= g.num_slots; ++t) {
-      for (UserId i : eng.newly_serviced[static_cast<size_t>(t - 1)]) {
-        cs.Insert(i);
-      }
-      if (cs.empty()) continue;
-      std::vector<UserId> active_now;
-      for (UserId i : cs) {
-        if (t <= g.users[static_cast<size_t>(i)].end) active_now.push_back(i);
-      }
-      r.active[0][static_cast<size_t>(t - 1)] =
-          Coalition::FromSorted(std::move(active_now));
-    }
-    r.serviced[0] = std::move(cs);
-    // Final share: CS only grows, so the last slot's share is the final
-    // C / |CS_j(z)|.
-    r.cost_share = {eng.implemented
-                        ? eng.slot_share[static_cast<size_t>(g.num_slots - 1)]
-                        : 0.0};
-    return r;
+    std::vector<TimeSlot> ends;
+    ends.reserve(g.users.size());
+    for (const auto& u : g.users) ends.push_back(u.end);
+    return ResultFromOnlineAdditive(engine::RunAddOnEngine(g), g.num_users(),
+                                    g.num_slots, ends);
   }
 };
 
@@ -479,40 +567,96 @@ class SubstOnMechanism final : public Mechanism {
     if (!Supports(game.kind())) return UnsupportedKind(name(), game.kind());
     OPTSHARE_RETURN_NOT_OK(game.Validate());
     const SubstOnlineGame& g = game.subst_online();
-    const SubstOnEngineOutcome eng = RunSubstOnEngine(g);
-    const SubstOnResult& on = eng.result;
-
-    MechanismResult r;
-    r.num_users = g.num_users();
-    r.num_opts = g.num_opts();
-    r.num_slots = g.num_slots;
-    r.implemented_at = on.implemented_at;
-    r.implemented = !on.ImplementedOpts().empty();
-    r.cost_share = eng.last_share;
-    r.payments = on.payments;
-    r.grant = on.grant;
-    r.grant_slot = on.grant_slot;
-    r.serviced.resize(static_cast<size_t>(g.num_opts()));
-    r.active.resize(static_cast<size_t>(g.num_opts()));
-    for (auto& per_slot : r.active) {
-      per_slot.resize(static_cast<size_t>(g.num_slots));
-    }
-    for (UserId i = 0; i < g.num_users(); ++i) {
-      const OptId gnt = on.grant[static_cast<size_t>(i)];
-      if (gnt != kNoOpt) r.serviced[static_cast<size_t>(gnt)].Insert(i);
-    }
-    for (TimeSlot t = 1; t <= g.num_slots; ++t) {
-      for (UserId i : on.serviced[static_cast<size_t>(t - 1)]) {
-        const OptId gnt = on.grant[static_cast<size_t>(i)];
-        r.active[static_cast<size_t>(gnt)][static_cast<size_t>(t - 1)]
-            .Insert(i);
-      }
-    }
-    return r;
+    return ResultFromSubstOn(RunSubstOnEngine(g), g.num_users(), g.num_opts(),
+                             g.num_slots);
   }
 };
 
 }  // namespace
+
+MechanismResult ResultFromOnlineAdditive(engine::OnlineAdditiveOutcome outcome,
+                                         int num_users, int num_slots,
+                                         const std::vector<TimeSlot>& ends) {
+  MechanismResult r;
+  r.num_users = num_users;
+  r.num_opts = 1;
+  r.num_slots = num_slots;
+  r.implemented = outcome.implemented;
+  r.implemented_at = {outcome.implemented_at};
+  r.payments = std::move(outcome.payments);
+  r.payments.resize(static_cast<size_t>(num_users), 0.0);
+  r.serviced.resize(1);
+  r.active.resize(1);
+  r.active[0].resize(static_cast<size_t>(num_slots));
+
+  Coalition cs;
+  for (TimeSlot t = 1; t <= num_slots; ++t) {
+    for (UserId i : outcome.newly_serviced[static_cast<size_t>(t - 1)]) {
+      cs.Insert(i);
+    }
+    if (cs.empty()) continue;
+    std::vector<UserId> active_now;
+    for (UserId i : cs) {
+      if (t <= ends[static_cast<size_t>(i)]) active_now.push_back(i);
+    }
+    r.active[0][static_cast<size_t>(t - 1)] =
+        Coalition::FromSorted(std::move(active_now));
+  }
+  r.serviced[0] = std::move(cs);
+  // Final share: CS only grows, so the last *priced* slot's share is the
+  // final C / |CS_j(t)|. Once implemented, every later slot is priced —
+  // unless the structure was retired, in which case post-retire slots stay
+  // at kInfiniteBid and the last priced share (what pending members were
+  // charged) is the one to report.
+  double final_share = 0.0;
+  if (outcome.implemented) {
+    for (TimeSlot t = num_slots; t >= 1; --t) {
+      const double share = outcome.slot_share[static_cast<size_t>(t - 1)];
+      if (share != kInfiniteBid) {
+        final_share = share;
+        break;
+      }
+    }
+  }
+  r.cost_share = {final_share};
+  return r;
+}
+
+MechanismResult ResultFromSubstOn(const SubstOnEngineOutcome& eng,
+                                  int num_users, int num_opts, int num_slots) {
+  const SubstOnResult& on = eng.result;
+
+  MechanismResult r;
+  r.num_users = num_users;
+  r.num_opts = num_opts;
+  r.num_slots = num_slots;
+  r.implemented_at = on.implemented_at;
+  r.implemented = !on.ImplementedOpts().empty();
+  r.cost_share = eng.last_share;
+  r.payments = on.payments;
+  r.payments.resize(static_cast<size_t>(num_users), 0.0);
+  r.grant = on.grant;
+  r.grant.resize(static_cast<size_t>(num_users), kNoOpt);
+  r.grant_slot = on.grant_slot;
+  r.grant_slot.resize(static_cast<size_t>(num_users), 0);
+  r.serviced.resize(static_cast<size_t>(num_opts));
+  r.active.resize(static_cast<size_t>(num_opts));
+  for (auto& per_slot : r.active) {
+    per_slot.resize(static_cast<size_t>(num_slots));
+  }
+  for (UserId i = 0; i < num_users; ++i) {
+    const OptId gnt = r.grant[static_cast<size_t>(i)];
+    if (gnt != kNoOpt) r.serviced[static_cast<size_t>(gnt)].Insert(i);
+  }
+  for (TimeSlot t = 1; t <= num_slots; ++t) {
+    for (UserId i : on.serviced[static_cast<size_t>(t - 1)]) {
+      const OptId gnt = r.grant[static_cast<size_t>(i)];
+      r.active[static_cast<size_t>(gnt)][static_cast<size_t>(t - 1)]
+          .Insert(i);
+    }
+  }
+  return r;
+}
 
 // ---------------------------------------------------------------------------
 // Registry
@@ -559,8 +703,15 @@ Result<std::unique_ptr<Mechanism>> MechanismRegistry::Create(
   for (const auto& [entry_name, factory] : entries_) {
     if (entry_name == name) return factory();
   }
+  // List what *is* registered, so a typo'd --mechanism flag is self-fixing.
+  std::string registered;
+  for (const std::string& entry_name : Names()) {
+    if (!registered.empty()) registered += ", ";
+    registered += entry_name;
+  }
   return Status::NotFound("no mechanism named \"" + name +
-                          "\" (see MechanismRegistry::Names)");
+                          "\"; registered mechanisms: " +
+                          (registered.empty() ? "(none)" : registered));
 }
 
 std::vector<std::string> MechanismRegistry::Names() const {

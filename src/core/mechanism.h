@@ -102,7 +102,11 @@ struct OnlineAdditiveOutcome {
 /// residual suffix sums are computed once, arrival/departure buckets drive
 /// the active set, and each slot's Shapley run is an EvenSplitFixedPoint
 /// over the present users only. Precondition: game.Validate().ok().
+///
+/// Thin batch driver over AddOnSlotEngine: declares every user, then steps
+/// every slot.
 OnlineAdditiveOutcome RunAddOnEngine(const AdditiveOnlineGame& game);
+
 
 /// Per-user suffix sums of declared value streams, laid out in one arena
 /// and computed once so the online mechanisms (AddOn, SubstOn) can read
@@ -146,6 +150,114 @@ class ResidualSuffixArena {
   std::vector<double> suffix_;     // suffix_[offset_[i] + k] = sum from k.
   std::vector<TimeSlot> start_;
   std::vector<TimeSlot> end_;
+};
+
+/// The incremental (slot-stepping) form of the AddOn engine. The cross-slot
+/// state Mechanism 2 needs anyway — residual suffix arenas, the alive
+/// candidate list, the cumulative serviced set — lives behind an API that
+/// ingests user declarations as they happen and prices one slot per call,
+/// so an online service never recomputes a period from scratch.
+/// RunAddOnEngine (batch) and the streaming OnlineMechanism surface
+/// (core/online_mechanism.h) both drive this class, executing the same
+/// per-slot code path.
+///
+/// Universe semantics: a user counts toward a slot's even-split denominator
+/// from the moment she is *registered* (Arrive or Declare), exactly as the
+/// batch engine counts the full user vector of the game. Batch drivers
+/// register everyone before slot 1 and are bit-identical to the historical
+/// results; streaming drivers that register users at their arrival slots
+/// shrink the early-slot zero-bidder count, which can only change an
+/// outcome when a share falls to <= kMoneyEpsilon (zero bidders are swept
+/// in only then).
+class AddOnSlotEngine {
+ public:
+  /// `cost` must be positive, `num_slots` >= 1.
+  AddOnSlotEngine(double cost, int num_slots);
+
+  /// Optional pre-sizing for batch drivers (avoids growth reallocations).
+  void Reserve(int num_users, size_t total_values);
+
+  /// Registers user `i` as a zero bidder over [start, end] (an arrival
+  /// announcement without a value declaration yet).
+  Status Arrive(UserId i, TimeSlot start, TimeSlot end);
+
+  /// Declares user `i`'s value stream, registering her if Arrive was not
+  /// called first (a prior zero-bid registration is superseded by the
+  /// stream's interval). Declared values at slots that already elapsed are
+  /// ignored by pricing; the declaration is otherwise binding.
+  Status Declare(UserId i, const SlotValues& stream);
+
+  /// Early departure: `i` stays present through the upcoming slot and is
+  /// gone afterwards; if serviced, she pays that slot's share (her declared
+  /// departure is moved up, Mechanism 2's payment rule unchanged).
+  Status Depart(UserId i);
+
+  /// Stops pricing permanently (the structure is retired): serviced users
+  /// who have not reached their departure slot pay the last priced share
+  /// now, and further slots are no-ops.
+  void Retire();
+
+  /// Prices slot next_slot(). Fails once the period is exhausted.
+  Status StepSlot();
+
+  /// The next slot StepSlot would price (1-based; num_slots()+1 when done).
+  TimeSlot next_slot() const { return current_ + 1; }
+  int num_slots() const { return num_slots_; }
+  /// Count of registered users (the id space may have holes; holes do not
+  /// count toward the denominator).
+  int num_registered() const { return registered_count_; }
+  /// Size of the id space (max registered id + 1).
+  int id_space() const { return static_cast<int>(present_.size()); }
+  bool registered(UserId i) const {
+    return i >= 0 && i < id_space() && present_[static_cast<size_t>(i)] != 0;
+  }
+  bool retired() const { return retired_; }
+  /// Last slot the structure was (potentially) active: the slot preceding
+  /// the Retire call, or the full period when never retired.
+  TimeSlot retired_at() const { return retired_ ? retired_at_ : num_slots_; }
+  /// Effective end of user i: declared end, or earlier after Depart.
+  TimeSlot end_of(UserId i) const {
+    return eff_end_[static_cast<size_t>(i)];
+  }
+  /// Live outcome, filled through the last stepped slot (payments and
+  /// newly_serviced are indexed by user id; slot vectors are sized to the
+  /// full period).
+  const OnlineAdditiveOutcome& outcome() const { return out_; }
+  /// Moves the outcome out; the engine is spent afterwards.
+  OnlineAdditiveOutcome TakeOutcome() { return std::move(out_); }
+
+ private:
+  Status Register(UserId i, TimeSlot start, TimeSlot end,
+                  const std::vector<double>* values);
+
+  double cost_;
+  int num_slots_;
+  TimeSlot current_ = 0;
+  bool retired_ = false;
+  TimeSlot retired_at_ = 0;
+  int registered_count_ = 0;
+  int cs_count_ = 0;
+  double last_priced_share_ = 0.0;
+
+  ResidualSuffixArena residuals_;
+  int arena_users_ = 0;
+
+  // Per-user state, indexed by UserId.
+  std::vector<char> present_;
+  std::vector<char> in_cs_;
+  std::vector<char> joined_;          // already moved into alive_.
+  std::vector<TimeSlot> start_;
+  std::vector<TimeSlot> decl_end_;    // declared departure.
+  std::vector<TimeSlot> eff_end_;     // effective departure (<= declared).
+  std::vector<int> stream_idx_;       // arena index; -1 = zero bidder.
+
+  std::vector<std::vector<UserId>> by_start_;
+  std::vector<std::vector<UserId>> by_end_;
+  std::vector<UserId> alive_;
+  std::vector<double> cand_bids_;
+  std::vector<UserId> cand_ids_;
+
+  OnlineAdditiveOutcome out_;
 };
 
 }  // namespace engine
@@ -248,6 +360,20 @@ struct MechanismResult {
   double ImplementedCost(const std::vector<double>& costs) const;
   double TotalPayment() const;
 };
+
+/// Builds the uniform MechanismResult from an AddOn engine outcome:
+/// reconstructs the per-slot active coalitions (serviced users within their
+/// intervals, `ends` giving each user's effective end slot) and the final
+/// cost share. Shared by the batch AddOn adapter and the streaming
+/// mechanism (core/online_mechanism.h).
+MechanismResult ResultFromOnlineAdditive(engine::OnlineAdditiveOutcome outcome,
+                                         int num_users, int num_slots,
+                                         const std::vector<TimeSlot>& ends);
+
+/// Same for a SubstOn engine outcome (forward-declared in core/subst_on.h).
+struct SubstOnEngineOutcome;
+MechanismResult ResultFromSubstOn(const SubstOnEngineOutcome& outcome,
+                                  int num_users, int num_opts, int num_slots);
 
 // ---------------------------------------------------------------------------
 // Mechanism interface and registry

@@ -1,0 +1,1038 @@
+#include "core/online_mechanism.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <map>
+#include <utility>
+
+#include "common/money.h"
+
+namespace optshare {
+
+// ---------------------------------------------------------------------------
+// SlotEvent factories
+// ---------------------------------------------------------------------------
+
+SlotEvent SlotEvent::UserArrive(UserId user, TimeSlot start, TimeSlot end) {
+  SlotEvent e;
+  e.kind = Kind::kUserArrive;
+  e.user = user;
+  e.stream.start = start;
+  e.stream.end = end;
+  return e;
+}
+
+SlotEvent SlotEvent::UserDepart(UserId user) {
+  SlotEvent e;
+  e.kind = Kind::kUserDepart;
+  e.user = user;
+  return e;
+}
+
+SlotEvent SlotEvent::DeclareValues(UserId user, OptId opt, SlotValues stream) {
+  SlotEvent e;
+  e.kind = Kind::kDeclareValues;
+  e.user = user;
+  e.opt = opt;
+  e.stream = std::move(stream);
+  return e;
+}
+
+SlotEvent SlotEvent::DeclareSubstValues(UserId user,
+                                        std::vector<OptId> substitutes,
+                                        SlotValues stream) {
+  SlotEvent e;
+  e.kind = Kind::kDeclareValues;
+  e.user = user;
+  e.substitutes = std::move(substitutes);
+  e.stream = std::move(stream);
+  return e;
+}
+
+SlotEvent SlotEvent::OptAdd(OptId opt, double cost) {
+  SlotEvent e;
+  e.kind = Kind::kOptAdd;
+  e.opt = opt;
+  e.cost = cost;
+  return e;
+}
+
+SlotEvent SlotEvent::OptRetire(OptId opt) {
+  SlotEvent e;
+  e.kind = Kind::kOptRetire;
+  e.opt = opt;
+  return e;
+}
+
+// ---------------------------------------------------------------------------
+// Native implementations
+// ---------------------------------------------------------------------------
+namespace {
+
+/// Roster shared by the native mechanisms, the buffering adapter and the
+/// log scanner: per-user declared intervals, effective (possibly moved-up)
+/// departures, and departure flags. Callers must validate ids (>= 0)
+/// before Add.
+struct Roster {
+  std::vector<char> present;
+  std::vector<char> departed;
+  std::vector<TimeSlot> start;
+  std::vector<TimeSlot> eff_end;
+
+  int id_space() const { return static_cast<int>(present.size()); }
+  bool Has(UserId i) const {
+    return i >= 0 && i < id_space() && present[static_cast<size_t>(i)] != 0;
+  }
+  bool Departed(UserId i) const {
+    return Has(i) && departed[static_cast<size_t>(i)] != 0;
+  }
+  void Add(UserId i, TimeSlot s, TimeSlot e) {
+    assert(i >= 0);
+    const size_t u = static_cast<size_t>(i);
+    if (u >= present.size()) {
+      present.resize(u + 1, 0);
+      departed.resize(u + 1, 0);
+      start.resize(u + 1, 0);
+      eff_end.resize(u + 1, 0);
+    }
+    present[u] = 1;
+    start[u] = s;
+    eff_end[u] = e;
+  }
+  void Depart(UserId i, TimeSlot slot) {
+    const size_t u = static_cast<size_t>(i);
+    departed[u] = 1;
+    eff_end[u] = std::min(eff_end[u], slot);
+  }
+  void Clear() {
+    present.clear();
+    departed.clear();
+    start.clear();
+    eff_end.clear();
+  }
+};
+
+/// The declared stream truncated to an effective departure slot — the one
+/// truncation rule shared by the buffering adapter and the log
+/// materializers (early departure keeps the pre-departure values and drops
+/// the rest).
+SlotValues TruncateStream(const SlotValues& declared, TimeSlot eff) {
+  if (eff >= declared.end) return declared;
+  SlotValues s = declared;
+  s.end = std::max(declared.start, eff);
+  s.values.resize(static_cast<size_t>(s.end - s.start + 1));
+  if (eff < declared.start) {
+    std::fill(s.values.begin(), s.values.end(), 0.0);
+  }
+  return s;
+}
+
+/// The all-zero stream of a user who arrived over [start, eff] but never
+/// declared values.
+SlotValues ZeroStream(const Roster& roster, UserId i) {
+  const size_t u = static_cast<size_t>(i);
+  return SlotValues::Constant(roster.start[u],
+                              std::max(roster.start[u], roster.eff_end[u]),
+                              0.0);
+}
+
+Status CheckSlotOrder(TimeSlot slot, TimeSlot expected, int num_slots) {
+  if (slot != expected) {
+    return Status::FailedPrecondition(
+        "slots must be fed consecutively (expected slot " +
+        std::to_string(expected) + ", got " + std::to_string(slot) + ")");
+  }
+  if (slot > num_slots) {
+    return Status::FailedPrecondition("period exhausted");
+  }
+  return Status::OK();
+}
+
+/// AddOn (§5), streamed: one AddOnSlotEngine per optimization, each fed the
+/// shared arrival/departure events plus its own value declarations.
+class AddOnStreamMechanism final : public OnlineMechanism {
+ public:
+  std::string_view name() const override { return "addon"; }
+  bool native() const override { return true; }
+
+  Status Begin(const OnlineGameMeta& meta) override {
+    if (meta.kind != GameKind::kAdditiveOnline &&
+        meta.kind != GameKind::kMultiAdditiveOnline) {
+      return UnsupportedKind(name(), meta.kind);
+    }
+    if (meta.num_slots < 1) {
+      return Status::InvalidArgument("period needs at least one slot");
+    }
+    OPTSHARE_RETURN_NOT_OK(ValidateCosts(meta.costs));
+    if (meta.kind == GameKind::kAdditiveOnline && meta.costs.size() != 1) {
+      return Status::InvalidArgument(
+          "an additive_online stream prices exactly one optimization");
+    }
+    kind_ = meta.kind;
+    num_slots_ = meta.num_slots;
+    current_ = 0;
+    engines_.clear();
+    retired_.clear();
+    roster_.Clear();
+    for (double c : meta.costs) {
+      engines_.push_back(
+          std::make_unique<engine::AddOnSlotEngine>(c, num_slots_));
+      retired_.push_back(0);
+    }
+    begun_ = true;
+    finalized_ = false;
+    return Status::OK();
+  }
+
+  Result<OnlineSlotReport> OnSlot(
+      TimeSlot slot, const std::vector<SlotEvent>& events) override {
+    if (!begun_) return Status::FailedPrecondition("Begin was not called");
+    OPTSHARE_RETURN_NOT_OK(CheckSlotOrder(slot, current_ + 1, num_slots_));
+
+    for (const SlotEvent& e : events) {
+      OPTSHARE_RETURN_NOT_OK(Apply(e, slot));
+    }
+
+    OnlineSlotReport report;
+    for (size_t j = 0; j < engines_.size(); ++j) {
+      engine::AddOnSlotEngine& eng = *engines_[j];
+      OPTSHARE_RETURN_NOT_OK(eng.StepSlot());
+      const engine::OnlineAdditiveOutcome& out = eng.outcome();
+      const double share = out.slot_share[static_cast<size_t>(slot - 1)];
+      if (share != kInfiniteBid) {
+        OnlineSlotReport::OptSlot priced;
+        priced.opt = static_cast<OptId>(j);
+        priced.share = share;
+        priced.newly_serviced =
+            out.newly_serviced[static_cast<size_t>(slot - 1)];
+        report.priced.push_back(std::move(priced));
+      }
+    }
+    current_ = slot;
+    return report;
+  }
+
+  Result<MechanismResult> Finalize() override {
+    if (!begun_) return Status::FailedPrecondition("Begin was not called");
+    if (finalized_) return Status::FailedPrecondition("already finalized");
+    if (current_ != num_slots_) {
+      return Status::FailedPrecondition(
+          "period incomplete: fed " + std::to_string(current_) + " of " +
+          std::to_string(num_slots_) + " slots");
+    }
+    finalized_ = true;
+    const int n = roster_.id_space();
+    // Per-opt end slots: a user is active until her effective departure —
+    // or until the structure was retired, whichever comes first.
+    const auto ends_for = [&](size_t j) {
+      std::vector<TimeSlot> ends(roster_.eff_end.begin(),
+                                 roster_.eff_end.end());
+      if (retired_[j]) {
+        const TimeSlot cap = engines_[j]->retired_at();
+        for (TimeSlot& e : ends) e = std::min(e, cap);
+      }
+      return ends;
+    };
+
+    if (kind_ == GameKind::kAdditiveOnline) {
+      return ResultFromOnlineAdditive(engines_[0]->TakeOutcome(), n,
+                                      num_slots_, ends_for(0));
+    }
+    MechanismResult r;
+    r.num_users = n;
+    r.num_opts = static_cast<int>(engines_.size());
+    r.num_slots = num_slots_;
+    r.payments.assign(static_cast<size_t>(n), 0.0);
+    for (size_t j = 0; j < engines_.size(); ++j) {
+      MechanismResult one = ResultFromOnlineAdditive(engines_[j]->TakeOutcome(),
+                                                     n, num_slots_, ends_for(j));
+      r.implemented = r.implemented || one.implemented;
+      r.implemented_at.push_back(one.implemented_at[0]);
+      r.cost_share.push_back(one.cost_share[0]);
+      r.serviced.push_back(std::move(one.serviced[0]));
+      r.active.push_back(std::move(one.active[0]));
+      for (UserId i = 0; i < n; ++i) {
+        r.payments[static_cast<size_t>(i)] +=
+            one.payments[static_cast<size_t>(i)];
+      }
+    }
+    return r;
+  }
+
+ private:
+  Status Apply(const SlotEvent& e, TimeSlot slot) {
+    switch (e.kind) {
+      case SlotEvent::Kind::kUserArrive: {
+        if (e.user < 0) {
+          return Status::InvalidArgument("user id must be non-negative");
+        }
+        if (roster_.Has(e.user)) {
+          return Status::AlreadyExists("user already registered");
+        }
+        if (e.stream.start < 1 || e.stream.end < e.stream.start ||
+            e.stream.end > num_slots_) {
+          return Status::InvalidArgument(
+              "user interval outside the period's slots");
+        }
+        for (auto& eng : engines_) {
+          OPTSHARE_RETURN_NOT_OK(
+              eng->Arrive(e.user, e.stream.start, e.stream.end));
+        }
+        roster_.Add(e.user, e.stream.start, e.stream.end);
+        return Status::OK();
+      }
+      case SlotEvent::Kind::kDeclareValues: {
+        if (e.opt < 0 || e.opt >= static_cast<OptId>(engines_.size())) {
+          return Status::OutOfRange("declaration names an unknown "
+                                    "optimization");
+        }
+        const bool fresh = !roster_.Has(e.user);
+        OPTSHARE_RETURN_NOT_OK(
+            engines_[static_cast<size_t>(e.opt)]->Declare(e.user, e.stream));
+        if (fresh) {
+          // The declaration doubles as the arrival announcement: register
+          // the user as a zero bidder with every other structure.
+          for (size_t j = 0; j < engines_.size(); ++j) {
+            if (static_cast<OptId>(j) == e.opt) continue;
+            OPTSHARE_RETURN_NOT_OK(engines_[j]->Arrive(e.user, e.stream.start,
+                                                       e.stream.end));
+          }
+          roster_.Add(e.user, e.stream.start, e.stream.end);
+        }
+        return Status::OK();
+      }
+      case SlotEvent::Kind::kUserDepart: {
+        if (!roster_.Has(e.user)) return Status::NotFound("unknown user id");
+        const size_t u = static_cast<size_t>(e.user);
+        if (roster_.start[u] > slot) {
+          return Status::InvalidArgument("cannot depart before arrival");
+        }
+        for (auto& eng : engines_) {
+          OPTSHARE_RETURN_NOT_OK(eng->Depart(e.user));
+        }
+        roster_.eff_end[u] = std::min(roster_.eff_end[u], slot);
+        return Status::OK();
+      }
+      case SlotEvent::Kind::kOptAdd: {
+        if (kind_ == GameKind::kAdditiveOnline) {
+          return Status::InvalidArgument(
+              "an additive_online stream prices exactly one optimization; "
+              "use a multi_additive_online stream to add structures");
+        }
+        if (e.opt != static_cast<OptId>(engines_.size())) {
+          return Status::InvalidArgument(
+              "opt_add ids must be dense and in order");
+        }
+        if (std::isnan(e.cost) || std::isinf(e.cost) || e.cost <= 0.0) {
+          return Status::InvalidArgument(
+              "optimization costs must be finite and positive");
+        }
+        auto eng =
+            std::make_unique<engine::AddOnSlotEngine>(e.cost, num_slots_);
+        // Catch up to the current slot (no pricing happened before the
+        // structure existed), then hand it the known universe.
+        for (TimeSlot t = 1; t < slot; ++t) {
+          OPTSHARE_RETURN_NOT_OK(eng->StepSlot());
+        }
+        for (UserId i = 0; i < roster_.id_space(); ++i) {
+          if (!roster_.Has(i)) continue;
+          OPTSHARE_RETURN_NOT_OK(
+              eng->Arrive(i, roster_.start[static_cast<size_t>(i)],
+                          roster_.eff_end[static_cast<size_t>(i)]));
+        }
+        engines_.push_back(std::move(eng));
+        retired_.push_back(0);
+        return Status::OK();
+      }
+      case SlotEvent::Kind::kOptRetire: {
+        if (e.opt < 0 || e.opt >= static_cast<OptId>(engines_.size())) {
+          return Status::OutOfRange("retire names an unknown optimization");
+        }
+        engines_[static_cast<size_t>(e.opt)]->Retire();
+        retired_[static_cast<size_t>(e.opt)] = 1;
+        return Status::OK();
+      }
+    }
+    return Status::Internal("unknown event kind");
+  }
+
+  GameKind kind_ = GameKind::kAdditiveOnline;
+  int num_slots_ = 0;
+  TimeSlot current_ = 0;
+  bool begun_ = false;
+  bool finalized_ = false;
+  std::vector<std::unique_ptr<engine::AddOnSlotEngine>> engines_;
+  std::vector<char> retired_;
+  Roster roster_;
+};
+
+/// SubstOn (§6.2), streamed over the incremental SubstOnSlotEngine.
+class SubstOnStreamMechanism final : public OnlineMechanism {
+ public:
+  std::string_view name() const override { return "subston"; }
+  bool native() const override { return true; }
+
+  Status Begin(const OnlineGameMeta& meta) override {
+    if (meta.kind != GameKind::kSubstOnline) {
+      return UnsupportedKind(name(), meta.kind);
+    }
+    if (meta.num_slots < 1) {
+      return Status::InvalidArgument("period needs at least one slot");
+    }
+    OPTSHARE_RETURN_NOT_OK(ValidateCosts(meta.costs));
+    num_slots_ = meta.num_slots;
+    current_ = 0;
+    engine_ =
+        std::make_unique<SubstOnSlotEngine>(meta.costs, meta.num_slots);
+    begun_ = true;
+    finalized_ = false;
+    return Status::OK();
+  }
+
+  Result<OnlineSlotReport> OnSlot(
+      TimeSlot slot, const std::vector<SlotEvent>& events) override {
+    if (!begun_) return Status::FailedPrecondition("Begin was not called");
+    OPTSHARE_RETURN_NOT_OK(CheckSlotOrder(slot, current_ + 1, num_slots_));
+
+    for (const SlotEvent& e : events) {
+      switch (e.kind) {
+        case SlotEvent::Kind::kUserArrive:
+          OPTSHARE_RETURN_NOT_OK(
+              engine_->Arrive(e.user, e.stream.start, e.stream.end));
+          break;
+        case SlotEvent::Kind::kDeclareValues:
+          OPTSHARE_RETURN_NOT_OK(
+              engine_->Declare(e.user, e.stream, e.substitutes));
+          break;
+        case SlotEvent::Kind::kUserDepart:
+          OPTSHARE_RETURN_NOT_OK(engine_->Depart(e.user));
+          break;
+        case SlotEvent::Kind::kOptAdd: {
+          if (e.opt != engine_->num_opts()) {
+            return Status::InvalidArgument(
+                "opt_add ids must be dense and in order");
+          }
+          Result<OptId> added = engine_->AddOpt(e.cost);
+          if (!added.ok()) return added.status();
+          break;
+        }
+        case SlotEvent::Kind::kOptRetire:
+          return Status::InvalidArgument(
+              "subston does not support retiring optimizations");
+      }
+    }
+
+    OPTSHARE_RETURN_NOT_OK(engine_->StepSlot());
+    current_ = slot;
+
+    OnlineSlotReport report;
+    const SubstOffResult& off = engine_->last_off();
+    for (size_t k = 0; k < off.implemented.size(); ++k) {
+      OnlineSlotReport::OptSlot priced;
+      priced.opt = off.implemented[k];
+      priced.share = off.cost_share[k];
+      for (UserId i : engine_->last_new_grants()) {
+        if (engine_->outcome().result.grant[static_cast<size_t>(i)] ==
+            priced.opt) {
+          priced.newly_serviced.push_back(i);
+        }
+      }
+      report.priced.push_back(std::move(priced));
+    }
+    return report;
+  }
+
+  Result<MechanismResult> Finalize() override {
+    if (!begun_) return Status::FailedPrecondition("Begin was not called");
+    if (finalized_) return Status::FailedPrecondition("already finalized");
+    if (current_ != num_slots_) {
+      return Status::FailedPrecondition(
+          "period incomplete: fed " + std::to_string(current_) + " of " +
+          std::to_string(num_slots_) + " slots");
+    }
+    finalized_ = true;
+    const int n = engine_->id_space();
+    const int opts = engine_->num_opts();
+    return ResultFromSubstOn(engine_->TakeOutcome(), n, opts, num_slots_);
+  }
+
+ private:
+  int num_slots_ = 0;
+  TimeSlot current_ = 0;
+  bool begun_ = false;
+  bool finalized_ = false;
+  std::unique_ptr<SubstOnSlotEngine> engine_;
+};
+
+// ---------------------------------------------------------------------------
+// Buffering adapter
+// ---------------------------------------------------------------------------
+
+/// Streams events into buffers and prices the whole period at Finalize by
+/// materializing the batch game and running the wrapped Mechanism. For
+/// mechanisms that only support the *offline* analog of the streamed game
+/// class, value streams are collapsed to per-user totals — end-of-period
+/// batch pricing (users pay once, with no slot structure in the result).
+class BufferingOnlineAdapter final : public OnlineMechanism {
+ public:
+  BufferingOnlineAdapter(std::unique_ptr<Mechanism> mech, bool collapse)
+      : mech_(std::move(mech)), collapse_(collapse) {}
+
+  std::string_view name() const override { return mech_->name(); }
+  bool native() const override { return false; }
+
+  Status Begin(const OnlineGameMeta& meta) override {
+    if (meta.kind != GameKind::kAdditiveOnline &&
+        meta.kind != GameKind::kMultiAdditiveOnline &&
+        meta.kind != GameKind::kSubstOnline) {
+      return UnsupportedKind(name(), meta.kind);
+    }
+    if (meta.num_slots < 1) {
+      return Status::InvalidArgument("period needs at least one slot");
+    }
+    OPTSHARE_RETURN_NOT_OK(ValidateCosts(meta.costs));
+    if (meta.kind == GameKind::kAdditiveOnline && meta.costs.size() != 1) {
+      return Status::InvalidArgument(
+          "an additive_online stream prices exactly one optimization");
+    }
+    meta_ = meta;
+    current_ = 0;
+    roster_.Clear();
+    streams_.clear();
+    substitutes_.clear();
+    num_opts_ = static_cast<int>(meta.costs.size());
+    begun_ = true;
+    finalized_ = false;
+    return Status::OK();
+  }
+
+  Result<OnlineSlotReport> OnSlot(
+      TimeSlot slot, const std::vector<SlotEvent>& events) override {
+    if (!begun_) return Status::FailedPrecondition("Begin was not called");
+    OPTSHARE_RETURN_NOT_OK(CheckSlotOrder(slot, current_ + 1, meta_.num_slots));
+
+    for (const SlotEvent& e : events) {
+      switch (e.kind) {
+        case SlotEvent::Kind::kUserArrive: {
+          if (e.user < 0) {
+            return Status::InvalidArgument("user id must be non-negative");
+          }
+          if (roster_.Has(e.user)) {
+            return Status::AlreadyExists("user already registered");
+          }
+          OPTSHARE_RETURN_NOT_OK(
+              CheckInterval(e.stream.start, e.stream.end));
+          roster_.Add(e.user, e.stream.start, e.stream.end);
+          break;
+        }
+        case SlotEvent::Kind::kDeclareValues: {
+          if (e.user < 0) {
+            return Status::InvalidArgument("user id must be non-negative");
+          }
+          if (roster_.Departed(e.user)) {
+            return Status::FailedPrecondition("user departed; cannot declare");
+          }
+          OPTSHARE_RETURN_NOT_OK(e.stream.Validate());
+          OPTSHARE_RETURN_NOT_OK(CheckInterval(e.stream.start, e.stream.end));
+          if (meta_.kind == GameKind::kSubstOnline) {
+            OPTSHARE_RETURN_NOT_OK(
+                ValidateSubstituteSet(e.substitutes, num_opts_));
+            if (substitutes_.count(e.user) != 0) {
+              return Status::AlreadyExists("user already declared a bid");
+            }
+            substitutes_[e.user] = e.substitutes;
+            streams_[{e.user, 0}] = e.stream;
+          } else {
+            if (e.opt < 0 || e.opt >= num_opts_) {
+              return Status::OutOfRange(
+                  "declaration names an unknown optimization");
+            }
+            if (streams_.count({e.user, e.opt}) != 0) {
+              return Status::AlreadyExists(
+                  "user already declared a value stream");
+            }
+            streams_[{e.user, e.opt}] = e.stream;
+          }
+          if (!roster_.Has(e.user)) {
+            roster_.Add(e.user, e.stream.start, e.stream.end);
+          }
+          break;
+        }
+        case SlotEvent::Kind::kUserDepart: {
+          if (!roster_.Has(e.user)) {
+            return Status::NotFound("unknown user id");
+          }
+          if (roster_.start[static_cast<size_t>(e.user)] > slot) {
+            return Status::InvalidArgument("cannot depart before arrival");
+          }
+          roster_.Depart(e.user, slot);
+          break;
+        }
+        case SlotEvent::Kind::kOptAdd: {
+          if (meta_.kind == GameKind::kAdditiveOnline) {
+            return Status::InvalidArgument(
+                "an additive_online stream prices exactly one optimization; "
+                "use a multi_additive_online stream to add structures");
+          }
+          if (e.opt != num_opts_) {
+            return Status::InvalidArgument(
+                "opt_add ids must be dense and in order");
+          }
+          if (std::isnan(e.cost) || std::isinf(e.cost) || e.cost <= 0.0) {
+            return Status::InvalidArgument(
+                "optimization costs must be finite and positive");
+          }
+          meta_.costs.push_back(e.cost);
+          ++num_opts_;
+          break;
+        }
+        case SlotEvent::Kind::kOptRetire:
+          return Status::InvalidArgument(
+              "buffered mechanism \"" + std::string(name()) +
+              "\" cannot retire optimizations mid-period");
+      }
+    }
+    current_ = slot;
+    OnlineSlotReport report;
+    report.deferred = true;
+    return report;
+  }
+
+  Result<MechanismResult> Finalize() override {
+    if (!begun_) return Status::FailedPrecondition("Begin was not called");
+    if (finalized_) return Status::FailedPrecondition("already finalized");
+    if (current_ != meta_.num_slots) {
+      return Status::FailedPrecondition(
+          "period incomplete: fed " + std::to_string(current_) + " of " +
+          std::to_string(meta_.num_slots) + " slots");
+    }
+    finalized_ = true;
+    if (meta_.kind == GameKind::kSubstOnline) {
+      return collapse_ ? RunSubstOffline() : RunSubstOnline();
+    }
+    return collapse_ ? RunAdditiveOffline() : RunAdditiveOnline();
+  }
+
+ private:
+  Status CheckInterval(TimeSlot start, TimeSlot end) const {
+    if (start < 1 || end < start || end > meta_.num_slots) {
+      return Status::InvalidArgument(
+          "user interval outside the period's slots");
+    }
+    return Status::OK();
+  }
+
+  /// Declared stream truncated to the user's effective departure.
+  SlotValues EffectiveStream(UserId i, const SlotValues& declared) const {
+    return TruncateStream(declared, roster_.eff_end[static_cast<size_t>(i)]);
+  }
+
+  Result<MechanismResult> RunAdditiveOnline() const {
+    MultiAdditiveOnlineGame game;
+    game.num_slots = meta_.num_slots;
+    game.costs = meta_.costs;
+    const int n = roster_.id_space();
+    for (UserId i = 0; i < n; ++i) {
+      std::vector<SlotValues> row;
+      row.reserve(static_cast<size_t>(num_opts_));
+      for (OptId j = 0; j < num_opts_; ++j) {
+        auto it = streams_.find({i, j});
+        if (it != streams_.end()) {
+          row.push_back(EffectiveStream(i, it->second));
+        } else if (roster_.Has(i)) {
+          row.push_back(ZeroStream(roster_, i));
+        } else {
+          row.push_back(SlotValues::Constant(1, 1, 0.0));  // Id-space hole.
+        }
+      }
+      game.bids.push_back(std::move(row));
+    }
+    if (meta_.kind == GameKind::kAdditiveOnline) {
+      AdditiveOnlineGame single = game.ProjectOpt(0);
+      single.cost = meta_.costs[0];
+      return mech_->Run(GameView(single));
+    }
+    return mech_->Run(GameView(game));
+  }
+
+  Result<MechanismResult> RunAdditiveOffline() const {
+    AdditiveOfflineGame game;
+    game.costs = meta_.costs;
+    const int n = roster_.id_space();
+    for (UserId i = 0; i < n; ++i) {
+      std::vector<double> row(static_cast<size_t>(num_opts_), 0.0);
+      for (OptId j = 0; j < num_opts_; ++j) {
+        auto it = streams_.find({i, j});
+        if (it != streams_.end()) {
+          row[static_cast<size_t>(j)] = EffectiveStream(i, it->second).Total();
+        }
+      }
+      game.bids.push_back(std::move(row));
+    }
+    return mech_->Run(GameView(game));
+  }
+
+  Result<MechanismResult> RunSubstOnline() const {
+    SubstOnlineGame game;
+    game.num_slots = meta_.num_slots;
+    game.costs = meta_.costs;
+    const int n = roster_.id_space();
+    for (UserId i = 0; i < n; ++i) {
+      SubstOnlineUser user;
+      auto subs = substitutes_.find(i);
+      if (subs != substitutes_.end()) {
+        user.substitutes = subs->second;
+        user.stream = EffectiveStream(i, streams_.at({i, 0}));
+      } else {
+        if (num_opts_ < 1) {
+          return Status::FailedPrecondition(
+              "cannot materialize a user without a bid in a game with no "
+              "optimizations");
+        }
+        // An all-zero bid on optimization 0: never granted, never charged.
+        user.substitutes = {0};
+        user.stream =
+            roster_.Has(i) ? ZeroStream(roster_, i)
+                           : SlotValues::Constant(1, 1, 0.0);
+      }
+      game.users.push_back(std::move(user));
+    }
+    return mech_->Run(GameView(game));
+  }
+
+  Result<MechanismResult> RunSubstOffline() const {
+    SubstOfflineGame game;
+    game.costs = meta_.costs;
+    const int n = roster_.id_space();
+    for (UserId i = 0; i < n; ++i) {
+      SubstOfflineUser user;
+      auto subs = substitutes_.find(i);
+      if (subs != substitutes_.end()) {
+        user.substitutes = subs->second;
+        user.value = EffectiveStream(i, streams_.at({i, 0})).Total();
+      } else {
+        if (num_opts_ < 1) {
+          return Status::FailedPrecondition(
+              "cannot materialize a user without a bid in a game with no "
+              "optimizations");
+        }
+        user.substitutes = {0};
+        user.value = 0.0;
+      }
+      game.users.push_back(std::move(user));
+    }
+    return mech_->Run(GameView(game));
+  }
+
+  std::unique_ptr<Mechanism> mech_;
+  bool collapse_;
+  OnlineGameMeta meta_;
+  int num_opts_ = 0;
+  TimeSlot current_ = 0;
+  bool begun_ = false;
+  bool finalized_ = false;
+  Roster roster_;
+  std::map<std::pair<UserId, OptId>, SlotValues> streams_;
+  std::map<UserId, std::vector<OptId>> substitutes_;
+};
+
+GameKind OfflineAnalog(GameKind kind) {
+  switch (kind) {
+    case GameKind::kAdditiveOnline:
+    case GameKind::kMultiAdditiveOnline:
+      return GameKind::kAdditiveOffline;
+    case GameKind::kSubstOnline:
+      return GameKind::kSubstOffline;
+    default:
+      return kind;
+  }
+}
+
+}  // namespace
+
+Result<std::unique_ptr<OnlineMechanism>> ResolveOnlineMechanism(
+    const std::string& name, GameKind kind) {
+  const bool additive = kind == GameKind::kAdditiveOnline ||
+                        kind == GameKind::kMultiAdditiveOnline;
+  if (!additive && kind != GameKind::kSubstOnline) {
+    return Status::InvalidArgument(
+        "streaming sessions price online game classes; " +
+        std::string(GameKindName(kind)) + " is offline");
+  }
+  if (name == "addon" && additive) {
+    return std::unique_ptr<OnlineMechanism>(new AddOnStreamMechanism());
+  }
+  if (name == "subston" && kind == GameKind::kSubstOnline) {
+    return std::unique_ptr<OnlineMechanism>(new SubstOnStreamMechanism());
+  }
+  Result<std::unique_ptr<Mechanism>> mech =
+      MechanismRegistry::Global().Create(name);
+  if (!mech.ok()) return mech.status();
+  if ((*mech)->Supports(kind)) {
+    return std::unique_ptr<OnlineMechanism>(
+        new BufferingOnlineAdapter(std::move(*mech), /*collapse=*/false));
+  }
+  if ((*mech)->Supports(OfflineAnalog(kind))) {
+    return std::unique_ptr<OnlineMechanism>(
+        new BufferingOnlineAdapter(std::move(*mech), /*collapse=*/true));
+  }
+  return UnsupportedKind(name, kind);
+}
+
+bool NativelyOnline(const std::string& name, GameKind kind) {
+  return (name == "addon" && (kind == GameKind::kAdditiveOnline ||
+                              kind == GameKind::kMultiAdditiveOnline)) ||
+         (name == "subston" && kind == GameKind::kSubstOnline);
+}
+
+// ---------------------------------------------------------------------------
+// Event logs
+// ---------------------------------------------------------------------------
+
+Status SlotEventLog::Validate() const {
+  if (num_slots < 1) {
+    return Status::InvalidArgument("event log needs at least one slot");
+  }
+  if (static_cast<int>(events.size()) != num_slots) {
+    return Status::InvalidArgument(
+        "event log must carry one event list per slot");
+  }
+  if (kind != GameKind::kAdditiveOnline &&
+      kind != GameKind::kMultiAdditiveOnline &&
+      kind != GameKind::kSubstOnline) {
+    return Status::InvalidArgument("event logs describe online game classes");
+  }
+  return ValidateCosts(costs);
+}
+
+SlotEventLog EventLogFromGame(const AdditiveOnlineGame& game) {
+  SlotEventLog log;
+  log.kind = GameKind::kAdditiveOnline;
+  log.num_slots = game.num_slots;
+  log.costs = {game.cost};
+  log.events.resize(static_cast<size_t>(game.num_slots));
+  for (UserId i = 0; i < game.num_users(); ++i) {
+    const SlotValues& stream = game.users[static_cast<size_t>(i)];
+    auto& at_start = log.events[static_cast<size_t>(stream.start - 1)];
+    if (stream.Total() > 0.0) {
+      at_start.push_back(SlotEvent::DeclareValues(i, 0, stream));
+    } else {
+      at_start.push_back(SlotEvent::UserArrive(i, stream.start, stream.end));
+    }
+  }
+  return log;
+}
+
+SlotEventLog EventLogFromGame(const MultiAdditiveOnlineGame& game) {
+  SlotEventLog log;
+  log.kind = GameKind::kMultiAdditiveOnline;
+  log.num_slots = game.num_slots;
+  log.costs = game.costs;
+  log.events.resize(static_cast<size_t>(game.num_slots));
+  for (UserId i = 0; i < game.num_users(); ++i) {
+    const auto& row = game.bids[static_cast<size_t>(i)];
+    // Every user shares one interval across her streams (BuildAdditiveGame
+    // guarantees it); announce her once, then declare the non-zero columns.
+    const TimeSlot start = row.empty() ? 1 : row[0].start;
+    const TimeSlot end = row.empty() ? 1 : row[0].end;
+    auto& at_start = log.events[static_cast<size_t>(start - 1)];
+    at_start.push_back(SlotEvent::UserArrive(i, start, end));
+    for (OptId j = 0; j < game.num_opts(); ++j) {
+      if (row[static_cast<size_t>(j)].Total() > 0.0) {
+        at_start.push_back(
+            SlotEvent::DeclareValues(i, j, row[static_cast<size_t>(j)]));
+      }
+    }
+  }
+  return log;
+}
+
+SlotEventLog EventLogFromGame(const SubstOnlineGame& game) {
+  SlotEventLog log;
+  log.kind = GameKind::kSubstOnline;
+  log.num_slots = game.num_slots;
+  log.costs = game.costs;
+  log.events.resize(static_cast<size_t>(game.num_slots));
+  for (UserId i = 0; i < game.num_users(); ++i) {
+    const SubstOnlineUser& u = game.users[static_cast<size_t>(i)];
+    auto& at_start = log.events[static_cast<size_t>(u.stream.start - 1)];
+    if (u.stream.Total() > 0.0) {
+      at_start.push_back(
+          SlotEvent::DeclareSubstValues(i, u.substitutes, u.stream));
+    } else {
+      at_start.push_back(
+          SlotEvent::UserArrive(i, u.stream.start, u.stream.end));
+    }
+  }
+  return log;
+}
+
+namespace {
+
+/// Shared log scan: roster intervals, effective ends, and declared streams.
+struct LogScan {
+  Roster roster;
+  std::vector<double> costs;
+  std::map<std::pair<UserId, OptId>, SlotValues> streams;
+  std::map<UserId, std::vector<OptId>> substitutes;
+};
+
+Result<LogScan> ScanLog(const SlotEventLog& log) {
+  OPTSHARE_RETURN_NOT_OK(log.Validate());
+  LogScan scan;
+  scan.costs = log.costs;
+  for (TimeSlot t = 1; t <= log.num_slots; ++t) {
+    for (const SlotEvent& e : log.events[static_cast<size_t>(t - 1)]) {
+      switch (e.kind) {
+        case SlotEvent::Kind::kUserArrive:
+          if (e.user < 0) {
+            return Status::InvalidArgument("user id must be non-negative");
+          }
+          if (scan.roster.Has(e.user)) {
+            return Status::AlreadyExists("user already registered");
+          }
+          scan.roster.Add(e.user, e.stream.start, e.stream.end);
+          break;
+        case SlotEvent::Kind::kDeclareValues: {
+          if (e.user < 0) {
+            return Status::InvalidArgument("user id must be non-negative");
+          }
+          if (scan.roster.Departed(e.user)) {
+            return Status::FailedPrecondition("user departed; cannot declare");
+          }
+          OPTSHARE_RETURN_NOT_OK(e.stream.Validate());
+          const OptId j =
+              log.kind == GameKind::kSubstOnline ? 0 : e.opt;
+          if (scan.streams.count({e.user, j}) != 0) {
+            return Status::AlreadyExists("duplicate declaration");
+          }
+          scan.streams[{e.user, j}] = e.stream;
+          if (log.kind == GameKind::kSubstOnline) {
+            scan.substitutes[e.user] = e.substitutes;
+          }
+          if (!scan.roster.Has(e.user)) {
+            scan.roster.Add(e.user, e.stream.start, e.stream.end);
+          }
+          break;
+        }
+        case SlotEvent::Kind::kUserDepart: {
+          if (!scan.roster.Has(e.user)) {
+            return Status::NotFound("unknown user id");
+          }
+          scan.roster.Depart(e.user, t);
+          break;
+        }
+        case SlotEvent::Kind::kOptAdd:
+          if (e.opt != static_cast<OptId>(scan.costs.size())) {
+            return Status::InvalidArgument(
+                "opt_add ids must be dense and in order");
+          }
+          scan.costs.push_back(e.cost);
+          break;
+        case SlotEvent::Kind::kOptRetire:
+          return Status::InvalidArgument(
+              "a log with opt_retire events has no batch-game equivalent");
+      }
+    }
+  }
+  return scan;
+}
+
+}  // namespace
+
+Result<MultiAdditiveOnlineGame> MaterializeAdditiveLog(
+    const SlotEventLog& log) {
+  if (log.kind == GameKind::kSubstOnline) {
+    return Status::InvalidArgument("log describes a substitutable game");
+  }
+  Result<LogScan> scan_r = ScanLog(log);
+  if (!scan_r.ok()) return scan_r.status();
+  const LogScan& scan = *scan_r;
+
+  MultiAdditiveOnlineGame game;
+  game.num_slots = log.num_slots;
+  game.costs = scan.costs;
+  const int n = scan.roster.id_space();
+  const int opts = static_cast<int>(scan.costs.size());
+  for (UserId i = 0; i < n; ++i) {
+    std::vector<SlotValues> row;
+    row.reserve(static_cast<size_t>(opts));
+    for (OptId j = 0; j < opts; ++j) {
+      auto it = scan.streams.find({i, j});
+      if (it != scan.streams.end()) {
+        row.push_back(TruncateStream(
+            it->second, scan.roster.eff_end[static_cast<size_t>(i)]));
+      } else if (scan.roster.Has(i)) {
+        row.push_back(ZeroStream(scan.roster, i));
+      } else {
+        row.push_back(SlotValues::Constant(1, 1, 0.0));
+      }
+    }
+    game.bids.push_back(std::move(row));
+  }
+  OPTSHARE_RETURN_NOT_OK(game.Validate());
+  return game;
+}
+
+Result<SubstOnlineGame> MaterializeSubstLog(const SlotEventLog& log) {
+  if (log.kind != GameKind::kSubstOnline) {
+    return Status::InvalidArgument("log describes an additive game");
+  }
+  Result<LogScan> scan_r = ScanLog(log);
+  if (!scan_r.ok()) return scan_r.status();
+  const LogScan& scan = *scan_r;
+
+  SubstOnlineGame game;
+  game.num_slots = log.num_slots;
+  game.costs = scan.costs;
+  const int n = scan.roster.id_space();
+  for (UserId i = 0; i < n; ++i) {
+    SubstOnlineUser user;
+    auto subs = scan.substitutes.find(i);
+    if (subs != scan.substitutes.end()) {
+      user.substitutes = subs->second;
+      user.stream = TruncateStream(
+          scan.streams.at({i, 0}),
+          scan.roster.eff_end[static_cast<size_t>(i)]);
+    } else {
+      if (game.costs.empty()) {
+        return Status::FailedPrecondition(
+            "cannot materialize a user without a bid in a game with no "
+            "optimizations");
+      }
+      user.substitutes = {0};
+      user.stream = scan.roster.Has(i) ? ZeroStream(scan.roster, i)
+                                       : SlotValues::Constant(1, 1, 0.0);
+    }
+    game.users.push_back(std::move(user));
+  }
+  OPTSHARE_RETURN_NOT_OK(game.Validate());
+  return game;
+}
+
+Result<MechanismResult> ReplayLog(const SlotEventLog& log,
+                                  OnlineMechanism& mech) {
+  OPTSHARE_RETURN_NOT_OK(log.Validate());
+  OnlineGameMeta meta;
+  meta.kind = log.kind;
+  meta.num_slots = log.num_slots;
+  meta.costs = log.costs;
+  OPTSHARE_RETURN_NOT_OK(mech.Begin(meta));
+  for (TimeSlot t = 1; t <= log.num_slots; ++t) {
+    Result<OnlineSlotReport> report =
+        mech.OnSlot(t, log.events[static_cast<size_t>(t - 1)]);
+    if (!report.ok()) return report.status();
+  }
+  return mech.Finalize();
+}
+
+Result<MechanismResult> ReplayLog(const SlotEventLog& log,
+                                  const std::string& mechanism) {
+  Result<std::unique_ptr<OnlineMechanism>> mech =
+      ResolveOnlineMechanism(mechanism, log.kind);
+  if (!mech.ok()) return mech.status();
+  return ReplayLog(log, **mech);
+}
+
+}  // namespace optshare

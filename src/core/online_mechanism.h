@@ -1,0 +1,198 @@
+// The streaming mechanism surface: slot-incremental pricing sessions.
+//
+// The paper's headline mechanisms (AddOn §5, SubstOn §6.2) are *online* —
+// users arrive, declare values, and are charged slot by slot — yet the
+// original integration surface was batch-only: callers materialized a full
+// game and ran a Mechanism over it. This header turns the engines'
+// cross-slot residual state into a first-class streaming API:
+//
+//   OnlineMechanism mech = ...;
+//   mech.Begin(meta);                  // game class, horizon, known opts
+//   mech.OnSlot(1, events);            // arrivals / declarations / ...
+//   mech.OnSlot(2, events);            //   ... then price the slot
+//   ...
+//   MechanismResult r = mech.Finalize();
+//
+// AddOn and SubstOn implement the interface *natively* (slot work is
+// incremental; per-slot outcomes are reported as slots run). Every other
+// registered mechanism — the offline paper mechanisms and the baselines —
+// participates through a buffering adapter that collects the event stream
+// and prices it in one batch at Finalize (collapsing streams to totals for
+// offline-only mechanisms). ResolveOnlineMechanism picks the right wrapper
+// by registry name, so the service, CLI and experiment harness drive every
+// mechanism through one streaming code path.
+//
+// Equivalence contract: feeding a mechanism the event stream of a batch
+// game (EventLogFromGame + ReplayLog) produces results bit-identical to
+// running the batch Mechanism on that game, with one caveat for the native
+// engines: a slot's zero-bidder denominator counts only users registered
+// *so far*, so outcomes can differ from batch when a per-member share falls
+// to <= kMoneyEpsilon (zero bidders are swept in only then — measure-zero
+// for real pricing inputs). Streams that announce every user before slot 1
+// (the PricingSession batch-compat path) are exactly batch.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/mechanism.h"
+#include "core/subst_on.h"
+
+namespace optshare {
+
+// ---------------------------------------------------------------------------
+// Events
+// ---------------------------------------------------------------------------
+
+/// One tenant- or structure-level event delivered to an OnlineMechanism at
+/// a slot boundary. User ids are small dense integers assigned by the
+/// caller (the session's roster order); optimization ids are dense and
+/// append-only.
+struct SlotEvent {
+  enum class Kind {
+    /// User `user` announces presence over [stream.start, stream.end]
+    /// (stream.values unused). She counts toward the pricing denominator
+    /// but bids zero until she declares values.
+    kUserArrive,
+    /// User `user` leaves early: present through the slot this event is
+    /// delivered at, gone afterwards (her declared departure moves up).
+    kUserDepart,
+    /// User `user` declares her value stream. Additive games: `stream` for
+    /// optimization `opt`. Substitutable games: `stream` for any one of
+    /// `substitutes` (opt unused). Implies arrival; a declaration is
+    /// binding once delivered.
+    kDeclareValues,
+    /// Structure `opt` (the next dense OptId) becomes a candidate at
+    /// `cost`; it is priced from this slot on.
+    kOptAdd,
+    /// Structure `opt` stops being priced (additive only): serviced users
+    /// who have not paid yet are charged the last priced share.
+    kOptRetire,
+  };
+
+  Kind kind = Kind::kUserArrive;
+  UserId user = -1;
+  OptId opt = kNoOpt;
+  double cost = 0.0;
+  SlotValues stream;
+  std::vector<OptId> substitutes;
+
+  static SlotEvent UserArrive(UserId user, TimeSlot start, TimeSlot end);
+  static SlotEvent UserDepart(UserId user);
+  static SlotEvent DeclareValues(UserId user, OptId opt, SlotValues stream);
+  static SlotEvent DeclareSubstValues(UserId user,
+                                      std::vector<OptId> substitutes,
+                                      SlotValues stream);
+  static SlotEvent OptAdd(OptId opt, double cost);
+  static SlotEvent OptRetire(OptId opt);
+};
+
+/// Metadata opening a streamed game: its class, horizon, and the costs of
+/// optimizations known up front (more may arrive via kOptAdd).
+struct OnlineGameMeta {
+  GameKind kind = GameKind::kAdditiveOnline;
+  int num_slots = 1;
+  std::vector<double> costs;
+};
+
+/// What one OnSlot call priced. Native mechanisms fill this as slots run;
+/// buffering adapters set `deferred` (everything is priced at Finalize).
+struct OnlineSlotReport {
+  bool deferred = false;
+  struct OptSlot {
+    OptId opt = kNoOpt;
+    /// Even share C_j / |CS_j(t)| of this slot's run.
+    double share = 0.0;
+    /// Users entering the cumulative serviced set at this slot, ascending.
+    std::vector<UserId> newly_serviced;
+  };
+  /// One entry per optimization whose slot run serviced a non-empty set.
+  std::vector<OptSlot> priced;
+};
+
+// ---------------------------------------------------------------------------
+// Interface
+// ---------------------------------------------------------------------------
+
+/// A slot-incremental pricing mechanism. Call order: Begin, then OnSlot for
+/// slots 1..num_slots in order, then Finalize. Begin resets any prior
+/// stream, so one instance can price many games sequentially.
+class OnlineMechanism {
+ public:
+  virtual ~OnlineMechanism() = default;
+
+  /// Registry name of the underlying mechanism, e.g. "addon".
+  virtual std::string_view name() const = 0;
+
+  /// True when per-slot outcomes are reported as slots run; false when the
+  /// mechanism buffers the stream and prices at Finalize.
+  virtual bool native() const = 0;
+
+  virtual Status Begin(const OnlineGameMeta& meta) = 0;
+
+  /// Ingests `events` (in order), then prices slot `slot`. Slots must be
+  /// fed consecutively from 1.
+  virtual Result<OnlineSlotReport> OnSlot(
+      TimeSlot slot, const std::vector<SlotEvent>& events) = 0;
+
+  /// Completes the period (all slots must have been fed) and returns the
+  /// uniform result. User-indexed vectors span the registered id space.
+  virtual Result<MechanismResult> Finalize() = 0;
+};
+
+/// Resolves `name` against the MechanismRegistry and returns its streaming
+/// form: the native engine for "addon" (additive games) and "subston"
+/// (substitutable games), a buffering adapter for everything else. The
+/// adapter accepts mechanisms that support `kind` directly, and mechanisms
+/// that support the offline analog of `kind` (streams are collapsed to
+/// per-user totals at Finalize — end-of-period batch pricing). NotFound for
+/// unknown names, InvalidArgument when neither form is supported.
+Result<std::unique_ptr<OnlineMechanism>> ResolveOnlineMechanism(
+    const std::string& name, GameKind kind);
+
+/// True iff ResolveOnlineMechanism(name, kind) yields a native (per-slot)
+/// implementation rather than a buffering adapter.
+bool NativelyOnline(const std::string& name, GameKind kind);
+
+// ---------------------------------------------------------------------------
+// Event logs
+// ---------------------------------------------------------------------------
+
+/// A materialized event stream: the replayable form of one period. The
+/// workload generators emit these, the CLI `replay` subcommand consumes
+/// them, and core/serialization.h round-trips them through JSON.
+struct SlotEventLog {
+  GameKind kind = GameKind::kAdditiveOnline;
+  int num_slots = 1;
+  /// Costs of optimizations known before slot 1.
+  std::vector<double> costs;
+  /// events[t-1]: the batch delivered with OnSlot(t).
+  std::vector<std::vector<SlotEvent>> events;
+
+  Status Validate() const;
+};
+
+/// The event-stream form of a batch game: every user is announced at her
+/// arrival slot (kUserArrive) and declares her non-zero streams there.
+SlotEventLog EventLogFromGame(const AdditiveOnlineGame& game);
+SlotEventLog EventLogFromGame(const MultiAdditiveOnlineGame& game);
+SlotEventLog EventLogFromGame(const SubstOnlineGame& game);
+
+/// Rebuilds the batch game an additive log describes (kAdditiveOnline and
+/// kMultiAdditiveOnline logs; users without declares become zero bidders).
+/// Early departures truncate the declared streams.
+Result<MultiAdditiveOnlineGame> MaterializeAdditiveLog(const SlotEventLog& log);
+/// Same for a kSubstOnline log (users without declares are dropped to an
+/// all-zero bid on optimization 0, which no mechanism ever grants).
+Result<SubstOnlineGame> MaterializeSubstLog(const SlotEventLog& log);
+
+/// Drives `mech` over the log: Begin, OnSlot 1..num_slots, Finalize.
+Result<MechanismResult> ReplayLog(const SlotEventLog& log,
+                                  OnlineMechanism& mech);
+/// Resolve-and-replay by registry name.
+Result<MechanismResult> ReplayLog(const SlotEventLog& log,
+                                  const std::string& mechanism);
+
+}  // namespace optshare

@@ -219,6 +219,162 @@ Result<SubstOfflineGame> SubstOfflineGameFromJson(const JsonValue& v) {
   return game;
 }
 
+JsonValue ToJson(const SlotEventLog& log) {
+  JsonValue obj = JsonValue::MakeObject();
+  obj.Set("type", JsonValue::Str("event_log"));
+  obj.Set("game", JsonValue::Str(std::string(GameKindName(log.kind))));
+  obj.Set("num_slots", JsonValue::Number(log.num_slots));
+  obj.Set("costs", NumbersToJson(log.costs));
+  JsonValue slots = JsonValue::MakeArray();
+  for (TimeSlot t = 1; t <= log.num_slots; ++t) {
+    const auto& batch = log.events[static_cast<size_t>(t - 1)];
+    if (batch.empty()) continue;  // Idle slots are implicit.
+    JsonValue slot_obj = JsonValue::MakeObject();
+    slot_obj.Set("slot", JsonValue::Number(t));
+    JsonValue events = JsonValue::MakeArray();
+    for (const SlotEvent& e : batch) {
+      JsonValue ev = JsonValue::MakeObject();
+      switch (e.kind) {
+        case SlotEvent::Kind::kUserArrive:
+          ev.Set("event", JsonValue::Str("user_arrive"));
+          ev.Set("user", JsonValue::Number(e.user));
+          ev.Set("start", JsonValue::Number(e.stream.start));
+          ev.Set("end", JsonValue::Number(e.stream.end));
+          break;
+        case SlotEvent::Kind::kUserDepart:
+          ev.Set("event", JsonValue::Str("user_depart"));
+          ev.Set("user", JsonValue::Number(e.user));
+          break;
+        case SlotEvent::Kind::kDeclareValues:
+          ev = StreamToJson(e.stream);
+          ev.Set("event", JsonValue::Str("declare"));
+          ev.Set("user", JsonValue::Number(e.user));
+          if (log.kind == GameKind::kSubstOnline) {
+            ev.Set("substitutes", OptIdsToJson(e.substitutes));
+          } else {
+            ev.Set("opt", JsonValue::Number(e.opt));
+          }
+          break;
+        case SlotEvent::Kind::kOptAdd:
+          ev.Set("event", JsonValue::Str("opt_add"));
+          ev.Set("opt", JsonValue::Number(e.opt));
+          ev.Set("cost", JsonValue::Number(e.cost));
+          break;
+        case SlotEvent::Kind::kOptRetire:
+          ev.Set("event", JsonValue::Str("opt_retire"));
+          ev.Set("opt", JsonValue::Number(e.opt));
+          break;
+      }
+      events.Append(std::move(ev));
+    }
+    slot_obj.Set("events", std::move(events));
+    slots.Append(std::move(slot_obj));
+  }
+  obj.Set("slots", std::move(slots));
+  return obj;
+}
+
+Result<SlotEventLog> EventLogFromJson(const JsonValue& v) {
+  OPTSHARE_RETURN_NOT_OK(CheckType(v, "event_log"));
+  SlotEventLog log;
+  const JsonValue* game = v.Find("game");
+  const std::string game_name =
+      (game != nullptr && game->is_string()) ? game->AsString() : "";
+  if (game_name == "additive_online") {
+    log.kind = GameKind::kAdditiveOnline;
+  } else if (game_name == "multi_additive_online") {
+    log.kind = GameKind::kMultiAdditiveOnline;
+  } else if (game_name == "subst_online") {
+    log.kind = GameKind::kSubstOnline;
+  } else {
+    return Status::InvalidArgument("unknown or missing game class: \"" +
+                                   game_name + "\"");
+  }
+  Result<int> slots = IntFromJson(v.Find("num_slots"), "num_slots");
+  if (!slots.ok()) return slots.status();
+  log.num_slots = *slots;
+  if (log.num_slots < 1) {
+    return Status::InvalidArgument("event log needs at least one slot");
+  }
+  Result<std::vector<double>> costs = NumbersFromJson(v.Find("costs"), "costs");
+  if (!costs.ok()) return costs.status();
+  log.costs = std::move(*costs);
+  log.events.resize(static_cast<size_t>(log.num_slots));
+
+  const JsonValue* slot_list = v.Find("slots");
+  if (slot_list == nullptr || !slot_list->is_array()) {
+    return Status::InvalidArgument("missing or non-array field: slots");
+  }
+  for (const auto& slot_obj : slot_list->AsArray()) {
+    if (!slot_obj.is_object()) {
+      return Status::InvalidArgument("slot entry must be an object");
+    }
+    Result<int> t = IntFromJson(slot_obj.Find("slot"), "slot");
+    if (!t.ok()) return t.status();
+    if (*t < 1 || *t > log.num_slots) {
+      return Status::OutOfRange("slot index outside the period");
+    }
+    const JsonValue* events = slot_obj.Find("events");
+    if (events == nullptr || !events->is_array()) {
+      return Status::InvalidArgument("missing or non-array field: events");
+    }
+    for (const auto& ev : events->AsArray()) {
+      if (!ev.is_object()) {
+        return Status::InvalidArgument("event entry must be an object");
+      }
+      const JsonValue* kind = ev.Find("event");
+      const std::string kind_name =
+          (kind != nullptr && kind->is_string()) ? kind->AsString() : "";
+      SlotEvent e;
+      if (kind_name == "user_arrive") {
+        Result<int> user = IntFromJson(ev.Find("user"), "user");
+        if (!user.ok()) return user.status();
+        Result<int> start = IntFromJson(ev.Find("start"), "start");
+        if (!start.ok()) return start.status();
+        Result<int> end = IntFromJson(ev.Find("end"), "end");
+        if (!end.ok()) return end.status();
+        e = SlotEvent::UserArrive(*user, *start, *end);
+      } else if (kind_name == "user_depart") {
+        Result<int> user = IntFromJson(ev.Find("user"), "user");
+        if (!user.ok()) return user.status();
+        e = SlotEvent::UserDepart(*user);
+      } else if (kind_name == "declare") {
+        Result<int> user = IntFromJson(ev.Find("user"), "user");
+        if (!user.ok()) return user.status();
+        Result<SlotValues> stream = StreamFromJson(ev);
+        if (!stream.ok()) return stream.status();
+        if (log.kind == GameKind::kSubstOnline) {
+          Result<std::vector<OptId>> subs =
+              OptIdsFromJson(ev.Find("substitutes"), "substitutes");
+          if (!subs.ok()) return subs.status();
+          e = SlotEvent::DeclareSubstValues(*user, std::move(*subs),
+                                            std::move(*stream));
+        } else {
+          Result<int> opt = IntFromJson(ev.Find("opt"), "opt");
+          if (!opt.ok()) return opt.status();
+          e = SlotEvent::DeclareValues(*user, *opt, std::move(*stream));
+        }
+      } else if (kind_name == "opt_add") {
+        Result<int> opt = IntFromJson(ev.Find("opt"), "opt");
+        if (!opt.ok()) return opt.status();
+        Result<double> cost = NumberFromJson(ev.Find("cost"), "cost");
+        if (!cost.ok()) return cost.status();
+        e = SlotEvent::OptAdd(*opt, *cost);
+      } else if (kind_name == "opt_retire") {
+        Result<int> opt = IntFromJson(ev.Find("opt"), "opt");
+        if (!opt.ok()) return opt.status();
+        e = SlotEvent::OptRetire(*opt);
+      } else {
+        return Status::InvalidArgument("unknown event kind: \"" + kind_name +
+                                       "\"");
+      }
+      log.events[static_cast<size_t>(*t - 1)].push_back(std::move(e));
+    }
+  }
+  OPTSHARE_RETURN_NOT_OK(log.Validate());
+  return log;
+}
+
 Result<SubstOnlineGame> SubstOnlineGameFromJson(const JsonValue& v) {
   OPTSHARE_RETURN_NOT_OK(CheckType(v, "subst_online"));
   SubstOnlineGame game;

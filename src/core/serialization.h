@@ -1,5 +1,5 @@
-// JSON (de)serialization of game descriptions — the file format consumed
-// by the optshare CLI and usable by downstream tooling.
+// JSON (de)serialization of game descriptions and event logs — the file
+// formats consumed by the optshare CLI and usable by downstream tooling.
 //
 // Additive offline:
 //   {"type": "additive_offline", "costs": [..], "bids": [[..], ..]}
@@ -13,10 +13,23 @@
 //   {"type": "subst_online", "num_slots": z, "costs": [..],
 //    "users": [{"start": s, "end": e, "values": [..],
 //               "substitutes": [..]}, ..]}
+// Event log (streamed period; `game` names the online game class):
+//   {"type": "event_log", "game": "additive_online" |
+//    "multi_additive_online" | "subst_online", "num_slots": z,
+//    "costs": [..], "slots": [{"slot": t, "events": [
+//      {"event": "user_arrive", "user": i, "start": s, "end": e},
+//      {"event": "user_depart", "user": i},
+//      {"event": "declare", "user": i, "opt": j,
+//       "start": s, "end": e, "values": [..]},            // additive
+//      {"event": "declare", "user": i, "substitutes": [..],
+//       "start": s, "end": e, "values": [..]},            // substitutable
+//      {"event": "opt_add", "opt": j, "cost": c},
+//      {"event": "opt_retire", "opt": j}]}, ..]}
 #pragma once
 
 #include "common/json.h"
 #include "core/game.h"
+#include "core/online_mechanism.h"
 
 namespace optshare {
 
@@ -24,11 +37,13 @@ JsonValue ToJson(const AdditiveOfflineGame& game);
 JsonValue ToJson(const AdditiveOnlineGame& game);
 JsonValue ToJson(const SubstOfflineGame& game);
 JsonValue ToJson(const SubstOnlineGame& game);
+JsonValue ToJson(const SlotEventLog& log);
 
 Result<AdditiveOfflineGame> AdditiveOfflineGameFromJson(const JsonValue& v);
 Result<AdditiveOnlineGame> AdditiveOnlineGameFromJson(const JsonValue& v);
 Result<SubstOfflineGame> SubstOfflineGameFromJson(const JsonValue& v);
 Result<SubstOnlineGame> SubstOnlineGameFromJson(const JsonValue& v);
+Result<SlotEventLog> EventLogFromJson(const JsonValue& v);
 
 /// The "type" discriminator of a game document ("" when absent).
 std::string GameTypeOf(const JsonValue& v);

@@ -2,8 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
-
-#include "core/mechanism.h"
+#include <cmath>
 
 namespace optshare {
 
@@ -27,115 +26,225 @@ double SubstOnResult::TotalPayment() const {
   return sum;
 }
 
+SubstOnSlotEngine::SubstOnSlotEngine(std::vector<double> costs, int num_slots)
+    : costs_(std::move(costs)), num_slots_(num_slots), residuals_(0) {
+  assert(ValidateCosts(costs_).ok());
+  assert(num_slots_ >= 1 && "period needs at least one slot");
+  out_.result.implemented_at.assign(costs_.size(), 0);
+  out_.last_share.assign(costs_.size(), 0.0);
+  out_.result.serviced.resize(static_cast<size_t>(num_slots_));
+  by_start_.resize(static_cast<size_t>(num_slots_) + 2);
+}
+
+void SubstOnSlotEngine::Reserve(int num_users, size_t total_values) {
+  const size_t n = static_cast<size_t>(num_users);
+  present_.reserve(n);
+  joined_.reserve(n);
+  start_.reserve(n);
+  decl_end_.reserve(n);
+  eff_end_.reserve(n);
+  stream_idx_.reserve(n);
+  substitutes_.reserve(n);
+  out_.result.grant.reserve(n);
+  out_.result.grant_slot.reserve(n);
+  out_.result.payments.reserve(n);
+  residuals_.ReserveValues(total_values);
+}
+
+Result<OptId> SubstOnSlotEngine::AddOpt(double cost) {
+  if (std::isnan(cost) || std::isinf(cost) || cost <= 0.0) {
+    return Status::InvalidArgument(
+        "optimization costs must be finite and positive");
+  }
+  costs_.push_back(cost);
+  out_.result.implemented_at.push_back(0);
+  out_.last_share.push_back(0.0);
+  return static_cast<OptId>(costs_.size()) - 1;
+}
+
+Status SubstOnSlotEngine::Register(UserId i, TimeSlot start, TimeSlot end,
+                                   const std::vector<double>* values,
+                                   std::vector<OptId> substitutes) {
+  if (i < 0) return Status::InvalidArgument("user id must be non-negative");
+  if (start < 1 || end < start || end > num_slots_) {
+    return Status::InvalidArgument("user interval outside the period's slots");
+  }
+  if (values != nullptr) {
+    OPTSHARE_RETURN_NOT_OK(ValidateSubstituteSet(substitutes, num_opts()));
+  }
+  const size_t u = static_cast<size_t>(i);
+  if (u >= present_.size()) {
+    const size_t n = u + 1;
+    present_.resize(n, 0);
+    joined_.resize(n, 0);
+    start_.resize(n, 0);
+    decl_end_.resize(n, 0);
+    eff_end_.resize(n, 0);
+    stream_idx_.resize(n, -1);
+    substitutes_.resize(n);
+    out_.result.grant.resize(n, kNoOpt);
+    out_.result.grant_slot.resize(n, 0);
+    out_.result.payments.resize(n, 0.0);
+  }
+  const bool fresh = present_[u] == 0;
+  if (!fresh) {
+    if (values == nullptr) {
+      return Status::AlreadyExists("user already registered");
+    }
+    if (stream_idx_[u] >= 0) {
+      return Status::AlreadyExists("user already declared a bid");
+    }
+    if (eff_end_[u] < decl_end_[u]) {
+      return Status::FailedPrecondition("user departed; cannot declare");
+    }
+  }
+  present_[u] = 1;
+  start_[u] = start;
+  decl_end_[u] = end;
+  eff_end_[u] = end;
+  if (values != nullptr) {
+    residuals_.AddUser(start, end, *values);
+    stream_idx_[u] = arena_users_++;
+    substitutes_[u] = std::move(substitutes);
+  }
+  if (!joined_[u]) {
+    const TimeSlot join = start > current_ ? start : current_ + 1;
+    by_start_[static_cast<size_t>(join)].push_back(i);
+  }
+  return Status::OK();
+}
+
+Status SubstOnSlotEngine::Arrive(UserId i, TimeSlot start, TimeSlot end) {
+  return Register(i, start, end, nullptr, {});
+}
+
+Status SubstOnSlotEngine::Declare(UserId i, const SlotValues& stream,
+                                  std::vector<OptId> substitutes) {
+  OPTSHARE_RETURN_NOT_OK(stream.Validate());
+  return Register(i, stream.start, stream.end, &stream.values,
+                  std::move(substitutes));
+}
+
+Status SubstOnSlotEngine::Depart(UserId i) {
+  if (!registered(i)) return Status::NotFound("unknown user id");
+  const size_t u = static_cast<size_t>(i);
+  const TimeSlot t = current_ + 1;  // Present through the upcoming slot.
+  if (start_[u] > t) {
+    return Status::InvalidArgument("cannot depart before arrival");
+  }
+  if (eff_end_[u] <= t) return Status::OK();  // Already ends by then.
+  eff_end_[u] = t;
+  return Status::OK();
+}
+
+Status SubstOnSlotEngine::StepSlot() {
+  if (current_ >= num_slots_) {
+    return Status::FailedPrecondition("period exhausted");
+  }
+  const TimeSlot t = ++current_;
+  SubstOnResult& result = out_.result;
+  const size_t m = present_.size();
+
+  for (UserId i : by_start_[static_cast<size_t>(t)]) {
+    if (!joined_[static_cast<size_t>(i)]) {
+      joined_[static_cast<size_t>(i)] = 1;
+      alive_.push_back(i);
+    }
+  }
+
+  rows_.assign(m, SparseSubstUserRow{});
+  // Once serviced by j, the user is pinned to j: infinite bid on j,
+  // zero on everything else (no switching).
+  for (UserId i : granted_) {
+    rows_[static_cast<size_t>(i)].bids.push_back(
+        {result.grant[static_cast<size_t>(i)], kInfiniteBid});
+  }
+  size_t write = 0;
+  for (UserId i : alive_) {
+    const size_t u = static_cast<size_t>(i);
+    if (result.grant[u] != kNoOpt) continue;
+    // Departed, never-granted users keep an (implicit) all-zero row and
+    // need no further per-slot work.
+    if (t > eff_end_[u]) continue;
+    double residual = 0.0;
+    if (stream_idx_[u] >= 0) {
+      residual = residuals_.ResidualFrom(stream_idx_[u], t);
+      if (eff_end_[u] < decl_end_[u]) {
+        // Early departure truncates the declared stream.
+        residual -= residuals_.ResidualFrom(stream_idx_[u], eff_end_[u] + 1);
+      }
+    }
+    if (residual > 0.0) {
+      for (OptId j : substitutes_[u]) {
+        rows_[u].bids.push_back({j, residual});
+      }
+    }
+    alive_[write++] = i;
+  }
+  alive_.resize(write);
+
+  SubstOffResult off = RunSubstOffSparse(costs_, std::move(rows_));
+
+  for (size_t k = 0; k < off.implemented.size(); ++k) {
+    const OptId j = off.implemented[k];
+    if (result.implemented_at[static_cast<size_t>(j)] == 0) {
+      result.implemented_at[static_cast<size_t>(j)] = t;
+    }
+    out_.last_share[static_cast<size_t>(j)] = off.cost_share[k];
+  }
+
+  // Record new grants; the granted list stays sorted by id.
+  last_new_grants_.clear();
+  for (UserId i = 0; i < static_cast<UserId>(m); ++i) {
+    const OptId g = off.grant[static_cast<size_t>(i)];
+    if (g == kNoOpt) continue;
+    if (result.grant[static_cast<size_t>(i)] == kNoOpt) {
+      result.grant[static_cast<size_t>(i)] = g;
+      result.grant_slot[static_cast<size_t>(i)] = t;
+      granted_.push_back(i);
+      last_new_grants_.push_back(i);
+    }
+  }
+  if (!last_new_grants_.empty()) std::sort(granted_.begin(), granted_.end());
+
+  // A pinned user is always re-granted her optimization; record her as
+  // actively serviced while her declared interval lasts, and charge her
+  // this run's share at her departure slot.
+  auto& s_t = result.serviced[static_cast<size_t>(t - 1)];
+  for (UserId i : granted_) {
+    const TimeSlot end = eff_end_[static_cast<size_t>(i)];
+    if (t <= end) s_t.push_back(i);
+    if (end == t) {
+      result.payments[static_cast<size_t>(i)] =
+          off.payments[static_cast<size_t>(i)];
+    }
+  }
+  last_off_ = std::move(off);
+  return Status::OK();
+}
+
 SubstOnEngineOutcome RunSubstOnEngine(const SubstOnlineGame& game) {
   assert(game.Validate().ok());
   const int m = game.num_users();
-  const int n = game.num_opts();
-  const int z = game.num_slots;
 
-  SubstOnEngineOutcome out;
-  SubstOnResult& result = out.result;
-  result.grant.assign(static_cast<size_t>(m), kNoOpt);
-  result.grant_slot.assign(static_cast<size_t>(m), 0);
-  result.payments.assign(static_cast<size_t>(m), 0.0);
-  result.implemented_at.assign(static_cast<size_t>(n), 0);
-  result.serviced.resize(static_cast<size_t>(z));
-  out.last_share.assign(static_cast<size_t>(n), 0.0);
-
-  // Residual-bid state, computed once and reused across slots.
-  engine::ResidualSuffixArena residuals(m);
+  SubstOnSlotEngine eng(game.costs, game.num_slots);
   size_t total_values = 0;
   for (UserId i = 0; i < m; ++i) {
     total_values += game.users[static_cast<size_t>(i)].stream.values.size();
   }
-  residuals.ReserveValues(total_values);
+  eng.Reserve(m, total_values);
   for (UserId i = 0; i < m; ++i) {
-    const auto& s = game.users[static_cast<size_t>(i)].stream;
-    residuals.AddUser(s.start, s.end, s.values);
+    const auto& u = game.users[static_cast<size_t>(i)];
+    const Status st = eng.Declare(i, u.stream, u.substitutes);
+    assert(st.ok());
+    (void)st;
   }
-
-  // Users become bid-visible at their arrival slot.
-  std::vector<std::vector<UserId>> by_start(static_cast<size_t>(z) + 1);
-  for (UserId i = 0; i < m; ++i) {
-    by_start[static_cast<size_t>(game.users[static_cast<size_t>(i)]
-                                     .stream.start)]
-        .push_back(i);
+  for (TimeSlot t = 1; t <= game.num_slots; ++t) {
+    const Status st = eng.StepSlot();
+    assert(st.ok());
+    (void)st;
   }
-
-  // Active candidates: arrived, not yet granted. Granted users leave this
-  // list (they are pinned instead); users past their interval contribute a
-  // zero residual and are dropped lazily.
-  std::vector<UserId> alive;
-  // Granted users in increasing id order — the serviced lists and sparse
-  // pin rows are built from this.
-  std::vector<UserId> granted;
-
-  std::vector<SparseSubstUserRow> rows;
-
-  for (TimeSlot t = 1; t <= z; ++t) {
-    for (UserId i : by_start[static_cast<size_t>(t)]) alive.push_back(i);
-
-    rows.assign(static_cast<size_t>(m), SparseSubstUserRow{});
-    // Once serviced by j, the user is pinned to j: infinite bid on j,
-    // zero on everything else (no switching).
-    for (UserId i : granted) {
-      rows[static_cast<size_t>(i)].bids.push_back(
-          {result.grant[static_cast<size_t>(i)], kInfiniteBid});
-    }
-    size_t write = 0;
-    for (UserId i : alive) {
-      if (result.grant[static_cast<size_t>(i)] != kNoOpt) continue;
-      // Departed, never-granted users keep an (implicit) all-zero row and
-      // need no further per-slot work.
-      if (t > game.users[static_cast<size_t>(i)].stream.end) continue;
-      const double residual = residuals.ResidualFrom(i, t);
-      if (residual > 0.0) {
-        for (OptId j : game.users[static_cast<size_t>(i)].substitutes) {
-          rows[static_cast<size_t>(i)].bids.push_back({j, residual});
-        }
-      }
-      alive[write++] = i;
-    }
-    alive.resize(write);
-
-    SubstOffResult off = RunSubstOffSparse(game.costs, std::move(rows));
-
-    for (size_t k = 0; k < off.implemented.size(); ++k) {
-      const OptId j = off.implemented[k];
-      if (result.implemented_at[static_cast<size_t>(j)] == 0) {
-        result.implemented_at[static_cast<size_t>(j)] = t;
-      }
-      out.last_share[static_cast<size_t>(j)] = off.cost_share[k];
-    }
-
-    // Record new grants; the granted list stays sorted by id.
-    bool granted_changed = false;
-    for (UserId i = 0; i < m; ++i) {
-      const OptId g = off.grant[static_cast<size_t>(i)];
-      if (g == kNoOpt) continue;
-      if (result.grant[static_cast<size_t>(i)] == kNoOpt) {
-        result.grant[static_cast<size_t>(i)] = g;
-        result.grant_slot[static_cast<size_t>(i)] = t;
-        granted.push_back(i);
-        granted_changed = true;
-      }
-    }
-    if (granted_changed) std::sort(granted.begin(), granted.end());
-
-    // A pinned user is always re-granted her optimization; record her as
-    // actively serviced while her declared interval lasts, and charge her
-    // this run's share at her departure slot.
-    auto& s_t = result.serviced[static_cast<size_t>(t - 1)];
-    for (UserId i : granted) {
-      const TimeSlot end = game.users[static_cast<size_t>(i)].stream.end;
-      if (t <= end) s_t.push_back(i);
-      if (end == t) {
-        result.payments[static_cast<size_t>(i)] =
-            off.payments[static_cast<size_t>(i)];
-      }
-    }
-  }
-  return out;
+  return eng.TakeOutcome();
 }
 
 SubstOnResult RunSubstOn(const SubstOnlineGame& game) {

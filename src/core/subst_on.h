@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "core/game.h"
+#include "core/mechanism.h"
 #include "core/subst_off.h"
 
 namespace optshare {
@@ -55,7 +56,94 @@ struct SubstOnEngineOutcome {
 /// Runs Mechanism 4 on a validated game. Precondition: game.Validate().ok().
 SubstOnResult RunSubstOn(const SubstOnlineGame& game);
 
-/// Engine entry point: RunSubstOn plus per-opt final shares.
+/// Engine entry point: RunSubstOn plus per-opt final shares. Thin batch
+/// driver over SubstOnSlotEngine (declare everyone, step every slot).
 SubstOnEngineOutcome RunSubstOnEngine(const SubstOnlineGame& game);
+
+/// The incremental (slot-stepping) form of the SubstOn engine, mirroring
+/// engine::AddOnSlotEngine (core/mechanism.h): users declare
+/// (stream, substitute set) bids as they arrive, optimizations may be added
+/// between slots, and each StepSlot runs one SubstOff phase loop over the
+/// present users' residual bids. The batch RunSubstOnEngine registers every
+/// user before slot 1 and is bit-identical to the historical results.
+class SubstOnSlotEngine {
+ public:
+  /// `costs` (possibly empty; AddOpt appends more) must be positive.
+  SubstOnSlotEngine(std::vector<double> costs, int num_slots);
+
+  /// Optional pre-sizing for batch drivers.
+  void Reserve(int num_users, size_t total_values);
+
+  /// Appends a new optimization with the given (positive) cost; it is
+  /// priced from the next slot on. Returns its OptId.
+  Result<OptId> AddOpt(double cost);
+
+  /// Registers user `i` as present over [start, end] with no bids yet.
+  Status Arrive(UserId i, TimeSlot start, TimeSlot end);
+
+  /// Declares user i's bid omega_i = (stream, J_i). Substitutes must refer
+  /// to already-added optimizations. Values at elapsed slots are ignored.
+  Status Declare(UserId i, const SlotValues& stream,
+                 std::vector<OptId> substitutes);
+
+  /// Early departure: present through the upcoming slot, gone afterwards;
+  /// a granted user pays that slot's share of her optimization.
+  Status Depart(UserId i);
+
+  /// Prices slot next_slot().
+  Status StepSlot();
+
+  TimeSlot next_slot() const { return current_ + 1; }
+  int num_slots() const { return num_slots_; }
+  int num_opts() const { return static_cast<int>(costs_.size()); }
+  int id_space() const { return static_cast<int>(present_.size()); }
+  bool registered(UserId i) const {
+    return i >= 0 && i < id_space() && present_[static_cast<size_t>(i)] != 0;
+  }
+  TimeSlot end_of(UserId i) const {
+    return eff_end_[static_cast<size_t>(i)];
+  }
+  const std::vector<double>& costs() const { return costs_; }
+  /// The SubstOff outcome of the last stepped slot (for slot reports).
+  const SubstOffResult& last_off() const { return last_off_; }
+  /// Users first granted at the last stepped slot, increasing id order.
+  const std::vector<UserId>& last_new_grants() const {
+    return last_new_grants_;
+  }
+  /// Live outcome (vectors indexed by user id through the id space).
+  const SubstOnEngineOutcome& outcome() const { return out_; }
+  /// Moves the outcome out; the engine is spent afterwards.
+  SubstOnEngineOutcome TakeOutcome() { return std::move(out_); }
+
+ private:
+  Status Register(UserId i, TimeSlot start, TimeSlot end,
+                  const std::vector<double>* values,
+                  std::vector<OptId> substitutes);
+
+  std::vector<double> costs_;
+  int num_slots_;
+  TimeSlot current_ = 0;
+
+  engine::ResidualSuffixArena residuals_;
+  int arena_users_ = 0;
+
+  // Per-user state, indexed by UserId.
+  std::vector<char> present_;
+  std::vector<char> joined_;
+  std::vector<TimeSlot> start_;
+  std::vector<TimeSlot> decl_end_;
+  std::vector<TimeSlot> eff_end_;
+  std::vector<int> stream_idx_;  // arena index; -1 = no bid yet.
+  std::vector<std::vector<OptId>> substitutes_;
+
+  std::vector<std::vector<UserId>> by_start_;
+  std::vector<UserId> alive_;
+  std::vector<UserId> granted_;
+  std::vector<SparseSubstUserRow> rows_;
+  SubstOffResult last_off_;
+  std::vector<UserId> last_new_grants_;
+
+  SubstOnEngineOutcome out_;
+};
 
 }  // namespace optshare

@@ -8,18 +8,28 @@
 #include "baseline/regret.h"
 #include "core/accounting.h"
 #include "core/mechanism.h"
+#include "core/online_mechanism.h"
 
 namespace optshare::exp {
 namespace {
 
-// Resolves the mechanism once per sweep; the registry makes the mechanism
-// side of every figure a runtime parameter. The support check happens at
-// resolve time so a registered-but-incompatible name fails before the
+// Resolves the mechanism once per sweep, in its *streaming* form — the
+// comparison games are replayed as event streams (users declaring at their
+// arrival slots), so the figures exercise the same surface a live session
+// uses. Native engines (addon, subston) price slot by slot; online
+// baselines run through the buffering adapter with results identical to
+// the batch path. Offline-only names are rejected here even though the
+// session surface would accept them via stream collapsing: a collapsed
+// result has no slot structure, and accounting it against the online
+// truth game would yield silently wrong utility curves — the support
+// check happens at resolve time so an incompatible name fails before the
 // sweep starts, not on its first Run.
-Result<std::unique_ptr<Mechanism>> Resolve(const std::string& name,
-                                           GameKind kind) {
+Result<std::unique_ptr<OnlineMechanism>> Resolve(const std::string& name,
+                                                 GameKind kind) {
   RegisterBaselineMechanisms();
-  return ResolveMechanism(name, kind);
+  Result<std::unique_ptr<Mechanism>> batch = ResolveMechanism(name, kind);
+  if (!batch.ok()) return batch.status();
+  return ResolveOnlineMechanism(name, kind);
 }
 
 // The plain overloads run the paper's own mechanisms, which are always
@@ -57,7 +67,7 @@ std::vector<UtilityPoint> RunAdditiveComparison(
 Result<std::vector<UtilityPoint>> RunAdditiveComparison(
     const std::string& mechanism, const AdditiveScenario& scenario,
     const std::vector<double>& costs, int trials, uint64_t seed) {
-  Result<std::unique_ptr<Mechanism>> mech =
+  Result<std::unique_ptr<OnlineMechanism>> mech =
       Resolve(mechanism, GameKind::kAdditiveOnline);
   if (!mech.ok()) return mech.status();
   Rng root(seed);
@@ -70,7 +80,8 @@ Result<std::vector<UtilityPoint>> RunAdditiveComparison(
     for (int trial = 0; trial < trials; ++trial) {
       const AdditiveOnlineGame game = MakeAdditiveGame(scenario, cost, rng);
 
-      const Result<MechanismResult> result = (*mech)->Run(GameView(game));
+      const Result<MechanismResult> result =
+          ReplayLog(EventLogFromGame(game), **mech);
       if (!result.ok()) return result.status();
       const Accounting acc = AccountResult(GameView(game), *result);
       p.mech_utility += acc.TotalUtility();
@@ -99,7 +110,7 @@ std::vector<UtilityPoint> RunSubstComparison(const SubstScenario& scenario,
 Result<std::vector<UtilityPoint>> RunSubstComparison(
     const std::string& mechanism, const SubstScenario& scenario,
     const std::vector<double>& costs, int trials, uint64_t seed) {
-  Result<std::unique_ptr<Mechanism>> mech =
+  Result<std::unique_ptr<OnlineMechanism>> mech =
       Resolve(mechanism, GameKind::kSubstOnline);
   if (!mech.ok()) return mech.status();
   Rng root(seed);
@@ -112,7 +123,8 @@ Result<std::vector<UtilityPoint>> RunSubstComparison(
     for (int trial = 0; trial < trials; ++trial) {
       const SubstOnlineGame game = MakeSubstGame(scenario, mean_cost, rng);
 
-      const Result<MechanismResult> result = (*mech)->Run(GameView(game));
+      const Result<MechanismResult> result =
+          ReplayLog(EventLogFromGame(game), **mech);
       if (!result.ok()) return result.status();
       const Accounting acc = AccountResult(GameView(game), *result);
       p.mech_utility += acc.TotalUtility();

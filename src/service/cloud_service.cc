@@ -1,11 +1,24 @@
 #include "service/cloud_service.h"
 
-#include <algorithm>
+#include <cmath>
 
-#include "baseline/baseline_mechanisms.h"
-#include "core/mechanism.h"
+#include "service/pricing_session.h"
 
 namespace optshare::service {
+
+Status ServiceConfig::Validate() const {
+  if (slots_per_period < 1) {
+    return Status::InvalidArgument("slots_per_period must be positive");
+  }
+  if (std::isnan(maintenance_fraction) || maintenance_fraction < 0.0 ||
+      maintenance_fraction > 1.0) {
+    return Status::InvalidArgument("maintenance_fraction must lie in [0, 1]");
+  }
+  if (mechanism.empty()) {
+    return Status::InvalidArgument("mechanism name must be non-empty");
+  }
+  return Status::OK();
+}
 
 int PeriodReport::ActiveStructures() const {
   int n = 0;
@@ -14,94 +27,33 @@ int PeriodReport::ActiveStructures() const {
 }
 
 CloudService::CloudService(simdb::Catalog catalog, ServiceConfig config)
-    : catalog_(std::move(catalog)), config_(config) {}
+    : catalog_(std::move(catalog)),
+      config_(std::move(config)),
+      config_status_(config_.Validate()) {}
 
 Result<PeriodReport> CloudService::RunPeriod(
     const std::vector<simdb::SimUser>& tenants) {
+  OPTSHARE_RETURN_NOT_OK(config_status_);
   if (tenants.empty()) {
     return Status::InvalidArgument("a period needs at least one tenant");
   }
-  // Mechanism choice is a runtime parameter: resolve the configured name
-  // against the registry (paper mechanisms + baselines).
-  RegisterBaselineMechanisms();
-  Result<std::unique_ptr<Mechanism>> mechanism_r =
-      ResolveMechanism(config_.mechanism, GameKind::kAdditiveOnline);
-  if (!mechanism_r.ok()) return mechanism_r.status();
-  const Mechanism& mechanism = **mechanism_r;
-  for (const auto& t : tenants) {
-    if (t.start < 1 || t.end < t.start || t.end > config_.slots_per_period) {
-      return Status::InvalidArgument(
-          "tenant interval outside the period's slots");
-    }
+  // Batch adapter: one session per period, every tenant submitted before
+  // the first slot — the configuration under which the streaming path is
+  // bit-identical to the historical batch implementation.
+  Result<PricingSession> session = PricingSession::Open(
+      &catalog_, config_, built_names_, periods_run_ + 1);
+  if (!session.ok()) return session.status();
+  OPTSHARE_RETURN_NOT_OK(session->Submit(tenants));
+  for (int slot = 0; slot < config_.slots_per_period; ++slot) {
+    OPTSHARE_RETURN_NOT_OK(session->AdvanceSlot());
   }
+  Result<PeriodReport> report = session->Close();
+  if (!report.ok()) return report.status();
 
-  simdb::CostModel model(&catalog_);
-  simdb::PricingModel pricing(config_.pricing);
-  Result<std::vector<simdb::Proposal>> proposals_r = simdb::ProposeOptimizations(
-      catalog_, model, pricing, tenants, config_.advisor);
-  if (!proposals_r.ok()) return proposals_r.status();
-  const std::vector<simdb::Proposal>& proposals = *proposals_r;
-
-  PeriodReport report;
-  report.period = ++periods_run_;
-
-  // One AddOn game per proposal (additive structures are priced
-  // independently); carried-over structures cost maintenance only.
-  std::vector<std::string> next_built;
-  Accounting ledger;
-  ledger.user_value.assign(tenants.size(), 0.0);
-  ledger.user_payment.assign(tenants.size(), 0.0);
-
-  for (const auto& proposal : proposals) {
-    StructureOutcome outcome;
-    outcome.name = proposal.spec.DisplayName();
-    outcome.num_candidates = proposal.beneficiaries.size();
-    outcome.carried_over =
-        std::find(built_names_.begin(), built_names_.end(), outcome.name) !=
-        built_names_.end();
-    outcome.cost = outcome.carried_over
-                       ? std::max(proposal.cost * config_.maintenance_fraction,
-                                  1e-12)
-                       : proposal.cost;
-
-    AdditiveOnlineGame game;
-    game.num_slots = config_.slots_per_period;
-    game.cost = outcome.cost;
-    for (size_t i = 0; i < tenants.size(); ++i) {
-      const double per_slot =
-          proposal.user_savings[i] /
-          static_cast<double>(tenants[i].end - tenants[i].start + 1);
-      game.users.push_back(
-          SlotValues::Constant(tenants[i].start, tenants[i].end, per_slot));
-    }
-    Status st = game.Validate();
-    if (!st.ok()) return st;
-
-    Result<MechanismResult> result_r = mechanism.Run(GameView(game));
-    if (!result_r.ok()) return result_r.status();
-    const MechanismResult& result = *result_r;
-    const Accounting acc = AccountResult(GameView(game), result);
-    outcome.active = result.implemented;
-    if (result.implemented) {
-      int subscribers = 0;
-      for (double p : result.payments) subscribers += p > 0.0 ? 1 : 0;
-      outcome.num_subscribers = subscribers;
-      next_built.push_back(outcome.name);
-      ledger.total_cost += acc.total_cost;
-      for (size_t i = 0; i < tenants.size(); ++i) {
-        ledger.user_value[i] += acc.user_value[i];
-        ledger.user_payment[i] += acc.user_payment[i];
-      }
-    } else if (outcome.carried_over) {
-      // Nobody renewed: the structure is dropped.
-    }
-    report.structures.push_back(std::move(outcome));
-  }
-
-  built_names_ = std::move(next_built);
-  cumulative_balance_ += ledger.CloudBalance();
-  cumulative_utility_ += ledger.TotalUtility();
-  report.ledger = std::move(ledger);
+  ++periods_run_;
+  built_names_ = session->built_structures();
+  cumulative_balance_ += report->ledger.CloudBalance();
+  cumulative_utility_ += report->ledger.TotalUtility();
   return report;
 }
 

@@ -27,13 +27,19 @@ struct ServiceConfig {
   /// Fraction of the full cost charged for keeping an already-built
   /// structure alive another period.
   double maintenance_fraction = 0.25;
-  /// Registry name of the pricing mechanism driving each period (any
-  /// mechanism supporting additive online games: "addon" — the paper's
-  /// choice — or baselines like "regret" / "naive_online" for what-if
-  /// deployments). Resolved per period via MechanismRegistry.
+  /// Registry name of the pricing mechanism driving each period ("addon" —
+  /// the paper's choice and the natively streaming one — or any other
+  /// registered mechanism: online baselines run buffered, offline
+  /// mechanisms price the period's totals at close). Resolved via
+  /// ResolveOnlineMechanism (core/online_mechanism.h).
   std::string mechanism = "addon";
   simdb::AdvisorOptions advisor;
   simdb::PricingParams pricing;
+
+  /// Structural validity: slots_per_period > 0, maintenance_fraction in
+  /// [0, 1], non-empty mechanism name. Checked by the CloudService and
+  /// PricingSession constructors.
+  Status Validate() const;
 };
 
 /// What happened to one optimization in one period.
@@ -56,17 +62,27 @@ struct PeriodReport {
   int ActiveStructures() const;
 };
 
-/// The running service.
+/// The running service. Since the streaming redesign this is a thin
+/// batch-compatibility adapter: each RunPeriod opens a PricingSession
+/// (service/pricing_session.h), submits the full tenant vector, advances
+/// every slot, and folds the closed report into the cross-period state.
+/// Results are bit-identical to the historical batch implementation.
+/// Callers that want mid-period tenant arrivals drive PricingSession
+/// directly.
 class CloudService {
  public:
   /// The catalog describes the shared datasets; tenants may change between
-  /// periods (see RunPeriod).
+  /// periods (see RunPeriod). An invalid `config` (ServiceConfig::Validate)
+  /// is reported by the first RunPeriod.
   CloudService(simdb::Catalog catalog, ServiceConfig config = {});
 
   /// Executes one billing period for the given tenant set: advisor,
   /// pricing mechanism, ledger. Tenant intervals are interpreted within
   /// the period's slots.
   Result<PeriodReport> RunPeriod(const std::vector<simdb::SimUser>& tenants);
+
+  /// The catalog the service serves (PricingSession borrows it).
+  const simdb::Catalog& catalog() const { return catalog_; }
 
   /// Structures currently built (carried across periods).
   const std::vector<std::string>& built_structures() const {
@@ -83,6 +99,7 @@ class CloudService {
  private:
   simdb::Catalog catalog_;
   ServiceConfig config_;
+  Status config_status_;
   std::vector<std::string> built_names_;
   double cumulative_balance_ = 0.0;
   double cumulative_utility_ = 0.0;

@@ -125,6 +125,27 @@ Result<std::vector<Proposal>> ProposeOptimizations(
   return proposals;
 }
 
+Result<std::vector<double>> ProposalUserSavings(
+    const Catalog& catalog, const CostModel& model,
+    const PricingModel& pricing, const OptimizationSpec& spec,
+    const std::vector<SimUser>& users) {
+  Catalog scratch;
+  for (const auto& t : catalog.tables()) {
+    OPTSHARE_RETURN_NOT_OK(scratch.AddTable(t));
+  }
+  Result<int> id = scratch.AddOptimization(spec);
+  if (!id.ok()) return id.status();
+  CostModel scratch_model(&scratch, model.params());
+  std::vector<double> savings;
+  savings.reserve(users.size());
+  for (const auto& user : users) {
+    Result<double> one = UserPeriodSavings(scratch_model, pricing, user, *id);
+    if (!one.ok()) return one.status();
+    savings.push_back(*one);
+  }
+  return savings;
+}
+
 Result<AdditiveOfflineGame> GameFromProposals(
     const std::vector<Proposal>& proposals) {
   AdditiveOfflineGame game;

@@ -55,6 +55,16 @@ Result<std::vector<Proposal>> ProposeOptimizations(
     const PricingModel& pricing, const std::vector<SimUser>& users,
     const AdvisorOptions& options = {});
 
+/// Per-period savings of a batch of users for one proposal spec, scored
+/// exactly as ProposeOptimizations scores it (one scratch catalog for the
+/// whole batch, non-negative). Used by streaming sessions to admit tenants
+/// into structures proposed before they arrived.
+Result<std::vector<double>> ProposalUserSavings(const Catalog& catalog,
+                                                const CostModel& model,
+                                                const PricingModel& pricing,
+                                                const OptimizationSpec& spec,
+                                                const std::vector<SimUser>& users);
+
 /// Registers the proposals in `catalog` and builds the additive offline
 /// game for one period: bids[i][j] = user i's per-period savings from
 /// proposal j, costs[j] = proposal cost. (Offline because the advisor runs

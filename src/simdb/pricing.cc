@@ -12,46 +12,79 @@ Result<double> PricingModel::OptimizationCost(const CostModel& model,
          StorageDollars(*bytes, model.params().maintenance_months);
 }
 
+Result<GameStream> GameStream::Open(const Catalog* catalog,
+                                    const CostModel* model,
+                                    const PricingModel* pricing,
+                                    int num_slots) {
+  if (num_slots < 1) {
+    return Status::InvalidArgument("game must have at least one slot");
+  }
+  GameStream stream(catalog, model, pricing, num_slots);
+  const int n = catalog->num_optimizations();
+  stream.costs_.reserve(static_cast<size_t>(n));
+  for (int j = 0; j < n; ++j) {
+    Result<double> cost = pricing->OptimizationCost(*model, j);
+    if (!cost.ok()) return cost.status();
+    stream.costs_.push_back(*cost);
+  }
+  return stream;
+}
+
+OnlineGameMeta GameStream::Meta() const {
+  OnlineGameMeta meta;
+  meta.kind = GameKind::kMultiAdditiveOnline;
+  meta.num_slots = num_slots_;
+  meta.costs = costs_;
+  return meta;
+}
+
+Result<UserId> GameStream::AddTenant(const SimUser& tenant,
+                                     std::vector<SlotEvent>* out) {
+  if (tenant.start < 1 || tenant.end < tenant.start ||
+      tenant.end > num_slots_) {
+    return Status::InvalidArgument("user interval outside game horizon");
+  }
+  if (!(tenant.executions_per_slot >= 0.0)) {
+    return Status::InvalidArgument("executions per slot must be >= 0");
+  }
+  Result<double> base = model_->WorkloadTime(tenant.workload, {});
+  if (!base.ok()) return base.status();
+
+  const UserId id = num_tenants_++;
+  out->push_back(SlotEvent::UserArrive(id, tenant.start, tenant.end));
+  const int n = static_cast<int>(costs_.size());
+  for (int j = 0; j < n; ++j) {
+    Result<double> with_j = model_->WorkloadTime(tenant.workload, {j});
+    if (!with_j.ok()) return with_j.status();
+    const double saved_sec = *base - *with_j;
+    const double dollars_per_slot =
+        pricing_->InstanceDollars(saved_sec) * tenant.executions_per_slot;
+    if (dollars_per_slot != 0.0) {
+      out->push_back(SlotEvent::DeclareValues(
+          id, j,
+          SlotValues::Constant(tenant.start, tenant.end, dollars_per_slot)));
+    }
+  }
+  return id;
+}
+
 Result<MultiAdditiveOnlineGame> BuildAdditiveGame(
     const Catalog& catalog, const CostModel& model, const PricingModel& pricing,
     const std::vector<SimUser>& users, int num_slots) {
-  MultiAdditiveOnlineGame game;
-  game.num_slots = num_slots;
+  Result<GameStream> stream = GameStream::Open(&catalog, &model, &pricing,
+                                               num_slots);
+  if (!stream.ok()) return stream.status();
 
-  const int n = catalog.num_optimizations();
-  for (int j = 0; j < n; ++j) {
-    Result<double> cost = pricing.OptimizationCost(model, j);
-    if (!cost.ok()) return cost.status();
-    game.costs.push_back(*cost);
-  }
-
+  SlotEventLog log;
+  log.kind = GameKind::kMultiAdditiveOnline;
+  log.num_slots = num_slots;
+  log.costs = stream->costs();
+  log.events.resize(static_cast<size_t>(num_slots));
   for (const auto& user : users) {
-    if (user.start < 1 || user.end < user.start || user.end > num_slots) {
-      return Status::InvalidArgument("user interval outside game horizon");
-    }
-    if (!(user.executions_per_slot >= 0.0)) {
-      return Status::InvalidArgument("executions per slot must be >= 0");
-    }
-    Result<double> base = model.WorkloadTime(user.workload, {});
-    if (!base.ok()) return base.status();
-
-    std::vector<SlotValues> row;
-    row.reserve(static_cast<size_t>(n));
-    for (int j = 0; j < n; ++j) {
-      Result<double> with_j = model.WorkloadTime(user.workload, {j});
-      if (!with_j.ok()) return with_j.status();
-      const double saved_sec = *base - *with_j;
-      const double dollars_per_slot =
-          pricing.InstanceDollars(saved_sec) * user.executions_per_slot;
-      row.push_back(
-          SlotValues::Constant(user.start, user.end, dollars_per_slot));
-    }
-    game.bids.push_back(std::move(row));
+    Result<UserId> id = stream->AddTenant(user, &log.events[0]);
+    if (!id.ok()) return id.status();
   }
-
-  Status st = game.Validate();
-  if (!st.ok()) return st;
-  return game;
+  return MaterializeAdditiveLog(log);
 }
 
 SparseOnlineColumn ProjectSparseColumn(const MultiAdditiveOnlineGame& game,

@@ -9,6 +9,7 @@
 #include "common/status.h"
 #include "core/coalition.h"
 #include "core/game.h"
+#include "core/online_mechanism.h"
 #include "simdb/cost_model.h"
 #include "simdb/query.h"
 
@@ -56,11 +57,55 @@ struct SimUser {
   double executions_per_slot = 1.0;
 };
 
+/// Streams the additive online game out of the simulated database instead
+/// of materializing it: tenants are added incrementally, and each AddTenant
+/// computes the tenant's per-optimization value streams once and emits them
+/// as sparse SlotEvents (a kUserArrive announcement plus one kDeclareValues
+/// per optimization she derives value from — most tenants derive no value
+/// from most structures, so columns stay small relative to the tenant
+/// universe). The events feed any OnlineMechanism; BuildAdditiveGame is now
+/// a thin batch adapter over this class.
+class GameStream {
+ public:
+  /// Computes per-optimization costs up front. `catalog`, `model` and
+  /// `pricing` must outlive the stream.
+  static Result<GameStream> Open(const Catalog* catalog,
+                                 const CostModel* model,
+                                 const PricingModel* pricing, int num_slots);
+
+  const std::vector<double>& costs() const { return costs_; }
+  int num_slots() const { return num_slots_; }
+  int num_tenants() const { return num_tenants_; }
+
+  /// Stream meta for OnlineMechanism::Begin.
+  OnlineGameMeta Meta() const;
+
+  /// Computes `tenant`'s per-optimization savings streams
+  /// (v_ij(t) = (workload time without j - with j) * instance rate *
+  /// executions for t in [start, end]) and appends her events to `out`.
+  /// Returns her assigned user id (dense, in call order).
+  Result<UserId> AddTenant(const SimUser& tenant, std::vector<SlotEvent>* out);
+
+ private:
+  GameStream(const Catalog* catalog, const CostModel* model,
+             const PricingModel* pricing, int num_slots)
+      : catalog_(catalog), model_(model), pricing_(pricing),
+        num_slots_(num_slots) {}
+
+  const Catalog* catalog_;
+  const CostModel* model_;
+  const PricingModel* pricing_;
+  int num_slots_;
+  std::vector<double> costs_;
+  int num_tenants_ = 0;
+};
+
 /// Derives the full additive online game from the simulated database:
 /// v_ij(t) = (workload time without j - with j) * instance rate *
 /// executions, for t in [start_i, end_i]; C_j from build + storage cost.
 /// Optimizations are taken as additive (each saves on different queries),
-/// matching §7.2's treatment.
+/// matching §7.2's treatment. Batch adapter over GameStream (results are
+/// identical to the historical materialization).
 Result<MultiAdditiveOnlineGame> BuildAdditiveGame(
     const Catalog& catalog, const CostModel& model, const PricingModel& pricing,
     const std::vector<SimUser>& users, int num_slots);

@@ -1,0 +1,15 @@
+#include "workload/event_stream.h"
+
+namespace optshare {
+
+SlotEventLog MakeAdditiveEventLog(const AdditiveScenario& scenario,
+                                  double cost, Rng& rng) {
+  return EventLogFromGame(MakeAdditiveGame(scenario, cost, rng));
+}
+
+SlotEventLog MakeSubstEventLog(const SubstScenario& scenario,
+                               double mean_cost, Rng& rng) {
+  return EventLogFromGame(MakeSubstGame(scenario, mean_cost, rng));
+}
+
+}  // namespace optshare

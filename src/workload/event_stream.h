@@ -1,0 +1,26 @@
+// Event-stream form of the simulated workloads: the arrival processes of
+// workload/arrival.h drive *event generators* instead of materialized
+// games. A generator draws the same seeded population MakeAdditiveGame /
+// MakeSubstGame would draw (identical Rng consumption, so equal seeds give
+// equal populations) and emits it as a SlotEventLog — each user announced
+// and declared at her arrival slot — ready to feed an OnlineMechanism, the
+// CLI `replay` subcommand, or the streaming benchmarks.
+#pragma once
+
+#include "core/online_mechanism.h"
+#include "workload/scenario.h"
+
+namespace optshare {
+
+/// The event-stream equivalent of MakeAdditiveGame(scenario, cost, rng):
+/// one optimization at `cost`, users declaring their value streams at
+/// their sampled arrival slots. Materializing the log reproduces the game
+/// bit-for-bit.
+SlotEventLog MakeAdditiveEventLog(const AdditiveScenario& scenario,
+                                  double cost, Rng& rng);
+
+/// The event-stream equivalent of MakeSubstGame(scenario, mean_cost, rng).
+SlotEventLog MakeSubstEventLog(const SubstScenario& scenario,
+                               double mean_cost, Rng& rng);
+
+}  // namespace optshare

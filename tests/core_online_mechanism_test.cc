@@ -1,0 +1,426 @@
+// Streaming/batch parity and event semantics of the OnlineMechanism
+// surface: feeding a mechanism the event stream of a batch game must
+// reproduce the batch results bit-identically (native engines and the
+// buffering adapter alike), and the event vocabulary (arrive / declare /
+// depart / opt add / opt retire) must be validated and priced per the
+// paper's online rules.
+#include "core/online_mechanism.h"
+
+#include <gtest/gtest.h>
+
+#include "baseline/baseline_mechanisms.h"
+#include "common/json.h"
+#include "common/rng.h"
+#include "core/serialization.h"
+#include "workload/scenario.h"
+
+namespace optshare {
+namespace {
+
+void ExpectSameResult(const MechanismResult& a, const MechanismResult& b) {
+  EXPECT_EQ(a.num_users, b.num_users);
+  EXPECT_EQ(a.num_opts, b.num_opts);
+  EXPECT_EQ(a.num_slots, b.num_slots);
+  EXPECT_EQ(a.implemented, b.implemented);
+  EXPECT_EQ(a.implemented_at, b.implemented_at);
+  ASSERT_EQ(a.cost_share.size(), b.cost_share.size());
+  for (size_t j = 0; j < a.cost_share.size(); ++j) {
+    EXPECT_EQ(a.cost_share[j], b.cost_share[j]) << "cost_share opt " << j;
+  }
+  ASSERT_EQ(a.payments.size(), b.payments.size());
+  for (size_t i = 0; i < a.payments.size(); ++i) {
+    EXPECT_EQ(a.payments[i], b.payments[i]) << "payment of user " << i;
+  }
+  ASSERT_EQ(a.serviced.size(), b.serviced.size());
+  for (size_t j = 0; j < a.serviced.size(); ++j) {
+    EXPECT_TRUE(a.serviced[j] == b.serviced[j]) << "serviced set opt " << j;
+  }
+  ASSERT_EQ(a.active.size(), b.active.size());
+  for (size_t j = 0; j < a.active.size(); ++j) {
+    ASSERT_EQ(a.active[j].size(), b.active[j].size());
+    for (size_t t = 0; t < a.active[j].size(); ++t) {
+      EXPECT_TRUE(a.active[j][t] == b.active[j][t])
+          << "active set opt " << j << " slot " << t + 1;
+    }
+  }
+  EXPECT_EQ(a.grant, b.grant);
+  EXPECT_EQ(a.grant_slot, b.grant_slot);
+}
+
+TEST(OnlineMechanismParity, AdditiveStreamingMatchesBatchBitIdentical) {
+  for (int n : {7, 60, 400, 1000}) {
+    AdditiveScenario scenario;
+    scenario.num_users = n;
+    scenario.num_slots = 12;
+    scenario.duration = 4;
+    for (uint64_t seed : {1u, 2u, 3u}) {
+      for (double cost : {0.4, 3.0, 0.08 * n}) {
+        Rng rng(seed);
+        const AdditiveOnlineGame game = MakeAdditiveGame(scenario, cost, rng);
+        Result<MechanismResult> batch = RunMechanism("addon", GameView(game));
+        ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+        Result<MechanismResult> stream =
+            ReplayLog(EventLogFromGame(game), "addon");
+        ASSERT_TRUE(stream.ok()) << stream.status().ToString();
+        ExpectSameResult(*batch, *stream);
+      }
+    }
+  }
+}
+
+TEST(OnlineMechanismParity, MultiAdditiveStreamingMatchesBatchBitIdentical) {
+  MultiAdditiveOnlineGame game;
+  game.num_slots = 6;
+  game.costs = {90.0, 40.0, 500.0};
+  const auto user = [&](TimeSlot s, TimeSlot e, double v0, double v1,
+                        double v2) {
+    game.bids.push_back({SlotValues::Constant(s, e, v0),
+                         SlotValues::Constant(s, e, v1),
+                         SlotValues::Constant(s, e, v2)});
+  };
+  user(1, 6, 10.0, 0.0, 1.0);
+  user(2, 4, 25.0, 12.0, 0.0);
+  user(3, 3, 0.0, 45.0, 2.0);
+  user(1, 2, 40.0, 8.0, 0.0);
+  user(5, 6, 30.0, 0.0, 0.5);
+  ASSERT_TRUE(game.Validate().ok());
+
+  Result<MechanismResult> batch = RunMechanism("addon", GameView(game));
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  Result<MechanismResult> stream = ReplayLog(EventLogFromGame(game), "addon");
+  ASSERT_TRUE(stream.ok()) << stream.status().ToString();
+  ExpectSameResult(*batch, *stream);
+}
+
+TEST(OnlineMechanismParity, SubstStreamingMatchesBatchBitIdentical) {
+  for (int n : {6, 50, 300, 1000}) {
+    SubstScenario scenario;
+    scenario.num_users = n;
+    scenario.num_slots = 12;
+    scenario.num_opts = 8;
+    scenario.substitutes_per_user = 3;
+    scenario.duration = 3;
+    for (uint64_t seed : {4u, 5u}) {
+      Rng rng(seed);
+      const SubstOnlineGame game =
+          MakeSubstGame(scenario, 0.05 * n + 0.2, rng);
+      Result<MechanismResult> batch = RunMechanism("subston", GameView(game));
+      ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+      Result<MechanismResult> stream =
+          ReplayLog(EventLogFromGame(game), "subston");
+      ASSERT_TRUE(stream.ok()) << stream.status().ToString();
+      ExpectSameResult(*batch, *stream);
+    }
+  }
+}
+
+TEST(OnlineMechanismParity, BufferedAdapterMatchesBatch) {
+  RegisterBaselineMechanisms();
+  AdditiveScenario scenario;
+  scenario.num_users = 40;
+  scenario.num_slots = 10;
+  scenario.duration = 5;
+  Rng rng(11);
+  const AdditiveOnlineGame game = MakeAdditiveGame(scenario, 2.0, rng);
+  const SlotEventLog log = EventLogFromGame(game);
+
+  for (const char* name : {"naive_online", "regret"}) {
+    Result<std::unique_ptr<OnlineMechanism>> mech =
+        ResolveOnlineMechanism(name, GameKind::kAdditiveOnline);
+    ASSERT_TRUE(mech.ok()) << mech.status().ToString();
+    EXPECT_FALSE((*mech)->native());
+    Result<MechanismResult> batch = RunMechanism(name, GameView(game));
+    ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+    Result<MechanismResult> stream = ReplayLog(log, **mech);
+    ASSERT_TRUE(stream.ok()) << stream.status().ToString();
+    ExpectSameResult(*batch, *stream);
+  }
+}
+
+TEST(OnlineMechanismParity, OfflineMechanismCollapsesStreamsAtFinalize) {
+  RegisterBaselineMechanisms();
+  AdditiveScenario scenario;
+  scenario.num_users = 25;
+  scenario.num_slots = 8;
+  scenario.duration = 4;
+  Rng rng(12);
+  const AdditiveOnlineGame game = MakeAdditiveGame(scenario, 1.5, rng);
+
+  // The streamed period collapsed to per-user totals...
+  Result<MechanismResult> stream =
+      ReplayLog(EventLogFromGame(game), "shapley");
+  ASSERT_TRUE(stream.ok()) << stream.status().ToString();
+  EXPECT_EQ(stream->num_slots, 0);  // Offline result: no slot structure.
+
+  // ...must equal the offline mechanism run on the collapsed batch game.
+  AdditiveOfflineGame off;
+  off.costs = {game.cost};
+  for (const auto& u : game.users) off.bids.push_back({u.Total()});
+  Result<MechanismResult> batch = RunMechanism("shapley", GameView(off));
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  ExpectSameResult(*batch, *stream);
+}
+
+TEST(OnlineMechanismEvents, EarlyDepartureChargesAtDepartureSlot) {
+  SlotEventLog log;
+  log.kind = GameKind::kAdditiveOnline;
+  log.num_slots = 4;
+  log.costs = {100.0};
+  log.events.resize(4);
+  log.events[0].push_back(
+      SlotEvent::DeclareValues(0, 0, SlotValues::Constant(1, 4, 30.0)));
+  log.events[1].push_back(
+      SlotEvent::DeclareValues(1, 0, SlotValues::Constant(2, 4, 40.0)));
+  // User 1 departs at slot 3: she is present (and charged) there, gone at 4.
+  log.events[2].push_back(SlotEvent::UserDepart(1));
+
+  Result<MechanismResult> r = ReplayLog(log, "addon");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r->implemented);
+  EXPECT_EQ(r->implemented_at[0], 1);
+  ASSERT_EQ(r->payments.size(), 2u);
+  // Slot 3 share: C / |CS| = 100 / 2.
+  EXPECT_DOUBLE_EQ(r->payments[1], 50.0);
+  // User 0 pays the final-slot share at her declared departure (slot 4).
+  EXPECT_DOUBLE_EQ(r->payments[0], 50.0);
+  // User 1 is not active at slot 4.
+  EXPECT_FALSE(r->active[0][3].Contains(1));
+  EXPECT_TRUE(r->active[0][3].Contains(0));
+  EXPECT_TRUE(r->active[0][2].Contains(1));
+}
+
+TEST(OnlineMechanismEvents, OptAddPricesFromItsSlotAndRetireFreezes) {
+  // A multi-opt stream: opt 0 exists from slot 1; opt 1 appears at slot 2
+  // and is retired before slot 4 is priced.
+  SlotEventLog log;
+  log.kind = GameKind::kMultiAdditiveOnline;
+  log.num_slots = 4;
+  log.costs = {80.0};
+  log.events.resize(4);
+  log.events[0].push_back(SlotEvent::UserArrive(0, 1, 4));
+  log.events[0].push_back(
+      SlotEvent::DeclareValues(0, 0, SlotValues::Constant(1, 4, 25.0)));
+  log.events[1].push_back(SlotEvent::OptAdd(1, 60.0));
+  log.events[1].push_back(
+      SlotEvent::DeclareValues(0, 1, SlotValues::Constant(2, 4, 30.0)));
+  log.events[3].push_back(SlotEvent::OptRetire(1));
+
+  Result<std::unique_ptr<OnlineMechanism>> mech =
+      ResolveOnlineMechanism("addon", GameKind::kMultiAdditiveOnline);
+  ASSERT_TRUE(mech.ok());
+  Result<MechanismResult> r = ReplayLog(log, **mech);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+
+  ASSERT_EQ(r->num_opts, 2);
+  // Opt 0: residual 100 >= 80 at slot 1.
+  EXPECT_EQ(r->implemented_at[0], 1);
+  // Opt 1: first priced at slot 2 (residual 90 >= 60).
+  EXPECT_EQ(r->implemented_at[1], 2);
+  // Retired before slot 4: the pending member pays the slot-3 share (60,
+  // sole member), and is not active at slot 4.
+  EXPECT_DOUBLE_EQ(r->payments[0], 80.0 + 60.0);
+  EXPECT_TRUE(r->active[1][2].Contains(0));
+  EXPECT_TRUE(r->active[1][3].empty());
+  EXPECT_TRUE(r->active[0][3].Contains(0));
+  // The retired structure reports its last *priced* share, not infinity.
+  EXPECT_DOUBLE_EQ(r->cost_share[1], 60.0);
+  EXPECT_DOUBLE_EQ(r->cost_share[0], 80.0);
+}
+
+TEST(OnlineMechanismEvents, RejectsNegativeUserIdsOnEveryPath) {
+  RegisterBaselineMechanisms();
+  SlotEventLog log;
+  log.kind = GameKind::kAdditiveOnline;
+  log.num_slots = 2;
+  log.costs = {10.0};
+  log.events.resize(2);
+  log.events[0].push_back(
+      SlotEvent::DeclareValues(-1, 0, SlotValues::Constant(1, 2, 8.0)));
+
+  // Native engine, buffered adapter, and materializer all reject with a
+  // Status (regression: the buffered path used to corrupt the heap).
+  EXPECT_FALSE(ReplayLog(log, "addon").ok());
+  EXPECT_FALSE(ReplayLog(log, "regret").ok());
+  EXPECT_FALSE(MaterializeAdditiveLog(log).ok());
+
+  log.events[0][0] = SlotEvent::UserArrive(-3, 1, 2);
+  EXPECT_FALSE(ReplayLog(log, "addon").ok());
+  EXPECT_FALSE(ReplayLog(log, "regret").ok());
+  EXPECT_FALSE(MaterializeAdditiveLog(log).ok());
+}
+
+TEST(OnlineMechanismEvents, DeclareAfterDepartRejectedByEveryPath) {
+  RegisterBaselineMechanisms();
+  SlotEventLog log;
+  log.kind = GameKind::kAdditiveOnline;
+  log.num_slots = 3;
+  log.costs = {10.0};
+  log.events.resize(3);
+  log.events[0].push_back(SlotEvent::UserArrive(0, 1, 3));
+  log.events[1].push_back(SlotEvent::UserDepart(0));
+  log.events[2].push_back(
+      SlotEvent::DeclareValues(0, 0, SlotValues::Single(3, 9.0)));
+
+  // The same log is invalid regardless of the mechanism's streaming form.
+  EXPECT_FALSE(ReplayLog(log, "addon").ok());
+  EXPECT_FALSE(ReplayLog(log, "regret").ok());
+  EXPECT_FALSE(ReplayLog(log, "shapley").ok());
+  EXPECT_FALSE(MaterializeAdditiveLog(log).ok());
+}
+
+TEST(OnlineMechanismEvents, ValidatesStreamDiscipline) {
+  OnlineGameMeta meta;
+  meta.kind = GameKind::kAdditiveOnline;
+  meta.num_slots = 3;
+  meta.costs = {50.0};
+
+  Result<std::unique_ptr<OnlineMechanism>> mech_r =
+      ResolveOnlineMechanism("addon", GameKind::kAdditiveOnline);
+  ASSERT_TRUE(mech_r.ok());
+  OnlineMechanism& mech = **mech_r;
+
+  // OnSlot before Begin.
+  EXPECT_FALSE(mech.OnSlot(1, {}).ok());
+  ASSERT_TRUE(mech.Begin(meta).ok());
+  // Slots must be consecutive from 1.
+  EXPECT_FALSE(mech.OnSlot(2, {}).ok());
+  ASSERT_TRUE(mech.OnSlot(1, {SlotEvent::DeclareValues(
+                                 0, 0, SlotValues::Constant(1, 3, 20.0))})
+                  .ok());
+  // Duplicate declaration.
+  EXPECT_FALSE(mech.OnSlot(2, {SlotEvent::DeclareValues(
+                                  0, 0, SlotValues::Constant(2, 3, 5.0))})
+                   .ok());
+
+  // Fresh stream: Begin resets.
+  ASSERT_TRUE(mech.Begin(meta).ok());
+  // Unknown optimization.
+  EXPECT_FALSE(mech.OnSlot(1, {SlotEvent::DeclareValues(
+                                  0, 7, SlotValues::Constant(1, 3, 20.0))})
+                   .ok());
+  ASSERT_TRUE(mech.Begin(meta).ok());
+  // Unknown user departing.
+  EXPECT_FALSE(mech.OnSlot(1, {SlotEvent::UserDepart(4)}).ok());
+  ASSERT_TRUE(mech.Begin(meta).ok());
+  // Interval past the horizon.
+  EXPECT_FALSE(mech.OnSlot(1, {SlotEvent::UserArrive(0, 1, 9)}).ok());
+  ASSERT_TRUE(mech.Begin(meta).ok());
+  // Finalize before the period completes.
+  ASSERT_TRUE(mech.OnSlot(1, {}).ok());
+  EXPECT_FALSE(mech.Finalize().ok());
+}
+
+TEST(OnlineMechanismEvents, BufferedAdapterEnforcesSingleOptStreams) {
+  RegisterBaselineMechanisms();
+  Result<std::unique_ptr<OnlineMechanism>> mech =
+      ResolveOnlineMechanism("regret", GameKind::kAdditiveOnline);
+  ASSERT_TRUE(mech.ok());
+
+  // A single-opt stream must carry exactly one cost...
+  OnlineGameMeta meta;
+  meta.kind = GameKind::kAdditiveOnline;
+  meta.num_slots = 3;
+  meta.costs = {50.0, 60.0};
+  EXPECT_FALSE((*mech)->Begin(meta).ok());
+
+  // ...and cannot grow more structures mid-period.
+  meta.costs = {50.0};
+  ASSERT_TRUE((*mech)->Begin(meta).ok());
+  EXPECT_FALSE((*mech)->OnSlot(1, {SlotEvent::OptAdd(1, 60.0)}).ok());
+}
+
+TEST(OnlineMechanismEvents, EventLogJsonRoundtrip) {
+  AdditiveScenario scenario;
+  scenario.num_users = 15;
+  scenario.num_slots = 6;
+  scenario.duration = 3;
+  Rng rng(21);
+  const AdditiveOnlineGame game = MakeAdditiveGame(scenario, 1.0, rng);
+  SlotEventLog log = EventLogFromGame(game);
+  log.events[3].push_back(SlotEvent::UserDepart(0));
+
+  Result<JsonValue> parsed = JsonValue::Parse(ToJson(log).Dump(2));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  Result<SlotEventLog> round = EventLogFromJson(*parsed);
+  ASSERT_TRUE(round.ok()) << round.status().ToString();
+
+  Result<MechanismResult> a = ReplayLog(log, "addon");
+  Result<MechanismResult> b = ReplayLog(*round, "addon");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ExpectSameResult(*a, *b);
+}
+
+TEST(OnlineMechanismEvents, SubstEventLogJsonRoundtrip) {
+  SubstScenario scenario;
+  scenario.num_users = 10;
+  scenario.num_slots = 5;
+  scenario.num_opts = 4;
+  scenario.substitutes_per_user = 2;
+  Rng rng(22);
+  const SubstOnlineGame game = MakeSubstGame(scenario, 0.5, rng);
+  const SlotEventLog log = EventLogFromGame(game);
+
+  Result<JsonValue> parsed = JsonValue::Parse(ToJson(log).Dump(2));
+  ASSERT_TRUE(parsed.ok());
+  Result<SlotEventLog> round = EventLogFromJson(*parsed);
+  ASSERT_TRUE(round.ok()) << round.status().ToString();
+
+  Result<MechanismResult> a = ReplayLog(log, "subston");
+  Result<MechanismResult> b = ReplayLog(*round, "subston");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ExpectSameResult(*a, *b);
+}
+
+TEST(MechanismRegistryErrors, UnknownNameListsRegisteredMechanisms) {
+  RegisterBaselineMechanisms();
+  Result<std::unique_ptr<Mechanism>> mech =
+      MechanismRegistry::Global().Create("no_such_mechanism");
+  ASSERT_FALSE(mech.ok());
+  EXPECT_EQ(mech.status().code(), StatusCode::kNotFound);
+  const std::string& msg = mech.status().message();
+  EXPECT_NE(msg.find("registered mechanisms:"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("addon"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("subston"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("regret"), std::string::npos) << msg;
+
+  // The streaming resolver surfaces the same self-fixing message.
+  Result<std::unique_ptr<OnlineMechanism>> online =
+      ResolveOnlineMechanism("no_such_mechanism", GameKind::kAdditiveOnline);
+  ASSERT_FALSE(online.ok());
+  EXPECT_NE(online.status().message().find("registered mechanisms:"),
+            std::string::npos);
+}
+
+TEST(OnlineMechanismResolution, NativeVsBufferedCapabilities) {
+  RegisterBaselineMechanisms();
+  EXPECT_TRUE(NativelyOnline("addon", GameKind::kAdditiveOnline));
+  EXPECT_TRUE(NativelyOnline("addon", GameKind::kMultiAdditiveOnline));
+  EXPECT_TRUE(NativelyOnline("subston", GameKind::kSubstOnline));
+  EXPECT_FALSE(NativelyOnline("naive_online", GameKind::kAdditiveOnline));
+  EXPECT_FALSE(NativelyOnline("addon", GameKind::kSubstOnline));
+
+  Result<std::unique_ptr<OnlineMechanism>> native =
+      ResolveOnlineMechanism("addon", GameKind::kAdditiveOnline);
+  ASSERT_TRUE(native.ok());
+  EXPECT_TRUE((*native)->native());
+
+  Result<std::unique_ptr<OnlineMechanism>> buffered =
+      ResolveOnlineMechanism("regret", GameKind::kAdditiveOnline);
+  ASSERT_TRUE(buffered.ok());
+  EXPECT_FALSE((*buffered)->native());
+
+  // Offline-only mechanisms stream through the collapsing adapter.
+  Result<std::unique_ptr<OnlineMechanism>> collapsed =
+      ResolveOnlineMechanism("vcg", GameKind::kAdditiveOnline);
+  ASSERT_TRUE(collapsed.ok()) << collapsed.status().ToString();
+  EXPECT_FALSE((*collapsed)->native());
+
+  // Offline game classes have no streaming form.
+  EXPECT_FALSE(
+      ResolveOnlineMechanism("addon", GameKind::kAdditiveOffline).ok());
+}
+
+}  // namespace
+}  // namespace optshare

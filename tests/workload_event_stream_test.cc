@@ -1,0 +1,119 @@
+// The workload event-stream generators: equal seeds must draw the same
+// population as the batch game generators, the emitted logs must
+// materialize back to those games exactly, and replaying them must match
+// batch pricing bit for bit.
+#include "workload/event_stream.h"
+
+#include <gtest/gtest.h>
+
+#include "core/mechanism.h"
+
+namespace optshare {
+namespace {
+
+TEST(EventStreamGenerator, AdditiveLogMaterializesToTheSeededGame) {
+  AdditiveScenario scenario;
+  scenario.num_users = 80;
+  scenario.num_slots = 12;
+  scenario.duration = 5;
+  scenario.arrival = ArrivalProcess::kEarly;
+
+  Rng game_rng(123);
+  const AdditiveOnlineGame game = MakeAdditiveGame(scenario, 2.5, game_rng);
+  Rng log_rng(123);
+  const SlotEventLog log = MakeAdditiveEventLog(scenario, 2.5, log_rng);
+
+  EXPECT_EQ(log.kind, GameKind::kAdditiveOnline);
+  EXPECT_EQ(log.num_slots, game.num_slots);
+  ASSERT_EQ(log.costs.size(), 1u);
+  EXPECT_EQ(log.costs[0], game.cost);
+
+  Result<MultiAdditiveOnlineGame> multi = MaterializeAdditiveLog(log);
+  ASSERT_TRUE(multi.ok()) << multi.status().ToString();
+  ASSERT_EQ(multi->num_users(), game.num_users());
+  for (UserId i = 0; i < game.num_users(); ++i) {
+    const SlotValues& expect = game.users[static_cast<size_t>(i)];
+    const SlotValues& got = multi->bids[static_cast<size_t>(i)][0];
+    EXPECT_EQ(expect.start, got.start) << "user " << i;
+    EXPECT_EQ(expect.end, got.end) << "user " << i;
+    ASSERT_EQ(expect.values.size(), got.values.size()) << "user " << i;
+    for (size_t k = 0; k < expect.values.size(); ++k) {
+      EXPECT_EQ(expect.values[k], got.values[k])
+          << "user " << i << " slot offset " << k;
+    }
+  }
+}
+
+TEST(EventStreamGenerator, AdditiveReplayMatchesBatchBitIdentical) {
+  AdditiveScenario scenario;
+  scenario.num_users = 120;
+  scenario.num_slots = 10;
+  scenario.duration = 4;
+  scenario.arrival = ArrivalProcess::kLate;
+
+  for (uint64_t seed : {7u, 8u, 9u}) {
+    Rng game_rng(seed);
+    const AdditiveOnlineGame game = MakeAdditiveGame(scenario, 1.2, game_rng);
+    Rng log_rng(seed);
+    const SlotEventLog log = MakeAdditiveEventLog(scenario, 1.2, log_rng);
+
+    Result<MechanismResult> batch = RunMechanism("addon", GameView(game));
+    ASSERT_TRUE(batch.ok());
+    Result<MechanismResult> stream = ReplayLog(log, "addon");
+    ASSERT_TRUE(stream.ok()) << stream.status().ToString();
+    ASSERT_EQ(batch->payments.size(), stream->payments.size());
+    for (size_t i = 0; i < batch->payments.size(); ++i) {
+      EXPECT_EQ(batch->payments[i], stream->payments[i]) << "user " << i;
+    }
+    EXPECT_EQ(batch->implemented_at, stream->implemented_at);
+    EXPECT_EQ(batch->cost_share[0], stream->cost_share[0]);
+  }
+}
+
+TEST(EventStreamGenerator, SubstLogMaterializesToTheSeededGame) {
+  SubstScenario scenario;
+  scenario.num_users = 40;
+  scenario.num_slots = 9;
+  scenario.num_opts = 6;
+  scenario.substitutes_per_user = 2;
+  scenario.duration = 3;
+
+  Rng game_rng(55);
+  const SubstOnlineGame game = MakeSubstGame(scenario, 0.8, game_rng);
+  Rng log_rng(55);
+  const SlotEventLog log = MakeSubstEventLog(scenario, 0.8, log_rng);
+
+  EXPECT_EQ(log.kind, GameKind::kSubstOnline);
+  ASSERT_EQ(log.costs.size(), game.costs.size());
+  for (size_t j = 0; j < game.costs.size(); ++j) {
+    EXPECT_EQ(log.costs[j], game.costs[j]);
+  }
+
+  Result<SubstOnlineGame> round = MaterializeSubstLog(log);
+  ASSERT_TRUE(round.ok()) << round.status().ToString();
+  ASSERT_EQ(round->num_users(), game.num_users());
+  for (UserId i = 0; i < game.num_users(); ++i) {
+    const SubstOnlineUser& expect = game.users[static_cast<size_t>(i)];
+    const SubstOnlineUser& got = round->users[static_cast<size_t>(i)];
+    EXPECT_EQ(expect.substitutes, got.substitutes) << "user " << i;
+    EXPECT_EQ(expect.stream.start, got.stream.start) << "user " << i;
+    ASSERT_EQ(expect.stream.values.size(), got.stream.values.size());
+    for (size_t k = 0; k < expect.stream.values.size(); ++k) {
+      EXPECT_EQ(expect.stream.values[k], got.stream.values[k]);
+    }
+  }
+
+  Result<MechanismResult> batch = RunMechanism("subston", GameView(game));
+  Result<MechanismResult> stream = ReplayLog(log, "subston");
+  ASSERT_TRUE(batch.ok());
+  ASSERT_TRUE(stream.ok()) << stream.status().ToString();
+  ASSERT_EQ(batch->payments.size(), stream->payments.size());
+  for (size_t i = 0; i < batch->payments.size(); ++i) {
+    EXPECT_EQ(batch->payments[i], stream->payments[i]) << "user " << i;
+  }
+  EXPECT_EQ(batch->grant, stream->grant);
+  EXPECT_EQ(batch->grant_slot, stream->grant_slot);
+}
+
+}  // namespace
+}  // namespace optshare

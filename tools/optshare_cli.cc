@@ -1,13 +1,19 @@
-// optshare CLI: run the pricing mechanisms on game files.
+// optshare CLI: run the pricing mechanisms on game files and event logs.
 //
 //   optshare_cli sample <type>            # emit a sample game document
 //   optshare_cli validate <file>          # parse + validate a game file
 //   optshare_cli run <file> [--mechanism NAME] [--json]
+//   optshare_cli replay <file> [--mechanism NAME] [--json]
 //   optshare_cli mechanisms               # list registered mechanisms
 //
 // Game types: additive_offline, additive_online, subst_offline,
-// subst_online (see core/serialization.h for the schema). Mechanisms are
-// resolved by name against the MechanismRegistry — the paper's mechanisms
+// subst_online, plus event_log — a streamed period (tenants arriving,
+// declaring and departing slot by slot; see core/serialization.h for both
+// schemas). `run` prices a batch game; `replay` feeds an event log through
+// the streaming surface (core/online_mechanism.h), slot by slot, the way a
+// live PricingSession would — natively incremental for "addon"/"subston",
+// buffered for every other registered name. Mechanisms are resolved by
+// name against the MechanismRegistry — the paper's mechanisms
 // ("addoff"/"shapley", "addon", "substoff", "subston") plus the baselines
 // ("naive", "naive_online", "vcg", "regret"). The default is the paper's
 // mechanism for the game's type.
@@ -20,6 +26,7 @@
 #include "common/money.h"
 #include "core/accounting.h"
 #include "core/mechanism.h"
+#include "core/online_mechanism.h"
 #include "core/serialization.h"
 
 namespace optshare {
@@ -34,9 +41,11 @@ int Usage() {
   std::cerr << "usage: optshare_cli sample <type>\n"
             << "       optshare_cli validate <file>\n"
             << "       optshare_cli run <file> [--mechanism NAME] [--json]\n"
+            << "       optshare_cli replay <file> [--mechanism NAME] "
+               "[--json]\n"
             << "       optshare_cli mechanisms\n"
             << "game types: additive_offline additive_online subst_offline "
-               "subst_online\n"
+               "subst_online event_log\n"
             << "mechanisms: default (paper mechanism for the type) or any "
                "name from `optshare_cli mechanisms`\n";
   return 2;
@@ -78,6 +87,22 @@ int EmitSample(const std::string& type) {
                {SlotValues::Constant(2, 3, 50.0), {0, 1, 2}},
                {SlotValues::Single(3, 100.0), {2}}};
     doc = ToJson(g);
+  } else if (type == "event_log") {
+    // A streamed period: three tenants declare at their arrival slots and
+    // one departs early — the scenario a batch game file cannot express.
+    SlotEventLog log;
+    log.kind = GameKind::kAdditiveOnline;
+    log.num_slots = 4;
+    log.costs = {100.0};
+    log.events.resize(4);
+    log.events[0].push_back(SlotEvent::DeclareValues(
+        0, 0, *SlotValues::Make(1, 4, {30.0, 30.0, 30.0, 30.0})));
+    log.events[1].push_back(SlotEvent::DeclareValues(
+        1, 0, *SlotValues::Make(2, 4, {40.0, 40.0, 40.0})));
+    log.events[2].push_back(
+        SlotEvent::DeclareValues(2, 0, SlotValues::Single(3, 55.0)));
+    log.events[2].push_back(SlotEvent::UserDepart(1));
+    doc = ToJson(log);
   } else {
     return Fail("unknown game type: " + type);
   }
@@ -162,6 +187,72 @@ int RunGame(const JsonValue& doc, const std::string& mechanism, bool json) {
   return Fail("unknown or missing game type: \"" + type + "\"");
 }
 
+/// Replays an event-log document through the streaming surface: the named
+/// (or default) mechanism ingests the period slot by slot, then the
+/// outcome is accounted against the log's materialized truth game.
+int ReplayLogFile(const JsonValue& doc, std::string mechanism, bool json) {
+  Result<SlotEventLog> log = EventLogFromJson(doc);
+  if (!log.ok()) return Fail(log.status().ToString());
+  if (mechanism == "default") {
+    mechanism = MechanismRegistry::DefaultFor(log->kind);
+  }
+  Result<std::unique_ptr<OnlineMechanism>> mech =
+      ResolveOnlineMechanism(mechanism, log->kind);
+  if (!mech.ok()) return Fail(mech.status().ToString());
+  Result<MechanismResult> result = ReplayLog(*log, **mech);
+  if (!result.ok()) return Fail(result.status().ToString());
+
+  // Offline-collapsed mechanisms report no slot structure; account them
+  // against the collapsed (per-user total) truth instead.
+  const bool collapsed = result->num_slots == 0;
+  Accounting acc;
+  if (log->kind == GameKind::kSubstOnline) {
+    Result<SubstOnlineGame> truth = MaterializeSubstLog(*log);
+    if (!truth.ok()) return Fail(truth.status().ToString());
+    if (collapsed) {
+      SubstOfflineGame off;
+      off.costs = truth->costs;
+      for (const auto& u : truth->users) {
+        off.users.push_back({u.substitutes, u.stream.Total()});
+      }
+      acc = AccountResult(GameView(off), *result);
+    } else {
+      acc = AccountResult(GameView(*truth), *result);
+    }
+  } else {
+    Result<MultiAdditiveOnlineGame> truth = MaterializeAdditiveLog(*log);
+    if (!truth.ok()) return Fail(truth.status().ToString());
+    if (collapsed) {
+      AdditiveOfflineGame off;
+      off.costs = truth->costs;
+      for (const auto& row : truth->bids) {
+        std::vector<double> totals;
+        totals.reserve(row.size());
+        for (const auto& stream : row) totals.push_back(stream.Total());
+        off.bids.push_back(std::move(totals));
+      }
+      acc = AccountResult(GameView(off), *result);
+    } else {
+      acc = AccountResult(GameView(*truth), *result);
+    }
+  }
+  if (json) {
+    JsonValue obj = LedgerToJson(acc);
+    obj.Set("mechanism", JsonValue::Str(mechanism));
+    obj.Set("native_online",
+            JsonValue::Bool(NativelyOnline(mechanism, log->kind)));
+    std::cout << obj.Dump(2) << "\n";
+  } else {
+    std::cout << "replayed " << log->num_slots << " slots through \""
+              << mechanism << "\" ("
+              << (NativelyOnline(mechanism, log->kind) ? "native online"
+                                                       : "buffered")
+              << ")\n";
+    PrintLedger(acc);
+  }
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   RegisterBaselineMechanisms();
   if (argc >= 2 && std::string(argv[1]) == "mechanisms") {
@@ -184,6 +275,9 @@ int Main(int argc, char** argv) {
     if (type == "additive_offline") {
       auto g = AdditiveOfflineGameFromJson(*doc);
       st = g.ok() ? Status::OK() : g.status();
+    } else if (type == "event_log") {
+      auto log = EventLogFromJson(*doc);
+      st = log.ok() ? Status::OK() : log.status();
     } else if (type == "additive_online") {
       auto g = AdditiveOnlineGameFromJson(*doc);
       st = g.ok() ? Status::OK() : g.status();
@@ -201,7 +295,7 @@ int Main(int argc, char** argv) {
     return 0;
   }
 
-  if (command == "run") {
+  if (command == "run" || command == "replay") {
     std::string mechanism = "default";
     bool json = false;
     for (int a = 3; a < argc; ++a) {
@@ -214,6 +308,7 @@ int Main(int argc, char** argv) {
         return Usage();
       }
     }
+    if (command == "replay") return ReplayLogFile(*doc, mechanism, json);
     return RunGame(*doc, mechanism, json);
   }
 
