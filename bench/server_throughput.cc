@@ -1,0 +1,223 @@
+// Marketplace-server throughput harness: drives many independent tenancies
+// through the wire-protocol front end (service/marketplace_server.h) and
+// measures aggregate request and slot-pricing throughput as the worker
+// count sweeps 1 -> 8. Emits BENCH_server.json.
+//
+//   server_throughput [--quick] [--out PATH] [--tenancies N] [--periods P]
+//
+// Each tenancy runs full billing periods (open_period, submit, advance_slot
+// x slots, close_period) against its own telemetry catalog; tenancies hash
+// onto worker shards, so the sweep shows how far the sharded front end
+// scales on the hardware it runs on (speedups flatten at the machine's core
+// count — the JSON records hardware_threads for that reason). --quick
+// shrinks the tenancy count for CI smoke; the sweep stays 1 -> 8.
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/json.h"
+#include "common/rng.h"
+#include "service/marketplace_server.h"
+#include "simdb/scenarios.h"
+
+namespace optshare {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using service::MarketplaceServer;
+using service::ServerOptions;
+using service::protocol::Request;
+using service::protocol::RequestOp;
+using service::protocol::Response;
+
+double ElapsedMs(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+struct RunConfig {
+  int tenancies = 16;
+  int periods = 3;
+  // Enough tenants that one period's advisor + slot pricing (~ms) dwarfs
+  // the per-request dispatch overhead (~µs); the scaling signal is about
+  // pricing work, not queue hops.
+  int tenants = 1000;
+  int slots = 12;
+};
+
+/// Seeded per-tenancy tenant jitter (gentler scaling than the test
+/// suites') so the tenancies are independent workloads, not sixteen
+/// copies of one.
+std::vector<simdb::SimUser> JitterTenants(std::vector<simdb::SimUser> tenants,
+                                          int slots, uint64_t seed) {
+  Rng rng(seed);
+  return simdb::JitterTenants(std::move(tenants), slots, rng, 0.5, 2.0);
+}
+
+struct SweepPoint {
+  int workers = 0;
+  double ms_total = 0.0;
+  long long requests = 0;
+  long long slots_priced = 0;
+};
+
+/// One full run: every tenancy executes `periods` complete billing periods
+/// through the protocol front end with `workers` worker threads.
+SweepPoint RunSweepPoint(const RunConfig& config, int workers) {
+  auto scenario = simdb::TelemetryScenario(config.tenants, config.slots);
+  if (!scenario.ok()) {
+    std::cerr << "scenario failed: " << scenario.status().ToString() << "\n";
+    std::exit(1);
+  }
+
+  MarketplaceServer server(ServerOptions{workers});
+  service::ServiceConfig service_config;
+  service_config.slots_per_period = config.slots;
+
+  std::vector<std::string> names;
+  for (int t = 0; t < config.tenancies; ++t) {
+    names.push_back("tenancy-" + std::to_string(t));
+    // Catalogs are created before the clock starts: the bench measures the
+    // serving path, not scenario construction.
+    simdb::Catalog catalog = scenario->catalog;
+    Status st = server.CreateTenancy(names.back(), std::move(catalog),
+                                     service_config);
+    if (!st.ok()) {
+      std::cerr << "create failed: " << st.ToString() << "\n";
+      std::exit(1);
+    }
+  }
+
+  SweepPoint point;
+  point.workers = workers;
+  std::vector<std::future<Response>> closes;
+  const auto start = Clock::now();
+  // The full request program is enqueued up front; per-tenancy FIFO keeps
+  // period boundaries ordered while distinct tenancies run concurrently.
+  for (int t = 0; t < config.tenancies; ++t) {
+    const std::vector<simdb::SimUser> tenants = JitterTenants(
+        scenario->tenants, config.slots, 1000 + static_cast<uint64_t>(t));
+    for (int p = 0; p < config.periods; ++p) {
+      Request open;
+      open.op = RequestOp::kOpenPeriod;
+      open.tenancy = names[static_cast<size_t>(t)];
+      server.Dispatch(std::move(open));
+      Request submit;
+      submit.op = RequestOp::kSubmit;
+      submit.tenancy = names[static_cast<size_t>(t)];
+      submit.tenants = tenants;
+      server.Dispatch(std::move(submit));
+      for (int s = 0; s < config.slots; ++s) {
+        Request advance;
+        advance.op = RequestOp::kAdvanceSlot;
+        advance.tenancy = names[static_cast<size_t>(t)];
+        server.Dispatch(std::move(advance));
+      }
+      Request close;
+      close.op = RequestOp::kClosePeriod;
+      close.tenancy = names[static_cast<size_t>(t)];
+      closes.push_back(server.Dispatch(std::move(close)));
+      point.requests += 3 + config.slots;
+      point.slots_priced += config.slots;
+    }
+  }
+  for (auto& close : closes) {
+    const Response response = close.get();
+    if (!response.ok()) {
+      std::cerr << "close failed: " << response.status.ToString() << "\n";
+      std::exit(1);
+    }
+  }
+  point.ms_total = ElapsedMs(start);
+  return point;
+}
+
+}  // namespace
+}  // namespace optshare
+
+int main(int argc, char** argv) {
+  using namespace optshare;
+
+  RunConfig config;
+  std::string out_path = "BENCH_server.json";
+  for (int a = 1; a < argc; ++a) {
+    const std::string arg = argv[a];
+    if (arg == "--quick") {
+      config.tenancies = 6;
+      config.periods = 1;
+      config.tenants = 200;
+    } else if (arg == "--out" && a + 1 < argc) {
+      out_path = argv[++a];
+    } else if (arg == "--tenancies" && a + 1 < argc) {
+      config.tenancies = std::stoi(argv[++a]);
+    } else if (arg == "--periods" && a + 1 < argc) {
+      config.periods = std::stoi(argv[++a]);
+    } else if (arg == "--tenants" && a + 1 < argc) {
+      config.tenants = std::stoi(argv[++a]);
+    } else {
+      std::cerr << "usage: server_throughput [--quick] [--out PATH] "
+                   "[--tenancies N] [--periods P] [--tenants N]\n";
+      return 2;
+    }
+  }
+
+  // Warm-up: the first period pays one-time costs (allocator, cold advisor
+  // paths) that would otherwise be billed to the workers=1 point.
+  {
+    RunConfig warmup = config;
+    warmup.tenancies = 1;
+    warmup.periods = 1;
+    (void)RunSweepPoint(warmup, 1);
+  }
+
+  JsonValue sweep = JsonValue::MakeArray();
+  double baseline_ms = 0.0;
+  for (int workers : {1, 2, 4, 8}) {
+    const SweepPoint point = RunSweepPoint(config, workers);
+    if (workers == 1) baseline_ms = point.ms_total;
+    const double seconds = point.ms_total / 1000.0;
+    JsonValue entry = JsonValue::MakeObject();
+    entry.Set("workers", JsonValue::Number(point.workers));
+    entry.Set("ms_total", JsonValue::Number(point.ms_total));
+    entry.Set("requests", JsonValue::Number(
+                              static_cast<double>(point.requests)));
+    entry.Set("requests_per_sec",
+              JsonValue::Number(static_cast<double>(point.requests) /
+                                seconds));
+    entry.Set("slots_priced",
+              JsonValue::Number(static_cast<double>(point.slots_priced)));
+    entry.Set("slots_per_sec",
+              JsonValue::Number(static_cast<double>(point.slots_priced) /
+                                seconds));
+    entry.Set("speedup_vs_1",
+              JsonValue::Number(point.ms_total > 0.0
+                                    ? baseline_ms / point.ms_total
+                                    : 0.0));
+    sweep.Append(std::move(entry));
+    std::cout << "workers " << point.workers << ": " << point.ms_total
+              << " ms, "
+              << static_cast<double>(point.requests) / seconds
+              << " req/s, "
+              << static_cast<double>(point.slots_priced) / seconds
+              << " slots/s\n";
+  }
+
+  JsonValue doc = JsonValue::MakeObject();
+  doc.Set("benchmark", JsonValue::Str("server_throughput"));
+  doc.Set("tenancies", JsonValue::Number(config.tenancies));
+  doc.Set("periods_per_tenancy", JsonValue::Number(config.periods));
+  doc.Set("tenants_per_tenancy", JsonValue::Number(config.tenants));
+  doc.Set("slots_per_period", JsonValue::Number(config.slots));
+  doc.Set("mechanism", JsonValue::Str("addon"));
+  doc.Set("hardware_threads",
+          JsonValue::Number(std::thread::hardware_concurrency()));
+  doc.Set("sweep", std::move(sweep));
+
+  std::ofstream out(out_path);
+  out << doc.Dump(2) << "\n";
+  std::cout << "wrote " << out_path << "\n";
+  return 0;
+}

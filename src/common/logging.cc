@@ -1,12 +1,24 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
+#include <mutex>
 
 namespace optshare {
 namespace {
 
 std::atomic<LogLevel> g_level{LogLevel::kWarning};
+std::once_flag g_env_once;
+
+// The stderr sink lock: one log line is one fprintf, and the mutex keeps
+// concurrent workers from interleaving even when stderr is fully buffered
+// (e.g. redirected to a file).
+std::mutex& SinkMutex() {
+  static std::mutex* mu = new std::mutex();
+  return *mu;
+}
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -22,14 +34,62 @@ const char* LevelName(LogLevel level) {
   return "?";
 }
 
+std::optional<LogLevel> ReadEnvLevel() {
+  const char* value = std::getenv("OPTSHARE_LOG_LEVEL");
+  if (value == nullptr) return std::nullopt;
+  return ParseLogLevel(value);
+}
+
+/// Applies OPTSHARE_LOG_LEVEL exactly once, before the threshold is first
+/// consulted; explicit SetLogLevel calls afterwards win.
+void EnsureEnvApplied() {
+  std::call_once(g_env_once, [] {
+    if (std::optional<LogLevel> level = ReadEnvLevel()) {
+      g_level.store(*level);
+    }
+  });
+}
+
 }  // namespace
 
-void SetLogLevel(LogLevel level) { g_level.store(level); }
+std::optional<LogLevel> ParseLogLevel(std::string_view text) {
+  std::string lower;
+  lower.reserve(text.size());
+  for (char c : text) {
+    lower.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  if (lower == "debug" || lower == "0") return LogLevel::kDebug;
+  if (lower == "info" || lower == "1") return LogLevel::kInfo;
+  if (lower == "warning" || lower == "warn" || lower == "2") {
+    return LogLevel::kWarning;
+  }
+  if (lower == "error" || lower == "3") return LogLevel::kError;
+  return std::nullopt;
+}
 
-LogLevel GetLogLevel() { return g_level.load(); }
+std::optional<LogLevel> ReloadLogLevelFromEnv() {
+  EnsureEnvApplied();  // Consume the once-flag so a later first log call
+                       // cannot clobber what this reload applies.
+  std::optional<LogLevel> level = ReadEnvLevel();
+  if (level) g_level.store(*level);
+  return level;
+}
+
+void SetLogLevel(LogLevel level) {
+  EnsureEnvApplied();
+  g_level.store(level);
+}
+
+LogLevel GetLogLevel() {
+  EnsureEnvApplied();
+  return g_level.load();
+}
 
 void LogMessage(LogLevel level, const std::string& message) {
+  EnsureEnvApplied();
   if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;
+  std::lock_guard<std::mutex> lock(SinkMutex());
   std::fprintf(stderr, "[%s] %s\n", LevelName(level), message.c_str());
 }
 

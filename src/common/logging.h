@@ -1,9 +1,18 @@
 // Minimal leveled logger. Benches and examples log at Info; tests keep the
 // default threshold at Warning so output stays clean.
+//
+// The initial threshold can come from the environment: OPTSHARE_LOG_LEVEL
+// accepts "debug", "info", "warning"/"warn", "error" (case-insensitive) or
+// the numeric levels 0-3, and is read once before the first log statement.
+// SetLogLevel overrides it afterwards. The stderr sink is mutex-guarded so
+// concurrent workers (service/marketplace_server.h) never interleave bytes
+// of two log lines.
 #pragma once
 
+#include <optional>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace optshare {
 
@@ -13,8 +22,18 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
+/// Parses an OPTSHARE_LOG_LEVEL value; nullopt for unrecognized strings.
+std::optional<LogLevel> ParseLogLevel(std::string_view text);
+
+/// Re-reads OPTSHARE_LOG_LEVEL and applies it (unset or unparsable values
+/// leave the threshold untouched). Returns the applied level when one was.
+/// The environment is otherwise consulted once, before the first log call;
+/// this hook exists for tests and embedders that change the environment
+/// mid-process.
+std::optional<LogLevel> ReloadLogLevelFromEnv();
+
 /// Emits one log line ("[LEVEL] message") to stderr if `level` passes the
-/// threshold.
+/// threshold. Lines are written atomically with respect to other callers.
 void LogMessage(LogLevel level, const std::string& message);
 
 namespace internal {

@@ -22,6 +22,36 @@ std::string_view StatusCodeName(StatusCode code) {
   return "Unknown";
 }
 
+std::optional<StatusCode> StatusCodeFromName(std::string_view name) {
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kOutOfRange, StatusCode::kFailedPrecondition,
+        StatusCode::kAlreadyExists, StatusCode::kInternal}) {
+    if (StatusCodeName(code) == name) return code;
+  }
+  return std::nullopt;
+}
+
+Status MakeStatus(StatusCode code, std::string message) {
+  switch (code) {
+    case StatusCode::kOk:
+      return Status::OK();
+    case StatusCode::kInvalidArgument:
+      return Status::InvalidArgument(std::move(message));
+    case StatusCode::kNotFound:
+      return Status::NotFound(std::move(message));
+    case StatusCode::kOutOfRange:
+      return Status::OutOfRange(std::move(message));
+    case StatusCode::kFailedPrecondition:
+      return Status::FailedPrecondition(std::move(message));
+    case StatusCode::kAlreadyExists:
+      return Status::AlreadyExists(std::move(message));
+    case StatusCode::kInternal:
+      return Status::Internal(std::move(message));
+  }
+  return Status::Internal(std::move(message));
+}
+
 std::string Status::ToString() const {
   if (ok()) return "OK";
   std::string out(StatusCodeName(code_));

@@ -26,6 +26,10 @@ enum class StatusCode {
 /// Human-readable name of a status code (e.g. "InvalidArgument").
 std::string_view StatusCodeName(StatusCode code);
 
+/// Inverse of StatusCodeName; nullopt for unknown names. Used by wire
+/// protocols (service/protocol.h) that carry status codes as strings.
+std::optional<StatusCode> StatusCodeFromName(std::string_view name);
+
 /// A success-or-error value. Cheap to copy in the success case (no message
 /// allocation). Statuses must be checked by callers; the library never
 /// silently drops an error.
@@ -72,6 +76,11 @@ class Status {
   StatusCode code_;
   std::string message_;
 };
+
+/// Rebuilds a Status from a code and message (the wire-deserialization
+/// counterpart of code()/message(); an OK code yields an OK status and the
+/// message is dropped).
+Status MakeStatus(StatusCode code, std::string message);
 
 /// A value-or-error. Mirrors arrow::Result / absl::StatusOr with only the
 /// operations this codebase needs.

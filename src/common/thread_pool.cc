@@ -1,0 +1,84 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace optshare {
+
+ThreadPool::ThreadPool(int num_threads) {
+  const int n = std::max(1, num_threads);
+  workers_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  // Threads start only after the vector is fully built: WorkerLoop never
+  // touches workers_ but the two-phase construction keeps the object
+  // well-formed before any worker observes it.
+  for (auto& worker : workers_) {
+    worker->thread = std::thread([this, w = worker.get()] { WorkerLoop(w); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  for (auto& worker : workers_) {
+    {
+      std::lock_guard<std::mutex> lock(worker->mu);
+      worker->stop = true;
+    }
+    worker->cv.notify_one();
+  }
+  for (auto& worker : workers_) {
+    worker->thread.join();
+  }
+}
+
+void ThreadPool::Post(size_t key, std::function<void()> task) {
+  Worker& worker = *workers_[ShardOf(key)];
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    ++pending_;
+  }
+  {
+    std::lock_guard<std::mutex> lock(worker.mu);
+    worker.queue.push_back(std::move(task));
+  }
+  worker.cv.notify_one();
+}
+
+void ThreadPool::Drain() {
+  std::unique_lock<std::mutex> lock(pending_mu_);
+  pending_cv_.wait(lock, [this] { return pending_ == 0; });
+}
+
+void ThreadPool::WorkerLoop(Worker* worker) {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(worker->mu);
+      worker->cv.wait(lock, [worker] {
+        return worker->stop || !worker->queue.empty();
+      });
+      // Stop only once the queue is drained: a task posted before the
+      // destructor always runs.
+      if (worker->queue.empty()) return;
+      task = std::move(worker->queue.front());
+      worker->queue.pop_front();
+    }
+    // An escaping exception would std::terminate the process and take every
+    // other shard with it; one task's failure is not the pool's. Callers
+    // that need the error must catch it inside the task (the marketplace
+    // server converts it into an error response there).
+    try {
+      task();
+    } catch (...) {
+    }
+    bool idle;
+    {
+      std::lock_guard<std::mutex> lock(pending_mu_);
+      idle = --pending_ == 0;
+    }
+    if (idle) pending_cv_.notify_all();
+  }
+}
+
+}  // namespace optshare

@@ -1,0 +1,70 @@
+// Sharded worker pool: N workers, each owning one FIFO queue. A task is
+// posted under a shard key; tasks sharing a key land on the same worker and
+// therefore execute in submission order, while tasks under different keys
+// run concurrently (up to the worker count). This is the execution substrate
+// of the marketplace server (service/marketplace_server.h): tenancies hash
+// onto shards, so one tenancy's requests are serialized without locks while
+// distinct tenancies price in parallel.
+//
+// Keyed FIFO is a deliberately stronger contract than a work-stealing pool:
+// no task for key K ever runs concurrently with, or ahead of, an earlier
+// task for K. Tasks must not block on later tasks of their own shard (that
+// deadlocks by construction), and should not throw — an exception escaping
+// a task is swallowed to keep the worker alive (catch inside the task to
+// observe it).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace optshare {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (clamped to >= 1).
+  explicit ThreadPool(int num_threads);
+  /// Drains every queued task, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// The worker index `key` maps onto.
+  size_t ShardOf(size_t key) const { return key % workers_.size(); }
+
+  /// Enqueues `task` on the shard for `key`. Tasks with keys mapping to the
+  /// same shard execute in Post order on one worker. Never blocks (queues
+  /// are unbounded).
+  void Post(size_t key, std::function<void()> task);
+
+  /// Blocks until every task posted before this call has finished. Posts
+  /// from other threads may keep the pool busy past the return.
+  void Drain();
+
+ private:
+  struct Worker {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<std::function<void()>> queue;
+    bool stop = false;  // Guarded by mu.
+    std::thread thread;
+  };
+
+  void WorkerLoop(Worker* worker);
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+
+  std::mutex pending_mu_;
+  std::condition_variable pending_cv_;
+  size_t pending_ = 0;  // Posted but not yet completed tasks.
+};
+
+}  // namespace optshare

@@ -683,15 +683,19 @@ MechanismRegistry& MechanismRegistry::Global() {
 
 Status MechanismRegistry::Register(const std::string& name,
                                    MechanismFactory factory) {
-  if (Contains(name)) {
-    return Status::AlreadyExists("mechanism \"" + name +
-                                 "\" is already registered");
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [entry_name, entry_factory] : entries_) {
+    if (entry_name == name) {
+      return Status::AlreadyExists("mechanism \"" + name +
+                                   "\" is already registered");
+    }
   }
   entries_.push_back({name, std::move(factory)});
   return Status::OK();
 }
 
 bool MechanismRegistry::Contains(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   for (const auto& [entry_name, factory] : entries_) {
     if (entry_name == name) return true;
   }
@@ -700,21 +704,34 @@ bool MechanismRegistry::Contains(const std::string& name) const {
 
 Result<std::unique_ptr<Mechanism>> MechanismRegistry::Create(
     const std::string& name) const {
-  for (const auto& [entry_name, factory] : entries_) {
-    if (entry_name == name) return factory();
-  }
-  // List what *is* registered, so a typo'd --mechanism flag is self-fixing.
+  // The factory is copied out so user factory code never runs under the
+  // registry lock (a factory that touched the registry would deadlock).
+  MechanismFactory factory;
   std::string registered;
-  for (const std::string& entry_name : Names()) {
-    if (!registered.empty()) registered += ", ";
-    registered += entry_name;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [entry_name, entry_factory] : entries_) {
+      if (entry_name == name) {
+        factory = entry_factory;
+        break;
+      }
+    }
+    if (!factory) {
+      // List what *is* registered, so a typo'd --mechanism flag is
+      // self-fixing.
+      for (const std::string& entry_name : NamesLocked()) {
+        if (!registered.empty()) registered += ", ";
+        registered += entry_name;
+      }
+    }
   }
+  if (factory) return factory();
   return Status::NotFound("no mechanism named \"" + name +
                           "\"; registered mechanisms: " +
                           (registered.empty() ? "(none)" : registered));
 }
 
-std::vector<std::string> MechanismRegistry::Names() const {
+std::vector<std::string> MechanismRegistry::NamesLocked() const {
   std::vector<std::string> names;
   names.reserve(entries_.size());
   for (const auto& [entry_name, factory] : entries_) {
@@ -722,6 +739,11 @@ std::vector<std::string> MechanismRegistry::Names() const {
   }
   std::sort(names.begin(), names.end());
   return names;
+}
+
+std::vector<std::string> MechanismRegistry::Names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return NamesLocked();
 }
 
 std::string MechanismRegistry::DefaultFor(GameKind kind) {

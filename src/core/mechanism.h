@@ -28,6 +28,7 @@
 
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -401,6 +402,14 @@ using MechanismFactory = std::function<std::unique_ptr<Mechanism>()>;
 /// The paper's mechanisms ("addoff"/"shapley", "addon", "substoff",
 /// "subston") are registered on first access; the baselines add themselves
 /// via RegisterBaselineMechanisms() (baseline/baseline_mechanisms.h).
+///
+/// Thread safety: every method is safe to call concurrently — the entry
+/// list is mutex-guarded, and Create copies the factory out before invoking
+/// it so no user code runs under the registry lock. The intended contract
+/// is still registration-before-serving: register custom mechanisms during
+/// startup, before concurrent pricing traffic resolves names (a name
+/// registered mid-flight is simply not found by requests that raced ahead
+/// of it; nothing crashes or corrupts).
 class MechanismRegistry {
  public:
   static MechanismRegistry& Global();
@@ -420,6 +429,9 @@ class MechanismRegistry {
   static std::string DefaultFor(GameKind kind);
 
  private:
+  std::vector<std::string> NamesLocked() const;
+
+  mutable std::mutex mu_;
   std::vector<std::pair<std::string, MechanismFactory>> entries_;
 };
 

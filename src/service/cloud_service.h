@@ -9,6 +9,11 @@
 // later periods is maintenance-only (a configurable fraction of the build
 // cost), implementing §5's "cost is recomputed and all interested users
 // must purchase it again".
+//
+// This is the embedded single-tenant adapter. A provider serving many
+// tenancies concurrently fronts these periods with MarketplaceServer
+// (service/marketplace_server.h), which keeps one catalog + built-set +
+// session sequence per tenancy and exposes them over the wire protocol.
 #pragma once
 
 #include <string>

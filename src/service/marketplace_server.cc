@@ -1,0 +1,338 @@
+#include "service/marketplace_server.h"
+
+#include <algorithm>
+#include <functional>
+#include <utility>
+
+#include "baseline/baseline_mechanisms.h"
+#include "common/logging.h"
+#include "core/mechanism.h"
+#include "simdb/scenarios.h"
+
+namespace optshare::service {
+namespace {
+
+using protocol::ErrorResponse;
+using protocol::OkResponse;
+using protocol::Request;
+using protocol::RequestOp;
+using protocol::Response;
+
+/// Builds a catalog from a wire CatalogSpec: a canned scenario by name
+/// (its tenants are discarded — the wire submits tenants explicitly) or
+/// inline table definitions.
+Result<simdb::Catalog> BuildCatalog(const protocol::CatalogSpec& spec) {
+  if (!spec.scenario.empty()) {
+    Result<simdb::Scenario> scenario =
+        spec.scenario == "clickstream"
+            ? simdb::ClickstreamScenario(spec.scenario_tenants,
+                                         spec.scenario_slots)
+        : spec.scenario == "retail"
+            ? simdb::RetailScenario(spec.scenario_tenants, spec.scenario_slots)
+        : spec.scenario == "telemetry"
+            ? simdb::TelemetryScenario(spec.scenario_tenants,
+                                       spec.scenario_slots)
+            : Result<simdb::Scenario>(Status::NotFound(
+                  "unknown scenario \"" + spec.scenario +
+                  "\" (clickstream, retail, telemetry)"));
+    if (!scenario.ok()) return scenario.status();
+    return std::move(scenario->catalog);
+  }
+  simdb::Catalog catalog;
+  for (const simdb::TableDef& table : spec.tables) {
+    OPTSHARE_RETURN_NOT_OK(catalog.AddTable(table));
+  }
+  return catalog;
+}
+
+}  // namespace
+
+MarketplaceServer::MarketplaceServer(ServerOptions options)
+    : pool_(options.num_workers) {
+  // Resolve every registry-touching race up front: baselines register once,
+  // before the first concurrent Create on a shard.
+  RegisterBaselineMechanisms();
+}
+
+MarketplaceServer::~MarketplaceServer() { Drain(); }
+
+size_t MarketplaceServer::ShardOf(const std::string& tenancy) const {
+  return std::hash<std::string>{}(tenancy);
+}
+
+MarketplaceServer::Tenancy* MarketplaceServer::FindTenancy(
+    const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tenancies_.find(name);
+  return it == tenancies_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> MarketplaceServer::TenancyNames() const {
+  std::vector<std::string> names;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    names.reserve(tenancies_.size());
+    for (const auto& [name, tenancy] : tenancies_) names.push_back(name);
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+Status MarketplaceServer::CreateTenancy(const std::string& name,
+                                        simdb::Catalog catalog,
+                                        ServiceConfig config) {
+  if (name.empty()) {
+    return Status::InvalidArgument("tenancy name must be non-empty");
+  }
+  OPTSHARE_RETURN_NOT_OK(config.Validate());
+  // Run on the tenancy's shard so creation serializes with wire traffic
+  // already queued under the same name.
+  auto promise = std::make_shared<std::promise<Status>>();
+  std::future<Status> done = promise->get_future();
+  pool_.Post(ShardOf(name), [this, name, catalog = std::move(catalog),
+                             config = std::move(config), promise]() mutable {
+    try {
+      if (FindTenancy(name) != nullptr) {
+        promise->set_value(
+            Status::AlreadyExists("tenancy \"" + name + "\" already exists"));
+        return;
+      }
+      auto tenancy = std::make_unique<Tenancy>();
+      tenancy->name = name;
+      tenancy->catalog = std::move(catalog);
+      tenancy->config = std::move(config);
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        tenancies_.emplace(name, std::move(tenancy));
+      }
+      promise->set_value(Status::OK());
+    } catch (const std::exception& e) {
+      promise->set_value(Status::Internal(e.what()));
+    }
+  });
+  return done.get();
+}
+
+std::future<Response> MarketplaceServer::Dispatch(Request request) {
+  auto promise = std::make_shared<std::promise<Response>>();
+  std::future<Response> response = promise->get_future();
+  // list_mechanisms shards on the empty name: cheap, and ordering against
+  // tenancy traffic is irrelevant for a read-only registry listing.
+  // The shard key must be taken before the Post call: its arguments are
+  // indeterminately sequenced, and the lambda's init-capture moves
+  // `request` out from under an inline ShardOf(request.tenancy).
+  const size_t shard = ShardOf(request.tenancy);
+  pool_.Post(shard, [this, request = std::move(request), promise]() mutable {
+               // One request's failure must stay one request's failure: an
+               // exception out of Execute (e.g. bad_alloc on a huge
+               // payload) becomes this response's Internal error instead
+               // of tearing down the worker.
+               try {
+                 promise->set_value(Execute(request));
+               } catch (const std::exception& e) {
+                 promise->set_value(ErrorResponse(
+                     request.id, Status::Internal(e.what())));
+               } catch (...) {
+                 promise->set_value(ErrorResponse(
+                     request.id,
+                     Status::Internal("unexpected exception while serving")));
+               }
+             });
+  return response;
+}
+
+Response MarketplaceServer::Handle(Request request) {
+  return Dispatch(std::move(request)).get();
+}
+
+std::string MarketplaceServer::HandleLine(const std::string& line) {
+  Result<Request> request = protocol::ParseRequestLine(line);
+  if (!request.ok()) {
+    return protocol::FormatResponseLine(ErrorResponse("", request.status()));
+  }
+  return protocol::FormatResponseLine(Handle(std::move(*request)));
+}
+
+void MarketplaceServer::Drain() { pool_.Drain(); }
+
+Response MarketplaceServer::Execute(const Request& request) {
+  switch (request.op) {
+    case RequestOp::kListMechanisms:
+      return ListMechanisms(request);
+    case RequestOp::kOpenPeriod:
+      return ExecuteOpenPeriod(request);
+    default:
+      return ExecuteTenancyOp(request);
+  }
+}
+
+Response MarketplaceServer::ListMechanisms(const Request& request) {
+  JsonValue names = JsonValue::MakeArray();
+  for (const std::string& name : MechanismRegistry::Global().Names()) {
+    names.Append(JsonValue::Str(name));
+  }
+  JsonValue payload = JsonValue::MakeObject();
+  payload.Set("mechanisms", std::move(names));
+  return OkResponse(request.id, std::move(payload));
+}
+
+Response MarketplaceServer::ExecuteOpenPeriod(const Request& request) {
+  if (request.tenancy.empty()) {
+    return ErrorResponse(request.id, Status::InvalidArgument(
+                                         "open_period needs a tenancy name"));
+  }
+  Tenancy* tenancy = FindTenancy(request.tenancy);
+  const bool creating = tenancy == nullptr;
+  if (creating) {
+    if (!request.catalog) {
+      return ErrorResponse(
+          request.id,
+          Status::NotFound("unknown tenancy \"" + request.tenancy +
+                           "\"; the first open_period must carry a catalog "
+                           "spec"));
+    }
+    Result<simdb::Catalog> catalog = BuildCatalog(*request.catalog);
+    if (!catalog.ok()) return ErrorResponse(request.id, catalog.status());
+    auto fresh = std::make_unique<Tenancy>();
+    fresh->name = request.tenancy;
+    fresh->catalog = std::move(*catalog);
+    tenancy = fresh.get();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      tenancies_.emplace(request.tenancy, std::move(fresh));
+    }
+    OPTSHARE_LOG(Info) << "tenancy \"" << request.tenancy << "\" created on "
+                       << "shard " << pool_.ShardOf(ShardOf(request.tenancy));
+  } else if (request.catalog) {
+    return ErrorResponse(
+        request.id,
+        Status::InvalidArgument("tenancy \"" + request.tenancy +
+                                "\" already exists; a catalog spec is only "
+                                "accepted on the creating open_period"));
+  }
+
+  if (tenancy->session) {
+    return ErrorResponse(request.id, Status::FailedPrecondition(
+                                         "tenancy \"" + request.tenancy +
+                                         "\" already has an open period"));
+  }
+  const ServiceConfig config =
+      request.config ? *request.config : tenancy->config;
+  Result<PricingSession> session = PricingSession::Open(
+      &tenancy->catalog, config, tenancy->built, tenancy->periods_run + 1);
+  if (!session.ok()) {
+    if (creating) {
+      // A creating open that fails leaves no tenancy behind: roll the
+      // insertion back (safe — this shard is the only toucher of the name,
+      // and erasing one entry leaves other tenancies' pointers stable).
+      std::lock_guard<std::mutex> lock(mu_);
+      tenancies_.erase(request.tenancy);
+    }
+    return ErrorResponse(request.id, session.status());
+  }
+  tenancy->config = config;  // The accepted config becomes sticky.
+  tenancy->session.emplace(std::move(*session));
+
+  JsonValue payload = JsonValue::MakeObject();
+  payload.Set("period", JsonValue::Number(tenancy->periods_run + 1));
+  payload.Set("slots_per_period",
+              JsonValue::Number(tenancy->config.slots_per_period));
+  payload.Set("mechanism", JsonValue::Str(tenancy->config.mechanism));
+  JsonValue carried = JsonValue::MakeArray();
+  for (const std::string& name : tenancy->built) {
+    carried.Append(JsonValue::Str(name));
+  }
+  payload.Set("carried_structures", std::move(carried));
+  return OkResponse(request.id, std::move(payload));
+}
+
+Response MarketplaceServer::ExecuteTenancyOp(const Request& request) {
+  if (request.tenancy.empty()) {
+    return ErrorResponse(
+        request.id, Status::InvalidArgument("request needs a tenancy name"));
+  }
+  Tenancy* tenancy = FindTenancy(request.tenancy);
+  if (tenancy == nullptr) {
+    return ErrorResponse(request.id,
+                         Status::NotFound("unknown tenancy \"" +
+                                          request.tenancy + "\""));
+  }
+
+  if (request.op == RequestOp::kReport) {
+    JsonValue payload = JsonValue::MakeObject();
+    payload.Set("tenancy", JsonValue::Str(tenancy->name));
+    payload.Set("periods_run", JsonValue::Number(tenancy->periods_run));
+    payload.Set("period_open", JsonValue::Bool(tenancy->session.has_value()));
+    payload.Set("current_slot",
+                JsonValue::Number(
+                    tenancy->session ? tenancy->session->slots_advanced() : 0));
+    payload.Set("num_tenants",
+                JsonValue::Number(
+                    tenancy->session ? tenancy->session->num_tenants() : 0));
+    JsonValue built = JsonValue::MakeArray();
+    for (const std::string& name : tenancy->built) {
+      built.Append(JsonValue::Str(name));
+    }
+    payload.Set("built_structures", std::move(built));
+    payload.Set("cumulative_balance",
+                JsonValue::Number(tenancy->cumulative_balance));
+    payload.Set("cumulative_utility",
+                JsonValue::Number(tenancy->cumulative_utility));
+    return OkResponse(request.id, std::move(payload));
+  }
+
+  // Every remaining op drives the open period.
+  if (!tenancy->session) {
+    return ErrorResponse(request.id, Status::FailedPrecondition(
+                                         "tenancy \"" + request.tenancy +
+                                         "\" has no open period"));
+  }
+  PricingSession& session = *tenancy->session;
+  switch (request.op) {
+    case RequestOp::kSubmit: {
+      JsonValue ids = JsonValue::MakeArray();
+      for (const simdb::SimUser& tenant : request.tenants) {
+        Result<UserId> id = session.Submit(tenant);
+        // Stop at the first rejection, like PricingSession's batch Submit;
+        // tenants admitted before it stay admitted.
+        if (!id.ok()) return ErrorResponse(request.id, id.status());
+        ids.Append(JsonValue::Number(*id));
+      }
+      JsonValue payload = JsonValue::MakeObject();
+      payload.Set("tenant_ids", std::move(ids));
+      return OkResponse(request.id, std::move(payload));
+    }
+    case RequestOp::kDepart: {
+      Status st = session.Depart(request.tenant);
+      if (!st.ok()) return ErrorResponse(request.id, st);
+      return OkResponse(request.id, JsonValue::MakeObject());
+    }
+    case RequestOp::kAdvanceSlot: {
+      for (int i = 0; i < request.slots; ++i) {
+        Status st = session.AdvanceSlot();
+        if (!st.ok()) return ErrorResponse(request.id, st);
+      }
+      JsonValue payload = JsonValue::MakeObject();
+      payload.Set("slot", JsonValue::Number(session.slots_advanced()));
+      payload.Set("slots_advanced", JsonValue::Number(request.slots));
+      return OkResponse(request.id, std::move(payload));
+    }
+    case RequestOp::kClosePeriod: {
+      Result<PeriodReport> report = session.Close();
+      if (!report.ok()) return ErrorResponse(request.id, report.status());
+      ++tenancy->periods_run;
+      tenancy->built = session.built_structures();
+      tenancy->cumulative_balance += report->ledger.CloudBalance();
+      tenancy->cumulative_utility += report->ledger.TotalUtility();
+      tenancy->session.reset();
+      JsonValue payload = JsonValue::MakeObject();
+      payload.Set("report", protocol::ToJson(*report));
+      return OkResponse(request.id, std::move(payload));
+    }
+    default:
+      return ErrorResponse(request.id,
+                           Status::Internal("unhandled request op"));
+  }
+}
+
+}  // namespace optshare::service

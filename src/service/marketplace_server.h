@@ -1,0 +1,117 @@
+// MarketplaceServer: the multi-tenant front end of the pricing service.
+// Where PricingSession is one billing period for one caller,
+// MarketplaceServer owns many named tenancies — each a catalog plus a
+// sequence of PricingSession periods with carried-over structures — and
+// drives them through the versioned wire protocol (service/protocol.h):
+//
+//   MarketplaceServer server({.num_workers = 8});
+//   server.CreateTenancy("acme", std::move(catalog));       // or open_period
+//   auto future = server.Dispatch(open_period_request);      //   with a
+//   protocol::Response r = future.get();                     //   CatalogSpec
+//
+// Execution is sharded: tenancy names hash onto a worker pool
+// (common/thread_pool.h), so requests for one tenancy execute strictly in
+// dispatch order on one worker — the per-tenancy state (catalog, open
+// session, built-structure set) needs no locks — while distinct tenancies
+// price concurrently. Shared read paths are shareable by construction: the
+// MechanismRegistry is mutex-guarded, simdb::Catalog is only read once a
+// tenancy is created, and each PricingSession lives entirely on its shard.
+//
+// Replaying a recorded request stream through Dispatch/HandleLine yields
+// PeriodReports bit-identical to driving a PricingSession directly with the
+// same tenants (tests/service_server_test.cc); PricingSession and
+// CloudService::RunPeriod remain the embedded single-tenant adapters.
+#pragma once
+
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "service/pricing_session.h"
+#include "service/protocol.h"
+
+namespace optshare::service {
+
+struct ServerOptions {
+  /// Worker threads requests shard onto (clamped to >= 1). Tenancies whose
+  /// names hash to the same shard share a worker; 8 matches the bench
+  /// sweep's top end.
+  int num_workers = 4;
+};
+
+class MarketplaceServer {
+ public:
+  explicit MarketplaceServer(ServerOptions options = {});
+  /// Drains in-flight requests before shutting the pool down.
+  ~MarketplaceServer();
+
+  MarketplaceServer(const MarketplaceServer&) = delete;
+  MarketplaceServer& operator=(const MarketplaceServer&) = delete;
+
+  /// Creates a tenancy around an existing catalog (the embedding-caller
+  /// path; wire callers bootstrap via open_period's CatalogSpec). `config`
+  /// becomes the tenancy's default period configuration. AlreadyExists for
+  /// duplicate names. Runs on the tenancy's shard, so it serializes with
+  /// any wire traffic already queued for the name.
+  Status CreateTenancy(const std::string& name, simdb::Catalog catalog,
+                       ServiceConfig config = {});
+
+  /// Enqueues `request` on its tenancy's shard and returns the response
+  /// future. Requests for one tenancy execute in Dispatch order; requests
+  /// for different tenancies run concurrently across workers.
+  std::future<protocol::Response> Dispatch(protocol::Request request);
+
+  /// Synchronous convenience: Dispatch + wait.
+  protocol::Response Handle(protocol::Request request);
+
+  /// The wire loop's unit of work: parse one request line, execute it,
+  /// serialize the response line (parse errors become error responses, so
+  /// the caller always gets exactly one line back).
+  std::string HandleLine(const std::string& line);
+
+  /// Blocks until every request dispatched before the call has finished.
+  void Drain();
+
+  int num_workers() const { return pool_.num_threads(); }
+  /// Names of existing tenancies, sorted.
+  std::vector<std::string> TenancyNames() const;
+
+ private:
+  /// Per-tenancy state. Owned by the map; only ever touched on the
+  /// tenancy's shard after creation (the map mutex guards the map shape,
+  /// not the tenancy contents).
+  struct Tenancy {
+    std::string name;
+    simdb::Catalog catalog;
+    ServiceConfig config;
+    std::vector<std::string> built;
+    int periods_run = 0;
+    double cumulative_balance = 0.0;
+    double cumulative_utility = 0.0;
+    std::optional<PricingSession> session;  ///< Open period, if any.
+  };
+
+  size_t ShardOf(const std::string& tenancy) const;
+  /// Executes `request` on the current (shard) thread.
+  protocol::Response Execute(const protocol::Request& request);
+  protocol::Response ExecuteOpenPeriod(const protocol::Request& request);
+  protocol::Response ExecuteTenancyOp(const protocol::Request& request);
+  static protocol::Response ListMechanisms(const protocol::Request& request);
+
+  /// Map lookup (nullptr when absent). The returned pointer is stable: the
+  /// map stores unique_ptrs, and a tenancy is only ever erased by its own
+  /// shard (rolling back a failed creating open_period).
+  Tenancy* FindTenancy(const std::string& name);
+
+  mutable std::mutex mu_;  ///< Guards tenancies_ (the map, not its values).
+  std::unordered_map<std::string, std::unique_ptr<Tenancy>> tenancies_;
+  ThreadPool pool_;  ///< Last member: destroyed first, so workers stop
+                     ///< before the state they touch goes away.
+};
+
+}  // namespace optshare::service

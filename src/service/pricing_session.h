@@ -24,6 +24,12 @@
 // AdvanceSlot reproduces CloudService::RunPeriod bit-identically (payments,
 // ledger, built-structure set) under the default "addon" mechanism; see
 // tests/service_session_test.cc.
+//
+// A session is single-threaded by design: one billing period for one
+// caller. The multi-tenant front end is service/marketplace_server.h,
+// which runs one session per tenancy period on a sharded worker pool and
+// drives it through the wire protocol; this class stays the embedded
+// single-tenant surface underneath it.
 #pragma once
 
 #include <memory>

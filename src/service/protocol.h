@@ -1,0 +1,147 @@
+// The marketplace wire protocol: versioned, newline-delimited JSON
+// request/response documents driving a MarketplaceServer
+// (service/marketplace_server.h). One request per line, one response per
+// line, in request order.
+//
+// Every request carries the schema version and an op tag:
+//
+//   {"v": 1, "op": "open_period", "tenancy": "acme",
+//    "catalog": {"scenario": "telemetry", "tenants": 6, "slots": 12},
+//    "config": {"mechanism": "addon", "slots_per_period": 12}}
+//   {"v": 1, "op": "submit", "tenancy": "acme", "tenants": [
+//      {"start": 1, "end": 12, "executions_per_slot": 200,
+//       "workload": [{"frequency": 1, "query": {"table": "telemetry",
+//         "aggregate": true, "predicates": [
+//           {"column": "device_id", "selectivity": 1e-6}]}}]}]}
+//   {"v": 1, "op": "depart", "tenancy": "acme", "tenant": 0}
+//   {"v": 1, "op": "advance_slot", "tenancy": "acme", "slots": 3}
+//   {"v": 1, "op": "close_period", "tenancy": "acme"}
+//   {"v": 1, "op": "report", "tenancy": "acme"}
+//   {"v": 1, "op": "list_mechanisms"}
+//
+// Responses echo the request's optional "id" and carry either a payload or
+// a typed error mapping onto common/Status:
+//
+//   {"v": 1, "ok": true, "result": {...}}
+//   {"v": 1, "ok": false, "error": {"code": "NotFound", "message": "..."}}
+//
+// Parsing is strict: an unknown field, a missing "v", or a version other
+// than kProtocolVersion rejects the document (InvalidArgument), so schema
+// drift fails loudly instead of silently ignoring client intent. Every
+// variant round-trips bit-identically through ToJson/FromJson (numbers use
+// common/json's round-trip formatting), which is what lets a recorded
+// request stream be replayed as a differential test against direct
+// PricingSession calls (tests/service_server_test.cc).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/status.h"
+#include "service/cloud_service.h"
+#include "simdb/pricing.h"
+#include "simdb/schema.h"
+
+namespace optshare::service::protocol {
+
+/// Version of the request/response schema this build speaks. Requests with
+/// any other version are rejected at parse time.
+inline constexpr int kProtocolVersion = 1;
+
+/// The request variants.
+enum class RequestOp {
+  kOpenPeriod,
+  kSubmit,
+  kDepart,
+  kAdvanceSlot,
+  kClosePeriod,
+  kReport,
+  kListMechanisms,
+};
+
+/// Wire tag of an op ("open_period", ...).
+std::string_view RequestOpName(RequestOp op);
+/// Inverse of RequestOpName; nullopt for unknown tags.
+std::optional<RequestOp> RequestOpFromName(std::string_view name);
+
+/// How a tenancy's catalog is bootstrapped over the wire (first open_period
+/// for a tenancy): either a canned simdb scenario by name or inline table
+/// definitions. Exactly one of the two must be present.
+struct CatalogSpec {
+  /// "clickstream", "retail" or "telemetry"; empty = inline tables.
+  std::string scenario;
+  /// Sizing arguments forwarded to the scenario constructor.
+  int scenario_tenants = 6;
+  int scenario_slots = 12;
+  /// Inline table definitions (used when `scenario` is empty).
+  std::vector<simdb::TableDef> tables;
+};
+
+/// One protocol request: the op tag plus the fields of its variant (fields
+/// of other variants stay defaulted and are neither serialized nor
+/// accepted when parsing that variant).
+struct Request {
+  RequestOp op = RequestOp::kListMechanisms;
+  /// Client-chosen correlation id, echoed verbatim in the response (empty =
+  /// absent).
+  std::string id;
+  /// Target tenancy; required for every op except list_mechanisms.
+  std::string tenancy;
+
+  // open_period
+  std::optional<CatalogSpec> catalog;      ///< Required on first touch.
+  std::optional<ServiceConfig> config;     ///< Absent = tenancy's config.
+
+  // submit
+  std::vector<simdb::SimUser> tenants;
+
+  // depart
+  UserId tenant = -1;
+
+  // advance_slot
+  int slots = 1;
+};
+
+/// One protocol response. `status` carries the typed error (OK = success);
+/// `payload` is the op-specific result object (null on error).
+struct Response {
+  std::string id;
+  Status status;
+  JsonValue payload;
+
+  bool ok() const { return status.ok(); }
+};
+
+// -- Serialization ----------------------------------------------------------
+
+JsonValue ToJson(const Request& request);
+JsonValue ToJson(const Response& response);
+JsonValue ToJson(const simdb::SimUser& tenant);
+JsonValue ToJson(const simdb::TableDef& table);
+JsonValue ToJson(const ServiceConfig& config);
+JsonValue ToJson(const CatalogSpec& spec);
+JsonValue ToJson(const PeriodReport& report);
+
+Result<Request> RequestFromJson(const JsonValue& v);
+Result<Response> ResponseFromJson(const JsonValue& v);
+Result<simdb::SimUser> SimUserFromJson(const JsonValue& v);
+Result<simdb::TableDef> TableDefFromJson(const JsonValue& v);
+Result<ServiceConfig> ServiceConfigFromJson(const JsonValue& v);
+Result<CatalogSpec> CatalogSpecFromJson(const JsonValue& v);
+Result<PeriodReport> PeriodReportFromJson(const JsonValue& v);
+
+/// Parses one wire line into a request (strict: version check, unknown
+/// fields rejected).
+Result<Request> ParseRequestLine(const std::string& line);
+
+/// Serializes a response as one compact wire line (no trailing newline).
+std::string FormatResponseLine(const Response& response);
+
+/// The error response for `status`, echoing `id`.
+Response ErrorResponse(std::string id, Status status);
+/// A success response with `payload`, echoing `id`.
+Response OkResponse(std::string id, JsonValue payload);
+
+}  // namespace optshare::service::protocol

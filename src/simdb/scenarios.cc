@@ -106,4 +106,17 @@ Result<Scenario> TelemetryScenario(int num_tenants, int num_slots) {
   return s;
 }
 
+std::vector<SimUser> JitterTenants(std::vector<SimUser> tenants,
+                                   int num_slots, Rng& rng, double scale_lo,
+                                   double scale_hi) {
+  for (SimUser& tenant : tenants) {
+    const TimeSlot a = static_cast<TimeSlot>(rng.UniformInt(1, num_slots));
+    const TimeSlot b = static_cast<TimeSlot>(rng.UniformInt(1, num_slots));
+    tenant.start = std::min(a, b);
+    tenant.end = std::max(a, b);
+    tenant.executions_per_slot *= rng.Uniform(scale_lo, scale_hi);
+  }
+  return tenants;
+}
+
 }  // namespace optshare::simdb

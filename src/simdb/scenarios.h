@@ -6,6 +6,7 @@
 
 #include <vector>
 
+#include "common/rng.h"
 #include "common/status.h"
 #include "simdb/catalog.h"
 #include "simdb/pricing.h"
@@ -30,5 +31,14 @@ Result<Scenario> RetailScenario(int num_tenants = 6, int num_slots = 12);
 /// IoT telemetry: device-series lookups over a billion-row table; a mix of
 /// enterprise and starter tenants.
 Result<Scenario> TelemetryScenario(int num_tenants = 6, int num_slots = 12);
+
+/// Seeded perturbation of a tenant set: each tenant's interval is redrawn
+/// within [1, num_slots] and her intensity scaled by a factor in
+/// [scale_lo, scale_hi]. One shared helper so the differential suites and
+/// benches derive their varied workloads from the exact same draws.
+std::vector<SimUser> JitterTenants(std::vector<SimUser> tenants,
+                                   int num_slots, Rng& rng,
+                                   double scale_lo = 0.2,
+                                   double scale_hi = 3.0);
 
 }  // namespace optshare::simdb

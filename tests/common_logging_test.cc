@@ -1,7 +1,14 @@
-// Tests for the logging facility.
+// Tests for the logging facility, including the OPTSHARE_LOG_LEVEL env
+// filter and the mutex-guarded sink (concurrent emitters never interleave
+// bytes of two lines).
 #include "common/logging.h"
 
 #include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+#include <thread>
+#include <vector>
 
 namespace optshare {
 namespace {
@@ -51,6 +58,73 @@ TEST_F(LoggingTest, StreamFormatsMixedTypes) {
   OPTSHARE_LOG(Debug) << "cost=" << 2.5 << " users=" << 6 << " ok=" << true;
   const std::string out = testing::internal::GetCapturedStderr();
   EXPECT_NE(out.find("cost=2.5 users=6 ok=1"), std::string::npos);
+}
+
+TEST_F(LoggingTest, ParseLogLevelAcceptsNamesAndNumbers) {
+  EXPECT_EQ(ParseLogLevel("debug"), LogLevel::kDebug);
+  EXPECT_EQ(ParseLogLevel("DEBUG"), LogLevel::kDebug);
+  EXPECT_EQ(ParseLogLevel("0"), LogLevel::kDebug);
+  EXPECT_EQ(ParseLogLevel("info"), LogLevel::kInfo);
+  EXPECT_EQ(ParseLogLevel("1"), LogLevel::kInfo);
+  EXPECT_EQ(ParseLogLevel("warning"), LogLevel::kWarning);
+  EXPECT_EQ(ParseLogLevel("Warn"), LogLevel::kWarning);
+  EXPECT_EQ(ParseLogLevel("2"), LogLevel::kWarning);
+  EXPECT_EQ(ParseLogLevel("error"), LogLevel::kError);
+  EXPECT_EQ(ParseLogLevel("3"), LogLevel::kError);
+  EXPECT_FALSE(ParseLogLevel("loud").has_value());
+  EXPECT_FALSE(ParseLogLevel("").has_value());
+  EXPECT_FALSE(ParseLogLevel("4").has_value());
+}
+
+TEST_F(LoggingTest, EnvFilterAppliesOnReload) {
+  ASSERT_EQ(setenv("OPTSHARE_LOG_LEVEL", "error", 1), 0);
+  EXPECT_EQ(ReloadLogLevelFromEnv(), LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+
+  // Unparsable values leave the threshold untouched.
+  ASSERT_EQ(setenv("OPTSHARE_LOG_LEVEL", "shouting", 1), 0);
+  EXPECT_FALSE(ReloadLogLevelFromEnv().has_value());
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+
+  // Unset leaves it untouched too.
+  ASSERT_EQ(unsetenv("OPTSHARE_LOG_LEVEL"), 0);
+  EXPECT_FALSE(ReloadLogLevelFromEnv().has_value());
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+
+  // SetLogLevel still wins afterwards.
+  SetLogLevel(LogLevel::kInfo);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kInfo);
+}
+
+TEST_F(LoggingTest, ConcurrentEmittersNeverInterleaveLines) {
+  SetLogLevel(LogLevel::kInfo);
+  constexpr int kThreads = 4;
+  constexpr int kLines = 50;
+  testing::internal::CaptureStderr();
+  {
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([t] {
+        for (int i = 0; i < kLines; ++i) {
+          OPTSHARE_LOG(Info) << "worker-" << t << "-line-" << i << "-end";
+        }
+      });
+    }
+    for (auto& thread : threads) thread.join();
+  }
+  const std::string out = testing::internal::GetCapturedStderr();
+  // Every line arrived whole: correct count, and each parses as exactly
+  // one "[INFO] worker-T-line-I-end".
+  std::istringstream stream(out);
+  std::string line;
+  int count = 0;
+  while (std::getline(stream, line)) {
+    ++count;
+    EXPECT_EQ(line.rfind("[INFO] worker-", 0), 0u) << line;
+    EXPECT_EQ(line.find("-end"), line.size() - 4) << line;
+    EXPECT_EQ(line.find("[INFO]", 1), std::string::npos) << line;
+  }
+  EXPECT_EQ(count, kThreads * kLines);
 }
 
 }  // namespace

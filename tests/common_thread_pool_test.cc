@@ -1,0 +1,124 @@
+// Tests for the sharded worker pool: per-key FIFO ordering, cross-key
+// concurrency, Drain semantics, and destructor draining.
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <vector>
+
+namespace optshare {
+namespace {
+
+TEST(ThreadPoolTest, ClampsToAtLeastOneWorker) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1);
+  ThreadPool pool2(-3);
+  EXPECT_EQ(pool2.num_threads(), 1);
+}
+
+TEST(ThreadPoolTest, SameKeyExecutesInPostOrder) {
+  ThreadPool pool(4);
+  constexpr int kTasks = 2000;
+  std::vector<int> order;
+  order.reserve(kTasks);
+  for (int i = 0; i < kTasks; ++i) {
+    pool.Post(7, [i, &order] { order.push_back(i); });
+  }
+  pool.Drain();
+  ASSERT_EQ(order.size(), static_cast<size_t>(kTasks));
+  for (int i = 0; i < kTasks; ++i) {
+    ASSERT_EQ(order[static_cast<size_t>(i)], i) << "task " << i;
+  }
+}
+
+TEST(ThreadPoolTest, EveryKeyOfOneShardStaysOrdered) {
+  ThreadPool pool(3);
+  // Keys 2 and 5 land on shard 2 of 3: their combined stream is FIFO.
+  std::vector<int> order;
+  for (int i = 0; i < 100; ++i) {
+    pool.Post(i % 2 == 0 ? 2 : 5, [i, &order] { order.push_back(i); });
+  }
+  pool.Drain();
+  ASSERT_EQ(order.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(ThreadPoolTest, DistinctShardsRunConcurrently) {
+  ThreadPool pool(2);
+  // Shard 0 blocks until shard 1 has run: only possible if the two shards
+  // execute on different threads.
+  std::mutex mu;
+  std::condition_variable cv;
+  bool shard1_ran = false;
+  pool.Post(0, [&] {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return shard1_ran; });
+  });
+  pool.Post(1, [&] {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      shard1_ran = true;
+    }
+    cv.notify_one();
+  });
+  pool.Drain();
+  EXPECT_TRUE(shard1_ran);
+}
+
+TEST(ThreadPoolTest, DrainWaitsForPostedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 64; ++i) {
+    pool.Post(static_cast<size_t>(i), [&done] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      done.fetch_add(1);
+    });
+  }
+  pool.Drain();
+  EXPECT_EQ(done.load(), 64);
+}
+
+TEST(ThreadPoolTest, DestructorRunsQueuedTasks) {
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 32; ++i) {
+      pool.Post(static_cast<size_t>(i), [&done] { done.fetch_add(1); });
+    }
+  }
+  EXPECT_EQ(done.load(), 32);
+}
+
+TEST(ThreadPoolTest, ConcurrentPostersKeepPerKeyOrder) {
+  ThreadPool pool(4);
+  // Each poster thread owns one key; its own sequence must stay ordered no
+  // matter how posts interleave across threads.
+  constexpr int kPosters = 4;
+  constexpr int kPerPoster = 500;
+  std::vector<std::vector<int>> seen(kPosters);
+  std::vector<std::thread> posters;
+  for (int p = 0; p < kPosters; ++p) {
+    posters.emplace_back([p, &pool, &seen] {
+      for (int i = 0; i < kPerPoster; ++i) {
+        pool.Post(static_cast<size_t>(p),
+                  [p, i, &seen] { seen[static_cast<size_t>(p)].push_back(i); });
+      }
+    });
+  }
+  for (auto& poster : posters) poster.join();
+  pool.Drain();
+  for (int p = 0; p < kPosters; ++p) {
+    ASSERT_EQ(seen[static_cast<size_t>(p)].size(),
+              static_cast<size_t>(kPerPoster));
+    for (int i = 0; i < kPerPoster; ++i) {
+      ASSERT_EQ(seen[static_cast<size_t>(p)][static_cast<size_t>(i)], i);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace optshare

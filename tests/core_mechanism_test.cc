@@ -13,7 +13,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
+#include <thread>
 
 #include "baseline/baseline_mechanisms.h"
 #include "baseline/naive_online.h"
@@ -458,6 +460,62 @@ TEST(MechanismRegistryTest, BaselineResultsFlowThroughUniformAccounting) {
   const auto naive = RunMechanism("naive_online", GameView(game));
   ASSERT_TRUE(naive.ok());
   EXPECT_EQ(naive->payments, RunNaiveOnline(game).payments);
+}
+
+/// Minimal mechanism for registry-churn tests.
+class TransientMechanism final : public Mechanism {
+ public:
+  std::string_view name() const override { return "transient"; }
+  bool Supports(GameKind) const override { return false; }
+  Result<MechanismResult> Run(const GameView& game) const override {
+    return UnsupportedKind("transient", game.kind());
+  }
+};
+
+TEST(MechanismRegistryTest, ConcurrentCreateAndListingIsSafe) {
+  // Regression for the multi-tenant server: shards resolve mechanisms by
+  // name concurrently while late registrations may still be arriving. Every
+  // Create must return a working instance (or a clean NotFound), and no
+  // call may crash or corrupt the entry list. Run under TSan in CI.
+  RegisterBaselineMechanisms();
+  constexpr int kThreads = 8;
+  constexpr int kIters = 200;
+  std::atomic<int> failures{0};
+  std::atomic<int> registered{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t, &failures, &registered] {
+      for (int i = 0; i < kIters; ++i) {
+        Result<std::unique_ptr<Mechanism>> mech =
+            MechanismRegistry::Global().Create(i % 2 == 0 ? "addon"
+                                                          : "naive_online");
+        if (!mech.ok() || *mech == nullptr) failures.fetch_add(1);
+        if (MechanismRegistry::Global().Names().empty()) failures.fetch_add(1);
+        if (!MechanismRegistry::Global().Contains("addoff")) {
+          failures.fetch_add(1);
+        }
+        // Unknown names stay clean NotFounds mid-churn.
+        if (MechanismRegistry::Global().Create("no_such_mech").ok()) {
+          failures.fetch_add(1);
+        }
+        // Concurrent registration of thread-unique names must never
+        // collide with lookups (registration-before-serving is the
+        // documented contract, but racing must stay memory-safe).
+        const std::string name =
+            "transient_" + std::to_string(t) + "_" + std::to_string(i);
+        Status st = MechanismRegistry::Global().Register(
+            name, [] { return std::make_unique<TransientMechanism>(); });
+        if (st.ok()) registered.fetch_add(1);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(registered.load(), kThreads * kIters);
+  // Every transient registration is visible afterwards.
+  EXPECT_TRUE(MechanismRegistry::Global().Contains("transient_0_0"));
+  EXPECT_TRUE(
+      MechanismRegistry::Global().Create("transient_7_199").ok());
 }
 
 TEST(MechanismResultTest, MembershipUsesSortedSpans) {

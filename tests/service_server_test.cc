@@ -1,0 +1,485 @@
+// MarketplaceServer differential and concurrency suite. The load-bearing
+// guarantee: a recorded wire-protocol request stream replayed through the
+// server produces PeriodReports bit-identical (payments, ledger, built
+// sets — compared through the round-trip JSON encoding) to driving a
+// PricingSession directly with the same tenants, for the native "addon"
+// mechanism and buffered baselines alike. Plus: multi-period carry-over
+// over the wire, interleaved multi-tenancy isolation, concurrent client
+// threads, and the protocol error surface end to end.
+#include "service/marketplace_server.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <functional>
+#include <thread>
+
+#include "common/rng.h"
+#include "simdb/scenarios.h"
+
+namespace optshare::service {
+namespace {
+
+using protocol::Request;
+using protocol::RequestOp;
+using protocol::Response;
+
+std::vector<simdb::SimUser> JitterTenants(std::vector<simdb::SimUser> tenants,
+                                          int slots, uint64_t seed) {
+  Rng rng(seed);
+  return simdb::JitterTenants(std::move(tenants), slots, rng);
+}
+
+/// Runs `periods` full periods directly through PricingSession — the
+/// reference the wire replay must match bit for bit.
+std::vector<PeriodReport> DirectReports(
+    const simdb::Catalog& catalog, const ServiceConfig& config,
+    const std::vector<std::vector<simdb::SimUser>>& periods) {
+  std::vector<PeriodReport> reports;
+  std::vector<std::string> built;
+  for (size_t p = 0; p < periods.size(); ++p) {
+    Result<PricingSession> session = PricingSession::Open(
+        &catalog, config, built, static_cast<int>(p) + 1);
+    EXPECT_TRUE(session.ok()) << session.status().ToString();
+    EXPECT_TRUE(session->Submit(periods[p]).ok());
+    for (int slot = 0; slot < config.slots_per_period; ++slot) {
+      EXPECT_TRUE(session->AdvanceSlot().ok());
+    }
+    Result<PeriodReport> report = session->Close();
+    EXPECT_TRUE(report.ok()) << report.status().ToString();
+    built = session->built_structures();
+    reports.push_back(std::move(*report));
+  }
+  return reports;
+}
+
+/// Records the wire request stream for the same program: one open_period
+/// (with a scenario catalog spec on the first), submits, slot advances,
+/// and a close per period — serialized to JSON lines as a client would
+/// send them.
+std::vector<std::string> RecordRequestLines(
+    const std::string& tenancy, const ServiceConfig& config,
+    int scenario_tenants, int scenario_slots,
+    const std::vector<std::vector<simdb::SimUser>>& periods) {
+  std::vector<std::string> lines;
+  for (size_t p = 0; p < periods.size(); ++p) {
+    Request open;
+    open.op = RequestOp::kOpenPeriod;
+    open.tenancy = tenancy;
+    if (p == 0) {
+      protocol::CatalogSpec catalog;
+      catalog.scenario = "telemetry";
+      catalog.scenario_tenants = scenario_tenants;
+      catalog.scenario_slots = scenario_slots;
+      open.catalog = catalog;
+      open.config = config;
+    }
+    lines.push_back(protocol::ToJson(open).Dump());
+    Request submit;
+    submit.op = RequestOp::kSubmit;
+    submit.tenancy = tenancy;
+    submit.tenants = periods[p];
+    lines.push_back(protocol::ToJson(submit).Dump());
+    Request advance;
+    advance.op = RequestOp::kAdvanceSlot;
+    advance.tenancy = tenancy;
+    advance.slots = config.slots_per_period;
+    lines.push_back(protocol::ToJson(advance).Dump());
+    Request close;
+    close.op = RequestOp::kClosePeriod;
+    close.tenancy = tenancy;
+    lines.push_back(protocol::ToJson(close).Dump());
+  }
+  return lines;
+}
+
+/// Extracts the close_period report payloads from a replayed response
+/// stream (every response must be ok).
+std::vector<PeriodReport> ReportsFromResponses(
+    const std::vector<std::string>& response_lines) {
+  std::vector<PeriodReport> reports;
+  for (const std::string& line : response_lines) {
+    Result<JsonValue> doc = JsonValue::Parse(line);
+    EXPECT_TRUE(doc.ok()) << line;
+    Result<Response> response = protocol::ResponseFromJson(*doc);
+    EXPECT_TRUE(response.ok()) << line;
+    EXPECT_TRUE(response->ok()) << response->status.ToString();
+    const JsonValue* report = response->payload.Find("report");
+    if (report != nullptr) {
+      Result<PeriodReport> parsed = protocol::PeriodReportFromJson(*report);
+      EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+      reports.push_back(std::move(*parsed));
+    }
+  }
+  return reports;
+}
+
+void ExpectBitIdentical(const PeriodReport& direct,
+                        const PeriodReport& replayed) {
+  // The JSON encoding round-trips doubles exactly, so string equality of
+  // the dumps is bit-for-bit equality of payments, ledger and built set.
+  EXPECT_EQ(protocol::ToJson(direct).Dump(), protocol::ToJson(replayed).Dump());
+}
+
+class ServerParityTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ServerParityTest, ReplayedRequestStreamMatchesDirectSessions) {
+  constexpr int kTenants = 6;
+  constexpr int kSlots = 12;
+  auto scenario = simdb::TelemetryScenario(kTenants, kSlots);
+  ASSERT_TRUE(scenario.ok());
+  ServiceConfig config;
+  config.mechanism = GetParam();
+
+  std::vector<std::vector<simdb::SimUser>> periods;
+  for (int p = 0; p < 3; ++p) {
+    periods.push_back(JitterTenants(scenario->tenants, kSlots,
+                                    7000 + static_cast<uint64_t>(p)));
+  }
+  const std::vector<PeriodReport> direct =
+      DirectReports(scenario->catalog, config, periods);
+  // The comparison must be about real outcomes: structures proposed, and
+  // (for the paper mechanism) built with payments flowing.
+  int structures = 0;
+  double payments = 0.0;
+  for (const PeriodReport& report : direct) {
+    structures += static_cast<int>(report.structures.size());
+    payments += report.ledger.TotalPayment();
+  }
+  ASSERT_GT(structures, 0);
+  if (config.mechanism == "addon") ASSERT_GT(payments, 0.0);
+
+  // Replay the recorded stream through a fresh server over the wire: the
+  // tenancy's catalog is bootstrapped from the same scenario spec.
+  MarketplaceServer server(ServerOptions{2});
+  std::vector<std::string> responses;
+  for (const std::string& line :
+       RecordRequestLines("acme", config, kTenants, kSlots, periods)) {
+    responses.push_back(server.HandleLine(line));
+  }
+  const std::vector<PeriodReport> replayed = ReportsFromResponses(responses);
+
+  ASSERT_EQ(replayed.size(), direct.size());
+  for (size_t p = 0; p < direct.size(); ++p) {
+    ExpectBitIdentical(direct[p], replayed[p]);
+  }
+}
+
+// "addon" exercises the native slot-incremental path; "naive_online" and
+// "regret" the buffered baselines (the acceptance bar's two).
+INSTANTIATE_TEST_SUITE_P(Mechanisms, ServerParityTest,
+                         ::testing::Values("addon", "naive_online", "regret"));
+
+TEST(MarketplaceServerTest, InterleavedTenanciesStayIsolated) {
+  // Many tenancies with different workloads, requests interleaved
+  // round-robin across them; every tenancy's reports must equal its own
+  // serial reference exactly.
+  constexpr int kTenancies = 8;
+  constexpr int kSlots = 12;
+  auto scenario = simdb::TelemetryScenario(5, kSlots);
+  ASSERT_TRUE(scenario.ok());
+  ServiceConfig config;
+
+  std::vector<std::vector<std::vector<simdb::SimUser>>> programs;
+  std::vector<std::vector<PeriodReport>> direct;
+  for (int t = 0; t < kTenancies; ++t) {
+    std::vector<std::vector<simdb::SimUser>> periods;
+    for (int p = 0; p < 2; ++p) {
+      periods.push_back(JitterTenants(
+          scenario->tenants, kSlots,
+          static_cast<uint64_t>(100 * t + p)));
+    }
+    direct.push_back(DirectReports(scenario->catalog, config, periods));
+    programs.push_back(std::move(periods));
+  }
+
+  MarketplaceServer server(ServerOptions{4});
+  std::vector<std::vector<std::string>> lines;
+  size_t max_lines = 0;
+  for (int t = 0; t < kTenancies; ++t) {
+    lines.push_back(RecordRequestLines("tenant-" + std::to_string(t), config,
+                                       5, kSlots,
+                                       programs[static_cast<size_t>(t)]));
+    max_lines = std::max(max_lines, lines.back().size());
+  }
+  // Round-robin interleave: tenancy t's k-th request dispatches between
+  // other tenancies' k-th requests, all in flight together.
+  std::vector<std::vector<std::future<Response>>> futures(kTenancies);
+  for (size_t k = 0; k < max_lines; ++k) {
+    for (int t = 0; t < kTenancies; ++t) {
+      const auto& mine = lines[static_cast<size_t>(t)];
+      if (k >= mine.size()) continue;
+      Result<Request> request = protocol::ParseRequestLine(mine[k]);
+      ASSERT_TRUE(request.ok()) << request.status().ToString();
+      futures[static_cast<size_t>(t)].push_back(
+          server.Dispatch(std::move(*request)));
+    }
+  }
+  for (int t = 0; t < kTenancies; ++t) {
+    std::vector<std::string> responses;
+    for (auto& future : futures[static_cast<size_t>(t)]) {
+      responses.push_back(protocol::FormatResponseLine(future.get()));
+    }
+    const std::vector<PeriodReport> replayed =
+        ReportsFromResponses(responses);
+    ASSERT_EQ(replayed.size(), direct[static_cast<size_t>(t)].size())
+        << "tenancy " << t;
+    for (size_t p = 0; p < replayed.size(); ++p) {
+      ExpectBitIdentical(direct[static_cast<size_t>(t)][p], replayed[p]);
+    }
+  }
+}
+
+TEST(MarketplaceServerTest, ConcurrentClientThreadsMatchSerialReferences) {
+  // One client thread per tenancy, all hammering the server at once.
+  constexpr int kClients = 6;
+  constexpr int kSlots = 8;
+  auto scenario = simdb::TelemetryScenario(4, kSlots);
+  ASSERT_TRUE(scenario.ok());
+  ServiceConfig config;
+  config.slots_per_period = kSlots;
+
+  std::vector<std::vector<std::vector<simdb::SimUser>>> programs;
+  std::vector<std::vector<PeriodReport>> direct;
+  for (int c = 0; c < kClients; ++c) {
+    std::vector<std::vector<simdb::SimUser>> periods = {JitterTenants(
+        scenario->tenants, kSlots, 5000 + static_cast<uint64_t>(c))};
+    direct.push_back(DirectReports(scenario->catalog, config, periods));
+    programs.push_back(std::move(periods));
+  }
+
+  MarketplaceServer server(ServerOptions{4});
+  std::vector<std::vector<std::string>> responses(kClients);
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([c, kSlots, &server, &config, &programs,
+                          &responses] {
+      for (const std::string& line : RecordRequestLines(
+               "client-" + std::to_string(c), config, 4, kSlots,
+               programs[static_cast<size_t>(c)])) {
+        responses[static_cast<size_t>(c)].push_back(server.HandleLine(line));
+      }
+    });
+  }
+  for (auto& client : clients) client.join();
+  for (int c = 0; c < kClients; ++c) {
+    const std::vector<PeriodReport> replayed =
+        ReportsFromResponses(responses[static_cast<size_t>(c)]);
+    ASSERT_EQ(replayed.size(), 1u);
+    ExpectBitIdentical(direct[static_cast<size_t>(c)][0], replayed[0]);
+  }
+}
+
+TEST(MarketplaceServerTest, CreateTenancyAndWireBootstrapAgree) {
+  // A tenancy created programmatically prices exactly like one
+  // bootstrapped over the wire from the same scenario.
+  constexpr int kSlots = 12;
+  auto scenario = simdb::TelemetryScenario(5, kSlots);
+  ASSERT_TRUE(scenario.ok());
+  ServiceConfig config;
+  const std::vector<std::vector<simdb::SimUser>> periods = {
+      JitterTenants(scenario->tenants, kSlots, 321)};
+
+  MarketplaceServer server(ServerOptions{2});
+  ASSERT_TRUE(
+      server.CreateTenancy("embedded", scenario->catalog, config).ok());
+  // Duplicate creation is rejected.
+  EXPECT_EQ(server.CreateTenancy("embedded", scenario->catalog, config)
+                .code(),
+            StatusCode::kAlreadyExists);
+
+  std::vector<std::string> wire_responses;
+  for (const std::string& line :
+       RecordRequestLines("wire", config, 5, kSlots, periods)) {
+    wire_responses.push_back(server.HandleLine(line));
+  }
+
+  // Drive "embedded" with the same program minus the catalog spec.
+  std::vector<std::string> embedded_responses;
+  for (std::string line :
+       RecordRequestLines("embedded", config, 5, kSlots, periods)) {
+    Result<Request> request = protocol::ParseRequestLine(line);
+    ASSERT_TRUE(request.ok());
+    request->catalog.reset();  // The tenancy already owns its catalog.
+    embedded_responses.push_back(protocol::FormatResponseLine(
+        server.Handle(std::move(*request))));
+  }
+
+  const std::vector<PeriodReport> wire = ReportsFromResponses(wire_responses);
+  const std::vector<PeriodReport> embedded =
+      ReportsFromResponses(embedded_responses);
+  ASSERT_EQ(wire.size(), 1u);
+  ASSERT_EQ(embedded.size(), 1u);
+  ExpectBitIdentical(wire[0], embedded[0]);
+  EXPECT_EQ(server.TenancyNames(),
+            (std::vector<std::string>{"embedded", "wire"}));
+}
+
+TEST(MarketplaceServerTest, ProtocolErrorSurface) {
+  MarketplaceServer server(ServerOptions{2});
+
+  const auto expect_error = [&](const std::string& line, StatusCode code) {
+    Result<Response> response =
+        protocol::ResponseFromJson(*JsonValue::Parse(server.HandleLine(line)));
+    ASSERT_TRUE(response.ok()) << line;
+    EXPECT_FALSE(response->ok()) << line;
+    EXPECT_EQ(response->status.code(), code) << line;
+  };
+
+  // Unknown tenancy.
+  expect_error("{\"v\":1,\"op\":\"report\",\"tenancy\":\"ghost\"}",
+               StatusCode::kNotFound);
+  // First open_period without a catalog spec.
+  expect_error("{\"v\":1,\"op\":\"open_period\",\"tenancy\":\"ghost\"}",
+               StatusCode::kNotFound);
+  // Unknown scenario name.
+  expect_error(
+      "{\"v\":1,\"op\":\"open_period\",\"tenancy\":\"t\",\"catalog\":"
+      "{\"scenario\":\"nope\"}}",
+      StatusCode::kNotFound);
+  // Bad config caught at open.
+  expect_error(
+      "{\"v\":1,\"op\":\"open_period\",\"tenancy\":\"t\",\"catalog\":"
+      "{\"scenario\":\"telemetry\"},\"config\":{\"mechanism\":\"nope\"}}",
+      StatusCode::kNotFound);
+  // A working open...
+  Result<Response> open = protocol::ResponseFromJson(*JsonValue::Parse(
+      server.HandleLine("{\"v\":1,\"op\":\"open_period\",\"tenancy\":\"t\","
+                        "\"catalog\":{\"scenario\":\"telemetry\"}}")));
+  ASSERT_TRUE(open.ok() && open->ok());
+  // ... makes a second open a FailedPrecondition,
+  expect_error("{\"v\":1,\"op\":\"open_period\",\"tenancy\":\"t\"}",
+               StatusCode::kFailedPrecondition);
+  // a late catalog spec an InvalidArgument,
+  expect_error(
+      "{\"v\":1,\"op\":\"open_period\",\"tenancy\":\"t\",\"catalog\":"
+      "{\"scenario\":\"telemetry\"}}",
+      StatusCode::kInvalidArgument);
+  // closing before the slots ran a FailedPrecondition,
+  expect_error("{\"v\":1,\"op\":\"close_period\",\"tenancy\":\"t\"}",
+               StatusCode::kFailedPrecondition);
+  // departing an unknown tenant a NotFound,
+  expect_error(
+      "{\"v\":1,\"op\":\"depart\",\"tenancy\":\"t\",\"tenant\":99}",
+      StatusCode::kNotFound);
+  // and a parse failure still answers with exactly one error line.
+  expect_error("this is not json", StatusCode::kInvalidArgument);
+
+  // Ops against a closed (never-opened) period fail cleanly.
+  ASSERT_TRUE(server.CreateTenancy("idle", simdb::Catalog{}).ok());
+  expect_error("{\"v\":1,\"op\":\"advance_slot\",\"tenancy\":\"idle\"}",
+               StatusCode::kFailedPrecondition);
+  expect_error("{\"v\":1,\"op\":\"submit\",\"tenancy\":\"idle\","
+               "\"tenants\":[]}",
+               StatusCode::kFailedPrecondition);
+}
+
+TEST(MarketplaceServerTest, DistinctTenanciesDoNotQueueBehindEachOther) {
+  // Regression: Dispatch once computed the shard key from request.tenancy
+  // *after* the lambda init-capture had moved the request (indeterminately
+  // sequenced arguments), so every request hashed the empty string onto
+  // one shard. Observable symptom: a tiny request for tenancy B queued
+  // behind tenancy A's heavy program. Here B must complete while A is
+  // still grinding.
+  constexpr int kWorkers = 2;
+  MarketplaceServer server(ServerOptions{kWorkers});
+  auto scenario = simdb::TelemetryScenario(800, 12);
+  ASSERT_TRUE(scenario.ok());
+  const std::string heavy = "heavy";
+  // Pick a light tenancy whose name hashes onto the other shard (the
+  // tenancy -> worker mapping is by name hash, mirrored here).
+  const size_t heavy_shard =
+      std::hash<std::string>{}(heavy) % static_cast<size_t>(kWorkers);
+  std::string light;
+  for (int i = 0; light.empty(); ++i) {
+    const std::string candidate = "light-" + std::to_string(i);
+    if (std::hash<std::string>{}(candidate) % static_cast<size_t>(kWorkers) !=
+        heavy_shard) {
+      light = candidate;
+    }
+  }
+  ASSERT_TRUE(server.CreateTenancy(heavy, scenario->catalog).ok());
+  ASSERT_TRUE(server.CreateTenancy(light, simdb::Catalog{}).ok());
+
+  // Tenancy A runs several full periods over 800 tenants: tens of ms of
+  // advisor + slot pricing queued on its shard.
+  std::future<Response> heavy_done;
+  for (int p = 0; p < 4; ++p) {
+    Request open;
+    open.op = RequestOp::kOpenPeriod;
+    open.tenancy = heavy;
+    server.Dispatch(std::move(open));
+    Request submit;
+    submit.op = RequestOp::kSubmit;
+    submit.tenancy = heavy;
+    submit.tenants = scenario->tenants;
+    server.Dispatch(std::move(submit));
+    Request advance;
+    advance.op = RequestOp::kAdvanceSlot;
+    advance.tenancy = heavy;
+    advance.slots = 12;
+    server.Dispatch(std::move(advance));
+    Request close;
+    close.op = RequestOp::kClosePeriod;
+    close.tenancy = heavy;
+    heavy_done = server.Dispatch(std::move(close));
+  }
+
+  Request ping;
+  ping.op = RequestOp::kReport;
+  ping.tenancy = light;
+  Response pong = server.Handle(std::move(ping));
+  EXPECT_TRUE(pong.ok()) << pong.status.ToString();
+  // The light response arrived; the heavy program must still be running
+  // (if it already finished, the work was too small to discriminate and
+  // the assertion below would be vacuous — keep the workload heavy).
+  EXPECT_EQ(heavy_done.wait_for(std::chrono::seconds(0)),
+            std::future_status::timeout)
+      << "heavy program finished before the cross-shard ping returned; "
+         "either sharding broke or the workload is too light";
+  EXPECT_TRUE(heavy_done.get().ok());
+}
+
+TEST(MarketplaceServerTest, ReportTracksCumulativeState) {
+  constexpr int kSlots = 12;
+  auto scenario = simdb::TelemetryScenario(5, kSlots);
+  ASSERT_TRUE(scenario.ok());
+  ServiceConfig config;
+  const std::vector<std::vector<simdb::SimUser>> periods = {
+      JitterTenants(scenario->tenants, kSlots, 42),
+      JitterTenants(scenario->tenants, kSlots, 43)};
+
+  MarketplaceServer server(ServerOptions{1});
+  std::vector<std::string> responses;
+  for (const std::string& line :
+       RecordRequestLines("acme", config, 5, kSlots, periods)) {
+    responses.push_back(server.HandleLine(line));
+  }
+  const std::vector<PeriodReport> reports = ReportsFromResponses(responses);
+  ASSERT_EQ(reports.size(), 2u);
+
+  Result<Response> status = protocol::ResponseFromJson(*JsonValue::Parse(
+      server.HandleLine("{\"v\":1,\"op\":\"report\",\"tenancy\":\"acme\"}")));
+  ASSERT_TRUE(status.ok() && status->ok());
+  const JsonValue& payload = status->payload;
+  EXPECT_EQ(payload.Find("periods_run")->AsNumber(), 2.0);
+  EXPECT_EQ(payload.Find("period_open")->AsBool(), false);
+  const double expected_utility = reports[0].ledger.TotalUtility() +
+                                  reports[1].ledger.TotalUtility();
+  EXPECT_EQ(payload.Find("cumulative_utility")->AsNumber(), expected_utility);
+  // The built set carried over the wire matches the final report's active
+  // structures.
+  std::vector<std::string> built;
+  for (const JsonValue& name : payload.Find("built_structures")->AsArray()) {
+    built.push_back(name.AsString());
+  }
+  std::vector<std::string> expected_built;
+  for (const StructureOutcome& outcome : reports[1].structures) {
+    if (outcome.active) expected_built.push_back(outcome.name);
+  }
+  EXPECT_EQ(built, expected_built);
+}
+
+}  // namespace
+}  // namespace optshare::service

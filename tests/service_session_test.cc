@@ -131,19 +131,6 @@ void ExpectSameReport(const PeriodReport& legacy, const PeriodReport& got) {
   }
 }
 
-/// Seeded tenant-set perturbation: intervals and intensities vary per trial.
-std::vector<simdb::SimUser> JitterTenants(std::vector<simdb::SimUser> tenants,
-                                          int slots, Rng& rng) {
-  for (auto& t : tenants) {
-    const TimeSlot a = static_cast<TimeSlot>(rng.UniformInt(1, slots));
-    const TimeSlot b = static_cast<TimeSlot>(rng.UniformInt(1, slots));
-    t.start = std::min(a, b);
-    t.end = std::max(a, b);
-    t.executions_per_slot *= rng.Uniform(0.2, 3.0);
-  }
-  return tenants;
-}
-
 class PricingSessionParityTest
     : public ::testing::TestWithParam<const char*> {};
 
@@ -159,7 +146,7 @@ TEST_P(PricingSessionParityTest, SessionBitIdenticalToLegacyRunPeriod) {
   std::vector<std::string> session_built;
   for (int trial = 0; trial < 6; ++trial) {
     const std::vector<simdb::SimUser> tenants =
-        JitterTenants(scenario->tenants, config.slots_per_period, rng);
+        simdb::JitterTenants(scenario->tenants, config.slots_per_period, rng);
 
     std::vector<std::string> legacy_before = legacy_built;
     Result<PeriodReport> legacy =

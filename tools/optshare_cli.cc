@@ -1,26 +1,35 @@
-// optshare CLI: run the pricing mechanisms on game files and event logs.
+// optshare CLI: run the pricing mechanisms on game files and event logs,
+// and serve the multi-tenant marketplace protocol.
 //
 //   optshare_cli sample <type>            # emit a sample game document
 //   optshare_cli validate <file>          # parse + validate a game file
 //   optshare_cli run <file> [--mechanism NAME] [--json]
 //   optshare_cli replay <file> [--mechanism NAME] [--json]
+//   optshare_cli serve [--workers N]      # wire-protocol request loop
 //   optshare_cli mechanisms               # list registered mechanisms
+//   optshare_cli help [subcommand]        # detailed per-subcommand usage
 //
 // Game types: additive_offline, additive_online, subst_offline,
 // subst_online, plus event_log — a streamed period (tenants arriving,
 // declaring and departing slot by slot; see core/serialization.h for both
 // schemas). `run` prices a batch game; `replay` feeds an event log through
 // the streaming surface (core/online_mechanism.h), slot by slot, the way a
-// live PricingSession would — natively incremental for "addon"/"subston",
-// buffered for every other registered name. Mechanisms are resolved by
-// name against the MechanismRegistry — the paper's mechanisms
+// live PricingSession would; `serve` reads newline-delimited protocol
+// requests (service/protocol.h) from stdin and answers one response line
+// per request, pricing distinct tenancies concurrently. Mechanisms are
+// resolved by name against the MechanismRegistry — the paper's mechanisms
 // ("addoff"/"shapley", "addon", "substoff", "subston") plus the baselines
 // ("naive", "naive_online", "vcg", "regret"). The default is the paper's
 // mechanism for the game's type.
+#include <condition_variable>
+#include <deque>
 #include <fstream>
+#include <future>
 #include <iostream>
+#include <mutex>
 #include <sstream>
 #include <string>
+#include <thread>
 
 #include "baseline/baseline_mechanisms.h"
 #include "common/money.h"
@@ -28,6 +37,7 @@
 #include "core/mechanism.h"
 #include "core/online_mechanism.h"
 #include "core/serialization.h"
+#include "service/marketplace_server.h"
 
 namespace optshare {
 namespace {
@@ -37,18 +47,165 @@ int Fail(const std::string& message) {
   return 1;
 }
 
+struct SubcommandHelp {
+  const char* name;
+  const char* synopsis;
+  const char* details;
+};
+
+constexpr SubcommandHelp kSubcommands[] = {
+    {"sample", "optshare_cli sample <type>",
+     "Emits a ready-made sample document for a game type.\n"
+     "types: additive_offline additive_online subst_offline subst_online\n"
+     "       event_log\n"
+     "example:\n"
+     "  optshare_cli sample additive_online > game.json\n"},
+    {"validate", "optshare_cli validate <file>",
+     "Parses a game or event-log file and checks its invariants; prints\n"
+     "the detected type on success.\n"
+     "example:\n"
+     "  optshare_cli sample event_log > log.json\n"
+     "  optshare_cli validate log.json\n"},
+    {"run", "optshare_cli run <file> [--mechanism NAME] [--json]",
+     "Prices a batch game file with the named (or default) mechanism and\n"
+     "prints the resulting ledger.\n"
+     "example:\n"
+     "  optshare_cli sample additive_offline > game.json\n"
+     "  optshare_cli run game.json --mechanism shapley --json\n"},
+    {"replay", "optshare_cli replay <file> [--mechanism NAME] [--json]",
+     "Feeds an event-log file through the streaming mechanism surface slot\n"
+     "by slot, the way a live PricingSession ingests a period — natively\n"
+     "incremental for \"addon\"/\"subston\", buffered for the baselines —\n"
+     "then accounts the outcome against the log's materialized truth.\n"
+     "example:\n"
+     "  optshare_cli sample event_log > log.json\n"
+     "  optshare_cli replay log.json                   # paper mechanism\n"
+     "  optshare_cli replay log.json --mechanism naive_online --json\n"},
+    {"serve", "optshare_cli serve [--workers N]",
+     "Reads newline-delimited marketplace protocol requests (one JSON\n"
+     "document per line, schema version 1; see service/protocol.h) from\n"
+     "stdin and writes one response line per request, in request order.\n"
+     "Requests for one tenancy execute in order; distinct tenancies price\n"
+     "concurrently on N workers (default 4).\n"
+     "ops: open_period submit depart advance_slot close_period report\n"
+     "     list_mechanisms\n"
+     "example session:\n"
+     "  $ optshare_cli serve\n"
+     "  {\"v\":1,\"op\":\"open_period\",\"tenancy\":\"acme\",\"catalog\":"
+     "{\"scenario\":\"telemetry\"}}\n"
+     "  {\"ok\":true,\"result\":{\"carried_structures\":[],\"mechanism\":"
+     "\"addon\",...},\"v\":1}\n"
+     "  {\"v\":1,\"op\":\"advance_slot\",\"tenancy\":\"acme\","
+     "\"slots\":12}\n"
+     "  {\"ok\":true,\"result\":{\"slot\":12,\"slots_advanced\":12},"
+     "\"v\":1}\n"
+     "  {\"v\":1,\"op\":\"close_period\",\"tenancy\":\"acme\"}\n"
+     "  {\"ok\":true,\"result\":{\"report\":{...}},\"v\":1}\n"},
+    {"mechanisms", "optshare_cli mechanisms",
+     "Lists every mechanism registered with the MechanismRegistry, one\n"
+     "name per line (paper mechanisms and baselines).\n"},
+    {"help", "optshare_cli help [subcommand]",
+     "Prints the command summary, or a subcommand's detailed usage.\n"},
+};
+
 int Usage() {
-  std::cerr << "usage: optshare_cli sample <type>\n"
-            << "       optshare_cli validate <file>\n"
-            << "       optshare_cli run <file> [--mechanism NAME] [--json]\n"
-            << "       optshare_cli replay <file> [--mechanism NAME] "
-               "[--json]\n"
-            << "       optshare_cli mechanisms\n"
-            << "game types: additive_offline additive_online subst_offline "
-               "subst_online event_log\n"
-            << "mechanisms: default (paper mechanism for the type) or any "
-               "name from `optshare_cli mechanisms`\n";
+  std::cerr << "usage:\n";
+  for (const SubcommandHelp& sub : kSubcommands) {
+    std::cerr << "  " << sub.synopsis << "\n";
+  }
+  std::cerr << "run `optshare_cli help <subcommand>` for details and worked "
+               "examples\n";
   return 2;
+}
+
+int Help(int argc, char** argv) {
+  if (argc < 3) {
+    Usage();
+    return 0;
+  }
+  const std::string name = argv[2];
+  for (const SubcommandHelp& sub : kSubcommands) {
+    if (name == sub.name) {
+      std::cout << "usage: " << sub.synopsis << "\n\n" << sub.details;
+      return 0;
+    }
+  }
+  return Fail("unknown subcommand \"" + name + "\"; run `optshare_cli help`");
+}
+
+/// The wire loop: one request line in, one response line out, in request
+/// order. Requests dispatch asynchronously so distinct tenancies price
+/// concurrently; a dedicated writer thread flushes each response the
+/// moment it completes (never waiting for the next stdin line), so an
+/// interactive client that awaits its response before sending the next
+/// request is never deadlocked against a blocked getline.
+int Serve(int argc, char** argv) {
+  int workers = 4;
+  for (int a = 2; a < argc; ++a) {
+    const std::string arg = argv[a];
+    if (arg == "--workers" && a + 1 < argc) {
+      workers = std::atoi(argv[++a]);
+      if (workers < 1) return Fail("--workers must be >= 1");
+    } else {
+      return Usage();
+    }
+  }
+  service::MarketplaceServer server(service::ServerOptions{workers});
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<std::future<service::protocol::Response>> pending;
+  bool eof = false;
+  // Only the writer touches stdout: responses flush strictly in request
+  // order, as soon as each future resolves.
+  std::thread writer([&] {
+    for (;;) {
+      std::future<service::protocol::Response> next;
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        cv.wait(lock, [&] { return eof || !pending.empty(); });
+        if (pending.empty()) return;
+        next = std::move(pending.front());
+        pending.pop_front();
+      }
+      std::cout << service::protocol::FormatResponseLine(next.get()) << "\n";
+      std::cout.flush();
+      cv.notify_all();  // Wake the reader if it is waiting on the window.
+    }
+  });
+
+  const auto enqueue = [&](std::future<service::protocol::Response> future) {
+    std::unique_lock<std::mutex> lock(mu);
+    // Bound the in-flight window so a firehose client cannot queue
+    // unbounded futures.
+    cv.wait(lock, [&] { return pending.size() < 1024; });
+    pending.push_back(std::move(future));
+    cv.notify_all();
+  };
+
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    Result<service::protocol::Request> request =
+        service::protocol::ParseRequestLine(line);
+    if (!request.ok()) {
+      // Parse errors answer in-order too: an already-resolved future slots
+      // into the same response queue.
+      std::promise<service::protocol::Response> failed;
+      failed.set_value(
+          service::protocol::ErrorResponse("", request.status()));
+      enqueue(failed.get_future());
+      continue;
+    }
+    enqueue(server.Dispatch(std::move(*request)));
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    eof = true;
+  }
+  cv.notify_all();
+  writer.join();
+  return 0;
 }
 
 Result<JsonValue> LoadGameFile(const std::string& path) {
@@ -261,6 +418,8 @@ int Main(int argc, char** argv) {
     }
     return 0;
   }
+  if (argc >= 2 && std::string(argv[1]) == "help") return Help(argc, argv);
+  if (argc >= 2 && std::string(argv[1]) == "serve") return Serve(argc, argv);
   if (argc < 3) return Usage();
   const std::string command = argv[1];
 
