@@ -1,0 +1,229 @@
+// Recovery throughput harness: how fast a crashed marketplace server comes
+// back. Builds a FileStateStore data dir by driving tenancies mid-period
+// (so every request stays in the journal — no checkpoint truncation), then
+// measures a cold Recover(): snapshot loads plus journal replay through
+// the regular dispatch path, in records/s. Also reports the journaling
+// overhead of the live run (file store vs memory store wall time). Emits
+// BENCH_recovery.json.
+//
+//   recovery_speed [--quick] [--out PATH] [--tenancies N] [--tenants N]
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/fs.h"
+#include "common/json.h"
+#include "common/rng.h"
+#include "service/marketplace_server.h"
+#include "service/state_store.h"
+#include "simdb/scenarios.h"
+
+namespace optshare {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using service::FileStateStore;
+using service::MarketplaceServer;
+using service::MemoryStateStore;
+using service::RecoveryStats;
+using service::ServerOptions;
+using service::protocol::Request;
+using service::protocol::RequestOp;
+using service::protocol::Response;
+
+double ElapsedMs(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+struct RunConfig {
+  int tenancies = 8;
+  int tenants = 1000;
+  int slots = 12;
+  int workers = 4;
+};
+
+/// Drives every tenancy through one closed period plus an open second
+/// period whose tenants are submitted one by one — a long journal tail per
+/// tenancy (1 open + N submits + slots advances past the checkpoint).
+/// Returns wall ms.
+double DriveProgram(MarketplaceServer& server, const RunConfig& config,
+                    const std::vector<simdb::SimUser>& tenants) {
+  const auto start = Clock::now();
+  std::vector<std::future<Response>> lasts;
+  for (int t = 0; t < config.tenancies; ++t) {
+    const std::string name = "tenancy-" + std::to_string(t);
+    Rng rng(4200 + static_cast<uint64_t>(t));
+    const std::vector<simdb::SimUser> jittered =
+        simdb::JitterTenants(tenants, config.slots, rng);
+    for (int period = 0; period < 2; ++period) {
+      Request open;
+      open.op = RequestOp::kOpenPeriod;
+      open.tenancy = name;
+      if (period == 0) {
+        service::protocol::CatalogSpec catalog;
+        catalog.scenario = "telemetry";
+        catalog.scenario_tenants = config.tenants;
+        catalog.scenario_slots = config.slots;
+        open.catalog = catalog;
+        service::ServiceConfig service_config;
+        service_config.slots_per_period = config.slots;
+        open.config = service_config;
+      }
+      server.Dispatch(std::move(open));
+      for (const simdb::SimUser& tenant : jittered) {
+        Request submit;
+        submit.op = RequestOp::kSubmit;
+        submit.tenancy = name;
+        submit.tenants = {tenant};
+        server.Dispatch(std::move(submit));
+      }
+      for (int s = 0; s < config.slots; ++s) {
+        Request advance;
+        advance.op = RequestOp::kAdvanceSlot;
+        advance.tenancy = name;
+        if (period == 1 && s + 1 == config.slots) {
+          lasts.push_back(server.Dispatch(std::move(advance)));
+        } else {
+          server.Dispatch(std::move(advance));
+        }
+      }
+      if (period == 0) {
+        Request close;
+        close.op = RequestOp::kClosePeriod;
+        close.tenancy = name;
+        server.Dispatch(std::move(close));
+      }
+      // Period 1 stays open: its whole request tail lives in the journal.
+    }
+  }
+  for (auto& last : lasts) {
+    const Response response = last.get();
+    if (!response.ok()) {
+      std::cerr << "program failed: " << response.status.ToString() << "\n";
+      std::exit(1);
+    }
+  }
+  return ElapsedMs(start);
+}
+
+}  // namespace
+}  // namespace optshare
+
+int main(int argc, char** argv) {
+  using namespace optshare;
+
+  RunConfig config;
+  std::string out_path = "BENCH_recovery.json";
+  bool quick = false;
+  for (int a = 1; a < argc; ++a) {
+    const std::string arg = argv[a];
+    if (arg == "--quick") {
+      quick = true;
+      config.tenancies = 2;
+      config.tenants = 150;
+    } else if (arg == "--out" && a + 1 < argc) {
+      out_path = argv[++a];
+    } else if (arg == "--tenancies" && a + 1 < argc) {
+      config.tenancies = std::stoi(argv[++a]);
+    } else if (arg == "--tenants" && a + 1 < argc) {
+      config.tenants = std::stoi(argv[++a]);
+    } else {
+      std::cerr << "usage: recovery_speed [--quick] [--out PATH] "
+                   "[--tenancies N] [--tenants N]\n";
+      return 2;
+    }
+  }
+
+  auto scenario = simdb::TelemetryScenario(config.tenants, config.slots);
+  if (!scenario.ok()) {
+    std::cerr << "scenario failed: " << scenario.status().ToString() << "\n";
+    return 1;
+  }
+
+  const std::string data_dir = "recovery_bench_data";
+  if (!fs::RemoveAll(data_dir).ok()) return 1;
+
+  // Baseline: the same program against the in-memory store (no disk).
+  double memory_ms = 0.0;
+  {
+    MarketplaceServer server(ServerOptions{config.workers});
+    memory_ms = DriveProgram(server, config, scenario->tenants);
+  }
+
+  // Journaled run: every mutating request appended to the data dir.
+  double file_ms = 0.0;
+  uint64_t records = 0;
+  {
+    auto store = FileStateStore::Open(data_dir);
+    if (!store.ok()) {
+      std::cerr << store.status().ToString() << "\n";
+      return 1;
+    }
+    ServerOptions options;
+    options.num_workers = config.workers;
+    options.store = std::move(*store);
+    MarketplaceServer server(std::move(options));
+    file_ms = DriveProgram(server, config, scenario->tenants);
+    records = server.store().stats().appends;
+    // No Shutdown: the data dir is left exactly as a crash would.
+  }
+
+  // The measurement: cold recovery of the whole data dir.
+  double recover_ms = 0.0;
+  RecoveryStats stats;
+  {
+    auto store = FileStateStore::Open(data_dir);
+    if (!store.ok()) {
+      std::cerr << store.status().ToString() << "\n";
+      return 1;
+    }
+    ServerOptions options;
+    options.num_workers = config.workers;
+    options.store = std::move(*store);
+    MarketplaceServer server(std::move(options));
+    const auto start = Clock::now();
+    Result<RecoveryStats> recovered = server.Recover();
+    recover_ms = ElapsedMs(start);
+    if (!recovered.ok()) {
+      std::cerr << "recover failed: " << recovered.status().ToString() << "\n";
+      return 1;
+    }
+    stats = *recovered;
+  }
+  (void)fs::RemoveAll(data_dir);
+
+  const double replay_per_sec =
+      recover_ms > 0.0 ? stats.journal_records_replayed / (recover_ms / 1000.0)
+                       : 0.0;
+  JsonValue doc = JsonValue::MakeObject();
+  doc.Set("bench", JsonValue::Str("recovery_speed"));
+  doc.Set("quick", JsonValue::Bool(quick));
+  doc.Set("tenancies", JsonValue::Number(config.tenancies));
+  doc.Set("tenants", JsonValue::Number(config.tenants));
+  doc.Set("slots", JsonValue::Number(config.slots));
+  doc.Set("workers", JsonValue::Number(config.workers));
+  doc.Set("journal_records", JsonValue::Number(static_cast<double>(records)));
+  doc.Set("live_ms_memory_store", JsonValue::Number(memory_ms));
+  doc.Set("live_ms_file_store", JsonValue::Number(file_ms));
+  doc.Set("journal_overhead",
+          JsonValue::Number(memory_ms > 0.0 ? file_ms / memory_ms : 0.0));
+  doc.Set("recover_ms", JsonValue::Number(recover_ms));
+  doc.Set("snapshots_loaded", JsonValue::Number(stats.snapshots_loaded));
+  doc.Set("records_replayed",
+          JsonValue::Number(stats.journal_records_replayed));
+  doc.Set("replay_records_per_sec", JsonValue::Number(replay_per_sec));
+
+  std::ofstream out(out_path);
+  out << doc.Dump(2) << "\n";
+  std::cout << "journaled live run: " << file_ms << " ms (memory "
+            << memory_ms << " ms, overhead x"
+            << (memory_ms > 0.0 ? file_ms / memory_ms : 0.0) << ")\n"
+            << "recovery: " << stats.snapshots_loaded << " snapshots + "
+            << stats.journal_records_replayed << " records in " << recover_ms
+            << " ms (" << replay_per_sec << " records/s)\n"
+            << "wrote " << out_path << "\n";
+  return 0;
+}

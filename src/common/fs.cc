@@ -1,0 +1,183 @@
+#include "common/fs.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <system_error>
+
+namespace optshare::fs {
+namespace {
+
+namespace stdfs = std::filesystem;
+
+Status ErrnoStatus(const std::string& op, const std::string& path) {
+  return Status::Internal(op + " " + path + ": " + std::strerror(errno));
+}
+
+int HexDigit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return ErrnoStatus("read", path);
+  return buffer.str();
+}
+
+Status WriteAllFd(int fd, std::string_view contents,
+                  const std::string& path) {
+  size_t written = 0;
+  while (written < contents.size()) {
+    const ssize_t n =
+        ::write(fd, contents.data() + written, contents.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("write", path);
+    }
+    written += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status WriteFileAtomic(const std::string& path, std::string_view contents,
+                       bool sync, bool* published) {
+  if (published != nullptr) *published = false;
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return ErrnoStatus("open", tmp);
+  Status st = WriteAllFd(fd, contents, tmp);
+  if (st.ok() && sync && ::fsync(fd) != 0) st = ErrnoStatus("fsync", tmp);
+  if (::close(fd) != 0 && st.ok()) st = ErrnoStatus("close", tmp);
+  if (!st.ok()) {
+    ::unlink(tmp.c_str());
+    return st;
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    st = ErrnoStatus("rename", tmp);
+    ::unlink(tmp.c_str());
+    return st;
+  }
+  if (published != nullptr) *published = true;
+  if (sync) {
+    const std::string parent = stdfs::path(path).parent_path().string();
+    OPTSHARE_RETURN_NOT_OK(SyncDir(parent.empty() ? "." : parent));
+  }
+  return Status::OK();
+}
+
+Status EnsureDir(const std::string& path) {
+  std::error_code ec;
+  stdfs::create_directories(path, ec);
+  if (ec) {
+    return Status::Internal("mkdir " + path + ": " + ec.message());
+  }
+  if (!stdfs::is_directory(path, ec)) {
+    return Status::Internal("mkdir " + path + ": exists but not a directory");
+  }
+  return Status::OK();
+}
+
+bool PathExists(const std::string& path) {
+  std::error_code ec;
+  return stdfs::exists(path, ec);
+}
+
+Result<std::vector<std::string>> ListDir(const std::string& path) {
+  std::error_code ec;
+  if (!stdfs::is_directory(path, ec)) {
+    return Status::NotFound("not a directory: " + path);
+  }
+  std::vector<std::string> names;
+  for (stdfs::directory_iterator it(path, ec), end; it != end;
+       it.increment(ec)) {
+    if (ec) return Status::Internal("readdir " + path + ": " + ec.message());
+    names.push_back(it->path().filename().string());
+  }
+  if (ec) return Status::Internal("readdir " + path + ": " + ec.message());
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+Status RemoveFile(const std::string& path) {
+  std::error_code ec;
+  stdfs::remove(path, ec);
+  if (ec) return Status::Internal("unlink " + path + ": " + ec.message());
+  return Status::OK();
+}
+
+Status RemoveAll(const std::string& path) {
+  std::error_code ec;
+  stdfs::remove_all(path, ec);
+  if (ec) return Status::Internal("rm -r " + path + ": " + ec.message());
+  return Status::OK();
+}
+
+Status SyncDir(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return ErrnoStatus("open", path);
+  Status st;
+  if (::fsync(fd) != 0) st = ErrnoStatus("fsync", path);
+  ::close(fd);
+  return st;
+}
+
+std::string EncodePathComponent(std::string_view name) {
+  if (name.empty()) return "%";
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(name.size());
+  for (const char c : name) {
+    const bool safe = (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z') ||
+                      (c >= '0' && c <= '9') || c == '_' || c == '-';
+    if (safe) {
+      out.push_back(c);
+    } else {
+      const auto byte = static_cast<unsigned char>(c);
+      out.push_back('%');
+      out.push_back(kHex[byte >> 4]);
+      out.push_back(kHex[byte & 0xf]);
+    }
+  }
+  return out;
+}
+
+Result<std::string> DecodePathComponent(std::string_view component) {
+  if (component == "%") return std::string();
+  std::string out;
+  out.reserve(component.size());
+  for (size_t i = 0; i < component.size(); ++i) {
+    if (component[i] != '%') {
+      out.push_back(component[i]);
+      continue;
+    }
+    if (i + 2 >= component.size()) {
+      return Status::InvalidArgument("truncated escape in \"" +
+                                     std::string(component) + "\"");
+    }
+    const int hi = HexDigit(component[i + 1]);
+    const int lo = HexDigit(component[i + 2]);
+    if (hi < 0 || lo < 0) {
+      return Status::InvalidArgument("malformed escape in \"" +
+                                     std::string(component) + "\"");
+    }
+    out.push_back(static_cast<char>((hi << 4) | lo));
+    i += 2;
+  }
+  return out;
+}
+
+}  // namespace optshare::fs

@@ -1,0 +1,61 @@
+// Filesystem helpers for the durability layer (service/state_store.h):
+// atomic whole-file replacement (write-temp, fsync, rename, fsync the
+// directory), directory enumeration, and a reversible encoding that turns
+// arbitrary identifiers (tenancy names) into safe path components. POSIX
+// fsync semantics are assumed; everything else goes through
+// std::filesystem.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace optshare::fs {
+
+/// Reads a whole file; NotFound when it does not exist.
+Result<std::string> ReadFile(const std::string& path);
+
+/// Atomically replaces `path` with `contents`: writes `path`.tmp, optionally
+/// fsyncs it, renames over `path`, and (when `sync`) fsyncs the parent
+/// directory so the rename itself is durable. Readers never observe a
+/// partial file. `published` (optional) reports whether the rename took
+/// effect — on an error after that point (directory fsync) the new file IS
+/// visible, and callers tracking filesystem-visible state must treat it as
+/// live.
+Status WriteFileAtomic(const std::string& path, std::string_view contents,
+                       bool sync, bool* published = nullptr);
+
+/// Writes the whole buffer to `fd` through short writes and EINTR.
+/// `path` only labels the error message.
+Status WriteAllFd(int fd, std::string_view contents, const std::string& path);
+
+/// Creates `path` (and parents) as a directory; ok if it already exists.
+Status EnsureDir(const std::string& path);
+
+/// True when `path` exists (any kind).
+bool PathExists(const std::string& path);
+
+/// Entry names (not full paths) directly under `path`, sorted. NotFound
+/// when the directory does not exist.
+Result<std::vector<std::string>> ListDir(const std::string& path);
+
+/// Deletes a file; ok if it does not exist.
+Status RemoveFile(const std::string& path);
+
+/// Recursively deletes `path`; ok if it does not exist.
+Status RemoveAll(const std::string& path);
+
+/// fsyncs a directory so renames/unlinks inside it are durable.
+Status SyncDir(const std::string& path);
+
+/// Encodes an arbitrary identifier as a filesystem-safe path component:
+/// [A-Za-z0-9_-] pass through, everything else (dots included, so "." and
+/// ".." cannot be produced) becomes %XX. Empty input encodes to "%".
+std::string EncodePathComponent(std::string_view name);
+
+/// Inverse of EncodePathComponent; InvalidArgument for malformed escapes.
+Result<std::string> DecodePathComponent(std::string_view component);
+
+}  // namespace optshare::fs

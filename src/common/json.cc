@@ -369,4 +369,47 @@ Result<JsonValue> JsonValue::Parse(std::string_view text) {
   return Parser(text).ParseDocument();
 }
 
+Result<double> JsonNumberField(const JsonValue& v, const std::string& key,
+                               const char* ctx) {
+  const JsonValue* field = v.Find(key);
+  if (field == nullptr || !field->is_number()) {
+    return Status::InvalidArgument(std::string(ctx) + ": field \"" + key +
+                                   "\" must be a number");
+  }
+  return field->AsNumber();
+}
+
+Result<int64_t> JsonIntField(const JsonValue& v, const std::string& key,
+                             const char* ctx) {
+  Result<double> number = JsonNumberField(v, key, ctx);
+  if (!number.ok()) return number.status();
+  // The range guard keeps the cast defined; 2^63 is exactly representable.
+  if (*number != std::floor(*number) ||
+      *number < -9223372036854775808.0 || *number >= 9223372036854775808.0) {
+    return Status::InvalidArgument(std::string(ctx) + ": field \"" + key +
+                                   "\" must be an integer");
+  }
+  return static_cast<int64_t>(*number);
+}
+
+Result<std::string> JsonStringField(const JsonValue& v,
+                                    const std::string& key, const char* ctx) {
+  const JsonValue* field = v.Find(key);
+  if (field == nullptr || !field->is_string()) {
+    return Status::InvalidArgument(std::string(ctx) + ": field \"" + key +
+                                   "\" must be a string");
+  }
+  return field->AsString();
+}
+
+Result<bool> JsonBoolField(const JsonValue& v, const std::string& key,
+                           const char* ctx) {
+  const JsonValue* field = v.Find(key);
+  if (field == nullptr || !field->is_bool()) {
+    return Status::InvalidArgument(std::string(ctx) + ": field \"" + key +
+                                   "\" must be a boolean");
+  }
+  return field->AsBool();
+}
+
 }  // namespace optshare

@@ -3,6 +3,7 @@
 // and round-trip number formatting. No external dependencies.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <string>
 #include <string_view>
@@ -82,5 +83,20 @@ class JsonValue {
 
 /// Escapes a string per RFC 8259 (quotes included).
 std::string JsonEscape(std::string_view s);
+
+// -- Typed object-field accessors -------------------------------------------
+// One implementation for every strict schema in the codebase (wire
+// protocol, snapshots): a missing or mistyped field is an InvalidArgument
+// of the uniform shape `<ctx>: field "<key>" must be a <type>`.
+
+Result<double> JsonNumberField(const JsonValue& v, const std::string& key,
+                               const char* ctx);
+/// A number that is integral (and within int64 range).
+Result<int64_t> JsonIntField(const JsonValue& v, const std::string& key,
+                             const char* ctx);
+Result<std::string> JsonStringField(const JsonValue& v,
+                                    const std::string& key, const char* ctx);
+Result<bool> JsonBoolField(const JsonValue& v, const std::string& key,
+                           const char* ctx);
 
 }  // namespace optshare

@@ -16,6 +16,8 @@ std::string_view StatusCodeName(StatusCode code) {
       return "FailedPrecondition";
     case StatusCode::kAlreadyExists:
       return "AlreadyExists";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
     case StatusCode::kInternal:
       return "Internal";
   }
@@ -26,7 +28,8 @@ std::optional<StatusCode> StatusCodeFromName(std::string_view name) {
   for (StatusCode code :
        {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
         StatusCode::kOutOfRange, StatusCode::kFailedPrecondition,
-        StatusCode::kAlreadyExists, StatusCode::kInternal}) {
+        StatusCode::kAlreadyExists, StatusCode::kResourceExhausted,
+        StatusCode::kInternal}) {
     if (StatusCodeName(code) == name) return code;
   }
   return std::nullopt;
@@ -46,6 +49,8 @@ Status MakeStatus(StatusCode code, std::string message) {
       return Status::FailedPrecondition(std::move(message));
     case StatusCode::kAlreadyExists:
       return Status::AlreadyExists(std::move(message));
+    case StatusCode::kResourceExhausted:
+      return Status::ResourceExhausted(std::move(message));
     case StatusCode::kInternal:
       return Status::Internal(std::move(message));
   }

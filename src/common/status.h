@@ -20,6 +20,7 @@ enum class StatusCode {
   kOutOfRange,
   kFailedPrecondition,
   kAlreadyExists,
+  kResourceExhausted,
   kInternal,
 };
 
@@ -53,6 +54,9 @@ class Status {
   }
   static Status AlreadyExists(std::string msg) {
     return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));

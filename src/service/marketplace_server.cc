@@ -45,10 +45,41 @@ Result<simdb::Catalog> BuildCatalog(const protocol::CatalogSpec& spec) {
   return catalog;
 }
 
+/// True for the ops that mutate tenancy state and therefore must be
+/// journaled before execution.
+bool OpMutatesTenancy(RequestOp op) {
+  switch (op) {
+    case RequestOp::kOpenPeriod:
+    case RequestOp::kSubmit:
+    case RequestOp::kDepart:
+    case RequestOp::kAdvanceSlot:
+    case RequestOp::kClosePeriod:
+      return true;
+    default:
+      return false;
+  }
+}
+
 }  // namespace
 
+JsonValue ToJson(const RecoveryStats& stats) {
+  JsonValue obj = JsonValue::MakeObject();
+  obj.Set("tenancies_recovered", JsonValue::Number(stats.tenancies_recovered));
+  obj.Set("tenancies_skipped", JsonValue::Number(stats.tenancies_skipped));
+  obj.Set("snapshots_loaded", JsonValue::Number(stats.snapshots_loaded));
+  obj.Set("journal_records_replayed",
+          JsonValue::Number(stats.journal_records_replayed));
+  obj.Set("journal_records_failed",
+          JsonValue::Number(stats.journal_records_failed));
+  obj.Set("journal_torn", JsonValue::Number(stats.journal_torn));
+  return obj;
+}
+
 MarketplaceServer::MarketplaceServer(ServerOptions options)
-    : pool_(options.num_workers) {
+    : store_(options.store ? std::move(options.store)
+                           : std::make_shared<MemoryStateStore>()),
+      max_request_bytes_(options.max_request_bytes),
+      pool_(options.num_workers) {
   // Resolve every registry-touching race up front: baselines register once,
   // before the first concurrent Create on a shard.
   RegisterBaselineMechanisms();
@@ -78,6 +109,18 @@ std::vector<std::string> MarketplaceServer::TenancyNames() const {
   return names;
 }
 
+JsonValue MarketplaceServer::SnapshotOf(const Tenancy& tenancy) const {
+  TenancySnapshot snapshot;
+  snapshot.name = tenancy.name;
+  snapshot.tables = tenancy.catalog.tables();
+  snapshot.config = tenancy.config;
+  snapshot.built = tenancy.built;
+  snapshot.periods_run = tenancy.periods_run;
+  snapshot.cumulative_balance = tenancy.cumulative_balance;
+  snapshot.cumulative_utility = tenancy.cumulative_utility;
+  return ToJson(snapshot);
+}
+
 Status MarketplaceServer::CreateTenancy(const std::string& name,
                                         simdb::Catalog catalog,
                                         ServiceConfig config) {
@@ -101,9 +144,18 @@ Status MarketplaceServer::CreateTenancy(const std::string& name,
       tenancy->name = name;
       tenancy->catalog = std::move(catalog);
       tenancy->config = std::move(config);
+      Tenancy* created = tenancy.get();
       {
         std::lock_guard<std::mutex> lock(mu_);
         tenancies_.emplace(name, std::move(tenancy));
+      }
+      // Persist the creation so an embedded tenancy (no wire bootstrap
+      // record to replay) survives a restart.
+      Status persisted = store_->Checkpoint(name, SnapshotOf(*created));
+      if (!persisted.ok()) {
+        OPTSHARE_LOG(Warning) << "tenancy \"" << name
+                              << "\" creation not persisted: "
+                              << persisted.ToString();
       }
       promise->set_value(Status::OK());
     } catch (const std::exception& e) {
@@ -116,8 +168,8 @@ Status MarketplaceServer::CreateTenancy(const std::string& name,
 std::future<Response> MarketplaceServer::Dispatch(Request request) {
   auto promise = std::make_shared<std::promise<Response>>();
   std::future<Response> response = promise->get_future();
-  // list_mechanisms shards on the empty name: cheap, and ordering against
-  // tenancy traffic is irrelevant for a read-only registry listing.
+  // list_mechanisms and the global v2 ops shard on the empty name: cheap,
+  // and ordering against tenancy traffic is irrelevant for them.
   // The shard key must be taken before the Post call: its arguments are
   // indeterminately sequenced, and the lambda's init-capture moves
   // `request` out from under an inline ShardOf(request.tenancy).
@@ -128,14 +180,18 @@ std::future<Response> MarketplaceServer::Dispatch(Request request) {
                // payload) becomes this response's Internal error instead
                // of tearing down the worker.
                try {
-                 promise->set_value(Execute(request));
+                 promise->set_value(Execute(request, /*persist=*/true));
                } catch (const std::exception& e) {
-                 promise->set_value(ErrorResponse(
-                     request.id, Status::Internal(e.what())));
+                 Response error =
+                     ErrorResponse(request.id, Status::Internal(e.what()));
+                 error.version = request.version;
+                 promise->set_value(std::move(error));
                } catch (...) {
-                 promise->set_value(ErrorResponse(
+                 Response error = ErrorResponse(
                      request.id,
-                     Status::Internal("unexpected exception while serving")));
+                     Status::Internal("unexpected exception while serving"));
+                 error.version = request.version;
+                 promise->set_value(std::move(error));
                }
              });
   return response;
@@ -146,24 +202,221 @@ Response MarketplaceServer::Handle(Request request) {
 }
 
 std::string MarketplaceServer::HandleLine(const std::string& line) {
-  Result<Request> request = protocol::ParseRequestLine(line);
+  Result<Request> request =
+      protocol::ParseRequestLine(line, max_request_bytes_);
   if (!request.ok()) {
-    return protocol::FormatResponseLine(ErrorResponse("", request.status()));
+    // The client's version is unknowable from an unparseable line; answer
+    // with the oldest version so every client generation can read it.
+    Response error = ErrorResponse("", request.status());
+    error.version = protocol::kMinProtocolVersion;
+    return protocol::FormatResponseLine(error);
   }
   return protocol::FormatResponseLine(Handle(std::move(*request)));
 }
 
 void MarketplaceServer::Drain() { pool_.Drain(); }
 
-Response MarketplaceServer::Execute(const Request& request) {
+Result<RecoveryStats> MarketplaceServer::Recover() {
+  return RecoverImpl(std::nullopt);
+}
+
+Result<RecoveryStats> MarketplaceServer::RecoverImpl(
+    std::optional<size_t> current_worker) {
+  Result<std::vector<PersistedTenancy>> loaded = store_->Load();
+  if (!loaded.ok()) return loaded.status();
+
+  std::vector<RecoverOutcome> outcomes;
+  std::vector<std::future<RecoverOutcome>> posted;
+  for (PersistedTenancy& persisted : *loaded) {
+    const size_t worker = pool_.ShardOf(ShardOf(persisted.name));
+    if (current_worker.has_value() && worker == *current_worker) {
+      // We occupy this tenancy's shard right now, so we ARE its
+      // serializer: recover it inline (posting + waiting would deadlock
+      // behind ourselves).
+      try {
+        outcomes.push_back(RecoverTenancy(persisted));
+      } catch (const std::exception& e) {
+        outcomes.push_back({Status::Internal(e.what()), {}});
+      } catch (...) {
+        outcomes.push_back(
+            {Status::Internal("unexpected exception during recovery"), {}});
+      }
+      continue;
+    }
+    auto promise = std::make_shared<std::promise<RecoverOutcome>>();
+    posted.push_back(promise->get_future());
+    // The shard key must be hoisted before the Post call: its arguments
+    // are indeterminately sequenced, and the lambda's init-capture moves
+    // `persisted` out from under an inline ShardOf(persisted.name) —
+    // which would land the task on ShardOf("") (possibly this very
+    // worker, i.e. a self-deadlock for the wire restore op).
+    const size_t shard = ShardOf(persisted.name);
+    pool_.Post(shard,
+               [this, persisted = std::move(persisted), promise]() mutable {
+                 // The promise must resolve on EVERY path — an unset
+                 // promise would turn future.get() below into a
+                 // broken_promise exception out of a Result-returning API.
+                 try {
+                   promise->set_value(RecoverTenancy(persisted));
+                 } catch (const std::exception& e) {
+                   promise->set_value(
+                       RecoverOutcome{Status::Internal(e.what()), {}});
+                 } catch (...) {
+                   promise->set_value(RecoverOutcome{
+                       Status::Internal("unexpected exception during "
+                                        "recovery"),
+                       {}});
+                 }
+               });
+  }
+  for (std::future<RecoverOutcome>& future : posted) {
+    outcomes.push_back(future.get());
+  }
+
+  RecoveryStats total;
+  Status first_error;
+  for (const RecoverOutcome& outcome : outcomes) {
+    if (!outcome.status.ok() && first_error.ok()) {
+      first_error = outcome.status;
+    }
+    total.tenancies_recovered += outcome.stats.tenancies_recovered;
+    total.tenancies_skipped += outcome.stats.tenancies_skipped;
+    total.snapshots_loaded += outcome.stats.snapshots_loaded;
+    total.journal_records_replayed += outcome.stats.journal_records_replayed;
+    total.journal_records_failed += outcome.stats.journal_records_failed;
+    total.journal_torn += outcome.stats.journal_torn;
+  }
+  {
+    std::lock_guard<std::mutex> lock(recovery_mu_);
+    last_recovery_ = total;
+    ++recoveries_run_;
+  }
+  if (!first_error.ok()) return first_error;
+  return total;
+}
+
+MarketplaceServer::RecoverOutcome MarketplaceServer::RecoverTenancy(
+    const PersistedTenancy& persisted) {
+  RecoveryStats stats;
+  if (FindTenancy(persisted.name) != nullptr) {
+    stats.tenancies_skipped = 1;
+    return {Status::OK(), stats};
+  }
+  if (persisted.snapshot.has_value()) {
+    Result<TenancySnapshot> snapshot =
+        TenancySnapshotFromJson(*persisted.snapshot);
+    if (!snapshot.ok()) {
+      return {Status::Internal("tenancy \"" + persisted.name +
+                               "\": corrupt snapshot: " +
+                               snapshot.status().message()),
+              stats};
+    }
+    auto tenancy = std::make_unique<Tenancy>();
+    tenancy->name = persisted.name;
+    for (simdb::TableDef& table : snapshot->tables) {
+      Status added = tenancy->catalog.AddTable(std::move(table));
+      if (!added.ok()) {
+        return {Status::Internal("tenancy \"" + persisted.name +
+                                 "\": snapshot catalog rejected: " +
+                                 added.message()),
+                stats};
+      }
+    }
+    tenancy->config = std::move(snapshot->config);
+    tenancy->built = std::move(snapshot->built);
+    tenancy->periods_run = snapshot->periods_run;
+    tenancy->cumulative_balance = snapshot->cumulative_balance;
+    tenancy->cumulative_utility = snapshot->cumulative_utility;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      tenancies_.emplace(persisted.name, std::move(tenancy));
+    }
+    stats.snapshots_loaded = 1;
+  }
+  // Replay the journal tail through the exact dispatch path that produced
+  // it; persist=false keeps the on-disk journal untouched (it still
+  // represents these very records, so snapshot + journal stays the truth).
+  for (const std::string& line : persisted.journal) {
+    Result<Request> request = protocol::ParseRequestLine(line);
+    if (!request.ok()) {
+      // An unparseable record can only be a torn tail; everything after it
+      // was never acknowledged, so stop here.
+      ++stats.journal_torn;
+      break;
+    }
+    const Response response = Execute(*request, /*persist=*/false);
+    ++stats.journal_records_replayed;
+    if (!response.ok()) ++stats.journal_records_failed;
+  }
+  if (persisted.torn_tail) ++stats.journal_torn;
+  if (FindTenancy(persisted.name) != nullptr) {
+    stats.tenancies_recovered = 1;
+  }
+  return {Status::OK(), stats};
+}
+
+Status MarketplaceServer::Shutdown() {
+  shutdown_requested_.store(true);
+  pool_.Drain();
+  if (shut_down_.exchange(true)) return Status::OK();
+  // Post-drain and with dispatching stopped (the caller's contract),
+  // nothing touches tenancy state concurrently.
+  std::vector<Tenancy*> all;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    all.reserve(tenancies_.size());
+    for (const auto& [name, tenancy] : tenancies_) {
+      all.push_back(tenancy.get());
+    }
+  }
+  Status first_error;
+  for (Tenancy* tenancy : all) {
+    // Period-boundary tenancies checkpoint (snapshot + truncated journal);
+    // a tenancy with an open period keeps its journal — fsync'd — so the
+    // period replays on the next Recover instead of being forfeited.
+    const Status persisted =
+        tenancy->session.has_value()
+            ? store_->Sync(tenancy->name)
+            : store_->Checkpoint(tenancy->name, SnapshotOf(*tenancy));
+    if (!persisted.ok()) {
+      OPTSHARE_LOG(Warning) << "shutdown: tenancy \"" << tenancy->name
+                            << "\" not fully persisted: "
+                            << persisted.ToString();
+      if (first_error.ok()) first_error = persisted;
+    }
+  }
+  return first_error;
+}
+
+Response MarketplaceServer::Execute(const Request& request, bool persist) {
+  Response response;
   switch (request.op) {
     case RequestOp::kListMechanisms:
-      return ListMechanisms(request);
+      response = ListMechanisms(request);
+      break;
+    case RequestOp::kServerInfo:
+      response = ExecuteServerInfo(request);
+      break;
+    case RequestOp::kRestore:
+      response = ExecuteRestore(request);
+      break;
+    case RequestOp::kShutdown: {
+      shutdown_requested_.store(true);
+      JsonValue payload = JsonValue::MakeObject();
+      payload.Set("draining", JsonValue::Bool(true));
+      response = OkResponse(request.id, std::move(payload));
+      break;
+    }
     case RequestOp::kOpenPeriod:
-      return ExecuteOpenPeriod(request);
+      response = ExecuteOpenPeriod(request, persist);
+      break;
     default:
-      return ExecuteTenancyOp(request);
+      response = ExecuteTenancyOp(request, persist);
+      break;
   }
+  // Responses speak the client's protocol version, never a newer one.
+  response.version = request.version;
+  return response;
 }
 
 Response MarketplaceServer::ListMechanisms(const Request& request) {
@@ -176,7 +429,48 @@ Response MarketplaceServer::ListMechanisms(const Request& request) {
   return OkResponse(request.id, std::move(payload));
 }
 
-Response MarketplaceServer::ExecuteOpenPeriod(const Request& request) {
+Response MarketplaceServer::ExecuteServerInfo(const Request& request) {
+  JsonValue payload = JsonValue::MakeObject();
+  payload.Set("store", JsonValue::Str(std::string(store_->kind())));
+  payload.Set("workers", JsonValue::Number(pool_.num_threads()));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    payload.Set("tenancies",
+                JsonValue::Number(static_cast<double>(tenancies_.size())));
+  }
+  JsonValue protocol_info = JsonValue::MakeObject();
+  protocol_info.Set("min", JsonValue::Number(protocol::kMinProtocolVersion));
+  protocol_info.Set("max", JsonValue::Number(protocol::kProtocolVersion));
+  payload.Set("protocol", std::move(protocol_info));
+  const StateStoreStats store_stats = store_->stats();
+  JsonValue store_info = JsonValue::MakeObject();
+  store_info.Set("appends",
+                 JsonValue::Number(static_cast<double>(store_stats.appends)));
+  store_info.Set(
+      "checkpoints",
+      JsonValue::Number(static_cast<double>(store_stats.checkpoints)));
+  store_info.Set("syncs",
+                 JsonValue::Number(static_cast<double>(store_stats.syncs)));
+  payload.Set("store_stats", std::move(store_info));
+  {
+    std::lock_guard<std::mutex> lock(recovery_mu_);
+    payload.Set("recoveries_run", JsonValue::Number(recoveries_run_));
+    payload.Set("recovery", ToJson(last_recovery_));
+  }
+  return OkResponse(request.id, std::move(payload));
+}
+
+Response MarketplaceServer::ExecuteRestore(const Request& request) {
+  // This runs on the worker the empty-name shard maps to; tenancies
+  // hashing there are recovered inline (see RecoverImpl).
+  Result<RecoveryStats> stats =
+      RecoverImpl(pool_.ShardOf(ShardOf(request.tenancy)));
+  if (!stats.ok()) return ErrorResponse(request.id, stats.status());
+  return OkResponse(request.id, ToJson(*stats));
+}
+
+Response MarketplaceServer::ExecuteOpenPeriod(const Request& request,
+                                              bool persist) {
   if (request.tenancy.empty()) {
     return ErrorResponse(request.id, Status::InvalidArgument(
                                          "open_period needs a tenancy name"));
@@ -193,6 +487,13 @@ Response MarketplaceServer::ExecuteOpenPeriod(const Request& request) {
     }
     Result<simdb::Catalog> catalog = BuildCatalog(*request.catalog);
     if (!catalog.ok()) return ErrorResponse(request.id, catalog.status());
+    // WAL: the creating open is journaled before the tenancy exists, so a
+    // crash right after the append replays to the same creation.
+    if (persist) {
+      Status journaled = store_->Append(request.tenancy,
+                                        protocol::ToJson(request).Dump());
+      if (!journaled.ok()) return ErrorResponse(request.id, journaled);
+    }
     auto fresh = std::make_unique<Tenancy>();
     fresh->name = request.tenancy;
     fresh->catalog = std::move(*catalog);
@@ -216,6 +517,11 @@ Response MarketplaceServer::ExecuteOpenPeriod(const Request& request) {
                                          "tenancy \"" + request.tenancy +
                                          "\" already has an open period"));
   }
+  if (!creating && persist) {
+    Status journaled =
+        store_->Append(request.tenancy, protocol::ToJson(request).Dump());
+    if (!journaled.ok()) return ErrorResponse(request.id, journaled);
+  }
   const ServiceConfig config =
       request.config ? *request.config : tenancy->config;
   Result<PricingSession> session = PricingSession::Open(
@@ -225,6 +531,12 @@ Response MarketplaceServer::ExecuteOpenPeriod(const Request& request) {
       // A creating open that fails leaves no tenancy behind: roll the
       // insertion back (safe — this shard is the only toucher of the name,
       // and erasing one entry leaves other tenancies' pointers stable).
+      // The journal record stays: replaying it reproduces this exact
+      // rollback (or a harmless already-exists error if a snapshot
+      // restores the tenancy first). Deliberately NOT store_->Remove():
+      // the store may hold a previous incarnation of the name that this
+      // process never loaded (e.g. Recover was skipped or failed), and a
+      // failed open must not destroy that history.
       std::lock_guard<std::mutex> lock(mu_);
       tenancies_.erase(request.tenancy);
     }
@@ -246,7 +558,30 @@ Response MarketplaceServer::ExecuteOpenPeriod(const Request& request) {
   return OkResponse(request.id, std::move(payload));
 }
 
-Response MarketplaceServer::ExecuteTenancyOp(const Request& request) {
+Response MarketplaceServer::ExecuteSnapshot(const Request& request,
+                                            Tenancy& tenancy, bool persist) {
+  if (tenancy.session.has_value()) {
+    return ErrorResponse(
+        request.id,
+        Status::FailedPrecondition(
+            "tenancy \"" + request.tenancy +
+            "\" has an open period; snapshot works at period boundaries "
+            "(the open period is already journaled)"));
+  }
+  if (persist) {
+    Status checkpointed =
+        store_->Checkpoint(tenancy.name, SnapshotOf(tenancy));
+    if (!checkpointed.ok()) return ErrorResponse(request.id, checkpointed);
+  }
+  JsonValue payload = JsonValue::MakeObject();
+  payload.Set("checkpointed", JsonValue::Bool(true));
+  payload.Set("store", JsonValue::Str(std::string(store_->kind())));
+  payload.Set("periods_run", JsonValue::Number(tenancy.periods_run));
+  return OkResponse(request.id, std::move(payload));
+}
+
+Response MarketplaceServer::ExecuteTenancyOp(const Request& request,
+                                             bool persist) {
   if (request.tenancy.empty()) {
     return ErrorResponse(
         request.id, Status::InvalidArgument("request needs a tenancy name"));
@@ -256,6 +591,10 @@ Response MarketplaceServer::ExecuteTenancyOp(const Request& request) {
     return ErrorResponse(request.id,
                          Status::NotFound("unknown tenancy \"" +
                                           request.tenancy + "\""));
+  }
+
+  if (request.op == RequestOp::kSnapshot) {
+    return ExecuteSnapshot(request, *tenancy, persist);
   }
 
   if (request.op == RequestOp::kReport) {
@@ -286,6 +625,15 @@ Response MarketplaceServer::ExecuteTenancyOp(const Request& request) {
     return ErrorResponse(request.id, Status::FailedPrecondition(
                                          "tenancy \"" + request.tenancy +
                                          "\" has no open period"));
+  }
+  // WAL: the record lands in the journal before the op touches the
+  // session, because submit and advance_slot mutate even when they fail
+  // partway — replaying the identical request reproduces the identical
+  // partial effect. If the journal write fails, the op does not run.
+  if (persist && OpMutatesTenancy(request.op)) {
+    Status journaled =
+        store_->Append(request.tenancy, protocol::ToJson(request).Dump());
+    if (!journaled.ok()) return ErrorResponse(request.id, journaled);
   }
   PricingSession& session = *tenancy->session;
   switch (request.op) {
@@ -325,6 +673,20 @@ Response MarketplaceServer::ExecuteTenancyOp(const Request& request) {
       tenancy->cumulative_balance += report->ledger.CloudBalance();
       tenancy->cumulative_utility += report->ledger.TotalUtility();
       tenancy->session.reset();
+      if (persist) {
+        // The period boundary is the durability point: snapshot the new
+        // state and truncate the journal, fsync'd. A failed checkpoint is
+        // survivable — the journal still holds the whole period, so
+        // recovery replays it instead.
+        Status checkpointed =
+            store_->Checkpoint(tenancy->name, SnapshotOf(*tenancy));
+        if (!checkpointed.ok()) {
+          OPTSHARE_LOG(Warning)
+              << "tenancy \"" << tenancy->name
+              << "\": close_period checkpoint failed (journal retained): "
+              << checkpointed.ToString();
+        }
+      }
       JsonValue payload = JsonValue::MakeObject();
       payload.Set("report", protocol::ToJson(*report));
       return OkResponse(request.id, std::move(payload));

@@ -17,12 +17,23 @@
 // MechanismRegistry is mutex-guarded, simdb::Catalog is only read once a
 // tenancy is created, and each PricingSession lives entirely on its shard.
 //
+// Durability (service/state_store.h): every state-mutating request is
+// journaled to the server's StateStore before it executes (WAL), and each
+// close_period checkpoints the tenancy's period-boundary state and
+// truncates the journal. Recover() inverts that: it loads each persisted
+// tenancy's snapshot and replays its journal tail through the same
+// bit-identical dispatch path, restoring catalogs, carried built-sets,
+// period counters and cumulative ledgers — including a period that was
+// open when the process died. The default MemoryStateStore keeps the
+// pre-durability behavior; FileStateStore persists across processes.
+//
 // Replaying a recorded request stream through Dispatch/HandleLine yields
 // PeriodReports bit-identical to driving a PricingSession directly with the
 // same tenants (tests/service_server_test.cc); PricingSession and
 // CloudService::RunPeriod remain the embedded single-tenant adapters.
 #pragma once
 
+#include <atomic>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -34,6 +45,7 @@
 #include "common/thread_pool.h"
 #include "service/pricing_session.h"
 #include "service/protocol.h"
+#include "service/state_store.h"
 
 namespace optshare::service {
 
@@ -42,12 +54,37 @@ struct ServerOptions {
   /// names hash to the same shard share a worker; 8 matches the bench
   /// sweep's top end.
   int num_workers = 4;
+  /// Cap on one request line through HandleLine; longer lines are rejected
+  /// with ResourceExhausted before parsing. 0 disables the cap.
+  size_t max_request_bytes = protocol::kDefaultMaxRequestBytes;
+  /// Durability backend. Null = a fresh MemoryStateStore (no cross-process
+  /// persistence, exactly the historical behavior).
+  std::shared_ptr<StateStore> store;
 };
+
+/// What one Recover() (or wire `restore`) pass did.
+struct RecoveryStats {
+  int tenancies_recovered = 0;   ///< Tenancies present after the pass.
+  int tenancies_skipped = 0;     ///< Already live in this server.
+  int snapshots_loaded = 0;
+  int journal_records_replayed = 0;
+  /// Replayed records whose responses were errors: the replay reproduced a
+  /// request that also failed live, so this is not by itself a problem.
+  int journal_records_failed = 0;
+  /// Torn journal tails dropped (crash mid-append).
+  int journal_torn = 0;
+};
+
+/// The stats object as served by the wire `restore` and `server_info` ops
+/// (and printed by `optshare_cli recover`).
+JsonValue ToJson(const RecoveryStats& stats);
 
 class MarketplaceServer {
  public:
   explicit MarketplaceServer(ServerOptions options = {});
-  /// Drains in-flight requests before shutting the pool down.
+  /// Drains in-flight requests before shutting the pool down. Does NOT
+  /// checkpoint (a destructor-only exit models a crash); call Shutdown()
+  /// for a graceful, durable exit.
   ~MarketplaceServer();
 
   MarketplaceServer(const MarketplaceServer&) = delete;
@@ -57,7 +94,8 @@ class MarketplaceServer {
   /// path; wire callers bootstrap via open_period's CatalogSpec). `config`
   /// becomes the tenancy's default period configuration. AlreadyExists for
   /// duplicate names. Runs on the tenancy's shard, so it serializes with
-  /// any wire traffic already queued for the name.
+  /// any wire traffic already queued for the name. The new tenancy is
+  /// checkpointed to the state store immediately.
   Status CreateTenancy(const std::string& name, simdb::Catalog catalog,
                        ServiceConfig config = {});
 
@@ -71,13 +109,32 @@ class MarketplaceServer {
 
   /// The wire loop's unit of work: parse one request line, execute it,
   /// serialize the response line (parse errors become error responses, so
-  /// the caller always gets exactly one line back).
+  /// the caller always gets exactly one line back). Lines longer than
+  /// ServerOptions::max_request_bytes answer ResourceExhausted unparsed.
   std::string HandleLine(const std::string& line);
 
   /// Blocks until every request dispatched before the call has finished.
   void Drain();
 
+  /// Loads every tenancy persisted in the state store that is not already
+  /// live: snapshot first, then the journal tail replayed through the
+  /// regular dispatch path on the tenancy's own shard (so recovery is safe
+  /// even while other tenancies serve traffic). Startup callers run it
+  /// before accepting requests; the wire `restore` op runs the same pass.
+  Result<RecoveryStats> Recover();
+
+  /// Graceful exit: drains the worker pool, then makes every tenancy
+  /// durable — period-boundary tenancies are checkpointed, tenancies with
+  /// an open period get their journal fsync'd (the open period replays on
+  /// the next Recover). Callers must stop dispatching first. Idempotent.
+  Status Shutdown();
+
+  /// Set once a wire `shutdown` request was accepted (or Shutdown ran);
+  /// the serve loop polls this to exit its read loop.
+  bool shutdown_requested() const { return shutdown_requested_.load(); }
+
   int num_workers() const { return pool_.num_threads(); }
+  const StateStore& store() const { return *store_; }
   /// Names of existing tenancies, sorted.
   std::vector<std::string> TenancyNames() const;
 
@@ -97,11 +154,35 @@ class MarketplaceServer {
   };
 
   size_t ShardOf(const std::string& tenancy) const;
-  /// Executes `request` on the current (shard) thread.
-  protocol::Response Execute(const protocol::Request& request);
-  protocol::Response ExecuteOpenPeriod(const protocol::Request& request);
-  protocol::Response ExecuteTenancyOp(const protocol::Request& request);
+  /// Executes `request` on the current (shard) thread. `persist` is false
+  /// during journal replay: replayed requests must neither re-append to
+  /// the journal they came from nor checkpoint mid-replay.
+  protocol::Response Execute(const protocol::Request& request, bool persist);
+  protocol::Response ExecuteOpenPeriod(const protocol::Request& request,
+                                       bool persist);
+  protocol::Response ExecuteTenancyOp(const protocol::Request& request,
+                                      bool persist);
+  protocol::Response ExecuteSnapshot(const protocol::Request& request,
+                                     Tenancy& tenancy, bool persist);
+  protocol::Response ExecuteRestore(const protocol::Request& request);
+  protocol::Response ExecuteServerInfo(const protocol::Request& request);
   static protocol::Response ListMechanisms(const protocol::Request& request);
+
+  /// The tenancy's period-boundary state as a snapshot document.
+  JsonValue SnapshotOf(const Tenancy& tenancy) const;
+
+  struct RecoverOutcome {
+    Status status;
+    RecoveryStats stats;
+  };
+  /// Rebuilds one persisted tenancy on the current thread (must be its
+  /// shard, or a quiescent server).
+  RecoverOutcome RecoverTenancy(const PersistedTenancy& persisted);
+  /// Shared by Recover() and the wire restore op. `current_worker` names
+  /// the pool worker the caller occupies (so its own shard's tenancies are
+  /// recovered inline instead of deadlocking on a self-wait); nullopt when
+  /// called from outside the pool.
+  Result<RecoveryStats> RecoverImpl(std::optional<size_t> current_worker);
 
   /// Map lookup (nullptr when absent). The returned pointer is stable: the
   /// map stores unique_ptrs, and a tenancy is only ever erased by its own
@@ -110,6 +191,13 @@ class MarketplaceServer {
 
   mutable std::mutex mu_;  ///< Guards tenancies_ (the map, not its values).
   std::unordered_map<std::string, std::unique_ptr<Tenancy>> tenancies_;
+  std::shared_ptr<StateStore> store_;
+  size_t max_request_bytes_ = protocol::kDefaultMaxRequestBytes;
+  std::atomic<bool> shutdown_requested_{false};
+  std::atomic<bool> shut_down_{false};
+  mutable std::mutex recovery_mu_;  ///< Guards the two fields below.
+  RecoveryStats last_recovery_;
+  int recoveries_run_ = 0;
   ThreadPool pool_;  ///< Last member: destroyed first, so workers stop
                      ///< before the state they touch goes away.
 };

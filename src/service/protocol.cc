@@ -37,21 +37,18 @@ Status CheckFields(const JsonValue& v,
   return Status::OK();
 }
 
+// Thin protocol-flavored wrappers over the shared typed accessors
+// (common/json.h); GetInt narrows to the protocol's int fields.
+
 Result<double> GetNumber(const JsonValue& v, const char* key,
                          const char* ctx) {
-  const JsonValue* field = v.Find(key);
-  if (field == nullptr || !field->is_number()) {
-    return Status::InvalidArgument(std::string(ctx) + ": field \"" + key +
-                                   "\" must be a number");
-  }
-  return field->AsNumber();
+  return JsonNumberField(v, key, ctx);
 }
 
 Result<int> GetInt(const JsonValue& v, const char* key, const char* ctx) {
-  Result<double> number = GetNumber(v, key, ctx);
+  Result<int64_t> number = JsonIntField(v, key, ctx);
   if (!number.ok()) return number.status();
-  if (*number != std::floor(*number) ||
-      *number < std::numeric_limits<int>::min() ||
+  if (*number < std::numeric_limits<int>::min() ||
       *number > std::numeric_limits<int>::max()) {
     return Status::InvalidArgument(std::string(ctx) + ": field \"" + key +
                                    "\" must be an integer");
@@ -61,35 +58,31 @@ Result<int> GetInt(const JsonValue& v, const char* key, const char* ctx) {
 
 Result<std::string> GetString(const JsonValue& v, const char* key,
                               const char* ctx) {
-  const JsonValue* field = v.Find(key);
-  if (field == nullptr || !field->is_string()) {
-    return Status::InvalidArgument(std::string(ctx) + ": field \"" + key +
-                                   "\" must be a string");
-  }
-  return field->AsString();
+  return JsonStringField(v, key, ctx);
 }
 
 Result<bool> GetBool(const JsonValue& v, const char* key, const char* ctx) {
-  const JsonValue* field = v.Find(key);
-  if (field == nullptr || !field->is_bool()) {
-    return Status::InvalidArgument(std::string(ctx) + ": field \"" + key +
-                                   "\" must be a boolean");
-  }
-  return field->AsBool();
+  return JsonBoolField(v, key, ctx);
 }
 
-Status CheckVersion(const JsonValue& v, const char* ctx) {
+/// Parses the "v" field and accepts any version this build still speaks
+/// ([kMinProtocolVersion, kProtocolVersion]); the accepted value is
+/// returned so callers can echo it.
+Result<int> CheckVersion(const JsonValue& v, const char* ctx) {
   const JsonValue* field = v.Find("v");
   if (field == nullptr || !field->is_number()) {
     return Status::InvalidArgument(std::string(ctx) +
                                    ": missing protocol version field \"v\"");
   }
-  if (field->AsNumber() != static_cast<double>(kProtocolVersion)) {
+  const double number = field->AsNumber();
+  if (number != std::floor(number) || number < kMinProtocolVersion ||
+      number > kProtocolVersion) {
     return Status::InvalidArgument(
         std::string(ctx) + ": unsupported protocol version (this build "
-        "speaks version " + std::to_string(kProtocolVersion) + ")");
+        "speaks versions " + std::to_string(kMinProtocolVersion) + " through " +
+        std::to_string(kProtocolVersion) + ")");
   }
-  return Status::OK();
+  return static_cast<int>(number);
 }
 
 std::string_view ColumnTypeName(simdb::ColumnType type) {
@@ -131,6 +124,14 @@ std::string_view RequestOpName(RequestOp op) {
       return "report";
     case RequestOp::kListMechanisms:
       return "list_mechanisms";
+    case RequestOp::kSnapshot:
+      return "snapshot";
+    case RequestOp::kRestore:
+      return "restore";
+    case RequestOp::kShutdown:
+      return "shutdown";
+    case RequestOp::kServerInfo:
+      return "server_info";
   }
   return "list_mechanisms";
 }
@@ -139,10 +140,35 @@ std::optional<RequestOp> RequestOpFromName(std::string_view name) {
   for (RequestOp op :
        {RequestOp::kOpenPeriod, RequestOp::kSubmit, RequestOp::kDepart,
         RequestOp::kAdvanceSlot, RequestOp::kClosePeriod, RequestOp::kReport,
-        RequestOp::kListMechanisms}) {
+        RequestOp::kListMechanisms, RequestOp::kSnapshot, RequestOp::kRestore,
+        RequestOp::kShutdown, RequestOp::kServerInfo}) {
     if (RequestOpName(op) == name) return op;
   }
   return std::nullopt;
+}
+
+int RequestOpMinVersion(RequestOp op) {
+  switch (op) {
+    case RequestOp::kSnapshot:
+    case RequestOp::kRestore:
+    case RequestOp::kShutdown:
+    case RequestOp::kServerInfo:
+      return 2;
+    default:
+      return 1;
+  }
+}
+
+bool OpTakesTenancy(RequestOp op) {
+  switch (op) {
+    case RequestOp::kListMechanisms:
+    case RequestOp::kRestore:
+    case RequestOp::kShutdown:
+    case RequestOp::kServerInfo:
+      return false;
+    default:
+      return true;
+  }
 }
 
 // -- Leaf serializers -------------------------------------------------------
@@ -564,10 +590,10 @@ Result<PeriodReport> PeriodReportFromJson(const JsonValue& v) {
 
 JsonValue ToJson(const Request& request) {
   JsonValue obj = JsonValue::MakeObject();
-  obj.Set("v", JsonValue::Number(kProtocolVersion));
+  obj.Set("v", JsonValue::Number(request.version));
   obj.Set("op", JsonValue::Str(std::string(RequestOpName(request.op))));
   if (!request.id.empty()) obj.Set("id", JsonValue::Str(request.id));
-  if (request.op != RequestOp::kListMechanisms) {
+  if (OpTakesTenancy(request.op)) {
     obj.Set("tenancy", JsonValue::Str(request.tenancy));
   }
   switch (request.op) {
@@ -592,6 +618,10 @@ JsonValue ToJson(const Request& request) {
     case RequestOp::kClosePeriod:
     case RequestOp::kReport:
     case RequestOp::kListMechanisms:
+    case RequestOp::kSnapshot:
+    case RequestOp::kRestore:
+    case RequestOp::kShutdown:
+    case RequestOp::kServerInfo:
       break;
   }
   return obj;
@@ -599,7 +629,8 @@ JsonValue ToJson(const Request& request) {
 
 Result<Request> RequestFromJson(const JsonValue& v) {
   OPTSHARE_RETURN_NOT_OK(CheckObject(v, "request"));
-  OPTSHARE_RETURN_NOT_OK(CheckVersion(v, "request"));
+  Result<int> version = CheckVersion(v, "request");
+  if (!version.ok()) return version.status();
   Result<std::string> op_name = GetString(v, "op", "request");
   if (!op_name.ok()) return op_name.status();
   std::optional<RequestOp> op = RequestOpFromName(*op_name);
@@ -607,14 +638,20 @@ Result<Request> RequestFromJson(const JsonValue& v) {
     return Status::InvalidArgument("request: unknown op \"" + *op_name +
                                    "\"");
   }
+  if (*version < RequestOpMinVersion(*op)) {
+    return Status::InvalidArgument(
+        "request: op \"" + *op_name + "\" requires protocol version " +
+        std::to_string(RequestOpMinVersion(*op)));
+  }
   Request request;
   request.op = *op;
+  request.version = *version;
   if (v.Find("id") != nullptr) {
     Result<std::string> id = GetString(v, "id", "request");
     if (!id.ok()) return id.status();
     request.id = std::move(*id);
   }
-  if (request.op != RequestOp::kListMechanisms) {
+  if (OpTakesTenancy(request.op)) {
     Result<std::string> tenancy = GetString(v, "tenancy", "request");
     if (!tenancy.ok()) return tenancy.status();
     if (tenancy->empty()) {
@@ -678,12 +715,16 @@ Result<Request> RequestFromJson(const JsonValue& v) {
     }
     case RequestOp::kClosePeriod:
     case RequestOp::kReport:
+    case RequestOp::kSnapshot:
       OPTSHARE_RETURN_NOT_OK(
           CheckFields(v, {"v", "op", "id", "tenancy"}, "request"));
       break;
     case RequestOp::kListMechanisms:
+    case RequestOp::kRestore:
+    case RequestOp::kShutdown:
+    case RequestOp::kServerInfo:
       OPTSHARE_RETURN_NOT_OK(
-          CheckFields(v, {"v", "op", "id"}, "list_mechanisms"));
+          CheckFields(v, {"v", "op", "id"}, "request"));
       break;
   }
   return request;
@@ -693,7 +734,7 @@ Result<Request> RequestFromJson(const JsonValue& v) {
 
 JsonValue ToJson(const Response& response) {
   JsonValue obj = JsonValue::MakeObject();
-  obj.Set("v", JsonValue::Number(kProtocolVersion));
+  obj.Set("v", JsonValue::Number(response.version));
   if (!response.id.empty()) obj.Set("id", JsonValue::Str(response.id));
   obj.Set("ok", JsonValue::Bool(response.status.ok()));
   if (response.status.ok()) {
@@ -710,10 +751,12 @@ JsonValue ToJson(const Response& response) {
 
 Result<Response> ResponseFromJson(const JsonValue& v) {
   OPTSHARE_RETURN_NOT_OK(CheckObject(v, "response"));
-  OPTSHARE_RETURN_NOT_OK(CheckVersion(v, "response"));
+  Result<int> version = CheckVersion(v, "response");
+  if (!version.ok()) return version.status();
   OPTSHARE_RETURN_NOT_OK(
       CheckFields(v, {"v", "id", "ok", "result", "error"}, "response"));
   Response response;
+  response.version = *version;
   if (v.Find("id") != nullptr) {
     Result<std::string> id = GetString(v, "id", "response");
     if (!id.ok()) return id.status();
@@ -754,7 +797,12 @@ Result<Response> ResponseFromJson(const JsonValue& v) {
   return response;
 }
 
-Result<Request> ParseRequestLine(const std::string& line) {
+Result<Request> ParseRequestLine(const std::string& line, size_t max_bytes) {
+  if (max_bytes > 0 && line.size() > max_bytes) {
+    return Status::ResourceExhausted(
+        "request line of " + std::to_string(line.size()) +
+        " bytes exceeds the " + std::to_string(max_bytes) + "-byte cap");
+  }
   Result<JsonValue> doc = JsonValue::Parse(line);
   if (!doc.ok()) return doc.status();
   return RequestFromJson(*doc);

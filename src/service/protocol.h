@@ -19,6 +19,16 @@
 //   {"v": 1, "op": "report", "tenancy": "acme"}
 //   {"v": 1, "op": "list_mechanisms"}
 //
+// Version 2 keeps every v1 document valid (requests may carry "v":1 or
+// "v":2; responses echo the request's version, so v1 clients keep parsing
+// what they always parsed) and adds the durability ops, which require
+// "v":2:
+//
+//   {"v": 2, "op": "snapshot", "tenancy": "acme"}   # checkpoint now
+//   {"v": 2, "op": "restore"}                       # load store tenancies
+//   {"v": 2, "op": "shutdown"}                      # drain + checkpoint
+//   {"v": 2, "op": "server_info"}                   # store kind, recovery
+//
 // Responses echo the request's optional "id" and carry either a payload or
 // a typed error mapping onto common/Status:
 //
@@ -34,6 +44,7 @@
 // PricingSession calls (tests/service_server_test.cc).
 #pragma once
 
+#include <cstddef>
 #include <optional>
 #include <string>
 #include <vector>
@@ -46,9 +57,16 @@
 
 namespace optshare::service::protocol {
 
-/// Version of the request/response schema this build speaks. Requests with
-/// any other version are rejected at parse time.
-inline constexpr int kProtocolVersion = 1;
+/// Newest version of the request/response schema this build speaks.
+/// Documents carrying any version in [kMinProtocolVersion,
+/// kProtocolVersion] are accepted; anything else is rejected at parse time.
+inline constexpr int kProtocolVersion = 2;
+/// Oldest version still accepted (v1: the pre-durability op set).
+inline constexpr int kMinProtocolVersion = 1;
+
+/// Default cap on one request line (HandleLine / the serve loop); a longer
+/// line is rejected with ResourceExhausted instead of being buffered.
+inline constexpr size_t kDefaultMaxRequestBytes = 1 << 20;
 
 /// The request variants.
 enum class RequestOp {
@@ -59,12 +77,24 @@ enum class RequestOp {
   kClosePeriod,
   kReport,
   kListMechanisms,
+  // v2 durability ops.
+  kSnapshot,
+  kRestore,
+  kShutdown,
+  kServerInfo,
 };
 
 /// Wire tag of an op ("open_period", ...).
 std::string_view RequestOpName(RequestOp op);
 /// Inverse of RequestOpName; nullopt for unknown tags.
 std::optional<RequestOp> RequestOpFromName(std::string_view name);
+/// Lowest protocol version whose documents may carry `op` (1 for the
+/// original op set, 2 for the durability ops).
+int RequestOpMinVersion(RequestOp op);
+/// True for ops addressed to one tenancy (the "tenancy" field is
+/// required); false for the global ops (list_mechanisms, restore,
+/// shutdown, server_info).
+bool OpTakesTenancy(RequestOp op);
 
 /// How a tenancy's catalog is bootstrapped over the wire (first open_period
 /// for a tenancy): either a canned simdb scenario by name or inline table
@@ -84,10 +114,15 @@ struct CatalogSpec {
 /// accepted when parsing that variant).
 struct Request {
   RequestOp op = RequestOp::kListMechanisms;
+  /// Schema version the document was (or will be) encoded with. Parsing
+  /// preserves the client's version so responses — and journal replays —
+  /// can echo it bit-identically.
+  int version = kProtocolVersion;
   /// Client-chosen correlation id, echoed verbatim in the response (empty =
   /// absent).
   std::string id;
-  /// Target tenancy; required for every op except list_mechanisms.
+  /// Target tenancy; required for every op except list_mechanisms and the
+  /// global v2 ops (restore, shutdown, server_info).
   std::string tenancy;
 
   // open_period
@@ -108,6 +143,10 @@ struct Request {
 /// `payload` is the op-specific result object (null on error).
 struct Response {
   std::string id;
+  /// Version the response line is encoded with; the server sets it to the
+  /// request's version so old clients never see a document newer than what
+  /// they sent.
+  int version = kProtocolVersion;
   Status status;
   JsonValue payload;
 
@@ -133,8 +172,10 @@ Result<CatalogSpec> CatalogSpecFromJson(const JsonValue& v);
 Result<PeriodReport> PeriodReportFromJson(const JsonValue& v);
 
 /// Parses one wire line into a request (strict: version check, unknown
-/// fields rejected).
-Result<Request> ParseRequestLine(const std::string& line);
+/// fields rejected). `max_bytes` > 0 rejects longer lines with
+/// ResourceExhausted before parsing (the protocol-robustness cap).
+Result<Request> ParseRequestLine(const std::string& line,
+                                 size_t max_bytes = 0);
 
 /// Serializes a response as one compact wire line (no trailing newline).
 std::string FormatResponseLine(const Response& response);

@@ -1,0 +1,197 @@
+// StateStore: the durability contract behind MarketplaceServer. Tenancy
+// lifecycle and every state-mutating wire request flow through two
+// primitives:
+//
+//   Append(tenancy, record)      — journal one wire request line (WAL: the
+//                                  server appends before executing)
+//   Checkpoint(tenancy, snap)    — atomically replace the tenancy's
+//                                  snapshot and truncate its journal
+//
+// so a tenancy's persistent state is always `snapshot + journal tail`, and
+// recovery is a differential replay: load the snapshot (catalog, config,
+// built-set, period counters, cumulative ledger), then re-execute the
+// journaled requests through the exact dispatch path that produced them
+// (protocol round-trips are bit-identical, so the replayed state is too).
+//
+// Two backends:
+//  - MemoryStateStore: keeps snapshot + journal in memory. The default —
+//    observable server behavior is exactly the pre-durability one, but a
+//    second server sharing the store instance can still Recover() from it
+//    (the in-process recovery tests run on this).
+//  - FileStateStore: one directory per tenancy under a data dir,
+//
+//      <data-dir>/<encoded-tenancy>/snapshot.json      (atomic replace)
+//      <data-dir>/<encoded-tenancy>/journal-<E>.jsonl  (append-only)
+//
+//    where <E> is the journal epoch named by the snapshot: a checkpoint
+//    first publishes the new snapshot naming epoch E+1 (write-temp, fsync,
+//    rename, fsync dir), then deletes the epoch-E journal. A crash between
+//    the two steps leaves both the old journal and the new snapshot on
+//    disk, and the epoch makes the stale journal unambiguous — recovery
+//    reads only the journal the snapshot names, so a re-applied period can
+//    never double-count. fsync policy: journals are fsync'd at Checkpoint
+//    and Sync (i.e. on close_period and shutdown), not on every Append.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/json.h"
+#include "common/status.h"
+#include "service/cloud_service.h"
+#include "simdb/schema.h"
+
+namespace optshare::service {
+
+/// Everything MarketplaceServer checkpoints per tenancy: the period-boundary
+/// state that, together with the journal tail, reconstructs the tenancy.
+struct TenancySnapshot {
+  std::string name;
+  std::vector<simdb::TableDef> tables;  ///< The catalog, materialized.
+  ServiceConfig config;
+  std::vector<std::string> built;       ///< Carried structures.
+  int periods_run = 0;
+  double cumulative_balance = 0.0;
+  double cumulative_utility = 0.0;
+};
+
+/// Round-trips bit-identically (common/json number formatting), like every
+/// other wire schema; recovery depends on it.
+JsonValue ToJson(const TenancySnapshot& snapshot);
+Result<TenancySnapshot> TenancySnapshotFromJson(const JsonValue& v);
+
+/// One tenancy's persistent state as loaded from a store.
+struct PersistedTenancy {
+  std::string name;
+  /// Latest checkpoint; absent for a journal-only tenancy (never closed a
+  /// period or was snapshotted).
+  std::optional<JsonValue> snapshot;
+  /// Journal tail: the wire request lines appended since the snapshot, in
+  /// append order.
+  std::vector<std::string> journal;
+  /// True when the journal ended in a torn (partially written) record that
+  /// was dropped.
+  bool torn_tail = false;
+};
+
+/// Cumulative operation counters, surfaced through server_info.
+struct StateStoreStats {
+  uint64_t appends = 0;
+  uint64_t checkpoints = 0;
+  uint64_t syncs = 0;
+};
+
+class StateStore {
+ public:
+  virtual ~StateStore() = default;
+
+  /// Backend tag: "memory" or "file".
+  virtual std::string_view kind() const = 0;
+
+  /// Appends one journal record for `tenancy`. Called on the tenancy's
+  /// shard; implementations must tolerate concurrent calls for distinct
+  /// tenancies.
+  virtual Status Append(const std::string& tenancy,
+                        const std::string& record) = 0;
+
+  /// Atomically replaces `tenancy`'s snapshot with `snapshot` and truncates
+  /// its journal. Durable on return for the file backend.
+  virtual Status Checkpoint(const std::string& tenancy,
+                            const JsonValue& snapshot) = 0;
+
+  /// Flushes `tenancy`'s journal to durable media without checkpointing
+  /// (the shutdown path for tenancies with an open period).
+  virtual Status Sync(const std::string& tenancy) = 0;
+
+  /// Erases every trace of `tenancy`. Destructive by design — an
+  /// operator/administrative primitive, deliberately NOT called by the
+  /// server's failed-open rollback (the store may hold history this
+  /// process never loaded). Ok when nothing was stored.
+  virtual Status Remove(const std::string& tenancy) = 0;
+
+  /// Loads every persisted tenancy (sorted by name): latest snapshot plus
+  /// journal tail.
+  virtual Result<std::vector<PersistedTenancy>> Load() = 0;
+
+  /// Operation counters since construction.
+  virtual StateStoreStats stats() const = 0;
+};
+
+/// The default in-memory backend: same observable server behavior as no
+/// persistence, but Load() works within the process.
+class MemoryStateStore : public StateStore {
+ public:
+  std::string_view kind() const override { return "memory"; }
+  Status Append(const std::string& tenancy,
+                const std::string& record) override;
+  Status Checkpoint(const std::string& tenancy,
+                    const JsonValue& snapshot) override;
+  Status Sync(const std::string& tenancy) override;
+  Status Remove(const std::string& tenancy) override;
+  Result<std::vector<PersistedTenancy>> Load() override;
+  StateStoreStats stats() const override;
+
+ private:
+  struct Entry {
+    std::optional<JsonValue> snapshot;
+    std::vector<std::string> journal;
+  };
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> entries_;
+  StateStoreStats stats_;
+};
+
+/// The durable backend (see the file-layout comment at the top).
+class FileStateStore : public StateStore {
+ public:
+  /// Creates the data dir if needed; fails if it cannot be created.
+  static Result<std::unique_ptr<FileStateStore>> Open(std::string data_dir);
+
+  ~FileStateStore() override;
+
+  std::string_view kind() const override { return "file"; }
+  const std::string& data_dir() const { return dir_; }
+
+  Status Append(const std::string& tenancy,
+                const std::string& record) override;
+  Status Checkpoint(const std::string& tenancy,
+                    const JsonValue& snapshot) override;
+  Status Sync(const std::string& tenancy) override;
+  Status Remove(const std::string& tenancy) override;
+  Result<std::vector<PersistedTenancy>> Load() override;
+  StateStoreStats stats() const override;
+
+ private:
+  /// Open-file state for one tenancy. The journal fd stays open across
+  /// appends; `epoch` names the journal file the current snapshot points
+  /// past (journal-<epoch>.jsonl holds post-snapshot records).
+  struct Tenant {
+    std::mutex mu;        ///< Serializes file ops for this tenancy.
+    int64_t epoch = 0;
+    int journal_fd = -1;  ///< Lazily opened append fd; -1 = closed.
+  };
+
+  explicit FileStateStore(std::string data_dir);
+
+  std::string TenancyDir(const std::string& tenancy) const;
+  /// Finds or creates the per-tenancy entry, discovering the on-disk epoch
+  /// on first touch. Returned pointer is stable (map of unique_ptrs).
+  Result<Tenant*> Ensure(const std::string& tenancy);
+
+  std::string dir_;
+  mutable std::mutex mu_;  ///< Guards tenants_ (the map, not its values).
+  std::map<std::string, std::unique_ptr<Tenant>> tenants_;
+  // Atomic so counting never nests under a per-tenancy file lock.
+  std::atomic<uint64_t> appends_{0};
+  std::atomic<uint64_t> checkpoints_{0};
+  std::atomic<uint64_t> syncs_{0};
+};
+
+}  // namespace optshare::service

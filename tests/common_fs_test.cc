@@ -1,0 +1,95 @@
+// fs helper coverage: atomic replacement, directory enumeration, and the
+// reversible path-component encoding the FileStateStore builds tenancy
+// directories from.
+#include "common/fs.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+
+namespace optshare::fs {
+namespace {
+
+class FsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Scratch dirs live under the working directory (the build tree when
+    // run via ctest), so the suite never writes outside it.
+    dir_ = std::string("optshare_fs_test_scratch/") +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    ASSERT_TRUE(RemoveAll(dir_).ok());
+    ASSERT_TRUE(EnsureDir(dir_).ok());
+  }
+  void TearDown() override { ASSERT_TRUE(RemoveAll(dir_).ok()); }
+
+  std::string dir_;
+};
+
+TEST_F(FsTest, WriteAtomicReadBack) {
+  const std::string path = dir_ + "/file.json";
+  ASSERT_TRUE(WriteFileAtomic(path, "{\"a\":1}", /*sync=*/false).ok());
+  Result<std::string> contents = ReadFile(path);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(*contents, "{\"a\":1}");
+
+  // Overwrite replaces wholesale and leaves no temp file behind.
+  ASSERT_TRUE(WriteFileAtomic(path, "v2", /*sync=*/true).ok());
+  contents = ReadFile(path);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(*contents, "v2");
+  EXPECT_FALSE(PathExists(path + ".tmp"));
+}
+
+TEST_F(FsTest, ReadMissingFileIsNotFound) {
+  Result<std::string> contents = ReadFile(dir_ + "/absent");
+  ASSERT_FALSE(contents.ok());
+  EXPECT_EQ(contents.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(FsTest, ListDirSortsAndRemovalsWork) {
+  ASSERT_TRUE(WriteFileAtomic(dir_ + "/b", "", false).ok());
+  ASSERT_TRUE(WriteFileAtomic(dir_ + "/a", "", false).ok());
+  ASSERT_TRUE(EnsureDir(dir_ + "/c").ok());
+  Result<std::vector<std::string>> names = ListDir(dir_);
+  ASSERT_TRUE(names.ok());
+  EXPECT_EQ(*names, (std::vector<std::string>{"a", "b", "c"}));
+
+  ASSERT_TRUE(RemoveFile(dir_ + "/a").ok());
+  ASSERT_TRUE(RemoveFile(dir_ + "/a").ok());  // Idempotent.
+  ASSERT_TRUE(RemoveAll(dir_ + "/c").ok());
+  names = ListDir(dir_);
+  ASSERT_TRUE(names.ok());
+  EXPECT_EQ(*names, (std::vector<std::string>{"b"}));
+
+  EXPECT_FALSE(ListDir(dir_ + "/nope").ok());
+}
+
+TEST(PathComponentEncoding, RoundTripsArbitraryNames) {
+  for (const std::string name :
+       {std::string("plain"), std::string("with space"),
+        std::string("dots.and/slashes\\too"), std::string(".."),
+        std::string("."), std::string("%already%"), std::string("acme-1_B"),
+        std::string("\xc3\xa9t\xc3\xa9"), std::string("\n\t"),
+        std::string()}) {
+    const std::string encoded = EncodePathComponent(name);
+    // Safe for a filesystem: no separators, no dot-only names, non-empty.
+    EXPECT_FALSE(encoded.empty());
+    EXPECT_EQ(encoded.find('/'), std::string::npos) << name;
+    EXPECT_NE(encoded, ".");
+    EXPECT_NE(encoded, "..");
+    Result<std::string> decoded = DecodePathComponent(encoded);
+    ASSERT_TRUE(decoded.ok()) << name;
+    EXPECT_EQ(*decoded, name);
+  }
+  // Distinct names cannot collide (the encoding is injective).
+  EXPECT_NE(EncodePathComponent("a b"), EncodePathComponent("a%20b"));
+}
+
+TEST(PathComponentEncoding, RejectsMalformedEscapes) {
+  EXPECT_FALSE(DecodePathComponent("trailing%2").ok());
+  EXPECT_FALSE(DecodePathComponent("bad%zz").ok());
+}
+
+}  // namespace
+}  // namespace optshare::fs

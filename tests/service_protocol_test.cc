@@ -31,7 +31,7 @@ Request SampleRequest(RequestOp op) {
   Request request;
   request.op = op;
   request.id = "req-42";
-  if (op != RequestOp::kListMechanisms) request.tenancy = "acme";
+  if (OpTakesTenancy(op)) request.tenancy = "acme";
   switch (op) {
     case RequestOp::kOpenPeriod: {
       CatalogSpec catalog;
@@ -89,7 +89,38 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(RequestOp::kOpenPeriod, RequestOp::kSubmit,
                       RequestOp::kDepart, RequestOp::kAdvanceSlot,
                       RequestOp::kClosePeriod, RequestOp::kReport,
-                      RequestOp::kListMechanisms));
+                      RequestOp::kListMechanisms, RequestOp::kSnapshot,
+                      RequestOp::kRestore, RequestOp::kShutdown,
+                      RequestOp::kServerInfo));
+
+TEST(RequestParsing, PreservesTheClientVersion) {
+  // A v1 document parses to a v1 request and re-serializes as v1 — the
+  // round-trip that keeps journal replay and response echoing faithful.
+  Request report = SampleRequest(RequestOp::kReport);
+  report.version = 1;
+  const std::string wire = ToJson(report).Dump();
+  EXPECT_NE(wire.find("\"v\":1"), std::string::npos);
+  Result<Request> parsed = ParseRequestLine(wire);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->version, 1);
+  EXPECT_EQ(ToJson(*parsed).Dump(), wire);
+  // Default construction speaks the newest version.
+  EXPECT_EQ(SampleRequest(RequestOp::kReport).version, kProtocolVersion);
+}
+
+TEST(RequestParsing, DurabilityOpsRequireVersion2) {
+  for (RequestOp op : {RequestOp::kSnapshot, RequestOp::kRestore,
+                       RequestOp::kShutdown, RequestOp::kServerInfo}) {
+    EXPECT_EQ(RequestOpMinVersion(op), 2) << RequestOpName(op);
+    JsonValue doc = ToJson(SampleRequest(op));
+    doc.Set("v", JsonValue::Number(1.0));
+    Result<Request> parsed = RequestFromJson(doc);
+    ASSERT_FALSE(parsed.ok()) << RequestOpName(op);
+    EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(parsed.status().message().find("version"), std::string::npos);
+  }
+  EXPECT_EQ(RequestOpMinVersion(RequestOp::kReport), 1);
+}
 
 TEST(RequestParsing, PreservesVariantPayloads) {
   const Request submit = SampleRequest(RequestOp::kSubmit);
@@ -134,7 +165,8 @@ TEST(RequestParsing, RejectsUnknownFields) {
   for (RequestOp op :
        {RequestOp::kOpenPeriod, RequestOp::kSubmit, RequestOp::kDepart,
         RequestOp::kAdvanceSlot, RequestOp::kClosePeriod, RequestOp::kReport,
-        RequestOp::kListMechanisms}) {
+        RequestOp::kListMechanisms, RequestOp::kSnapshot, RequestOp::kRestore,
+        RequestOp::kShutdown, RequestOp::kServerInfo}) {
     JsonValue doc = ToJson(SampleRequest(op));
     doc.Set("surprise", JsonValue::Number(1.0));
     Result<Request> parsed = RequestFromJson(doc);
@@ -150,13 +182,22 @@ TEST(RequestParsing, RejectsUnknownFields) {
 }
 
 TEST(RequestParsing, RejectsBadVersions) {
+  // Both live versions parse...
+  for (double v : {1.0, 2.0}) {
+    JsonValue doc = ToJson(SampleRequest(RequestOp::kReport));
+    doc.Set("v", JsonValue::Number(v));
+    EXPECT_TRUE(RequestFromJson(doc).ok()) << v;
+  }
+  // ... a foreign one does not.
   JsonValue doc = ToJson(SampleRequest(RequestOp::kReport));
-  doc.Set("v", JsonValue::Number(2.0));
+  doc.Set("v", JsonValue::Number(3.0));
   Result<Request> parsed = RequestFromJson(doc);
   ASSERT_FALSE(parsed.ok());
   EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
   EXPECT_NE(parsed.status().message().find("version"), std::string::npos);
-
+  // Nor do fractional or missing versions.
+  doc.Set("v", JsonValue::Number(1.5));
+  EXPECT_FALSE(RequestFromJson(doc).ok());
   JsonValue missing = ToJson(SampleRequest(RequestOp::kReport));
   missing.AsObject().erase("v");
   EXPECT_FALSE(RequestFromJson(missing).ok());
@@ -264,12 +305,34 @@ TEST(ResponseSerialization, OkResponsesRoundTrip) {
   EXPECT_EQ(ToJson(*parsed).Dump(), ToJson(response).Dump());
 }
 
+TEST(ResponseSerialization, PreservesTheEchoedVersion) {
+  Response response = OkResponse("req-1", JsonValue::MakeObject());
+  response.version = 1;
+  const std::string wire = ToJson(response).Dump();
+  EXPECT_NE(wire.find("\"v\":1"), std::string::npos);
+  Result<Response> parsed = ResponseFromJson(*JsonValue::Parse(wire));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->version, 1);
+  EXPECT_EQ(ToJson(*parsed).Dump(), wire);
+}
+
+TEST(RequestParsing, OversizedLinesAreResourceExhausted) {
+  std::string line = ToJson(SampleRequest(RequestOp::kSubmit)).Dump();
+  Result<Request> parsed = ParseRequestLine(line, /*max_bytes=*/64);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kResourceExhausted);
+  // 0 disables the cap; a generous cap passes.
+  EXPECT_TRUE(ParseRequestLine(line).ok());
+  EXPECT_TRUE(ParseRequestLine(line, line.size()).ok());
+}
+
 TEST(ResponseSerialization, ErrorCodesMapOntoStatus) {
   // Every non-OK status code survives the wire with its message.
   for (StatusCode code :
        {StatusCode::kInvalidArgument, StatusCode::kNotFound,
         StatusCode::kOutOfRange, StatusCode::kFailedPrecondition,
-        StatusCode::kAlreadyExists, StatusCode::kInternal}) {
+        StatusCode::kAlreadyExists, StatusCode::kResourceExhausted,
+        StatusCode::kInternal}) {
     const Response response =
         ErrorResponse("req-9", MakeStatus(code, "details here"));
     Result<Response> parsed = ResponseFromJson(ToJson(response));
@@ -316,7 +379,8 @@ TEST(StatusCodeMapping, NamesRoundTrip) {
   for (StatusCode code :
        {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
         StatusCode::kOutOfRange, StatusCode::kFailedPrecondition,
-        StatusCode::kAlreadyExists, StatusCode::kInternal}) {
+        StatusCode::kAlreadyExists, StatusCode::kResourceExhausted,
+        StatusCode::kInternal}) {
     std::optional<StatusCode> back = StatusCodeFromName(StatusCodeName(code));
     ASSERT_TRUE(back.has_value());
     EXPECT_EQ(*back, code);

@@ -1,0 +1,618 @@
+// Crash-recovery differential suite: the PR's acceptance bar. A server
+// killed at ANY request boundary — and a journal truncated at ANY record
+// boundary — must recover (snapshot + journal replay) to a state whose
+// subsequent PeriodReports are bit-identical to an uninterrupted run, for
+// the native "addon" mechanism and the buffered baselines alike, across
+// multiple periods with carried structures. Plus the v2 surface this rides
+// on: v1 clients against a v2 server, snapshot/restore/shutdown ops,
+// server_info, and the oversized-line cap.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/fs.h"
+#include "common/rng.h"
+#include "service/marketplace_server.h"
+#include "service/state_store.h"
+#include "simdb/scenarios.h"
+
+namespace optshare::service {
+namespace {
+
+using protocol::Request;
+using protocol::RequestOp;
+using protocol::Response;
+
+std::vector<simdb::SimUser> Jitter(std::vector<simdb::SimUser> tenants,
+                                   int slots, uint64_t seed) {
+  Rng rng(seed);
+  return simdb::JitterTenants(std::move(tenants), slots, rng);
+}
+
+/// Runs `periods` full periods directly through PricingSession — the
+/// reference every recovered run must match bit for bit.
+std::vector<PeriodReport> DirectReports(
+    const simdb::Catalog& catalog, const ServiceConfig& config,
+    const std::vector<std::vector<simdb::SimUser>>& periods) {
+  std::vector<PeriodReport> reports;
+  std::vector<std::string> built;
+  for (size_t p = 0; p < periods.size(); ++p) {
+    Result<PricingSession> session = PricingSession::Open(
+        &catalog, config, built, static_cast<int>(p) + 1);
+    EXPECT_TRUE(session.ok()) << session.status().ToString();
+    EXPECT_TRUE(session->Submit(periods[p]).ok());
+    for (int slot = 0; slot < config.slots_per_period; ++slot) {
+      EXPECT_TRUE(session->AdvanceSlot().ok());
+    }
+    Result<PeriodReport> report = session->Close();
+    EXPECT_TRUE(report.ok()) << report.status().ToString();
+    built = session->built_structures();
+    reports.push_back(std::move(*report));
+  }
+  return reports;
+}
+
+/// The wire program for the same periods: 4 lines per period
+/// (open/submit/advance/close), catalog spec on the first open.
+std::vector<std::string> RecordRequestLines(
+    const std::string& tenancy, const ServiceConfig& config,
+    int scenario_tenants, int scenario_slots,
+    const std::vector<std::vector<simdb::SimUser>>& periods) {
+  std::vector<std::string> lines;
+  for (size_t p = 0; p < periods.size(); ++p) {
+    Request open;
+    open.op = RequestOp::kOpenPeriod;
+    open.tenancy = tenancy;
+    if (p == 0) {
+      protocol::CatalogSpec catalog;
+      catalog.scenario = "telemetry";
+      catalog.scenario_tenants = scenario_tenants;
+      catalog.scenario_slots = scenario_slots;
+      open.catalog = catalog;
+      open.config = config;
+    }
+    lines.push_back(protocol::ToJson(open).Dump());
+    Request submit;
+    submit.op = RequestOp::kSubmit;
+    submit.tenancy = tenancy;
+    submit.tenants = periods[p];
+    lines.push_back(protocol::ToJson(submit).Dump());
+    Request advance;
+    advance.op = RequestOp::kAdvanceSlot;
+    advance.tenancy = tenancy;
+    advance.slots = config.slots_per_period;
+    lines.push_back(protocol::ToJson(advance).Dump());
+    Request close;
+    close.op = RequestOp::kClosePeriod;
+    close.tenancy = tenancy;
+    lines.push_back(protocol::ToJson(close).Dump());
+  }
+  return lines;
+}
+
+/// Extracts close_period report payloads from response lines (every
+/// response must be ok).
+std::vector<PeriodReport> ReportsFromResponses(
+    const std::vector<std::string>& response_lines) {
+  std::vector<PeriodReport> reports;
+  for (const std::string& line : response_lines) {
+    Result<JsonValue> doc = JsonValue::Parse(line);
+    EXPECT_TRUE(doc.ok()) << line;
+    Result<Response> response = protocol::ResponseFromJson(*doc);
+    EXPECT_TRUE(response.ok()) << line;
+    EXPECT_TRUE(response->ok()) << response->status.ToString();
+    const JsonValue* report = response->payload.Find("report");
+    if (report != nullptr) {
+      Result<PeriodReport> parsed = protocol::PeriodReportFromJson(*report);
+      EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+      reports.push_back(std::move(*parsed));
+    }
+  }
+  return reports;
+}
+
+void ExpectBitIdentical(const std::vector<PeriodReport>& direct,
+                        const std::vector<PeriodReport>& replayed) {
+  ASSERT_EQ(direct.size(), replayed.size());
+  for (size_t p = 0; p < direct.size(); ++p) {
+    // The JSON encoding round-trips doubles exactly, so string equality of
+    // the dumps is bit-for-bit equality of payments, ledger and built set.
+    EXPECT_EQ(protocol::ToJson(direct[p]).Dump(),
+              protocol::ToJson(replayed[p]).Dump())
+        << "period " << p + 1;
+  }
+}
+
+/// Scratch dirs live under the working directory (the build tree when run
+/// via ctest), so the suite never writes outside it.
+std::string TempDir(const std::string& leaf) {
+  return "optshare_recovery_test_scratch/" + leaf;
+}
+
+ServerOptions FileBackedOptions(const std::string& dir, int workers = 2) {
+  auto store = FileStateStore::Open(dir);
+  EXPECT_TRUE(store.ok()) << store.status().ToString();
+  ServerOptions options;
+  options.num_workers = workers;
+  options.store = std::move(*store);
+  return options;
+}
+
+/// The tenancy's observable state, for prefix-consistency comparisons:
+/// the report payload covers periods_run, built set, cumulative ledger,
+/// open-period slot and roster counts.
+std::string ReportDump(MarketplaceServer& server, const std::string& tenancy) {
+  Request report;
+  report.op = RequestOp::kReport;
+  report.tenancy = tenancy;
+  Response response = server.Handle(std::move(report));
+  EXPECT_TRUE(response.ok()) << response.status.ToString();
+  return response.payload.Dump();
+}
+
+// -- The acceptance differential -------------------------------------------
+
+class RecoveryParityTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(RecoveryParityTest, CrashAtEveryRequestBoundaryRecoversBitIdentically) {
+  constexpr int kTenants = 6;
+  constexpr int kSlots = 12;
+  auto scenario = simdb::TelemetryScenario(kTenants, kSlots);
+  ASSERT_TRUE(scenario.ok());
+  ServiceConfig config;
+  config.mechanism = GetParam();
+
+  std::vector<std::vector<simdb::SimUser>> periods;
+  for (int p = 0; p < 3; ++p) {
+    periods.push_back(Jitter(scenario->tenants, kSlots,
+                             7000 + static_cast<uint64_t>(p)));
+  }
+  const std::vector<PeriodReport> direct =
+      DirectReports(scenario->catalog, config, periods);
+  // The program must exercise real carry-over, or the differential is
+  // vacuous.
+  int carried = 0;
+  for (const PeriodReport& report : direct) {
+    for (const StructureOutcome& outcome : report.structures) {
+      carried += outcome.carried_over ? 1 : 0;
+    }
+  }
+  ASSERT_GT(carried, 0) << "no carried structures; workload too small";
+
+  const std::vector<std::string> lines =
+      RecordRequestLines("acme", config, kTenants, kSlots, periods);
+
+  // Kill the server after every prefix of the request stream; the recovered
+  // server must finish the program to the same reports.
+  for (size_t cut = 0; cut <= lines.size(); ++cut) {
+    const std::string dir =
+        TempDir(std::string(GetParam()) + "_cut" + std::to_string(cut));
+    ASSERT_TRUE(fs::RemoveAll(dir).ok());
+    std::vector<std::string> responses;
+    {
+      MarketplaceServer crashed(FileBackedOptions(dir));
+      for (size_t i = 0; i < cut; ++i) {
+        responses.push_back(crashed.HandleLine(lines[i]));
+      }
+      // Destruction drains but does NOT checkpoint: the crash. The open
+      // session, roster and mid-period pricing state all evaporate.
+    }
+    MarketplaceServer recovered(FileBackedOptions(dir));
+    Result<RecoveryStats> stats = recovered.Recover();
+    ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+    for (size_t i = cut; i < lines.size(); ++i) {
+      responses.push_back(recovered.HandleLine(lines[i]));
+    }
+    ExpectBitIdentical(direct, ReportsFromResponses(responses));
+    ASSERT_TRUE(fs::RemoveAll(dir).ok());
+  }
+}
+
+// "addon" exercises the native slot-incremental path; "naive_online" and
+// "regret" the buffered baselines (the acceptance bar's trio).
+INSTANTIATE_TEST_SUITE_P(Mechanisms, RecoveryParityTest,
+                         ::testing::Values("addon", "naive_online", "regret"));
+
+TEST(RecoveryTest, JournalTruncatedAtEveryRecordBoundaryIsPrefixConsistent) {
+  constexpr int kTenants = 6;
+  constexpr int kSlots = 12;
+  auto scenario = simdb::TelemetryScenario(kTenants, kSlots);
+  ASSERT_TRUE(scenario.ok());
+  ServiceConfig config;
+
+  std::vector<std::vector<simdb::SimUser>> periods;
+  for (int p = 0; p < 3; ++p) {
+    periods.push_back(Jitter(scenario->tenants, kSlots,
+                             9100 + static_cast<uint64_t>(p)));
+  }
+  std::vector<std::string> lines =
+      RecordRequestLines("acme", config, kTenants, kSlots, periods);
+  // Stop mid-period 3: drop the final close, so the journal holds the open
+  // period's records (open/submit/advance) past the period-2 checkpoint.
+  lines.pop_back();
+  const size_t checkpointed_lines = 8;  // Two closed periods, 4 lines each.
+
+  const std::string dir = TempDir("truncation_master");
+  ASSERT_TRUE(fs::RemoveAll(dir).ok());
+  {
+    MarketplaceServer server(FileBackedOptions(dir));
+    for (const std::string& line : lines) {
+      (void)server.HandleLine(line);
+    }
+  }
+  // Locate the journal and its record boundaries.
+  const std::string tenancy_dir = dir + "/" + fs::EncodePathComponent("acme");
+  Result<std::string> journal_name = [&]() -> Result<std::string> {
+    Result<std::vector<std::string>> entries = fs::ListDir(tenancy_dir);
+    if (!entries.ok()) return entries.status();
+    for (const std::string& entry : *entries) {
+      if (entry.rfind("journal-", 0) == 0) return entry;
+    }
+    return Status::NotFound("no journal in " + tenancy_dir);
+  }();
+  ASSERT_TRUE(journal_name.ok()) << journal_name.status().ToString();
+  Result<std::string> journal = fs::ReadFile(tenancy_dir + "/" + *journal_name);
+  ASSERT_TRUE(journal.ok());
+  std::vector<size_t> boundaries = {0};
+  for (size_t i = 0; i < journal->size(); ++i) {
+    if ((*journal)[i] == '\n') boundaries.push_back(i + 1);
+  }
+  ASSERT_EQ(boundaries.size(), 4u) << "expected 3 journal records";
+
+  for (size_t r = 0; r < boundaries.size(); ++r) {
+    // A fresh replay of the surviving prefix is the definition of
+    // prefix-consistent: checkpointed lines + r journal records.
+    MarketplaceServer reference(ServerOptions{1});
+    for (size_t i = 0; i < checkpointed_lines + r; ++i) {
+      (void)reference.HandleLine(lines[i]);
+    }
+    const std::string expected = ReportDump(reference, "acme");
+
+    // Copy the crashed data dir and truncate the journal at the boundary.
+    const std::string copy = TempDir("truncation_r" + std::to_string(r));
+    ASSERT_TRUE(fs::RemoveAll(copy).ok());
+    std::filesystem::copy(dir, copy,
+                          std::filesystem::copy_options::recursive);
+    std::filesystem::resize_file(copy + "/" +
+                                     fs::EncodePathComponent("acme") + "/" +
+                                     *journal_name,
+                                 boundaries[r]);
+
+    MarketplaceServer recovered(FileBackedOptions(copy));
+    Result<RecoveryStats> stats = recovered.Recover();
+    ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+    EXPECT_EQ(stats->journal_records_replayed, static_cast<int>(r));
+    EXPECT_EQ(ReportDump(recovered, "acme"), expected) << "r=" << r;
+    ASSERT_TRUE(fs::RemoveAll(copy).ok());
+
+    // Byte-level truncation inside record r+1 must land on the same state:
+    // the torn tail is dropped.
+    if (r + 1 < boundaries.size()) {
+      const std::string torn = TempDir("truncation_torn" + std::to_string(r));
+      ASSERT_TRUE(fs::RemoveAll(torn).ok());
+      std::filesystem::copy(dir, torn,
+                            std::filesystem::copy_options::recursive);
+      std::filesystem::resize_file(torn + "/" +
+                                       fs::EncodePathComponent("acme") + "/" +
+                                       *journal_name,
+                                   boundaries[r] + 3);
+      MarketplaceServer recovered_torn(FileBackedOptions(torn));
+      Result<RecoveryStats> torn_stats = recovered_torn.Recover();
+      ASSERT_TRUE(torn_stats.ok()) << torn_stats.status().ToString();
+      EXPECT_EQ(torn_stats->journal_torn, 1);
+      EXPECT_EQ(ReportDump(recovered_torn, "acme"), expected) << "r=" << r;
+      ASSERT_TRUE(fs::RemoveAll(torn).ok());
+    }
+  }
+  ASSERT_TRUE(fs::RemoveAll(dir).ok());
+}
+
+TEST(RecoveryTest, SharedMemoryStoreRecoversInProcess) {
+  // The recovery machinery is backend-independent: a second server sharing
+  // the first's MemoryStateStore recovers mid-period state without any
+  // filesystem.
+  constexpr int kSlots = 12;
+  auto scenario = simdb::TelemetryScenario(5, kSlots);
+  ASSERT_TRUE(scenario.ok());
+  ServiceConfig config;
+  const std::vector<std::vector<simdb::SimUser>> periods = {
+      Jitter(scenario->tenants, kSlots, 11), Jitter(scenario->tenants, kSlots, 12)};
+  const std::vector<PeriodReport> direct =
+      DirectReports(scenario->catalog, config, periods);
+  const std::vector<std::string> lines =
+      RecordRequestLines("acme", config, 5, kSlots, periods);
+
+  auto shared = std::make_shared<MemoryStateStore>();
+  std::vector<std::string> responses;
+  {
+    ServerOptions options;
+    options.num_workers = 2;
+    options.store = shared;
+    MarketplaceServer first(std::move(options));
+    for (size_t i = 0; i < 6; ++i) {  // Period 1 + open/submit of period 2.
+      responses.push_back(first.HandleLine(lines[i]));
+    }
+  }
+  ServerOptions options;
+  options.num_workers = 2;
+  options.store = shared;
+  MarketplaceServer second(std::move(options));
+  Result<RecoveryStats> stats = second.Recover();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->tenancies_recovered, 1);
+  EXPECT_EQ(stats->snapshots_loaded, 1);
+  EXPECT_EQ(stats->journal_records_replayed, 2);
+  for (size_t i = 6; i < lines.size(); ++i) {
+    responses.push_back(second.HandleLine(lines[i]));
+  }
+  ExpectBitIdentical(direct, ReportsFromResponses(responses));
+}
+
+// -- Graceful shutdown ------------------------------------------------------
+
+TEST(RecoveryTest, ShutdownPersistsTheOpenPeriod) {
+  // The lost-final-period fix: a server shut down mid-period (pipe close)
+  // hands the open period to its successor intact.
+  constexpr int kSlots = 12;
+  auto scenario = simdb::TelemetryScenario(5, kSlots);
+  ASSERT_TRUE(scenario.ok());
+  ServiceConfig config;
+  const std::vector<std::vector<simdb::SimUser>> periods = {
+      Jitter(scenario->tenants, kSlots, 21), Jitter(scenario->tenants, kSlots, 22)};
+  const std::vector<PeriodReport> direct =
+      DirectReports(scenario->catalog, config, periods);
+  const std::vector<std::string> lines =
+      RecordRequestLines("acme", config, 5, kSlots, periods);
+
+  const std::string dir = TempDir("shutdown_open_period");
+  ASSERT_TRUE(fs::RemoveAll(dir).ok());
+  std::vector<std::string> responses;
+  {
+    MarketplaceServer server(FileBackedOptions(dir));
+    for (size_t i = 0; i < 6; ++i) {  // Period 1 + open/submit of period 2.
+      responses.push_back(server.HandleLine(lines[i]));
+    }
+    // The wire shutdown request flags the serve loop...
+    Request shutdown;
+    shutdown.op = RequestOp::kShutdown;
+    Response ack = server.Handle(std::move(shutdown));
+    ASSERT_TRUE(ack.ok()) << ack.status.ToString();
+    EXPECT_TRUE(server.shutdown_requested());
+    // ... which then runs the graceful drain + checkpoint.
+    ASSERT_TRUE(server.Shutdown().ok());
+  }
+  MarketplaceServer successor(FileBackedOptions(dir));
+  Result<RecoveryStats> stats = successor.Recover();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  for (size_t i = 6; i < lines.size(); ++i) {
+    responses.push_back(successor.HandleLine(lines[i]));
+  }
+  ExpectBitIdentical(direct, ReportsFromResponses(responses));
+  ASSERT_TRUE(fs::RemoveAll(dir).ok());
+}
+
+TEST(RecoveryTest, CreateTenancyIsDurable) {
+  // The embedded (programmatic) creation path has no wire record to
+  // replay; its immediate checkpoint carries it across the restart.
+  const std::string dir = TempDir("create_tenancy");
+  ASSERT_TRUE(fs::RemoveAll(dir).ok());
+  auto scenario = simdb::TelemetryScenario(4, 12);
+  ASSERT_TRUE(scenario.ok());
+  {
+    MarketplaceServer server(FileBackedOptions(dir));
+    ASSERT_TRUE(
+        server.CreateTenancy("embedded", scenario->catalog).ok());
+  }
+  MarketplaceServer recovered(FileBackedOptions(dir));
+  Result<RecoveryStats> stats = recovered.Recover();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->tenancies_recovered, 1);
+  EXPECT_EQ(recovered.TenancyNames(),
+            (std::vector<std::string>{"embedded"}));
+  // And it prices: an open_period without a catalog spec works because the
+  // catalog came back from the snapshot.
+  Request open;
+  open.op = RequestOp::kOpenPeriod;
+  open.tenancy = "embedded";
+  EXPECT_TRUE(recovered.Handle(std::move(open)).ok());
+  ASSERT_TRUE(fs::RemoveAll(dir).ok());
+}
+
+// -- v2 surface -------------------------------------------------------------
+
+TEST(RecoveryTest, V1ClientsWorkUnchangedAgainstV2Server) {
+  MarketplaceServer server(ServerOptions{2});
+  // A verbatim v1 exchange: the response must say v:1, not v:2.
+  const std::string response_line = server.HandleLine(
+      "{\"v\":1,\"op\":\"open_period\",\"tenancy\":\"t\",\"catalog\":"
+      "{\"scenario\":\"telemetry\"}}");
+  Result<JsonValue> doc = JsonValue::Parse(response_line);
+  ASSERT_TRUE(doc.ok());
+  ASSERT_NE(doc->Find("v"), nullptr);
+  EXPECT_EQ(doc->Find("v")->AsNumber(), 1.0);
+  Result<Response> parsed = protocol::ResponseFromJson(*doc);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->ok());
+
+  // v2 requests answer v:2.
+  const std::string info_line =
+      server.HandleLine("{\"v\":2,\"op\":\"server_info\"}");
+  doc = JsonValue::Parse(info_line);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->Find("v")->AsNumber(), 2.0);
+
+  // Durability ops are v2-only: a v1 document carrying one is rejected.
+  const std::string rejected =
+      server.HandleLine("{\"v\":1,\"op\":\"shutdown\"}");
+  doc = JsonValue::Parse(rejected);
+  ASSERT_TRUE(doc.ok());
+  parsed = protocol::ResponseFromJson(*doc);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_FALSE(parsed->ok());
+  EXPECT_EQ(parsed->status.code(), StatusCode::kInvalidArgument);
+  EXPECT_FALSE(server.shutdown_requested());
+}
+
+TEST(RecoveryTest, SnapshotOpCheckpointsAtPeriodBoundary) {
+  const std::string dir = TempDir("snapshot_op");
+  ASSERT_TRUE(fs::RemoveAll(dir).ok());
+  MarketplaceServer server(FileBackedOptions(dir));
+  (void)server.HandleLine(
+      "{\"v\":1,\"op\":\"open_period\",\"tenancy\":\"t\",\"catalog\":"
+      "{\"scenario\":\"telemetry\"}}");
+  // Mid-period snapshots are refused: the open period lives in the journal.
+  Result<JsonValue> doc = JsonValue::Parse(
+      server.HandleLine("{\"v\":2,\"op\":\"snapshot\",\"tenancy\":\"t\"}"));
+  ASSERT_TRUE(doc.ok());
+  Result<Response> response = protocol::ResponseFromJson(*doc);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->status.code(), StatusCode::kFailedPrecondition);
+
+  (void)server.HandleLine(
+      "{\"v\":1,\"op\":\"advance_slot\",\"tenancy\":\"t\",\"slots\":12}");
+  (void)server.HandleLine("{\"v\":1,\"op\":\"close_period\",\"tenancy\":\"t\"}");
+  const uint64_t checkpoints_before = server.store().stats().checkpoints;
+  doc = JsonValue::Parse(
+      server.HandleLine("{\"v\":2,\"op\":\"snapshot\",\"tenancy\":\"t\"}"));
+  ASSERT_TRUE(doc.ok());
+  response = protocol::ResponseFromJson(*doc);
+  ASSERT_TRUE(response.ok());
+  ASSERT_TRUE(response->ok()) << response->status.ToString();
+  EXPECT_EQ(response->payload.Find("store")->AsString(), "file");
+  EXPECT_EQ(server.store().stats().checkpoints, checkpoints_before + 1);
+  ASSERT_TRUE(fs::RemoveAll(dir).ok());
+}
+
+TEST(RecoveryTest, RestoreOpLoadsStoreTenanciesIntoALiveServer) {
+  const std::string dir = TempDir("restore_op");
+  ASSERT_TRUE(fs::RemoveAll(dir).ok());
+  {
+    MarketplaceServer writer(FileBackedOptions(dir));
+    (void)writer.HandleLine(
+        "{\"v\":1,\"op\":\"open_period\",\"tenancy\":\"acme\",\"catalog\":"
+        "{\"scenario\":\"telemetry\"}}");
+    (void)writer.HandleLine(
+        "{\"v\":1,\"op\":\"advance_slot\",\"tenancy\":\"acme\","
+        "\"slots\":12}");
+    (void)writer.HandleLine(
+        "{\"v\":1,\"op\":\"close_period\",\"tenancy\":\"acme\"}");
+    ASSERT_TRUE(writer.Shutdown().ok());
+  }
+  // A live server that never ran Recover: the tenancy is invisible...
+  MarketplaceServer server(FileBackedOptions(dir));
+  Result<JsonValue> doc = JsonValue::Parse(
+      server.HandleLine("{\"v\":1,\"op\":\"report\",\"tenancy\":\"acme\"}"));
+  ASSERT_TRUE(doc.ok());
+  Result<Response> response = protocol::ResponseFromJson(*doc);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->status.code(), StatusCode::kNotFound);
+  // ... until the wire restore op loads it.
+  doc = JsonValue::Parse(server.HandleLine("{\"v\":2,\"op\":\"restore\"}"));
+  ASSERT_TRUE(doc.ok());
+  response = protocol::ResponseFromJson(*doc);
+  ASSERT_TRUE(response.ok());
+  ASSERT_TRUE(response->ok()) << response->status.ToString();
+  EXPECT_EQ(response->payload.Find("tenancies_recovered")->AsNumber(), 1.0);
+  doc = JsonValue::Parse(
+      server.HandleLine("{\"v\":1,\"op\":\"report\",\"tenancy\":\"acme\"}"));
+  ASSERT_TRUE(doc.ok());
+  response = protocol::ResponseFromJson(*doc);
+  ASSERT_TRUE(response.ok());
+  ASSERT_TRUE(response->ok());
+  EXPECT_EQ(response->payload.Find("periods_run")->AsNumber(), 1.0);
+  // A second restore skips the now-live tenancy.
+  doc = JsonValue::Parse(server.HandleLine("{\"v\":2,\"op\":\"restore\"}"));
+  ASSERT_TRUE(doc.ok());
+  response = protocol::ResponseFromJson(*doc);
+  ASSERT_TRUE(response.ok() && response->ok());
+  EXPECT_EQ(response->payload.Find("tenancies_recovered")->AsNumber(), 0.0);
+  EXPECT_EQ(response->payload.Find("tenancies_skipped")->AsNumber(), 1.0);
+  ASSERT_TRUE(fs::RemoveAll(dir).ok());
+}
+
+TEST(RecoveryTest, FailedCreatingOpenDoesNotDestroyStoredHistory) {
+  // A server that never ran Recover can receive a creating open_period for
+  // a name whose history sits in the store; if that open fails, the
+  // rollback must undo only the in-memory insertion — never the persisted
+  // snapshot/journal of the previous incarnation.
+  const std::string dir = TempDir("rollback_preserves_history");
+  ASSERT_TRUE(fs::RemoveAll(dir).ok());
+  {
+    MarketplaceServer writer(FileBackedOptions(dir));
+    (void)writer.HandleLine(
+        "{\"v\":1,\"op\":\"open_period\",\"tenancy\":\"acme\",\"catalog\":"
+        "{\"scenario\":\"telemetry\"}}");
+    (void)writer.HandleLine(
+        "{\"v\":1,\"op\":\"advance_slot\",\"tenancy\":\"acme\","
+        "\"slots\":12}");
+    (void)writer.HandleLine(
+        "{\"v\":1,\"op\":\"close_period\",\"tenancy\":\"acme\"}");
+    ASSERT_TRUE(writer.Shutdown().ok());
+  }
+  MarketplaceServer server(FileBackedOptions(dir));  // No Recover.
+  Result<JsonValue> doc = JsonValue::Parse(server.HandleLine(
+      "{\"v\":1,\"op\":\"open_period\",\"tenancy\":\"acme\",\"catalog\":"
+      "{\"scenario\":\"telemetry\"},\"config\":{\"mechanism\":\"nope\"}}"));
+  ASSERT_TRUE(doc.ok());
+  Result<Response> response = protocol::ResponseFromJson(*doc);
+  ASSERT_TRUE(response.ok());
+  ASSERT_FALSE(response->ok()) << "bad mechanism must fail the open";
+
+  Result<RecoveryStats> stats = server.Recover();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->tenancies_recovered, 1);
+  doc = JsonValue::Parse(
+      server.HandleLine("{\"v\":1,\"op\":\"report\",\"tenancy\":\"acme\"}"));
+  ASSERT_TRUE(doc.ok());
+  response = protocol::ResponseFromJson(*doc);
+  ASSERT_TRUE(response.ok());
+  ASSERT_TRUE(response->ok()) << response->status.ToString();
+  EXPECT_EQ(response->payload.Find("periods_run")->AsNumber(), 1.0);
+  ASSERT_TRUE(fs::RemoveAll(dir).ok());
+}
+
+TEST(RecoveryTest, ServerInfoReportsStoreKindAndRecoveryStats) {
+  MarketplaceServer server(ServerOptions{3});
+  Result<JsonValue> doc =
+      JsonValue::Parse(server.HandleLine("{\"v\":2,\"op\":\"server_info\"}"));
+  ASSERT_TRUE(doc.ok());
+  Result<Response> response = protocol::ResponseFromJson(*doc);
+  ASSERT_TRUE(response.ok());
+  ASSERT_TRUE(response->ok());
+  const JsonValue& payload = response->payload;
+  EXPECT_EQ(payload.Find("store")->AsString(), "memory");
+  EXPECT_EQ(payload.Find("workers")->AsNumber(), 3.0);
+  EXPECT_EQ(payload.Find("protocol")->Find("min")->AsNumber(), 1.0);
+  EXPECT_EQ(payload.Find("protocol")->Find("max")->AsNumber(), 2.0);
+  EXPECT_EQ(payload.Find("recoveries_run")->AsNumber(), 0.0);
+  ASSERT_NE(payload.Find("recovery"), nullptr);
+  ASSERT_NE(payload.Find("store_stats"), nullptr);
+}
+
+TEST(RecoveryTest, OversizedRequestLinesAnswerResourceExhausted) {
+  ServerOptions options;
+  options.num_workers = 1;
+  options.max_request_bytes = 128;
+  MarketplaceServer server(std::move(options));
+  std::string huge = "{\"v\":1,\"op\":\"report\",\"tenancy\":\"";
+  huge.append(1024, 'x');
+  huge += "\"}";
+  Result<JsonValue> doc = JsonValue::Parse(server.HandleLine(huge));
+  ASSERT_TRUE(doc.ok());
+  Result<Response> response = protocol::ResponseFromJson(*doc);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->status.code(), StatusCode::kResourceExhausted);
+  // Within the cap, business as usual.
+  doc = JsonValue::Parse(server.HandleLine("{\"v\":2,\"op\":\"server_info\"}"));
+  ASSERT_TRUE(doc.ok());
+  response = protocol::ResponseFromJson(*doc);
+  ASSERT_TRUE(response.ok());
+  EXPECT_TRUE(response->ok());
+}
+
+}  // namespace
+}  // namespace optshare::service

@@ -1,0 +1,292 @@
+// StateStore backend coverage: the append/checkpoint/load contract on both
+// backends, the snapshot schema round-trip, and the FileStateStore's
+// crash-window behavior (epoch-named journals, atomic snapshots, torn
+// tails).
+#include "service/state_store.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include "common/fs.h"
+
+namespace optshare::service {
+namespace {
+
+/// Scratch dirs live under the working directory (the build tree when run
+/// via ctest), so the suite never writes outside it.
+std::string TempDir(const char* test) {
+  return std::string("optshare_store_test_scratch/") + test;
+}
+
+TenancySnapshot SampleSnapshot() {
+  TenancySnapshot snapshot;
+  snapshot.name = "acme prod/eu";
+  simdb::TableDef table;
+  table.name = "telemetry";
+  table.row_count = 123456789;
+  table.columns = {{"device", simdb::ColumnType::kInt64, 1000000},
+                   {"metric", simdb::ColumnType::kString, 64}};
+  snapshot.tables.push_back(table);
+  snapshot.config.slots_per_period = 8;
+  snapshot.config.mechanism = "naive_online";
+  snapshot.built = {"index(telemetry.device)", "replica(telemetry)"};
+  snapshot.periods_run = 3;
+  snapshot.cumulative_balance = 12.340000000000002;  // Full precision.
+  snapshot.cumulative_utility = 987.6543210123456;
+  return snapshot;
+}
+
+TEST(TenancySnapshotSchema, RoundTripsBitIdentically) {
+  const TenancySnapshot snapshot = SampleSnapshot();
+  Result<TenancySnapshot> parsed = TenancySnapshotFromJson(ToJson(snapshot));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->name, snapshot.name);
+  EXPECT_EQ(parsed->built, snapshot.built);
+  EXPECT_EQ(parsed->periods_run, 3);
+  EXPECT_EQ(parsed->cumulative_balance, snapshot.cumulative_balance);
+  EXPECT_EQ(parsed->cumulative_utility, snapshot.cumulative_utility);
+  ASSERT_EQ(parsed->tables.size(), 1u);
+  EXPECT_EQ(parsed->tables[0].row_count, 123456789u);
+  EXPECT_EQ(ToJson(*parsed).Dump(), ToJson(snapshot).Dump());
+}
+
+TEST(TenancySnapshotSchema, RejectsUnknownFields) {
+  JsonValue doc = ToJson(SampleSnapshot());
+  doc.Set("surprise", JsonValue::Number(1));
+  EXPECT_FALSE(TenancySnapshotFromJson(doc).ok());
+}
+
+/// The backend-independent contract, run against both stores.
+class StateStoreContractTest
+    : public ::testing::TestWithParam<const char*> {
+ protected:
+  void SetUp() override {
+    dir_ = TempDir(::testing::UnitTest::GetInstance()
+                       ->current_test_info()
+                       ->name());
+    ASSERT_TRUE(fs::RemoveAll(dir_).ok());
+    if (std::string(GetParam()) == "file") {
+      auto opened = FileStateStore::Open(dir_);
+      ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+      store_ = std::move(*opened);
+    } else {
+      store_ = std::make_unique<MemoryStateStore>();
+    }
+  }
+  void TearDown() override {
+    store_.reset();
+    ASSERT_TRUE(fs::RemoveAll(dir_).ok());
+  }
+
+  /// Reopens the store the way a restarted process would (file backend);
+  /// the memory backend persists nothing across instances, so the same
+  /// instance is returned.
+  StateStore* Reopened() {
+    if (std::string(GetParam()) == "file") {
+      auto opened = FileStateStore::Open(dir_);
+      EXPECT_TRUE(opened.ok());
+      reopened_ = std::move(*opened);
+      return reopened_.get();
+    }
+    return store_.get();
+  }
+
+  std::string dir_;
+  std::unique_ptr<StateStore> store_;
+  std::unique_ptr<StateStore> reopened_;
+};
+
+TEST_P(StateStoreContractTest, AppendLoadRoundTrip) {
+  ASSERT_TRUE(store_->Append("acme", "{\"r\":1}").ok());
+  ASSERT_TRUE(store_->Append("acme", "{\"r\":2}").ok());
+  ASSERT_TRUE(store_->Append("zeta corp", "{\"r\":3}").ok());
+
+  Result<std::vector<PersistedTenancy>> loaded = Reopened()->Load();
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->size(), 2u);
+  EXPECT_EQ((*loaded)[0].name, "acme");
+  EXPECT_FALSE((*loaded)[0].snapshot.has_value());
+  EXPECT_EQ((*loaded)[0].journal,
+            (std::vector<std::string>{"{\"r\":1}", "{\"r\":2}"}));
+  EXPECT_EQ((*loaded)[1].name, "zeta corp");
+  EXPECT_EQ((*loaded)[1].journal, (std::vector<std::string>{"{\"r\":3}"}));
+}
+
+TEST_P(StateStoreContractTest, CheckpointTruncatesJournal) {
+  ASSERT_TRUE(store_->Append("acme", "{\"r\":1}").ok());
+  ASSERT_TRUE(store_->Checkpoint("acme", ToJson(SampleSnapshot())).ok());
+  ASSERT_TRUE(store_->Append("acme", "{\"r\":2}").ok());
+
+  Result<std::vector<PersistedTenancy>> loaded = Reopened()->Load();
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->size(), 1u);
+  ASSERT_TRUE((*loaded)[0].snapshot.has_value());
+  EXPECT_EQ((*loaded)[0].snapshot->Dump(), ToJson(SampleSnapshot()).Dump());
+  // Only the post-checkpoint record survives.
+  EXPECT_EQ((*loaded)[0].journal, (std::vector<std::string>{"{\"r\":2}"}));
+
+  const StateStoreStats stats = store_->stats();
+  EXPECT_EQ(stats.appends, 2u);
+  EXPECT_EQ(stats.checkpoints, 1u);
+}
+
+TEST_P(StateStoreContractTest, RemoveErasesEverything) {
+  ASSERT_TRUE(store_->Append("acme", "{\"r\":1}").ok());
+  ASSERT_TRUE(store_->Checkpoint("acme", ToJson(SampleSnapshot())).ok());
+  ASSERT_TRUE(store_->Remove("acme").ok());
+  ASSERT_TRUE(store_->Remove("never-existed").ok());
+
+  Result<std::vector<PersistedTenancy>> loaded = Reopened()->Load();
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded->empty());
+  // The store keeps working after a removal.
+  ASSERT_TRUE(store_->Append("acme", "{\"r\":9}").ok());
+  loaded = Reopened()->Load();
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->size(), 1u);
+  EXPECT_EQ((*loaded)[0].journal, (std::vector<std::string>{"{\"r\":9}"}));
+}
+
+TEST_P(StateStoreContractTest, SyncSucceeds) {
+  ASSERT_TRUE(store_->Append("acme", "{\"r\":1}").ok());
+  EXPECT_TRUE(store_->Sync("acme").ok());
+  EXPECT_EQ(store_->stats().syncs, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, StateStoreContractTest,
+                         ::testing::Values("memory", "file"));
+
+// -- File-backend specifics -------------------------------------------------
+
+class FileStateStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = TempDir(::testing::UnitTest::GetInstance()
+                       ->current_test_info()
+                       ->name());
+    ASSERT_TRUE(fs::RemoveAll(dir_).ok());
+  }
+  void TearDown() override { ASSERT_TRUE(fs::RemoveAll(dir_).ok()); }
+
+  std::string dir_;
+};
+
+TEST_F(FileStateStoreTest, TenancyNamesBecomeEncodedDirectories) {
+  auto store = FileStateStore::Open(dir_);
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->Append("acme prod/eu", "{\"r\":1}").ok());
+  Result<std::vector<std::string>> entries = fs::ListDir(dir_);
+  ASSERT_TRUE(entries.ok());
+  ASSERT_EQ(entries->size(), 1u);
+  EXPECT_EQ((*entries)[0], fs::EncodePathComponent("acme prod/eu"));
+  // The decoded name comes back on load.
+  Result<std::vector<PersistedTenancy>> loaded = (*store)->Load();
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->size(), 1u);
+  EXPECT_EQ((*loaded)[0].name, "acme prod/eu");
+}
+
+TEST_F(FileStateStoreTest, TornTailIsDroppedAndReported) {
+  auto store = FileStateStore::Open(dir_);
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->Append("acme", "{\"r\":1}").ok());
+  store->reset();
+
+  // Simulate a crash mid-append: a record with no trailing newline.
+  const std::string journal =
+      dir_ + "/" + fs::EncodePathComponent("acme") + "/journal-0.jsonl";
+  {
+    std::ofstream out(journal, std::ios::app | std::ios::binary);
+    out << "{\"r\":2";  // Torn.
+  }
+  auto reopened = FileStateStore::Open(dir_);
+  ASSERT_TRUE(reopened.ok());
+  Result<std::vector<PersistedTenancy>> loaded = (*reopened)->Load();
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->size(), 1u);
+  EXPECT_EQ((*loaded)[0].journal, (std::vector<std::string>{"{\"r\":1}"}));
+  EXPECT_TRUE((*loaded)[0].torn_tail);
+}
+
+TEST_F(FileStateStoreTest, AppendAfterTornTailDoesNotMergeRecords) {
+  // A torn tail must be repaired before the first post-restart append:
+  // O_APPEND after the partial bytes would glue them onto the next record,
+  // and the NEXT recovery would then drop that acknowledged record (and
+  // everything after it) as unparseable.
+  auto store = FileStateStore::Open(dir_);
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->Append("acme", "{\"r\":1}").ok());
+  store->reset();
+  const std::string journal =
+      dir_ + "/" + fs::EncodePathComponent("acme") + "/journal-0.jsonl";
+  {
+    std::ofstream out(journal, std::ios::app | std::ios::binary);
+    out << "{\"r\":2";  // Torn.
+  }
+  auto reopened = FileStateStore::Open(dir_);
+  ASSERT_TRUE(reopened.ok());
+  ASSERT_TRUE((*reopened)->Append("acme", "{\"r\":3}").ok());
+  Result<std::vector<PersistedTenancy>> loaded = (*reopened)->Load();
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->size(), 1u);
+  EXPECT_EQ((*loaded)[0].journal,
+            (std::vector<std::string>{"{\"r\":1}", "{\"r\":3}"}));
+  EXPECT_FALSE((*loaded)[0].torn_tail);
+}
+
+TEST_F(FileStateStoreTest, StaleEpochJournalIsIgnoredAfterCheckpoint) {
+  // Simulate the crash window between "new snapshot published" and "old
+  // journal deleted": both files exist, and only the snapshot-named epoch
+  // may be read, or the checkpointed period would be double-applied.
+  auto store = FileStateStore::Open(dir_);
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->Append("acme", "{\"r\":1}").ok());
+  ASSERT_TRUE((*store)->Checkpoint("acme", ToJson(SampleSnapshot())).ok());
+  store->reset();
+
+  const std::string tenancy_dir = dir_ + "/" + fs::EncodePathComponent("acme");
+  {
+    // Resurrect a stale epoch-0 journal, as if the delete never happened.
+    std::ofstream out(tenancy_dir + "/journal-0.jsonl", std::ios::binary);
+    out << "{\"r\":1}\n";
+  }
+  auto reopened = FileStateStore::Open(dir_);
+  ASSERT_TRUE(reopened.ok());
+  Result<std::vector<PersistedTenancy>> loaded = (*reopened)->Load();
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->size(), 1u);
+  ASSERT_TRUE((*loaded)[0].snapshot.has_value());
+  EXPECT_TRUE((*loaded)[0].journal.empty())
+      << "stale epoch journal was read back";
+
+  // Appends after the reopen land in the snapshot's epoch (journal-1), not
+  // the stale file.
+  ASSERT_TRUE((*reopened)->Append("acme", "{\"r\":2}").ok());
+  Result<std::string> epoch1 =
+      fs::ReadFile(tenancy_dir + "/journal-1.jsonl");
+  ASSERT_TRUE(epoch1.ok());
+  EXPECT_EQ(*epoch1, "{\"r\":2}\n");
+}
+
+TEST_F(FileStateStoreTest, SnapshotReplacementIsAtomic) {
+  auto store = FileStateStore::Open(dir_);
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->Checkpoint("acme", ToJson(SampleSnapshot())).ok());
+  TenancySnapshot second = SampleSnapshot();
+  second.periods_run = 4;
+  ASSERT_TRUE((*store)->Checkpoint("acme", ToJson(second)).ok());
+  const std::string tenancy_dir = dir_ + "/" + fs::EncodePathComponent("acme");
+  EXPECT_FALSE(fs::PathExists(tenancy_dir + "/snapshot.json.tmp"));
+
+  Result<std::vector<PersistedTenancy>> loaded = (*store)->Load();
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->size(), 1u);
+  EXPECT_EQ((*loaded)[0].snapshot->Dump(), ToJson(second).Dump());
+}
+
+}  // namespace
+}  // namespace optshare::service

@@ -5,7 +5,9 @@
 //   optshare_cli validate <file>          # parse + validate a game file
 //   optshare_cli run <file> [--mechanism NAME] [--json]
 //   optshare_cli replay <file> [--mechanism NAME] [--json]
-//   optshare_cli serve [--workers N]      # wire-protocol request loop
+//   optshare_cli serve [--workers N] [--data-dir DIR]
+//                                         # wire-protocol request loop
+//   optshare_cli recover <data-dir>       # replay a data dir, print state
 //   optshare_cli mechanisms               # list registered mechanisms
 //   optshare_cli help [subcommand]        # detailed per-subcommand usage
 //
@@ -21,7 +23,9 @@
 // ("addoff"/"shapley", "addon", "substoff", "subston") plus the baselines
 // ("naive", "naive_online", "vcg", "regret"). The default is the paper's
 // mechanism for the game's type.
+#include <cerrno>
 #include <condition_variable>
+#include <cstdlib>
 #include <deque>
 #include <fstream>
 #include <future>
@@ -81,16 +85,24 @@ constexpr SubcommandHelp kSubcommands[] = {
      "  optshare_cli sample event_log > log.json\n"
      "  optshare_cli replay log.json                   # paper mechanism\n"
      "  optshare_cli replay log.json --mechanism naive_online --json\n"},
-    {"serve", "optshare_cli serve [--workers N]",
+    {"serve",
+     "optshare_cli serve [--workers N] [--data-dir DIR] "
+     "[--max-request-bytes B]",
      "Reads newline-delimited marketplace protocol requests (one JSON\n"
-     "document per line, schema version 1; see service/protocol.h) from\n"
-     "stdin and writes one response line per request, in request order.\n"
-     "Requests for one tenancy execute in order; distinct tenancies price\n"
-     "concurrently on N workers (default 4).\n"
+     "document per line, schema versions 1 and 2; see service/protocol.h)\n"
+     "from stdin and writes one response line per request, in request\n"
+     "order. Requests for one tenancy execute in order; distinct tenancies\n"
+     "price concurrently on N workers (default 4).\n"
+     "--data-dir makes tenancy state durable: requests are journaled,\n"
+     "close_period checkpoints, and startup recovers whatever the\n"
+     "directory holds. EOF or a v2 shutdown request drains in-flight work\n"
+     "and checkpoints every tenancy before exit. Request lines longer\n"
+     "than B bytes (default 1 MiB, 0 = unlimited) answer a typed\n"
+     "ResourceExhausted error instead of being buffered.\n"
      "ops: open_period submit depart advance_slot close_period report\n"
-     "     list_mechanisms\n"
+     "     list_mechanisms snapshot restore shutdown server_info\n"
      "example session:\n"
-     "  $ optshare_cli serve\n"
+     "  $ optshare_cli serve --data-dir /var/lib/optshare\n"
      "  {\"v\":1,\"op\":\"open_period\",\"tenancy\":\"acme\",\"catalog\":"
      "{\"scenario\":\"telemetry\"}}\n"
      "  {\"ok\":true,\"result\":{\"carried_structures\":[],\"mechanism\":"
@@ -100,7 +112,16 @@ constexpr SubcommandHelp kSubcommands[] = {
      "  {\"ok\":true,\"result\":{\"slot\":12,\"slots_advanced\":12},"
      "\"v\":1}\n"
      "  {\"v\":1,\"op\":\"close_period\",\"tenancy\":\"acme\"}\n"
-     "  {\"ok\":true,\"result\":{\"report\":{...}},\"v\":1}\n"},
+     "  {\"ok\":true,\"result\":{\"report\":{...}},\"v\":1}\n"
+     "  {\"v\":2,\"op\":\"shutdown\"}\n"
+     "  {\"ok\":true,\"result\":{\"draining\":true},\"v\":2}\n"},
+    {"recover", "optshare_cli recover <data-dir> [--json]",
+     "Rebuilds every tenancy persisted under a serve --data-dir (latest\n"
+     "snapshot + journal replay through the regular dispatch path) and\n"
+     "prints the recovery stats plus each tenancy's report — without\n"
+     "serving. Use it to inspect what a crashed server would recover to.\n"
+     "example:\n"
+     "  optshare_cli recover /var/lib/optshare --json\n"},
     {"mechanisms", "optshare_cli mechanisms",
      "Lists every mechanism registered with the MechanismRegistry, one\n"
      "name per line (paper mechanisms and baselines).\n"},
@@ -133,24 +154,84 @@ int Help(int argc, char** argv) {
   return Fail("unknown subcommand \"" + name + "\"; run `optshare_cli help`");
 }
 
+/// Bounded line reader: like getline, but a line longer than `cap` bytes
+/// is discarded (rest of the line skipped) instead of buffered, so a
+/// hostile or broken client cannot balloon the server's memory. cap 0 =
+/// unlimited.
+enum class LineRead { kOk, kEof, kTooLong };
+
+LineRead ReadBoundedLine(std::istream& in, std::string* line, size_t cap) {
+  line->clear();
+  std::streambuf* buf = in.rdbuf();
+  for (;;) {
+    const int c = buf->sbumpc();
+    if (c == std::char_traits<char>::eof()) {
+      return line->empty() ? LineRead::kEof : LineRead::kOk;
+    }
+    if (c == '\n') return LineRead::kOk;
+    if (cap > 0 && line->size() >= cap) {
+      for (int d = buf->sbumpc(); d != std::char_traits<char>::eof();
+           d = buf->sbumpc()) {
+        if (d == '\n') break;
+      }
+      return LineRead::kTooLong;
+    }
+    line->push_back(static_cast<char>(c));
+  }
+}
+
 /// The wire loop: one request line in, one response line out, in request
 /// order. Requests dispatch asynchronously so distinct tenancies price
 /// concurrently; a dedicated writer thread flushes each response the
 /// moment it completes (never waiting for the next stdin line), so an
 /// interactive client that awaits its response before sending the next
-/// request is never deadlocked against a blocked getline.
+/// request is never deadlocked against a blocked getline. With
+/// --data-dir, state is journaled/checkpointed as it changes, startup
+/// recovers the directory, and EOF or a shutdown request checkpoints
+/// every tenancy before exit (no lost final period on pipe close).
 int Serve(int argc, char** argv) {
   int workers = 4;
+  std::string data_dir;
+  size_t max_request_bytes = service::protocol::kDefaultMaxRequestBytes;
   for (int a = 2; a < argc; ++a) {
     const std::string arg = argv[a];
     if (arg == "--workers" && a + 1 < argc) {
       workers = std::atoi(argv[++a]);
       if (workers < 1) return Fail("--workers must be >= 1");
+    } else if (arg == "--data-dir" && a + 1 < argc) {
+      data_dir = argv[++a];
+    } else if (arg == "--max-request-bytes" && a + 1 < argc) {
+      // A silently-misparsed cap either disables the protection (garbage
+      // -> 0) or rejects everything ("2M" -> 2); insist on a clean number.
+      const char* text = argv[++a];
+      char* end = nullptr;
+      errno = 0;
+      const long long parsed = std::strtoll(text, &end, 10);
+      if (end == text || *end != '\0' || errno == ERANGE || parsed < 0) {
+        return Fail("--max-request-bytes must be a non-negative byte count");
+      }
+      max_request_bytes = static_cast<size_t>(parsed);
     } else {
       return Usage();
     }
   }
-  service::MarketplaceServer server(service::ServerOptions{workers});
+  service::ServerOptions options;
+  options.num_workers = workers;
+  options.max_request_bytes = max_request_bytes;
+  if (!data_dir.empty()) {
+    auto store = service::FileStateStore::Open(data_dir);
+    if (!store.ok()) return Fail(store.status().ToString());
+    options.store = std::move(*store);
+  }
+  service::MarketplaceServer server(std::move(options));
+  if (!data_dir.empty()) {
+    Result<service::RecoveryStats> recovered = server.Recover();
+    if (!recovered.ok()) return Fail(recovered.status().ToString());
+    std::cerr << "recovered " << recovered->tenancies_recovered
+              << " tenancies (" << recovered->snapshots_loaded
+              << " snapshots, " << recovered->journal_records_replayed
+              << " journal records) from " << data_dir << "\n";
+  }
 
   std::mutex mu;
   std::condition_variable cv;
@@ -183,21 +264,47 @@ int Serve(int argc, char** argv) {
     cv.notify_all();
   };
 
+  // Answers in-order even for requests that never executed (parse errors,
+  // oversized lines): an already-resolved future slots into the queue.
+  const auto enqueue_error = [&](Status status) {
+    std::promise<service::protocol::Response> failed;
+    service::protocol::Response error =
+        service::protocol::ErrorResponse("", std::move(status));
+    // The client's version is unknowable here; speak the oldest one.
+    error.version = service::protocol::kMinProtocolVersion;
+    failed.set_value(std::move(error));
+    enqueue(failed.get_future());
+  };
+
   std::string line;
-  while (std::getline(std::cin, line)) {
+  bool reading = true;
+  while (reading) {
+    switch (ReadBoundedLine(std::cin, &line, max_request_bytes)) {
+      case LineRead::kEof:
+        reading = false;
+        continue;
+      case LineRead::kTooLong:
+        enqueue_error(Status::ResourceExhausted(
+            "request line exceeds the " +
+            std::to_string(max_request_bytes) +
+            "-byte cap (--max-request-bytes)"));
+        continue;
+      case LineRead::kOk:
+        break;
+    }
     if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
     Result<service::protocol::Request> request =
         service::protocol::ParseRequestLine(line);
     if (!request.ok()) {
-      // Parse errors answer in-order too: an already-resolved future slots
-      // into the same response queue.
-      std::promise<service::protocol::Response> failed;
-      failed.set_value(
-          service::protocol::ErrorResponse("", request.status()));
-      enqueue(failed.get_future());
+      enqueue_error(request.status());
       continue;
     }
+    const bool is_shutdown =
+        request->op == service::protocol::RequestOp::kShutdown;
     enqueue(server.Dispatch(std::move(*request)));
+    // A shutdown request ends the read loop once acknowledged; whatever
+    // stdin still holds is intentionally unread.
+    if (is_shutdown) reading = false;
   }
   {
     std::lock_guard<std::mutex> lock(mu);
@@ -205,6 +312,70 @@ int Serve(int argc, char** argv) {
   }
   cv.notify_all();
   writer.join();
+  // Graceful exit: drain the pool and checkpoint every tenancy, so the
+  // final (possibly still-open) period survives the pipe closing.
+  Status shutdown = server.Shutdown();
+  if (!shutdown.ok()) {
+    std::cerr << "warning: shutdown left state unpersisted: "
+              << shutdown.ToString() << "\n";
+  }
+  return 0;
+}
+
+/// Rebuilds the state a crashed `serve --data-dir` session would recover
+/// to, and prints it.
+int Recover(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  const std::string data_dir = argv[2];
+  bool json = false;
+  for (int a = 3; a < argc; ++a) {
+    if (std::string(argv[a]) == "--json") {
+      json = true;
+    } else {
+      return Usage();
+    }
+  }
+  auto store = service::FileStateStore::Open(data_dir);
+  if (!store.ok()) return Fail(store.status().ToString());
+  service::ServerOptions options;
+  options.num_workers = 1;
+  options.store = std::move(*store);
+  service::MarketplaceServer server(std::move(options));
+  Result<service::RecoveryStats> stats = server.Recover();
+  if (!stats.ok()) return Fail(stats.status().ToString());
+
+  JsonValue doc = JsonValue::MakeObject();
+  // The same encoding the wire restore/server_info ops serve.
+  doc.Set("recovery", service::ToJson(*stats));
+  JsonValue tenancies = JsonValue::MakeObject();
+  for (const std::string& name : server.TenancyNames()) {
+    service::protocol::Request report;
+    report.op = service::protocol::RequestOp::kReport;
+    report.tenancy = name;
+    service::protocol::Response response = server.Handle(std::move(report));
+    if (!response.ok()) return Fail(response.status.ToString());
+    tenancies.Set(name, std::move(response.payload));
+  }
+  doc.Set("tenancies", std::move(tenancies));
+  if (json) {
+    std::cout << doc.Dump(2) << "\n";
+  } else {
+    std::cout << "recovered " << stats->tenancies_recovered
+              << " tenancies from " << data_dir << " ("
+              << stats->snapshots_loaded << " snapshots, "
+              << stats->journal_records_replayed << " journal records, "
+              << stats->journal_torn << " torn tails)\n";
+    for (const auto& [name, payload] : doc.Find("tenancies")->AsObject()) {
+      std::cout << "tenancy " << name << ": periods_run "
+                << payload.Find("periods_run")->AsNumber()
+                << ", period_open "
+                << (payload.Find("period_open")->AsBool() ? "yes" : "no")
+                << ", built " << payload.Find("built_structures")->AsArray().size()
+                << ", cumulative_balance "
+                << FormatDollars(payload.Find("cumulative_balance")->AsNumber())
+                << "\n";
+    }
+  }
   return 0;
 }
 
@@ -420,6 +591,9 @@ int Main(int argc, char** argv) {
   }
   if (argc >= 2 && std::string(argv[1]) == "help") return Help(argc, argv);
   if (argc >= 2 && std::string(argv[1]) == "serve") return Serve(argc, argv);
+  if (argc >= 2 && std::string(argv[1]) == "recover") {
+    return Recover(argc, argv);
+  }
   if (argc < 3) return Usage();
   const std::string command = argv[1];
 
