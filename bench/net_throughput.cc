@@ -1,0 +1,230 @@
+// TCP transport throughput harness: drives the marketplace's network front
+// end (service/net_server.h) with concurrent NetClient connections — each
+// client running full billing periods for its own tenancy over localhost
+// TCP — and measures aggregate request throughput as the client count
+// sweeps 1 -> 16 for each worker count. Emits BENCH_net.json.
+//
+//   net_throughput [--quick] [--out PATH] [--periods P] [--tenants N]
+//
+// Every request is a blocking round trip (send line, await response line),
+// so a single client measures the serial latency floor while the 8- and
+// 16-client points show how far the poll loop + sharded worker pool scale
+// on the hardware (the acceptance bar: >= 2x aggregate req/s from 1 -> 8
+// connections on a multi-core runner; speedups flatten at the core count,
+// which is why hardware_threads is recorded).
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/json.h"
+#include "common/rng.h"
+#include "service/marketplace_server.h"
+#include "service/net_client.h"
+#include "service/net_server.h"
+#include "simdb/scenarios.h"
+
+namespace optshare {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using service::MarketplaceServer;
+using service::NetClient;
+using service::NetServer;
+using service::NetServerOptions;
+using service::ServerOptions;
+using service::protocol::Request;
+using service::protocol::RequestOp;
+
+struct RunConfig {
+  int periods = 2;
+  // Enough tenants that one period's advisor + slot pricing (~ms) dwarfs
+  // the round-trip overhead (~tens of µs on loopback); the scaling signal
+  // is about concurrent pricing, not syscalls.
+  int tenants = 600;
+  int slots = 12;
+};
+
+struct SweepPoint {
+  int workers = 0;
+  int clients = 0;
+  double ms_total = 0.0;
+  long long requests = 0;
+};
+
+/// One client's whole program: `periods` full billing periods for its own
+/// tenancy, one blocking round trip per request.
+long long RunClient(const std::string& host, uint16_t port,
+                    const std::string& tenancy,
+                    const simdb::Scenario& scenario,
+                    const RunConfig& config, uint64_t seed) {
+  Result<NetClient> client = NetClient::Connect(host, port);
+  if (!client.ok()) {
+    std::cerr << "connect failed: " << client.status().ToString() << "\n";
+    std::exit(1);
+  }
+  Rng rng(seed);
+  const std::vector<simdb::SimUser> tenants =
+      simdb::JitterTenants(scenario.tenants, config.slots, rng, 0.5, 2.0);
+  long long requests = 0;
+  const auto call = [&](Request request) {
+    auto response = client->Call(request);
+    if (!response.ok() || !response->ok()) {
+      std::cerr << "request failed: "
+                << (response.ok() ? response->status.ToString()
+                                  : response.status().ToString())
+                << "\n";
+      std::exit(1);
+    }
+    ++requests;
+  };
+  for (int p = 0; p < config.periods; ++p) {
+    Request open;
+    open.op = RequestOp::kOpenPeriod;
+    open.tenancy = tenancy;
+    if (p == 0) {
+      service::protocol::CatalogSpec catalog;
+      catalog.scenario = "telemetry";
+      catalog.scenario_tenants = config.tenants;
+      catalog.scenario_slots = config.slots;
+      open.catalog = catalog;
+      service::ServiceConfig service_config;
+      service_config.slots_per_period = config.slots;
+      open.config = service_config;
+    }
+    call(std::move(open));
+    Request submit;
+    submit.op = RequestOp::kSubmit;
+    submit.tenancy = tenancy;
+    submit.tenants = tenants;
+    call(std::move(submit));
+    for (int s = 0; s < config.slots; ++s) {
+      Request advance;
+      advance.op = RequestOp::kAdvanceSlot;
+      advance.tenancy = tenancy;
+      call(std::move(advance));
+    }
+    Request close;
+    close.op = RequestOp::kClosePeriod;
+    close.tenancy = tenancy;
+    call(std::move(close));
+  }
+  return requests;
+}
+
+SweepPoint RunSweepPoint(const RunConfig& config, int workers, int clients) {
+  auto scenario = simdb::TelemetryScenario(config.tenants, config.slots);
+  if (!scenario.ok()) {
+    std::cerr << "scenario failed: " << scenario.status().ToString() << "\n";
+    std::exit(1);
+  }
+  ServerOptions options;
+  options.num_workers = workers;
+  MarketplaceServer server(options);
+  NetServer net(&server, NetServerOptions{});
+  Status started = net.Start();
+  if (!started.ok()) {
+    std::cerr << "listen failed: " << started.ToString() << "\n";
+    std::exit(1);
+  }
+
+  SweepPoint point;
+  point.workers = workers;
+  point.clients = clients;
+  std::vector<long long> counts(static_cast<size_t>(clients), 0);
+  std::vector<std::thread> threads;
+  const auto start = Clock::now();
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      counts[static_cast<size_t>(c)] = RunClient(
+          "127.0.0.1", net.port(), "tenancy-" + std::to_string(c),
+          *scenario, config, 4000 + static_cast<uint64_t>(c));
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  point.ms_total =
+      std::chrono::duration<double, std::milli>(Clock::now() - start)
+          .count();
+  for (long long count : counts) point.requests += count;
+  net.Stop();
+  return point;
+}
+
+}  // namespace
+}  // namespace optshare
+
+int main(int argc, char** argv) {
+  using namespace optshare;
+
+  RunConfig config;
+  std::string out_path = "BENCH_net.json";
+  for (int a = 1; a < argc; ++a) {
+    const std::string arg = argv[a];
+    if (arg == "--quick") {
+      config.periods = 1;
+      config.tenants = 150;
+    } else if (arg == "--out" && a + 1 < argc) {
+      out_path = argv[++a];
+    } else if (arg == "--periods" && a + 1 < argc) {
+      config.periods = std::stoi(argv[++a]);
+    } else if (arg == "--tenants" && a + 1 < argc) {
+      config.tenants = std::stoi(argv[++a]);
+    } else {
+      std::cerr << "usage: net_throughput [--quick] [--out PATH] "
+                   "[--periods P] [--tenants N]\n";
+      return 2;
+    }
+  }
+
+  // Warm-up pays the one-time costs (allocator, cold advisor paths) that
+  // would otherwise bill to the first sweep point.
+  {
+    RunConfig warmup = config;
+    warmup.periods = 1;
+    (void)RunSweepPoint(warmup, 1, 1);
+  }
+
+  JsonValue sweep = JsonValue::MakeArray();
+  for (int workers : {1, 8}) {
+    double baseline_rps = 0.0;
+    for (int clients : {1, 2, 4, 8, 16}) {
+      const SweepPoint point = RunSweepPoint(config, workers, clients);
+      const double seconds = point.ms_total / 1000.0;
+      const double rps =
+          seconds > 0.0 ? static_cast<double>(point.requests) / seconds : 0.0;
+      if (clients == 1) baseline_rps = rps;
+      JsonValue entry = JsonValue::MakeObject();
+      entry.Set("workers", JsonValue::Number(point.workers));
+      entry.Set("clients", JsonValue::Number(point.clients));
+      entry.Set("ms_total", JsonValue::Number(point.ms_total));
+      entry.Set("requests",
+                JsonValue::Number(static_cast<double>(point.requests)));
+      entry.Set("requests_per_sec", JsonValue::Number(rps));
+      entry.Set("speedup_vs_1_client",
+                JsonValue::Number(baseline_rps > 0.0 ? rps / baseline_rps
+                                                     : 0.0));
+      sweep.Append(std::move(entry));
+      std::cout << "workers " << point.workers << ", clients "
+                << point.clients << ": " << point.ms_total << " ms, " << rps
+                << " req/s\n";
+    }
+  }
+
+  JsonValue doc = JsonValue::MakeObject();
+  doc.Set("benchmark", JsonValue::Str("net_throughput"));
+  doc.Set("transport", JsonValue::Str("tcp-localhost"));
+  doc.Set("periods_per_client", JsonValue::Number(config.periods));
+  doc.Set("tenants_per_tenancy", JsonValue::Number(config.tenants));
+  doc.Set("slots_per_period", JsonValue::Number(config.slots));
+  doc.Set("mechanism", JsonValue::Str("addon"));
+  doc.Set("hardware_threads",
+          JsonValue::Number(std::thread::hardware_concurrency()));
+  doc.Set("sweep", std::move(sweep));
+
+  std::ofstream out(out_path);
+  out << doc.Dump(2) << "\n";
+  std::cout << "wrote " << out_path << "\n";
+  return 0;
+}

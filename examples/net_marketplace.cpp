@@ -1,0 +1,127 @@
+// The marketplace over TCP, end to end in one process: a MarketplaceServer
+// wrapped by the NetServer event loop on an ephemeral loopback port, and a
+// handful of NetClient threads each pricing their own tenancy through full
+// billing periods — the same wire bytes `optshare_cli serve --listen` and
+// `optshare_cli connect` exchange across machines.
+//
+// Build: cmake --build build --target example_net_marketplace
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "service/marketplace_server.h"
+#include "service/net_client.h"
+#include "service/net_server.h"
+#include "simdb/scenarios.h"
+
+using namespace optshare;
+using service::MarketplaceServer;
+using service::NetClient;
+using service::NetServer;
+using service::protocol::Request;
+using service::protocol::RequestOp;
+using service::protocol::Response;
+
+int main() {
+  constexpr int kClients = 6;
+  constexpr int kSlots = 12;
+  constexpr int kPeriods = 2;
+
+  auto scenario = simdb::TelemetryScenario(/*num_tenants=*/40, kSlots);
+  if (!scenario.ok()) {
+    std::cerr << scenario.status().ToString() << "\n";
+    return 1;
+  }
+
+  service::ServerOptions options;
+  options.num_workers = 4;
+  MarketplaceServer server(options);
+  NetServer net(&server, {});
+  if (Status started = net.Start(); !started.ok()) {
+    std::cerr << started.ToString() << "\n";
+    return 1;
+  }
+  std::cout << "marketplace listening on 127.0.0.1:" << net.port() << "\n";
+
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      Result<NetClient> client = NetClient::Connect("127.0.0.1", net.port());
+      if (!client.ok()) {
+        std::cerr << client.status().ToString() << "\n";
+        return;
+      }
+      const std::string tenancy = "tenant-" + std::to_string(c);
+      Rng rng(static_cast<uint64_t>(100 + c));
+      const std::vector<simdb::SimUser> tenants =
+          simdb::JitterTenants(scenario->tenants, kSlots, rng);
+      for (int p = 0; p < kPeriods; ++p) {
+        Request open;
+        open.op = RequestOp::kOpenPeriod;
+        open.tenancy = tenancy;
+        if (p == 0) {
+          service::protocol::CatalogSpec catalog;
+          catalog.scenario = "telemetry";
+          catalog.scenario_tenants = 40;
+          catalog.scenario_slots = kSlots;
+          open.catalog = catalog;
+        }
+        Request submit;
+        submit.op = RequestOp::kSubmit;
+        submit.tenancy = tenancy;
+        submit.tenants = tenants;
+        Request advance;
+        advance.op = RequestOp::kAdvanceSlot;
+        advance.tenancy = tenancy;
+        advance.slots = kSlots;
+        Request close;
+        close.op = RequestOp::kClosePeriod;
+        close.tenancy = tenancy;
+        for (Request* request : {&open, &submit, &advance, &close}) {
+          Result<Response> response = client->Call(*request);
+          if (!response.ok() || !response->ok()) {
+            std::cerr << tenancy << ": request failed\n";
+            return;
+          }
+          if (request == &close) {
+            const JsonValue* report = response->payload.Find("report");
+            const JsonValue* ledger =
+                report ? report->Find("ledger") : nullptr;
+            std::cout << tenancy << " period " << p + 1 << ": "
+                      << (ledger ? ledger->Dump().substr(0, 60) + "..."
+                                 : std::string("(no ledger)"))
+                      << "\n";
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& client : clients) client.join();
+
+  // One client shuts the whole marketplace down over the wire.
+  Result<NetClient> admin = NetClient::Connect("127.0.0.1", net.port());
+  if (admin.ok()) {
+    Request info;
+    info.op = RequestOp::kServerInfo;
+    info.version = 2;
+    if (Result<Response> r = admin->Call(info); r.ok() && r->ok()) {
+      const JsonValue* transport = r->payload.Find("transport");
+      if (transport != nullptr) {
+        std::cout << "transport counters: " << transport->Dump() << "\n";
+      }
+    }
+    Request shutdown;
+    shutdown.op = RequestOp::kShutdown;
+    shutdown.version = 2;
+    (void)admin->Call(shutdown);
+  }
+  net.Wait();
+  if (Status st = server.Shutdown(); !st.ok()) {
+    std::cerr << st.ToString() << "\n";
+    return 1;
+  }
+  std::cout << "drained and shut down\n";
+  return 0;
+}

@@ -1,0 +1,245 @@
+#include "common/net.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <fcntl.h>
+#include <functional>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+namespace optshare::net {
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::Internal(what + ": " + std::strerror(errno));
+}
+
+/// getaddrinfo over TCP; `passive` requests a bindable address.
+Result<Socket> ResolveAndApply(const std::string& host, uint16_t port,
+                               bool passive,
+                               const std::function<Status(int, const addrinfo&)>&
+                                   apply) {
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_protocol = IPPROTO_TCP;
+  if (passive) hints.ai_flags = AI_PASSIVE;
+
+  const std::string port_text = std::to_string(port);
+  addrinfo* results = nullptr;
+  const int rc = ::getaddrinfo(host.empty() ? nullptr : host.c_str(),
+                               port_text.c_str(), &hints, &results);
+  if (rc != 0) {
+    return Status::InvalidArgument("cannot resolve \"" + host + ":" +
+                                   port_text + "\": " + gai_strerror(rc));
+  }
+
+  Status last = Status::Internal("no addresses resolved for \"" + host + "\"");
+  for (addrinfo* ai = results; ai != nullptr; ai = ai->ai_next) {
+    const int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      last = Errno("socket");
+      continue;
+    }
+    Socket socket(fd);
+    last = apply(fd, *ai);
+    if (last.ok()) {
+      ::freeaddrinfo(results);
+      return socket;
+    }
+  }
+  ::freeaddrinfo(results);
+  return last;
+}
+
+}  // namespace
+
+void Socket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<std::pair<std::string, uint16_t>> ParseHostPort(
+    const std::string& spec) {
+  const size_t colon = spec.rfind(':');
+  if (colon == std::string::npos) {
+    return Status::InvalidArgument("expected HOST:PORT, got \"" + spec +
+                                   "\"");
+  }
+  const std::string host = spec.substr(0, colon);
+  const std::string port_text = spec.substr(colon + 1);
+  if (port_text.empty() ||
+      port_text.find_first_not_of("0123456789") != std::string::npos) {
+    return Status::InvalidArgument("bad port in \"" + spec + "\"");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const long port = std::strtol(port_text.c_str(), &end, 10);
+  if (errno == ERANGE || port < 0 || port > 65535) {
+    return Status::InvalidArgument("port out of range in \"" + spec + "\"");
+  }
+  return std::make_pair(host, static_cast<uint16_t>(port));
+}
+
+Status SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return Errno("fcntl(F_GETFL)");
+  if (::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Errno("fcntl(F_SETFL, O_NONBLOCK)");
+  }
+  return Status::OK();
+}
+
+Result<Socket> ListenTcp(const std::string& host, uint16_t port,
+                         int backlog) {
+  return ResolveAndApply(
+      host, port, /*passive=*/true, [backlog](int fd, const addrinfo& ai) {
+        const int one = 1;
+        if (::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) <
+            0) {
+          return Errno("setsockopt(SO_REUSEADDR)");
+        }
+        if (::bind(fd, ai.ai_addr, ai.ai_addrlen) < 0) return Errno("bind");
+        if (::listen(fd, backlog) < 0) return Errno("listen");
+        return SetNonBlocking(fd);
+      });
+}
+
+Result<uint16_t> BoundPort(const Socket& socket) {
+  sockaddr_storage addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(socket.fd(), reinterpret_cast<sockaddr*>(&addr), &len) <
+      0) {
+    return Errno("getsockname");
+  }
+  if (addr.ss_family == AF_INET) {
+    return static_cast<uint16_t>(
+        ntohs(reinterpret_cast<sockaddr_in*>(&addr)->sin_port));
+  }
+  if (addr.ss_family == AF_INET6) {
+    return static_cast<uint16_t>(
+        ntohs(reinterpret_cast<sockaddr_in6*>(&addr)->sin6_port));
+  }
+  return Status::Internal("unexpected socket family");
+}
+
+Result<Socket> ConnectTcp(const std::string& host, uint16_t port) {
+  return ResolveAndApply(host.empty() ? std::string("127.0.0.1") : host, port,
+                         /*passive=*/false, [](int fd, const addrinfo& ai) {
+                           if (::connect(fd, ai.ai_addr, ai.ai_addrlen) < 0) {
+                             return Errno("connect");
+                           }
+                           return Status::OK();
+                         });
+}
+
+Result<Socket> AcceptNonBlocking(const Socket& listener) {
+  for (;;) {
+    const int fd = ::accept(listener.fd(), nullptr, nullptr);
+    if (fd >= 0) {
+      Socket accepted(fd);
+      OPTSHARE_RETURN_NOT_OK(SetNonBlocking(fd));
+      return accepted;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return Socket();
+    // A connection that died between ready and accept is not a listener
+    // failure; report "none pending" and let the next poll round retry.
+    if (errno == ECONNABORTED) return Socket();
+    return Errno("accept");
+  }
+}
+
+Result<IoChunk> ReadChunk(int fd, char* buf, size_t len) {
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, len, 0);
+    if (n > 0) {
+      IoChunk chunk;
+      chunk.bytes = static_cast<size_t>(n);
+      return chunk;
+    }
+    if (n == 0) {
+      IoChunk chunk;
+      chunk.eof = true;
+      return chunk;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      IoChunk chunk;
+      chunk.would_block = true;
+      return chunk;
+    }
+    if (errno == ECONNRESET) {
+      IoChunk chunk;
+      chunk.eof = true;
+      return chunk;
+    }
+    return Errno("recv");
+  }
+}
+
+Result<IoChunk> WriteChunk(int fd, const char* buf, size_t len) {
+  for (;;) {
+    const ssize_t n = ::send(fd, buf, len, MSG_NOSIGNAL);
+    if (n >= 0) {
+      IoChunk chunk;
+      chunk.bytes = static_cast<size_t>(n);
+      return chunk;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      IoChunk chunk;
+      chunk.would_block = true;
+      return chunk;
+    }
+    if (errno == EPIPE || errno == ECONNRESET) {
+      IoChunk chunk;
+      chunk.eof = true;
+      return chunk;
+    }
+    return Errno("send");
+  }
+}
+
+LineBuffer::Next LineBuffer::NextLine(std::string* line) {
+  if (discarding_) {
+    const size_t nl = buf_.find('\n');
+    if (nl == std::string::npos) {
+      buf_.clear();
+      return Next::kNeedMore;
+    }
+    buf_.erase(0, nl + 1);
+    discarding_ = false;
+  }
+  const size_t nl = buf_.find('\n');
+  if (nl == std::string::npos) {
+    if (cap_ > 0 && buf_.size() > cap_) {
+      // The line already exceeds the cap with no terminator in sight: report
+      // it once, then eat bytes until the newline restores framing.
+      buf_.clear();
+      discarding_ = true;
+      return Next::kTooLong;
+    }
+    return Next::kNeedMore;
+  }
+  if (cap_ > 0 && nl > cap_) {
+    buf_.erase(0, nl + 1);
+    return Next::kTooLong;
+  }
+  line->assign(buf_, 0, nl);
+  // A CRLF-minded client is indistinguishable from one whose line simply
+  // ends in '\r'; strip it so both framings parse.
+  if (!line->empty() && line->back() == '\r') line->pop_back();
+  buf_.erase(0, nl + 1);
+  return Next::kLine;
+}
+
+}  // namespace optshare::net

@@ -1,0 +1,116 @@
+// Minimal TCP building blocks for the marketplace's network transport:
+// RAII socket ownership, listener setup, non-blocking accept/read/write
+// wrappers with explicit would-block/EOF outcomes, and newline framing with
+// a per-line byte cap (the same cap the wire protocol's bounded stdin
+// reader enforces, so a hostile peer cannot balloon server memory).
+//
+// Everything here is transport plumbing with no protocol knowledge; the
+// poll()-based event loop that composes these primitives lives in
+// service/net_server.cc, and the blocking client in service/net_client.cc.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "common/status.h"
+
+namespace optshare::net {
+
+/// Owning file-descriptor handle; closes on destruction. Move-only.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { Close(); }
+
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept {
+    if (this != &other) {
+      Close();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+
+  int fd() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  void Close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Splits "HOST:PORT" (the --listen / connect argument form). An empty host
+/// ("":8080" or ":8080") means all interfaces for a listener and loopback
+/// for a client; the port must be a decimal number in [0, 65535].
+Result<std::pair<std::string, uint16_t>> ParseHostPort(
+    const std::string& spec);
+
+/// Binds and listens on host:port and puts the socket in non-blocking mode
+/// (SO_REUSEADDR set, so test servers can rebind promptly). Port 0 asks the
+/// kernel for an ephemeral port — read it back with BoundPort.
+Result<Socket> ListenTcp(const std::string& host, uint16_t port,
+                         int backlog = 128);
+
+/// The local port a bound socket ended up on.
+Result<uint16_t> BoundPort(const Socket& socket);
+
+/// Blocking connect to host:port (names resolve via getaddrinfo). The
+/// returned socket is in blocking mode — NetClient's round-trip style.
+Result<Socket> ConnectTcp(const std::string& host, uint16_t port);
+
+/// Accepts one pending connection from a non-blocking listener. Returns an
+/// invalid Socket (fd -1) when no connection is pending; the accepted
+/// socket is switched to non-blocking mode.
+Result<Socket> AcceptNonBlocking(const Socket& listener);
+
+Status SetNonBlocking(int fd);
+
+/// Outcome of one non-blocking read/write attempt. Exactly one of
+/// {bytes > 0, eof, would_block} describes what happened (a Status error is
+/// reserved for real socket failures).
+struct IoChunk {
+  size_t bytes = 0;
+  bool eof = false;         ///< Peer closed (read) or went away (write).
+  bool would_block = false; ///< Kernel buffer empty/full; retry on poll().
+};
+
+Result<IoChunk> ReadChunk(int fd, char* buf, size_t len);
+/// send() with SIGPIPE suppressed; a vanished peer reports eof, not a
+/// process-killing signal.
+Result<IoChunk> WriteChunk(int fd, const char* buf, size_t len);
+
+/// Incremental newline framing over a TCP byte stream. Append() raw reads
+/// as they arrive (lines may span reads, or several lines may land in one
+/// read); NextLine() yields each complete line without its terminator.
+/// A line longer than `max_line_bytes` reports kTooLong exactly once and
+/// the rest of that line is discarded as it streams in — framing stays
+/// aligned on the next newline, and buffered memory stays bounded by
+/// roughly the cap plus one read chunk. cap 0 = unlimited.
+class LineBuffer {
+ public:
+  explicit LineBuffer(size_t max_line_bytes = 0) : cap_(max_line_bytes) {}
+
+  void Append(const char* data, size_t len) { buf_.append(data, len); }
+
+  enum class Next {
+    kLine,      ///< *line holds the next complete line.
+    kNeedMore,  ///< No complete line buffered; Append more bytes.
+    kTooLong,   ///< A line exceeded the cap and is being discarded.
+  };
+  Next NextLine(std::string* line);
+
+  size_t buffered() const { return buf_.size(); }
+
+ private:
+  std::string buf_;
+  size_t cap_ = 0;
+  bool discarding_ = false;  ///< Inside an over-cap line, eating to '\n'.
+};
+
+}  // namespace optshare::net

@@ -1,0 +1,62 @@
+#include "service/dispatch.h"
+
+#include <utility>
+
+namespace optshare::service {
+
+bool RequestDispatcher::Submit(const std::string& line,
+                               std::function<void(std::string)> done) {
+  Result<protocol::Request> request =
+      protocol::ParseRequestLine(line, server_->max_request_bytes());
+  if (!request.ok()) {
+    // The client's version is unknowable from an unparseable line; answer
+    // with the oldest version so every client generation can read it —
+    // exactly HandleLine's behavior.
+    protocol::Response error = protocol::ErrorResponse("", request.status());
+    error.version = protocol::kMinProtocolVersion;
+    done(protocol::FormatResponseLine(error));
+    return false;
+  }
+  const bool is_shutdown = request->op == protocol::RequestOp::kShutdown;
+  server_->DispatchCallback(
+      std::move(*request),
+      [done = std::move(done)](protocol::Response response) {
+        done(protocol::FormatResponseLine(response));
+      });
+  return is_shutdown;
+}
+
+std::string RequestDispatcher::OversizedLineResponse() const {
+  protocol::Response error = protocol::ErrorResponse(
+      "", Status::ResourceExhausted(
+              "request line exceeds the " +
+              std::to_string(server_->max_request_bytes()) +
+              "-byte cap (--max-request-bytes)"));
+  error.version = protocol::kMinProtocolVersion;
+  return protocol::FormatResponseLine(error);
+}
+
+uint64_t OrderedLineWriter::Reserve() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_reserve_++;
+}
+
+void OrderedLineWriter::Complete(uint64_t slot, std::string line) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ready_.emplace(slot, std::move(line));
+  // Flush the contiguous prefix; anything beyond a still-missing slot
+  // waits buffered so responses leave in request order.
+  for (auto it = ready_.begin();
+       it != ready_.end() && it->first == next_flush_;) {
+    sink_(std::move(it->second));
+    it = ready_.erase(it);
+    ++next_flush_;
+  }
+}
+
+bool OrderedLineWriter::Idle() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_flush_ == next_reserve_ && ready_.empty();
+}
+
+}  // namespace optshare::service

@@ -168,33 +168,42 @@ Status MarketplaceServer::CreateTenancy(const std::string& name,
 std::future<Response> MarketplaceServer::Dispatch(Request request) {
   auto promise = std::make_shared<std::promise<Response>>();
   std::future<Response> response = promise->get_future();
+  DispatchCallback(std::move(request), [promise](Response resolved) {
+    promise->set_value(std::move(resolved));
+  });
+  return response;
+}
+
+void MarketplaceServer::DispatchCallback(
+    Request request, std::function<void(Response)> done) {
   // list_mechanisms and the global v2 ops shard on the empty name: cheap,
   // and ordering against tenancy traffic is irrelevant for them.
   // The shard key must be taken before the Post call: its arguments are
   // indeterminately sequenced, and the lambda's init-capture moves
   // `request` out from under an inline ShardOf(request.tenancy).
   const size_t shard = ShardOf(request.tenancy);
-  pool_.Post(shard, [this, request = std::move(request), promise]() mutable {
+  pool_.Post(shard, [this, request = std::move(request),
+                     done = std::move(done)]() mutable {
                // One request's failure must stay one request's failure: an
                // exception out of Execute (e.g. bad_alloc on a huge
                // payload) becomes this response's Internal error instead
-               // of tearing down the worker.
+               // of tearing down the worker. `done` runs outside the catch
+               // so it can never fire twice.
+               Response response;
                try {
-                 promise->set_value(Execute(request, /*persist=*/true));
+                 response = Execute(request, /*persist=*/true);
                } catch (const std::exception& e) {
-                 Response error =
+                 response =
                      ErrorResponse(request.id, Status::Internal(e.what()));
-                 error.version = request.version;
-                 promise->set_value(std::move(error));
+                 response.version = request.version;
                } catch (...) {
-                 Response error = ErrorResponse(
+                 response = ErrorResponse(
                      request.id,
                      Status::Internal("unexpected exception while serving"));
-                 error.version = request.version;
-                 promise->set_value(std::move(error));
+                 response.version = request.version;
                }
+               done(std::move(response));
              });
-  return response;
 }
 
 Response MarketplaceServer::Handle(Request request) {
@@ -457,7 +466,19 @@ Response MarketplaceServer::ExecuteServerInfo(const Request& request) {
     payload.Set("recoveries_run", JsonValue::Number(recoveries_run_));
     payload.Set("recovery", ToJson(last_recovery_));
   }
+  {
+    // Held across the call so SetTransportInfoProvider(nullptr) cannot pull
+    // the provider's state out from under an in-flight server_info.
+    std::lock_guard<std::mutex> lock(transport_mu_);
+    if (transport_info_) payload.Set("transport", transport_info_());
+  }
   return OkResponse(request.id, std::move(payload));
+}
+
+void MarketplaceServer::SetTransportInfoProvider(
+    std::function<JsonValue()> provider) {
+  std::lock_guard<std::mutex> lock(transport_mu_);
+  transport_info_ = std::move(provider);
 }
 
 Response MarketplaceServer::ExecuteRestore(const Request& request) {

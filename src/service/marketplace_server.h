@@ -34,6 +34,7 @@
 #pragma once
 
 #include <atomic>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -104,6 +105,14 @@ class MarketplaceServer {
   /// for different tenancies run concurrently across workers.
   std::future<protocol::Response> Dispatch(protocol::Request request);
 
+  /// Callback form of Dispatch for transports that deliver responses as
+  /// they resolve (the stdin serve loop and the TCP NetServer): `done`
+  /// fires exactly once, on the tenancy's worker thread, and must not
+  /// throw. It may outlive the transport that submitted it — capture
+  /// shared state by shared_ptr.
+  void DispatchCallback(protocol::Request request,
+                        std::function<void(protocol::Response)> done);
+
   /// Synchronous convenience: Dispatch + wait.
   protocol::Response Handle(protocol::Request request);
 
@@ -134,7 +143,18 @@ class MarketplaceServer {
   bool shutdown_requested() const { return shutdown_requested_.load(); }
 
   int num_workers() const { return pool_.num_threads(); }
+  /// The request-line cap transports must enforce while framing (the same
+  /// value HandleLine applies when parsing).
+  size_t max_request_bytes() const { return max_request_bytes_; }
   const StateStore& store() const { return *store_; }
+
+  /// Installs (or, with nullptr, removes) the transport-counters provider
+  /// the wire `server_info` op folds into its payload as "transport" — the
+  /// TCP front end registers its live connection/byte/request counters
+  /// here. The provider runs on a worker thread; uninstalling blocks until
+  /// any in-flight call returns, so the provider may reference state the
+  /// caller is about to destroy.
+  void SetTransportInfoProvider(std::function<JsonValue()> provider);
   /// Names of existing tenancies, sorted.
   std::vector<std::string> TenancyNames() const;
 
@@ -198,6 +218,9 @@ class MarketplaceServer {
   mutable std::mutex recovery_mu_;  ///< Guards the two fields below.
   RecoveryStats last_recovery_;
   int recoveries_run_ = 0;
+  mutable std::mutex transport_mu_;  ///< Guards transport_info_; held across
+                                     ///< the provider call (see setter).
+  std::function<JsonValue()> transport_info_;
   ThreadPool pool_;  ///< Last member: destroyed first, so workers stop
                      ///< before the state they touch goes away.
 };

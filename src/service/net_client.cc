@@ -1,0 +1,85 @@
+#include "service/net_client.h"
+
+#include <sys/socket.h>
+
+#include <utility>
+
+namespace optshare::service {
+
+Result<NetClient> NetClient::Connect(const std::string& host,
+                                     uint16_t port) {
+  Result<net::Socket> socket = net::ConnectTcp(host, port);
+  if (!socket.ok()) return socket.status();
+  return NetClient(std::move(*socket));
+}
+
+Status NetClient::SendRaw(const std::string& bytes) {
+  if (!socket_.valid()) {
+    return Status::FailedPrecondition("client not connected");
+  }
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    Result<net::IoChunk> wrote = net::WriteChunk(
+        socket_.fd(), bytes.data() + sent, bytes.size() - sent);
+    if (!wrote.ok()) return wrote.status();
+    if (wrote->eof) {
+      return Status::FailedPrecondition("connection closed by server");
+    }
+    // The socket is blocking, so would_block cannot happen; treat a zero
+    // write defensively as progress-free and retry.
+    sent += wrote->bytes;
+  }
+  return Status::OK();
+}
+
+Status NetClient::SendLine(const std::string& line) {
+  return SendRaw(line + "\n");
+}
+
+Result<std::string> NetClient::ReadLine() {
+  if (!socket_.valid()) {
+    return Status::FailedPrecondition("client not connected");
+  }
+  std::string line;
+  for (;;) {
+    const net::LineBuffer::Next next = lines_.NextLine(&line);
+    if (next == net::LineBuffer::Next::kLine) return line;
+    // kTooLong cannot happen: the client buffer is uncapped.
+    char buf[64 * 1024];
+    Result<net::IoChunk> got = net::ReadChunk(socket_.fd(), buf, sizeof(buf));
+    if (!got.ok()) return got.status();
+    if (got->eof) {
+      return Status::FailedPrecondition("connection closed by server");
+    }
+    lines_.Append(buf, got->bytes);
+  }
+}
+
+Result<std::string> NetClient::Call(const std::string& request_line) {
+  OPTSHARE_RETURN_NOT_OK(SendLine(request_line));
+  return ReadLine();
+}
+
+Result<protocol::Response> NetClient::Call(
+    const protocol::Request& request) {
+  Result<std::string> line = Call(protocol::ToJson(request).Dump());
+  if (!line.ok()) return line.status();
+  Result<JsonValue> doc = JsonValue::Parse(*line);
+  if (!doc.ok()) {
+    return Status::Internal("malformed response line: " +
+                            doc.status().message());
+  }
+  return protocol::ResponseFromJson(*doc);
+}
+
+Status NetClient::FinishSending() {
+  if (!socket_.valid()) {
+    return Status::FailedPrecondition("client not connected");
+  }
+  if (::shutdown(socket_.fd(), SHUT_WR) != 0) {
+    return Status::Internal("shutdown(SHUT_WR) failed");
+  }
+  return Status::OK();
+}
+
+}  // namespace optshare::service

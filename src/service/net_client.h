@@ -1,0 +1,61 @@
+// NetClient: a small blocking client for the marketplace's TCP transport.
+// One connection, synchronous round trips:
+//
+//   Result<NetClient> client = NetClient::Connect("127.0.0.1", port);
+//   protocol::Request req;
+//   req.op = protocol::RequestOp::kListMechanisms;
+//   Result<protocol::Response> resp = client->Call(req);
+//
+// Responses arrive in request order (the server's per-connection
+// contract), so pipelining is also supported: SendLine() N times, then
+// ReadLine() N times. The raw-byte surface (SendRaw / ReadLine) exists for
+// the fuzz suite, which must be able to send torn, merged and corrupted
+// frames; Call() is what tools and benches use.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/net.h"
+#include "service/protocol.h"
+
+namespace optshare::service {
+
+class NetClient {
+ public:
+  /// Blocking connect; "" host means loopback.
+  static Result<NetClient> Connect(const std::string& host, uint16_t port);
+
+  NetClient(NetClient&&) = default;
+  NetClient& operator=(NetClient&&) = default;
+
+  /// Sends one request line (newline appended).
+  Status SendLine(const std::string& line);
+  /// Sends raw bytes exactly as given — no framing. Fuzz-suite surface.
+  Status SendRaw(const std::string& bytes);
+  /// Blocks until one complete response line arrives (terminator
+  /// stripped). FailedPrecondition once the server closes the connection.
+  Result<std::string> ReadLine();
+
+  /// One raw round trip: SendLine + ReadLine.
+  Result<std::string> Call(const std::string& request_line);
+  /// One typed round trip: serialize, send, read, parse. The returned
+  /// Response's own status carries protocol-level errors; the Result is
+  /// only an error for transport or malformed-response failures.
+  Result<protocol::Response> Call(const protocol::Request& request);
+
+  /// Half-close: no more sends, but queued responses remain readable —
+  /// how a batch client says "stream done, drain my responses".
+  Status FinishSending();
+  void Close() { socket_.Close(); }
+  bool connected() const { return socket_.valid(); }
+  int fd() const { return socket_.fd(); }
+
+ private:
+  explicit NetClient(net::Socket socket) : socket_(std::move(socket)) {}
+
+  net::Socket socket_;
+  net::LineBuffer lines_;  ///< Buffered bytes beyond the last read line.
+};
+
+}  // namespace optshare::service

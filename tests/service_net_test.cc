@@ -1,0 +1,580 @@
+// TCP transport suite. The load-bearing guarantees:
+//
+//  1. Transport parity — a recorded request stream replayed through (a)
+//     MarketplaceServer::HandleLine, (b) the shared RequestDispatcher +
+//     OrderedLineWriter path the stdin serve loop runs, and (c) a
+//     NetClient -> NetServer round trip over localhost TCP produces
+//     byte-identical response lines. The cap wording, version echo and
+//     error surface cannot diverge between transports because they are one
+//     implementation (service/dispatch.h); this test pins that.
+//
+//  2. The 16-client soak: threaded NetClients each driving their own
+//     tenancy through 3 full billing periods against one NetServer backed
+//     by a FileStateStore, interleaved with mid-run disconnects and one
+//     kill-and-recover cycle — every tenancy's PeriodReports bit-identical
+//     to a single-client pipe (HandleLine) run of the same program.
+//
+//  3. Bounded backpressure: a reader that stops draining is cut off with a
+//     typed ResourceExhausted and closed without ever blocking the event
+//     loop or other connections.
+#include "service/net_server.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "service/dispatch.h"
+#include "service/net_client.h"
+#include "service/pricing_session.h"
+#include "service/state_store.h"
+#include "simdb/scenarios.h"
+
+namespace optshare::service {
+namespace {
+
+using protocol::Request;
+using protocol::RequestOp;
+using protocol::Response;
+
+std::vector<simdb::SimUser> JitterTenants(std::vector<simdb::SimUser> tenants,
+                                          int slots, uint64_t seed) {
+  Rng rng(seed);
+  return simdb::JitterTenants(std::move(tenants), slots, rng);
+}
+
+/// Scratch dirs live under the working directory (the build tree when run
+/// via ctest), so the suite never writes outside it.
+std::string TempDir(const std::string& leaf) {
+  return "optshare_net_test_scratch/" + leaf;
+}
+
+/// Runs the whole program directly through PricingSession — the reference
+/// the networked replay must match bit for bit.
+std::vector<PeriodReport> DirectReports(
+    const simdb::Catalog& catalog, const ServiceConfig& config,
+    const std::vector<std::vector<simdb::SimUser>>& periods) {
+  std::vector<PeriodReport> reports;
+  std::vector<std::string> built;
+  for (size_t p = 0; p < periods.size(); ++p) {
+    Result<PricingSession> session = PricingSession::Open(
+        &catalog, config, built, static_cast<int>(p) + 1);
+    EXPECT_TRUE(session.ok()) << session.status().ToString();
+    EXPECT_TRUE(session->Submit(periods[p]).ok());
+    for (int slot = 0; slot < config.slots_per_period; ++slot) {
+      EXPECT_TRUE(session->AdvanceSlot().ok());
+    }
+    Result<PeriodReport> report = session->Close();
+    EXPECT_TRUE(report.ok()) << report.status().ToString();
+    built = session->built_structures();
+    reports.push_back(std::move(*report));
+  }
+  return reports;
+}
+
+/// The wire lines of one period's program. `with_catalog` bootstraps the
+/// tenancy (first-ever open_period).
+std::vector<std::string> PeriodLines(
+    const std::string& tenancy, const ServiceConfig& config,
+    int scenario_tenants, int scenario_slots, bool with_catalog,
+    const std::vector<simdb::SimUser>& tenants) {
+  std::vector<std::string> lines;
+  Request open;
+  open.op = RequestOp::kOpenPeriod;
+  open.tenancy = tenancy;
+  if (with_catalog) {
+    protocol::CatalogSpec catalog;
+    catalog.scenario = "telemetry";
+    catalog.scenario_tenants = scenario_tenants;
+    catalog.scenario_slots = scenario_slots;
+    open.catalog = catalog;
+    open.config = config;
+  }
+  lines.push_back(protocol::ToJson(open).Dump());
+  Request submit;
+  submit.op = RequestOp::kSubmit;
+  submit.tenancy = tenancy;
+  submit.tenants = tenants;
+  lines.push_back(protocol::ToJson(submit).Dump());
+  Request advance;
+  advance.op = RequestOp::kAdvanceSlot;
+  advance.tenancy = tenancy;
+  advance.slots = config.slots_per_period;
+  lines.push_back(protocol::ToJson(advance).Dump());
+  Request close;
+  close.op = RequestOp::kClosePeriod;
+  close.tenancy = tenancy;
+  lines.push_back(protocol::ToJson(close).Dump());
+  return lines;
+}
+
+/// Parses the close_period report out of a response line.
+PeriodReport ReportFromLine(const std::string& line) {
+  Result<JsonValue> doc = JsonValue::Parse(line);
+  EXPECT_TRUE(doc.ok()) << line;
+  Result<Response> response = protocol::ResponseFromJson(*doc);
+  EXPECT_TRUE(response.ok()) << line;
+  EXPECT_TRUE(response->ok()) << response->status.ToString();
+  const JsonValue* report = response->payload.Find("report");
+  EXPECT_NE(report, nullptr) << line;
+  Result<PeriodReport> parsed = protocol::PeriodReportFromJson(*report);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  return std::move(*parsed);
+}
+
+void ExpectBitIdentical(const PeriodReport& direct,
+                        const PeriodReport& replayed) {
+  // The JSON encoding round-trips doubles exactly, so string equality of
+  // the dumps is bit-for-bit equality of payments, ledger and built set.
+  EXPECT_EQ(protocol::ToJson(direct).Dump(), protocol::ToJson(replayed).Dump());
+}
+
+/// Starts a NetServer on an ephemeral loopback port.
+std::unique_ptr<NetServer> StartNet(MarketplaceServer* server,
+                                    NetServerOptions options = {}) {
+  auto net = std::make_unique<NetServer>(server, std::move(options));
+  Status started = net->Start();
+  EXPECT_TRUE(started.ok()) << started.ToString();
+  EXPECT_GT(net->port(), 0);
+  return net;
+}
+
+NetClient MustConnect(const NetServer& net) {
+  Result<NetClient> client = NetClient::Connect("127.0.0.1", net.port());
+  EXPECT_TRUE(client.ok()) << client.status().ToString();
+  return std::move(*client);
+}
+
+// -- 1. Transport parity ----------------------------------------------------
+
+TEST(NetTransportParityTest, TcpAndStdinPathAndHandleLineAgreeByteForByte) {
+  constexpr int kTenants = 5;
+  constexpr int kSlots = 8;
+  auto scenario = simdb::TelemetryScenario(kTenants, kSlots);
+  ASSERT_TRUE(scenario.ok());
+  ServiceConfig config;
+  config.slots_per_period = kSlots;
+
+  // A recorded stream interleaving two tenancies' periods with the error
+  // surface: a parse error, an unknown tenancy, a v1 client using a v2 op,
+  // and an unknown field — every class a transport must answer itself.
+  std::vector<std::string> stream;
+  const std::vector<simdb::SimUser> acme =
+      JitterTenants(scenario->tenants, kSlots, 11);
+  const std::vector<simdb::SimUser> globex =
+      JitterTenants(scenario->tenants, kSlots, 22);
+  const auto acme_lines =
+      PeriodLines("acme", config, kTenants, kSlots, true, acme);
+  const auto globex_lines =
+      PeriodLines("globex", config, kTenants, kSlots, true, globex);
+  for (size_t i = 0; i < acme_lines.size(); ++i) {
+    stream.push_back(acme_lines[i]);
+    stream.push_back(globex_lines[i]);
+  }
+  stream.push_back("{this is not json");
+  stream.push_back(R"({"v":1,"op":"report","tenancy":"nobody"})");
+  stream.push_back(R"({"v":1,"op":"server_info"})");
+  stream.push_back(R"({"v":1,"op":"list_mechanisms","bogus_field":true})");
+  stream.push_back(R"({"v":1,"op":"report","tenancy":"acme"})");
+
+  // (a) HandleLine, the synchronous reference.
+  std::vector<std::string> via_handle_line;
+  {
+    MarketplaceServer server(ServerOptions{2});
+    for (const std::string& line : stream) {
+      via_handle_line.push_back(server.HandleLine(line));
+    }
+  }
+
+  // (b) The stdin serve loop's exact path: RequestDispatcher +
+  // OrderedLineWriter, all requests in flight together.
+  std::vector<std::string> via_dispatcher;
+  {
+    MarketplaceServer server(ServerOptions{2});
+    RequestDispatcher dispatcher(&server);
+    std::mutex out_mu;
+    OrderedLineWriter writer([&](std::string line) {
+      std::lock_guard<std::mutex> lock(out_mu);
+      via_dispatcher.push_back(std::move(line));
+    });
+    for (const std::string& line : stream) {
+      const uint64_t slot = writer.Reserve();
+      dispatcher.Submit(line, [slot, &writer](std::string response) {
+        writer.Complete(slot, std::move(response));
+      });
+    }
+    server.Drain();
+    ASSERT_TRUE(writer.Idle());
+  }
+
+  // (c) Pipelined over localhost TCP.
+  std::vector<std::string> via_tcp;
+  {
+    MarketplaceServer server(ServerOptions{2});
+    auto net = StartNet(&server);
+    NetClient client = MustConnect(*net);
+    for (const std::string& line : stream) {
+      ASSERT_TRUE(client.SendLine(line).ok());
+    }
+    for (size_t i = 0; i < stream.size(); ++i) {
+      Result<std::string> response = client.ReadLine();
+      ASSERT_TRUE(response.ok()) << response.status().ToString();
+      via_tcp.push_back(std::move(*response));
+    }
+  }
+
+  ASSERT_EQ(via_handle_line.size(), stream.size());
+  ASSERT_EQ(via_dispatcher.size(), stream.size());
+  ASSERT_EQ(via_tcp.size(), stream.size());
+  for (size_t i = 0; i < stream.size(); ++i) {
+    EXPECT_EQ(via_handle_line[i], via_dispatcher[i]) << "request " << i;
+    EXPECT_EQ(via_handle_line[i], via_tcp[i]) << "request " << i;
+  }
+  // And the stream did real pricing: both close_periods carried reports.
+  ExpectBitIdentical(ReportFromLine(via_handle_line[6]),
+                     ReportFromLine(via_tcp[6]));
+}
+
+// -- 2. The 16-client soak --------------------------------------------------
+
+/// One client's period over TCP: four round trips, returning the close
+/// response line.
+std::string RunPeriodOverTcp(NetClient& client, const std::string& tenancy,
+                             const ServiceConfig& config, int scenario_tenants,
+                             bool with_catalog,
+                             const std::vector<simdb::SimUser>& tenants) {
+  std::string close_line;
+  for (const std::string& line :
+       PeriodLines(tenancy, config, scenario_tenants,
+                   config.slots_per_period, with_catalog, tenants)) {
+    Result<std::string> response = client.Call(line);
+    EXPECT_TRUE(response.ok()) << response.status().ToString();
+    if (!response.ok()) return "";
+    close_line = std::move(*response);
+  }
+  return close_line;
+}
+
+/// A client that connects, stirs up partial traffic on a throwaway
+/// tenancy, and vanishes mid-stream — the disconnect chaos the soak
+/// interleaves with real clients.
+void RunFlakyClient(uint16_t port, const std::string& tenancy,
+                    const ServiceConfig& config, int scenario_tenants,
+                    const std::vector<simdb::SimUser>& tenants) {
+  Result<NetClient> client = NetClient::Connect("127.0.0.1", port);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  const auto lines = PeriodLines(tenancy, config, scenario_tenants,
+                                 config.slots_per_period, true, tenants);
+  // Send the open and the submit, read only one response, then vanish with
+  // the advance_slot response undelivered and the period still open.
+  ASSERT_TRUE(client->SendLine(lines[0]).ok());
+  ASSERT_TRUE(client->SendLine(lines[1]).ok());
+  Result<std::string> first = client->ReadLine();
+  EXPECT_TRUE(first.ok()) << first.status().ToString();
+  ASSERT_TRUE(client->SendLine(lines[2]).ok());
+  client->Close();
+}
+
+TEST(NetSoakTest, SixteenClientsThreePeriodsWithDisconnectsAndCrashRecover) {
+  constexpr int kClients = 16;
+  constexpr int kPeriods = 3;
+  constexpr int kTenants = 4;
+  constexpr int kSlots = 8;
+  auto scenario = simdb::TelemetryScenario(kTenants, kSlots);
+  ASSERT_TRUE(scenario.ok());
+  ServiceConfig config;
+  config.slots_per_period = kSlots;
+  const std::string dir = TempDir("soak");
+
+  // Per-client tenant draws for every period, and the single-client
+  // reference reports they must match bit for bit.
+  std::vector<std::vector<std::vector<simdb::SimUser>>> programs;
+  std::vector<std::vector<PeriodReport>> direct;
+  for (int c = 0; c < kClients; ++c) {
+    std::vector<std::vector<simdb::SimUser>> periods;
+    for (int p = 0; p < kPeriods; ++p) {
+      periods.push_back(JitterTenants(
+          scenario->tenants, kSlots,
+          9000 + static_cast<uint64_t>(100 * c + p)));
+    }
+    direct.push_back(DirectReports(scenario->catalog, config, periods));
+    programs.push_back(std::move(periods));
+  }
+
+  const auto tenancy_name = [](int c) {
+    return "soak-" + std::to_string(c);
+  };
+  std::vector<std::vector<std::string>> close_lines(kClients);
+
+  // Runs one soak phase: every client executes periods [first, last) on
+  // its own connection and thread, with flaky disconnecting clients
+  // interleaved throughout.
+  const auto run_phase = [&](const NetServer& net, int first, int last,
+                             int flaky_seed) {
+    std::vector<std::thread> threads;
+    for (int c = 0; c < kClients; ++c) {
+      threads.emplace_back([&, c] {
+        NetClient client = MustConnect(net);
+        for (int p = first; p < last; ++p) {
+          const std::string line = RunPeriodOverTcp(
+              client, tenancy_name(c), config, kTenants,
+              /*with_catalog=*/p == 0,
+              programs[static_cast<size_t>(c)][static_cast<size_t>(p)]);
+          close_lines[static_cast<size_t>(c)].push_back(line);
+        }
+      });
+    }
+    for (int f = 0; f < 4; ++f) {
+      threads.emplace_back([&, f] {
+        RunFlakyClient(net.port(),
+                       "flaky-" + std::to_string(flaky_seed) + "-" +
+                           std::to_string(f),
+                       config, kTenants,
+                       JitterTenants(scenario->tenants, kSlots,
+                                     static_cast<uint64_t>(777 + f)));
+      });
+    }
+    for (std::thread& thread : threads) thread.join();
+  };
+
+  // Phase 1: period 1 for everyone, then kill the process state without
+  // Shutdown — destructors drain in-flight work but checkpoint nothing,
+  // exactly a crash after the last acknowledged response.
+  {
+    auto store = FileStateStore::Open(dir);
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    ServerOptions options;
+    options.num_workers = 4;
+    options.store = std::move(*store);
+    auto server = std::make_unique<MarketplaceServer>(std::move(options));
+    auto net = StartNet(server.get());
+    run_phase(*net, 0, 1, 1);
+    net->Stop();
+    net.reset();
+    server.reset();  // No Shutdown(): the kill.
+  }
+
+  // Phase 2: recover from the data dir and run periods 2 and 3. Carried
+  // built-structure sets must survive the crash for the reports to match.
+  {
+    auto store = FileStateStore::Open(dir);
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    ServerOptions options;
+    options.num_workers = 4;
+    options.store = std::move(*store);
+    MarketplaceServer server(std::move(options));
+    Result<RecoveryStats> recovered = server.Recover();
+    ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+    // All 16 soak tenancies plus the flaky ones' journaled open periods.
+    EXPECT_GE(recovered->tenancies_recovered, kClients);
+    auto net = StartNet(&server);
+    run_phase(*net, 1, kPeriods, 2);
+    net->Stop();
+  }
+
+  for (int c = 0; c < kClients; ++c) {
+    ASSERT_EQ(close_lines[static_cast<size_t>(c)].size(),
+              static_cast<size_t>(kPeriods));
+    ASSERT_EQ(direct[static_cast<size_t>(c)].size(),
+              static_cast<size_t>(kPeriods));
+    for (int p = 0; p < kPeriods; ++p) {
+      SCOPED_TRACE("client " + std::to_string(c) + " period " +
+                   std::to_string(p + 1));
+      ExpectBitIdentical(
+          direct[static_cast<size_t>(c)][static_cast<size_t>(p)],
+          ReportFromLine(
+              close_lines[static_cast<size_t>(c)][static_cast<size_t>(p)]));
+    }
+  }
+}
+
+// -- 3. Backpressure and robustness ----------------------------------------
+
+TEST(NetBackpressureTest, SlowReaderIsCutOffWithoutBlockingOthers) {
+  MarketplaceServer server(ServerOptions{2});
+  NetServerOptions options;
+  options.max_write_buffer_bytes = 16 * 1024;
+  options.sndbuf_bytes = 8 * 1024;  // Trip the app-level cap quickly.
+  auto net = StartNet(&server, options);
+
+  // The slow reader: fires requests and never reads. Eventually the kernel
+  // send buffer fills, responses pile up in the server's write buffer past
+  // the cap, and the connection is condemned.
+  NetClient slow = MustConnect(*net);
+  const std::string request = R"({"v":1,"op":"list_mechanisms"})";
+  for (int i = 0; i < 4000; ++i) {
+    ASSERT_TRUE(slow.SendLine(request).ok());
+  }
+
+  // Meanwhile a well-behaved client gets prompt service throughout.
+  NetClient good = MustConnect(*net);
+  for (int i = 0; i < 50; ++i) {
+    Result<std::string> response = good.Call(request);
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    EXPECT_NE(response->find("\"ok\":true"), std::string::npos);
+  }
+
+  // The drop must be observable in the transport counters.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (net->stats().connections_dropped_backpressure == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(net->stats().connections_dropped_backpressure, 1u);
+
+  // Now drain: the slow client gets the queued (bounded) responses, then
+  // the typed ResourceExhausted verdict, then EOF.
+  std::string last_line;
+  size_t lines_read = 0;
+  for (;;) {
+    Result<std::string> line = slow.ReadLine();
+    if (!line.ok()) break;  // EOF: the server closed us.
+    last_line = std::move(*line);
+    ++lines_read;
+  }
+  ASSERT_GT(lines_read, 0u);
+  // Far fewer than 4000: the buffer cap bounded what was ever queued.
+  EXPECT_LT(lines_read, 2000u);
+  EXPECT_NE(last_line.find("ResourceExhausted"), std::string::npos)
+      << last_line;
+  EXPECT_NE(last_line.find("reader too slow"), std::string::npos)
+      << last_line;
+}
+
+TEST(NetServerTest, OversizeLineAnswersTypedErrorAndFramingSurvives) {
+  ServerOptions options;
+  options.num_workers = 1;
+  options.max_request_bytes = 256;
+  MarketplaceServer server(std::move(options));
+  auto net = StartNet(&server);
+  NetClient client = MustConnect(*net);
+
+  const std::string oversize(1000, 'x');
+  ASSERT_TRUE(client.SendLine(oversize).ok());
+  ASSERT_TRUE(client.SendLine(R"({"v":1,"op":"list_mechanisms"})").ok());
+
+  Result<std::string> first = client.ReadLine();
+  ASSERT_TRUE(first.ok());
+  EXPECT_NE(first->find("ResourceExhausted"), std::string::npos) << *first;
+  EXPECT_NE(first->find("--max-request-bytes"), std::string::npos) << *first;
+  Result<std::string> second = client.ReadLine();
+  ASSERT_TRUE(second.ok());
+  EXPECT_NE(second->find("\"ok\":true"), std::string::npos) << *second;
+}
+
+TEST(NetServerTest, HalfCloseDrainsEveryPipelinedResponse) {
+  MarketplaceServer server(ServerOptions{2});
+  auto net = StartNet(&server);
+  NetClient client = MustConnect(*net);
+
+  constexpr int kRequests = 64;
+  for (int i = 0; i < kRequests; ++i) {
+    Request request;
+    request.op = RequestOp::kListMechanisms;
+    request.id = "req-" + std::to_string(i);
+    ASSERT_TRUE(client.SendLine(protocol::ToJson(request).Dump()).ok());
+  }
+  ASSERT_TRUE(client.FinishSending().ok());
+
+  // All responses arrive, in request order, then EOF.
+  for (int i = 0; i < kRequests; ++i) {
+    Result<std::string> line = client.ReadLine();
+    ASSERT_TRUE(line.ok()) << line.status().ToString();
+    EXPECT_NE(line->find("\"id\":\"req-" + std::to_string(i) + "\""),
+              std::string::npos)
+        << *line;
+  }
+  EXPECT_FALSE(client.ReadLine().ok());
+}
+
+TEST(NetServerTest, ServerInfoCarriesTransportCountersWhileRunning) {
+  MarketplaceServer server(ServerOptions{1});
+  auto net = StartNet(&server);
+  NetClient client = MustConnect(*net);
+
+  Request info;
+  info.op = RequestOp::kServerInfo;
+  info.version = 2;
+  Result<Response> response = client.Call(info);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  ASSERT_TRUE(response->ok()) << response->status.ToString();
+  const JsonValue* transport = response->payload.Find("transport");
+  ASSERT_NE(transport, nullptr);
+  EXPECT_GE(transport->Find("connections_open")->AsNumber(), 1.0);
+  EXPECT_GE(transport->Find("connections_accepted")->AsNumber(), 1.0);
+  EXPECT_GE(transport->Find("requests")->AsNumber(), 1.0);
+
+  // Once the transport stops, server_info loses the section (and must not
+  // touch freed NetServer state).
+  client.Close();
+  net->Stop();
+  Request again;
+  again.op = RequestOp::kServerInfo;
+  again.version = 2;
+  Response direct = server.Handle(std::move(again));
+  ASSERT_TRUE(direct.ok());
+  EXPECT_EQ(direct.payload.Find("transport"), nullptr);
+}
+
+TEST(NetServerTest, WireShutdownDrainsAndStateSurvivesToRecovery) {
+  const std::string dir = TempDir("wire_shutdown");
+  auto scenario = simdb::TelemetryScenario(4, 8);
+  ASSERT_TRUE(scenario.ok());
+  ServiceConfig config;
+  config.slots_per_period = 8;
+
+  {
+    auto store = FileStateStore::Open(dir);
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    ServerOptions options;
+    options.num_workers = 2;
+    options.store = std::move(*store);
+    MarketplaceServer server(std::move(options));
+    auto net = StartNet(&server);
+
+    NetClient client = MustConnect(*net);
+    const std::string close_line = RunPeriodOverTcp(
+        client, "durable", config, 4, /*with_catalog=*/true,
+        JitterTenants(scenario->tenants, 8, 42));
+    ASSERT_FALSE(close_line.empty());
+
+    Request shutdown;
+    shutdown.op = RequestOp::kShutdown;
+    shutdown.version = 2;
+    Result<Response> acked = client.Call(shutdown);
+    ASSERT_TRUE(acked.ok()) << acked.status().ToString();
+    EXPECT_TRUE(acked->ok());
+    net->Wait();  // Returns once every connection drained.
+    ASSERT_TRUE(server.Shutdown().ok());
+    // The drained server closed us.
+    EXPECT_FALSE(client.Call(std::string(
+                                 R"({"v":1,"op":"list_mechanisms"})"))
+                     .ok());
+  }
+
+  // A fresh process over the same dir sees the period.
+  auto store = FileStateStore::Open(dir);
+  ASSERT_TRUE(store.ok());
+  ServerOptions options;
+  options.num_workers = 1;
+  options.store = std::move(*store);
+  MarketplaceServer server(std::move(options));
+  Result<RecoveryStats> recovered = server.Recover();
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(recovered->tenancies_recovered, 1);
+  Request report;
+  report.op = RequestOp::kReport;
+  report.tenancy = "durable";
+  Response response = server.Handle(std::move(report));
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response.payload.Find("periods_run")->AsNumber(), 1.0);
+}
+
+}  // namespace
+}  // namespace optshare::service

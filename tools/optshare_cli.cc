@@ -5,8 +5,9 @@
 //   optshare_cli validate <file>          # parse + validate a game file
 //   optshare_cli run <file> [--mechanism NAME] [--json]
 //   optshare_cli replay <file> [--mechanism NAME] [--json]
-//   optshare_cli serve [--workers N] [--data-dir DIR]
-//                                         # wire-protocol request loop
+//   optshare_cli serve [--workers N] [--data-dir DIR] [--listen HOST:PORT]
+//                                         # wire-protocol loop: stdin, or TCP
+//   optshare_cli connect HOST:PORT        # drive a remote serve --listen
 //   optshare_cli recover <data-dir>       # replay a data dir, print state
 //   optshare_cli mechanisms               # list registered mechanisms
 //   optshare_cli help [subcommand]        # detailed per-subcommand usage
@@ -25,23 +26,25 @@
 // mechanism for the game's type.
 #include <cerrno>
 #include <condition_variable>
+#include <cstdint>
 #include <cstdlib>
-#include <deque>
 #include <fstream>
-#include <future>
 #include <iostream>
 #include <mutex>
 #include <sstream>
 #include <string>
-#include <thread>
 
 #include "baseline/baseline_mechanisms.h"
 #include "common/money.h"
+#include "common/net.h"
 #include "core/accounting.h"
 #include "core/mechanism.h"
 #include "core/online_mechanism.h"
 #include "core/serialization.h"
+#include "service/dispatch.h"
 #include "service/marketplace_server.h"
+#include "service/net_client.h"
+#include "service/net_server.h"
 
 namespace optshare {
 namespace {
@@ -87,12 +90,17 @@ constexpr SubcommandHelp kSubcommands[] = {
      "  optshare_cli replay log.json --mechanism naive_online --json\n"},
     {"serve",
      "optshare_cli serve [--workers N] [--data-dir DIR] "
-     "[--max-request-bytes B]",
+     "[--listen HOST:PORT] [--max-request-bytes B]",
      "Reads newline-delimited marketplace protocol requests (one JSON\n"
      "document per line, schema versions 1 and 2; see service/protocol.h)\n"
      "from stdin and writes one response line per request, in request\n"
      "order. Requests for one tenancy execute in order; distinct tenancies\n"
      "price concurrently on N workers (default 4).\n"
+     "--listen HOST:PORT serves the identical protocol over TCP instead:\n"
+     "many concurrent connections, per-connection response ordering, slow\n"
+     "readers bounded then disconnected with a typed error. Port 0 picks\n"
+     "an ephemeral port (printed to stderr). Drive it interactively with\n"
+     "`optshare_cli connect HOST:PORT`.\n"
      "--data-dir makes tenancy state durable: requests are journaled,\n"
      "close_period checkpoints, and startup recovers whatever the\n"
      "directory holds. EOF or a v2 shutdown request drains in-flight work\n"
@@ -115,6 +123,18 @@ constexpr SubcommandHelp kSubcommands[] = {
      "  {\"ok\":true,\"result\":{\"report\":{...}},\"v\":1}\n"
      "  {\"v\":2,\"op\":\"shutdown\"}\n"
      "  {\"ok\":true,\"result\":{\"draining\":true},\"v\":2}\n"},
+    {"connect", "optshare_cli connect HOST:PORT",
+     "Connects to a `serve --listen` server and round-trips protocol\n"
+     "request lines from stdin, printing one response line per request —\n"
+     "a transcript of the same session `serve` would run locally.\n"
+     "example:\n"
+     "  $ optshare_cli serve --listen 127.0.0.1:7421 &\n"
+     "  $ optshare_cli connect 127.0.0.1:7421\n"
+     "  {\"v\":1,\"op\":\"list_mechanisms\"}\n"
+     "  {\"ok\":true,\"result\":{\"mechanisms\":[...]},\"v\":1}\n"
+     "  {\"v\":2,\"op\":\"server_info\"}\n"
+     "  {\"ok\":true,\"result\":{...,\"transport\":{\"connections_open\":1,"
+     "...}},\"v\":2}\n"},
     {"recover", "optshare_cli recover <data-dir> [--json]",
      "Rebuilds every tenancy persisted under a serve --data-dir (latest\n"
      "snapshot + journal replay through the regular dispatch path) and\n"
@@ -180,18 +200,22 @@ LineRead ReadBoundedLine(std::istream& in, std::string* line, size_t cap) {
   }
 }
 
-/// The wire loop: one request line in, one response line out, in request
-/// order. Requests dispatch asynchronously so distinct tenancies price
-/// concurrently; a dedicated writer thread flushes each response the
-/// moment it completes (never waiting for the next stdin line), so an
-/// interactive client that awaits its response before sending the next
-/// request is never deadlocked against a blocked getline. With
-/// --data-dir, state is journaled/checkpointed as it changes, startup
-/// recovers the directory, and EOF or a shutdown request checkpoints
-/// every tenancy before exit (no lost final period on pipe close).
+/// The stdin wire loop: one request line in, one response line out, in
+/// request order. Parsing and dispatch go through the same
+/// RequestDispatcher the TCP NetServer uses, and ordering through the same
+/// OrderedLineWriter — responses flush the moment they resolve (never
+/// waiting for the next stdin line), so an interactive client that awaits
+/// its response before sending the next request is never deadlocked
+/// against a blocked getline. With --data-dir, state is
+/// journaled/checkpointed as it changes, startup recovers the directory,
+/// and EOF or a shutdown request checkpoints every tenancy before exit (no
+/// lost final period on pipe close). With --listen HOST:PORT the same
+/// server is exposed over TCP instead (service/net_server.h), serving many
+/// concurrent connections.
 int Serve(int argc, char** argv) {
   int workers = 4;
   std::string data_dir;
+  std::string listen;
   size_t max_request_bytes = service::protocol::kDefaultMaxRequestBytes;
   for (int a = 2; a < argc; ++a) {
     const std::string arg = argv[a];
@@ -200,6 +224,8 @@ int Serve(int argc, char** argv) {
       if (workers < 1) return Fail("--workers must be >= 1");
     } else if (arg == "--data-dir" && a + 1 < argc) {
       data_dir = argv[++a];
+    } else if (arg == "--listen" && a + 1 < argc) {
+      listen = argv[++a];
     } else if (arg == "--max-request-bytes" && a + 1 < argc) {
       // A silently-misparsed cap either disables the protection (garbage
       // -> 0) or rejects everything ("2M" -> 2); insist on a clean number.
@@ -233,48 +259,43 @@ int Serve(int argc, char** argv) {
               << " journal records) from " << data_dir << "\n";
   }
 
+  // --listen: the TCP front end serves the same MarketplaceServer through
+  // the same dispatcher; Wait() returns once a wire shutdown op drains
+  // every connection, and the checkpoint below runs exactly as for stdin.
+  if (!listen.empty()) {
+    auto host_port = net::ParseHostPort(listen);
+    if (!host_port.ok()) return Fail(host_port.status().ToString());
+    service::NetServerOptions net_options;
+    net_options.host = host_port->first;
+    net_options.port = host_port->second;
+    service::NetServer net(&server, net_options);
+    Status started = net.Start();
+    if (!started.ok()) return Fail(started.ToString());
+    std::cerr << "serving on "
+              << (net.host().empty() ? "0.0.0.0" : net.host()) << ":"
+              << net.port() << " (" << workers << " workers); send "
+              << "{\"v\":2,\"op\":\"shutdown\"} to drain and exit\n";
+    net.Wait();
+    Status shutdown = server.Shutdown();
+    if (!shutdown.ok()) {
+      std::cerr << "warning: shutdown left state unpersisted: "
+                << shutdown.ToString() << "\n";
+    }
+    return 0;
+  }
+
+  service::RequestDispatcher dispatcher(&server);
+  // Only the writer's sink touches stdout: responses flush strictly in
+  // request order, as soon as each completes.
+  service::OrderedLineWriter writer([](std::string response) {
+    std::cout << response << "\n";
+    std::cout.flush();
+  });
+  // Bound the in-flight window so a firehose client cannot queue unbounded
+  // work on the pool.
   std::mutex mu;
   std::condition_variable cv;
-  std::deque<std::future<service::protocol::Response>> pending;
-  bool eof = false;
-  // Only the writer touches stdout: responses flush strictly in request
-  // order, as soon as each future resolves.
-  std::thread writer([&] {
-    for (;;) {
-      std::future<service::protocol::Response> next;
-      {
-        std::unique_lock<std::mutex> lock(mu);
-        cv.wait(lock, [&] { return eof || !pending.empty(); });
-        if (pending.empty()) return;
-        next = std::move(pending.front());
-        pending.pop_front();
-      }
-      std::cout << service::protocol::FormatResponseLine(next.get()) << "\n";
-      std::cout.flush();
-      cv.notify_all();  // Wake the reader if it is waiting on the window.
-    }
-  });
-
-  const auto enqueue = [&](std::future<service::protocol::Response> future) {
-    std::unique_lock<std::mutex> lock(mu);
-    // Bound the in-flight window so a firehose client cannot queue
-    // unbounded futures.
-    cv.wait(lock, [&] { return pending.size() < 1024; });
-    pending.push_back(std::move(future));
-    cv.notify_all();
-  };
-
-  // Answers in-order even for requests that never executed (parse errors,
-  // oversized lines): an already-resolved future slots into the queue.
-  const auto enqueue_error = [&](Status status) {
-    std::promise<service::protocol::Response> failed;
-    service::protocol::Response error =
-        service::protocol::ErrorResponse("", std::move(status));
-    // The client's version is unknowable here; speak the oldest one.
-    error.version = service::protocol::kMinProtocolVersion;
-    failed.set_value(std::move(error));
-    enqueue(failed.get_future());
-  };
+  size_t inflight = 0;
 
   std::string line;
   bool reading = true;
@@ -284,40 +305,72 @@ int Serve(int argc, char** argv) {
         reading = false;
         continue;
       case LineRead::kTooLong:
-        enqueue_error(Status::ResourceExhausted(
-            "request line exceeds the " +
-            std::to_string(max_request_bytes) +
-            "-byte cap (--max-request-bytes)"));
+        writer.Complete(writer.Reserve(), dispatcher.OversizedLineResponse());
         continue;
       case LineRead::kOk:
         break;
     }
     if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
-    Result<service::protocol::Request> request =
-        service::protocol::ParseRequestLine(line);
-    if (!request.ok()) {
-      enqueue_error(request.status());
-      continue;
+    {
+      std::unique_lock<std::mutex> lock(mu);
+      cv.wait(lock, [&] { return inflight < 1024; });
+      ++inflight;
     }
+    const uint64_t slot = writer.Reserve();
     const bool is_shutdown =
-        request->op == service::protocol::RequestOp::kShutdown;
-    enqueue(server.Dispatch(std::move(*request)));
+        dispatcher.Submit(line, [slot, &writer, &mu, &cv,
+                                 &inflight](std::string response) {
+          writer.Complete(slot, std::move(response));
+          {
+            std::lock_guard<std::mutex> lock(mu);
+            --inflight;
+          }
+          cv.notify_all();
+        });
     // A shutdown request ends the read loop once acknowledged; whatever
     // stdin still holds is intentionally unread.
     if (is_shutdown) reading = false;
   }
   {
-    std::lock_guard<std::mutex> lock(mu);
-    eof = true;
+    // Every submitted callback references this frame; wait them out.
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return inflight == 0; });
   }
-  cv.notify_all();
-  writer.join();
   // Graceful exit: drain the pool and checkpoint every tenancy, so the
   // final (possibly still-open) period survives the pipe closing.
   Status shutdown = server.Shutdown();
   if (!shutdown.ok()) {
     std::cerr << "warning: shutdown left state unpersisted: "
               << shutdown.ToString() << "\n";
+  }
+  return 0;
+}
+
+/// Interactive remote client: reads request lines from stdin, round-trips
+/// each over TCP, prints the response line. EOF closes the connection and
+/// leaves the server running (send a v2 shutdown op to stop it).
+int ConnectRemote(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  auto host_port = net::ParseHostPort(argv[2]);
+  if (!host_port.ok()) return Fail(host_port.status().ToString());
+  for (int a = 3; a < argc; ++a) return Usage();
+  Result<service::NetClient> client =
+      service::NetClient::Connect(host_port->first, host_port->second);
+  if (!client.ok()) return Fail(client.status().ToString());
+  std::cerr << "connected to "
+            << (host_port->first.empty() ? "127.0.0.1" : host_port->first)
+            << ":" << host_port->second << "\n";
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    Result<std::string> response = client->Call(line);
+    if (!response.ok()) {
+      // A shutdown op drains the server, which then closes the socket —
+      // possibly right after (or instead of) delivering the final line.
+      return Fail(response.status().ToString());
+    }
+    std::cout << *response << "\n";
+    std::cout.flush();
   }
   return 0;
 }
@@ -591,6 +644,9 @@ int Main(int argc, char** argv) {
   }
   if (argc >= 2 && std::string(argv[1]) == "help") return Help(argc, argv);
   if (argc >= 2 && std::string(argv[1]) == "serve") return Serve(argc, argv);
+  if (argc >= 2 && std::string(argv[1]) == "connect") {
+    return ConnectRemote(argc, argv);
+  }
   if (argc >= 2 && std::string(argv[1]) == "recover") {
     return Recover(argc, argv);
   }
