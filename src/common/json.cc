@@ -21,42 +21,80 @@ void JsonValue::Set(const std::string& key, JsonValue v) {
 
 void JsonValue::Append(JsonValue v) { AsArray().push_back(std::move(v)); }
 
-std::string JsonEscape(std::string_view s) {
-  std::string out = "\"";
+void JsonValue::Reserve(size_t n) { AsArray().reserve(n); }
+
+namespace {
+
+/// Bytes `c` occupies once escaped (1 for the common passthrough case).
+size_t EscapedLength(unsigned char c) {
+  switch (c) {
+    case '"':
+    case '\\':
+    case '\n':
+    case '\r':
+    case '\t':
+    case '\b':
+    case '\f':
+      return 2;
+    default:
+      return c < 0x20 ? 6 : 1;  // \u00XX.
+  }
+}
+
+const char kHexDigits[] = "0123456789abcdef";
+
+}  // namespace
+
+void JsonEscapeTo(std::string_view s, std::string* out) {
+  size_t escaped = 0;
+  for (unsigned char c : s) escaped += EscapedLength(c);
+  out->reserve(out->size() + escaped + 2);
+  out->push_back('"');
+  if (escaped == s.size()) {
+    // Nothing needs escaping: one bulk append.
+    out->append(s.data(), s.size());
+    out->push_back('"');
+    return;
+  }
   for (unsigned char c : s) {
     switch (c) {
       case '"':
-        out += "\\\"";
+        out->append("\\\"", 2);
         break;
       case '\\':
-        out += "\\\\";
+        out->append("\\\\", 2);
         break;
       case '\n':
-        out += "\\n";
+        out->append("\\n", 2);
         break;
       case '\r':
-        out += "\\r";
+        out->append("\\r", 2);
         break;
       case '\t':
-        out += "\\t";
+        out->append("\\t", 2);
         break;
       case '\b':
-        out += "\\b";
+        out->append("\\b", 2);
         break;
       case '\f':
-        out += "\\f";
+        out->append("\\f", 2);
         break;
       default:
         if (c < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
+          const char buf[6] = {'\\', 'u', '0', '0', kHexDigits[c >> 4],
+                               kHexDigits[c & 0xF]};
+          out->append(buf, sizeof(buf));
         } else {
-          out += static_cast<char>(c);
+          out->push_back(static_cast<char>(c));
         }
     }
   }
-  out += '"';
+  out->push_back('"');
+}
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  JsonEscapeTo(s, &out);
   return out;
 }
 
@@ -86,12 +124,16 @@ void DumpTo(const JsonValue& v, int indent, int depth, std::string* out) {
       if (std::isnan(d) || std::isinf(d)) {
         *out += "null";
       } else {
-        *out += FormatDouble(d);
+        // Same round-trip formatting as FormatDouble, appended in place.
+        char buf[32];
+        const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), d);
+        (void)ec;
+        out->append(buf, static_cast<size_t>(ptr - buf));
       }
       return;
     }
     case JsonValue::Type::kString:
-      *out += JsonEscape(v.AsString());
+      JsonEscapeTo(v.AsString(), out);
       return;
     case JsonValue::Type::kArray: {
       const auto& arr = v.AsArray();
@@ -134,6 +176,14 @@ void DumpTo(const JsonValue& v, int indent, int depth, std::string* out) {
     }
   }
 }
+
+}  // namespace
+
+void JsonValue::DumpTo(std::string* out, int indent) const {
+  optshare::DumpTo(*this, indent, 0, out);
+}
+
+namespace {
 
 /// Recursive-descent parser.
 class Parser {
@@ -361,7 +411,7 @@ class Parser {
 
 std::string JsonValue::Dump(int indent) const {
   std::string out;
-  DumpTo(*this, indent, 0, &out);
+  DumpTo(&out, indent);
   return out;
 }
 

@@ -57,10 +57,17 @@ class JsonValue {
   void Set(const std::string& key, JsonValue v);
   /// Array append (precondition: is_array()).
   void Append(JsonValue v);
+  /// Array capacity hint (precondition: is_array()) — the serializers call
+  /// it where the element count is known up front, so the hot-path arrays
+  /// (ledger vectors, tenant id lists) grow exactly once.
+  void Reserve(size_t n);
 
   /// Serializes; `indent` < 0 emits compact JSON, otherwise pretty-prints
   /// with that many spaces per level.
   std::string Dump(int indent = -1) const;
+  /// Appends the serialization to *out instead of allocating a fresh
+  /// string — the wire hot path reuses one scratch buffer across requests.
+  void DumpTo(std::string* out, int indent = -1) const;
 
   /// Parses a complete JSON document (rejects trailing garbage).
   static Result<JsonValue> Parse(std::string_view text);
@@ -83,6 +90,9 @@ class JsonValue {
 
 /// Escapes a string per RFC 8259 (quotes included).
 std::string JsonEscape(std::string_view s);
+/// Append-form JsonEscape: precomputes the escaped length, reserves once,
+/// and appends to *out — no per-string temporary, no incremental growth.
+void JsonEscapeTo(std::string_view s, std::string* out);
 
 // -- Typed object-field accessors -------------------------------------------
 // One implementation for every strict schema in the codebase (wire

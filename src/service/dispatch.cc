@@ -3,9 +3,23 @@
 #include <utility>
 
 namespace optshare::service {
+namespace {
+
+/// One reused serialization buffer per thread — per worker shard on the
+/// dispatch path, per transport thread for inline errors. Responses are
+/// appended here and handed to `done` as a view, so steady-state serving
+/// allocates nothing per response (the buffer's capacity converges on the
+/// largest response that shard has produced).
+std::string* ResponseScratch() {
+  thread_local std::string scratch;
+  scratch.clear();
+  return &scratch;
+}
+
+}  // namespace
 
 bool RequestDispatcher::Submit(const std::string& line,
-                               std::function<void(std::string)> done) {
+                               std::function<void(std::string_view)> done) {
   Result<protocol::Request> request =
       protocol::ParseRequestLine(line, server_->max_request_bytes());
   if (!request.ok()) {
@@ -14,14 +28,18 @@ bool RequestDispatcher::Submit(const std::string& line,
     // exactly HandleLine's behavior.
     protocol::Response error = protocol::ErrorResponse("", request.status());
     error.version = protocol::kMinProtocolVersion;
-    done(protocol::FormatResponseLine(error));
+    std::string* scratch = ResponseScratch();
+    protocol::AppendResponseLine(error, scratch);
+    done(*scratch);
     return false;
   }
   const bool is_shutdown = request->op == protocol::RequestOp::kShutdown;
   server_->DispatchCallback(
       std::move(*request),
       [done = std::move(done)](protocol::Response response) {
-        done(protocol::FormatResponseLine(response));
+        std::string* scratch = ResponseScratch();
+        protocol::AppendResponseLine(response, scratch);
+        done(*scratch);
       });
   return is_shutdown;
 }
@@ -41,14 +59,20 @@ uint64_t OrderedLineWriter::Reserve() {
   return next_reserve_++;
 }
 
-void OrderedLineWriter::Complete(uint64_t slot, std::string line) {
+void OrderedLineWriter::Complete(uint64_t slot, std::string_view line) {
   std::lock_guard<std::mutex> lock(mu_);
-  ready_.emplace(slot, std::move(line));
-  // Flush the contiguous prefix; anything beyond a still-missing slot
-  // waits buffered so responses leave in request order.
+  if (slot == next_flush_) {
+    // In-order arrival: pass the view straight through, no copy, then
+    // drain whatever buffered successors it unblocks.
+    sink_(line);
+    ++next_flush_;
+  } else {
+    // Out of order: buffer a copy; it flushes once its predecessors land.
+    ready_.emplace(slot, std::string(line));
+  }
   for (auto it = ready_.begin();
        it != ready_.end() && it->first == next_flush_;) {
-    sink_(std::move(it->second));
+    sink_(it->second);
     it = ready_.erase(it);
     ++next_flush_;
   }

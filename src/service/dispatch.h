@@ -13,6 +13,7 @@
 #include <map>
 #include <mutex>
 #include <string>
+#include <string_view>
 
 #include "service/marketplace_server.h"
 
@@ -29,11 +30,14 @@ class RequestDispatcher {
   /// exactly once with the serialized response (no trailing newline):
   /// inline, on the caller's thread, for lines that never reach a worker
   /// (parse errors, over-cap lines); on the tenancy's worker otherwise.
+  /// The view is only valid for the duration of the call — it points into
+  /// a per-thread scratch buffer that is reused for the next response on
+  /// that worker, so `done` must write or copy the bytes before returning.
   /// Returns true when the line was an accepted `shutdown` request — the
   /// transport should stop reading once it has queued this response.
   /// `done` may outlive the transport; capture shared state by shared_ptr.
   bool Submit(const std::string& line,
-              std::function<void(std::string)> done);
+              std::function<void(std::string_view)> done);
 
   /// The response line for a request the transport's own bounded reader
   /// already discarded as over-cap (it never saw the full line, so it
@@ -53,21 +57,26 @@ class RequestDispatcher {
 /// back into the writer.
 class OrderedLineWriter {
  public:
-  explicit OrderedLineWriter(std::function<void(std::string)> sink)
+  explicit OrderedLineWriter(std::function<void(std::string_view)> sink)
       : sink_(std::move(sink)) {}
 
   /// Claims the next slot in output order. Call in request-arrival order.
   uint64_t Reserve();
 
   /// Delivers slot `slot`'s response; flushes the contiguous ready prefix.
-  void Complete(uint64_t slot, std::string line);
+  /// An in-order arrival (the common case: per-tenancy FIFO sharding keeps
+  /// one connection's responses mostly ordered already) passes `line`
+  /// straight through to `sink` without copying; only out-of-order
+  /// completions are buffered. The view need only stay valid for the
+  /// duration of the call, and `sink`'s views likewise die at return.
+  void Complete(uint64_t slot, std::string_view line);
 
   /// True when every reserved slot has been completed and flushed.
   bool Idle() const;
 
  private:
   mutable std::mutex mu_;
-  std::function<void(std::string)> sink_;
+  std::function<void(std::string_view)> sink_;
   uint64_t next_reserve_ = 0;  ///< Guarded by mu_.
   uint64_t next_flush_ = 0;    ///< Guarded by mu_.
   std::map<uint64_t, std::string> ready_;  ///< Completed, awaiting order.

@@ -660,6 +660,7 @@ Response MarketplaceServer::ExecuteTenancyOp(const Request& request,
   switch (request.op) {
     case RequestOp::kSubmit: {
       JsonValue ids = JsonValue::MakeArray();
+      ids.Reserve(request.tenants.size());
       for (const simdb::SimUser& tenant : request.tenants) {
         Result<UserId> id = session.Submit(tenant);
         // Stop at the first rejection, like PricingSession's batch Submit;

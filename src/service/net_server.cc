@@ -126,17 +126,18 @@ struct NetServer::Connection {
         shared(std::move(shared_state)),
         write_cap(write_cap_bytes),
         backpressure_line(std::move(backpressure_response)),
-        writer([this](std::string line) { QueueResponse(std::move(line)); }) {}
+        writer([this](std::string_view line) { QueueResponse(line); }) {}
 
   /// OrderedLineWriter sink: runs on whichever thread completed the
-  /// response (a worker, or the loop for inline parse errors). Appends to
-  /// the write buffer; the cap turns a slow reader into a final
-  /// ResourceExhausted line plus close_after_flush.
-  void QueueResponse(std::string line) {
+  /// response (a worker, or the loop for inline parse errors). Appends the
+  /// view straight into the write buffer — the only copy a response makes
+  /// between the worker's scratch and the socket. The cap turns a slow
+  /// reader into a final ResourceExhausted line plus close_after_flush.
+  void QueueResponse(std::string_view line) {
     std::lock_guard<std::mutex> lock(mu);
     shared->responses.fetch_add(1, std::memory_order_relaxed);
     if (dead || overflowed) return;  // Responses to a condemned reader drop.
-    out += line;
+    out.append(line);
     out.push_back('\n');
     if (write_cap > 0 && out.size() - out_offset > write_cap) {
       overflowed = true;
@@ -174,6 +175,7 @@ struct NetServer::Connection {
   std::chrono::steady_clock::time_point condemned_at{};
 
   bool eof_seen = false;  ///< Loop-only: peer half-closed; drain then close.
+  std::string line_scratch;     ///< Loop-only: reused request-line buffer.
   std::atomic<int> pending{0};  ///< Dispatched, response not yet queued.
   OrderedLineWriter writer;     ///< Last member: sink touches the above.
 };
@@ -311,7 +313,9 @@ void NetServer::Loop() {
       if (got->would_block) return true;
       shared_->bytes_read.fetch_add(got->bytes, std::memory_order_relaxed);
       conn->lines.Append(buf, got->bytes);
-      std::string line;
+      // The connection's line scratch persists across reads, so NextLine's
+      // assign reuses its capacity instead of growing a fresh string.
+      std::string& line = conn->line_scratch;
       for (;;) {
         const net::LineBuffer::Next next = conn->lines.NextLine(&line);
         if (next == net::LineBuffer::Next::kNeedMore) break;
@@ -325,8 +329,8 @@ void NetServer::Loop() {
         conn->pending.fetch_add(1, std::memory_order_acq_rel);
         const uint64_t slot = conn->writer.Reserve();
         const bool is_shutdown = dispatcher_.Submit(
-            line, [conn, slot](std::string response) {
-              conn->writer.Complete(slot, std::move(response));
+            line, [conn, slot](std::string_view response) {
+              conn->writer.Complete(slot, response);
               conn->pending.fetch_sub(1, std::memory_order_acq_rel);
               conn->shared->Notify();
             });

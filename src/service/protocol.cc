@@ -5,6 +5,8 @@
 #include <limits>
 #include <utility>
 
+#include "service/fast_wire.h"
+
 namespace optshare::service::protocol {
 namespace {
 
@@ -180,11 +182,13 @@ JsonValue ToJson(const simdb::SimUser& tenant) {
   obj.Set("executions_per_slot",
           JsonValue::Number(tenant.executions_per_slot));
   JsonValue workload = JsonValue::MakeArray();
+  workload.Reserve(tenant.workload.entries.size());
   for (const simdb::Workload::Entry& entry : tenant.workload.entries) {
     JsonValue query = JsonValue::MakeObject();
     query.Set("table", JsonValue::Str(entry.query.table));
     query.Set("aggregate", JsonValue::Bool(entry.query.aggregate));
     JsonValue predicates = JsonValue::MakeArray();
+    predicates.Reserve(entry.query.predicates.size());
     for (const simdb::Predicate& pred : entry.query.predicates) {
       JsonValue p = JsonValue::MakeObject();
       p.Set("column", JsonValue::Str(pred.column));
@@ -484,6 +488,7 @@ JsonValue ToJson(const PeriodReport& report) {
   JsonValue obj = JsonValue::MakeObject();
   obj.Set("period", JsonValue::Number(report.period));
   JsonValue structures = JsonValue::MakeArray();
+  structures.Reserve(report.structures.size());
   for (const StructureOutcome& outcome : report.structures) {
     JsonValue s = JsonValue::MakeObject();
     s.Set("name", JsonValue::Str(outcome.name));
@@ -498,11 +503,13 @@ JsonValue ToJson(const PeriodReport& report) {
   JsonValue ledger = JsonValue::MakeObject();
   ledger.Set("total_cost", JsonValue::Number(report.ledger.total_cost));
   JsonValue values = JsonValue::MakeArray();
+  values.Reserve(report.ledger.user_value.size());
   for (double value : report.ledger.user_value) {
     values.Append(JsonValue::Number(value));
   }
   ledger.Set("user_value", std::move(values));
   JsonValue payments = JsonValue::MakeArray();
+  payments.Reserve(report.ledger.user_payment.size());
   for (double payment : report.ledger.user_payment) {
     payments.Append(JsonValue::Number(payment));
   }
@@ -603,6 +610,7 @@ JsonValue ToJson(const Request& request) {
       break;
     case RequestOp::kSubmit: {
       JsonValue tenants = JsonValue::MakeArray();
+      tenants.Reserve(request.tenants.size());
       for (const simdb::SimUser& tenant : request.tenants) {
         tenants.Append(ToJson(tenant));
       }
@@ -797,7 +805,8 @@ Result<Response> ResponseFromJson(const JsonValue& v) {
   return response;
 }
 
-Result<Request> ParseRequestLine(const std::string& line, size_t max_bytes) {
+Result<Request> ParseRequestLineTree(const std::string& line,
+                                     size_t max_bytes) {
   if (max_bytes > 0 && line.size() > max_bytes) {
     return Status::ResourceExhausted(
         "request line of " + std::to_string(line.size()) +
@@ -808,8 +817,51 @@ Result<Request> ParseRequestLine(const std::string& line, size_t max_bytes) {
   return RequestFromJson(*doc);
 }
 
+Result<Request> ParseRequestLine(const std::string& line, size_t max_bytes) {
+  if (max_bytes > 0 && line.size() > max_bytes) {
+    return Status::ResourceExhausted(
+        "request line of " + std::to_string(line.size()) +
+        " bytes exceeds the " + std::to_string(max_bytes) + "-byte cap");
+  }
+  Request fast;
+  if (TryFastParseRequestLine(line, &fast)) return fast;
+  // The scanner only accepts documents it is certain the tree parser
+  // accepts identically; everything else — including every malformed
+  // line — re-parses here so rejection semantics cannot drift.
+  return ParseRequestLineTree(line);
+}
+
 std::string FormatResponseLine(const Response& response) {
-  return ToJson(response).Dump();
+  std::string out;
+  AppendResponseLine(response, &out);
+  return out;
+}
+
+void AppendResponseLine(const Response& response, std::string* out) {
+  // Mirrors ToJson(response).Dump() byte-for-byte: JsonValue objects
+  // serialize with sorted keys, so the envelope order is
+  // error < id < ok < result < v.
+  out->push_back('{');
+  if (!response.status.ok()) {
+    out->append("\"error\":{\"code\":");
+    JsonEscapeTo(StatusCodeName(response.status.code()), out);
+    out->append(",\"message\":");
+    JsonEscapeTo(response.status.message(), out);
+    out->append("},");
+  }
+  if (!response.id.empty()) {
+    out->append("\"id\":");
+    JsonEscapeTo(response.id, out);
+    out->push_back(',');
+  }
+  out->append(response.status.ok() ? "\"ok\":true" : "\"ok\":false");
+  if (response.status.ok()) {
+    out->append(",\"result\":");
+    response.payload.DumpTo(out);
+  }
+  out->append(",\"v\":");
+  out->append(std::to_string(response.version));
+  out->push_back('}');
 }
 
 Response ErrorResponse(std::string id, Status status) {

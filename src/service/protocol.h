@@ -174,11 +174,30 @@ Result<PeriodReport> PeriodReportFromJson(const JsonValue& v);
 /// Parses one wire line into a request (strict: version check, unknown
 /// fields rejected). `max_bytes` > 0 rejects longer lines with
 /// ResourceExhausted before parsing (the protocol-robustness cap).
+///
+/// This is the serving hot path: it first attempts the single-pass,
+/// non-materializing scanner (service/fast_wire.h), which fills the
+/// Request directly from string_view spans without building a JsonValue
+/// tree, and falls back to the tree parser for anything the scanner does
+/// not recognize — so acceptance/rejection semantics (and every error
+/// message) are exactly the tree parser's.
 Result<Request> ParseRequestLine(const std::string& line,
                                  size_t max_bytes = 0);
 
+/// The original JsonValue-tree parse path, kept callable on its own so the
+/// differential and fuzz suites (and the protocol bench) can pin the fast
+/// scanner against it byte-for-byte.
+Result<Request> ParseRequestLineTree(const std::string& line,
+                                     size_t max_bytes = 0);
+
 /// Serializes a response as one compact wire line (no trailing newline).
 std::string FormatResponseLine(const Response& response);
+
+/// Append-form FormatResponseLine: serializes into *out (appending; no
+/// trailing newline) so transports can reuse one scratch buffer across
+/// replies instead of allocating a fresh string each. Byte-identical to
+/// FormatResponseLine / ToJson(response).Dump().
+void AppendResponseLine(const Response& response, std::string* out);
 
 /// The error response for `status`, echoing `id`.
 Response ErrorResponse(std::string id, Status status);

@@ -198,14 +198,14 @@ TEST(NetTransportParityTest, TcpAndStdinPathAndHandleLineAgreeByteForByte) {
     MarketplaceServer server(ServerOptions{2});
     RequestDispatcher dispatcher(&server);
     std::mutex out_mu;
-    OrderedLineWriter writer([&](std::string line) {
+    OrderedLineWriter writer([&](std::string_view line) {
       std::lock_guard<std::mutex> lock(out_mu);
-      via_dispatcher.push_back(std::move(line));
+      via_dispatcher.emplace_back(line);
     });
     for (const std::string& line : stream) {
       const uint64_t slot = writer.Reserve();
-      dispatcher.Submit(line, [slot, &writer](std::string response) {
-        writer.Complete(slot, std::move(response));
+      dispatcher.Submit(line, [slot, &writer](std::string_view response) {
+        writer.Complete(slot, response);
       });
     }
     server.Drain();

@@ -22,9 +22,11 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "service/fast_wire.h"
 #include "service/marketplace_server.h"
 #include "service/net_client.h"
 #include "service/net_server.h"
+#include "service/protocol.h"
 #include "simdb/scenarios.h"
 
 namespace optshare::service {
@@ -207,6 +209,55 @@ TEST(ProtocolFuzzTest, HandleLineAnswersOneWellFormedResponsePerMutation) {
   // Sanity: the mutator really was hostile — the vast majority of mutated
   // lines must have been rejected with typed errors.
   EXPECT_GT(errors, kIterations / 2);
+}
+
+// Differential battery for the single-pass scanner (service/fast_wire.h):
+// every mutated line runs through both the fast scanner and the JsonValue
+// tree parser. The fast path is accept-only-when-certain, so the contract
+// under fuzz is exact:
+//
+//   - fast accept  =>  tree accept with a byte-identical re-serialization
+//     (same ops, fields, numbers, escapes — not merely "also ok"), and
+//   - the combined ParseRequestLine (fast first, tree fallback) returns
+//     the same ok-ness and the same status text as the tree parser alone,
+//     so rejection semantics are untouched by the optimization.
+TEST(ProtocolFuzzTest, FastAndTreeParsersAgreeByteForByteUnderMutation) {
+  const std::vector<std::string> corpus = BuildCorpus();
+  Rng rng(5150);
+  int fast_accepts = 0;
+  constexpr int kIterations = 30000;
+  for (int i = 0; i < kIterations; ++i) {
+    std::string line = corpus[static_cast<size_t>(rng.UniformInt(
+        0, static_cast<int64_t>(corpus.size()) - 1))];
+    // Leave some lines unmutated so the fast path demonstrably engages.
+    if (rng.Bernoulli(0.9)) line = Mutate(line, rng);
+    if (rng.Bernoulli(0.3)) line = Mutate(line, rng);
+
+    const Result<Request> tree = protocol::ParseRequestLineTree(line);
+    Request fast_out;
+    if (protocol::TryFastParseRequestLine(line, &fast_out)) {
+      ++fast_accepts;
+      ASSERT_TRUE(tree.ok())
+          << "fast accepted a line the tree rejects: " << line;
+      ASSERT_EQ(protocol::ToJson(fast_out).Dump(),
+                protocol::ToJson(*tree).Dump())
+          << "fast/tree field divergence on: " << line;
+    }
+    const Result<Request> combined = protocol::ParseRequestLine(line);
+    ASSERT_EQ(combined.ok(), tree.ok()) << line;
+    if (!combined.ok()) {
+      ASSERT_EQ(combined.status().ToString(), tree.status().ToString())
+          << "rejection text diverged on: " << line;
+    } else {
+      ASSERT_EQ(protocol::ToJson(*combined).Dump(),
+                protocol::ToJson(*tree).Dump())
+          << line;
+    }
+  }
+  // The battery must actually exercise the fast path, not just its
+  // fallback: unmutated serving lines (submit/depart/advance/...) all
+  // qualify, and some mutations keep lines scannable.
+  EXPECT_GT(fast_accepts, 500);
 }
 
 TEST(ProtocolFuzzTest, OversizedLinesAreRejectedUnparsed) {

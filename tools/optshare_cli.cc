@@ -287,7 +287,7 @@ int Serve(int argc, char** argv) {
   service::RequestDispatcher dispatcher(&server);
   // Only the writer's sink touches stdout: responses flush strictly in
   // request order, as soon as each completes.
-  service::OrderedLineWriter writer([](std::string response) {
+  service::OrderedLineWriter writer([](std::string_view response) {
     std::cout << response << "\n";
     std::cout.flush();
   });
@@ -319,8 +319,8 @@ int Serve(int argc, char** argv) {
     const uint64_t slot = writer.Reserve();
     const bool is_shutdown =
         dispatcher.Submit(line, [slot, &writer, &mu, &cv,
-                                 &inflight](std::string response) {
-          writer.Complete(slot, std::move(response));
+                                 &inflight](std::string_view response) {
+          writer.Complete(slot, response);
           {
             std::lock_guard<std::mutex> lock(mu);
             --inflight;
