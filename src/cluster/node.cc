@@ -1,0 +1,95 @@
+#include "cluster/node.h"
+
+#include <utility>
+
+namespace optshare::cluster {
+
+ClusterNode::ClusterNode(ClusterNodeOptions options)
+    : options_(std::move(options)) {}
+
+ClusterNode::~ClusterNode() { Stop(); }
+
+Status ClusterNode::Start() {
+  if (started_) return Status::FailedPrecondition("node already started");
+  if (!options_.placement.NodeById(options_.node_id).has_value()) {
+    return Status::InvalidArgument("node id \"" + options_.node_id +
+                                   "\" is not in the placement map");
+  }
+  std::shared_ptr<service::StateStore> base;
+  if (options_.data_dir.empty()) {
+    base = std::make_shared<service::MemoryStateStore>();
+  } else {
+    Result<std::unique_ptr<service::FileStateStore>> file =
+        service::FileStateStore::Open(options_.data_dir);
+    if (!file.ok()) return file.status();
+    base = std::move(*file);
+  }
+  replication_ = std::make_shared<ReplicationManager>(
+      options_.placement, options_.node_id, options_.connect,
+      options_.strict_replication);
+
+  service::ServerOptions server_options;
+  server_options.num_workers = options_.num_workers;
+  server_options.store =
+      std::make_shared<ReplicatedStateStore>(std::move(base), replication_);
+  server_ = std::make_unique<service::MarketplaceServer>(
+      std::move(server_options));
+
+  // cluster_update: install the pushed map if newer; answer the version the
+  // node now runs (so pushes are idempotent and unordered-delivery safe).
+  std::shared_ptr<ReplicationManager> replication = replication_;
+  server_->SetClusterUpdateHandler(
+      [replication](const JsonValue& doc) -> Result<JsonValue> {
+        Result<PlacementMap> map = PlacementMap::FromJson(doc);
+        if (!map.ok()) return map.status();
+        const bool installed = replication->UpdatePlacement(*map);
+        JsonValue payload = JsonValue::MakeObject();
+        payload.Set("installed", JsonValue::Bool(installed));
+        payload.Set("version",
+                    JsonValue::Number(static_cast<double>(
+                        replication->CurrentPlacement().version())));
+        return payload;
+      });
+
+  // Boot recovery, owner-filtered: resurrect only the tenancies this node
+  // owns. Replica state for peers stays warm in the store — a failover
+  // restore{tenancy} activates it later.
+  const PlacementMap& placement = options_.placement;
+  const std::string self = options_.node_id;
+  Result<service::RecoveryStats> recovered = server_->RecoverMatching(
+      [&placement, &self](const std::string& tenancy) {
+        std::optional<NodeInfo> owner = placement.OwnerOf(tenancy);
+        return owner.has_value() && owner->id == self;
+      });
+  if (!recovered.ok()) return recovered.status();
+
+  service::NetServerOptions net_options;
+  net_options.host = options_.host;
+  net_options.port = options_.port;
+  net_ = std::make_unique<service::NetServer>(server_.get(), net_options);
+  OPTSHARE_RETURN_NOT_OK(net_->Start());
+  started_ = true;
+  return Status::OK();
+}
+
+void ClusterNode::Wait() {
+  if (net_ != nullptr) net_->Wait();
+}
+
+void ClusterNode::Stop() {
+  if (net_ != nullptr) net_->Stop();
+  started_ = false;
+}
+
+Status ClusterNode::Shutdown() {
+  if (net_ != nullptr) net_->Stop();
+  started_ = false;
+  if (server_ != nullptr) return server_->Shutdown();
+  return Status::OK();
+}
+
+uint16_t ClusterNode::port() const {
+  return net_ != nullptr ? net_->port() : 0;
+}
+
+}  // namespace optshare::cluster

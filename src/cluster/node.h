@@ -1,0 +1,89 @@
+// ClusterNode: one pricing node of the multi-node marketplace. Wires the
+// whole stack for a node id in a PlacementMap:
+//
+//   base StateStore (memory or file)
+//     └─ ReplicatedStateStore      — streams journal writes to the replica
+//          └─ MarketplaceServer    — the tenancy engine, unchanged
+//               └─ NetServer       — the TCP wire front end
+//
+// plus the cluster_update handler (install-if-newer placement maps) and an
+// owner-filtered boot recovery: a node recovers only the tenancies the
+// placement map assigns to it, so replica state held for a peer is NOT
+// resurrected as live — it stays warm in the store until a failover
+// `restore` names it.
+//
+//   ClusterNode node({.node_id = "node-0", .placement = map});
+//   ASSERT_TRUE(node.Start().ok());      // node.port() is now bound
+//   ...
+//   node.Stop();       // crash model: abrupt close, no checkpoint
+//   node.Shutdown();   // graceful: drain + checkpoint + close
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "cluster/placement.h"
+#include "cluster/replication.h"
+#include "service/marketplace_server.h"
+#include "service/net_server.h"
+
+namespace optshare::cluster {
+
+struct ClusterNodeOptions {
+  /// This node's id in `placement.nodes()` (must be present).
+  std::string node_id;
+  /// The cluster's shared placement map (the node streams replication to
+  /// ReplicaFor(tenancy, node_id) and recovers OwnerOf(tenancy)==node_id).
+  PlacementMap placement;
+  /// Bind address. Port 0 = ephemeral; read it back with port().
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  /// Durability directory; "" = in-memory store (tests, benches).
+  std::string data_dir;
+  /// MarketplaceServer worker threads.
+  int num_workers = 4;
+  /// Peer-connect policy for the replication stream.
+  service::NetClient::ConnectOptions connect;
+  /// Fail writes when the replica stream fails (default: degrade).
+  bool strict_replication = false;
+};
+
+class ClusterNode {
+ public:
+  explicit ClusterNode(ClusterNodeOptions options);
+  /// Stops abruptly (crash model) if still running.
+  ~ClusterNode();
+
+  ClusterNode(const ClusterNode&) = delete;
+  ClusterNode& operator=(const ClusterNode&) = delete;
+
+  /// Opens the store, runs owner-filtered recovery, starts the TCP front
+  /// end. After an OK return, port() is bound and peers may connect.
+  Status Start();
+
+  /// Blocks until the TCP front end exits — i.e. until a wire `shutdown`
+  /// request drains it (the CLI node loop), or Stop() is called.
+  void Wait();
+
+  /// Crash model: kills the TCP front end mid-stream, no checkpoint. The
+  /// failover suite uses this as its node-kill switch. Idempotent.
+  void Stop();
+
+  /// Graceful exit: stop accepting, drain, checkpoint every tenancy.
+  Status Shutdown();
+
+  uint16_t port() const;
+  const std::string& id() const { return options_.node_id; }
+  service::MarketplaceServer* server() { return server_.get(); }
+  ReplicationManager* replication() { return replication_.get(); }
+
+ private:
+  ClusterNodeOptions options_;
+  std::shared_ptr<ReplicationManager> replication_;
+  std::unique_ptr<service::MarketplaceServer> server_;
+  std::unique_ptr<service::NetServer> net_;
+  bool started_ = false;
+};
+
+}  // namespace optshare::cluster

@@ -1,0 +1,107 @@
+// PlacementMap: the cluster's tenancy→node assignment, shared by the
+// router front end and every node so both sides agree on who owns what.
+//
+// Assignment is a consistent-hash ring: each node contributes `vnodes`
+// virtual points hashed from "<id>#<k>", and a tenancy belongs to the
+// first *live* node clockwise from hash(tenancy). Hashing is an explicit
+// FNV-1a 64 run through a 64-bit avalanche finalizer — std::hash is not
+// guaranteed stable across processes (and the router and nodes are
+// different processes that must compute identical owners from identical
+// serialized maps), and bare FNV-1a clumps sequentially-named tenancies
+// onto one arc.
+//
+// Two deliberate properties fall out of the ring walk:
+//  - Killing a node re-homes only its tenancies (classic consistent
+//    hashing), each to the next live node clockwise.
+//  - ReplicaFor(t, owner) — the node a tenancy's journal streams to — is
+//    that same next-live-node-clockwise. So when the owner dies, the new
+//    owner IS the node already holding the warm replica, and failover is
+//    a local `restore`.
+//
+// Per-tenancy overrides layer elasticity on top: a rebalance pins a
+// tenancy to an explicit node (ignored while that node is dead, so
+// failover still falls back to the ring). Every mutation bumps `version`;
+// nodes install a pushed map only when its version is newer, which makes
+// cluster_update propagation idempotent and unordered-delivery safe.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/json.h"
+#include "common/status.h"
+
+namespace optshare::cluster {
+
+/// One node endpoint in the cluster.
+struct NodeInfo {
+  std::string id;    ///< Unique, stable name ("node-0").
+  std::string host;  ///< Connect address for router + peer replication.
+  uint16_t port = 0;
+  bool dead = false;  ///< Marked by the router on transport failure.
+};
+
+/// Deterministic 64-bit FNV-1a (the ring's hash; exposed for tests).
+uint64_t Fnv1a64(std::string_view bytes);
+
+class PlacementMap {
+ public:
+  PlacementMap() = default;
+  /// Builds the ring over `nodes` (ids must be unique and non-empty).
+  static Result<PlacementMap> Create(std::vector<NodeInfo> nodes,
+                                     int vnodes = 64);
+
+  /// The node owning `tenancy`: its live override if pinned, else the
+  /// first live node clockwise from hash(tenancy). nullopt when no node
+  /// is live.
+  std::optional<NodeInfo> OwnerOf(const std::string& tenancy) const;
+
+  /// The replication target for `tenancy` relative to `exclude_id`
+  /// (normally the owner): the first live node clockwise from
+  /// hash(tenancy) whose id differs. nullopt when no such node exists
+  /// (single-node cluster, or everything else is dead).
+  std::optional<NodeInfo> ReplicaFor(const std::string& tenancy,
+                                     const std::string& exclude_id) const;
+
+  /// Marks a node dead and bumps the version. false if unknown id.
+  bool MarkDead(const std::string& id);
+  /// Pins `tenancy` to node `id` (the rebalance re-route) and bumps the
+  /// version. false if unknown id.
+  bool SetOverride(const std::string& tenancy, const std::string& id);
+
+  std::optional<NodeInfo> NodeById(const std::string& id) const;
+  const std::vector<NodeInfo>& nodes() const { return nodes_; }
+  std::vector<NodeInfo> LiveNodes() const;
+  const std::map<std::string, std::string>& overrides() const {
+    return overrides_;
+  }
+  int64_t version() const { return version_; }
+  /// Stamps an explicit version. Cluster bootstrap uses it to publish the
+  /// post-bind map (real ports filled in) as newer than the provisional
+  /// one the nodes started with.
+  void SetVersion(int64_t version) { version_ = version; }
+  int vnodes() const { return vnodes_; }
+
+  /// Wire form: {"v": version, "vnodes": N,
+  ///             "nodes": [{"id","host","port","dead"}...],
+  ///             "overrides": {tenancy: id}}. Round-trips exactly.
+  JsonValue ToJson() const;
+  static Result<PlacementMap> FromJson(const JsonValue& v);
+
+ private:
+  void RebuildRing();
+
+  std::vector<NodeInfo> nodes_;
+  std::map<std::string, std::string> overrides_;  ///< tenancy -> node id.
+  int vnodes_ = 64;
+  int64_t version_ = 1;
+  /// (point, index into nodes_), sorted by point.
+  std::vector<std::pair<uint64_t, size_t>> ring_;
+};
+
+}  // namespace optshare::cluster

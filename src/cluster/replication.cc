@@ -1,0 +1,203 @@
+#include "cluster/replication.h"
+
+#include <utility>
+
+namespace optshare::cluster {
+
+using service::NetClient;
+using service::protocol::Request;
+using service::protocol::RequestOp;
+using service::protocol::Response;
+
+ReplicationManager::ReplicationManager(
+    PlacementMap placement, std::string self_id,
+    service::NetClient::ConnectOptions connect_options, bool strict)
+    : self_id_(std::move(self_id)),
+      connect_options_(connect_options),
+      strict_(strict),
+      placement_(std::move(placement)) {}
+
+bool ReplicationManager::UpdatePlacement(const PlacementMap& placement) {
+  std::lock_guard<std::mutex> lock(placement_mu_);
+  if (placement.version() <= placement_.version()) return false;
+  placement_ = placement;
+  return true;
+}
+
+PlacementMap ReplicationManager::CurrentPlacement() const {
+  std::lock_guard<std::mutex> lock(placement_mu_);
+  return placement_;
+}
+
+Status ReplicationManager::CallPeer(const NodeInfo& node, const Request& r) {
+  Peer* peer = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(peers_mu_);
+    std::unique_ptr<Peer>& slot = peers_[node.id];
+    if (slot == nullptr) slot = std::make_unique<Peer>();
+    peer = slot.get();
+  }
+  std::lock_guard<std::mutex> lock(peer->mu);
+  // Two tries: the cached connection may be stale (peer restarted), so one
+  // transport failure tears it down and reconnects before giving up.
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    if (!peer->client.has_value()) {
+      if (attempt > 0) reconnects_.fetch_add(1, std::memory_order_relaxed);
+      Result<NetClient> client =
+          NetClient::Connect(node.host, node.port, connect_options_);
+      if (!client.ok()) {
+        if (attempt == 0) continue;  // Retry the connect once too.
+        return client.status();
+      }
+      peer->client.emplace(std::move(*client));
+    }
+    Result<Response> response = peer->client->Call(r);
+    if (response.ok()) {
+      // Protocol-level errors are final: the bytes arrived, the replica
+      // refused them; reconnecting would not change the answer.
+      return response->status;
+    }
+    peer->client.reset();
+    if (attempt > 0) return response.status();
+  }
+  return Status::Internal("replication: unreachable");
+}
+
+Status ReplicationManager::Forward(const Request& request) {
+  std::optional<NodeInfo> replica;
+  {
+    std::lock_guard<std::mutex> lock(placement_mu_);
+    replica = placement_.ReplicaFor(request.tenancy, self_id_);
+  }
+  if (!replica.has_value()) return Status::OK();  // Single live node.
+  switch (request.op) {
+    case RequestOp::kReplAppend:
+      records_sent_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case RequestOp::kReplCheckpoint:
+      checkpoints_sent_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case RequestOp::kReplSync:
+      syncs_sent_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    default:
+      break;
+  }
+  Status status = CallPeer(*replica, request);
+  if (status.ok()) {
+    if (request.op == RequestOp::kReplAppend) {
+      records_acked_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return status;
+  }
+  failures_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(error_mu_);
+    last_error_ = "replica " + replica->id + ": " + status.message();
+  }
+  // Degrade, don't fail: the tenancy's next checkpoint ships the full
+  // snapshot and heals the replica's gap. Strict deployments opt into
+  // surfacing the failure instead.
+  if (strict_) return status;
+  return Status::OK();
+}
+
+ReplicationManager::Stats ReplicationManager::stats() const {
+  Stats stats;
+  stats.records_sent = records_sent_.load(std::memory_order_relaxed);
+  stats.records_acked = records_acked_.load(std::memory_order_relaxed);
+  stats.checkpoints_sent = checkpoints_sent_.load(std::memory_order_relaxed);
+  stats.syncs_sent = syncs_sent_.load(std::memory_order_relaxed);
+  stats.failures = failures_.load(std::memory_order_relaxed);
+  stats.reconnects = reconnects_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+JsonValue ReplicationManager::InfoJson() const {
+  const Stats s = stats();
+  JsonValue obj = JsonValue::MakeObject();
+  obj.Set("self", JsonValue::Str(self_id_));
+  obj.Set("strict", JsonValue::Bool(strict_));
+  obj.Set("records_sent", JsonValue::Number(static_cast<double>(s.records_sent)));
+  obj.Set("records_acked",
+          JsonValue::Number(static_cast<double>(s.records_acked)));
+  obj.Set("lag", JsonValue::Number(
+                     static_cast<double>(s.records_sent - s.records_acked)));
+  obj.Set("checkpoints_sent",
+          JsonValue::Number(static_cast<double>(s.checkpoints_sent)));
+  obj.Set("syncs_sent", JsonValue::Number(static_cast<double>(s.syncs_sent)));
+  obj.Set("failures", JsonValue::Number(static_cast<double>(s.failures)));
+  obj.Set("reconnects",
+          JsonValue::Number(static_cast<double>(s.reconnects)));
+  {
+    std::lock_guard<std::mutex> lock(placement_mu_);
+    obj.Set("placement_version",
+            JsonValue::Number(static_cast<double>(placement_.version())));
+  }
+  {
+    std::lock_guard<std::mutex> lock(error_mu_);
+    if (!last_error_.empty()) {
+      obj.Set("last_error", JsonValue::Str(last_error_));
+    }
+  }
+  return obj;
+}
+
+// -- ReplicatedStateStore ----------------------------------------------------
+
+ReplicatedStateStore::ReplicatedStateStore(
+    std::shared_ptr<service::StateStore> base,
+    std::shared_ptr<ReplicationManager> replication)
+    : base_(std::move(base)), replication_(std::move(replication)) {}
+
+Status ReplicatedStateStore::Append(const std::string& tenancy,
+                                    const std::string& record) {
+  OPTSHARE_RETURN_NOT_OK(base_->Append(tenancy, record));
+  Request repl;
+  repl.op = RequestOp::kReplAppend;
+  repl.version = 2;
+  repl.tenancy = tenancy;
+  repl.record = record;
+  return replication_->Forward(repl);
+}
+
+Status ReplicatedStateStore::Checkpoint(const std::string& tenancy,
+                                        const JsonValue& snapshot) {
+  OPTSHARE_RETURN_NOT_OK(base_->Checkpoint(tenancy, snapshot));
+  Request repl;
+  repl.op = RequestOp::kReplCheckpoint;
+  repl.version = 2;
+  repl.tenancy = tenancy;
+  repl.snapshot = snapshot;
+  return replication_->Forward(repl);
+}
+
+Status ReplicatedStateStore::Sync(const std::string& tenancy) {
+  OPTSHARE_RETURN_NOT_OK(base_->Sync(tenancy));
+  Request repl;
+  repl.op = RequestOp::kReplSync;
+  repl.version = 2;
+  repl.tenancy = tenancy;
+  return replication_->Forward(repl);
+}
+
+Status ReplicatedStateStore::Remove(const std::string& tenancy) {
+  // Deliberately not replicated: Remove is the operator-facing destructive
+  // primitive, and a replica holding history is the safer failure mode.
+  return base_->Remove(tenancy);
+}
+
+Result<std::vector<service::PersistedTenancy>> ReplicatedStateStore::Load() {
+  return base_->Load();
+}
+
+Result<std::optional<service::PersistedTenancy>>
+ReplicatedStateStore::LoadTenancy(const std::string& tenancy) {
+  return base_->LoadTenancy(tenancy);
+}
+
+service::StateStoreStats ReplicatedStateStore::stats() const {
+  return base_->stats();
+}
+
+}  // namespace optshare::cluster

@@ -1,0 +1,138 @@
+// Journal-streaming replication: the cluster's warm-replica machinery.
+//
+// ReplicatedStateStore decorates a node's base StateStore so that every
+// durability primitive — Append / Checkpoint / Sync — first lands in the
+// base store (the node's own WAL semantics are untouched), then streams to
+// the tenancy's replica node as a repl_* wire request carrying the exact
+// same bytes (the journal line verbatim, the snapshot document verbatim).
+// The replica applies them through ITS base store, so replica state is
+// byte-identical `snapshot + journal` and failover recovery is literally
+// single-node recovery on the replica.
+//
+// Replication is semi-synchronous: the stream happens on the tenancy's
+// shard inside the store call, so by the time a client sees a response,
+// its record has been offered to the replica. The default mode degrades
+// rather than fails — a down replica costs a counter and a logged warning,
+// not availability (the next checkpoint heals the gap, because
+// repl_checkpoint ships the full snapshot and truncates the replica's
+// journal). `strict` mode turns streaming failures into request failures
+// for deployments that want synchronous-replica guarantees.
+//
+// Cascade safety: the replica applies repl_* writes through
+// StateStore::ReplicationBase(), which this decorator overrides to return
+// the base store — a replica-applied record is never re-streamed, so a
+// two-node ring cannot bounce records A→B→A.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "cluster/placement.h"
+#include "common/json.h"
+#include "common/status.h"
+#include "service/net_client.h"
+#include "service/state_store.h"
+
+namespace optshare::cluster {
+
+/// Owns the placement view and the peer connections a node streams over.
+/// Thread-safe: placement swaps under a mutex, each peer connection has
+/// its own mutex (distinct tenancies stream to distinct replicas
+/// concurrently), counters are atomics.
+class ReplicationManager {
+ public:
+  ReplicationManager(PlacementMap placement, std::string self_id,
+                     service::NetClient::ConnectOptions connect_options,
+                     bool strict);
+
+  /// Installs `placement` if its version is newer; returns whether it was
+  /// installed (false = stale or same version, which is not an error).
+  bool UpdatePlacement(const PlacementMap& placement);
+  PlacementMap CurrentPlacement() const;
+  const std::string& self_id() const { return self_id_; }
+
+  /// Streams `request` (a repl_* op for request.tenancy) to the tenancy's
+  /// replica — ReplicaFor(tenancy, self_id). No-op when no replica exists.
+  /// Reconnects once on a transport failure; a still-failing stream
+  /// degrades to OK unless strict mode is on.
+  Status Forward(const service::protocol::Request& request);
+
+  struct Stats {
+    uint64_t records_sent = 0;    ///< repl_append offered.
+    uint64_t records_acked = 0;   ///< repl_append acknowledged ok.
+    uint64_t checkpoints_sent = 0;
+    uint64_t syncs_sent = 0;
+    uint64_t failures = 0;        ///< Streams that never got an ok.
+    uint64_t reconnects = 0;
+  };
+  Stats stats() const;
+
+  /// The server_info "replication" section: counters, lag (sent - acked),
+  /// placement version, self id, strict flag, last error.
+  JsonValue InfoJson() const;
+
+ private:
+  struct Peer {
+    std::mutex mu;
+    std::optional<service::NetClient> client;
+  };
+
+  /// One call over the peer's connection, connecting/reconnecting as
+  /// needed. Returns the protocol-level status of the reply.
+  Status CallPeer(const NodeInfo& node, const service::protocol::Request& r);
+
+  const std::string self_id_;
+  const service::NetClient::ConnectOptions connect_options_;
+  const bool strict_;
+
+  mutable std::mutex placement_mu_;
+  PlacementMap placement_;
+
+  mutable std::mutex peers_mu_;  ///< Guards the map shape, not the peers.
+  std::map<std::string, std::unique_ptr<Peer>> peers_;
+
+  std::atomic<uint64_t> records_sent_{0};
+  std::atomic<uint64_t> records_acked_{0};
+  std::atomic<uint64_t> checkpoints_sent_{0};
+  std::atomic<uint64_t> syncs_sent_{0};
+  std::atomic<uint64_t> failures_{0};
+  std::atomic<uint64_t> reconnects_{0};
+  mutable std::mutex error_mu_;
+  std::string last_error_;
+};
+
+/// The streaming decorator (see the file comment).
+class ReplicatedStateStore : public service::StateStore {
+ public:
+  ReplicatedStateStore(std::shared_ptr<service::StateStore> base,
+                       std::shared_ptr<ReplicationManager> replication);
+
+  std::string_view kind() const override { return base_->kind(); }
+  Status Append(const std::string& tenancy,
+                const std::string& record) override;
+  Status Checkpoint(const std::string& tenancy,
+                    const JsonValue& snapshot) override;
+  Status Sync(const std::string& tenancy) override;
+  Status Remove(const std::string& tenancy) override;
+  Result<std::vector<service::PersistedTenancy>> Load() override;
+  Result<std::optional<service::PersistedTenancy>> LoadTenancy(
+      const std::string& tenancy) override;
+  service::StateStoreStats stats() const override;
+
+  StateStore* ReplicationBase() override { return base_.get(); }
+  std::optional<JsonValue> ReplicationInfo() const override {
+    return replication_->InfoJson();
+  }
+
+ private:
+  std::shared_ptr<service::StateStore> base_;
+  std::shared_ptr<ReplicationManager> replication_;
+};
+
+}  // namespace optshare::cluster

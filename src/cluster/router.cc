@@ -1,0 +1,518 @@
+#include "cluster/router.h"
+
+#include <fcntl.h>
+#include <poll.h>
+
+#include <utility>
+
+namespace optshare::cluster {
+
+using service::NetClient;
+using service::protocol::ErrorResponse;
+using service::protocol::FormatResponseLine;
+using service::protocol::OkResponse;
+using service::protocol::ParseRequestLine;
+using service::protocol::Request;
+using service::protocol::RequestOp;
+using service::protocol::Response;
+
+ClusterRouter::ClusterRouter(RouterOptions options)
+    : options_(std::move(options)), placement_(options_.placement) {}
+
+PlacementMap ClusterRouter::CurrentPlacement() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return placement_;
+}
+
+Result<Response> ClusterRouter::ChannelCall(Channel* channel,
+                                            const NodeInfo& node,
+                                            const Request& request) {
+  // Two tries: a cached connection may be stale (node restarted between
+  // requests), so one transport failure reconnects before giving up.
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    auto it = channel->clients.find(node.id);
+    if (it == channel->clients.end()) {
+      Result<NetClient> client =
+          NetClient::Connect(node.host, node.port, options_.connect);
+      if (!client.ok()) {
+        if (attempt == 0) continue;
+        return client.status();
+      }
+      it = channel->clients.emplace(node.id, std::move(*client)).first;
+    }
+    Result<Response> response = it->second.Call(request);
+    if (response.ok()) return response;
+    channel->clients.erase(it);
+    if (attempt > 0) return response.status();
+  }
+  return Status::Internal("router: unreachable");
+}
+
+std::string ClusterRouter::RouteLine(const std::string& line,
+                                     Channel* channel) {
+  Result<Request> parsed =
+      ParseRequestLine(line, options_.max_request_bytes);
+  if (!parsed.ok()) {
+    return FormatResponseLine(ErrorResponse("", parsed.status()));
+  }
+  return FormatResponseLine(Route(*parsed, channel));
+}
+
+Response ClusterRouter::Route(const Request& request, Channel* channel) {
+  requests_routed_.fetch_add(1, std::memory_order_relaxed);
+  Response response;
+  switch (request.op) {
+    case RequestOp::kServerInfo:
+      response = OkResponse(request.id, InfoJson());
+      break;
+    case RequestOp::kListMechanisms:
+      response = RouteAnyNode(request, channel);
+      break;
+    case RequestOp::kShutdown:
+      response = RouteShutdown(request, channel);
+      break;
+    case RequestOp::kClusterUpdate:
+      response = RouteClusterUpdate(request, channel);
+      break;
+    case RequestOp::kRestore:
+      response = RouteRestore(request, channel);
+      break;
+    default:
+      response = RouteTenancyOp(request, channel);
+      break;
+  }
+  response.version = request.version;
+  return response;
+}
+
+Status ClusterRouter::RestoreOn(const NodeInfo& node,
+                                const std::string& tenancy,
+                                Channel* channel) {
+  restores_issued_.fetch_add(1, std::memory_order_relaxed);
+  Request restore;
+  restore.op = RequestOp::kRestore;
+  restore.version = 2;
+  restore.tenancy = tenancy;
+  Result<Response> response = ChannelCall(channel, node, restore);
+  if (!response.ok()) return response.status();
+  return response->status;
+}
+
+Response ClusterRouter::RouteTenancyOp(const Request& request,
+                                       Channel* channel) {
+  // The report op is the only one retried transparently after a failover:
+  // it is a pure read, so re-executing it on the recovered owner cannot
+  // double-apply anything. Mutations surface the failure — the dead node
+  // may or may not have executed them — and the client resends.
+  const bool idempotent_read = request.op == RequestOp::kReport;
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    std::optional<NodeInfo> owner;
+    std::string recorded;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      owner = placement_.OwnerOf(request.tenancy);
+      auto it = tenancy_owner_.find(request.tenancy);
+      if (it != tenancy_owner_.end()) recorded = it->second;
+    }
+    if (!owner.has_value()) {
+      return ErrorResponse(
+          request.id,
+          Status::Internal("no live node owns tenancy \"" + request.tenancy +
+                           "\""));
+    }
+    // Re-home before forwarding when the owner changed under us (a failover
+    // seen by another connection, a rebalance) or when we are retrying past
+    // a node we just marked dead: the new owner holds the tenancy's warm
+    // replica, and a targeted restore activates it. Restoring a tenancy the
+    // node already serves is a no-op (restore skips live tenancies).
+    if ((!recorded.empty() && recorded != owner->id) || attempt > 0) {
+      Status restored = RestoreOn(*owner, request.tenancy, channel);
+      if (!restored.ok()) {
+        return ErrorResponse(
+            request.id,
+            Status::Internal("failover restore on node " + owner->id +
+                             " failed: " + restored.message() + "; retry"));
+      }
+    }
+    Result<Response> response = ChannelCall(channel, *owner, request);
+    if (response.ok()) {
+      std::lock_guard<std::mutex> lock(mu_);
+      tenancy_owner_[request.tenancy] = owner->id;
+      return std::move(*response);
+    }
+    forward_failures_.fetch_add(1, std::memory_order_relaxed);
+    HandleNodeFailure(owner->id, channel);
+    if (idempotent_read && attempt == 0) continue;
+    return ErrorResponse(
+        request.id,
+        Status::Internal("node " + owner->id + " failed mid-request (" +
+                         response.status().message() +
+                         "); placement updated — retry"));
+  }
+  return ErrorResponse(request.id, Status::Internal("router: unreachable"));
+}
+
+Response ClusterRouter::RouteRestore(const Request& request,
+                                     Channel* channel) {
+  if (!request.tenancy.empty()) {
+    // Targeted restore: run it on the tenancy's owner.
+    std::optional<NodeInfo> owner;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      owner = placement_.OwnerOf(request.tenancy);
+    }
+    if (!owner.has_value()) {
+      return ErrorResponse(request.id,
+                           Status::Internal("no live node owns tenancy \"" +
+                                            request.tenancy + "\""));
+    }
+    Result<Response> response = ChannelCall(channel, *owner, request);
+    if (!response.ok()) {
+      HandleNodeFailure(owner->id, channel);
+      return ErrorResponse(request.id, response.status());
+    }
+    return std::move(*response);
+  }
+  // Cluster-wide restore: broadcast and sum the per-node recovery stats.
+  JsonValue total = JsonValue::MakeObject();
+  int nodes_restored = 0;
+  for (const NodeInfo& node : CurrentPlacement().LiveNodes()) {
+    Result<Response> response = ChannelCall(channel, node, request);
+    if (!response.ok()) {
+      HandleNodeFailure(node.id, channel);
+      continue;
+    }
+    if (!response->status.ok()) return std::move(*response);
+    ++nodes_restored;
+    if (response->payload.is_object()) {
+      for (const auto& [key, value] : response->payload.AsObject()) {
+        if (!value.is_number()) continue;
+        const JsonValue* prior = total.Find(key);
+        const double sum =
+            (prior != nullptr && prior->is_number() ? prior->AsNumber() : 0) +
+            value.AsNumber();
+        total.Set(key, JsonValue::Number(sum));
+      }
+    }
+  }
+  if (nodes_restored == 0) {
+    return ErrorResponse(request.id,
+                         Status::Internal("restore: no live nodes"));
+  }
+  total.Set("nodes", JsonValue::Number(nodes_restored));
+  return OkResponse(request.id, std::move(total));
+}
+
+Response ClusterRouter::RouteAnyNode(const Request& request,
+                                     Channel* channel) {
+  for (const NodeInfo& node : CurrentPlacement().LiveNodes()) {
+    Result<Response> response = ChannelCall(channel, node, request);
+    if (response.ok()) return std::move(*response);
+    HandleNodeFailure(node.id, channel);
+  }
+  return ErrorResponse(request.id, Status::Internal("no live nodes"));
+}
+
+Response ClusterRouter::RouteShutdown(const Request& request,
+                                      Channel* channel) {
+  int notified = 0;
+  for (const NodeInfo& node : CurrentPlacement().LiveNodes()) {
+    Result<Response> response = ChannelCall(channel, node, request);
+    if (response.ok() && response->ok()) ++notified;
+  }
+  shutdown_requested_.store(true);
+  JsonValue payload = JsonValue::MakeObject();
+  payload.Set("shutting_down", JsonValue::Bool(true));
+  payload.Set("nodes_notified", JsonValue::Number(notified));
+  return OkResponse(request.id, payload);
+}
+
+Response ClusterRouter::RouteClusterUpdate(const Request& request,
+                                           Channel* channel) {
+  if (!request.placement.has_value()) {
+    return ErrorResponse(
+        request.id,
+        Status::InvalidArgument("cluster_update: missing placement"));
+  }
+  Result<PlacementMap> map = PlacementMap::FromJson(*request.placement);
+  if (!map.ok()) return ErrorResponse(request.id, map.status());
+  bool installed = false;
+  PlacementMap current;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (map->version() > placement_.version()) {
+      placement_ = *map;
+      installed = true;
+    }
+    current = placement_;
+  }
+  PushPlacement(current, channel);
+  JsonValue payload = JsonValue::MakeObject();
+  payload.Set("installed", JsonValue::Bool(installed));
+  payload.Set("version",
+              JsonValue::Number(static_cast<double>(current.version())));
+  return OkResponse(request.id, payload);
+}
+
+bool ClusterRouter::HandleNodeFailure(const std::string& node_id,
+                                      Channel* channel) {
+  PlacementMap snapshot;
+  bool marked = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::optional<NodeInfo> node = placement_.NodeById(node_id);
+    if (node.has_value() && !node->dead) {
+      placement_.MarkDead(node_id);
+      marked = true;
+    }
+    snapshot = placement_;
+  }
+  if (marked) {
+    failovers_.fetch_add(1, std::memory_order_relaxed);
+    PushPlacement(snapshot, channel);
+  }
+  return marked;
+}
+
+void ClusterRouter::PushPlacement(const PlacementMap& placement,
+                                  Channel* channel) {
+  Request update;
+  update.op = RequestOp::kClusterUpdate;
+  update.version = 2;
+  update.placement = placement.ToJson();
+  for (const NodeInfo& node : placement.LiveNodes()) {
+    Result<Response> response = ChannelCall(channel, node, update);
+    if (response.ok() && response->ok()) {
+      placement_pushes_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+Status ClusterRouter::Rebalance(const std::string& tenancy,
+                                const std::string& target_id,
+                                Channel* channel) {
+  std::lock_guard<std::mutex> rebalance_lock(rebalance_mu_);
+  PlacementMap placement = CurrentPlacement();
+  std::optional<NodeInfo> target = placement.NodeById(target_id);
+  if (!target.has_value() || target->dead) {
+    return Status::InvalidArgument("rebalance target \"" + target_id +
+                                   "\" is not a live node");
+  }
+  std::optional<NodeInfo> owner = placement.OwnerOf(tenancy);
+  if (!owner.has_value()) {
+    return Status::Internal("no live node owns tenancy \"" + tenancy + "\"");
+  }
+  if (owner->id == target_id) return Status::OK();  // Already home.
+
+  // 1. Evict at the owner: checkpoint, then drop the live tenancy. Fails
+  //    with FailedPrecondition while the tenancy's period is open — a
+  //    rebalance is a period-boundary operation by design.
+  Request evict;
+  evict.op = RequestOp::kEvict;
+  evict.version = 2;
+  evict.tenancy = tenancy;
+  Result<Response> evicted = ChannelCall(channel, *owner, evict);
+  if (!evicted.ok()) return evicted.status();
+  if (!evicted->status.ok()) return evicted->status;
+
+  // 2. Export the persisted state (post-checkpoint snapshot + any tail).
+  Request export_req;
+  export_req.op = RequestOp::kTenancyState;
+  export_req.version = 2;
+  export_req.tenancy = tenancy;
+  Result<Response> exported = ChannelCall(channel, *owner, export_req);
+  if (!exported.ok()) return exported.status();
+  if (!exported->status.ok()) return exported->status;
+
+  // 3. Replay it into the target's store over the replication ops — the
+  //    hand-off is exactly the streaming path, exercised on demand.
+  const JsonValue* snapshot = exported->payload.Find("snapshot");
+  if (snapshot != nullptr) {
+    Request checkpoint;
+    checkpoint.op = RequestOp::kReplCheckpoint;
+    checkpoint.version = 2;
+    checkpoint.tenancy = tenancy;
+    checkpoint.snapshot = *snapshot;
+    Result<Response> applied = ChannelCall(channel, *target, checkpoint);
+    if (!applied.ok()) return applied.status();
+    if (!applied->status.ok()) return applied->status;
+  }
+  const JsonValue* journal = exported->payload.Find("journal");
+  if (journal != nullptr && journal->is_array()) {
+    for (const JsonValue& line : journal->AsArray()) {
+      if (!line.is_string()) continue;
+      Request append;
+      append.op = RequestOp::kReplAppend;
+      append.version = 2;
+      append.tenancy = tenancy;
+      append.record = line.AsString();
+      Result<Response> applied = ChannelCall(channel, *target, append);
+      if (!applied.ok()) return applied.status();
+      if (!applied->status.ok()) return applied->status;
+    }
+  }
+
+  // 4. Activate on the target (single-tenancy recovery from what we just
+  //    handed off), then 5. pin the new home and publish it.
+  OPTSHARE_RETURN_NOT_OK(RestoreOn(*target, tenancy, channel));
+  PlacementMap updated;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    placement_.SetOverride(tenancy, target_id);
+    tenancy_owner_[tenancy] = target_id;
+    updated = placement_;
+  }
+  PushPlacement(updated, channel);
+  rebalances_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+JsonValue ClusterRouter::InfoJson() const {
+  JsonValue obj = JsonValue::MakeObject();
+  obj.Set("role", JsonValue::Str("router"));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    obj.Set("placement", placement_.ToJson());
+    obj.Set("tenancies_routed",
+            JsonValue::Number(static_cast<double>(tenancy_owner_.size())));
+  }
+  JsonValue counters = JsonValue::MakeObject();
+  counters.Set("requests_routed",
+               JsonValue::Number(static_cast<double>(
+                   requests_routed_.load(std::memory_order_relaxed))));
+  counters.Set("forward_failures",
+               JsonValue::Number(static_cast<double>(
+                   forward_failures_.load(std::memory_order_relaxed))));
+  counters.Set("failovers",
+               JsonValue::Number(static_cast<double>(
+                   failovers_.load(std::memory_order_relaxed))));
+  counters.Set("restores_issued",
+               JsonValue::Number(static_cast<double>(
+                   restores_issued_.load(std::memory_order_relaxed))));
+  counters.Set("placement_pushes",
+               JsonValue::Number(static_cast<double>(
+                   placement_pushes_.load(std::memory_order_relaxed))));
+  counters.Set("rebalances",
+               JsonValue::Number(static_cast<double>(
+                   rebalances_.load(std::memory_order_relaxed))));
+  obj.Set("routing", std::move(counters));
+  return obj;
+}
+
+// -- RouterServer ------------------------------------------------------------
+
+namespace {
+
+/// Blocking write of the whole buffer (the fd is in blocking mode; a
+/// would_block can only appear transiently).
+Status WriteAll(int fd, const std::string& data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    Result<net::IoChunk> chunk =
+        net::WriteChunk(fd, data.data() + off, data.size() - off);
+    if (!chunk.ok()) return chunk.status();
+    if (chunk->eof) return Status::Internal("peer closed");
+    if (chunk->would_block) {
+      pollfd pfd{fd, POLLOUT, 0};
+      (void)poll(&pfd, 1, 100);
+      continue;
+    }
+    off += chunk->bytes;
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+RouterServer::RouterServer(ClusterRouter* router, std::string host,
+                           uint16_t port)
+    : router_(router), host_(std::move(host)), requested_port_(port) {}
+
+RouterServer::~RouterServer() { Stop(); }
+
+Status RouterServer::Start() {
+  if (started_.load()) {
+    return Status::FailedPrecondition("router server already started");
+  }
+  Result<net::Socket> listener = net::ListenTcp(host_, requested_port_);
+  if (!listener.ok()) return listener.status();
+  Result<uint16_t> port = net::BoundPort(*listener);
+  if (!port.ok()) return port.status();
+  listener_ = std::move(*listener);
+  port_ = *port;
+  started_.store(true);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void RouterServer::AcceptLoop() {
+  while (!stop_.load() && !router_->shutdown_requested()) {
+    pollfd pfd{listener_.fd(), POLLIN, 0};
+    const int rc = poll(&pfd, 1, 100);
+    if (rc <= 0) continue;
+    Result<net::Socket> accepted = net::AcceptNonBlocking(listener_);
+    if (!accepted.ok() || !accepted->valid()) continue;
+    // Thread-per-connection with blocking I/O: flip the accepted socket
+    // back to blocking mode.
+    const int flags = fcntl(accepted->fd(), F_GETFL, 0);
+    if (flags >= 0) {
+      (void)fcntl(accepted->fd(), F_SETFL, flags & ~O_NONBLOCK);
+    }
+    std::lock_guard<std::mutex> lock(threads_mu_);
+    connection_threads_.emplace_back(
+        [this, socket = std::make_shared<net::Socket>(
+                   std::move(*accepted))]() mutable {
+          Serve(std::move(*socket));
+        });
+  }
+}
+
+void RouterServer::Serve(net::Socket socket) {
+  ClusterRouter::Channel channel;
+  net::LineBuffer lines(router_->max_request_bytes());
+  char buf[16384];
+  std::string line;
+  while (!stop_.load()) {
+    pollfd pfd{socket.fd(), POLLIN, 0};
+    const int rc = poll(&pfd, 1, 100);
+    if (rc <= 0) {
+      // Idle: exit once a shutdown has drained this connection's pipeline.
+      if (router_->shutdown_requested()) return;
+      continue;
+    }
+    Result<net::IoChunk> chunk = net::ReadChunk(socket.fd(), buf, sizeof(buf));
+    if (!chunk.ok() || chunk->eof) return;
+    lines.Append(buf, chunk->bytes);
+    for (;;) {
+      const net::LineBuffer::Next next = lines.NextLine(&line);
+      if (next == net::LineBuffer::Next::kNeedMore) break;
+      std::string response_line;
+      if (next == net::LineBuffer::Next::kTooLong) {
+        response_line = FormatResponseLine(ErrorResponse(
+            "", Status::ResourceExhausted("request line exceeds limit")));
+      } else {
+        response_line = router_->RouteLine(line, &channel);
+      }
+      response_line.push_back('\n');
+      if (!WriteAll(socket.fd(), response_line).ok()) return;
+    }
+  }
+}
+
+void RouterServer::Wait() {
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::lock_guard<std::mutex> lock(threads_mu_);
+  for (std::thread& t : connection_threads_) {
+    if (t.joinable()) t.join();
+  }
+  connection_threads_.clear();
+}
+
+void RouterServer::Stop() {
+  if (!started_.load()) return;
+  stop_.store(true);
+  Wait();
+  listener_.Close();
+}
+
+}  // namespace optshare::cluster

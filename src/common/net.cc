@@ -9,6 +9,7 @@
 #include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/types.h>
 #include <unistd.h>
@@ -139,6 +140,49 @@ Result<Socket> ConnectTcp(const std::string& host, uint16_t port) {
                            }
                            return Status::OK();
                          });
+}
+
+Result<Socket> ConnectTcp(const std::string& host, uint16_t port,
+                          int timeout_ms) {
+  if (timeout_ms <= 0) return ConnectTcp(host, port);
+  return ResolveAndApply(
+      host.empty() ? std::string("127.0.0.1") : host, port,
+      /*passive=*/false, [timeout_ms](int fd, const addrinfo& ai) {
+        const int flags = ::fcntl(fd, F_GETFL, 0);
+        if (flags < 0) return Errno("fcntl(F_GETFL)");
+        if (::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+          return Errno("fcntl(F_SETFL, O_NONBLOCK)");
+        }
+        if (::connect(fd, ai.ai_addr, ai.ai_addrlen) < 0) {
+          if (errno != EINPROGRESS) return Errno("connect");
+          pollfd pfd{};
+          pfd.fd = fd;
+          pfd.events = POLLOUT;
+          int rc;
+          do {
+            rc = ::poll(&pfd, 1, timeout_ms);
+          } while (rc < 0 && errno == EINTR);
+          if (rc < 0) return Errno("poll");
+          if (rc == 0) {
+            return Status::Internal("connect timed out after " +
+                                    std::to_string(timeout_ms) + "ms");
+          }
+          int err = 0;
+          socklen_t len = sizeof(err);
+          if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) < 0) {
+            return Errno("getsockopt(SO_ERROR)");
+          }
+          if (err != 0) {
+            return Status::Internal(std::string("connect: ") +
+                                    std::strerror(err));
+          }
+        }
+        // Restore blocking mode: callers expect round-trip semantics.
+        if (::fcntl(fd, F_SETFL, flags) < 0) {
+          return Errno("fcntl(F_SETFL)");
+        }
+        return Status::OK();
+      });
 }
 
 Result<Socket> AcceptNonBlocking(const Socket& listener) {

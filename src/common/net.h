@@ -64,6 +64,14 @@ Result<uint16_t> BoundPort(const Socket& socket);
 /// returned socket is in blocking mode — NetClient's round-trip style.
 Result<Socket> ConnectTcp(const std::string& host, uint16_t port);
 
+/// Connect with a deadline: the connect itself runs non-blocking and is
+/// awaited with poll() for at most `timeout_ms`, then the socket is
+/// switched back to blocking mode. A down-but-routable peer fails in
+/// `timeout_ms` instead of the OS default (minutes). `timeout_ms <= 0`
+/// delegates to the blocking variant above.
+Result<Socket> ConnectTcp(const std::string& host, uint16_t port,
+                          int timeout_ms);
+
 /// Accepts one pending connection from a non-blocking listener. Returns an
 /// invalid Socket (fd -1) when no connection is pending; the accepted
 /// socket is switched to non-blocking mode.

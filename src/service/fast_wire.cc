@@ -35,6 +35,9 @@ class FastScanner {
     out->tenants.clear();
     out->tenant = -1;
     out->slots = 1;
+    out->record.clear();
+    out->snapshot.reset();
+    out->placement.reset();
 
     SkipWs();
     if (!Consume('{')) return false;
@@ -67,8 +70,17 @@ class FastScanner {
           std::optional<RequestOp> parsed = RequestOpFromName(op_name_);
           if (!parsed) return false;
           // open_period carries the nested CatalogSpec/ServiceConfig
-          // payloads this scanner does not model.
-          if (*parsed == RequestOp::kOpenPeriod) return false;
+          // payloads this scanner does not model; likewise the cluster
+          // ops with required payloads (record / snapshot / placement)
+          // and restore, whose tenancy field is optional rather than
+          // forbidden.
+          if (*parsed == RequestOp::kOpenPeriod ||
+              *parsed == RequestOp::kReplAppend ||
+              *parsed == RequestOp::kReplCheckpoint ||
+              *parsed == RequestOp::kClusterUpdate ||
+              *parsed == RequestOp::kRestore) {
+            return false;
+          }
           op = *parsed;
           seen_op = true;
         } else if (key == "id") {

@@ -229,14 +229,21 @@ Result<RecoveryStats> MarketplaceServer::Recover() {
   return RecoverImpl(std::nullopt);
 }
 
+Result<RecoveryStats> MarketplaceServer::RecoverMatching(
+    std::function<bool(const std::string&)> want) {
+  return RecoverImpl(std::nullopt, want);
+}
+
 Result<RecoveryStats> MarketplaceServer::RecoverImpl(
-    std::optional<size_t> current_worker) {
+    std::optional<size_t> current_worker,
+    const std::function<bool(const std::string&)>& want) {
   Result<std::vector<PersistedTenancy>> loaded = store_->Load();
   if (!loaded.ok()) return loaded.status();
 
   std::vector<RecoverOutcome> outcomes;
   std::vector<std::future<RecoverOutcome>> posted;
   for (PersistedTenancy& persisted : *loaded) {
+    if (want && !want(persisted.name)) continue;
     const size_t worker = pool_.ShardOf(ShardOf(persisted.name));
     if (current_worker.has_value() && worker == *current_worker) {
       // We occupy this tenancy's shard right now, so we ARE its
@@ -398,6 +405,12 @@ Status MarketplaceServer::Shutdown() {
 }
 
 Response MarketplaceServer::Execute(const Request& request, bool persist) {
+  // Journal replay (persist=false) re-executes past requests; only live
+  // traffic counts toward the per-op request counters.
+  if (persist) {
+    op_counts_[static_cast<size_t>(request.op)].fetch_add(
+        1, std::memory_order_relaxed);
+  }
   Response response;
   switch (request.op) {
     case RequestOp::kListMechanisms:
@@ -408,6 +421,24 @@ Response MarketplaceServer::Execute(const Request& request, bool persist) {
       break;
     case RequestOp::kRestore:
       response = ExecuteRestore(request);
+      break;
+    case RequestOp::kReplAppend:
+      response = ExecuteReplAppend(request);
+      break;
+    case RequestOp::kReplCheckpoint:
+      response = ExecuteReplCheckpoint(request);
+      break;
+    case RequestOp::kReplSync:
+      response = ExecuteReplSync(request);
+      break;
+    case RequestOp::kTenancyState:
+      response = ExecuteTenancyState(request);
+      break;
+    case RequestOp::kEvict:
+      response = ExecuteEvict(request, persist);
+      break;
+    case RequestOp::kClusterUpdate:
+      response = ExecuteClusterUpdate(request);
       break;
     case RequestOp::kShutdown: {
       shutdown_requested_.store(true);
@@ -461,6 +492,19 @@ Response MarketplaceServer::ExecuteServerInfo(const Request& request) {
   store_info.Set("syncs",
                  JsonValue::Number(static_cast<double>(store_stats.syncs)));
   payload.Set("store_stats", std::move(store_info));
+  JsonValue ops = JsonValue::MakeObject();
+  for (protocol::RequestOp op : protocol::kAllRequestOps) {
+    const uint64_t count =
+        op_counts_[static_cast<size_t>(op)].load(std::memory_order_relaxed);
+    if (count > 0) {
+      ops.Set(std::string(protocol::RequestOpName(op)),
+              JsonValue::Number(static_cast<double>(count)));
+    }
+  }
+  payload.Set("ops", std::move(ops));
+  if (std::optional<JsonValue> replication = store_->ReplicationInfo()) {
+    payload.Set("replication", std::move(*replication));
+  }
   {
     std::lock_guard<std::mutex> lock(recovery_mu_);
     payload.Set("recoveries_run", JsonValue::Number(recoveries_run_));
@@ -481,13 +525,149 @@ void MarketplaceServer::SetTransportInfoProvider(
   transport_info_ = std::move(provider);
 }
 
+void MarketplaceServer::SetClusterUpdateHandler(
+    std::function<Result<JsonValue>(const JsonValue&)> handler) {
+  std::lock_guard<std::mutex> lock(cluster_mu_);
+  cluster_update_ = std::move(handler);
+}
+
 Response MarketplaceServer::ExecuteRestore(const Request& request) {
   // This runs on the worker the empty-name shard maps to; tenancies
-  // hashing there are recovered inline (see RecoverImpl).
+  // hashing there are recovered inline (see RecoverImpl). A tenancy
+  // filter (the cluster failover path) restricts the pass to that name,
+  // so a router never resurrects tenancies this node merely replicates.
+  std::function<bool(const std::string&)> want;
+  if (!request.tenancy.empty()) {
+    const std::string only = request.tenancy;
+    want = [only](const std::string& name) { return name == only; };
+  }
+  // DispatchCallback sharded this request on ShardOf(request.tenancy)
+  // ("" for a full restore), so that is the worker we occupy right now.
   Result<RecoveryStats> stats =
-      RecoverImpl(pool_.ShardOf(ShardOf(request.tenancy)));
+      RecoverImpl(pool_.ShardOf(ShardOf(request.tenancy)), want);
   if (!stats.ok()) return ErrorResponse(request.id, stats.status());
   return OkResponse(request.id, ToJson(*stats));
+}
+
+// -- Cluster ops ------------------------------------------------------------
+//
+// The repl_* ops are the replication target's write surface: they apply
+// StateStore primitives with the exact wire bytes the source's store saw,
+// so a replica's `snapshot + journal` is byte-identical to the source's
+// and failover recovery IS single-node recovery. They write through
+// ReplicationBase() — on a replicating node that is the wrapped base
+// store, which keeps replica-applied records from being re-streamed
+// (A→B→A forever in a two-node ring).
+
+Response MarketplaceServer::ExecuteReplAppend(const Request& request) {
+  Status appended =
+      store_->ReplicationBase()->Append(request.tenancy, request.record);
+  if (!appended.ok()) return ErrorResponse(request.id, appended);
+  JsonValue payload = JsonValue::MakeObject();
+  payload.Set("appended", JsonValue::Bool(true));
+  return OkResponse(request.id, std::move(payload));
+}
+
+Response MarketplaceServer::ExecuteReplCheckpoint(const Request& request) {
+  if (!request.snapshot.has_value()) {
+    return ErrorResponse(request.id, Status::InvalidArgument(
+                                         "repl_checkpoint needs a snapshot"));
+  }
+  Status checkpointed =
+      store_->ReplicationBase()->Checkpoint(request.tenancy,
+                                            *request.snapshot);
+  if (!checkpointed.ok()) return ErrorResponse(request.id, checkpointed);
+  JsonValue payload = JsonValue::MakeObject();
+  payload.Set("checkpointed", JsonValue::Bool(true));
+  return OkResponse(request.id, std::move(payload));
+}
+
+Response MarketplaceServer::ExecuteReplSync(const Request& request) {
+  Status synced = store_->ReplicationBase()->Sync(request.tenancy);
+  if (!synced.ok()) return ErrorResponse(request.id, synced);
+  JsonValue payload = JsonValue::MakeObject();
+  payload.Set("synced", JsonValue::Bool(true));
+  return OkResponse(request.id, std::move(payload));
+}
+
+Response MarketplaceServer::ExecuteTenancyState(const Request& request) {
+  Result<std::optional<PersistedTenancy>> loaded =
+      store_->LoadTenancy(request.tenancy);
+  if (!loaded.ok()) return ErrorResponse(request.id, loaded.status());
+  if (!loaded->has_value()) {
+    return ErrorResponse(request.id,
+                         Status::NotFound("no persisted state for tenancy \"" +
+                                          request.tenancy + "\""));
+  }
+  const PersistedTenancy& persisted = **loaded;
+  JsonValue payload = JsonValue::MakeObject();
+  payload.Set("tenancy", JsonValue::Str(persisted.name));
+  if (persisted.snapshot.has_value()) {
+    payload.Set("snapshot", *persisted.snapshot);
+  }
+  JsonValue journal = JsonValue::MakeArray();
+  journal.Reserve(persisted.journal.size());
+  for (const std::string& line : persisted.journal) {
+    journal.Append(JsonValue::Str(line));
+  }
+  payload.Set("journal", std::move(journal));
+  payload.Set("torn_tail", JsonValue::Bool(persisted.torn_tail));
+  return OkResponse(request.id, std::move(payload));
+}
+
+Response MarketplaceServer::ExecuteEvict(const Request& request,
+                                         bool persist) {
+  Tenancy* tenancy = FindTenancy(request.tenancy);
+  if (tenancy == nullptr) {
+    // Idempotent: re-running a rebalance whose source already dropped the
+    // tenancy must not fail the whole hand-off.
+    JsonValue payload = JsonValue::MakeObject();
+    payload.Set("evicted", JsonValue::Bool(false));
+    return OkResponse(request.id, std::move(payload));
+  }
+  if (tenancy->session.has_value()) {
+    return ErrorResponse(
+        request.id,
+        Status::FailedPrecondition(
+            "tenancy \"" + request.tenancy +
+            "\" has an open period; evict works at period boundaries"));
+  }
+  if (persist) {
+    Status checkpointed =
+        store_->Checkpoint(tenancy->name, SnapshotOf(*tenancy));
+    if (!checkpointed.ok()) return ErrorResponse(request.id, checkpointed);
+  }
+  const int periods_run = tenancy->periods_run;
+  {
+    // Safe on this shard for the same reason the failed-open rollback is:
+    // this worker is the only toucher of the name, and erasing one entry
+    // leaves other tenancies' pointers stable. The persisted state stays —
+    // evict drops the LIVE tenancy only; the store still holds the
+    // checkpoint the rebalance target will import.
+    std::lock_guard<std::mutex> lock(mu_);
+    tenancies_.erase(request.tenancy);
+  }
+  JsonValue payload = JsonValue::MakeObject();
+  payload.Set("evicted", JsonValue::Bool(true));
+  payload.Set("periods_run", JsonValue::Number(periods_run));
+  return OkResponse(request.id, std::move(payload));
+}
+
+Response MarketplaceServer::ExecuteClusterUpdate(const Request& request) {
+  if (!request.placement.has_value()) {
+    return ErrorResponse(request.id, Status::InvalidArgument(
+                                         "cluster_update needs a placement"));
+  }
+  std::lock_guard<std::mutex> lock(cluster_mu_);
+  if (!cluster_update_) {
+    return ErrorResponse(
+        request.id,
+        Status::FailedPrecondition(
+            "this server is not a cluster node (no placement handler)"));
+  }
+  Result<JsonValue> payload = cluster_update_(*request.placement);
+  if (!payload.ok()) return ErrorResponse(request.id, payload.status());
+  return OkResponse(request.id, std::move(*payload));
 }
 
 Response MarketplaceServer::ExecuteOpenPeriod(const Request& request,

@@ -132,6 +132,12 @@ class MarketplaceServer {
   /// before accepting requests; the wire `restore` op runs the same pass.
   Result<RecoveryStats> Recover();
 
+  /// Recover(), restricted to persisted tenancies `want` accepts. A
+  /// cluster node booting with a placement map recovers only the
+  /// tenancies it owns, even when its store also holds replica state.
+  Result<RecoveryStats> RecoverMatching(
+      std::function<bool(const std::string&)> want);
+
   /// Graceful exit: drains the worker pool, then makes every tenancy
   /// durable — period-boundary tenancies are checkpointed, tenancies with
   /// an open period get their journal fsync'd (the open period replays on
@@ -155,6 +161,16 @@ class MarketplaceServer {
   /// any in-flight call returns, so the provider may reference state the
   /// caller is about to destroy.
   void SetTransportInfoProvider(std::function<JsonValue()> provider);
+
+  /// Installs (or, with nullptr, removes) the handler for the wire
+  /// `cluster_update` op — a cluster node registers its placement-map
+  /// installer here. The handler receives the request's "placement"
+  /// document and returns the response payload (or an error). Without a
+  /// handler the op answers FailedPrecondition. Same locking contract as
+  /// SetTransportInfoProvider.
+  void SetClusterUpdateHandler(
+      std::function<Result<JsonValue>(const JsonValue&)> handler);
+
   /// Names of existing tenancies, sorted.
   std::vector<std::string> TenancyNames() const;
 
@@ -186,6 +202,14 @@ class MarketplaceServer {
                                      Tenancy& tenancy, bool persist);
   protocol::Response ExecuteRestore(const protocol::Request& request);
   protocol::Response ExecuteServerInfo(const protocol::Request& request);
+  // The cluster ops (replication target + rebalance source surfaces).
+  protocol::Response ExecuteReplAppend(const protocol::Request& request);
+  protocol::Response ExecuteReplCheckpoint(const protocol::Request& request);
+  protocol::Response ExecuteReplSync(const protocol::Request& request);
+  protocol::Response ExecuteTenancyState(const protocol::Request& request);
+  protocol::Response ExecuteEvict(const protocol::Request& request,
+                                  bool persist);
+  protocol::Response ExecuteClusterUpdate(const protocol::Request& request);
   static protocol::Response ListMechanisms(const protocol::Request& request);
 
   /// The tenancy's period-boundary state as a snapshot document.
@@ -201,8 +225,11 @@ class MarketplaceServer {
   /// Shared by Recover() and the wire restore op. `current_worker` names
   /// the pool worker the caller occupies (so its own shard's tenancies are
   /// recovered inline instead of deadlocking on a self-wait); nullopt when
-  /// called from outside the pool.
-  Result<RecoveryStats> RecoverImpl(std::optional<size_t> current_worker);
+  /// called from outside the pool. A non-null `want` restricts the pass to
+  /// the persisted tenancies it accepts.
+  Result<RecoveryStats> RecoverImpl(
+      std::optional<size_t> current_worker,
+      const std::function<bool(const std::string&)>& want = nullptr);
 
   /// Map lookup (nullptr when absent). The returned pointer is stable: the
   /// map stores unique_ptrs, and a tenancy is only ever erased by its own
@@ -221,6 +248,11 @@ class MarketplaceServer {
   mutable std::mutex transport_mu_;  ///< Guards transport_info_; held across
                                      ///< the provider call (see setter).
   std::function<JsonValue()> transport_info_;
+  mutable std::mutex cluster_mu_;  ///< Guards cluster_update_; same contract.
+  std::function<Result<JsonValue>(const JsonValue&)> cluster_update_;
+  /// Live (persist=true) executions per op, indexed by RequestOp value;
+  /// served by server_info as "ops" so cluster health is observable.
+  std::atomic<uint64_t> op_counts_[protocol::kNumRequestOps] = {};
   ThreadPool pool_;  ///< Last member: destroyed first, so workers stop
                      ///< before the state they touch goes away.
 };

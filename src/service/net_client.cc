@@ -2,6 +2,8 @@
 
 #include <sys/socket.h>
 
+#include <chrono>
+#include <thread>
 #include <utility>
 
 namespace optshare::service {
@@ -11,6 +13,23 @@ Result<NetClient> NetClient::Connect(const std::string& host,
   Result<net::Socket> socket = net::ConnectTcp(host, port);
   if (!socket.ok()) return socket.status();
   return NetClient(std::move(*socket));
+}
+
+Result<NetClient> NetClient::Connect(const std::string& host, uint16_t port,
+                                     const ConnectOptions& options) {
+  int backoff_ms = options.backoff_ms > 0 ? options.backoff_ms : 1;
+  Status last = Status::Internal("connect never attempted");
+  for (int attempt = 0; attempt <= options.retries; ++attempt) {
+    if (attempt > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+      backoff_ms *= 2;
+    }
+    Result<net::Socket> socket =
+        net::ConnectTcp(host, port, options.timeout_ms);
+    if (socket.ok()) return NetClient(std::move(*socket));
+    last = socket.status();
+  }
+  return last;
 }
 
 Status NetClient::SendRaw(const std::string& bytes) {

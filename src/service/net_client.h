@@ -23,8 +23,23 @@ namespace optshare::service {
 
 class NetClient {
  public:
+  /// Connection policy for callers that cannot afford the OS default
+  /// connect timeout (minutes against a dead-but-routable node). Zero
+  /// timeout means the blocking OS default; `retries` is the number of
+  /// *re*-attempts after the first failure, each preceded by a sleep that
+  /// starts at `backoff_ms` and doubles.
+  struct ConnectOptions {
+    int timeout_ms = 0;
+    int retries = 0;
+    int backoff_ms = 50;
+  };
+
   /// Blocking connect; "" host means loopback.
   static Result<NetClient> Connect(const std::string& host, uint16_t port);
+  /// Connect with timeout + bounded retry-with-backoff (the cluster
+  /// router's policy; a down node fails fast instead of hanging).
+  static Result<NetClient> Connect(const std::string& host, uint16_t port,
+                                   const ConnectOptions& options);
 
   NetClient(NetClient&&) = default;
   NetClient& operator=(NetClient&&) = default;

@@ -134,16 +134,24 @@ std::string_view RequestOpName(RequestOp op) {
       return "shutdown";
     case RequestOp::kServerInfo:
       return "server_info";
+    case RequestOp::kReplAppend:
+      return "repl_append";
+    case RequestOp::kReplCheckpoint:
+      return "repl_checkpoint";
+    case RequestOp::kReplSync:
+      return "repl_sync";
+    case RequestOp::kTenancyState:
+      return "tenancy_state";
+    case RequestOp::kEvict:
+      return "evict";
+    case RequestOp::kClusterUpdate:
+      return "cluster_update";
   }
   return "list_mechanisms";
 }
 
 std::optional<RequestOp> RequestOpFromName(std::string_view name) {
-  for (RequestOp op :
-       {RequestOp::kOpenPeriod, RequestOp::kSubmit, RequestOp::kDepart,
-        RequestOp::kAdvanceSlot, RequestOp::kClosePeriod, RequestOp::kReport,
-        RequestOp::kListMechanisms, RequestOp::kSnapshot, RequestOp::kRestore,
-        RequestOp::kShutdown, RequestOp::kServerInfo}) {
+  for (RequestOp op : kAllRequestOps) {
     if (RequestOpName(op) == name) return op;
   }
   return std::nullopt;
@@ -155,6 +163,12 @@ int RequestOpMinVersion(RequestOp op) {
     case RequestOp::kRestore:
     case RequestOp::kShutdown:
     case RequestOp::kServerInfo:
+    case RequestOp::kReplAppend:
+    case RequestOp::kReplCheckpoint:
+    case RequestOp::kReplSync:
+    case RequestOp::kTenancyState:
+    case RequestOp::kEvict:
+    case RequestOp::kClusterUpdate:
       return 2;
     default:
       return 1;
@@ -167,6 +181,7 @@ bool OpTakesTenancy(RequestOp op) {
     case RequestOp::kRestore:
     case RequestOp::kShutdown:
     case RequestOp::kServerInfo:
+    case RequestOp::kClusterUpdate:
       return false;
     default:
       return true;
@@ -623,13 +638,31 @@ JsonValue ToJson(const Request& request) {
     case RequestOp::kAdvanceSlot:
       obj.Set("slots", JsonValue::Number(request.slots));
       break;
+    case RequestOp::kReplAppend:
+      obj.Set("record", JsonValue::Str(request.record));
+      break;
+    case RequestOp::kReplCheckpoint:
+      if (request.snapshot) obj.Set("snapshot", *request.snapshot);
+      break;
+    case RequestOp::kClusterUpdate:
+      if (request.placement) obj.Set("placement", *request.placement);
+      break;
+    case RequestOp::kRestore:
+      // The tenancy filter is optional on restore (OpTakesTenancy is false,
+      // so the generic path above skipped it).
+      if (!request.tenancy.empty()) {
+        obj.Set("tenancy", JsonValue::Str(request.tenancy));
+      }
+      break;
     case RequestOp::kClosePeriod:
     case RequestOp::kReport:
     case RequestOp::kListMechanisms:
     case RequestOp::kSnapshot:
-    case RequestOp::kRestore:
     case RequestOp::kShutdown:
     case RequestOp::kServerInfo:
+    case RequestOp::kReplSync:
+    case RequestOp::kTenancyState:
+    case RequestOp::kEvict:
       break;
   }
   return obj;
@@ -721,14 +754,59 @@ Result<Request> RequestFromJson(const JsonValue& v) {
       }
       break;
     }
+    case RequestOp::kReplAppend: {
+      OPTSHARE_RETURN_NOT_OK(CheckFields(
+          v, {"v", "op", "id", "tenancy", "record"}, "repl_append"));
+      Result<std::string> record = GetString(v, "record", "repl_append");
+      if (!record.ok()) return record.status();
+      request.record = std::move(*record);
+      break;
+    }
+    case RequestOp::kReplCheckpoint: {
+      OPTSHARE_RETURN_NOT_OK(CheckFields(
+          v, {"v", "op", "id", "tenancy", "snapshot"}, "repl_checkpoint"));
+      const JsonValue* snapshot = v.Find("snapshot");
+      if (snapshot == nullptr || !snapshot->is_object()) {
+        return Status::InvalidArgument(
+            "repl_checkpoint: field \"snapshot\" must be an object");
+      }
+      request.snapshot = *snapshot;
+      break;
+    }
+    case RequestOp::kClusterUpdate: {
+      OPTSHARE_RETURN_NOT_OK(CheckFields(
+          v, {"v", "op", "id", "placement"}, "cluster_update"));
+      const JsonValue* placement = v.Find("placement");
+      if (placement == nullptr || !placement->is_object()) {
+        return Status::InvalidArgument(
+            "cluster_update: field \"placement\" must be an object");
+      }
+      request.placement = *placement;
+      break;
+    }
+    case RequestOp::kRestore:
+      OPTSHARE_RETURN_NOT_OK(
+          CheckFields(v, {"v", "op", "id", "tenancy"}, "restore"));
+      if (v.Find("tenancy") != nullptr) {
+        Result<std::string> tenancy = GetString(v, "tenancy", "restore");
+        if (!tenancy.ok()) return tenancy.status();
+        if (tenancy->empty()) {
+          return Status::InvalidArgument(
+              "restore: \"tenancy\" must be non-empty when present");
+        }
+        request.tenancy = std::move(*tenancy);
+      }
+      break;
     case RequestOp::kClosePeriod:
     case RequestOp::kReport:
     case RequestOp::kSnapshot:
+    case RequestOp::kReplSync:
+    case RequestOp::kTenancyState:
+    case RequestOp::kEvict:
       OPTSHARE_RETURN_NOT_OK(
           CheckFields(v, {"v", "op", "id", "tenancy"}, "request"));
       break;
     case RequestOp::kListMechanisms:
-    case RequestOp::kRestore:
     case RequestOp::kShutdown:
     case RequestOp::kServerInfo:
       OPTSHARE_RETURN_NOT_OK(

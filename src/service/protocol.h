@@ -82,7 +82,32 @@ enum class RequestOp {
   kRestore,
   kShutdown,
   kServerInfo,
+  // v2 cluster ops (src/cluster/): journal-streaming replication, tenancy
+  // hand-off, and placement-map distribution. These carry StateStore wire
+  // bytes verbatim, so a replica's journal replays bit-identically.
+  kReplAppend,      ///< One journal line into the replica's store.
+  kReplCheckpoint,  ///< Snapshot into the replica's store (truncates journal).
+  kReplSync,        ///< Drop the replica's journal tail (mirror of Sync).
+  kTenancyState,    ///< Export snapshot + journal tail (rebalance source).
+  kEvict,           ///< Checkpoint + drop the live tenancy (rebalance source).
+  kClusterUpdate,   ///< Install a newer placement map on a node.
 };
+
+/// Every RequestOp, in enum order — sized per-op tables (e.g. the
+/// server_info request counters) iterate this.
+inline constexpr RequestOp kAllRequestOps[] = {
+    RequestOp::kOpenPeriod,     RequestOp::kSubmit,
+    RequestOp::kDepart,         RequestOp::kAdvanceSlot,
+    RequestOp::kClosePeriod,    RequestOp::kReport,
+    RequestOp::kListMechanisms, RequestOp::kSnapshot,
+    RequestOp::kRestore,        RequestOp::kShutdown,
+    RequestOp::kServerInfo,     RequestOp::kReplAppend,
+    RequestOp::kReplCheckpoint, RequestOp::kReplSync,
+    RequestOp::kTenancyState,   RequestOp::kEvict,
+    RequestOp::kClusterUpdate,
+};
+inline constexpr size_t kNumRequestOps =
+    sizeof(kAllRequestOps) / sizeof(kAllRequestOps[0]);
 
 /// Wire tag of an op ("open_period", ...).
 std::string_view RequestOpName(RequestOp op);
@@ -122,7 +147,9 @@ struct Request {
   /// absent).
   std::string id;
   /// Target tenancy; required for every op except list_mechanisms and the
-  /// global v2 ops (restore, shutdown, server_info).
+  /// global v2 ops (restore, shutdown, server_info, cluster_update). A
+  /// restore may carry an *optional* tenancy to recover just that tenancy
+  /// (the cluster failover path).
   std::string tenancy;
 
   // open_period
@@ -137,6 +164,16 @@ struct Request {
 
   // advance_slot
   int slots = 1;
+
+  // repl_append: one StateStore journal line, verbatim wire bytes.
+  std::string record;
+
+  // repl_checkpoint: the tenancy snapshot as its bit-identical JSON form.
+  std::optional<JsonValue> snapshot;
+
+  // cluster_update: the serialized placement map (opaque to the protocol;
+  // src/cluster/placement.h owns the schema).
+  std::optional<JsonValue> placement;
 };
 
 /// One protocol response. `status` carries the typed error (OK = success);

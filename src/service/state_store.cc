@@ -77,6 +77,18 @@ std::vector<std::string> SplitJournal(const std::string& contents,
 
 }  // namespace
 
+Result<std::optional<PersistedTenancy>> StateStore::LoadTenancy(
+    const std::string& tenancy) {
+  Result<std::vector<PersistedTenancy>> all = Load();
+  if (!all.ok()) return all.status();
+  for (PersistedTenancy& persisted : *all) {
+    if (persisted.name == tenancy) {
+      return std::optional<PersistedTenancy>(std::move(persisted));
+    }
+  }
+  return std::optional<PersistedTenancy>(std::nullopt);
+}
+
 // -- Snapshot schema --------------------------------------------------------
 
 JsonValue ToJson(const TenancySnapshot& snapshot) {

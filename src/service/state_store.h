@@ -120,6 +120,26 @@ class StateStore {
   /// journal tail.
   virtual Result<std::vector<PersistedTenancy>> Load() = 0;
 
+  /// Loads one tenancy, or nullopt when nothing is stored for it. The
+  /// default implementation scans Load(); backends may override with a
+  /// targeted read.
+  virtual Result<std::optional<PersistedTenancy>> LoadTenancy(
+      const std::string& tenancy);
+
+  /// The store that replication-sourced writes (repl_append /
+  /// repl_checkpoint / repl_sync) must target. A plain store returns
+  /// itself; the cluster's ReplicatedStateStore decorator returns its
+  /// wrapped base so replica-applied records are never re-streamed —
+  /// without this, a two-node cluster would bounce every record A→B→A
+  /// forever.
+  virtual StateStore* ReplicationBase() { return this; }
+
+  /// Replication health for server_info, when this store replicates
+  /// (nullopt for plain stores).
+  virtual std::optional<JsonValue> ReplicationInfo() const {
+    return std::nullopt;
+  }
+
   /// Operation counters since construction.
   virtual StateStoreStats stats() const = 0;
 };

@@ -1,0 +1,406 @@
+// Cluster failover differential: the PR's acceptance bar. A 3-node
+// in-process cluster fronted by a ClusterRouter, with journal-streaming
+// replication between the nodes; killing a tenancy's owner mid-stream and
+// failing over to its replica must yield PeriodReports bit-identical to an
+// uninterrupted single-node run, for every mechanism in the recovery
+// suite's trio. Plus the satellite surfaces the failover rides on:
+// rebalance hand-off, cluster_update propagation, and the router/node
+// server_info counters.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/node.h"
+#include "cluster/placement.h"
+#include "cluster/router.h"
+#include "common/rng.h"
+#include "service/marketplace_server.h"
+#include "simdb/scenarios.h"
+
+namespace optshare::cluster {
+namespace {
+
+using service::PeriodReport;
+using service::PricingSession;
+using service::ServiceConfig;
+using service::protocol::Request;
+using service::protocol::RequestOp;
+using service::protocol::Response;
+
+std::vector<simdb::SimUser> Jitter(std::vector<simdb::SimUser> tenants,
+                                   int slots, uint64_t seed) {
+  Rng rng(seed);
+  return simdb::JitterTenants(std::move(tenants), slots, rng);
+}
+
+/// Runs `periods` full periods directly through PricingSession — the
+/// single-node, never-interrupted reference every failover run must match
+/// bit for bit.
+std::vector<PeriodReport> DirectReports(
+    const simdb::Catalog& catalog, const ServiceConfig& config,
+    const std::vector<std::vector<simdb::SimUser>>& periods) {
+  std::vector<PeriodReport> reports;
+  std::vector<std::string> built;
+  for (size_t p = 0; p < periods.size(); ++p) {
+    Result<PricingSession> session = PricingSession::Open(
+        &catalog, config, built, static_cast<int>(p) + 1);
+    EXPECT_TRUE(session.ok()) << session.status().ToString();
+    EXPECT_TRUE(session->Submit(periods[p]).ok());
+    for (int slot = 0; slot < config.slots_per_period; ++slot) {
+      EXPECT_TRUE(session->AdvanceSlot().ok());
+    }
+    Result<PeriodReport> report = session->Close();
+    EXPECT_TRUE(report.ok()) << report.status().ToString();
+    built = session->built_structures();
+    reports.push_back(std::move(*report));
+  }
+  return reports;
+}
+
+/// The wire program: 4 lines per period (open/submit/advance/close),
+/// catalog spec on the first open.
+std::vector<std::string> RecordRequestLines(
+    const std::string& tenancy, const ServiceConfig& config,
+    int scenario_tenants, int scenario_slots,
+    const std::vector<std::vector<simdb::SimUser>>& periods) {
+  std::vector<std::string> lines;
+  for (size_t p = 0; p < periods.size(); ++p) {
+    Request open;
+    open.op = RequestOp::kOpenPeriod;
+    open.tenancy = tenancy;
+    if (p == 0) {
+      service::protocol::CatalogSpec catalog;
+      catalog.scenario = "telemetry";
+      catalog.scenario_tenants = scenario_tenants;
+      catalog.scenario_slots = scenario_slots;
+      open.catalog = catalog;
+      open.config = config;
+    }
+    lines.push_back(service::protocol::ToJson(open).Dump());
+    Request submit;
+    submit.op = RequestOp::kSubmit;
+    submit.tenancy = tenancy;
+    submit.tenants = periods[p];
+    lines.push_back(service::protocol::ToJson(submit).Dump());
+    Request advance;
+    advance.op = RequestOp::kAdvanceSlot;
+    advance.tenancy = tenancy;
+    advance.slots = config.slots_per_period;
+    lines.push_back(service::protocol::ToJson(advance).Dump());
+    Request close;
+    close.op = RequestOp::kClosePeriod;
+    close.tenancy = tenancy;
+    lines.push_back(service::protocol::ToJson(close).Dump());
+  }
+  return lines;
+}
+
+/// Extracts close_period report payloads from response lines (every
+/// response must be ok).
+std::vector<PeriodReport> ReportsFromResponses(
+    const std::vector<std::string>& response_lines) {
+  std::vector<PeriodReport> reports;
+  for (const std::string& line : response_lines) {
+    Result<JsonValue> doc = JsonValue::Parse(line);
+    EXPECT_TRUE(doc.ok()) << line;
+    Result<Response> response = service::protocol::ResponseFromJson(*doc);
+    EXPECT_TRUE(response.ok()) << line;
+    EXPECT_TRUE(response->ok()) << response->status.ToString();
+    const JsonValue* report = response->payload.Find("report");
+    if (report != nullptr) {
+      Result<PeriodReport> parsed =
+          service::protocol::PeriodReportFromJson(*report);
+      EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+      reports.push_back(std::move(*parsed));
+    }
+  }
+  return reports;
+}
+
+void ExpectBitIdentical(const std::vector<PeriodReport>& direct,
+                        const std::vector<PeriodReport>& routed) {
+  ASSERT_EQ(direct.size(), routed.size());
+  for (size_t p = 0; p < direct.size(); ++p) {
+    // JSON round-trips doubles exactly: string equality of the dumps is
+    // bit-for-bit equality of payments, ledger and built set.
+    EXPECT_EQ(service::protocol::ToJson(direct[p]).Dump(),
+              service::protocol::ToJson(routed[p]).Dump())
+        << "period " << p + 1;
+  }
+}
+
+/// A running in-process cluster: N memory-store nodes + the router.
+struct TestCluster {
+  std::vector<std::unique_ptr<ClusterNode>> nodes;
+  std::unique_ptr<ClusterRouter> router;
+
+  ~TestCluster() {
+    for (auto& node : nodes) node->Stop();
+  }
+
+  ClusterNode* NodeById(const std::string& id) {
+    for (auto& node : nodes) {
+      if (node->id() == id) return node.get();
+    }
+    return nullptr;
+  }
+
+  std::string OwnerIdOf(const std::string& tenancy) {
+    auto owner = router->CurrentPlacement().OwnerOf(tenancy);
+    EXPECT_TRUE(owner.has_value());
+    return owner.has_value() ? owner->id : "";
+  }
+};
+
+/// Two-phase ephemeral-port bootstrap, same as bench/cluster_speed.cc:
+/// start nodes under a provisional map (ports unknown), then publish the
+/// post-bind map as a newer version.
+std::unique_ptr<TestCluster> StartCluster(int num_nodes, int workers) {
+  std::vector<NodeInfo> entries;
+  for (int n = 0; n < num_nodes; ++n) {
+    entries.push_back({"node-" + std::to_string(n), "127.0.0.1", 0, false});
+  }
+  Result<PlacementMap> provisional = PlacementMap::Create(entries);
+  EXPECT_TRUE(provisional.ok());
+  auto cluster = std::make_unique<TestCluster>();
+  for (int n = 0; n < num_nodes; ++n) {
+    ClusterNodeOptions options;
+    options.node_id = entries[static_cast<size_t>(n)].id;
+    options.placement = *provisional;
+    options.num_workers = workers;
+    options.connect.timeout_ms = 2000;
+    cluster->nodes.push_back(std::make_unique<ClusterNode>(options));
+    Status started = cluster->nodes.back()->Start();
+    EXPECT_TRUE(started.ok()) << started.ToString();
+    entries[static_cast<size_t>(n)].port = cluster->nodes.back()->port();
+  }
+  Result<PlacementMap> bound = PlacementMap::Create(entries);
+  EXPECT_TRUE(bound.ok());
+  bound->SetVersion(provisional->version() + 1);
+  for (auto& node : cluster->nodes) {
+    node->replication()->UpdatePlacement(*bound);
+  }
+  RouterOptions router_options;
+  router_options.placement = *bound;
+  cluster->router = std::make_unique<ClusterRouter>(router_options);
+  return cluster;
+}
+
+/// A client with the documented retry discipline: a failed-over mutation
+/// answers Internal with "retry" in the message, and the client resends
+/// the same line once — at request boundaries that resend is exactly-once.
+std::string SendResilient(ClusterRouter* router,
+                          ClusterRouter::Channel* channel,
+                          const std::string& line) {
+  std::string response_line = router->RouteLine(line, channel);
+  Result<JsonValue> doc = JsonValue::Parse(response_line);
+  if (doc.ok()) {
+    Result<Response> response = service::protocol::ResponseFromJson(*doc);
+    if (response.ok() && !response->ok() &&
+        response->status.message().find("retry") != std::string::npos) {
+      response_line = router->RouteLine(line, channel);
+    }
+  }
+  return response_line;
+}
+
+// -- The acceptance differential -------------------------------------------
+
+class ClusterFailoverTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ClusterFailoverTest, KillingTheOwnerFailsOverBitIdentically) {
+  constexpr int kTenants = 6;
+  constexpr int kSlots = 12;
+  auto scenario = simdb::TelemetryScenario(kTenants, kSlots);
+  ASSERT_TRUE(scenario.ok());
+  ServiceConfig config;
+  config.mechanism = GetParam();
+
+  std::vector<std::vector<simdb::SimUser>> periods;
+  for (int p = 0; p < 3; ++p) {
+    periods.push_back(Jitter(scenario->tenants, kSlots,
+                             7000 + static_cast<uint64_t>(p)));
+  }
+  const std::vector<PeriodReport> direct =
+      DirectReports(scenario->catalog, config, periods);
+  // The program must exercise real carry-over, or the differential is
+  // vacuous.
+  int carried = 0;
+  for (const PeriodReport& report : direct) {
+    for (const service::StructureOutcome& outcome : report.structures) {
+      carried += outcome.carried_over ? 1 : 0;
+    }
+  }
+  ASSERT_GT(carried, 0) << "no carried structures; workload too small";
+
+  const std::vector<std::string> lines =
+      RecordRequestLines("acme", config, kTenants, kSlots, periods);
+  ASSERT_EQ(lines.size(), 12u);
+
+  // Unlike the single-node suite, each cut boots a whole 3-node cluster,
+  // so the kill points are a representative selection rather than every
+  // prefix: after each op of period 1 (open / submit / advance), the
+  // period-1 boundary, mid-period 2 with carried structures live, and the
+  // final close.
+  for (const size_t cut : {size_t{1}, size_t{2}, size_t{3}, size_t{4},
+                           size_t{6}, size_t{11}}) {
+    std::unique_ptr<TestCluster> cluster = StartCluster(3, 2);
+    ClusterRouter::Channel channel;
+    std::vector<std::string> responses;
+    for (size_t i = 0; i < cut; ++i) {
+      responses.push_back(
+          SendResilient(cluster->router.get(), &channel, lines[i]));
+    }
+    // Kill the owner: abrupt TCP close, no checkpoint. Everything the
+    // tenancy is at this point lives only in the replica's store.
+    const std::string owner = cluster->OwnerIdOf("acme");
+    const std::string replica =
+        cluster->router->CurrentPlacement().ReplicaFor("acme", owner)->id;
+    cluster->NodeById(owner)->Stop();
+    for (size_t i = cut; i < lines.size(); ++i) {
+      responses.push_back(
+          SendResilient(cluster->router.get(), &channel, lines[i]));
+    }
+    ExpectBitIdentical(direct, ReportsFromResponses(responses));
+    // The failover landed on the node that was already holding the warm
+    // replica (the PlacementMap invariant, observed end to end).
+    EXPECT_EQ(cluster->OwnerIdOf("acme"), replica) << "cut=" << cut;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Mechanisms, ClusterFailoverTest,
+                         ::testing::Values("addon", "naive_online", "regret"));
+
+// -- Rebalance --------------------------------------------------------------
+
+TEST(ClusterRebalanceTest, MovesATenancyAtThePeriodBoundaryBitIdentically) {
+  constexpr int kTenants = 6;
+  constexpr int kSlots = 12;
+  auto scenario = simdb::TelemetryScenario(kTenants, kSlots);
+  ASSERT_TRUE(scenario.ok());
+  ServiceConfig config;
+  const std::vector<std::vector<simdb::SimUser>> periods = {
+      Jitter(scenario->tenants, kSlots, 7100),
+      Jitter(scenario->tenants, kSlots, 7101)};
+  const std::vector<PeriodReport> direct =
+      DirectReports(scenario->catalog, config, periods);
+  const std::vector<std::string> lines =
+      RecordRequestLines("acme", config, kTenants, kSlots, periods);
+
+  std::unique_ptr<TestCluster> cluster = StartCluster(3, 2);
+  ClusterRouter::Channel channel;
+  std::vector<std::string> responses;
+  // Open + submit of period 1, leaving the period open...
+  for (size_t i = 0; i < 2; ++i) {
+    responses.push_back(
+        SendResilient(cluster->router.get(), &channel, lines[i]));
+  }
+  const std::string owner = cluster->OwnerIdOf("acme");
+  const PlacementMap placement = cluster->router->CurrentPlacement();
+  std::string target;
+  for (const NodeInfo& node : placement.nodes()) {
+    if (node.id != owner) target = node.id;
+  }
+  // ... so the hand-off is refused: rebalances happen at period
+  // boundaries only.
+  Status refused = cluster->router->Rebalance("acme", target, &channel);
+  EXPECT_EQ(refused.code(), StatusCode::kFailedPrecondition)
+      << refused.ToString();
+  // Finish the period; now the move goes through.
+  for (size_t i = 2; i < 4; ++i) {
+    responses.push_back(
+        SendResilient(cluster->router.get(), &channel, lines[i]));
+  }
+  Status moved = cluster->router->Rebalance("acme", target, &channel);
+  ASSERT_TRUE(moved.ok()) << moved.ToString();
+  EXPECT_EQ(cluster->OwnerIdOf("acme"), target);
+  // Period 2 runs on the new owner from the handed-off state, and its
+  // report is bit-identical to the uninterrupted run.
+  for (size_t i = 4; i < lines.size(); ++i) {
+    responses.push_back(
+        SendResilient(cluster->router.get(), &channel, lines[i]));
+  }
+  ExpectBitIdentical(direct, ReportsFromResponses(responses));
+  // Unknown targets are rejected up front.
+  EXPECT_FALSE(cluster->router->Rebalance("acme", "nope", &channel).ok());
+}
+
+// -- Placement propagation --------------------------------------------------
+
+TEST(ClusterAdminTest, ClusterUpdateInstallsIfNewerAndPropagates) {
+  std::unique_ptr<TestCluster> cluster = StartCluster(3, 1);
+  ClusterRouter::Channel channel;
+  PlacementMap updated = cluster->router->CurrentPlacement();
+  const int64_t base_version = updated.version();
+  ASSERT_TRUE(updated.SetOverride("pinned", "node-2"));  // Bumps version.
+
+  Request push;
+  push.op = RequestOp::kClusterUpdate;
+  push.placement = updated.ToJson();
+  Response response = cluster->router->Route(push, &channel);
+  ASSERT_TRUE(response.ok()) << response.status.ToString();
+  EXPECT_TRUE(response.payload.Find("installed")->AsBool());
+  EXPECT_EQ(response.payload.Find("version")->AsNumber(),
+            static_cast<double>(base_version + 1));
+  // The router forwarded the map to every node.
+  for (auto& node : cluster->nodes) {
+    EXPECT_EQ(node->replication()->CurrentPlacement().version(),
+              base_version + 1)
+        << node->id();
+  }
+  EXPECT_EQ(cluster->OwnerIdOf("pinned"), "node-2");
+
+  // Replaying the same (now stale) map is a no-op everywhere.
+  Response replay = cluster->router->Route(push, &channel);
+  ASSERT_TRUE(replay.ok());
+  EXPECT_FALSE(replay.payload.Find("installed")->AsBool());
+}
+
+// -- server_info ------------------------------------------------------------
+
+TEST(ClusterInfoTest, RouterAndNodesExposeClusterCounters) {
+  constexpr int kSlots = 12;
+  auto scenario = simdb::TelemetryScenario(5, kSlots);
+  ASSERT_TRUE(scenario.ok());
+  ServiceConfig config;
+  const std::vector<std::vector<simdb::SimUser>> periods = {
+      Jitter(scenario->tenants, kSlots, 7200)};
+  const std::vector<std::string> lines =
+      RecordRequestLines("acme", config, 5, kSlots, periods);
+
+  std::unique_ptr<TestCluster> cluster = StartCluster(3, 1);
+  ClusterRouter::Channel channel;
+  for (const std::string& line : lines) {
+    SendResilient(cluster->router.get(), &channel, line);
+  }
+
+  // The router answers server_info itself: role + placement + counters.
+  Request info;
+  info.op = RequestOp::kServerInfo;
+  Response routed = cluster->router->Route(info, &channel);
+  ASSERT_TRUE(routed.ok()) << routed.status.ToString();
+  EXPECT_EQ(routed.payload.Find("role")->AsString(), "router");
+  ASSERT_NE(routed.payload.Find("placement"), nullptr);
+
+  // The owner node counted its ops and streamed every journal write to
+  // its replica — semi-sync, so at an idle boundary the lag is zero.
+  ClusterNode* owner = cluster->NodeById(cluster->OwnerIdOf("acme"));
+  ASSERT_NE(owner, nullptr);
+  Response node_info = owner->server()->Handle(Request{info});
+  ASSERT_TRUE(node_info.ok()) << node_info.status.ToString();
+  const JsonValue* ops = node_info.payload.Find("ops");
+  ASSERT_NE(ops, nullptr);
+  ASSERT_NE(ops->Find("open_period"), nullptr);
+  EXPECT_GE(ops->Find("open_period")->AsNumber(), 1.0);
+  const JsonValue* replication = node_info.payload.Find("replication");
+  ASSERT_NE(replication, nullptr);
+  EXPECT_EQ(replication->Find("self")->AsString(), owner->id());
+  EXPECT_GT(replication->Find("records_sent")->AsNumber(), 0.0);
+  EXPECT_EQ(replication->Find("lag")->AsNumber(), 0.0);
+  EXPECT_EQ(replication->Find("failures")->AsNumber(), 0.0);
+}
+
+}  // namespace
+}  // namespace optshare::cluster

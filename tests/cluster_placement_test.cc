@@ -1,0 +1,180 @@
+// PlacementMap unit surface: deterministic consistent-hash assignment, the
+// failover invariant (the replica of a tenancy IS its post-failover
+// owner), override/versioning semantics, and exact serialization
+// round-trips — the properties the router and nodes rely on to agree on
+// ownership across processes.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cluster/placement.h"
+
+namespace optshare::cluster {
+namespace {
+
+std::vector<NodeInfo> ThreeNodes() {
+  return {{"node-0", "127.0.0.1", 7501, false},
+          {"node-1", "127.0.0.1", 7502, false},
+          {"node-2", "127.0.0.1", 7503, false}};
+}
+
+TEST(PlacementTest, HashIsTheDocumentedFnv1a64) {
+  // The cross-process contract: the ring hash is explicit FNV-1a 64, not
+  // std::hash. These constants are the published FNV test vectors.
+  EXPECT_EQ(Fnv1a64(""), 14695981039346656037ull);
+  EXPECT_EQ(Fnv1a64("a"), 12638187200555641996ull);
+  EXPECT_EQ(Fnv1a64("foobar"), 0x85944171f73967e8ull);
+}
+
+TEST(PlacementTest, AssignmentIsDeterministicAndCoversAllNodes) {
+  Result<PlacementMap> a = PlacementMap::Create(ThreeNodes());
+  Result<PlacementMap> b = PlacementMap::Create(ThreeNodes());
+  ASSERT_TRUE(a.ok() && b.ok());
+  std::map<std::string, int> per_node;
+  for (int t = 0; t < 200; ++t) {
+    const std::string tenancy = "tenancy-" + std::to_string(t);
+    auto owner_a = a->OwnerOf(tenancy);
+    auto owner_b = b->OwnerOf(tenancy);
+    ASSERT_TRUE(owner_a.has_value() && owner_b.has_value());
+    // Two independently built maps agree on every owner.
+    EXPECT_EQ(owner_a->id, owner_b->id);
+    ++per_node[owner_a->id];
+  }
+  // With 64 vnodes per node the spread cannot degenerate to one node.
+  EXPECT_EQ(per_node.size(), 3u);
+  for (const auto& [id, count] : per_node) {
+    EXPECT_GT(count, 20) << id << " is starved";
+  }
+}
+
+TEST(PlacementTest, KillingANodeOnlyRehomesItsTenancies) {
+  Result<PlacementMap> map = PlacementMap::Create(ThreeNodes());
+  ASSERT_TRUE(map.ok());
+  std::map<std::string, std::string> before;
+  for (int t = 0; t < 100; ++t) {
+    const std::string tenancy = "tenancy-" + std::to_string(t);
+    before[tenancy] = map->OwnerOf(tenancy)->id;
+  }
+  ASSERT_TRUE(map->MarkDead("node-1"));
+  for (const auto& [tenancy, owner] : before) {
+    const std::string now = map->OwnerOf(tenancy)->id;
+    if (owner == "node-1") {
+      EXPECT_NE(now, "node-1");
+    } else {
+      // Consistent hashing: survivors' tenancies do not move.
+      EXPECT_EQ(now, owner) << tenancy;
+    }
+  }
+}
+
+TEST(PlacementTest, FailoverOwnerIsTheReplicationTarget) {
+  // THE cluster invariant: the node a tenancy's journal streams to
+  // (ReplicaFor(t, owner)) is exactly the node that becomes owner when the
+  // owner dies — so failover recovery is always local to the new owner.
+  Result<PlacementMap> map = PlacementMap::Create(ThreeNodes());
+  ASSERT_TRUE(map.ok());
+  for (int t = 0; t < 100; ++t) {
+    const std::string tenancy = "tenancy-" + std::to_string(t);
+    const std::string owner = map->OwnerOf(tenancy)->id;
+    auto replica = map->ReplicaFor(tenancy, owner);
+    ASSERT_TRUE(replica.has_value());
+    PlacementMap failed = *map;
+    ASSERT_TRUE(failed.MarkDead(owner));
+    EXPECT_EQ(failed.OwnerOf(tenancy)->id, replica->id) << tenancy;
+  }
+}
+
+TEST(PlacementTest, OverridesPinUntilTheirNodeDies) {
+  Result<PlacementMap> map = PlacementMap::Create(ThreeNodes());
+  ASSERT_TRUE(map.ok());
+  const std::string tenancy = "pinned";
+  const std::string ring_owner = map->OwnerOf(tenancy)->id;
+  // Pin to a different node.
+  const std::string other = ring_owner == "node-0" ? "node-1" : "node-0";
+  EXPECT_FALSE(map->SetOverride(tenancy, "nope"));
+  ASSERT_TRUE(map->SetOverride(tenancy, other));
+  EXPECT_EQ(map->OwnerOf(tenancy)->id, other);
+  // A dead override falls back to the ring (where the replica lives).
+  ASSERT_TRUE(map->MarkDead(other));
+  EXPECT_NE(map->OwnerOf(tenancy)->id, other);
+}
+
+TEST(PlacementTest, MutationsBumpTheVersion) {
+  Result<PlacementMap> map = PlacementMap::Create(ThreeNodes());
+  ASSERT_TRUE(map.ok());
+  const int64_t v0 = map->version();
+  ASSERT_TRUE(map->MarkDead("node-2"));
+  EXPECT_EQ(map->version(), v0 + 1);
+  ASSERT_TRUE(map->MarkDead("node-2"));  // Already dead: no bump.
+  EXPECT_EQ(map->version(), v0 + 1);
+  ASSERT_TRUE(map->SetOverride("t", "node-0"));
+  EXPECT_EQ(map->version(), v0 + 2);
+}
+
+TEST(PlacementTest, SerializationRoundTripsExactly) {
+  Result<PlacementMap> map = PlacementMap::Create(ThreeNodes(), 32);
+  ASSERT_TRUE(map.ok());
+  ASSERT_TRUE(map->MarkDead("node-2"));
+  ASSERT_TRUE(map->SetOverride("acme", "node-1"));
+  const JsonValue wire = map->ToJson();
+  Result<PlacementMap> parsed = PlacementMap::FromJson(wire);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  // Bit-identical re-serialization, same version, same assignments.
+  EXPECT_EQ(parsed->ToJson().Dump(), wire.Dump());
+  EXPECT_EQ(parsed->version(), map->version());
+  EXPECT_EQ(parsed->vnodes(), 32);
+  for (int t = 0; t < 50; ++t) {
+    const std::string tenancy = "tenancy-" + std::to_string(t);
+    EXPECT_EQ(parsed->OwnerOf(tenancy)->id, map->OwnerOf(tenancy)->id);
+  }
+  EXPECT_EQ(parsed->OwnerOf("acme")->id, "node-1");
+}
+
+TEST(PlacementTest, FromJsonRejectsMalformedDocuments) {
+  const auto parse = [](const std::string& text) {
+    Result<JsonValue> doc = JsonValue::Parse(text);
+    EXPECT_TRUE(doc.ok()) << text;
+    return PlacementMap::FromJson(*doc);
+  };
+  // Unknown field.
+  EXPECT_FALSE(parse("{\"v\":1,\"vnodes\":64,\"nodes\":[],\"extra\":1}").ok());
+  // No nodes.
+  EXPECT_FALSE(parse("{\"v\":1,\"vnodes\":64,\"nodes\":[]}").ok());
+  // Port out of range.
+  EXPECT_FALSE(
+      parse("{\"v\":1,\"vnodes\":64,\"nodes\":[{\"id\":\"a\",\"host\":\"h\","
+            "\"port\":65536,\"dead\":false}]}")
+          .ok());
+  // Override targeting an unknown node.
+  EXPECT_FALSE(
+      parse("{\"v\":1,\"vnodes\":64,\"nodes\":[{\"id\":\"a\",\"host\":\"h\","
+            "\"port\":1,\"dead\":false}],\"overrides\":{\"t\":\"nope\"}}")
+          .ok());
+  // Duplicate ids.
+  EXPECT_FALSE(
+      parse("{\"v\":1,\"vnodes\":64,\"nodes\":[{\"id\":\"a\",\"host\":\"h\","
+            "\"port\":1,\"dead\":false},{\"id\":\"a\",\"host\":\"h\","
+            "\"port\":2,\"dead\":false}]}")
+          .ok());
+  // A well-formed document parses.
+  EXPECT_TRUE(
+      parse("{\"v\":3,\"vnodes\":16,\"nodes\":[{\"id\":\"a\",\"host\":\"h\","
+            "\"port\":1,\"dead\":false}],\"overrides\":{}}")
+          .ok());
+}
+
+TEST(PlacementTest, NoLiveNodesMeansNoOwner) {
+  Result<PlacementMap> map =
+      PlacementMap::Create({{"only", "127.0.0.1", 1, false}});
+  ASSERT_TRUE(map.ok());
+  EXPECT_TRUE(map->OwnerOf("t").has_value());
+  // Single-node cluster: no replica exists.
+  EXPECT_FALSE(map->ReplicaFor("t", "only").has_value());
+  ASSERT_TRUE(map->MarkDead("only"));
+  EXPECT_FALSE(map->OwnerOf("t").has_value());
+}
+
+}  // namespace
+}  // namespace optshare::cluster

@@ -1,0 +1,115 @@
+// common/net.h unit surface: ParseHostPort's edge cases (the --listen /
+// connect / cluster-placement argument form) and the deadline-bounded
+// ConnectTcp + NetClient retry policy the cluster router depends on.
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "common/net.h"
+#include "service/marketplace_server.h"
+#include "service/net_client.h"
+#include "service/net_server.h"
+
+namespace optshare::net {
+namespace {
+
+TEST(ParseHostPortTest, SplitsHostAndPort) {
+  auto parsed = ParseHostPort("example.com:8080");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->first, "example.com");
+  EXPECT_EQ(parsed->second, 8080);
+}
+
+TEST(ParseHostPortTest, EmptyHostMeansAllInterfacesOrLoopback) {
+  auto parsed = ParseHostPort(":7500");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->first, "");
+  EXPECT_EQ(parsed->second, 7500);
+}
+
+TEST(ParseHostPortTest, PortZeroIsValidEphemeralRequest) {
+  auto parsed = ParseHostPort("127.0.0.1:0");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->second, 0);
+}
+
+TEST(ParseHostPortTest, RejectsPortAboveRange) {
+  auto parsed = ParseHostPort("host:65536");
+  EXPECT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+  // The boundary itself is fine.
+  EXPECT_TRUE(ParseHostPort("host:65535").ok());
+}
+
+TEST(ParseHostPortTest, RejectsJunkPortSuffix) {
+  EXPECT_FALSE(ParseHostPort("host:80x").ok());
+  EXPECT_FALSE(ParseHostPort("host:8 0").ok());
+  EXPECT_FALSE(ParseHostPort("host:-1").ok());
+  EXPECT_FALSE(ParseHostPort("host:").ok());
+}
+
+TEST(ParseHostPortTest, RejectsMissingColon) {
+  auto parsed = ParseHostPort("8080");
+  EXPECT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ConnectTimeoutTest, ReturnsPromptlyAgainstABlackholeAddress) {
+  // 192.0.2.0/24 (TEST-NET-1) is reserved: on a real network the connect
+  // can neither succeed nor be refused — the dead-but-routable node case
+  // the deadline exists for. Some sandboxes intercept outbound connects
+  // and accept instead, so the assertion is promptness, not failure: the
+  // call must come back well under the OS connect default (minutes).
+  const auto start = std::chrono::steady_clock::now();
+  Result<Socket> socket = ConnectTcp("192.0.2.1", 9, /*timeout_ms=*/200);
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  EXPECT_LT(elapsed.count(), 5000);
+}
+
+TEST(ConnectTimeoutTest, ConnectsToALiveListenerWithinDeadline) {
+  Result<Socket> listener = ListenTcp("127.0.0.1", 0);
+  ASSERT_TRUE(listener.ok()) << listener.status().ToString();
+  Result<uint16_t> port = BoundPort(*listener);
+  ASSERT_TRUE(port.ok());
+  Result<Socket> socket = ConnectTcp("127.0.0.1", *port, /*timeout_ms=*/2000);
+  EXPECT_TRUE(socket.ok()) << socket.status().ToString();
+}
+
+TEST(ConnectTimeoutTest, NetClientRetriesThenConnects) {
+  // Against a dead port, the bounded retry policy fails after its attempts
+  // instead of hanging.
+  {
+    Result<Socket> parked = ListenTcp("127.0.0.1", 0);
+    ASSERT_TRUE(parked.ok());
+    Result<uint16_t> port = BoundPort(*parked);
+    ASSERT_TRUE(port.ok());
+    parked->Close();  // Nothing listens here now.
+    service::NetClient::ConnectOptions options;
+    options.timeout_ms = 200;
+    options.retries = 2;
+    options.backoff_ms = 1;
+    auto client = service::NetClient::Connect("127.0.0.1", *port, options);
+    EXPECT_FALSE(client.ok());
+  }
+  // Against a live server, the same policy connects and serves.
+  service::ServerOptions server_options;
+  server_options.num_workers = 1;
+  service::MarketplaceServer server(std::move(server_options));
+  service::NetServer net(&server, {});
+  ASSERT_TRUE(net.Start().ok());
+  service::NetClient::ConnectOptions options;
+  options.timeout_ms = 2000;
+  options.retries = 1;
+  auto client = service::NetClient::Connect("127.0.0.1", net.port(), options);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  service::protocol::Request request;
+  request.op = service::protocol::RequestOp::kListMechanisms;
+  auto response = client->Call(request);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_TRUE(response->ok());
+  net.Stop();
+}
+
+}  // namespace
+}  // namespace optshare::net

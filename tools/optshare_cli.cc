@@ -8,6 +8,10 @@
 //   optshare_cli serve [--workers N] [--data-dir DIR] [--listen HOST:PORT]
 //                                         # wire-protocol loop: stdin, or TCP
 //   optshare_cli connect HOST:PORT        # drive a remote serve --listen
+//   optshare_cli node --id ID --cluster FILE [--data-dir DIR] [--workers N]
+//                                         # one node of a pricing cluster
+//   optshare_cli route --cluster FILE [--listen HOST:PORT]
+//                                         # cluster router front end
 //   optshare_cli recover <data-dir>       # replay a data dir, print state
 //   optshare_cli mechanisms               # list registered mechanisms
 //   optshare_cli help [subcommand]        # detailed per-subcommand usage
@@ -35,6 +39,9 @@
 #include <string>
 
 #include "baseline/baseline_mechanisms.h"
+#include "cluster/node.h"
+#include "cluster/placement.h"
+#include "cluster/router.h"
 #include "common/money.h"
 #include "common/net.h"
 #include "core/accounting.h"
@@ -135,6 +142,40 @@ constexpr SubcommandHelp kSubcommands[] = {
      "  {\"v\":2,\"op\":\"server_info\"}\n"
      "  {\"ok\":true,\"result\":{...,\"transport\":{\"connections_open\":1,"
      "...}},\"v\":2}\n"},
+    {"node",
+     "optshare_cli node --id ID --cluster FILE [--data-dir DIR] "
+     "[--workers N]",
+     "Runs one node of a multi-node pricing cluster. FILE is the shared\n"
+     "placement map — a JSON document naming every node's id, host and\n"
+     "port (src/cluster/placement.h):\n"
+     "  {\"v\":1,\"vnodes\":64,\"overrides\":{},\"nodes\":[\n"
+     "    {\"id\":\"node-0\",\"host\":\"127.0.0.1\",\"port\":7501,"
+     "\"dead\":false},\n"
+     "    {\"id\":\"node-1\",\"host\":\"127.0.0.1\",\"port\":7502,"
+     "\"dead\":false},\n"
+     "    {\"id\":\"node-2\",\"host\":\"127.0.0.1\",\"port\":7503,"
+     "\"dead\":false}]}\n"
+     "The node binds its own entry's host:port, recovers the tenancies the\n"
+     "map assigns to it from --data-dir, streams every journal write to\n"
+     "the next live node on the hash ring (its replica), and serves the\n"
+     "regular v2 wire protocol until a shutdown request drains it. Start\n"
+     "one `optshare_cli node` per map entry, then front them with\n"
+     "`optshare_cli route`.\n"},
+    {"route", "optshare_cli route --cluster FILE [--listen HOST:PORT]",
+     "Runs the cluster router: a front end speaking the same wire protocol\n"
+     "as a single node, forwarding each request to the node that owns its\n"
+     "tenancy under the placement map in FILE. When a node dies, the\n"
+     "router marks it dead, pushes the updated map to the survivors, and\n"
+     "restores affected tenancies from their replicas — reads retry\n"
+     "transparently; mutations answer a typed error asking the client to\n"
+     "resend. Default listen address is 127.0.0.1:0 (ephemeral, printed\n"
+     "to stderr).\n"
+     "example:\n"
+     "  $ optshare_cli node --id node-0 --cluster cluster.json &\n"
+     "  $ optshare_cli node --id node-1 --cluster cluster.json &\n"
+     "  $ optshare_cli node --id node-2 --cluster cluster.json &\n"
+     "  $ optshare_cli route --cluster cluster.json --listen :7500 &\n"
+     "  $ optshare_cli connect 127.0.0.1:7500\n"},
     {"recover", "optshare_cli recover <data-dir> [--json]",
      "Rebuilds every tenancy persisted under a serve --data-dir (latest\n"
      "snapshot + journal replay through the regular dispatch path) and\n"
@@ -372,6 +413,109 @@ int ConnectRemote(int argc, char** argv) {
     std::cout << *response << "\n";
     std::cout.flush();
   }
+  return 0;
+}
+
+Result<cluster::PlacementMap> LoadPlacementFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open " + path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  Result<JsonValue> doc = JsonValue::Parse(buffer.str());
+  if (!doc.ok()) return doc.status();
+  return cluster::PlacementMap::FromJson(*doc);
+}
+
+/// One node of the pricing cluster: binds its placement-map entry's
+/// host:port, recovers its owned tenancies, streams journal writes to its
+/// replica, serves until a wire shutdown drains it.
+int RunClusterNode(int argc, char** argv) {
+  std::string id;
+  std::string cluster_file;
+  std::string data_dir;
+  int workers = 4;
+  for (int a = 2; a < argc; ++a) {
+    const std::string arg = argv[a];
+    if (arg == "--id" && a + 1 < argc) {
+      id = argv[++a];
+    } else if (arg == "--cluster" && a + 1 < argc) {
+      cluster_file = argv[++a];
+    } else if (arg == "--data-dir" && a + 1 < argc) {
+      data_dir = argv[++a];
+    } else if (arg == "--workers" && a + 1 < argc) {
+      workers = std::atoi(argv[++a]);
+      if (workers < 1) return Fail("--workers must be >= 1");
+    } else {
+      return Usage();
+    }
+  }
+  if (id.empty() || cluster_file.empty()) {
+    return Fail("node requires --id and --cluster; see `optshare_cli help "
+                "node`");
+  }
+  Result<cluster::PlacementMap> placement = LoadPlacementFile(cluster_file);
+  if (!placement.ok()) return Fail(placement.status().ToString());
+  std::optional<cluster::NodeInfo> self = placement->NodeById(id);
+  if (!self.has_value()) {
+    return Fail("node id \"" + id + "\" is not in " + cluster_file);
+  }
+  cluster::ClusterNodeOptions options;
+  options.node_id = id;
+  options.placement = std::move(*placement);
+  options.host = self->host;
+  options.port = self->port;
+  options.data_dir = data_dir;
+  options.num_workers = workers;
+  options.connect.timeout_ms = 500;
+  cluster::ClusterNode node(std::move(options));
+  Status started = node.Start();
+  if (!started.ok()) return Fail(started.ToString());
+  std::cerr << "cluster node " << id << " serving on "
+            << (self->host.empty() ? "0.0.0.0" : self->host) << ":"
+            << node.port() << " (" << workers << " workers)\n";
+  node.Wait();
+  Status shutdown = node.Shutdown();
+  if (!shutdown.ok()) {
+    std::cerr << "warning: shutdown left state unpersisted: "
+              << shutdown.ToString() << "\n";
+  }
+  return 0;
+}
+
+/// The router front end: serves the wire protocol, forwarding each request
+/// to the owning node, with failover.
+int RunClusterRouter(int argc, char** argv) {
+  std::string cluster_file;
+  std::string listen = ":0";
+  for (int a = 2; a < argc; ++a) {
+    const std::string arg = argv[a];
+    if (arg == "--cluster" && a + 1 < argc) {
+      cluster_file = argv[++a];
+    } else if (arg == "--listen" && a + 1 < argc) {
+      listen = argv[++a];
+    } else {
+      return Usage();
+    }
+  }
+  if (cluster_file.empty()) {
+    return Fail("route requires --cluster; see `optshare_cli help route`");
+  }
+  Result<cluster::PlacementMap> placement = LoadPlacementFile(cluster_file);
+  if (!placement.ok()) return Fail(placement.status().ToString());
+  auto host_port = net::ParseHostPort(listen);
+  if (!host_port.ok()) return Fail(host_port.status().ToString());
+  cluster::RouterOptions options;
+  options.placement = std::move(*placement);
+  cluster::ClusterRouter router(std::move(options));
+  cluster::RouterServer server(&router, host_port->first, host_port->second);
+  Status started = server.Start();
+  if (!started.ok()) return Fail(started.ToString());
+  std::cerr << "cluster router serving on "
+            << (host_port->first.empty() ? "127.0.0.1" : host_port->first)
+            << ":" << server.port() << " ("
+            << router.CurrentPlacement().nodes().size() << " nodes); send "
+            << "{\"v\":2,\"op\":\"shutdown\"} to drain the cluster\n";
+  server.Wait();
   return 0;
 }
 
@@ -646,6 +790,12 @@ int Main(int argc, char** argv) {
   if (argc >= 2 && std::string(argv[1]) == "serve") return Serve(argc, argv);
   if (argc >= 2 && std::string(argv[1]) == "connect") {
     return ConnectRemote(argc, argv);
+  }
+  if (argc >= 2 && std::string(argv[1]) == "node") {
+    return RunClusterNode(argc, argv);
+  }
+  if (argc >= 2 && std::string(argv[1]) == "route") {
+    return RunClusterRouter(argc, argv);
   }
   if (argc >= 2 && std::string(argv[1]) == "recover") {
     return Recover(argc, argv);
