@@ -1,0 +1,253 @@
+// HTAP read/write mix harness: read latency through the snapshot-serving
+// read path while the write FIFO is busy — the number that proves reads
+// never queue behind writes. Emits BENCH_readmix.json.
+//
+//   read_write_mix [--quick] [--out PATH]
+//
+// For each read:write ratio (99:1, 9:1, 1:1) on 1 and 8 workers:
+//   - idle:  read p50/p99 with no writes in flight (the floor)
+//   - mix:   reads interleaved with un-awaited writes at the ratio;
+//     read & write throughput over the phase
+//   - deep:  read p99 while a large write burst is still draining — the
+//     gated `read_p99_vs_idle` ratio (bench/baselines/gates.json), which
+//     stays O(1) because reads are answered from the published ReadView on
+//     the caller's thread instead of the tenancy's shard.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "service/marketplace_server.h"
+#include "service/protocol.h"
+
+namespace optshare {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+namespace protocol = service::protocol;
+using protocol::Request;
+using protocol::RequestOp;
+using protocol::Response;
+
+struct MixConfig {
+  int reads = 99;   ///< Reads per cycle.
+  int writes = 1;   ///< Un-awaited writes per cycle.
+  int workers = 1;
+};
+
+simdb::SimUser BenchTenant(int i) {
+  simdb::SimUser tenant;
+  tenant.start = 1;
+  tenant.end = 1 << 20;
+  tenant.executions_per_slot = 100.0 + i;
+  simdb::Workload::Entry entry;
+  entry.frequency = 1.5;
+  entry.query.table = "telemetry";
+  entry.query.aggregate = true;
+  entry.query.predicates = {{"device", 1e-6}, {"metric", 0.03125}};
+  tenant.workload.entries.push_back(entry);
+  return tenant;
+}
+
+Request ReadRequest() {
+  Request request;
+  request.op = RequestOp::kReport;
+  request.tenancy = "acme";
+  return request;
+}
+
+Request WriteRequest() {
+  Request request;
+  request.op = RequestOp::kAdvanceSlot;
+  request.tenancy = "acme";
+  request.slots = 1;
+  return request;
+}
+
+double PercentileUs(std::vector<double>& latencies_us, double pct) {
+  if (latencies_us.empty()) return 0.0;
+  std::sort(latencies_us.begin(), latencies_us.end());
+  const double rank = pct / 100.0 *
+                      static_cast<double>(latencies_us.size() - 1);
+  return latencies_us[static_cast<size_t>(rank)];
+}
+
+/// One timed read through the server; aborts the bench on an error
+/// response (a failing read would otherwise "win" by being cheap).
+double TimedReadUs(service::MarketplaceServer& server,
+                   const Request& request) {
+  const auto start = Clock::now();
+  const Response response = server.Handle(request);
+  const double us =
+      std::chrono::duration<double, std::micro>(Clock::now() - start).count();
+  if (!response.ok()) {
+    std::cerr << "read failed: " << response.status.ToString() << "\n";
+    std::exit(1);
+  }
+  return us;
+}
+
+}  // namespace
+}  // namespace optshare
+
+int main(int argc, char** argv) {
+  using namespace optshare;
+
+  long long reads_per_phase = 4000;
+  long long deep_burst = 5000;
+  std::string out_path = "BENCH_readmix.json";
+  for (int a = 1; a < argc; ++a) {
+    const std::string arg = argv[a];
+    if (arg == "--quick") {
+      reads_per_phase = 600;
+      deep_burst = 1200;
+    } else if (arg == "--out" && a + 1 < argc) {
+      out_path = argv[++a];
+    } else {
+      std::cerr << "usage: read_write_mix [--quick] [--out PATH]\n";
+      return 2;
+    }
+  }
+
+  std::vector<MixConfig> configs;
+  for (int workers : {1, 8}) {
+    configs.push_back({99, 1, workers});
+    configs.push_back({9, 1, workers});
+    configs.push_back({1, 1, workers});
+  }
+
+  JsonValue mixes = JsonValue::MakeArray();
+  for (const MixConfig& config : configs) {
+    service::ServerOptions options;
+    options.num_workers = config.workers;
+    service::MarketplaceServer server(options);
+
+    // One tenancy with an open period wide enough that every benchmarked
+    // write is a plain advance_slot (no close/reopen churn in the timings).
+    {
+      Request open;
+      open.op = RequestOp::kOpenPeriod;
+      open.tenancy = "acme";
+      protocol::CatalogSpec spec;
+      spec.scenario = "telemetry";
+      open.catalog = spec;
+      service::ServiceConfig service_config;
+      service_config.slots_per_period = 1 << 20;
+      open.config = service_config;
+      Response response = server.Handle(std::move(open));
+      if (!response.ok()) {
+        std::cerr << "open_period failed: " << response.status.ToString()
+                  << "\n";
+        return 1;
+      }
+      Request submit;
+      submit.op = RequestOp::kSubmit;
+      submit.tenancy = "acme";
+      for (int i = 0; i < 4; ++i) submit.tenants.push_back(BenchTenant(i));
+      response = server.Handle(std::move(submit));
+      if (!response.ok()) {
+        std::cerr << "submit failed: " << response.status.ToString() << "\n";
+        return 1;
+      }
+    }
+
+    const Request read = ReadRequest();
+    const Request write = WriteRequest();
+    std::atomic<long long> writes_pending{0};
+    std::atomic<long long> writes_done{0};
+    const auto post_write = [&server, &write, &writes_pending, &writes_done] {
+      writes_pending.fetch_add(1, std::memory_order_relaxed);
+      server.DispatchCallback(write,
+                              [&writes_pending, &writes_done](Response r) {
+                                (void)r;
+                                writes_pending.fetch_sub(
+                                    1, std::memory_order_relaxed);
+                                writes_done.fetch_add(
+                                    1, std::memory_order_relaxed);
+                              });
+    };
+
+    // Idle floor.
+    std::vector<double> idle_us;
+    idle_us.reserve(reads_per_phase);
+    for (long long i = 0; i < reads_per_phase; ++i) {
+      idle_us.push_back(TimedReadUs(server, read));
+    }
+    const double idle_p99 = PercentileUs(idle_us, 99.0);
+
+    // Mixed phase at the configured ratio.
+    std::vector<double> mix_us;
+    mix_us.reserve(reads_per_phase);
+    const long long writes_before = writes_done.load();
+    const auto mix_start = Clock::now();
+    while (static_cast<long long>(mix_us.size()) < reads_per_phase) {
+      for (int w = 0; w < config.writes; ++w) post_write();
+      for (int r = 0; r < config.reads &&
+                      static_cast<long long>(mix_us.size()) < reads_per_phase;
+           ++r) {
+        mix_us.push_back(TimedReadUs(server, read));
+      }
+    }
+    const double mix_elapsed =
+        std::chrono::duration<double>(Clock::now() - mix_start).count();
+    server.Drain();
+    const double mix_total =
+        std::chrono::duration<double>(Clock::now() - mix_start).count();
+    const long long mix_writes = writes_done.load() - writes_before;
+
+    // Deep-queue phase: reads while a write burst is provably still
+    // draining — every latency sample below is taken with at least half
+    // the burst queued behind the tenancy's shard.
+    for (long long i = 0; i < deep_burst; ++i) post_write();
+    std::vector<double> deep_us;
+    deep_us.reserve(reads_per_phase);
+    while (writes_pending.load(std::memory_order_relaxed) > deep_burst / 2 &&
+           static_cast<long long>(deep_us.size()) < reads_per_phase) {
+      deep_us.push_back(TimedReadUs(server, read));
+    }
+    server.Drain();
+    const double deep_p99 =
+        deep_us.empty() ? idle_p99 : PercentileUs(deep_us, 99.0);
+
+    JsonValue entry = JsonValue::MakeObject();
+    entry.Set("reads", JsonValue::Number(config.reads));
+    entry.Set("writes", JsonValue::Number(config.writes));
+    entry.Set("workers", JsonValue::Number(config.workers));
+    entry.Set("read_p50_us", JsonValue::Number(PercentileUs(mix_us, 50.0)));
+    entry.Set("read_p99_us", JsonValue::Number(PercentileUs(mix_us, 99.0)));
+    entry.Set("read_p99_idle_us", JsonValue::Number(idle_p99));
+    entry.Set("read_p99_deep_us", JsonValue::Number(deep_p99));
+    entry.Set("read_p99_vs_idle",
+              JsonValue::Number(idle_p99 > 0.0 ? deep_p99 / idle_p99 : 1.0));
+    entry.Set("deep_reads_sampled",
+              JsonValue::Number(static_cast<double>(deep_us.size())));
+    entry.Set("reads_per_sec",
+              JsonValue::Number(static_cast<double>(mix_us.size()) /
+                                mix_elapsed));
+    entry.Set("writes_per_sec",
+              JsonValue::Number(mix_total > 0.0
+                                    ? static_cast<double>(mix_writes) /
+                                          mix_total
+                                    : 0.0));
+    mixes.Append(std::move(entry));
+
+    std::cout << "reads=" << config.reads << " writes=" << config.writes
+              << " workers=" << config.workers << ": read p99 "
+              << PercentileUs(mix_us, 99.0) << "us (idle " << idle_p99
+              << "us, deep " << deep_p99 << "us, ratio "
+              << (idle_p99 > 0.0 ? deep_p99 / idle_p99 : 1.0) << ")\n";
+  }
+
+  JsonValue doc = JsonValue::MakeObject();
+  doc.Set("benchmark", JsonValue::Str("read_write_mix"));
+  doc.Set("mixes", std::move(mixes));
+
+  std::ofstream out(out_path);
+  out << doc.Dump(2) << "\n";
+  std::cout << "wrote " << out_path << "\n";
+  return 0;
+}

@@ -1,0 +1,326 @@
+#include "analytics/columnar.h"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <sstream>
+#include <utility>
+
+#include "common/csv.h"
+#include "common/fs.h"
+
+namespace optshare::analytics {
+namespace {
+
+// Column chunks are explicitly little-endian regardless of host order:
+// values are packed byte-by-byte through integer shifts.
+
+void AppendU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void AppendF64(std::string* out, double v) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v), "f64 must be 64-bit");
+  std::memcpy(&bits, &v, sizeof(bits));
+  AppendU64(out, bits);
+}
+
+bool ReadU32(std::string_view data, size_t* pos, uint32_t* out) {
+  if (*pos + 4 > data.size()) return false;
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<unsigned char>(data[*pos + i]))
+         << (8 * i);
+  }
+  *pos += 4;
+  *out = v;
+  return true;
+}
+
+bool ReadU64(std::string_view data, size_t* pos, uint64_t* out) {
+  if (*pos + 8 > data.size()) return false;
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<unsigned char>(data[*pos + i]))
+         << (8 * i);
+  }
+  *pos += 8;
+  *out = v;
+  return true;
+}
+
+constexpr char kNumberMagic[] = "OSCN";
+constexpr char kStringMagic[] = "OSCS";
+
+std::string EncodeNumberColumn(const std::vector<double>& values) {
+  std::string out;
+  out.reserve(4 + 8 + values.size() * 8);
+  out.append(kNumberMagic, 4);
+  AppendU64(&out, values.size());
+  for (double v : values) AppendF64(&out, v);
+  return out;
+}
+
+std::string EncodeStringColumn(const std::vector<std::string>& values) {
+  // Dictionary-encode: Parquet's shape for low-cardinality key columns
+  // (tenancy and structure names repeat per row).
+  std::map<std::string, uint32_t> ids;
+  std::vector<const std::string*> dict;
+  std::vector<uint32_t> indexes;
+  indexes.reserve(values.size());
+  for (const std::string& value : values) {
+    auto [it, inserted] =
+        ids.emplace(value, static_cast<uint32_t>(dict.size()));
+    if (inserted) dict.push_back(&it->first);
+    indexes.push_back(it->second);
+  }
+  std::string out;
+  out.append(kStringMagic, 4);
+  AppendU64(&out, dict.size());
+  for (const std::string* entry : dict) {
+    AppendU32(&out, static_cast<uint32_t>(entry->size()));
+    out.append(*entry);
+  }
+  AppendU64(&out, indexes.size());
+  for (uint32_t index : indexes) AppendU32(&out, index);
+  return out;
+}
+
+}  // namespace
+
+void ColumnarWriter::Add(const TenancyExport& tenancy) {
+  const std::string& name = tenancy.boundary.name;
+  for (const service::PeriodReport& report : tenancy.reports) {
+    const double period = static_cast<double>(report.period);
+    // periods: one row per closed period, in close order — summing
+    // cloud_balance/total_utility in row order reproduces the server's
+    // cumulative accumulation exactly (same doubles, same order).
+    periods_.strings[0].values.push_back(name);
+    periods_.numbers[0].values.push_back(period);
+    periods_.numbers[1].values.push_back(report.ledger.total_cost);
+    periods_.numbers[2].values.push_back(report.ledger.CloudBalance());
+    periods_.numbers[3].values.push_back(report.ledger.TotalUtility());
+    ++periods_.rows;
+    // ledger: one row per user, in roster order.
+    for (size_t i = 0; i < report.ledger.user_value.size(); ++i) {
+      ledger_.strings[0].values.push_back(name);
+      ledger_.numbers[0].values.push_back(period);
+      ledger_.numbers[1].values.push_back(static_cast<double>(i));
+      ledger_.numbers[2].values.push_back(report.ledger.user_value[i]);
+      ledger_.numbers[3].values.push_back(report.ledger.user_payment[i]);
+      ++ledger_.rows;
+    }
+    // reports: one row per structure outcome.
+    for (const service::StructureOutcome& outcome : report.structures) {
+      reports_.strings[0].values.push_back(name);
+      reports_.strings[1].values.push_back(outcome.name);
+      reports_.numbers[0].values.push_back(period);
+      reports_.numbers[1].values.push_back(outcome.cost);
+      reports_.numbers[2].values.push_back(outcome.active ? 1.0 : 0.0);
+      reports_.numbers[3].values.push_back(outcome.carried_over ? 1.0 : 0.0);
+      reports_.numbers[4].values.push_back(
+          static_cast<double>(outcome.num_candidates));
+      reports_.numbers[5].values.push_back(
+          static_cast<double>(outcome.num_subscribers));
+      ++reports_.rows;
+    }
+  }
+  JsonValue entry = JsonValue::MakeObject();
+  entry.Set("name", JsonValue::Str(name));
+  entry.Set("periods_run", JsonValue::Number(tenancy.boundary.periods_run));
+  entry.Set("reports_exported",
+            JsonValue::Number(static_cast<double>(tenancy.reports.size())));
+  entry.Set("cumulative_balance",
+            JsonValue::Number(tenancy.boundary.cumulative_balance));
+  entry.Set("cumulative_utility",
+            JsonValue::Number(tenancy.boundary.cumulative_utility));
+  tenancies_.Append(std::move(entry));
+  ++num_tenancies_;
+}
+
+Result<int> ColumnarWriter::WriteTable(const Table& table,
+                                       JsonValue* tables_out,
+                                       uint64_t* rows_out) {
+  int files = 0;
+  JsonValue columns = JsonValue::MakeArray();
+
+  // CSV form: tenancy (and structure) first, then the numeric columns in
+  // declared order — every column file's row i is the CSV's row i.
+  std::ostringstream csv_stream;
+  CsvWriter csv(&csv_stream);
+  std::vector<std::string> header;
+  for (const StringColumn& column : table.strings) header.push_back(column.name);
+  for (const NumberColumn& column : table.numbers) header.push_back(column.name);
+  OPTSHARE_RETURN_NOT_OK(csv.WriteHeader(header));
+  for (uint64_t row = 0; row < table.rows; ++row) {
+    std::vector<std::string> fields;
+    fields.reserve(header.size());
+    for (const StringColumn& column : table.strings) {
+      fields.push_back(column.values[row]);
+    }
+    for (const NumberColumn& column : table.numbers) {
+      fields.push_back(FormatDouble(column.values[row]));
+    }
+    OPTSHARE_RETURN_NOT_OK(csv.WriteRow(fields));
+  }
+  const std::string csv_file = table.name + ".csv";
+  OPTSHARE_RETURN_NOT_OK(fs::WriteFileAtomic(dir_ + "/" + csv_file,
+                                             csv_stream.str(),
+                                             /*sync=*/false));
+  ++files;
+
+  for (const StringColumn& column : table.strings) {
+    const std::string file = table.name + "." + column.name + ".col";
+    OPTSHARE_RETURN_NOT_OK(fs::WriteFileAtomic(
+        dir_ + "/" + file, EncodeStringColumn(column.values),
+        /*sync=*/false));
+    ++files;
+    JsonValue meta = JsonValue::MakeObject();
+    meta.Set("name", JsonValue::Str(column.name));
+    meta.Set("type", JsonValue::Str("string"));
+    meta.Set("file", JsonValue::Str(file));
+    meta.Set("rows", JsonValue::Number(static_cast<double>(table.rows)));
+    std::vector<std::string> distinct = column.values;
+    std::sort(distinct.begin(), distinct.end());
+    distinct.erase(std::unique(distinct.begin(), distinct.end()),
+                   distinct.end());
+    meta.Set("distinct", JsonValue::Number(static_cast<double>(distinct.size())));
+    columns.Append(std::move(meta));
+  }
+  for (const NumberColumn& column : table.numbers) {
+    const std::string file = table.name + "." + column.name + ".col";
+    OPTSHARE_RETURN_NOT_OK(fs::WriteFileAtomic(
+        dir_ + "/" + file, EncodeNumberColumn(column.values),
+        /*sync=*/false));
+    ++files;
+    JsonValue meta = JsonValue::MakeObject();
+    meta.Set("name", JsonValue::Str(column.name));
+    meta.Set("type", JsonValue::Str("f64"));
+    meta.Set("file", JsonValue::Str(file));
+    meta.Set("rows", JsonValue::Number(static_cast<double>(table.rows)));
+    if (!column.values.empty()) {
+      const auto [lo, hi] =
+          std::minmax_element(column.values.begin(), column.values.end());
+      meta.Set("min", JsonValue::Number(*lo));
+      meta.Set("max", JsonValue::Number(*hi));
+    }
+    columns.Append(std::move(meta));
+  }
+
+  JsonValue table_meta = JsonValue::MakeObject();
+  table_meta.Set("name", JsonValue::Str(table.name));
+  table_meta.Set("rows", JsonValue::Number(static_cast<double>(table.rows)));
+  table_meta.Set("csv", JsonValue::Str(csv_file));
+  table_meta.Set("columns", std::move(columns));
+  tables_out->Append(std::move(table_meta));
+  *rows_out = table.rows;
+  return files;
+}
+
+Result<ColumnarExportStats> ColumnarWriter::Finish() {
+  OPTSHARE_RETURN_NOT_OK(fs::EnsureDir(dir_));
+  ColumnarExportStats stats;
+  stats.tenancies = num_tenancies_;
+  JsonValue tables = JsonValue::MakeArray();
+  for (const Table* table : {&ledger_, &reports_, &periods_}) {
+    uint64_t rows = 0;
+    Result<int> files = WriteTable(*table, &tables, &rows);
+    if (!files.ok()) return files.status();
+    stats.files_written += *files;
+    if (table == &ledger_) stats.ledger_rows = rows;
+    if (table == &reports_) stats.report_rows = rows;
+    if (table == &periods_) stats.period_rows = rows;
+  }
+  JsonValue manifest = JsonValue::MakeObject();
+  manifest.Set("format", JsonValue::Str("optshare-columnar"));
+  manifest.Set("version", JsonValue::Number(1));
+  manifest.Set("tables", std::move(tables));
+  manifest.Set("tenancies", tenancies_);
+  OPTSHARE_RETURN_NOT_OK(fs::WriteFileAtomic(dir_ + "/manifest.json",
+                                             manifest.Dump(2) + "\n",
+                                             /*sync=*/false));
+  ++stats.files_written;
+  return stats;
+}
+
+Result<JsonValue> ReadColumnarManifest(const std::string& dir) {
+  Result<std::string> raw = fs::ReadFile(dir + "/manifest.json");
+  if (!raw.ok()) return raw.status();
+  return JsonValue::Parse(*raw);
+}
+
+Result<std::vector<double>> ReadNumberColumn(const std::string& dir,
+                                             const std::string& file) {
+  Result<std::string> raw = fs::ReadFile(dir + "/" + file);
+  if (!raw.ok()) return raw.status();
+  std::string_view data = *raw;
+  if (data.substr(0, 4) != kNumberMagic) {
+    return Status::InvalidArgument(file + ": not a number column chunk");
+  }
+  size_t pos = 4;
+  uint64_t count = 0;
+  if (!ReadU64(data, &pos, &count) || pos + count * 8 != data.size()) {
+    return Status::InvalidArgument(file + ": truncated number column");
+  }
+  std::vector<double> values;
+  values.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t bits = 0;
+    ReadU64(data, &pos, &bits);
+    double v = 0.0;
+    std::memcpy(&v, &bits, sizeof(v));
+    values.push_back(v);
+  }
+  return values;
+}
+
+Result<std::vector<std::string>> ReadStringColumn(const std::string& dir,
+                                                  const std::string& file) {
+  Result<std::string> raw = fs::ReadFile(dir + "/" + file);
+  if (!raw.ok()) return raw.status();
+  std::string_view data = *raw;
+  if (data.substr(0, 4) != kStringMagic) {
+    return Status::InvalidArgument(file + ": not a string column chunk");
+  }
+  size_t pos = 4;
+  uint64_t dict_size = 0;
+  if (!ReadU64(data, &pos, &dict_size)) {
+    return Status::InvalidArgument(file + ": truncated string column");
+  }
+  std::vector<std::string> dict;
+  dict.reserve(dict_size);
+  for (uint64_t i = 0; i < dict_size; ++i) {
+    uint32_t len = 0;
+    if (!ReadU32(data, &pos, &len) || pos + len > data.size()) {
+      return Status::InvalidArgument(file + ": truncated dictionary");
+    }
+    dict.emplace_back(data.substr(pos, len));
+    pos += len;
+  }
+  uint64_t count = 0;
+  if (!ReadU64(data, &pos, &count) || pos + count * 4 != data.size()) {
+    return Status::InvalidArgument(file + ": truncated index section");
+  }
+  std::vector<std::string> values;
+  values.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    uint32_t index = 0;
+    ReadU32(data, &pos, &index);
+    if (index >= dict.size()) {
+      return Status::InvalidArgument(file + ": index out of dictionary range");
+    }
+    values.push_back(dict[index]);
+  }
+  return values;
+}
+
+}  // namespace optshare::analytics

@@ -1,0 +1,142 @@
+// ColumnarWriter: the analytics export format — the cumulative ledger and
+// per-period reports streamed out of the server so fleet-wide revenue
+// analytics never touch the serving path.
+//
+// An export directory holds three logical tables, each in two encodings:
+//
+//   ledger   — one row per (tenancy, period, user): value, payment
+//   reports  — one row per (tenancy, period, structure): cost, active,
+//              carried_over, num_candidates, num_subscribers
+//   periods  — one row per (tenancy, period): total_cost, cloud_balance,
+//              total_utility
+//
+// Encodings: a plain CSV per table (ledger.csv, reports.csv, periods.csv —
+// the grep-able form) and Parquet-shaped column chunks — one file per
+// column, numbers as raw little-endian f64, strings dictionary-encoded —
+// described by manifest.json:
+//
+//   { "format": "optshare-columnar", "version": 1,
+//     "tables": [ { "name": "ledger", "rows": N, "csv": "ledger.csv",
+//                   "columns": [ { "name": "payment", "type": "f64",
+//                                  "file": "ledger.payment.col",
+//                                  "rows": N, "min": ..., "max": ... },
+//                                { "name": "tenancy", "type": "string",
+//                                  "file": "ledger.tenancy.col",
+//                                  "rows": N, "distinct": K } ] } ],
+//     "tenancies": [ { "name": ..., "periods_run": ...,
+//                      "reports_exported": ...,
+//                      "cumulative_balance": ...,
+//                      "cumulative_utility": ... } ] }
+//
+// The column files are the analytical contract: summing the periods
+// table's cloud_balance (or recomputing it from ledger.payment and
+// periods.total_cost) in row order reproduces the server's cumulative
+// ledger bit-for-bit, because rows are emitted in the same order the
+// server accumulated them (tests/analytics_export_test.cc pins this).
+// Readers for both column kinds live here so the round trip is testable
+// without external tooling.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/status.h"
+#include "service/cloud_service.h"
+#include "service/state_store.h"
+
+namespace optshare::analytics {
+
+/// One tenancy's exportable state: the period-boundary snapshot plus the
+/// retained closed-period reports, in close order.
+struct TenancyExport {
+  service::TenancySnapshot boundary;
+  std::vector<service::PeriodReport> reports;
+};
+
+/// What one export pass wrote.
+struct ColumnarExportStats {
+  uint64_t ledger_rows = 0;
+  uint64_t report_rows = 0;
+  uint64_t period_rows = 0;
+  int files_written = 0;  ///< CSVs + column chunks + manifest.
+  int tenancies = 0;
+
+  uint64_t rows() const { return ledger_rows + report_rows + period_rows; }
+};
+
+/// Buffers tenancy exports column-wise, then writes the whole directory
+/// (CSVs, column chunks, manifest) in one Finish(). Not thread-safe; the
+/// server serializes exports.
+class ColumnarWriter {
+ public:
+  /// `dir` is created (with parents) by Finish() if needed.
+  explicit ColumnarWriter(std::string dir) : dir_(std::move(dir)) {}
+
+  /// Appends one tenancy's rows (ledger per user, reports per structure,
+  /// periods per report) in the order the server accumulated them.
+  void Add(const TenancyExport& tenancy);
+
+  /// Writes every file and the manifest. Atomic per file (write-temp +
+  /// rename), not per directory: a torn export is re-runnable.
+  Result<ColumnarExportStats> Finish();
+
+  const std::string& dir() const { return dir_; }
+
+ private:
+  struct NumberColumn {
+    std::string name;
+    std::vector<double> values;
+  };
+  struct StringColumn {
+    std::string name;
+    std::vector<std::string> values;
+  };
+  struct Table {
+    std::string name;
+    std::vector<StringColumn> strings;   ///< Leading key columns.
+    std::vector<NumberColumn> numbers;   ///< Metric columns.
+    uint64_t rows = 0;
+  };
+
+  Result<int> WriteTable(const Table& table, JsonValue* tables_out,
+                         uint64_t* rows_out);
+
+  std::string dir_;
+  Table ledger_{"ledger",
+                {{"tenancy", {}}},
+                {{"period", {}}, {"user", {}}, {"value", {}}, {"payment", {}}},
+                0};
+  Table reports_{"reports",
+                 {{"tenancy", {}}, {"structure", {}}},
+                 {{"period", {}},
+                  {"cost", {}},
+                  {"active", {}},
+                  {"carried_over", {}},
+                  {"num_candidates", {}},
+                  {"num_subscribers", {}}},
+                 0};
+  Table periods_{"periods",
+                 {{"tenancy", {}}},
+                 {{"period", {}},
+                  {"total_cost", {}},
+                  {"cloud_balance", {}},
+                  {"total_utility", {}}},
+                 0};
+  JsonValue tenancies_ = JsonValue::MakeArray();
+  int num_tenancies_ = 0;
+};
+
+/// Parses `<dir>/manifest.json`.
+Result<JsonValue> ReadColumnarManifest(const std::string& dir);
+
+/// Reads a raw-f64 column chunk written by ColumnarWriter.
+Result<std::vector<double>> ReadNumberColumn(const std::string& dir,
+                                             const std::string& file);
+
+/// Reads a dictionary-encoded string column chunk, re-materialized.
+Result<std::vector<std::string>> ReadStringColumn(const std::string& dir,
+                                                  const std::string& file);
+
+}  // namespace optshare::analytics

@@ -5,6 +5,8 @@
 
 #include <utility>
 
+#include "service/state_store.h"
+
 namespace optshare::cluster {
 
 using service::NetClient;
@@ -115,10 +117,12 @@ Response ClusterRouter::RouteTenancyOp(const Request& request,
       if (it != tenancy_owner_.end()) recorded = it->second;
     }
     if (!owner.has_value()) {
-      return ErrorResponse(
-          request.id,
-          Status::Internal("no live node owns tenancy \"" + request.tenancy +
-                           "\""));
+      const Status no_owner = Status::Internal(
+          "no live node owns tenancy \"" + request.tenancy + "\"");
+      if (idempotent_read) {
+        return StaleReportFallback(request, channel, no_owner);
+      }
+      return ErrorResponse(request.id, no_owner);
     }
     // Re-home before forwarding when the owner changed under us (a failover
     // seen by another connection, a rebalance) or when we are retrying past
@@ -128,10 +132,16 @@ Response ClusterRouter::RouteTenancyOp(const Request& request,
     if ((!recorded.empty() && recorded != owner->id) || attempt > 0) {
       Status restored = RestoreOn(*owner, request.tenancy, channel);
       if (!restored.ok()) {
-        return ErrorResponse(
-            request.id,
-            Status::Internal("failover restore on node " + owner->id +
-                             " failed: " + restored.message() + "; retry"));
+        const Status failure = Status::Internal(
+            "failover restore on node " + owner->id +
+            " failed: " + restored.message() + "; retry");
+        if (idempotent_read) {
+          // The restore target is in trouble too: take it out of the
+          // placement and degrade to the replicated boundary state.
+          HandleNodeFailure(owner->id, channel);
+          return StaleReportFallback(request, channel, failure);
+        }
+        return ErrorResponse(request.id, failure);
       }
     }
     Result<Response> response = ChannelCall(channel, *owner, request);
@@ -143,13 +153,78 @@ Response ClusterRouter::RouteTenancyOp(const Request& request,
     forward_failures_.fetch_add(1, std::memory_order_relaxed);
     HandleNodeFailure(owner->id, channel);
     if (idempotent_read && attempt == 0) continue;
-    return ErrorResponse(
-        request.id,
-        Status::Internal("node " + owner->id + " failed mid-request (" +
-                         response.status().message() +
-                         "); placement updated — retry"));
+    const Status failure = Status::Internal(
+        "node " + owner->id + " failed mid-request (" +
+        response.status().message() + "); placement updated — retry");
+    if (idempotent_read) {
+      return StaleReportFallback(request, channel, failure);
+    }
+    return ErrorResponse(request.id, failure);
   }
   return ErrorResponse(request.id, Status::Internal("router: unreachable"));
+}
+
+Response ClusterRouter::StaleReportFallback(const Request& request,
+                                            Channel* channel,
+                                            const Status& live_failure) {
+  Request state_request;
+  state_request.op = RequestOp::kTenancyState;
+  state_request.version = 2;
+  state_request.tenancy = request.tenancy;
+  // Live nodes first (freshest placement knowledge), then marked-dead ones:
+  // a node this router failed to forward to may still answer a cheap
+  // single-line read (partial partition, mid-restart), and its replicated
+  // snapshot is exactly what a degraded read wants.
+  const PlacementMap placement = CurrentPlacement();
+  std::vector<NodeInfo> sweep = placement.LiveNodes();
+  for (const NodeInfo& node : placement.nodes()) {
+    if (node.dead) sweep.push_back(node);
+  }
+  bool known_missing = false;
+  for (const NodeInfo& node : sweep) {
+    Result<Response> state = ChannelCall(channel, node, state_request);
+    if (!state.ok()) continue;  // Unreachable: no evidence either way.
+    if (!state->status.ok()) {
+      // A positive "no persisted state" answer is evidence the tenancy is
+      // unknown (this node never owned or replicated it); keep sweeping in
+      // case another node holds it.
+      if (state->status.code() == StatusCode::kNotFound) known_missing = true;
+      continue;
+    }
+    const JsonValue* snapshot = state->payload.Find("snapshot");
+    if (snapshot == nullptr) continue;  // Journal-only: no boundary yet.
+    Result<service::TenancySnapshot> parsed =
+        service::TenancySnapshotFromJson(*snapshot);
+    if (!parsed.ok()) continue;
+    // The report payload shape of a period boundary (no open session), plus
+    // the stale marker. periods_run versions the answer: a client can tell
+    // exactly how far behind the live tenancy this view may be.
+    JsonValue payload = JsonValue::MakeObject();
+    payload.Set("tenancy", JsonValue::Str(parsed->name));
+    payload.Set("periods_run", JsonValue::Number(parsed->periods_run));
+    payload.Set("period_open", JsonValue::Bool(false));
+    payload.Set("current_slot", JsonValue::Number(0));
+    payload.Set("num_tenants", JsonValue::Number(0));
+    JsonValue built = JsonValue::MakeArray();
+    for (const std::string& name : parsed->built) {
+      built.Append(JsonValue::Str(name));
+    }
+    payload.Set("built_structures", std::move(built));
+    payload.Set("cumulative_balance",
+                JsonValue::Number(parsed->cumulative_balance));
+    payload.Set("cumulative_utility",
+                JsonValue::Number(parsed->cumulative_utility));
+    payload.Set("stale", JsonValue::Bool(true));
+    payload.Set("served_by", JsonValue::Str(node.id));
+    stale_reads_.fetch_add(1, std::memory_order_relaxed);
+    return OkResponse(request.id, std::move(payload));
+  }
+  if (known_missing) {
+    return ErrorResponse(request.id,
+                         Status::NotFound("unknown tenancy \"" +
+                                          request.tenancy + "\""));
+  }
+  return ErrorResponse(request.id, live_failure);
 }
 
 Response ClusterRouter::RouteRestore(const Request& request,
@@ -395,6 +470,9 @@ JsonValue ClusterRouter::InfoJson() const {
   counters.Set("rebalances",
                JsonValue::Number(static_cast<double>(
                    rebalances_.load(std::memory_order_relaxed))));
+  counters.Set("stale_reads",
+               JsonValue::Number(static_cast<double>(
+                   stale_reads_.load(std::memory_order_relaxed))));
   obj.Set("routing", std::move(counters));
   return obj;
 }

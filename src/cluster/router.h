@@ -23,6 +23,16 @@
 // executed the request — so the client gets an Internal error containing
 // "retry" and resends; the resend routes to the recovered owner.
 //
+// When even that live retry is impossible for a `report` — no live node
+// owns the tenancy, or the restore/retry itself fails — the router
+// degrades instead of failing: it sweeps the nodes (marked-dead ones too;
+// "dead" is one connection's suspicion, and a cheap read is the right
+// probe for a suspect) for persisted tenancy state, and serves the last
+// replicated period boundary as a report marked `"stale": true`. Only
+// when a reachable node positively answers "no persisted state" does the
+// client get NotFound — a dead node with a replicated snapshot and a
+// genuinely unknown tenancy are different failures and answer differently.
+//
 // The router also re-homes lazily: it remembers which node last served
 // each tenancy, and when the placement's answer changes (failover seen by
 // another connection, rebalance), it issues the targeted restore before
@@ -126,6 +136,13 @@ class ClusterRouter {
   /// Targeted restore of `tenancy` on `node` (the failover/re-home step).
   Status RestoreOn(const NodeInfo& node, const std::string& tenancy,
                    Channel* channel);
+  /// The degraded tail of a failed report retry: sweep every node (live
+  /// first, then marked-dead) for persisted tenancy state and serve the
+  /// replicated period boundary with `"stale": true`; NotFound when a
+  /// reachable node confirms the tenancy has no state; `live_failure`
+  /// verbatim when nothing answered at all.
+  Response StaleReportFallback(const Request& request, Channel* channel,
+                               const Status& live_failure);
 
   RouterOptions options_;
 
@@ -143,6 +160,7 @@ class ClusterRouter {
   std::atomic<uint64_t> restores_issued_{0};
   std::atomic<uint64_t> placement_pushes_{0};
   std::atomic<uint64_t> rebalances_{0};
+  std::atomic<uint64_t> stale_reads_{0};  ///< Reports served degraded.
 };
 
 /// RouterServer: the TCP front end of a ClusterRouter. Thread-per-

@@ -1,0 +1,51 @@
+// RcuCell: the one-writer-many-readers publish/read primitive behind the
+// analytics read path (src/analytics/read_view.h). A cell holds an
+// immutable value behind a shared_ptr; readers take a reference-counted
+// snapshot with a single atomic load and never block, while a writer
+// publishes a wholly new value with a single atomic store — the classic
+// RCU shape, with shared_ptr reference counting standing in for the grace
+// period (the old value dies when its last reader drops it).
+//
+// Implemented with the C++17 std::atomic_load/atomic_store free-function
+// overloads for shared_ptr (std::atomic<shared_ptr<T>> is C++20). The
+// contract is strictly copy-on-write: a published T is immutable from the
+// moment of Publish — mutating through a Read() snapshot is a data race by
+// construction, which is why both accessors traffic in pointer-to-const.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <utility>
+
+namespace optshare {
+
+template <typename T>
+class RcuCell {
+ public:
+  RcuCell() = default;
+  explicit RcuCell(std::shared_ptr<const T> initial)
+      : value_(std::move(initial)) {}
+
+  RcuCell(const RcuCell&) = delete;
+  RcuCell& operator=(const RcuCell&) = delete;
+
+  /// Lock-free snapshot of the current value (null before any Publish).
+  /// The snapshot stays valid for as long as the caller holds it,
+  /// regardless of later publishes.
+  std::shared_ptr<const T> Read() const {
+    return std::atomic_load_explicit(&value_, std::memory_order_acquire);
+  }
+
+  /// Atomically replaces the value. The release ordering pairs with
+  /// Read()'s acquire: everything written into *next before the call is
+  /// visible to any reader that observes the new pointer.
+  void Publish(std::shared_ptr<const T> next) {
+    std::atomic_store_explicit(&value_, std::move(next),
+                               std::memory_order_release);
+  }
+
+ private:
+  std::shared_ptr<const T> value_;
+};
+
+}  // namespace optshare

@@ -35,6 +35,7 @@ class FastScanner {
     out->tenants.clear();
     out->tenant = -1;
     out->slots = 1;
+    out->period = 0;
     out->record.clear();
     out->snapshot.reset();
     out->placement.reset();
@@ -43,7 +44,7 @@ class FastScanner {
     if (!Consume('{')) return false;
     bool seen_v = false, seen_op = false, seen_id = false,
          seen_tenancy = false, seen_tenants = false, seen_tenant = false,
-         seen_slots = false;
+         seen_slots = false, seen_period = false;
     int version = 0;
     RequestOp op = RequestOp::kListMechanisms;
     SkipWs();
@@ -72,13 +73,14 @@ class FastScanner {
           // open_period carries the nested CatalogSpec/ServiceConfig
           // payloads this scanner does not model; likewise the cluster
           // ops with required payloads (record / snapshot / placement)
-          // and restore, whose tenancy field is optional rather than
-          // forbidden.
+          // and restore/export, whose tenancy field is optional rather
+          // than forbidden.
           if (*parsed == RequestOp::kOpenPeriod ||
               *parsed == RequestOp::kReplAppend ||
               *parsed == RequestOp::kReplCheckpoint ||
               *parsed == RequestOp::kClusterUpdate ||
-              *parsed == RequestOp::kRestore) {
+              *parsed == RequestOp::kRestore ||
+              *parsed == RequestOp::kExport) {
             return false;
           }
           op = *parsed;
@@ -103,6 +105,12 @@ class FastScanner {
           if (slots < 1) return false;  // advance_slot rejects; others too.
           out->slots = slots;
           seen_slots = true;
+        } else if (key == "period") {
+          int period = 0;
+          if (seen_period || !ScanInt(&period)) return false;
+          if (period < 1) return false;  // report rejects; others too.
+          out->period = period;
+          seen_period = true;
         } else {
           // Unknown to the scanner: catalog/config (valid for open_period
           // only) or a field the tree parser rejects. Either way, its call.
@@ -126,16 +134,27 @@ class FastScanner {
     }
     switch (op) {
       case RequestOp::kSubmit:
-        if (!seen_tenants || seen_tenant || seen_slots) return false;
+      case RequestOp::kQueryPrice:
+        if (!seen_tenants || seen_tenant || seen_slots || seen_period) {
+          return false;
+        }
         break;
       case RequestOp::kDepart:
-        if (!seen_tenant || seen_tenants || seen_slots) return false;
+        if (!seen_tenant || seen_tenants || seen_slots || seen_period) {
+          return false;
+        }
         break;
       case RequestOp::kAdvanceSlot:
-        if (seen_tenants || seen_tenant) return false;
+        if (seen_tenants || seen_tenant || seen_period) return false;
+        break;
+      case RequestOp::kReport:
+        // "period" is optional here and nowhere else.
+        if (seen_tenants || seen_tenant || seen_slots) return false;
         break;
       default:
-        if (seen_tenants || seen_tenant || seen_slots) return false;
+        if (seen_tenants || seen_tenant || seen_slots || seen_period) {
+          return false;
+        }
         break;
     }
     out->op = op;

@@ -4,9 +4,11 @@
 #include <functional>
 #include <utility>
 
+#include "analytics/columnar.h"
 #include "baseline/baseline_mechanisms.h"
 #include "common/logging.h"
 #include "core/mechanism.h"
+#include "simdb/advisor.h"
 #include "simdb/scenarios.h"
 
 namespace optshare::service {
@@ -79,6 +81,8 @@ MarketplaceServer::MarketplaceServer(ServerOptions options)
     : store_(options.store ? std::move(options.store)
                            : std::make_shared<MemoryStateStore>()),
       max_request_bytes_(options.max_request_bytes),
+      export_dir_(std::move(options.export_dir)),
+      enable_read_path_(options.enable_read_path),
       pool_(options.num_workers) {
   // Resolve every registry-touching race up front: baselines register once,
   // before the first concurrent Create on a shard.
@@ -109,7 +113,7 @@ std::vector<std::string> MarketplaceServer::TenancyNames() const {
   return names;
 }
 
-JsonValue MarketplaceServer::SnapshotOf(const Tenancy& tenancy) const {
+TenancySnapshot MarketplaceServer::BoundaryOf(const Tenancy& tenancy) const {
   TenancySnapshot snapshot;
   snapshot.name = tenancy.name;
   snapshot.tables = tenancy.catalog.tables();
@@ -118,7 +122,21 @@ JsonValue MarketplaceServer::SnapshotOf(const Tenancy& tenancy) const {
   snapshot.periods_run = tenancy.periods_run;
   snapshot.cumulative_balance = tenancy.cumulative_balance;
   snapshot.cumulative_utility = tenancy.cumulative_utility;
-  return ToJson(snapshot);
+  return snapshot;
+}
+
+JsonValue MarketplaceServer::SnapshotOf(const Tenancy& tenancy) const {
+  return ToJson(BoundaryOf(tenancy));
+}
+
+analytics::ReadDelta MarketplaceServer::DeltaOf(const Tenancy& tenancy) const {
+  analytics::ReadDelta delta;
+  if (tenancy.session.has_value()) {
+    delta.period_open = true;
+    delta.current_slot = tenancy.session->slots_advanced();
+    delta.num_tenants = tenancy.session->num_tenants();
+  }
+  return delta;
 }
 
 Status MarketplaceServer::CreateTenancy(const std::string& name,
@@ -157,6 +175,7 @@ Status MarketplaceServer::CreateTenancy(const std::string& name,
                               << "\" creation not persisted: "
                               << persisted.ToString();
       }
+      read_registry_.PublishView(name, BoundaryOf(*created), nullptr);
       promise->set_value(Status::OK());
     } catch (const std::exception& e) {
       promise->set_value(Status::Internal(e.what()));
@@ -176,6 +195,22 @@ std::future<Response> MarketplaceServer::Dispatch(Request request) {
 
 void MarketplaceServer::DispatchCallback(
     Request request, std::function<void(Response)> done) {
+  // The HTAP read path: answer snapshot-servable ops right here, on the
+  // caller's thread, from the published ReadView — a read never queues
+  // behind the tenancy's write FIFO, so read latency is independent of
+  // write-queue depth. `done` firing synchronously is within contract
+  // (Dispatch's promise and both transports handle inline completion).
+  // Ordering note: a client that AWAITS its write ack reads its own write
+  // (deltas publish before the ack); a pipelined, unacknowledged write may
+  // not be visible to an immediately following read.
+  if (enable_read_path_) {
+    Response served;
+    if (TryServeRead(request, &served)) {
+      served.version = request.version;
+      done(std::move(served));
+      return;
+    }
+  }
   // list_mechanisms and the global v2 ops shard on the empty name: cheap,
   // and ordering against tenancy traffic is irrelevant for them.
   // The shard key must be taken before the Post call: its arguments are
@@ -343,11 +378,17 @@ MarketplaceServer::RecoverOutcome MarketplaceServer::RecoverTenancy(
     tenancy->periods_run = snapshot->periods_run;
     tenancy->cumulative_balance = snapshot->cumulative_balance;
     tenancy->cumulative_utility = snapshot->cumulative_utility;
+    Tenancy* loaded = tenancy.get();
     {
       std::lock_guard<std::mutex> lock(mu_);
       tenancies_.emplace(persisted.name, std::move(tenancy));
     }
     stats.snapshots_loaded = 1;
+    // Reads come back online at the recovered boundary; the journal replay
+    // below re-publishes views/deltas through the regular execute path.
+    // (The retained report history starts empty — pre-crash periods are
+    // summarized by the snapshot.)
+    read_registry_.PublishView(persisted.name, BoundaryOf(*loaded), nullptr);
   }
   // Replay the journal tail through the exact dispatch path that produced
   // it; persist=false keeps the on-disk journal untouched (it still
@@ -440,6 +481,12 @@ Response MarketplaceServer::Execute(const Request& request, bool persist) {
     case RequestOp::kClusterUpdate:
       response = ExecuteClusterUpdate(request);
       break;
+    case RequestOp::kQueryPrice:
+      response = ExecuteQueryPrice(request);
+      break;
+    case RequestOp::kExport:
+      response = ExecuteExport(request);
+      break;
     case RequestOp::kShutdown: {
       shutdown_requested_.store(true);
       JsonValue payload = JsonValue::MakeObject();
@@ -510,6 +557,18 @@ Response MarketplaceServer::ExecuteServerInfo(const Request& request) {
     payload.Set("recoveries_run", JsonValue::Number(recoveries_run_));
     payload.Set("recovery", ToJson(last_recovery_));
   }
+  JsonValue read_path = read_registry_.InfoJson();
+  read_path.Set("enabled", JsonValue::Bool(enable_read_path_));
+  read_path.Set("reads_served",
+                JsonValue::Number(static_cast<double>(
+                    reads_served_.load(std::memory_order_relaxed))));
+  read_path.Set("fallbacks",
+                JsonValue::Number(static_cast<double>(
+                    read_fallbacks_.load(std::memory_order_relaxed))));
+  read_path.Set("export_rows_written",
+                JsonValue::Number(static_cast<double>(
+                    export_rows_written_.load(std::memory_order_relaxed))));
+  payload.Set("read_path", std::move(read_path));
   {
     // Held across the call so SetTransportInfoProvider(nullptr) cannot pull
     // the provider's state out from under an in-flight server_info.
@@ -647,6 +706,9 @@ Response MarketplaceServer::ExecuteEvict(const Request& request,
     std::lock_guard<std::mutex> lock(mu_);
     tenancies_.erase(request.tenancy);
   }
+  // Drop the read state too: a rebalance target owns the reads from here
+  // on, and a stale local view must not outlive the hand-off.
+  read_registry_.Drop(request.tenancy);
   JsonValue payload = JsonValue::MakeObject();
   payload.Set("evicted", JsonValue::Bool(true));
   payload.Set("periods_run", JsonValue::Number(periods_run));
@@ -668,6 +730,167 @@ Response MarketplaceServer::ExecuteClusterUpdate(const Request& request) {
   Result<JsonValue> payload = cluster_update_(*request.placement);
   if (!payload.ok()) return ErrorResponse(request.id, payload.status());
   return OkResponse(request.id, std::move(*payload));
+}
+
+// -- The HTAP read path ------------------------------------------------------
+//
+// TryServeRead answers snapshot-servable ops from the published ReadView
+// atoms on the CALLER's thread — no shard hop, no queueing behind writes.
+// Everything here must therefore be thread-safe against the shard workers:
+// it only ever touches the registry's immutable snapshots, atomics, and
+// mutex-guarded sections, never a live Tenancy.
+
+bool MarketplaceServer::TryServeRead(const Request& request, Response* out) {
+  switch (request.op) {
+    case RequestOp::kServerInfo:
+    case RequestOp::kExport:
+      op_counts_[static_cast<size_t>(request.op)].fetch_add(
+          1, std::memory_order_relaxed);
+      *out = request.op == RequestOp::kServerInfo ? ExecuteServerInfo(request)
+                                                  : ExecuteExport(request);
+      reads_served_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    case RequestOp::kReport:
+    case RequestOp::kQueryPrice: {
+      if (request.tenancy.empty()) return false;  // Shard path owns the error.
+      const std::shared_ptr<const analytics::ReadState> state =
+          read_registry_.Read(request.tenancy);
+      if (state == nullptr || state->view == nullptr) {
+        // No published view — in practice an unknown tenancy. The write
+        // path owns the answer (and its exact error wording).
+        read_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+      }
+      op_counts_[static_cast<size_t>(request.op)].fetch_add(
+          1, std::memory_order_relaxed);
+      if (request.op == RequestOp::kQueryPrice) {
+        *out = ExecuteQueryPrice(request);
+      } else if (request.period > 0) {
+        Result<JsonValue> payload =
+            analytics::HistoricalReportPayload(*state, request.period);
+        *out = payload.ok() ? OkResponse(request.id, std::move(*payload))
+                            : ErrorResponse(request.id, payload.status());
+      } else {
+        *out = OkResponse(request.id, analytics::ReportPayload(*state));
+      }
+      reads_served_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+Response MarketplaceServer::ExecuteQueryPrice(const Request& request) {
+  if (request.tenancy.empty()) {
+    return ErrorResponse(
+        request.id, Status::InvalidArgument("request needs a tenancy name"));
+  }
+  const std::shared_ptr<const analytics::ReadState> state =
+      read_registry_.Read(request.tenancy);
+  if (state == nullptr || state->view == nullptr) {
+    return ErrorResponse(request.id,
+                         Status::NotFound("unknown tenancy \"" +
+                                          request.tenancy + "\""));
+  }
+  // What-if pricing against the period-boundary snapshot: deterministic,
+  // read-only, and identical no matter which thread (or path) runs it.
+  const TenancySnapshot& boundary = state->view->boundary;
+  simdb::Catalog catalog;
+  for (const simdb::TableDef& table : boundary.tables) {
+    Status added = catalog.AddTable(table);
+    if (!added.ok()) {
+      return ErrorResponse(
+          request.id,
+          Status::Internal("tenancy \"" + request.tenancy +
+                           "\": snapshot catalog rejected: " +
+                           added.message()));
+    }
+  }
+  const simdb::CostModel model(&catalog);
+  const simdb::PricingModel pricing(boundary.config.pricing);
+  Result<std::vector<simdb::Proposal>> proposals = simdb::ProposeOptimizations(
+      catalog, model, pricing, request.tenants, boundary.config.advisor);
+  if (!proposals.ok()) return ErrorResponse(request.id, proposals.status());
+
+  JsonValue quotes = JsonValue::MakeArray();
+  quotes.Reserve(proposals->size());
+  double total_cost = 0.0, total_savings = 0.0;
+  for (const simdb::Proposal& proposal : *proposals) {
+    const std::string name = proposal.spec.DisplayName();
+    JsonValue quote = JsonValue::MakeObject();
+    quote.Set("name", JsonValue::Str(name));
+    quote.Set("cost", JsonValue::Number(proposal.cost));
+    quote.Set("total_savings", JsonValue::Number(proposal.total_savings));
+    quote.Set("benefit_ratio", JsonValue::Number(proposal.BenefitRatio()));
+    quote.Set("already_built",
+              JsonValue::Bool(std::find(boundary.built.begin(),
+                                        boundary.built.end(),
+                                        name) != boundary.built.end()));
+    quotes.Append(std::move(quote));
+    total_cost += proposal.cost;
+    total_savings += proposal.total_savings;
+  }
+  JsonValue payload = JsonValue::MakeObject();
+  payload.Set("tenancy", JsonValue::Str(boundary.name));
+  payload.Set("based_on_period", JsonValue::Number(boundary.periods_run));
+  payload.Set("num_tenants",
+              JsonValue::Number(static_cast<double>(request.tenants.size())));
+  payload.Set("proposals", std::move(quotes));
+  payload.Set("total_cost", JsonValue::Number(total_cost));
+  payload.Set("total_savings", JsonValue::Number(total_savings));
+  return OkResponse(request.id, std::move(payload));
+}
+
+Response MarketplaceServer::ExecuteExport(const Request& request) {
+  if (export_dir_.empty()) {
+    return ErrorResponse(
+        request.id,
+        Status::FailedPrecondition(
+            "this server has no export directory (start with --export-dir)"));
+  }
+  std::vector<std::string> names;
+  if (!request.tenancy.empty()) {
+    names.push_back(request.tenancy);
+  } else {
+    names = read_registry_.TenancyNames();
+  }
+  // One export pass at a time over the directory; reads inside the pass
+  // are still lock-free snapshots.
+  std::lock_guard<std::mutex> lock(export_mu_);
+  analytics::ColumnarWriter writer(export_dir_);
+  int exported = 0;
+  for (const std::string& name : names) {
+    const std::shared_ptr<const analytics::ReadState> state =
+        read_registry_.Read(name);
+    if (state == nullptr || state->view == nullptr) {
+      if (!request.tenancy.empty()) {
+        return ErrorResponse(
+            request.id, Status::NotFound("unknown tenancy \"" + name + "\""));
+      }
+      continue;  // Raced an evict; the tenancy is gone either way.
+    }
+    analytics::TenancyExport item;
+    item.boundary = state->view->boundary;
+    item.reports = *state->view->history;
+    writer.Add(item);
+    ++exported;
+  }
+  Result<analytics::ColumnarExportStats> stats = writer.Finish();
+  if (!stats.ok()) return ErrorResponse(request.id, stats.status());
+  export_rows_written_.fetch_add(stats->rows(), std::memory_order_relaxed);
+  JsonValue payload = JsonValue::MakeObject();
+  payload.Set("export_dir", JsonValue::Str(export_dir_));
+  payload.Set("tenancies", JsonValue::Number(exported));
+  payload.Set("ledger_rows",
+              JsonValue::Number(static_cast<double>(stats->ledger_rows)));
+  payload.Set("report_rows",
+              JsonValue::Number(static_cast<double>(stats->report_rows)));
+  payload.Set("period_rows",
+              JsonValue::Number(static_cast<double>(stats->period_rows)));
+  payload.Set("rows", JsonValue::Number(static_cast<double>(stats->rows())));
+  payload.Set("files_written", JsonValue::Number(stats->files_written));
+  return OkResponse(request.id, std::move(payload));
 }
 
 Response MarketplaceServer::ExecuteOpenPeriod(const Request& request,
@@ -745,6 +968,13 @@ Response MarketplaceServer::ExecuteOpenPeriod(const Request& request,
   }
   tenancy->config = config;  // The accepted config becomes sticky.
   tenancy->session.emplace(std::move(*session));
+  // A creating open is this tenancy's first period boundary (period 0);
+  // every open also publishes the fresh delta so mid-period reads see the
+  // period as open before the ack fires.
+  if (creating) {
+    read_registry_.PublishView(request.tenancy, BoundaryOf(*tenancy), nullptr);
+  }
+  read_registry_.PublishDelta(request.tenancy, DeltaOf(*tenancy));
 
   JsonValue payload = JsonValue::MakeObject();
   payload.Set("period", JsonValue::Number(tenancy->periods_run + 1));
@@ -799,6 +1029,26 @@ Response MarketplaceServer::ExecuteTenancyOp(const Request& request,
   }
 
   if (request.op == RequestOp::kReport) {
+    if (request.period > 0) {
+      // Historical reports live in the analytics history on BOTH paths, so
+      // read-path-on and read-path-off servers answer identically.
+      const std::shared_ptr<const analytics::ReadState> state =
+          read_registry_.Read(request.tenancy);
+      if (state == nullptr || state->view == nullptr) {
+        return ErrorResponse(
+            request.id,
+            Status::NotFound(
+                "no report retained for period " +
+                std::to_string(request.period) + " of tenancy \"" +
+                request.tenancy +
+                "\" (reports are retained in-memory since the tenancy was "
+                "rebuilt)"));
+      }
+      Result<JsonValue> payload =
+          analytics::HistoricalReportPayload(*state, request.period);
+      if (!payload.ok()) return ErrorResponse(request.id, payload.status());
+      return OkResponse(request.id, std::move(*payload));
+    }
     JsonValue payload = JsonValue::MakeObject();
     payload.Set("tenancy", JsonValue::Str(tenancy->name));
     payload.Set("periods_run", JsonValue::Number(tenancy->periods_run));
@@ -837,39 +1087,66 @@ Response MarketplaceServer::ExecuteTenancyOp(const Request& request,
     if (!journaled.ok()) return ErrorResponse(request.id, journaled);
   }
   PricingSession& session = *tenancy->session;
+  // Branches assign `response` and break (instead of returning) so the
+  // delta publish below runs after EVERY session-touching op — including
+  // partial failures: a rejected batch submit still admitted its earlier
+  // tenants, and the read path must see them.
+  Response response;
   switch (request.op) {
     case RequestOp::kSubmit: {
       JsonValue ids = JsonValue::MakeArray();
       ids.Reserve(request.tenants.size());
+      Status first_error;
       for (const simdb::SimUser& tenant : request.tenants) {
         Result<UserId> id = session.Submit(tenant);
         // Stop at the first rejection, like PricingSession's batch Submit;
         // tenants admitted before it stay admitted.
-        if (!id.ok()) return ErrorResponse(request.id, id.status());
+        if (!id.ok()) {
+          first_error = id.status();
+          break;
+        }
         ids.Append(JsonValue::Number(*id));
+      }
+      if (!first_error.ok()) {
+        response = ErrorResponse(request.id, first_error);
+        break;
       }
       JsonValue payload = JsonValue::MakeObject();
       payload.Set("tenant_ids", std::move(ids));
-      return OkResponse(request.id, std::move(payload));
+      response = OkResponse(request.id, std::move(payload));
+      break;
     }
     case RequestOp::kDepart: {
       Status st = session.Depart(request.tenant);
-      if (!st.ok()) return ErrorResponse(request.id, st);
-      return OkResponse(request.id, JsonValue::MakeObject());
+      response = st.ok() ? OkResponse(request.id, JsonValue::MakeObject())
+                         : ErrorResponse(request.id, st);
+      break;
     }
     case RequestOp::kAdvanceSlot: {
+      Status first_error;
       for (int i = 0; i < request.slots; ++i) {
         Status st = session.AdvanceSlot();
-        if (!st.ok()) return ErrorResponse(request.id, st);
+        if (!st.ok()) {
+          first_error = st;
+          break;
+        }
+      }
+      if (!first_error.ok()) {
+        response = ErrorResponse(request.id, first_error);
+        break;
       }
       JsonValue payload = JsonValue::MakeObject();
       payload.Set("slot", JsonValue::Number(session.slots_advanced()));
       payload.Set("slots_advanced", JsonValue::Number(request.slots));
-      return OkResponse(request.id, std::move(payload));
+      response = OkResponse(request.id, std::move(payload));
+      break;
     }
     case RequestOp::kClosePeriod: {
       Result<PeriodReport> report = session.Close();
-      if (!report.ok()) return ErrorResponse(request.id, report.status());
+      if (!report.ok()) {
+        response = ErrorResponse(request.id, report.status());
+        break;
+      }
       ++tenancy->periods_run;
       tenancy->built = session.built_structures();
       tenancy->cumulative_balance += report->ledger.CloudBalance();
@@ -889,14 +1166,28 @@ Response MarketplaceServer::ExecuteTenancyOp(const Request& request,
               << checkpointed.ToString();
         }
       }
+      // The read path's period boundary: a fresh view with this report
+      // appended to the retained history, published before the close ack.
+      read_registry_.PublishView(tenancy->name, BoundaryOf(*tenancy),
+                                 &*report);
       JsonValue payload = JsonValue::MakeObject();
       payload.Set("report", protocol::ToJson(*report));
-      return OkResponse(request.id, std::move(payload));
+      response = OkResponse(request.id, std::move(payload));
+      break;
     }
     default:
-      return ErrorResponse(request.id,
-                           Status::Internal("unhandled request op"));
+      response =
+          ErrorResponse(request.id, Status::Internal("unhandled request op"));
+      break;
   }
+  // Read-your-writes: the delta lands in the registry before `done` fires,
+  // so a client that awaited this op's ack observes its effect on the read
+  // path. (After close_period the session is gone and PublishView above
+  // already reset the delta.)
+  if (tenancy->session.has_value()) {
+    read_registry_.PublishDelta(tenancy->name, DeltaOf(*tenancy));
+  }
+  return response;
 }
 
 }  // namespace optshare::service

@@ -43,6 +43,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "analytics/read_view.h"
 #include "common/thread_pool.h"
 #include "service/pricing_session.h"
 #include "service/protocol.h"
@@ -61,6 +62,17 @@ struct ServerOptions {
   /// Durability backend. Null = a fresh MemoryStateStore (no cross-process
   /// persistence, exactly the historical behavior).
   std::shared_ptr<StateStore> store;
+  /// Directory the `export` op writes the columnar analytics dump into
+  /// (src/analytics/columnar.h). Empty = export answers FailedPrecondition.
+  /// The server never takes a path off the wire; this is the only target.
+  std::string export_dir;
+  /// Serve report / query_price / server_info / export inline from the
+  /// published ReadView (src/analytics/read_view.h) on the caller's thread
+  /// instead of queueing behind the tenancy's FIFO shard. Views and deltas
+  /// are published either way — the flag only gates the inline serving, so
+  /// a read-path-off server still answers query_price and historical
+  /// reports identically (the differential tests rely on that).
+  bool enable_read_path = true;
 };
 
 /// What one Recover() (or wire `restore`) pass did.
@@ -211,9 +223,24 @@ class MarketplaceServer {
                                   bool persist);
   protocol::Response ExecuteClusterUpdate(const protocol::Request& request);
   static protocol::Response ListMechanisms(const protocol::Request& request);
+  // The analytics ops. Both work exclusively off the published ReadView
+  // atoms (never the live Tenancy), so they are safe on any thread — the
+  // inline read path and the shard path call the very same functions.
+  protocol::Response ExecuteQueryPrice(const protocol::Request& request);
+  protocol::Response ExecuteExport(const protocol::Request& request);
 
+  /// Answers a read op inline from the read path (no shard hop) when a
+  /// published view allows it; false = caller must take the write path.
+  bool TryServeRead(const protocol::Request& request,
+                    protocol::Response* out);
+
+  /// The tenancy's period-boundary state (what checkpoints and ReadViews
+  /// are both built from).
+  TenancySnapshot BoundaryOf(const Tenancy& tenancy) const;
   /// The tenancy's period-boundary state as a snapshot document.
   JsonValue SnapshotOf(const Tenancy& tenancy) const;
+  /// The open session's observable scalars (all-zero when no period open).
+  analytics::ReadDelta DeltaOf(const Tenancy& tenancy) const;
 
   struct RecoverOutcome {
     Status status;
@@ -250,6 +277,15 @@ class MarketplaceServer {
   std::function<JsonValue()> transport_info_;
   mutable std::mutex cluster_mu_;  ///< Guards cluster_update_; same contract.
   std::function<Result<JsonValue>(const JsonValue&)> cluster_update_;
+  /// The read path's data plane. Publishes happen on each tenancy's shard
+  /// worker (the single writer); reads happen anywhere.
+  analytics::ReadRegistry read_registry_;
+  std::string export_dir_;
+  bool enable_read_path_ = true;
+  std::atomic<uint64_t> reads_served_{0};    ///< Inline, shard-bypassing.
+  std::atomic<uint64_t> read_fallbacks_{0};  ///< Read ops sent to the shard.
+  std::atomic<uint64_t> export_rows_written_{0};
+  std::mutex export_mu_;  ///< Serializes export passes over export_dir_.
   /// Live (persist=true) executions per op, indexed by RequestOp value;
   /// served by server_info as "ops" so cluster health is observable.
   std::atomic<uint64_t> op_counts_[protocol::kNumRequestOps] = {};

@@ -146,6 +146,10 @@ std::string_view RequestOpName(RequestOp op) {
       return "evict";
     case RequestOp::kClusterUpdate:
       return "cluster_update";
+    case RequestOp::kQueryPrice:
+      return "query_price";
+    case RequestOp::kExport:
+      return "export";
   }
   return "list_mechanisms";
 }
@@ -169,6 +173,8 @@ int RequestOpMinVersion(RequestOp op) {
     case RequestOp::kTenancyState:
     case RequestOp::kEvict:
     case RequestOp::kClusterUpdate:
+    case RequestOp::kQueryPrice:
+    case RequestOp::kExport:
       return 2;
     default:
       return 1;
@@ -182,6 +188,7 @@ bool OpTakesTenancy(RequestOp op) {
     case RequestOp::kShutdown:
     case RequestOp::kServerInfo:
     case RequestOp::kClusterUpdate:
+    case RequestOp::kExport:  // Optional tenancy, like restore.
       return false;
     default:
       return true;
@@ -623,7 +630,8 @@ JsonValue ToJson(const Request& request) {
       if (request.catalog) obj.Set("catalog", ToJson(*request.catalog));
       if (request.config) obj.Set("config", ToJson(*request.config));
       break;
-    case RequestOp::kSubmit: {
+    case RequestOp::kSubmit:
+    case RequestOp::kQueryPrice: {
       JsonValue tenants = JsonValue::MakeArray();
       tenants.Reserve(request.tenants.size());
       for (const simdb::SimUser& tenant : request.tenants) {
@@ -648,14 +656,21 @@ JsonValue ToJson(const Request& request) {
       if (request.placement) obj.Set("placement", *request.placement);
       break;
     case RequestOp::kRestore:
-      // The tenancy filter is optional on restore (OpTakesTenancy is false,
-      // so the generic path above skipped it).
+    case RequestOp::kExport:
+      // The tenancy filter is optional on restore/export (OpTakesTenancy is
+      // false, so the generic path above skipped it).
       if (!request.tenancy.empty()) {
         obj.Set("tenancy", JsonValue::Str(request.tenancy));
       }
       break;
-    case RequestOp::kClosePeriod:
     case RequestOp::kReport:
+      // 0 = the live report; the field is elided so v1 documents stay
+      // byte-identical to what they always were.
+      if (request.period > 0) {
+        obj.Set("period", JsonValue::Number(request.period));
+      }
+      break;
+    case RequestOp::kClosePeriod:
     case RequestOp::kListMechanisms:
     case RequestOp::kSnapshot:
     case RequestOp::kShutdown:
@@ -717,13 +732,16 @@ Result<Request> RequestFromJson(const JsonValue& v) {
       }
       break;
     }
-    case RequestOp::kSubmit: {
+    case RequestOp::kSubmit:
+    case RequestOp::kQueryPrice: {
+      const char* ctx =
+          request.op == RequestOp::kSubmit ? "submit" : "query_price";
       OPTSHARE_RETURN_NOT_OK(
-          CheckFields(v, {"v", "op", "id", "tenancy", "tenants"}, "submit"));
+          CheckFields(v, {"v", "op", "id", "tenancy", "tenants"}, ctx));
       const JsonValue* tenants = v.Find("tenants");
       if (tenants == nullptr || !tenants->is_array()) {
-        return Status::InvalidArgument(
-            "submit: field \"tenants\" must be an array");
+        return Status::InvalidArgument(std::string(ctx) +
+                                       ": field \"tenants\" must be an array");
       }
       for (const JsonValue& tenant_v : tenants->AsArray()) {
         Result<simdb::SimUser> tenant = SimUserFromJson(tenant_v);
@@ -785,20 +803,35 @@ Result<Request> RequestFromJson(const JsonValue& v) {
       break;
     }
     case RequestOp::kRestore:
+    case RequestOp::kExport: {
+      const char* ctx =
+          request.op == RequestOp::kRestore ? "restore" : "export";
       OPTSHARE_RETURN_NOT_OK(
-          CheckFields(v, {"v", "op", "id", "tenancy"}, "restore"));
+          CheckFields(v, {"v", "op", "id", "tenancy"}, ctx));
       if (v.Find("tenancy") != nullptr) {
-        Result<std::string> tenancy = GetString(v, "tenancy", "restore");
+        Result<std::string> tenancy = GetString(v, "tenancy", ctx);
         if (!tenancy.ok()) return tenancy.status();
         if (tenancy->empty()) {
           return Status::InvalidArgument(
-              "restore: \"tenancy\" must be non-empty when present");
+              std::string(ctx) + ": \"tenancy\" must be non-empty when present");
         }
         request.tenancy = std::move(*tenancy);
       }
       break;
-    case RequestOp::kClosePeriod:
+    }
     case RequestOp::kReport:
+      OPTSHARE_RETURN_NOT_OK(
+          CheckFields(v, {"v", "op", "id", "tenancy", "period"}, "report"));
+      if (v.Find("period") != nullptr) {
+        Result<int> period = GetInt(v, "period", "report");
+        if (!period.ok()) return period.status();
+        if (*period < 1) {
+          return Status::InvalidArgument("report: \"period\" must be >= 1");
+        }
+        request.period = *period;
+      }
+      break;
+    case RequestOp::kClosePeriod:
     case RequestOp::kSnapshot:
     case RequestOp::kReplSync:
     case RequestOp::kTenancyState:

@@ -91,6 +91,10 @@ enum class RequestOp {
   kTenancyState,    ///< Export snapshot + journal tail (rebalance source).
   kEvict,           ///< Checkpoint + drop the live tenancy (rebalance source).
   kClusterUpdate,   ///< Install a newer placement map on a node.
+  // v2 analytics ops (src/analytics/): served from the published ReadView
+  // without entering the tenancy's FIFO shard.
+  kQueryPrice,      ///< What-if pricing for a tenant roster, read-only.
+  kExport,          ///< Columnar export of ledgers/reports to --export-dir.
 };
 
 /// Every RequestOp, in enum order — sized per-op tables (e.g. the
@@ -104,7 +108,8 @@ inline constexpr RequestOp kAllRequestOps[] = {
     RequestOp::kServerInfo,     RequestOp::kReplAppend,
     RequestOp::kReplCheckpoint, RequestOp::kReplSync,
     RequestOp::kTenancyState,   RequestOp::kEvict,
-    RequestOp::kClusterUpdate,
+    RequestOp::kClusterUpdate,  RequestOp::kQueryPrice,
+    RequestOp::kExport,
 };
 inline constexpr size_t kNumRequestOps =
     sizeof(kAllRequestOps) / sizeof(kAllRequestOps[0]);
@@ -164,6 +169,10 @@ struct Request {
 
   // advance_slot
   int slots = 1;
+
+  // report: 0 = the live report; >= 1 selects one retained closed period
+  // (served from the analytics history; NotFound when not retained).
+  int period = 0;
 
   // repl_append: one StateStore journal line, verbatim wire bytes.
   std::string record;

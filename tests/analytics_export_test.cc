@@ -1,0 +1,277 @@
+// Columnar analytics export round trip: the wire `export` op streams a
+// live server's ledger / structure outcomes / period totals into the
+// column layout, and re-aggregating the exported columns in row order
+// reproduces the server's cumulative accounting EXACTLY — double for
+// double — because rows are emitted in the same order the server
+// accumulated them. Plus the manifest schema, the string-dictionary and
+// f64 chunk round trips, per-tenancy export, and the error surfaces.
+#include "analytics/columnar.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/fs.h"
+#include "common/rng.h"
+#include "service/marketplace_server.h"
+#include "simdb/scenarios.h"
+
+namespace optshare::analytics {
+namespace {
+
+using service::MarketplaceServer;
+using service::ServerOptions;
+using service::ServiceConfig;
+using service::protocol::Request;
+using service::protocol::RequestOp;
+using service::protocol::Response;
+
+/// Scratch dirs live under the working directory (the build tree when run
+/// via ctest), so the suite never writes outside it.
+std::string TempDir(const std::string& leaf) {
+  const std::string dir = "optshare_export_test_scratch/" + leaf;
+  (void)fs::RemoveAll(dir);
+  return dir;
+}
+
+Response Must(MarketplaceServer& server, Request request) {
+  Response response = server.Handle(std::move(request));
+  EXPECT_TRUE(response.ok()) << response.status.ToString();
+  return response;
+}
+
+/// Drives `periods` full periods for one tenancy on `server`.
+void RunTenancy(MarketplaceServer& server, const std::string& tenancy,
+                const ServiceConfig& config, int scenario_tenants,
+                int scenario_slots, int periods, uint64_t seed) {
+  auto scenario = simdb::TelemetryScenario(scenario_tenants, scenario_slots);
+  ASSERT_TRUE(scenario.ok());
+  for (int p = 0; p < periods; ++p) {
+    Request open;
+    open.op = RequestOp::kOpenPeriod;
+    open.tenancy = tenancy;
+    if (p == 0) {
+      service::protocol::CatalogSpec catalog;
+      catalog.scenario = "telemetry";
+      catalog.scenario_tenants = scenario_tenants;
+      catalog.scenario_slots = scenario_slots;
+      open.catalog = catalog;
+      open.config = config;
+    }
+    Must(server, open);
+    Request submit;
+    submit.op = RequestOp::kSubmit;
+    submit.tenancy = tenancy;
+    Rng rng(seed + static_cast<uint64_t>(p));
+    submit.tenants =
+        simdb::JitterTenants(scenario->tenants, scenario_slots, rng);
+    Must(server, submit);
+    Request advance;
+    advance.op = RequestOp::kAdvanceSlot;
+    advance.tenancy = tenancy;
+    advance.slots = config.slots_per_period;
+    Must(server, advance);
+    Request close;
+    close.op = RequestOp::kClosePeriod;
+    close.tenancy = tenancy;
+    Must(server, close);
+  }
+}
+
+TEST(ColumnarExportTest, ReaggregatingColumnsReproducesCumulativeTotals) {
+  const std::string dir = TempDir("roundtrip");
+  ServerOptions options;
+  options.num_workers = 2;
+  options.export_dir = dir;
+  MarketplaceServer server(options);
+  ServiceConfig config;
+  RunTenancy(server, "acme", config, 6, 12, 3, 4200);
+  RunTenancy(server, "bolt", config, 4, 12, 2, 4300);
+
+  Request export_request;
+  export_request.op = RequestOp::kExport;
+  export_request.version = 2;
+  const Response exported = Must(server, export_request);
+  EXPECT_EQ(exported.payload.Find("tenancies")->AsNumber(), 2.0);
+  EXPECT_EQ(exported.payload.Find("period_rows")->AsNumber(), 5.0);
+  EXPECT_GT(exported.payload.Find("ledger_rows")->AsNumber(), 0.0);
+  EXPECT_GT(exported.payload.Find("report_rows")->AsNumber(), 0.0);
+
+  // The server's own accounting, straight off the live report.
+  std::map<std::string, JsonValue> live;
+  for (const std::string& name : {std::string("acme"), std::string("bolt")}) {
+    Request report;
+    report.op = RequestOp::kReport;
+    report.tenancy = name;
+    live.emplace(name, Must(server, report).payload);
+  }
+
+  // Re-aggregate the period columns exactly the way the server accumulates
+  // (row order IS accumulation order): cumulative_balance must come out
+  // bit-identical, not approximately equal.
+  Result<std::vector<std::string>> period_tenancy =
+      ReadStringColumn(dir, "periods.tenancy.col");
+  ASSERT_TRUE(period_tenancy.ok()) << period_tenancy.status().ToString();
+  Result<std::vector<double>> cloud_balance =
+      ReadNumberColumn(dir, "periods.cloud_balance.col");
+  ASSERT_TRUE(cloud_balance.ok()) << cloud_balance.status().ToString();
+  Result<std::vector<double>> total_utility =
+      ReadNumberColumn(dir, "periods.total_utility.col");
+  ASSERT_TRUE(total_utility.ok());
+  ASSERT_EQ(period_tenancy->size(), 5u);
+  ASSERT_EQ(cloud_balance->size(), 5u);
+  std::map<std::string, double> balance_sum;
+  std::map<std::string, double> utility_sum;
+  for (size_t row = 0; row < period_tenancy->size(); ++row) {
+    balance_sum[(*period_tenancy)[row]] += (*cloud_balance)[row];
+    utility_sum[(*period_tenancy)[row]] += (*total_utility)[row];
+  }
+  for (const auto& [name, payload] : live) {
+    EXPECT_EQ(balance_sum[name],
+              payload.Find("cumulative_balance")->AsNumber())
+        << name;
+    EXPECT_EQ(utility_sum[name],
+              payload.Find("cumulative_utility")->AsNumber())
+        << name;
+    // Exported totals must be nontrivial or the exactness claim is hollow.
+    EXPECT_NE(balance_sum[name], 0.0) << name;
+  }
+
+  // Second route to the same number: recompute each period's cloud balance
+  // from the ledger table (payments in row order minus the period's cost).
+  Result<std::vector<std::string>> ledger_tenancy =
+      ReadStringColumn(dir, "ledger.tenancy.col");
+  ASSERT_TRUE(ledger_tenancy.ok());
+  Result<std::vector<double>> ledger_period =
+      ReadNumberColumn(dir, "ledger.period.col");
+  ASSERT_TRUE(ledger_period.ok());
+  Result<std::vector<double>> ledger_payment =
+      ReadNumberColumn(dir, "ledger.payment.col");
+  ASSERT_TRUE(ledger_payment.ok());
+  Result<std::vector<double>> period_number =
+      ReadNumberColumn(dir, "periods.period.col");
+  ASSERT_TRUE(period_number.ok());
+  Result<std::vector<double>> period_cost =
+      ReadNumberColumn(dir, "periods.total_cost.col");
+  ASSERT_TRUE(period_cost.ok());
+  std::map<std::string, double> recomputed;
+  for (size_t row = 0; row < period_tenancy->size(); ++row) {
+    double payments = 0.0;
+    for (size_t l = 0; l < ledger_tenancy->size(); ++l) {
+      if ((*ledger_tenancy)[l] == (*period_tenancy)[row] &&
+          (*ledger_period)[l] == (*period_number)[row]) {
+        payments += (*ledger_payment)[l];
+      }
+    }
+    recomputed[(*period_tenancy)[row]] += payments - (*period_cost)[row];
+  }
+  for (const auto& [name, payload] : live) {
+    EXPECT_EQ(recomputed[name],
+              payload.Find("cumulative_balance")->AsNumber())
+        << name << " (ledger recomputation)";
+  }
+}
+
+TEST(ColumnarExportTest, ManifestDescribesEveryFileAndTenancy) {
+  const std::string dir = TempDir("manifest");
+  ServerOptions options;
+  options.export_dir = dir;
+  MarketplaceServer server(options);
+  ServiceConfig config;
+  RunTenancy(server, "acme", config, 4, 6, 2, 4400);
+  Request export_request;
+  export_request.op = RequestOp::kExport;
+  export_request.version = 2;
+  const Response exported = Must(server, export_request);
+
+  Result<JsonValue> manifest = ReadColumnarManifest(dir);
+  ASSERT_TRUE(manifest.ok()) << manifest.status().ToString();
+  EXPECT_EQ(manifest->Find("format")->AsString(), "optshare-columnar");
+  EXPECT_EQ(manifest->Find("version")->AsNumber(), 1.0);
+  const JsonValue* tables = manifest->Find("tables");
+  ASSERT_NE(tables, nullptr);
+  ASSERT_EQ(tables->AsArray().size(), 3u);
+  int files = 1;  // The manifest itself.
+  for (const JsonValue& table : tables->AsArray()) {
+    // Every referenced file exists; every column agrees with the table on
+    // the row count (columnar integrity: no ragged tables).
+    const double rows = table.Find("rows")->AsNumber();
+    EXPECT_TRUE(fs::PathExists(dir + "/" + table.Find("csv")->AsString()));
+    ++files;
+    for (const JsonValue& column : table.Find("columns")->AsArray()) {
+      const std::string file = column.Find("file")->AsString();
+      EXPECT_TRUE(fs::PathExists(dir + "/" + file)) << file;
+      EXPECT_EQ(column.Find("rows")->AsNumber(), rows) << file;
+      ++files;
+      if (column.Find("type")->AsString() == "f64") {
+        Result<std::vector<double>> values = ReadNumberColumn(dir, file);
+        ASSERT_TRUE(values.ok()) << values.status().ToString();
+        EXPECT_EQ(static_cast<double>(values->size()), rows) << file;
+      } else {
+        Result<std::vector<std::string>> values = ReadStringColumn(dir, file);
+        ASSERT_TRUE(values.ok()) << values.status().ToString();
+        EXPECT_EQ(static_cast<double>(values->size()), rows) << file;
+      }
+    }
+  }
+  EXPECT_EQ(exported.payload.Find("files_written")->AsNumber(),
+            static_cast<double>(files));
+  const JsonValue* tenancies = manifest->Find("tenancies");
+  ASSERT_NE(tenancies, nullptr);
+  ASSERT_EQ(tenancies->AsArray().size(), 1u);
+  const JsonValue& acme = tenancies->AsArray()[0];
+  EXPECT_EQ(acme.Find("name")->AsString(), "acme");
+  EXPECT_EQ(acme.Find("periods_run")->AsNumber(), 2.0);
+  EXPECT_EQ(acme.Find("reports_exported")->AsNumber(), 2.0);
+}
+
+TEST(ColumnarExportTest, ExportsOneTenancyWhenNamed) {
+  const std::string dir = TempDir("single");
+  ServerOptions options;
+  options.export_dir = dir;
+  MarketplaceServer server(options);
+  ServiceConfig config;
+  RunTenancy(server, "acme", config, 4, 6, 1, 4500);
+  RunTenancy(server, "bolt", config, 4, 6, 1, 4600);
+  Request export_request;
+  export_request.op = RequestOp::kExport;
+  export_request.version = 2;
+  export_request.tenancy = "bolt";
+  const Response exported = Must(server, export_request);
+  EXPECT_EQ(exported.payload.Find("tenancies")->AsNumber(), 1.0);
+  Result<std::vector<std::string>> names =
+      ReadStringColumn(dir, "periods.tenancy.col");
+  ASSERT_TRUE(names.ok());
+  ASSERT_EQ(names->size(), 1u);
+  EXPECT_EQ((*names)[0], "bolt");
+
+  Request missing = export_request;
+  missing.tenancy = "ghost";
+  Response not_found = server.Handle(std::move(missing));
+  EXPECT_EQ(not_found.status.code(), StatusCode::kNotFound)
+      << not_found.status.ToString();
+}
+
+TEST(ColumnarExportTest, ExportWithoutDirectoryIsFailedPrecondition) {
+  MarketplaceServer server{{}};
+  Request export_request;
+  export_request.op = RequestOp::kExport;
+  export_request.version = 2;
+  Response response = server.Handle(std::move(export_request));
+  EXPECT_EQ(response.status.code(), StatusCode::kFailedPrecondition)
+      << response.status.ToString();
+}
+
+TEST(ColumnarReaderTest, RejectsCorruptChunks) {
+  const std::string dir = TempDir("corrupt");
+  ASSERT_TRUE(fs::EnsureDir(dir).ok());
+  ASSERT_TRUE(fs::WriteFileAtomic(dir + "/bad.col", "NOPE", false).ok());
+  EXPECT_FALSE(ReadNumberColumn(dir, "bad.col").ok());
+  EXPECT_FALSE(ReadStringColumn(dir, "bad.col").ok());
+  EXPECT_FALSE(ReadNumberColumn(dir, "absent.col").ok());
+}
+
+}  // namespace
+}  // namespace optshare::analytics

@@ -1,0 +1,316 @@
+// HTAP read-path differential: the acceptance bar for the snapshot-serving
+// read path. A server answering report / query_price inline from the
+// published ReadView (enable_read_path = true, the default) must be
+// indistinguishable — bit for bit, through the JSON encoding — from one
+// that routes every read through the tenancy's FIFO shard
+// (enable_read_path = false), at every period boundary AND mid-period,
+// for the paper mechanism and both baselines. Plus: historical period
+// reports from the retained history, the NotFound surfaces, the
+// read_path counters, and a writer-storm test proving reads are
+// torn-free while the write queue is deep (the TSan target).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "service/marketplace_server.h"
+#include "simdb/scenarios.h"
+
+namespace optshare::service {
+namespace {
+
+using protocol::Request;
+using protocol::RequestOp;
+using protocol::Response;
+
+std::vector<simdb::SimUser> JitterTenants(std::vector<simdb::SimUser> tenants,
+                                          int slots, uint64_t seed) {
+  Rng rng(seed);
+  return simdb::JitterTenants(std::move(tenants), slots, rng);
+}
+
+Response Must(MarketplaceServer& server, Request request) {
+  Response response = server.Handle(std::move(request));
+  EXPECT_TRUE(response.ok()) << response.status.ToString();
+  return response;
+}
+
+Request OpenRequest(const std::string& tenancy, int scenario_tenants,
+                    int scenario_slots, const ServiceConfig& config,
+                    bool first) {
+  Request open;
+  open.op = RequestOp::kOpenPeriod;
+  open.tenancy = tenancy;
+  if (first) {
+    protocol::CatalogSpec catalog;
+    catalog.scenario = "telemetry";
+    catalog.scenario_tenants = scenario_tenants;
+    catalog.scenario_slots = scenario_slots;
+    open.catalog = catalog;
+    open.config = config;
+  }
+  return open;
+}
+
+Request ReportRequest(const std::string& tenancy, int period = 0) {
+  Request report;
+  report.op = RequestOp::kReport;
+  report.tenancy = tenancy;
+  report.period = period;
+  return report;
+}
+
+Request QueryPriceRequest(const std::string& tenancy,
+                          std::vector<simdb::SimUser> tenants) {
+  Request query;
+  query.op = RequestOp::kQueryPrice;
+  query.tenancy = tenancy;
+  query.tenants = std::move(tenants);
+  return query;
+}
+
+/// The differential drive: the same awaited request against both servers
+/// must produce byte-identical payloads (JSON dumps round-trip doubles
+/// exactly, so this is bit-for-bit equality of every balance).
+void ExpectSamePayload(MarketplaceServer& read_path,
+                       MarketplaceServer& write_path, const Request& request,
+                       const std::string& where) {
+  const Response a = Must(read_path, request);
+  const Response b = Must(write_path, request);
+  EXPECT_EQ(a.payload.Dump(), b.payload.Dump()) << where;
+}
+
+class ReadPathDifferentialTest
+    : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ReadPathDifferentialTest, InlineReadsMatchShardReadsBitIdentically) {
+  constexpr int kTenants = 6;
+  constexpr int kSlots = 12;
+  auto scenario = simdb::TelemetryScenario(kTenants, kSlots);
+  ASSERT_TRUE(scenario.ok());
+  ServiceConfig config;
+  config.mechanism = GetParam();
+
+  ServerOptions on_options;
+  on_options.num_workers = 2;
+  MarketplaceServer read_path(on_options);
+  ServerOptions off_options;
+  off_options.num_workers = 2;
+  off_options.enable_read_path = false;
+  MarketplaceServer write_path(off_options);
+
+  for (int p = 0; p < 3; ++p) {
+    const std::vector<simdb::SimUser> tenants = JitterTenants(
+        scenario->tenants, kSlots, 9000 + static_cast<uint64_t>(p));
+    for (MarketplaceServer* server : {&read_path, &write_path}) {
+      Must(*server, OpenRequest("acme", kTenants, kSlots, config, p == 0));
+      Request submit;
+      submit.op = RequestOp::kSubmit;
+      submit.tenancy = "acme";
+      submit.tenants = tenants;
+      Must(*server, submit);
+      Request advance;
+      advance.op = RequestOp::kAdvanceSlot;
+      advance.tenancy = "acme";
+      advance.slots = kSlots / 2;
+      Must(*server, advance);
+    }
+    // Mid-period: the inline answer is boundary snapshot + published
+    // delta; the shard answer is computed from the live session. Equality
+    // here is the snapshot+delta freshness claim (read-your-writes for an
+    // awaited client: the half-period advance is visible).
+    ExpectSamePayload(read_path, write_path, ReportRequest("acme"),
+                      "mid-period report, period " + std::to_string(p + 1));
+    ExpectSamePayload(
+        read_path, write_path,
+        QueryPriceRequest("acme", JitterTenants(scenario->tenants, kSlots,
+                                                9100 + static_cast<uint64_t>(p))),
+        "mid-period query_price, period " + std::to_string(p + 1));
+    for (MarketplaceServer* server : {&read_path, &write_path}) {
+      Request advance;
+      advance.op = RequestOp::kAdvanceSlot;
+      advance.tenancy = "acme";
+      advance.slots = kSlots - kSlots / 2;
+      Must(*server, advance);
+      Request close;
+      close.op = RequestOp::kClosePeriod;
+      close.tenancy = "acme";
+      Must(*server, close);
+    }
+    // Period boundary: live report, every retained historical report, and
+    // a what-if quote must all agree between the two paths.
+    ExpectSamePayload(read_path, write_path, ReportRequest("acme"),
+                      "boundary report, period " + std::to_string(p + 1));
+    for (int closed = 1; closed <= p + 1; ++closed) {
+      ExpectSamePayload(
+          read_path, write_path, ReportRequest("acme", closed),
+          "historical report " + std::to_string(closed) + " after period " +
+              std::to_string(p + 1));
+    }
+    ExpectSamePayload(
+        read_path, write_path,
+        QueryPriceRequest("acme", scenario->tenants),
+        "boundary query_price, period " + std::to_string(p + 1));
+  }
+
+  // The reads above were actually served inline on the read-path server —
+  // the differential is vacuous if both servers took the shard.
+  Request info;
+  info.op = RequestOp::kServerInfo;
+  info.version = 2;
+  const Response on_info = Must(read_path, info);
+  const JsonValue* on_read_path = on_info.payload.Find("read_path");
+  ASSERT_NE(on_read_path, nullptr);
+  EXPECT_TRUE(on_read_path->Find("enabled")->AsBool());
+  EXPECT_GT(on_read_path->Find("reads_served")->AsNumber(), 0.0);
+  EXPECT_EQ(on_read_path->Find("fallbacks")->AsNumber(), 0.0);
+  const Response off_info = Must(write_path, info);
+  const JsonValue* off_read_path = off_info.payload.Find("read_path");
+  ASSERT_NE(off_read_path, nullptr);
+  EXPECT_FALSE(off_read_path->Find("enabled")->AsBool());
+  EXPECT_EQ(off_read_path->Find("reads_served")->AsNumber(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Mechanisms, ReadPathDifferentialTest,
+                         ::testing::Values("addon", "naive_online",
+                                           "regret"));
+
+TEST(ReadPathErrorsTest, BothPathsAnswerTheSameTypedErrors) {
+  ServerOptions off_options;
+  off_options.enable_read_path = false;
+  MarketplaceServer read_path{{}};
+  MarketplaceServer write_path(off_options);
+  auto scenario = simdb::TelemetryScenario(4, 6);
+  ASSERT_TRUE(scenario.ok());
+  ServiceConfig config;
+  config.slots_per_period = 6;
+  for (MarketplaceServer* server : {&read_path, &write_path}) {
+    Must(*server, OpenRequest("acme", 4, 6, config, true));
+    Request advance;
+    advance.op = RequestOp::kAdvanceSlot;
+    advance.tenancy = "acme";
+    advance.slots = 6;
+    Must(*server, advance);
+    Request close;
+    close.op = RequestOp::kClosePeriod;
+    close.tenancy = "acme";
+    Must(*server, close);
+  }
+  for (MarketplaceServer* server : {&read_path, &write_path}) {
+    // Unknown tenancies are NotFound on both paths (the inline path
+    // falls back to the shard, which owns the error).
+    Response report = server->Handle(ReportRequest("ghost"));
+    EXPECT_EQ(report.status.code(), StatusCode::kNotFound)
+        << report.status.ToString();
+    Response query = server->Handle(QueryPriceRequest("ghost", {}));
+    EXPECT_EQ(query.status.code(), StatusCode::kNotFound)
+        << query.status.ToString();
+    // A period that was never retained is NotFound with the retention
+    // explanation, identically on both paths.
+    Response missing = server->Handle(ReportRequest("acme", 99));
+    EXPECT_EQ(missing.status.code(), StatusCode::kNotFound);
+    EXPECT_NE(missing.status.message().find("no report retained"),
+              std::string::npos)
+        << missing.status.message();
+  }
+}
+
+// The TSan target: a deep un-awaited write storm against one tenancy while
+// reader threads hammer report. Every read must observe an untorn view —
+// the period-1 boundary fields frozen mid-storm, the slot counter
+// monotone — and none may block on (or be reordered behind) the write
+// queue's contents.
+TEST(ReadPathStormTest, WriterStormNeverTearsOrChangesBoundaryReads) {
+  auto scenario = simdb::TelemetryScenario(4, 6);
+  ASSERT_TRUE(scenario.ok());
+  ServiceConfig config;
+  config.slots_per_period = 6;
+  ServerOptions options;
+  options.num_workers = 4;
+  MarketplaceServer server(options);
+
+  Must(server, OpenRequest("acme", 4, 6, config, true));
+  Request submit;
+  submit.op = RequestOp::kSubmit;
+  submit.tenancy = "acme";
+  submit.tenants = JitterTenants(scenario->tenants, 6, 9500);
+  Must(server, submit);
+  Request advance;
+  advance.op = RequestOp::kAdvanceSlot;
+  advance.tenancy = "acme";
+  advance.slots = 6;
+  Must(server, advance);
+  Request close;
+  close.op = RequestOp::kClosePeriod;
+  close.tenancy = "acme";
+  Must(server, close);
+
+  // Period 2 is wide enough that the storm's advances never close it; the
+  // period-1 boundary is the frozen truth every mid-storm read must carry.
+  ServiceConfig wide = config;
+  wide.slots_per_period = 1 << 20;
+  Request reopen;
+  reopen.op = RequestOp::kOpenPeriod;
+  reopen.tenancy = "acme";
+  reopen.config = wide;
+  Must(server, reopen);
+  Must(server, submit);
+  const Response boundary = Must(server, ReportRequest("acme"));
+  const std::string expected_balance =
+      boundary.payload.Find("cumulative_balance")->Dump();
+  const std::string expected_built =
+      boundary.payload.Find("built_structures")->Dump();
+
+  constexpr int kWrites = 2000;
+  constexpr int kReadsPerThread = 800;
+  constexpr int kReaderThreads = 3;
+  std::atomic<int> writes_acked{0};
+  std::thread writer([&server, &writes_acked] {
+    Request slot;
+    slot.op = RequestOp::kAdvanceSlot;
+    slot.tenancy = "acme";
+    slot.slots = 1;
+    for (int i = 0; i < kWrites; ++i) {
+      server.DispatchCallback(slot, [&writes_acked](Response response) {
+        EXPECT_TRUE(response.ok()) << response.status.ToString();
+        writes_acked.fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+  });
+  std::vector<std::thread> readers;
+  for (int t = 0; t < kReaderThreads; ++t) {
+    readers.emplace_back([&server, &expected_balance, &expected_built] {
+      double last_slot = 0.0;
+      for (int i = 0; i < kReadsPerThread; ++i) {
+        const Response read = server.Handle(ReportRequest("acme"));
+        ASSERT_TRUE(read.ok()) << read.status.ToString();
+        // Boundary fields are immutable mid-period: any other value is a
+        // torn read of a half-published state.
+        EXPECT_EQ(read.payload.Find("periods_run")->AsNumber(), 1.0);
+        EXPECT_EQ(read.payload.Find("cumulative_balance")->Dump(),
+                  expected_balance);
+        EXPECT_EQ(read.payload.Find("built_structures")->Dump(),
+                  expected_built);
+        EXPECT_TRUE(read.payload.Find("period_open")->AsBool());
+        // The delta may only move forward.
+        const double slot = read.payload.Find("current_slot")->AsNumber();
+        EXPECT_GE(slot, last_slot);
+        last_slot = slot;
+      }
+    });
+  }
+  writer.join();
+  for (std::thread& reader : readers) reader.join();
+  server.Drain();
+  EXPECT_EQ(writes_acked.load(), kWrites);
+  // After the dust settles the delta has read-your-writes freshness again.
+  const Response settled = Must(server, ReportRequest("acme"));
+  EXPECT_EQ(settled.payload.Find("current_slot")->AsNumber(),
+            static_cast<double>(kWrites));
+}
+
+}  // namespace
+}  // namespace optshare::service

@@ -402,5 +402,100 @@ TEST(ClusterInfoTest, RouterAndNodesExposeClusterCounters) {
   EXPECT_EQ(replication->Find("failures")->AsNumber(), 0.0);
 }
 
+// -- Degraded reads ---------------------------------------------------------
+
+// When no live node owns a tenancy, a `report` must degrade, not lie: a
+// node holding the replicated snapshot (even one the placement has marked
+// dead — suspicion is per-connection, and a cheap read is the right probe)
+// serves the last period boundary tagged `"stale": true`, while a tenancy
+// no reachable node has state for answers NotFound. Before this
+// distinction the router collapsed both into the same Internal error.
+TEST(ClusterStaleReadTest, DeadOwnerDegradesToStaleSnapshotNotNotFound) {
+  constexpr int kTenants = 6;
+  constexpr int kSlots = 12;
+  auto scenario = simdb::TelemetryScenario(kTenants, kSlots);
+  ASSERT_TRUE(scenario.ok());
+  ServiceConfig config;
+  const std::vector<std::vector<simdb::SimUser>> periods = {
+      Jitter(scenario->tenants, kSlots, 7300),
+      Jitter(scenario->tenants, kSlots, 7301)};
+  const std::vector<std::string> lines =
+      RecordRequestLines("acme", config, kTenants, kSlots, periods);
+
+  std::unique_ptr<TestCluster> cluster = StartCluster(2, 2);
+  ClusterRouter::Channel channel;
+  for (const std::string& line : lines) {
+    SendResilient(cluster->router.get(), &channel, line);
+  }
+
+  // The live answer at the period-2 boundary: what the stale read must
+  // reproduce exactly (it is the same replicated snapshot).
+  Request report;
+  report.op = RequestOp::kReport;
+  report.tenancy = "acme";
+  const Response live = cluster->router->Route(report, &channel);
+  ASSERT_TRUE(live.ok()) << live.status.ToString();
+  ASSERT_EQ(live.payload.Find("periods_run")->AsNumber(), 2.0);
+  const double live_balance =
+      live.payload.Find("cumulative_balance")->AsNumber();
+  const std::string live_built =
+      live.payload.Find("built_structures")->Dump();
+
+  // Kill the owner outright, and mark the surviving replica dead in the
+  // placement (another connection's suspicion — the node is actually fine).
+  // Now no live node owns anything.
+  const std::string owner = cluster->OwnerIdOf("acme");
+  std::string replica;
+  for (const auto& node : cluster->nodes) {
+    if (node->id() != owner) replica = node->id();
+  }
+  cluster->NodeById(owner)->Stop();
+  PlacementMap suspected = cluster->router->CurrentPlacement();
+  ASSERT_TRUE(suspected.MarkDead(replica));
+  Request push;
+  push.op = RequestOp::kClusterUpdate;
+  push.placement = suspected.ToJson();
+  ASSERT_TRUE(cluster->router->Route(push, &channel).ok());
+
+  // The degraded read: still a successful report, explicitly stale, and
+  // carrying exactly the replicated boundary accounting.
+  const Response stale = cluster->router->Route(report, &channel);
+  ASSERT_TRUE(stale.ok()) << stale.status.ToString();
+  ASSERT_NE(stale.payload.Find("stale"), nullptr)
+      << "degraded report must carry the stale marker";
+  EXPECT_TRUE(stale.payload.Find("stale")->AsBool());
+  EXPECT_EQ(stale.payload.Find("served_by")->AsString(), replica);
+  EXPECT_EQ(stale.payload.Find("periods_run")->AsNumber(), 2.0);
+  EXPECT_EQ(stale.payload.Find("period_open")->AsBool(), false);
+  EXPECT_EQ(stale.payload.Find("cumulative_balance")->AsNumber(),
+            live_balance);
+  EXPECT_EQ(stale.payload.Find("built_structures")->Dump(), live_built);
+
+  // A tenancy no reachable node has state for is NotFound — not the old
+  // blanket Internal, and not a stale fabrication.
+  Request ghost;
+  ghost.op = RequestOp::kReport;
+  ghost.tenancy = "ghost";
+  const Response missing = cluster->router->Route(ghost, &channel);
+  EXPECT_EQ(missing.status.code(), StatusCode::kNotFound)
+      << missing.status.ToString();
+  EXPECT_NE(missing.status.message().find("unknown tenancy \"ghost\""),
+            std::string::npos)
+      << missing.status.message();
+
+  // The router counted the degraded serve.
+  const JsonValue info = cluster->router->InfoJson();
+  EXPECT_GE(info.Find("routing")->Find("stale_reads")->AsNumber(), 1.0);
+
+  // Mutations never degrade: with no live owner they fail loudly.
+  Request advance;
+  advance.op = RequestOp::kAdvanceSlot;
+  advance.tenancy = "acme";
+  advance.slots = 1;
+  const Response refused = cluster->router->Route(advance, &channel);
+  EXPECT_FALSE(refused.ok());
+  EXPECT_NE(refused.status.code(), StatusCode::kNotFound);
+}
+
 }  // namespace
 }  // namespace optshare::cluster

@@ -481,5 +481,59 @@ TEST(MarketplaceServerTest, ReportTracksCumulativeState) {
   EXPECT_EQ(built, expected_built);
 }
 
+TEST(MarketplaceServerTest, ServerInfoReportsReadPathCounters) {
+  constexpr int kSlots = 6;
+  auto scenario = simdb::TelemetryScenario(4, kSlots);
+  ASSERT_TRUE(scenario.ok());
+  ServiceConfig config;
+  const std::vector<std::vector<simdb::SimUser>> periods = {
+      JitterTenants(scenario->tenants, kSlots, 77)};
+
+  MarketplaceServer server(ServerOptions{2});
+  for (const std::string& line :
+       RecordRequestLines("acme", config, 4, kSlots, periods)) {
+    server.HandleLine(line);
+  }
+  // Two inline-served reads against the published boundary view.
+  for (int i = 0; i < 2; ++i) {
+    Request read;
+    read.op = RequestOp::kReport;
+    read.tenancy = "acme";
+    ASSERT_TRUE(server.Handle(std::move(read)).ok());
+  }
+
+  Request info;
+  info.op = RequestOp::kServerInfo;
+  info.version = 2;
+  const Response response = server.Handle(std::move(info));
+  ASSERT_TRUE(response.ok()) << response.status.ToString();
+  const JsonValue* read_path = response.payload.Find("read_path");
+  ASSERT_NE(read_path, nullptr)
+      << "server_info must expose the read_path section";
+  EXPECT_TRUE(read_path->Find("enabled")->AsBool());
+  // CreateTenancy publishes the first view, close_period republishes; every
+  // mutating op published a delta; and the two reports were served inline.
+  EXPECT_GE(read_path->Find("views_published")->AsNumber(), 2.0);
+  EXPECT_GT(read_path->Find("delta_publishes")->AsNumber(), 0.0);
+  EXPECT_GE(read_path->Find("reads_served")->AsNumber(), 2.0);
+  EXPECT_EQ(read_path->Find("fallbacks")->AsNumber(), 0.0);
+  EXPECT_EQ(read_path->Find("export_rows_written")->AsNumber(), 0.0);
+
+  // Disabling the read path flips the flag and routes reads to the shards.
+  ServerOptions off_options;
+  off_options.num_workers = 1;
+  off_options.enable_read_path = false;
+  MarketplaceServer off(off_options);
+  Request off_info;
+  off_info.op = RequestOp::kServerInfo;
+  off_info.version = 2;
+  const Response off_response = off.Handle(std::move(off_info));
+  ASSERT_TRUE(off_response.ok());
+  const JsonValue* off_read_path = off_response.payload.Find("read_path");
+  ASSERT_NE(off_read_path, nullptr);
+  EXPECT_FALSE(off_read_path->Find("enabled")->AsBool());
+  EXPECT_EQ(off_read_path->Find("reads_served")->AsNumber(), 0.0);
+}
+
 }  // namespace
 }  // namespace optshare::service

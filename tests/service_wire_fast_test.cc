@@ -56,9 +56,9 @@ std::vector<std::string> CanonicalLines() {
       RequestOp::kOpenPeriod,   RequestOp::kSubmit,
       RequestOp::kDepart,       RequestOp::kAdvanceSlot,
       RequestOp::kClosePeriod,  RequestOp::kReport,
-      RequestOp::kListMechanisms, RequestOp::kSnapshot,
-      RequestOp::kRestore,      RequestOp::kShutdown,
-      RequestOp::kServerInfo};
+      RequestOp::kQueryPrice,   RequestOp::kListMechanisms,
+      RequestOp::kSnapshot,     RequestOp::kRestore,
+      RequestOp::kShutdown,     RequestOp::kServerInfo};
   for (const RequestOp op : ops) {
     for (int version = RequestOpMinVersion(op); version <= kProtocolVersion;
          ++version) {
@@ -76,6 +76,7 @@ std::vector<std::string> CanonicalLines() {
             break;
           }
           case RequestOp::kSubmit:
+          case RequestOp::kQueryPrice:
             request.tenants = {SampleTenant(), SampleTenant()};
             break;
           case RequestOp::kDepart:
@@ -90,6 +91,16 @@ std::vector<std::string> CanonicalLines() {
         lines.push_back(ToJson(request).Dump());
       }
     }
+  }
+  // Historical reads: v2 report with an explicit period.
+  for (const bool with_id : {false, true}) {
+    Request request;
+    request.op = RequestOp::kReport;
+    request.version = 2;
+    request.tenancy = "acme";
+    request.period = 2;
+    if (with_id) request.id = "req-42";
+    lines.push_back(ToJson(request).Dump());
   }
   return lines;
 }
@@ -173,6 +184,31 @@ std::vector<std::string> AdversarialLines() {
       R"({"v":1,"op":"submit","tenancy":"a","tenants":[{"start":1,"end":2,)"
       R"("executions_per_slot":3,"workload":[{"frequency":1,"query":)"
       R"({"table":"t","aggregate":false,"predicates":[{"column":"c"}]}}]}]})",
+      // Historical-report period field: bounds, types, wrong ops.
+      R"({"v":2,"op":"report","tenancy":"acme","period":0})",
+      R"({"v":2,"op":"report","tenancy":"acme","period":-1})",
+      R"({"v":2,"op":"report","tenancy":"acme","period":2.5})",
+      R"({"v":2,"op":"report","tenancy":"acme","period":"2"})",
+      R"({"v":2,"op":"report","tenancy":"acme","period":true})",
+      R"({"v":2,"op":"report","tenancy":"acme","period":3000000000})",
+      R"({"v":1,"op":"report","tenancy":"acme","period":2})",
+      R"({"v":2,"op":"report","tenancy":"acme","period":1,"period":2})",
+      R"({"v":1,"op":"advance_slot","tenancy":"a","slots":1,"period":2})",
+      R"({"v":1,"op":"close_period","tenancy":"a","period":1})",
+      R"({"v":2,"op":"report","period":1})",
+      // query_price: version gate, payload strictness, wrong-op fields.
+      R"({"v":2,"op":"query_price","tenancy":"a"})",
+      R"({"v":2,"op":"query_price","tenancy":"a","tenants":[]})",
+      R"({"v":2,"op":"query_price","tenancy":"a","tenants":{}})",
+      R"({"v":1,"op":"query_price","tenancy":"a","tenants":[{"start":1,)"
+      R"("end":2,"executions_per_slot":3,"workload":[]}]})",
+      R"({"v":2,"op":"query_price","tenancy":"a","slots":1,"tenants":)"
+      R"([{"start":1,"end":2,"executions_per_slot":3,"workload":[]}]})",
+      R"({"v":2,"op":"query_price","tenancy":"a","tenant":1})",
+      R"({"v":2,"op":"query_price","tenancy":"a","period":1,"tenants":)"
+      R"([{"start":1,"end":2,"executions_per_slot":3,"workload":[]}]})",
+      R"({"op":"query_price","tenancy":"a","v":2,"tenants":[{"start":1,)"
+      R"("end":2,"executions_per_slot":3,"workload":[]}]})",
       // Malformed JSON and structural abuse.
       "",
       "   ",
@@ -254,9 +290,18 @@ TEST(FastWireDifferentialTest, FastPathHandlesCanonicalServingLines) {
       R"({"v":2,"op":"snapshot","tenancy":"acme","id":"s1"})",
       R"({"v":1,"op":"depart","tenancy":"acme","tenant":0})",
       R"({"v":2,"op":"server_info"})",
+      R"({"v":2,"op":"report","tenancy":"acme","period":3})",
       ToJson([] {
         Request request;
         request.op = RequestOp::kSubmit;
+        request.tenancy = "acme";
+        request.tenants = {SampleTenant()};
+        return request;
+      }()).Dump(),
+      ToJson([] {
+        Request request;
+        request.op = RequestOp::kQueryPrice;
+        request.version = 2;
         request.tenancy = "acme";
         request.tenants = {SampleTenant()};
         return request;
@@ -311,6 +356,7 @@ TEST(ZeroAllocationTest, FixedSizeOpsParseAndSerializeWithoutHeap) {
   const std::vector<std::string> lines = {
       R"({"v":1,"op":"advance_slot","tenancy":"acme","slots":3})",
       R"({"v":1,"op":"report","tenancy":"acme","id":"r7"})",
+      R"({"v":2,"op":"report","tenancy":"acme","period":2})",
       R"({"v":1,"op":"close_period","tenancy":"acme"})",
       R"({"v":2,"op":"snapshot","tenancy":"acme"})",
       R"({"v":2,"op":"server_info"})",
