@@ -49,6 +49,16 @@ struct ServiceConfig {
 
 /// What happened to one optimization in one period.
 struct StructureOutcome {
+  /// One tenant the structure actually serviced: roster id plus the first
+  /// slot she was serviced in (service runs through her effective end).
+  /// The strategy harness (strategy/harness.h) rebuilds each tenant's
+  /// *realized* value from these windows — declared ledger values are
+  /// useless against a misreporting tenant.
+  struct ServicedEntry {
+    UserId tenant = 0;
+    TimeSlot from_slot = 0;
+  };
+
   std::string name;          ///< DisplayName of the structure.
   double cost = 0.0;         ///< Price charged this period (build or maint.).
   bool active = false;       ///< Funded and available this period.
@@ -56,6 +66,7 @@ struct StructureOutcome {
   int num_candidates = 0;    ///< Advisor beneficiaries: users with positive
                              ///< declared savings (subscribers is a subset).
   int num_subscribers = 0;   ///< Users serviced.
+  std::vector<ServicedEntry> serviced;  ///< Sorted by tenant id.
 };
 
 /// One period's report.

@@ -93,6 +93,7 @@ void PricingSession::DeclareTenant(ProposalState& state, UserId i,
     state.vstart.resize(n, 0);
     state.vend.resize(n, 0);
     state.value_acc.resize(n, 0.0);
+    state.first_served.resize(n, 0);
   }
   const simdb::SimUser& tenant = roster_[u];
   const TimeSlot arrive_end = std::min(tenant.end, eff_end_[u]);
@@ -202,7 +203,13 @@ Status PricingSession::IntegratePending() {
 void PricingSession::AccrueSlot(ProposalState& state, TimeSlot slot,
                                 const OnlineSlotReport& report) {
   for (const auto& priced : report.priced) {
-    for (UserId i : priced.newly_serviced) state.serviced.push_back(i);
+    for (UserId i : priced.newly_serviced) {
+      state.serviced.push_back(i);
+      const size_t u = static_cast<size_t>(i);
+      if (u < state.first_served.size() && state.first_served[u] == 0) {
+        state.first_served[u] = slot;
+      }
+    }
   }
   size_t write = 0;
   for (UserId i : state.serviced) {
@@ -228,6 +235,10 @@ void PricingSession::AccrueFromResult(ProposalState& state,
     // (effective) declared stream, summed in slot order.
     for (UserId i : result.serviced[0]) {
       const size_t u = static_cast<size_t>(i);
+      if (u < state.first_served.size() && state.first_served[u] == 0) {
+        state.first_served[u] =
+            state.rate[u] != 0.0 ? state.vstart[u] : roster_[u].start;
+      }
       if (state.rate[u] == 0.0) continue;
       for (TimeSlot t = state.vstart[u]; t <= value_slots(i); ++t) {
         state.value_acc[u] += state.rate[u];
@@ -239,6 +250,9 @@ void PricingSession::AccrueFromResult(ProposalState& state,
   for (TimeSlot t = 1; t <= static_cast<TimeSlot>(per_slot.size()); ++t) {
     for (UserId i : per_slot[static_cast<size_t>(t - 1)]) {
       const size_t u = static_cast<size_t>(i);
+      if (u < state.first_served.size() && state.first_served[u] == 0) {
+        state.first_served[u] = t;
+      }
       if (u >= state.rate.size() || state.rate[u] == 0.0) continue;
       if (t >= state.vstart[u] && t <= value_slots(i)) {
         state.value_acc[u] += state.rate[u];
@@ -301,6 +315,12 @@ Result<PeriodReport> PricingSession::Close() {
     outcome.carried_over = state.carried_over;
     outcome.num_candidates = state.num_candidates;
     outcome.active = result->implemented;
+    for (size_t u = 0; u < state.first_served.size(); ++u) {
+      if (state.first_served[u] != 0) {
+        outcome.serviced.push_back(
+            {static_cast<UserId>(u), state.first_served[u]});
+      }
+    }
     if (result->implemented) {
       int subscribers = 0;
       for (double p : result->payments) subscribers += p > 0.0 ? 1 : 0;

@@ -108,6 +108,9 @@ class PricingSession {
     // Close from the final result).
     std::vector<double> value_acc;
     std::vector<UserId> serviced;
+    /// Roster-indexed first slot each tenant was serviced in (0 = never);
+    /// surfaces as StructureOutcome::serviced at Close.
+    std::vector<TimeSlot> first_served;
   };
 
   PricingSession(const simdb::Catalog* catalog, ServiceConfig config,

@@ -519,6 +519,15 @@ JsonValue ToJson(const PeriodReport& report) {
     s.Set("carried_over", JsonValue::Bool(outcome.carried_over));
     s.Set("num_candidates", JsonValue::Number(outcome.num_candidates));
     s.Set("num_subscribers", JsonValue::Number(outcome.num_subscribers));
+    JsonValue serviced = JsonValue::MakeArray();
+    serviced.Reserve(outcome.serviced.size());
+    for (const StructureOutcome::ServicedEntry& entry : outcome.serviced) {
+      JsonValue e = JsonValue::MakeObject();
+      e.Set("tenant", JsonValue::Number(entry.tenant));
+      e.Set("from_slot", JsonValue::Number(entry.from_slot));
+      serviced.Append(std::move(e));
+    }
+    s.Set("serviced", std::move(serviced));
     structures.Append(std::move(s));
   }
   obj.Set("structures", std::move(structures));
@@ -558,7 +567,7 @@ Result<PeriodReport> PeriodReportFromJson(const JsonValue& v) {
     OPTSHARE_RETURN_NOT_OK(CheckFields(
         s,
         {"name", "cost", "active", "carried_over", "num_candidates",
-         "num_subscribers"},
+         "num_subscribers", "serviced"},
         "structure"));
     StructureOutcome outcome;
     Result<std::string> name = GetString(s, "name", "structure");
@@ -579,6 +588,28 @@ Result<PeriodReport> PeriodReportFromJson(const JsonValue& v) {
     Result<int> subscribers = GetInt(s, "num_subscribers", "structure");
     if (!subscribers.ok()) return subscribers.status();
     outcome.num_subscribers = *subscribers;
+    // Absent in pre-strategy-lab reports (journals/snapshots recorded
+    // before the field existed): parse leniently.
+    const JsonValue* serviced = s.Find("serviced");
+    if (serviced != nullptr) {
+      if (!serviced->is_array()) {
+        return Status::InvalidArgument(
+            "structure: field \"serviced\" must be an array");
+      }
+      for (const JsonValue& entry_v : serviced->AsArray()) {
+        OPTSHARE_RETURN_NOT_OK(CheckObject(entry_v, "serviced entry"));
+        OPTSHARE_RETURN_NOT_OK(CheckFields(
+            entry_v, {"tenant", "from_slot"}, "serviced entry"));
+        StructureOutcome::ServicedEntry entry;
+        Result<int> tenant = GetInt(entry_v, "tenant", "serviced entry");
+        if (!tenant.ok()) return tenant.status();
+        entry.tenant = *tenant;
+        Result<int> from = GetInt(entry_v, "from_slot", "serviced entry");
+        if (!from.ok()) return from.status();
+        entry.from_slot = *from;
+        outcome.serviced.push_back(entry);
+      }
+    }
     report.structures.push_back(std::move(outcome));
   }
   const JsonValue* ledger = v.Find("ledger");

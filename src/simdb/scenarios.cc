@@ -1,109 +1,47 @@
 #include "simdb/scenarios.h"
 
+#include "strategy/trace.h"
+
 namespace optshare::simdb {
 namespace {
 
-SimUser MakeTenant(Query query, TimeSlot start, TimeSlot end,
-                   double executions) {
-  SimUser tenant;
-  tenant.workload.entries = {{std::move(query), 1.0}};
-  tenant.start = start;
-  tenant.end = end;
-  tenant.executions_per_slot = executions;
-  return tenant;
+// The presets are now expressed as scenario-config documents
+// (strategy::PresetConfigDocument) and expanded through the one trace
+// loader the CLI, benches and soak tests all share; these entry points are
+// thin adapters kept for source compatibility. The draws are pinned
+// bit-identical to the historical C++ formulas by
+// tests/strategy_trace_test.cc.
+Result<Scenario> ExpandPreset(const std::string& name, int num_tenants,
+                              int num_slots) {
+  Result<JsonValue> doc =
+      strategy::PresetConfigDocument(name, num_tenants, num_slots);
+  if (!doc.ok()) return doc.status();
+  Result<strategy::TraceConfig> config = strategy::TraceConfigFromJson(*doc);
+  if (!config.ok()) return config.status();
+  Result<strategy::Trace> trace = strategy::GenerateTrace(*config);
+  if (!trace.ok()) return trace.status();
+  Scenario s;
+  for (const TableDef& table : config->catalog.tables) {
+    OPTSHARE_RETURN_NOT_OK(s.catalog.AddTable(table));
+  }
+  for (strategy::TraceTenant& drawn : trace->periods.front().tenants) {
+    s.tenants.push_back(std::move(drawn.tenant));
+  }
+  return s;
 }
 
 }  // namespace
 
 Result<Scenario> ClickstreamScenario(int num_tenants, int num_slots) {
-  if (num_tenants < 1 || num_slots < 1) {
-    return Status::InvalidArgument("need at least one tenant and one slot");
-  }
-  Scenario s;
-  TableDef events;
-  events.name = "events";
-  events.columns = {
-      {"event_id", ColumnType::kInt64, 2'000'000'000},
-      {"user_id", ColumnType::kInt64, 50'000'000},
-      {"kind", ColumnType::kString, 200},
-      {"ts", ColumnType::kInt64, 86'400'000},
-  };
-  events.row_count = 2'000'000'000;
-  OPTSHARE_RETURN_NOT_OK(s.catalog.AddTable(events));
-
-  Query funnel;
-  funnel.table = "events";
-  funnel.predicates = {{"user_id", 2e-8}, {"kind", 0.005}};
-  funnel.aggregate = true;
-
-  for (int i = 0; i < num_tenants; ++i) {
-    const TimeSlot start = 1 + (i % std::max(1, num_slots / 2));
-    const TimeSlot end =
-        std::min<TimeSlot>(start + num_slots / 2, num_slots);
-    const double executions = 200.0 * (1 + i % 4);
-    s.tenants.push_back(MakeTenant(funnel, start, end, executions));
-  }
-  return s;
+  return ExpandPreset("clickstream", num_tenants, num_slots);
 }
 
 Result<Scenario> RetailScenario(int num_tenants, int num_slots) {
-  if (num_tenants < 1 || num_slots < 1) {
-    return Status::InvalidArgument("need at least one tenant and one slot");
-  }
-  Scenario s;
-  TableDef sales;
-  sales.name = "sales";
-  sales.columns = {
-      {"sale_id", ColumnType::kInt64, 800'000'000},
-      {"region", ColumnType::kString, 40},
-      {"sku", ColumnType::kInt64, 100'000},
-      {"amount", ColumnType::kDouble, 1'000'000},
-  };
-  sales.row_count = 800'000'000;
-  OPTSHARE_RETURN_NOT_OK(s.catalog.AddTable(sales));
-
-  for (int i = 0; i < num_tenants; ++i) {
-    Query report;
-    report.table = "sales";
-    // Alternate between region rollups and sku drill-downs.
-    if (i % 2 == 0) {
-      report.predicates = {{"region", 1.0 / 40}};
-    } else {
-      report.predicates = {{"sku", 1.0 / 100'000}};
-    }
-    report.aggregate = true;
-    s.tenants.push_back(
-        MakeTenant(report, 1, num_slots, 50.0 * (1 + i % 3)));
-  }
-  return s;
+  return ExpandPreset("retail", num_tenants, num_slots);
 }
 
 Result<Scenario> TelemetryScenario(int num_tenants, int num_slots) {
-  if (num_tenants < 1 || num_slots < 1) {
-    return Status::InvalidArgument("need at least one tenant and one slot");
-  }
-  Scenario s;
-  TableDef telemetry;
-  telemetry.name = "telemetry";
-  telemetry.columns = {
-      {"device", ColumnType::kInt64, 5'000'000},
-      {"metric", ColumnType::kInt64, 64},
-      {"value", ColumnType::kDouble, 1'000'000},
-  };
-  telemetry.row_count = 1'000'000'000;
-  OPTSHARE_RETURN_NOT_OK(s.catalog.AddTable(telemetry));
-
-  Query series;
-  series.table = "telemetry";
-  series.predicates = {{"device", 2e-7}};
-  series.aggregate = true;
-
-  for (int i = 0; i < num_tenants; ++i) {
-    // A mix of enterprise (heavy) and starter (light) tenants.
-    const double executions = (i % 3 == 0) ? 2500.0 : 150.0;
-    s.tenants.push_back(MakeTenant(series, 1, num_slots, executions));
-  }
-  return s;
+  return ExpandPreset("telemetry", num_tenants, num_slots);
 }
 
 std::vector<SimUser> JitterTenants(std::vector<SimUser> tenants,

@@ -1,0 +1,167 @@
+#include "strategy/player.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace optshare::strategy {
+namespace {
+
+/// The declared intensity of a free-rider: small enough that the advisor
+/// scores her savings as negligible (she is never a candidate, never
+/// charged), large enough to stay a well-formed positive workload.
+constexpr double kFreeRideScale = 1e-9;
+
+class TruthfulPlayer final : public StrategyPlayer {
+ public:
+  std::string name() const override { return "truthful"; }
+  StrategistMove Declare(const simdb::SimUser& truth,
+                         int /*slots_per_period*/) const override {
+    return {{{truth, truth}}, std::nullopt};
+  }
+};
+
+class MisreportPlayer final : public StrategyPlayer {
+ public:
+  explicit MisreportPlayer(double factor) : factor_(factor) {}
+  std::string name() const override {
+    return "misreport:" + std::to_string(factor_);
+  }
+  StrategistMove Declare(const simdb::SimUser& truth,
+                         int /*slots_per_period*/) const override {
+    simdb::SimUser declared = truth;
+    declared.executions_per_slot *= factor_;
+    return {{{declared, truth}}, std::nullopt};
+  }
+
+ private:
+  double factor_;
+};
+
+class SybilPlayer final : public StrategyPlayer {
+ public:
+  explicit SybilPlayer(int identities) : identities_(identities) {}
+  std::string name() const override {
+    return "sybil:" + std::to_string(identities_);
+  }
+  StrategistMove Declare(const simdb::SimUser& truth,
+                         int /*slots_per_period*/) const override {
+    StrategistMove move;
+    simdb::SimUser split = truth;
+    // The workload is genuinely split: each identity runs (and declares)
+    // 1/K of the executions. The lie is the identity count, not the demand.
+    split.executions_per_slot =
+        truth.executions_per_slot / static_cast<double>(identities_);
+    for (int k = 0; k < identities_; ++k) {
+      move.identities.push_back({split, split});
+    }
+    return move;
+  }
+
+ private:
+  int identities_;
+};
+
+class DelayPlayer final : public StrategyPlayer {
+ public:
+  explicit DelayPlayer(int delay) : delay_(delay) {}
+  std::string name() const override {
+    return "delay:" + std::to_string(delay_);
+  }
+  StrategistMove Declare(const simdb::SimUser& truth,
+                         int /*slots_per_period*/) const override {
+    simdb::SimUser late = truth;
+    late.start = std::min<TimeSlot>(truth.start + delay_, truth.end);
+    // She really does show up late — value before her arrival is forfeited
+    // (that is the gamble: skip the funding slots, keep the access).
+    return {{{late, late}}, std::nullopt};
+  }
+
+ private:
+  int delay_;
+};
+
+class FreeRidePlayer final : public StrategyPlayer {
+ public:
+  std::string name() const override { return "freeride"; }
+  StrategistMove Declare(const simdb::SimUser& truth,
+                         int /*slots_per_period*/) const override {
+    simdb::SimUser declared = truth;
+    declared.executions_per_slot *= kFreeRideScale;
+    return {{{declared, truth}}, std::nullopt};
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<StrategyPlayer> MakeTruthfulPlayer() {
+  return std::make_unique<TruthfulPlayer>();
+}
+
+std::unique_ptr<StrategyPlayer> MakeMisreportPlayer(double factor) {
+  return std::make_unique<MisreportPlayer>(factor);
+}
+
+std::unique_ptr<StrategyPlayer> MakeSybilPlayer(int identities) {
+  return std::make_unique<SybilPlayer>(identities);
+}
+
+std::unique_ptr<StrategyPlayer> MakeDelayPlayer(int delay) {
+  return std::make_unique<DelayPlayer>(delay);
+}
+
+std::unique_ptr<StrategyPlayer> MakeFreeRidePlayer() {
+  return std::make_unique<FreeRidePlayer>();
+}
+
+Result<std::unique_ptr<StrategyPlayer>> MakePlayer(const std::string& spec) {
+  const size_t colon = spec.find(':');
+  const std::string kind = spec.substr(0, colon);
+  const std::string arg =
+      colon == std::string::npos ? "" : spec.substr(colon + 1);
+  const auto want_no_arg = [&](const char* name) {
+    return Status::InvalidArgument("player \"" + std::string(name) +
+                                   "\" takes no parameter");
+  };
+  if (kind == "truthful") {
+    if (!arg.empty()) return want_no_arg("truthful");
+    return MakeTruthfulPlayer();
+  }
+  if (kind == "freeride") {
+    if (!arg.empty()) return want_no_arg("freeride");
+    return MakeFreeRidePlayer();
+  }
+  if (kind == "misreport") {
+    char* end = nullptr;
+    const double factor = std::strtod(arg.c_str(), &end);
+    if (arg.empty() || end != arg.c_str() + arg.size() || !(factor > 0.0) ||
+        !std::isfinite(factor)) {
+      return Status::InvalidArgument(
+          "player \"misreport\" wants a positive factor, e.g. "
+          "\"misreport:0.25\"");
+    }
+    return MakeMisreportPlayer(factor);
+  }
+  if (kind == "sybil" || kind == "delay") {
+    char* end = nullptr;
+    const long value = std::strtol(arg.c_str(), &end, 10);
+    if (arg.empty() || end != arg.c_str() + arg.size() || value < 1 ||
+        value > 1000) {
+      return Status::InvalidArgument("player \"" + kind +
+                                     "\" wants an integer in [1, 1000], "
+                                     "e.g. \"" +
+                                     kind + ":3\"");
+    }
+    return kind == "sybil" ? MakeSybilPlayer(static_cast<int>(value))
+                           : MakeDelayPlayer(static_cast<int>(value));
+  }
+  return Status::InvalidArgument(
+      "unknown player \"" + kind +
+      "\" (want truthful, misreport:<factor>, sybil:<k>, delay:<slots> or "
+      "freeride)");
+}
+
+std::vector<std::string> DefaultAttackSpecs() {
+  return {"misreport:0.25", "sybil:3", "delay:3", "freeride"};
+}
+
+}  // namespace optshare::strategy

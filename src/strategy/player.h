@@ -1,0 +1,84 @@
+// Strategy players: the attack taxonomy for the strategy lab. A player
+// turns one strategist tenant's *true* demand into the identities she
+// submits over the wire — what she declares, what she actually runs, and
+// when she leaves — so the harness (strategy/harness.h) can replay the
+// same period with and without the lie and measure what the lie bought.
+//
+// The taxonomy mirrors the manipulation channels the paper's mechanisms
+// must close:
+//
+//   truthful        declare exactly the true demand (the counterfactual)
+//   misreport:F     scale the declared intensity by F (understate demand,
+//                   hoping to pay less for the same access)
+//   sybil:K         split one tenant into K identities, each running 1/K
+//                   of the true workload (dilute per-identity shares)
+//   delay:D         arrive D slots late, hoping the structure is already
+//                   funded by the others (the timing game)
+//   freeride        declare (nearly) zero demand while still running the
+//                   true workload — profitable only if access is granted
+//                   to non-payers, as the naive baseline does on carried
+//                   structures
+//
+// Players are deterministic: the same truth produces the same move, so
+// harness runs are bit-reproducible.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/types.h"
+#include "simdb/pricing.h"
+
+namespace optshare::strategy {
+
+/// One identity the strategist operates: what she tells the marketplace
+/// and what she truly runs. For honest identities the two coincide; the
+/// gap between them is the lie the mechanism must not reward.
+struct StrategistIdentity {
+  simdb::SimUser declared;  ///< Submitted over the wire.
+  simdb::SimUser actual;    ///< Basis of her realized value.
+};
+
+/// The strategist's play for one period.
+struct StrategistMove {
+  std::vector<StrategistIdentity> identities;  ///< At least one.
+  /// If set, every identity departs after this slot (wire `depart` sent
+  /// before the slot advances, matching PricingSession::Depart semantics).
+  std::optional<TimeSlot> depart_after;
+};
+
+/// One attack strategy.
+class StrategyPlayer {
+ public:
+  virtual ~StrategyPlayer() = default;
+  /// The spec string that recreates this player ("misreport:0.25", ...).
+  virtual std::string name() const = 0;
+  /// The move for one period. `truth` is the strategist's real demand,
+  /// already clipped to [1, slots_per_period].
+  virtual StrategistMove Declare(const simdb::SimUser& truth,
+                                 int slots_per_period) const = 0;
+};
+
+/// Declares the truth; every attack is measured against this baseline.
+std::unique_ptr<StrategyPlayer> MakeTruthfulPlayer();
+/// Declares executions_per_slot scaled by `factor` (true demand unchanged).
+std::unique_ptr<StrategyPlayer> MakeMisreportPlayer(double factor);
+/// Splits the true workload across `identities` equal identities.
+std::unique_ptr<StrategyPlayer> MakeSybilPlayer(int identities);
+/// Arrives `delay` slots after the true start (clamped to the interval).
+std::unique_ptr<StrategyPlayer> MakeDelayPlayer(int delay);
+/// Declares a vanishing intensity while truly running the full workload.
+std::unique_ptr<StrategyPlayer> MakeFreeRidePlayer();
+
+/// Parses a player spec string: "truthful", "misreport:<factor>",
+/// "sybil:<k>", "delay:<slots>", "freeride". Typed InvalidArgument on
+/// unknown names or out-of-range parameters.
+Result<std::unique_ptr<StrategyPlayer>> MakePlayer(const std::string& spec);
+
+/// Every spec the CLI sweep runs by default (one per taxonomy row).
+std::vector<std::string> DefaultAttackSpecs();
+
+}  // namespace optshare::strategy

@@ -1,0 +1,235 @@
+// Trace-shaped workload engine: a small JSON scenario-config format that
+// describes a multi-period tenant population — diurnal arrival cycles,
+// flash crowds, heavy-tailed tenant sizes, correlated mass-departures —
+// and a deterministic generator that expands a config into a Trace: the
+// per-period tenant draws plus departure events, ready to drive a
+// PricingSession or a MarketplaceServer period.
+//
+// One config document, many consumers: the CLI (`sample trace`,
+// `serve --scenario-file`, `attack`), the strategy harness
+// (strategy/harness.h), `bench/strategy_sweep.cc`, and the soak/shape
+// suites all expand configs through this one loader, and the canned
+// presets in simdb/scenarios.cc are themselves expressed as config
+// documents (strategy::PresetConfigDocument) so the scenario zoo and the
+// trace engine cannot drift apart.
+//
+// A document looks like:
+//
+//   {"name": "flash-telemetry", "seed": 7, "periods": 3,
+//    "slots_per_period": 24, "mechanism": "addon",
+//    "catalog": {"tables": [{"name": "telemetry", "row_count": 1000000000,
+//       "columns": [{"name": "device", "type": "int64",
+//                    "distinct_values": 5000000}]}]},
+//    "classes": [
+//      {"name": "steady", "count": 40,
+//       "workloads": [[{"frequency": 1, "query": {"table": "telemetry",
+//          "aggregate": true,
+//          "predicates": [{"column": "device", "selectivity": 2e-7}]}}]],
+//       "executions": {"pareto": {"scale": 50, "alpha": 1.3, "cap": 50000}},
+//       "interval": {"kind": "sampled",
+//                    "arrival": {"process": "diurnal", "amplitude": 0.8,
+//                                "wavelength": 24, "phase": 0},
+//                    "duration": {"to_horizon": true}}}],
+//    "departures": [{"period": 2, "slot": 12, "fraction": 0.5,
+//                    "class": "steady"}]}
+//
+// Parsing is strict in the wire-protocol style (service/protocol.h):
+// unknown fields, missing fields and type mismatches are rejected with a
+// typed InvalidArgument whose message names the context — never a crash
+// (the loader is fuzzed in tests/strategy_fuzz_test.cc). Generation is
+// bit-deterministic: the same document produces byte-identical traces on
+// every platform (common/rng.h samplers only).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "core/types.h"
+#include "simdb/catalog.h"
+#include "simdb/pricing.h"
+#include "simdb/schema.h"
+#include "workload/arrival.h"
+
+namespace optshare::strategy {
+
+/// How a tenant's arrival slot is drawn within the period.
+struct ArrivalSpec {
+  enum class Process {
+    kUniform,  ///< workload/arrival.h: s ~ U{1..z}.
+    kEarly,    ///< workload/arrival.h: exponential clustering at slot 1.
+    kLate,     ///< workload/arrival.h: reflected exponential at slot z.
+    kDiurnal,  ///< Sinusoidal slot weights: 1 + amplitude*sin(2π(s-1+phase)/wavelength).
+    kFlash,    ///< Uniform base load plus a crowd spike around peak_slot.
+  };
+  Process process = Process::kUniform;
+  /// Mean of the early/late exponential (paper §7.5 defaults).
+  double mean = 1.28;
+  // Diurnal cycle.
+  double amplitude = 0.8;    ///< In [0, 1): modulation depth of the cycle.
+  double wavelength = 12.0;  ///< Slots per cycle.
+  double phase = 0.0;        ///< Offset in slots.
+  // Flash crowd.
+  TimeSlot peak_slot = 1;    ///< Center of the spike.
+  int width = 0;             ///< Spike half-width in slots.
+  double multiplier = 10.0;  ///< Weight of a spike slot vs a base slot (>= 1).
+};
+
+/// How long a sampled tenant stays from her arrival slot.
+struct DurationSpec {
+  enum class Kind { kToHorizon, kFixed, kUniform };
+  Kind kind = Kind::kToHorizon;
+  int fixed = 1;
+  int lo = 1, hi = 1;  ///< Uniform duration bounds (inclusive).
+};
+
+/// A tenant's subscription interval within the period.
+struct IntervalSpec {
+  enum class Kind {
+    kFull,       ///< [1, slots_per_period].
+    kStaggered,  ///< start = 1 + (i % modulo), end = min(start + span, z).
+    kSampled,    ///< Arrival process + duration draw.
+  };
+  Kind kind = Kind::kFull;
+  int modulo = 1;  ///< Staggered: arrival cycle length (>= 1).
+  int span = 0;    ///< Staggered: slots past the start (clipped to z).
+  ArrivalSpec arrival;
+  DurationSpec duration;
+};
+
+/// How a tenant's per-slot intensity (executions_per_slot) is drawn.
+struct ExecutionsSpec {
+  enum class Kind { kFixed, kCycle, kUniform, kPareto };
+  Kind kind = Kind::kFixed;
+  double fixed = 1.0;
+  std::vector<double> cycle;  ///< Member i draws cycle[i % size].
+  double lo = 0.0, hi = 0.0;  ///< Uniform bounds.
+  // Heavy tail: x = scale * U^(-1/alpha), optionally capped.
+  double scale = 1.0;
+  double alpha = 1.5;
+  double cap = 0.0;  ///< 0 = uncapped.
+};
+
+/// A homogeneous group of tenants drawn from shared distributions.
+struct TenantClass {
+  std::string name;
+  int count = 0;
+  /// Workload templates; member i runs workloads[i % size].
+  std::vector<simdb::Workload> workloads;
+  ExecutionsSpec executions;
+  IntervalSpec interval;
+};
+
+/// A correlated mass-departure: at `slot` of `period`, `fraction` of the
+/// then-present tenants of `class_name` (all classes when empty) leave.
+struct DepartureSpec {
+  int period = 0;  ///< 1-based; 0 = fires every period.
+  TimeSlot slot = 1;
+  double fraction = 1.0;
+  std::string class_name;
+};
+
+/// Where the tenancy's catalog comes from: a canned simdb scenario by name
+/// ("clickstream", "retail", "telemetry") or inline table definitions.
+/// Mirrors the wire CatalogSpec so a config maps 1:1 onto open_period.
+struct TraceCatalog {
+  std::string scenario;  ///< Empty = inline tables.
+  int scenario_tenants = 6;
+  int scenario_slots = 12;
+  std::vector<simdb::TableDef> tables;
+};
+
+/// One parsed scenario-config document.
+struct TraceConfig {
+  std::string name;
+  uint64_t seed = 1;
+  int periods = 1;
+  int slots_per_period = 12;
+  std::string mechanism = "addon";
+  double maintenance_fraction = 0.25;
+  TraceCatalog catalog;
+  std::vector<TenantClass> classes;
+  std::vector<DepartureSpec> departures;
+
+  /// Structural validity (also enforced by the parser; callers building
+  /// configs in C++ get the same typed errors).
+  Status Validate() const;
+};
+
+/// Strict parse of a config document (see the header comment for the
+/// schema). Unknown fields, wrong types and out-of-range values are all
+/// typed InvalidArgument errors naming the offending context.
+Result<TraceConfig> TraceConfigFromJson(const JsonValue& doc);
+/// Parse from raw text (the CLI/file path); parse errors included.
+Result<TraceConfig> ParseTraceConfig(std::string_view text);
+/// Serializes a config back to its document form. Round-trips:
+/// TraceConfigFromJson(ToJson(c)) reproduces c and re-serializes
+/// byte-identically (JsonValue objects sort keys).
+JsonValue ToJson(const TraceConfig& config);
+
+/// One generated tenant: the draw plus where it came from.
+struct TraceTenant {
+  simdb::SimUser tenant;
+  int class_index = 0;   ///< Into TraceConfig::classes.
+  int member_index = 0;  ///< Position within the class.
+};
+
+/// A departure event: tenant `tenant_index` (into TracePeriod::tenants) is
+/// present through `slot` and gone afterwards.
+struct TraceDeparture {
+  TimeSlot slot = 1;
+  int tenant_index = 0;
+};
+
+/// One period's expanded events, in generation order (class-major; the
+/// wire submission order is slot-major — see TraceProgram in
+/// strategy/harness.h).
+struct TracePeriod {
+  std::vector<TraceTenant> tenants;
+  std::vector<TraceDeparture> departures;  ///< Sorted by (slot, index).
+};
+
+/// A fully expanded trace.
+struct Trace {
+  std::string name;
+  uint64_t seed = 1;
+  int slots_per_period = 12;
+  std::vector<TracePeriod> periods;
+};
+
+/// Expands a config deterministically: same config (and therefore seed) →
+/// byte-identical Trace on every run and platform. Each period draws from
+/// an independent forked stream, so editing period p's population never
+/// perturbs period q != p.
+Result<Trace> GenerateTrace(const TraceConfig& config);
+
+/// Serializes a trace (the determinism suite compares Dump() bytes).
+JsonValue ToJson(const Trace& trace);
+
+/// The canned scenario presets of simdb/scenarios.cc, re-expressed as
+/// config documents ("clickstream", "retail", "telemetry", sized like the
+/// C++ entry points). The adapters in scenarios.cc expand exactly these
+/// documents, and tests/strategy_trace_test.cc pins the draws bit-identical
+/// to the historical formulas. Unknown names: InvalidArgument.
+Result<JsonValue> PresetConfigDocument(const std::string& name,
+                                       int num_tenants, int num_slots);
+
+/// Materializes the config's catalog: a canned scenario's catalog by name
+/// (its tenants are discarded, as on the wire) or the inline tables. The
+/// same expansion MarketplaceServer applies to a wire CatalogSpec.
+Result<simdb::Catalog> BuildTraceCatalog(const TraceCatalog& catalog);
+
+// -- Shape measurement (tests + bench assertions) ---------------------------
+
+/// Arrival histogram of one period: counts[s-1] = tenants with start == s.
+std::vector<int> ArrivalHistogram(const TracePeriod& period, int num_slots);
+
+/// Largest executions_per_slot divided by the median — the heavy-tail
+/// statistic the shape tests gate on (Pareto draws push it far above any
+/// bounded distribution). 0 when the period is empty.
+double TailRatio(const TracePeriod& period);
+
+}  // namespace optshare::strategy

@@ -1,0 +1,223 @@
+// Scenario-config fuzz battery, in the service_protocol_fuzz_test.cc
+// mold: seeded-random mutation of valid trace config documents fed to
+// ParseTraceConfig. The invariant is narrow and absolute:
+//
+//   - the loader never crashes, and
+//   - every input yields either a parsed config or a typed error with a
+//     non-empty message (never an uninformative or mis-coded status), and
+//   - anything the loader does accept expands through GenerateTrace
+//     without crashing and round-trips canonically.
+//
+// Mutations cover byte-level damage (truncation, flips, field drops and
+// duplications, splices, control characters, raw noise) and JSON-level
+// type confusion (known fields swapped to wrong-typed values). Seeds are
+// fixed, so a failure replays deterministically. The suite runs under
+// ASan/TSan in CI via the strategy test regex.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "strategy/trace.h"
+
+namespace optshare::strategy {
+namespace {
+
+/// Valid documents the mutators start from: the three presets, a config
+/// exercising every distribution family, and minimal configs.
+std::vector<std::string> BuildCorpus() {
+  std::vector<std::string> corpus;
+  for (const char* preset : {"clickstream", "retail", "telemetry"}) {
+    Result<JsonValue> doc = PresetConfigDocument(preset, 6, 12);
+    EXPECT_TRUE(doc.ok()) << preset;
+    corpus.push_back(doc->Dump());
+  }
+  corpus.push_back(R"({
+    "name": "mixed", "seed": 9, "periods": 2, "slots_per_period": 12,
+    "mechanism": "addon", "maintenance_fraction": 0.25,
+    "catalog": {"tables": [{"name": "t", "row_count": 1000000,
+      "columns": [{"name": "a", "type": "int64",
+                   "distinct_values": 1000}]}]},
+    "classes": [
+      {"name": "steady", "count": 8,
+       "workloads": [[{"frequency": 1, "query": {"table": "t",
+          "aggregate": true,
+          "predicates": [{"column": "a", "selectivity": 0.001}]}}]],
+       "executions": {"pareto": {"scale": 10, "alpha": 1.5, "cap": 1000}},
+       "interval": {"kind": "sampled",
+                    "arrival": {"process": "diurnal", "amplitude": 0.8,
+                                "wavelength": 12, "phase": 0},
+                    "duration": {"to_horizon": true}}},
+      {"name": "crowd", "count": 4,
+       "workloads": [[{"frequency": 1, "query": {"table": "t",
+          "aggregate": true,
+          "predicates": [{"column": "a", "selectivity": 0.001}]}}]],
+       "executions": {"uniform": [5, 15]},
+       "interval": {"kind": "sampled",
+                    "arrival": {"process": "flash", "peak_slot": 4,
+                                "width": 1, "multiplier": 20},
+                    "duration": {"uniform": [1, 3]}}}],
+    "departures": [{"period": 1, "slot": 6, "fraction": 0.5,
+                    "class": "steady"}]})");
+  corpus.push_back(R"({
+    "catalog": {"scenario": "telemetry"},
+    "classes": [
+      {"name": "c", "count": 3,
+       "workloads": [[{"frequency": 1, "query": {"table": "telemetry",
+          "aggregate": true,
+          "predicates": [{"column": "device", "selectivity": 2e-7}]}}]],
+       "executions": {"cycle": [10, 20, 30]},
+       "interval": {"kind": "staggered", "modulo": 3, "span": 6}}]})");
+  corpus.push_back(R"({"catalog": {"scenario": "retail"}, "classes": []})");
+  return corpus;
+}
+
+/// One seeded byte-level mutation: the same damage classes the protocol
+/// fuzz battery applies to wire lines.
+std::string Mutate(const std::string& line, Rng& rng) {
+  std::string out = line;
+  switch (rng.UniformInt(0, 6)) {
+    case 0: {  // Truncation.
+      if (!out.empty()) {
+        out.resize(static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(out.size()) - 1)));
+      }
+      break;
+    }
+    case 1: {  // Byte flips.
+      const int flips = static_cast<int>(rng.UniformInt(1, 8));
+      for (int f = 0; f < flips && !out.empty(); ++f) {
+        const size_t at = static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(out.size()) - 1));
+        out[at] = static_cast<char>(rng.UniformInt(1, 255));
+      }
+      break;
+    }
+    case 2: {  // Field drop: cut from one '"' to the next ','/'}'.
+      const size_t start = out.find('"', static_cast<size_t>(rng.UniformInt(
+                                             0, static_cast<int64_t>(
+                                                    out.size()))));
+      if (start != std::string::npos) {
+        const size_t end = out.find_first_of(",}", start);
+        if (end != std::string::npos) out.erase(start, end - start);
+      }
+      break;
+    }
+    case 3: {  // Field duplication: re-insert a key/value slice.
+      const size_t comma = out.find(',');
+      const size_t brace = out.find('{');
+      if (comma != std::string::npos && brace != std::string::npos &&
+          brace + 1 < comma) {
+        out.insert(comma, "," + out.substr(brace + 1, comma - brace - 1));
+      }
+      break;
+    }
+    case 4: {  // Splice two document halves.
+      out += out.substr(out.size() / 2);
+      break;
+    }
+    case 5: {  // Whitespace / control-character / structural injection.
+      const int count = static_cast<int>(rng.UniformInt(1, 5));
+      for (int c = 0; c < count; ++c) {
+        const size_t at = static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(out.size())));
+        const char* junk[] = {" ", "\t", "\r", "\x01", "{", "}", "\"",
+                              "[", "]"};
+        out.insert(at, junk[rng.UniformInt(0, 8)]);
+      }
+      break;
+    }
+    default: {  // Pure noise.
+      const size_t len = static_cast<size_t>(rng.UniformInt(0, 200));
+      out.clear();
+      for (size_t c = 0; c < len; ++c) {
+        out.push_back(static_cast<char>(rng.UniformInt(1, 255)));
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+/// Sum of class counts over all periods — the expansion bound that keeps
+/// a mutated-but-accepted config from drawing a huge population.
+int64_t PlannedTenants(const TraceConfig& config) {
+  int64_t total = 0;
+  for (const TenantClass& cls : config.classes) total += cls.count;
+  return total * config.periods;
+}
+
+TEST(StrategyFuzzTest, LoaderNeverCrashesAndAlwaysTypesItsErrors) {
+  const std::vector<std::string> corpus = BuildCorpus();
+  Rng rng(20260808);
+  int rejected = 0;
+  constexpr int kIterations = 20000;
+  for (int i = 0; i < kIterations; ++i) {
+    std::string text = corpus[static_cast<size_t>(rng.UniformInt(
+        0, static_cast<int64_t>(corpus.size()) - 1))];
+    text = Mutate(text, rng);
+    if (rng.Bernoulli(0.3)) text = Mutate(text, rng);  // Stacked damage.
+
+    Result<TraceConfig> config = ParseTraceConfig(text);
+    if (!config.ok()) {
+      ++rejected;
+      // Typed, contextful rejection — never a bare unknown failure.
+      EXPECT_EQ(config.status().code(), StatusCode::kInvalidArgument)
+          << "input: " << text;
+      EXPECT_FALSE(config.status().message().empty()) << "input: " << text;
+      continue;
+    }
+    // Whatever survived must be fully usable: canonical round trip and
+    // crash-free generation (bounded — damage only edits digits in place,
+    // but stay defensive).
+    Result<TraceConfig> reparsed = ParseTraceConfig(ToJson(*config).Dump());
+    EXPECT_TRUE(reparsed.ok()) << "accepted config fails round trip: " << text;
+    if (PlannedTenants(*config) <= 100000) {
+      Result<Trace> trace = GenerateTrace(*config);
+      EXPECT_TRUE(trace.ok()) << "accepted config fails generation: " << text;
+    }
+  }
+  // Sanity: the mutator really was hostile.
+  EXPECT_GT(rejected, kIterations / 2);
+}
+
+TEST(StrategyFuzzTest, TypeConfusionOnKnownFieldsIsRejectedTyped) {
+  const std::vector<std::string> corpus = BuildCorpus();
+  // Every known field name across the schema, swapped to each of a set of
+  // wrong-typed values at the top level and one level down.
+  const std::vector<std::string> fields = {
+      "name",     "seed",       "periods",   "slots_per_period",
+      "mechanism", "maintenance_fraction", "catalog", "classes",
+      "departures", "count",    "workloads", "executions", "interval",
+      "kind",     "arrival",    "duration",  "process", "fraction"};
+  const std::vector<JsonValue> poisons = {
+      JsonValue::Str("nope"), JsonValue::Number(-3.5), JsonValue::Bool(true),
+      JsonValue::MakeArray(), JsonValue::MakeObject()};
+  int rejected = 0, attempts = 0;
+  for (const std::string& text : corpus) {
+    Result<JsonValue> doc = JsonValue::Parse(text);
+    ASSERT_TRUE(doc.ok());
+    for (const std::string& field : fields) {
+      for (const JsonValue& poison : poisons) {
+        JsonValue mutated = *doc;
+        // Poison at the top level and inside a random class when present.
+        mutated.Set(field, poison);
+        ++attempts;
+        Result<TraceConfig> config = ParseTraceConfig(mutated.Dump());
+        if (!config.ok()) {
+          ++rejected;
+          EXPECT_EQ(config.status().code(), StatusCode::kInvalidArgument)
+              << field << " <- " << poison.Dump();
+          EXPECT_FALSE(config.status().message().empty());
+        }
+      }
+    }
+  }
+  // Almost every poisoning must be caught (unknown-at-top-level fields are
+  // rejected outright; known fields fail their type checks).
+  EXPECT_GT(rejected, attempts * 9 / 10);
+}
+
+}  // namespace
+}  // namespace optshare::strategy

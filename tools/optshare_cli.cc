@@ -5,7 +5,10 @@
 //   optshare_cli validate <file>          # parse + validate a game file
 //   optshare_cli run <file> [--mechanism NAME] [--json]
 //   optshare_cli replay <file> [--mechanism NAME] [--json]
+//   optshare_cli attack [--scenario-file FILE] [--player SPEC] [--json]
+//                                         # strategy lab: attack a mechanism
 //   optshare_cli serve [--workers N] [--data-dir DIR] [--listen HOST:PORT]
+//                      [--scenario-file FILE]
 //                                         # wire-protocol loop: stdin, or TCP
 //   optshare_cli connect HOST:PORT        # drive a remote serve --listen
 //   optshare_cli node --id ID --cluster FILE [--data-dir DIR] [--workers N]
@@ -52,6 +55,9 @@
 #include "service/marketplace_server.h"
 #include "service/net_client.h"
 #include "service/net_server.h"
+#include "strategy/harness.h"
+#include "strategy/player.h"
+#include "strategy/trace.h"
 
 namespace optshare {
 namespace {
@@ -69,11 +75,17 @@ struct SubcommandHelp {
 
 constexpr SubcommandHelp kSubcommands[] = {
     {"sample", "optshare_cli sample <type>",
-     "Emits a ready-made sample document for a game type.\n"
+     "Emits a ready-made sample document for a game type, or a trace\n"
+     "scenario config (strategy/trace.h) demonstrating the full schema —\n"
+     "diurnal arrivals, a flash crowd, Pareto-tailed intensities and a\n"
+     "correlated mass-departure. The trace sample round-trips through the\n"
+     "strict loader, so it is guaranteed to parse.\n"
      "types: additive_offline additive_online subst_offline subst_online\n"
-     "       event_log\n"
+     "       event_log trace\n"
      "example:\n"
-     "  optshare_cli sample additive_online > game.json\n"},
+     "  optshare_cli sample additive_online > game.json\n"
+     "  optshare_cli sample trace > scenario.json\n"
+     "  optshare_cli serve --scenario-file scenario.json\n"},
     {"validate", "optshare_cli validate <file>",
      "Parses a game or event-log file and checks its invariants; prints\n"
      "the detected type on success.\n"
@@ -95,9 +107,31 @@ constexpr SubcommandHelp kSubcommands[] = {
      "  optshare_cli sample event_log > log.json\n"
      "  optshare_cli replay log.json                   # paper mechanism\n"
      "  optshare_cli replay log.json --mechanism naive_online --json\n"},
+    {"attack",
+     "optshare_cli attack [--scenario-file FILE] [--mechanism NAME] "
+     "[--player SPEC] [--periods N] [--workers N] [--dry-run] [--json]",
+     "The strategy lab: boots a real marketplace server, drives a\n"
+     "trace-generated background population plus one strategist tenant\n"
+     "over the v2 wire protocol, and replays the identical multi-period\n"
+     "program twice — strategist truthful vs. playing an attack — to\n"
+     "measure what the lie bought in *realized* utility (true value of\n"
+     "serviced slots minus ledger payments; declared values are never\n"
+     "trusted). A truthful mechanism keeps the gain at <= epsilon; the\n"
+     "naive baseline pays attackers.\n"
+     "players: truthful  misreport:<factor>  sybil:<k>  delay:<slots>\n"
+     "         freeride          (default: the whole attack battery)\n"
+     "--scenario-file FILE uses a trace config (`help sample`) as the\n"
+     "background world; the default is a three-period telemetry scenario.\n"
+     "--mechanism / --periods override the config. --dry-run prints the\n"
+     "background trace's wire program (one request line per line, ready\n"
+     "for `serve` or `connect`) instead of running the harness.\n"
+     "example:\n"
+     "  optshare_cli attack --player freeride --json\n"
+     "  optshare_cli attack --mechanism naive_online   # exploitable\n"},
     {"serve",
      "optshare_cli serve [--workers N] [--data-dir DIR] "
-     "[--export-dir DIR] [--listen HOST:PORT] [--max-request-bytes B]",
+     "[--export-dir DIR] [--listen HOST:PORT] [--max-request-bytes B] "
+     "[--scenario-file FILE]",
      "Reads newline-delimited marketplace protocol requests (one JSON\n"
      "document per line, schema versions 1 and 2; see service/protocol.h)\n"
      "from stdin and writes one response line per request, in request\n"
@@ -117,6 +151,11 @@ constexpr SubcommandHelp kSubcommands[] = {
      "--export-dir DIR arms the v2 `export` op: it streams every\n"
      "tenancy's ledger, structure outcomes and period totals into DIR as\n"
      "CSV + binary column chunks + manifest.json (`help export`).\n"
+     "--scenario-file FILE pre-creates a tenancy from a trace scenario\n"
+     "config (strategy/trace.h; `optshare_cli sample trace` emits one):\n"
+     "the config's catalog, mechanism, slots_per_period and\n"
+     "maintenance_fraction become the tenancy named by the config, ready\n"
+     "for open_period without a CatalogSpec.\n"
      "ops: open_period submit depart advance_slot close_period report\n"
      "     query_price list_mechanisms snapshot restore export shutdown\n"
      "     server_info\n"
@@ -260,6 +299,23 @@ LineRead ReadBoundedLine(std::istream& in, std::string* line, size_t cap) {
   }
 }
 
+Result<strategy::TraceConfig> LoadTraceConfig(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open " + path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return strategy::ParseTraceConfig(buffer.str());
+}
+
+/// The tenancy configuration a trace scenario config prescribes.
+service::ServiceConfig ServiceConfigOf(const strategy::TraceConfig& config) {
+  service::ServiceConfig service_config;
+  service_config.slots_per_period = config.slots_per_period;
+  service_config.maintenance_fraction = config.maintenance_fraction;
+  service_config.mechanism = config.mechanism;
+  return service_config;
+}
+
 /// The stdin wire loop: one request line in, one response line out, in
 /// request order. Parsing and dispatch go through the same
 /// RequestDispatcher the TCP NetServer uses, and ordering through the same
@@ -277,6 +333,7 @@ int Serve(int argc, char** argv) {
   std::string data_dir;
   std::string export_dir;
   std::string listen;
+  std::string scenario_file;
   size_t max_request_bytes = service::protocol::kDefaultMaxRequestBytes;
   for (int a = 2; a < argc; ++a) {
     const std::string arg = argv[a];
@@ -289,6 +346,8 @@ int Serve(int argc, char** argv) {
       export_dir = argv[++a];
     } else if (arg == "--listen" && a + 1 < argc) {
       listen = argv[++a];
+    } else if (arg == "--scenario-file" && a + 1 < argc) {
+      scenario_file = argv[++a];
     } else if (arg == "--max-request-bytes" && a + 1 < argc) {
       // A silently-misparsed cap either disables the protection (garbage
       // -> 0) or rejects everything ("2M" -> 2); insist on a clean number.
@@ -321,6 +380,29 @@ int Serve(int argc, char** argv) {
               << " tenancies (" << recovered->snapshots_loaded
               << " snapshots, " << recovered->journal_records_replayed
               << " journal records) from " << data_dir << "\n";
+  }
+  // --scenario-file: pre-create the config's tenancy so clients can
+  // open_period on it without shipping a CatalogSpec. A tenancy of the
+  // same name recovered from --data-dir wins (its carried state is real).
+  if (!scenario_file.empty()) {
+    Result<strategy::TraceConfig> config = LoadTraceConfig(scenario_file);
+    if (!config.ok()) return Fail(config.status().ToString());
+    Result<simdb::Catalog> catalog =
+        strategy::BuildTraceCatalog(config->catalog);
+    if (!catalog.ok()) return Fail(catalog.status().ToString());
+    const std::string tenancy = config->name.empty() ? "trace" : config->name;
+    Status created = server.CreateTenancy(tenancy, std::move(*catalog),
+                                          ServiceConfigOf(*config));
+    if (created.code() == StatusCode::kAlreadyExists) {
+      std::cerr << "tenancy \"" << tenancy
+                << "\" already recovered; keeping its state\n";
+    } else if (!created.ok()) {
+      return Fail(created.ToString());
+    } else {
+      std::cerr << "created tenancy \"" << tenancy << "\" from "
+                << scenario_file << " (mechanism " << config->mechanism
+                << ", " << config->slots_per_period << " slots/period)\n";
+    }
   }
 
   // --listen: the TCP front end serves the same MarketplaceServer through
@@ -666,6 +748,44 @@ Result<JsonValue> LoadGameFile(const std::string& path) {
   return JsonValue::Parse(buffer.str());
 }
 
+/// The `sample trace` document: one scenario config exercising the whole
+/// schema — a diurnal Pareto-tailed steady class, a flash-crowd class and
+/// a correlated mass-departure. Emitted through the strict loader so the
+/// sample can never drift from what ParseTraceConfig accepts.
+constexpr char kSampleTraceConfig[] = R"({
+  "name": "flash-telemetry",
+  "seed": 7,
+  "periods": 3,
+  "slots_per_period": 24,
+  "mechanism": "addon",
+  "maintenance_fraction": 0.25,
+  "catalog": {"tables": [{"name": "telemetry", "row_count": 1000000000,
+    "columns": [{"name": "device", "type": "int64",
+                 "distinct_values": 5000000}]}]},
+  "classes": [
+    {"name": "steady", "count": 24,
+     "workloads": [[{"frequency": 1, "query": {"table": "telemetry",
+        "aggregate": true,
+        "predicates": [{"column": "device", "selectivity": 2e-7}]}}]],
+     "executions": {"pareto": {"scale": 150, "alpha": 1.3, "cap": 50000}},
+     "interval": {"kind": "sampled",
+                  "arrival": {"process": "diurnal", "amplitude": 0.8,
+                              "wavelength": 24, "phase": 0},
+                  "duration": {"to_horizon": true}}},
+    {"name": "crowd", "count": 16,
+     "workloads": [[{"frequency": 1, "query": {"table": "telemetry",
+        "aggregate": true,
+        "predicates": [{"column": "device", "selectivity": 2e-7}]}}]],
+     "executions": {"fixed": 400},
+     "interval": {"kind": "sampled",
+                  "arrival": {"process": "flash", "peak_slot": 8,
+                              "width": 1, "multiplier": 25},
+                  "duration": {"uniform": [2, 6]}}}
+  ],
+  "departures": [{"period": 2, "slot": 12, "fraction": 0.5,
+                  "class": "steady"}]
+})";
+
 int EmitSample(const std::string& type) {
   JsonValue doc;
   if (type == "additive_offline") {
@@ -710,6 +830,11 @@ int EmitSample(const std::string& type) {
         SlotEvent::DeclareValues(2, 0, SlotValues::Single(3, 55.0)));
     log.events[2].push_back(SlotEvent::UserDepart(1));
     doc = ToJson(log);
+  } else if (type == "trace") {
+    Result<strategy::TraceConfig> config =
+        strategy::ParseTraceConfig(kSampleTraceConfig);
+    if (!config.ok()) return Fail(config.status().ToString());
+    doc = strategy::ToJson(*config);
   } else {
     return Fail("unknown game type: " + type);
   }
@@ -860,6 +985,142 @@ int ReplayLogFile(const JsonValue& doc, std::string mechanism, bool json) {
   return 0;
 }
 
+/// Models the strategist on the background world: the first class's first
+/// workload template at a representative intensity, subscribed for the
+/// whole period — a tenant the advisor would genuinely want to serve.
+Result<simdb::SimUser> DefaultStrategist(const strategy::TraceConfig& config) {
+  if (config.classes.empty() || config.classes.front().workloads.empty()) {
+    return Status::InvalidArgument(
+        "scenario config has no tenant classes to model the strategist on");
+  }
+  const strategy::TenantClass& cls = config.classes.front();
+  simdb::SimUser strategist;
+  strategist.workload = cls.workloads.front();
+  switch (cls.executions.kind) {
+    case strategy::ExecutionsSpec::Kind::kFixed:
+      strategist.executions_per_slot = cls.executions.fixed;
+      break;
+    case strategy::ExecutionsSpec::Kind::kCycle:
+      strategist.executions_per_slot =
+          cls.executions.cycle.empty() ? 1.0 : cls.executions.cycle.front();
+      break;
+    case strategy::ExecutionsSpec::Kind::kUniform:
+      strategist.executions_per_slot =
+          0.5 * (cls.executions.lo + cls.executions.hi);
+      break;
+    case strategy::ExecutionsSpec::Kind::kPareto:
+      strategist.executions_per_slot = cls.executions.scale;
+      break;
+  }
+  strategist.start = 1;
+  strategist.end = config.slots_per_period;
+  return strategist;
+}
+
+/// The strategy lab: replays one multi-period wire program twice — the
+/// strategist truthful, then playing an attack — and prints what the lie
+/// bought (strategy/harness.h).
+int Attack(int argc, char** argv) {
+  std::string scenario_file;
+  std::string mechanism;
+  std::string player_spec;
+  int periods = 0;
+  int workers = 2;
+  bool dry_run = false;
+  bool json = false;
+  for (int a = 2; a < argc; ++a) {
+    const std::string arg = argv[a];
+    if (arg == "--scenario-file" && a + 1 < argc) {
+      scenario_file = argv[++a];
+    } else if (arg == "--mechanism" && a + 1 < argc) {
+      mechanism = argv[++a];
+    } else if (arg == "--player" && a + 1 < argc) {
+      player_spec = argv[++a];
+    } else if (arg == "--periods" && a + 1 < argc) {
+      periods = std::atoi(argv[++a]);
+      if (periods < 1) return Fail("--periods must be >= 1");
+    } else if (arg == "--workers" && a + 1 < argc) {
+      workers = std::atoi(argv[++a]);
+      if (workers < 1) return Fail("--workers must be >= 1");
+    } else if (arg == "--dry-run") {
+      dry_run = true;
+    } else if (arg == "--json") {
+      json = true;
+    } else {
+      return Usage();
+    }
+  }
+
+  strategy::TraceConfig config;
+  if (!scenario_file.empty()) {
+    Result<strategy::TraceConfig> loaded = LoadTraceConfig(scenario_file);
+    if (!loaded.ok()) return Fail(loaded.status().ToString());
+    config = std::move(*loaded);
+  } else {
+    // The default background world: the telemetry preset over three
+    // periods, so periods 2+ exercise carried structures.
+    Result<JsonValue> preset =
+        strategy::PresetConfigDocument("telemetry", 6, 12);
+    if (!preset.ok()) return Fail(preset.status().ToString());
+    Result<strategy::TraceConfig> parsed =
+        strategy::TraceConfigFromJson(*preset);
+    if (!parsed.ok()) return Fail(parsed.status().ToString());
+    config = std::move(*parsed);
+    config.name = "attack-lab";
+    config.periods = 3;
+  }
+  if (!mechanism.empty()) config.mechanism = mechanism;
+  if (periods > 0) config.periods = periods;
+
+  if (dry_run) {
+    Result<strategy::Trace> trace = strategy::GenerateTrace(config);
+    if (!trace.ok()) return Fail(trace.status().ToString());
+    Result<std::vector<std::string>> lines = strategy::TraceRequestLines(
+        config, *trace, config.name.empty() ? "trace" : config.name);
+    if (!lines.ok()) return Fail(lines.status().ToString());
+    for (const std::string& line : *lines) std::cout << line << "\n";
+    return 0;
+  }
+
+  Result<simdb::SimUser> strategist = DefaultStrategist(config);
+  if (!strategist.ok()) return Fail(strategist.status().ToString());
+  strategy::StrategyOptions options;
+  options.background = std::move(config);
+  options.strategist = *strategist;
+  options.num_workers = workers;
+  Result<strategy::StrategyHarness> harness =
+      strategy::StrategyHarness::Make(std::move(options));
+  if (!harness.ok()) return Fail(harness.status().ToString());
+
+  std::vector<std::string> specs;
+  if (player_spec.empty()) {
+    specs = strategy::DefaultAttackSpecs();
+  } else {
+    specs.push_back(player_spec);
+  }
+  JsonValue outcomes = JsonValue::MakeArray();
+  for (const std::string& spec : specs) {
+    Result<std::unique_ptr<strategy::StrategyPlayer>> player =
+        strategy::MakePlayer(spec);
+    if (!player.ok()) return Fail(player.status().ToString());
+    Result<strategy::AttackOutcome> outcome = harness->Run(**player);
+    if (!outcome.ok()) return Fail(outcome.status().ToString());
+    if (json) {
+      outcomes.Append(strategy::ToJson(*outcome));
+    } else {
+      std::cout << outcome->player << " vs " << outcome->mechanism << " over "
+                << outcome->periods << " periods: gain "
+                << FormatDollars(outcome->gain) << " (truthful utility "
+                << FormatDollars(outcome->truthful_utility) << ", strategic "
+                << FormatDollars(outcome->strategic_utility)
+                << "), cost-recovery error " << outcome->cost_recovery_error
+                << ", regret " << FormatDollars(outcome->regret) << "\n";
+    }
+  }
+  if (json) std::cout << outcomes.Dump(2) << "\n";
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   RegisterBaselineMechanisms();
   if (argc >= 2 && std::string(argv[1]) == "mechanisms") {
@@ -870,6 +1131,9 @@ int Main(int argc, char** argv) {
   }
   if (argc >= 2 && std::string(argv[1]) == "help") return Help(argc, argv);
   if (argc >= 2 && std::string(argv[1]) == "serve") return Serve(argc, argv);
+  if (argc >= 2 && std::string(argv[1]) == "attack") {
+    return Attack(argc, argv);
+  }
   if (argc >= 2 && std::string(argv[1]) == "connect") {
     return ConnectRemote(argc, argv);
   }
