@@ -12,8 +12,17 @@
 // on the hardware (the acceptance bar: >= 2x aggregate req/s from 1 -> 8
 // connections on a multi-core runner; speedups flatten at the core count,
 // which is why hardware_threads is recorded).
+//
+// A separate "batch" section measures what protocol v3 buys: the same 512
+// tiny submits as blocking round trips, as batch frames of 32, and through
+// the AsyncNetClient's in-flight window — batch_vs_roundtrip_speedup is
+// perf-gated (>= 3x) because it is a machine-independent ratio.
+#include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <fstream>
+#include <mutex>
+#include <future>
 #include <iostream>
 #include <string>
 #include <thread>
@@ -112,6 +121,226 @@ long long RunClient(const std::string& host, uint16_t port,
     call(std::move(close));
   }
   return requests;
+}
+
+/// The protocol-v3 batching measure: one tenancy, one open period, then
+/// `kBatchRequests` tiny submits sent three ways over the same transport —
+/// blocking round trips, v3 batch frames of `kBatchFrame`, and an
+/// AsyncNetClient in-flight window — so the speedups isolate framing and
+/// round-trip overhead, not pricing work.
+JsonValue RunBatchSection() {
+  constexpr int kBatchRequests = 512;
+  constexpr int kBatchFrame = 32;
+  constexpr int kWindow = 32;
+  constexpr int kSlots = 12;
+  ServerOptions options;
+  options.num_workers = 2;
+  MarketplaceServer server(options);
+  NetServer net(&server, NetServerOptions{});
+  Status started = net.Start();
+  if (!started.ok()) {
+    std::cerr << "listen failed: " << started.ToString() << "\n";
+    std::exit(1);
+  }
+
+  const auto connect = [&] {
+    Result<NetClient> client = NetClient::Connect("127.0.0.1", net.port());
+    if (!client.ok()) {
+      std::cerr << "connect failed: " << client.status().ToString() << "\n";
+      std::exit(1);
+    }
+    return std::move(*client);
+  };
+  const auto check = [](const Result<service::protocol::Response>& response) {
+    if (!response.ok() || !response->ok()) {
+      std::cerr << "request failed: "
+                << (response.ok() ? response->status.ToString()
+                                  : response.status().ToString())
+                << "\n";
+      std::exit(1);
+    }
+  };
+  // Fresh tenancy + open period per mode (untimed), then the same N tiny
+  // single-tenant submits — a mutating op, so every mode pays the same
+  // journal appends.
+  const auto open_tenancy = [&](NetClient* client, const std::string& name) {
+    Request open;
+    open.op = RequestOp::kOpenPeriod;
+    open.tenancy = name;
+    service::protocol::CatalogSpec catalog;
+    catalog.scenario = "telemetry";
+    catalog.scenario_tenants = 64;
+    catalog.scenario_slots = kSlots;
+    open.catalog = catalog;
+    check(client->Call(open));
+  };
+  // One minimal tenant — a single aggregate-less scan entry — so each
+  // submit's fixed cost (parse + execute + journal append) is a few
+  // microseconds and the ratio between modes measures framing and
+  // round-trip overhead rather than tenant-serialization weight.
+  simdb::SimUser tiny;
+  tiny.start = 1;
+  tiny.end = 1;
+  tiny.executions_per_slot = 1.0;
+  {
+    simdb::Workload::Entry scan;
+    scan.frequency = 1.0;
+    scan.query.table = "telemetry";
+    scan.query.aggregate = false;
+    tiny.workload.entries.push_back(scan);
+  }
+  const auto submit_of = [&](const std::string& tenancy, int) {
+    Request submit;
+    submit.op = RequestOp::kSubmit;
+    submit.tenancy = tenancy;
+    submit.tenants = {tiny};
+    return submit;
+  };
+
+  // Each mode runs kReps times against a fresh tenancy and keeps its best
+  // time: the modes compare best-case transport cost, not whichever rep a
+  // scheduler hiccup landed on — the gated speedup is a ratio of mins.
+  constexpr int kReps = 3;
+
+  // Mode 1: one blocking round trip per request — the baseline.
+  double roundtrip_ms = 0.0;
+  NetClient roundtrip_client = connect();
+  for (int rep = 0; rep < kReps; ++rep) {
+    const std::string tenancy = "batch-roundtrip-" + std::to_string(rep);
+    open_tenancy(&roundtrip_client, tenancy);
+    const auto start = Clock::now();
+    for (int i = 0; i < kBatchRequests; ++i) {
+      check(roundtrip_client.Call(submit_of(tenancy, i)));
+    }
+    const double ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - start)
+            .count();
+    if (rep == 0 || ms < roundtrip_ms) roundtrip_ms = ms;
+  }
+
+  // Mode 2: v3 batch frames — one line, one ordered response batch.
+  double batch_ms = 0.0;
+  NetClient batch_client = connect();
+  for (int rep = 0; rep < kReps; ++rep) {
+    const std::string tenancy = "batch-framed-" + std::to_string(rep);
+    open_tenancy(&batch_client, tenancy);
+    const auto start = Clock::now();
+    for (int i = 0; i < kBatchRequests; i += kBatchFrame) {
+      Request batch;
+      batch.op = RequestOp::kBatch;
+      batch.version = 3;
+      for (int j = i; j < i + kBatchFrame && j < kBatchRequests; ++j) {
+        batch.requests.push_back(submit_of(tenancy, j));
+      }
+      Result<service::protocol::Response> response = batch_client.Call(batch);
+      check(response);
+      const JsonValue* docs = response->payload.Find("responses");
+      if (docs == nullptr ||
+          docs->AsArray().size() != batch.requests.size()) {
+        std::cerr << "batch answered wrong member count\n";
+        std::exit(1);
+      }
+    }
+    const double ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - start)
+            .count();
+    if (rep == 0 || ms < batch_ms) batch_ms = ms;
+  }
+
+  // Mode 3: the async client's multiplexed in-flight window. The bench
+  // tracks its own in-flight count and blocks on a condition variable when
+  // the window is full — the client frees a slot before it invokes the
+  // completion, so once the bench count drops below the window, Submit is
+  // guaranteed a slot (the retry loop is a belt-and-braces fallback, not a
+  // spin: on a 1-core runner a yield-spin against the reader thread can
+  // starve it for whole scheduler quanta).
+  double windowed_ms = 0.0;
+  service::AsyncNetClient async(connect(),
+                                service::AsyncNetClient::Options{kWindow});
+  for (int rep = 0; rep < kReps; ++rep) {
+    const std::string tenancy = "batch-windowed-" + std::to_string(rep);
+    {
+      Request open;
+      open.op = RequestOp::kOpenPeriod;
+      open.tenancy = tenancy;
+      service::protocol::CatalogSpec catalog;
+      catalog.scenario = "telemetry";
+      catalog.scenario_tenants = 64;
+      catalog.scenario_slots = kSlots;
+      open.catalog = catalog;
+      check(async.Call(open).get());
+    }
+    const auto start = Clock::now();
+    std::atomic<long long> failed{0};
+    std::mutex window_mu;
+    std::condition_variable window_cv;
+    int in_flight = 0;
+    for (int i = 0; i < kBatchRequests; ++i) {
+      const Request submit = submit_of(tenancy, i);
+      {
+        std::unique_lock<std::mutex> lock(window_mu);
+        window_cv.wait(lock, [&] { return in_flight < kWindow; });
+        ++in_flight;
+      }
+      const auto completion = [&](Result<service::protocol::Response> r) {
+        if (!r.ok() || !r->ok()) {
+          failed.fetch_add(1, std::memory_order_relaxed);
+        }
+        {
+          std::lock_guard<std::mutex> lock(window_mu);
+          --in_flight;
+        }
+        window_cv.notify_one();
+      };
+      for (;;) {
+        Status submitted = async.Submit(submit, completion);
+        if (submitted.ok()) break;
+        if (submitted.code() != StatusCode::kResourceExhausted) {
+          std::cerr << "async submit failed: " << submitted.ToString()
+                    << "\n";
+          std::exit(1);
+        }
+        std::this_thread::yield();  // Unreachable in practice; see above.
+      }
+    }
+    Status drained = async.Drain();
+    const double ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - start)
+            .count();
+    if (!drained.ok() || failed.load() != 0) {
+      std::cerr << "windowed mode failed: " << drained.ToString() << " ("
+                << failed.load() << " member failures)\n";
+      std::exit(1);
+    }
+    if (rep == 0 || ms < windowed_ms) windowed_ms = ms;
+  }
+  net.Stop();
+
+  const auto rps = [](double ms) {
+    return ms > 0.0 ? kBatchRequests / (ms / 1000.0) : 0.0;
+  };
+  JsonValue batch = JsonValue::MakeObject();
+  batch.Set("requests", JsonValue::Number(kBatchRequests));
+  batch.Set("batch_frame", JsonValue::Number(kBatchFrame));
+  batch.Set("window", JsonValue::Number(kWindow));
+  batch.Set("roundtrip_ms", JsonValue::Number(roundtrip_ms));
+  batch.Set("batch_ms", JsonValue::Number(batch_ms));
+  batch.Set("windowed_ms", JsonValue::Number(windowed_ms));
+  batch.Set("roundtrip_requests_per_sec", JsonValue::Number(rps(roundtrip_ms)));
+  batch.Set("batch_requests_per_sec", JsonValue::Number(rps(batch_ms)));
+  batch.Set("windowed_requests_per_sec", JsonValue::Number(rps(windowed_ms)));
+  batch.Set("batch_vs_roundtrip_speedup",
+            JsonValue::Number(batch_ms > 0.0 ? roundtrip_ms / batch_ms : 0.0));
+  batch.Set("windowed_vs_roundtrip_speedup",
+            JsonValue::Number(windowed_ms > 0.0 ? roundtrip_ms / windowed_ms
+                                                : 0.0));
+  std::cout << "batch: roundtrip " << roundtrip_ms << " ms, frames "
+            << batch_ms << " ms ("
+            << (batch_ms > 0.0 ? roundtrip_ms / batch_ms : 0.0)
+            << "x), window " << windowed_ms << " ms ("
+            << (windowed_ms > 0.0 ? roundtrip_ms / windowed_ms : 0.0)
+            << "x)\n";
+  return batch;
 }
 
 SweepPoint RunSweepPoint(const RunConfig& config, int workers, int clients) {
@@ -222,6 +451,7 @@ int main(int argc, char** argv) {
   doc.Set("hardware_threads",
           JsonValue::Number(std::thread::hardware_concurrency()));
   doc.Set("sweep", std::move(sweep));
+  doc.Set("batch", RunBatchSection());
 
   std::ofstream out(out_path);
   out << doc.Dump(2) << "\n";

@@ -52,8 +52,16 @@ Result<Response> ClusterRouter::ChannelCall(Channel* channel,
 
 std::string ClusterRouter::RouteLine(const std::string& line,
                                      Channel* channel) {
+  // Parse under the batch cap so a legal v3 batch frame survives; a line
+  // over the plain cap that is NOT a batch still answers the plain-cap
+  // rejection (re-parsing under the plain cap reproduces those bytes).
   Result<Request> parsed =
-      ParseRequestLine(line, options_.max_request_bytes);
+      ParseRequestLine(line, max_batch_request_bytes());
+  if (options_.max_request_bytes > 0 &&
+      line.size() > options_.max_request_bytes &&
+      !(parsed.ok() && parsed->op == RequestOp::kBatch)) {
+    parsed = ParseRequestLine(line, options_.max_request_bytes);
+  }
   if (!parsed.ok()) {
     return FormatResponseLine(ErrorResponse("", parsed.status()));
   }
@@ -78,6 +86,9 @@ Response ClusterRouter::Route(const Request& request, Channel* channel) {
       break;
     case RequestOp::kRestore:
       response = RouteRestore(request, channel);
+      break;
+    case RequestOp::kBatch:
+      response = RouteBatch(request, channel);
       break;
     default:
       response = RouteTenancyOp(request, channel);
@@ -132,16 +143,27 @@ Response ClusterRouter::RouteTenancyOp(const Request& request,
     if ((!recorded.empty() && recorded != owner->id) || attempt > 0) {
       Status restored = RestoreOn(*owner, request.tenancy, channel);
       if (!restored.ok()) {
-        const Status failure = Status::Internal(
-            "failover restore on node " + owner->id +
-            " failed: " + restored.message() + "; retry");
         if (idempotent_read) {
           // The restore target is in trouble too: take it out of the
           // placement and degrade to the replicated boundary state.
           HandleNodeFailure(owner->id, channel);
-          return StaleReportFallback(request, channel, failure);
+          return StaleReportFallback(
+              request, channel,
+              Status::Unavailable(
+                  "failover restore on node " + owner->id +
+                  " failed: " + restored.message() + " (placement v" +
+                  std::to_string(CurrentPlacement().version()) +
+                  "); resend to retry"));
         }
-        return ErrorResponse(request.id, failure);
+        // Typed retryable signal: Unavailable + the placement version the
+        // resend will route under. Only idempotent requests should resend.
+        return ErrorResponse(
+            request.id,
+            Status::Unavailable("failover restore on node " + owner->id +
+                                " failed: " + restored.message() +
+                                " (placement v" +
+                                std::to_string(CurrentPlacement().version()) +
+                                "); resend to retry"));
       }
     }
     Result<Response> response = ChannelCall(channel, *owner, request);
@@ -153,15 +175,145 @@ Response ClusterRouter::RouteTenancyOp(const Request& request,
     forward_failures_.fetch_add(1, std::memory_order_relaxed);
     HandleNodeFailure(owner->id, channel);
     if (idempotent_read && attempt == 0) continue;
-    const Status failure = Status::Internal(
+    const Status failure = Status::Unavailable(
         "node " + owner->id + " failed mid-request (" +
-        response.status().message() + "); placement updated — retry");
+        response.status().message() + "); placement updated to v" +
+        std::to_string(CurrentPlacement().version()) +
+        " — resend to retry");
     if (idempotent_read) {
       return StaleReportFallback(request, channel, failure);
     }
     return ErrorResponse(request.id, failure);
   }
   return ErrorResponse(request.id, Status::Internal("router: unreachable"));
+}
+
+Response ClusterRouter::RouteBatch(const Request& request, Channel* channel) {
+  const size_t n = request.requests.size();
+  std::vector<JsonValue> docs(n);  // Response doc per member, in order.
+  auto member_error = [&](size_t index, const Status& status) {
+    Response error = ErrorResponse(request.requests[index].id, status);
+    error.version = request.requests[index].version;
+    docs[index] = service::protocol::ToJson(error);
+  };
+
+  // Split by owning node, preserving member order within each node's
+  // sub-batch. Non-tenancy members route individually through the
+  // ordinary paths — they are placement-independent, so there is nothing
+  // to split.
+  struct Group {
+    NodeInfo node;
+    std::vector<size_t> indices;
+  };
+  std::vector<Group> groups;
+  std::map<std::string, size_t> group_of_node;
+  std::map<std::string, Status> rehomed;  ///< Per-tenancy restore outcome.
+  for (size_t i = 0; i < n; ++i) {
+    const Request& member = request.requests[i];
+    switch (member.op) {
+      case RequestOp::kServerInfo:
+      case RequestOp::kListMechanisms:
+      case RequestOp::kRestore:
+      case RequestOp::kClusterUpdate:
+        docs[i] = service::protocol::ToJson(Route(member, channel));
+        continue;
+      default:
+        break;
+    }
+    std::optional<NodeInfo> owner;
+    std::string recorded;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      owner = placement_.OwnerOf(member.tenancy);
+      auto it = tenancy_owner_.find(member.tenancy);
+      if (it != tenancy_owner_.end()) recorded = it->second;
+    }
+    if (!owner.has_value()) {
+      member_error(i, Status::Unavailable(
+                          "no live node owns tenancy \"" + member.tenancy +
+                          "\" (placement v" +
+                          std::to_string(CurrentPlacement().version()) +
+                          "); resend to retry"));
+      continue;
+    }
+    // Same lazy re-home as the single-request path: the recorded server
+    // changed under us, so activate the warm replica before forwarding.
+    if (!recorded.empty() && recorded != owner->id) {
+      auto [it, fresh] = rehomed.try_emplace(member.tenancy, Status::OK());
+      if (fresh) it->second = RestoreOn(*owner, member.tenancy, channel);
+      if (!it->second.ok()) {
+        member_error(i, Status::Unavailable(
+                            "failover restore on node " + owner->id +
+                            " failed: " + it->second.message() +
+                            " (placement v" +
+                            std::to_string(CurrentPlacement().version()) +
+                            "); resend to retry"));
+        continue;
+      }
+    }
+    auto [it, fresh] = group_of_node.try_emplace(owner->id, groups.size());
+    if (fresh) groups.push_back(Group{*owner, {}});
+    groups[it->second].indices.push_back(i);
+  }
+
+  // Forward one sub-batch per node and scatter its ordered responses back
+  // to the members' original slots.
+  for (const Group& group : groups) {
+    Request sub;
+    sub.op = RequestOp::kBatch;
+    sub.version = 3;
+    sub.id = request.id;
+    sub.requests.reserve(group.indices.size());
+    for (size_t index : group.indices) {
+      sub.requests.push_back(request.requests[index]);
+    }
+    Result<Response> forwarded = ChannelCall(channel, group.node, sub);
+    if (!forwarded.ok()) {
+      // Transport failure mid-batch: the node may or may not have executed
+      // any member, so — like a single mutation — the members answer the
+      // typed retryable error and the client decides what is safe to
+      // resend.
+      forward_failures_.fetch_add(1, std::memory_order_relaxed);
+      HandleNodeFailure(group.node.id, channel);
+      const Status failure = Status::Unavailable(
+          "node " + group.node.id + " failed mid-batch (" +
+          forwarded.status().message() + "); placement updated to v" +
+          std::to_string(CurrentPlacement().version()) +
+          " — resend to retry");
+      for (size_t index : group.indices) member_error(index, failure);
+      continue;
+    }
+    if (!forwarded->status.ok()) {
+      for (size_t index : group.indices) {
+        member_error(index, forwarded->status);
+      }
+      continue;
+    }
+    const JsonValue* responses = forwarded->payload.Find("responses");
+    if (responses == nullptr || !responses->is_array() ||
+        responses->AsArray().size() != group.indices.size()) {
+      const Status malformed = Status::Internal(
+          "node " + group.node.id + " answered a malformed batch response");
+      for (size_t index : group.indices) member_error(index, malformed);
+      continue;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (size_t index : group.indices) {
+        tenancy_owner_[request.requests[index].tenancy] = group.node.id;
+      }
+    }
+    for (size_t k = 0; k < group.indices.size(); ++k) {
+      docs[group.indices[k]] = responses->AsArray()[k];
+    }
+  }
+
+  JsonValue array = JsonValue::MakeArray();
+  array.Reserve(n);
+  for (JsonValue& doc : docs) array.Append(std::move(doc));
+  JsonValue payload = JsonValue::MakeObject();
+  payload.Set("responses", std::move(array));
+  return OkResponse(request.id, std::move(payload));
 }
 
 Response ClusterRouter::StaleReportFallback(const Request& request,
@@ -547,7 +699,9 @@ void RouterServer::AcceptLoop() {
 
 void RouterServer::Serve(net::Socket socket) {
   ClusterRouter::Channel channel;
-  net::LineBuffer lines(router_->max_request_bytes());
+  // Frame under the batch cap so a legal v3 batch frame is never torn;
+  // RouteLine enforces the plain cap on non-batch lines after parsing.
+  net::LineBuffer lines(router_->max_batch_request_bytes());
   char buf[16384];
   std::string line;
   while (!stop_.load()) {

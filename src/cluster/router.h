@@ -1,10 +1,12 @@
-// ClusterRouter: the cluster's front door. Speaks the ordinary v2 wire
-// protocol to clients — a client cannot tell a router from a single node —
-// and forwards each request to the node that owns its tenancy under the
-// shared PlacementMap:
+// ClusterRouter: the cluster's front door. Speaks the ordinary wire
+// protocol (v3 included) to clients — a client cannot tell a router from a
+// single node — and forwards each request to the node that owns its
+// tenancy under the shared PlacementMap:
 //
 //   tenancy ops      → OwnerOf(tenancy), with failover (below)
 //   report-style     → retried transparently on a dead node
+//   batch            → split into one sub-batch per owning node, forwarded,
+//                      reassembled into one ordered response batch
 //   list_mechanisms  → any live node
 //   restore          → broadcast (summed) or owner-targeted when it names
 //                      a tenancy
@@ -20,8 +22,11 @@
 // issues a targeted `restore` there (single-node recovery from the
 // replica's snapshot + journal) and then transparently retries reads.
 // Mutations are NOT silently retried — the dead node may or may not have
-// executed the request — so the client gets an Internal error containing
-// "retry" and resends; the resend routes to the recovered owner.
+// executed the request — so the client gets a typed Unavailable error
+// carrying the post-failover placement version, and resends only requests
+// that are safe to re-apply (idempotent at request boundaries); the resend
+// routes to the recovered owner. Unavailable is the retryable signal:
+// every other error code means "resending won't help".
 //
 // When even that live retry is impossible for a `report` — no live node
 // owns the tenancy, or the restore/retry itself fails — the router
@@ -76,6 +81,11 @@ struct RouterOptions {
                                             /*backoff_ms=*/50};
   /// Request-line cap, mirroring MarketplaceServer's.
   size_t max_request_bytes = service::protocol::kDefaultMaxRequestBytes;
+  /// Line cap for v3 batch frames, mirroring MarketplaceServer's: batch
+  /// lines frame under max(max_request_bytes, max_batch_request_bytes);
+  /// everything else still answers the plain-cap rejection.
+  size_t max_batch_request_bytes =
+      service::protocol::kDefaultMaxBatchRequestBytes;
 };
 
 class ClusterRouter {
@@ -111,6 +121,14 @@ class ClusterRouter {
   JsonValue InfoJson() const;
   bool shutdown_requested() const { return shutdown_requested_.load(); }
   size_t max_request_bytes() const { return options_.max_request_bytes; }
+  /// Effective framing cap for one line: 0 (uncapped) when the plain cap
+  /// is 0, else at least the plain cap — same rule as MarketplaceServer.
+  size_t max_batch_request_bytes() const {
+    if (options_.max_request_bytes == 0) return 0;
+    return options_.max_batch_request_bytes > options_.max_request_bytes
+               ? options_.max_batch_request_bytes
+               : options_.max_request_bytes;
+  }
 
  private:
   using Request = service::protocol::Request;
@@ -123,6 +141,12 @@ class ClusterRouter {
                                const Request& request);
 
   Response RouteTenancyOp(const Request& request, Channel* channel);
+  /// v3 batch frame: split members by owning node (preserving order),
+  /// forward one sub-batch per node, reassemble the ordered response
+  /// array. A sub-batch transport failure marks its node dead and answers
+  /// those members Unavailable — batches may carry mutations, so the
+  /// router never silently re-forwards one.
+  Response RouteBatch(const Request& request, Channel* channel);
   Response RouteRestore(const Request& request, Channel* channel);
   Response RouteAnyNode(const Request& request, Channel* channel);
   Response RouteShutdown(const Request& request, Channel* channel);

@@ -20,6 +20,8 @@ std::string_view StatusCodeName(StatusCode code) {
       return "ResourceExhausted";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }
@@ -29,7 +31,7 @@ std::optional<StatusCode> StatusCodeFromName(std::string_view name) {
        {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
         StatusCode::kOutOfRange, StatusCode::kFailedPrecondition,
         StatusCode::kAlreadyExists, StatusCode::kResourceExhausted,
-        StatusCode::kInternal}) {
+        StatusCode::kInternal, StatusCode::kUnavailable}) {
     if (StatusCodeName(code) == name) return code;
   }
   return std::nullopt;
@@ -53,6 +55,8 @@ Status MakeStatus(StatusCode code, std::string message) {
       return Status::ResourceExhausted(std::move(message));
     case StatusCode::kInternal:
       return Status::Internal(std::move(message));
+    case StatusCode::kUnavailable:
+      return Status::Unavailable(std::move(message));
   }
   return Status::Internal(std::move(message));
 }

@@ -22,6 +22,9 @@ enum class StatusCode {
   kAlreadyExists,
   kResourceExhausted,
   kInternal,
+  /// Transient: the serving node is gone or mid-failover; the operation may
+  /// or may not have executed, and an idempotent resend can succeed.
+  kUnavailable,
 };
 
 /// Human-readable name of a status code (e.g. "InvalidArgument").
@@ -60,6 +63,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

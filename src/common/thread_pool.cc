@@ -45,6 +45,16 @@ void ThreadPool::Post(size_t key, std::function<void()> task) {
   worker.cv.notify_one();
 }
 
+std::vector<size_t> ThreadPool::QueueDepths() const {
+  std::vector<size_t> depths;
+  depths.reserve(workers_.size());
+  for (const auto& worker : workers_) {
+    std::lock_guard<std::mutex> lock(worker->mu);
+    depths.push_back(worker->queue.size());
+  }
+  return depths;
+}
+
 void ThreadPool::Drain() {
   std::unique_lock<std::mutex> lock(pending_mu_);
   pending_cv_.wait(lock, [this] { return pending_ == 0; });

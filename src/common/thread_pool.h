@@ -49,6 +49,11 @@ class ThreadPool {
   /// from other threads may keep the pool busy past the return.
   void Drain();
 
+  /// Snapshot of each worker's queued-but-not-started task count, indexed
+  /// by shard. Advisory (depths move the moment the locks drop) — this is
+  /// the `server_info` metrics view, not a synchronization point.
+  std::vector<size_t> QueueDepths() const;
+
  private:
   struct Worker {
     std::mutex mu;

@@ -1,0 +1,102 @@
+#include "service/admission.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace optshare::service {
+
+TokenBucket::TokenBucket(double rate_per_sec, double burst)
+    : rate_(rate_per_sec), burst_(burst) {
+  if (rate_ > 0.0 && burst_ <= 0.0) burst_ = rate_;
+  // A bucket that cannot hold one whole request would reject everything;
+  // clamp so a configured-but-tiny burst still admits single requests.
+  if (rate_ > 0.0) burst_ = std::max(burst_, 1.0);
+}
+
+TokenBucket::Decision TokenBucket::AcquireAt(
+    double cost, std::chrono::steady_clock::time_point now) {
+  Decision decision;
+  if (rate_ <= 0.0 || cost <= 0.0) return decision;
+  if (!primed_) {
+    tokens_ = burst_;
+    primed_ = true;
+  } else {
+    const double elapsed =
+        std::chrono::duration<double>(now - last_).count();
+    if (elapsed > 0.0) {
+      tokens_ = std::min(burst_, tokens_ + elapsed * rate_);
+    }
+  }
+  last_ = now;
+  if (tokens_ >= cost) {
+    tokens_ -= cost;
+    return decision;
+  }
+  decision.admitted = false;
+  const double wait_s = (cost - tokens_) / rate_;
+  decision.retry_after_ms =
+      std::max(1, static_cast<int>(std::ceil(wait_s * 1000.0)));
+  return decision;
+}
+
+void AdmissionController::SetTenancyLimit(const std::string& tenancy,
+                                          const AdmissionConfig& config) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (config == AdmissionConfig{}) {
+    // A default config is "no override": the tenancy reverts to the server
+    // default. Keep a default-derived bucket's state if one exists.
+    if (overrides_.erase(tenancy) > 0) buckets_.erase(tenancy);
+    return;
+  }
+  auto it = overrides_.find(tenancy);
+  if (it != overrides_.end() && it->second == config) return;  // No reset.
+  overrides_[tenancy] = config;
+  buckets_[tenancy] =
+      TokenBucket(config.mutating_ops_per_sec, config.burst);
+}
+
+TokenBucket::Decision AdmissionController::Admit(const std::string& tenancy,
+                                                 double cost) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TokenBucket::Decision decision;
+  if (cost <= 0.0) return decision;
+  auto it = buckets_.find(tenancy);
+  if (it == buckets_.end()) {
+    if (default_.unlimited()) {
+      // The common case: no quota anywhere. Count it admitted without
+      // growing the bucket map per tenancy.
+      ++stats_.admitted;
+      return decision;
+    }
+    it = buckets_
+             .emplace(tenancy, TokenBucket(default_.mutating_ops_per_sec,
+                                           default_.burst))
+             .first;
+  }
+  decision = it->second.Acquire(cost);
+  if (decision.admitted) {
+    ++stats_.admitted;
+  } else {
+    ++stats_.rejected;
+  }
+  return decision;
+}
+
+AdmissionController::Stats AdmissionController::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+JsonValue AdmissionController::InfoJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  JsonValue obj = JsonValue::MakeObject();
+  obj.Set("default_mutating_ops_per_sec",
+          JsonValue::Number(default_.mutating_ops_per_sec));
+  obj.Set("tenancy_overrides",
+          JsonValue::Number(static_cast<double>(overrides_.size())));
+  obj.Set("admitted", JsonValue::Number(static_cast<double>(stats_.admitted)));
+  obj.Set("rejected", JsonValue::Number(static_cast<double>(stats_.rejected)));
+  return obj;
+}
+
+}  // namespace optshare::service

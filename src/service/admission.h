@@ -1,0 +1,93 @@
+// Per-tenancy admission control for the marketplace wire layer (protocol
+// v3): token-bucket quotas over mutating ops, plus the per-connection rate
+// limiting NetServer applies before dispatch. A breach answers with a typed
+// ResourceExhausted carrying a retry_after_ms hint instead of queueing work
+// the tenancy has not paid for — which is what keeps one quota-breaching
+// tenant from starving a compliant one on the shared shard pool.
+//
+// Enforcement happens at dispatch time only; journal replay calls
+// MarketplaceServer::Execute directly and is never throttled, so recovery
+// is deterministic regardless of wall-clock.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "common/json.h"
+#include "service/cloud_service.h"
+
+namespace optshare::service {
+
+/// A standard token bucket: capacity `burst`, refilled at `rate` tokens
+/// per second. Not thread-safe on its own (AdmissionController serializes
+/// access; NetServer uses one per connection on the loop thread).
+class TokenBucket {
+ public:
+  struct Decision {
+    bool admitted = true;
+    /// When not admitted: how long until the bucket can cover the cost.
+    int retry_after_ms = 0;
+  };
+
+  /// Unlimited bucket (every Acquire admits).
+  TokenBucket() = default;
+  /// `rate_per_sec` <= 0 means unlimited; `burst` <= 0 defaults to the
+  /// rate (at least one token of capacity either way).
+  TokenBucket(double rate_per_sec, double burst);
+
+  Decision Acquire(double cost) {
+    return AcquireAt(cost, std::chrono::steady_clock::now());
+  }
+  /// Clock-injected Acquire so tests can drive time deterministically.
+  Decision AcquireAt(double cost, std::chrono::steady_clock::time_point now);
+
+  bool unlimited() const { return rate_ <= 0.0; }
+
+ private:
+  double rate_ = 0.0;
+  double burst_ = 0.0;
+  double tokens_ = 0.0;
+  bool primed_ = false;  ///< First Acquire starts with a full bucket.
+  std::chrono::steady_clock::time_point last_{};
+};
+
+/// The server-side registry: one bucket per tenancy, defaulting to the
+/// server-wide quota until an open_period config installs a per-tenancy
+/// override (which, because open_period is journaled, survives replay).
+/// Thread-safe.
+class AdmissionController {
+ public:
+  struct Stats {
+    uint64_t admitted = 0;
+    uint64_t rejected = 0;
+  };
+
+  explicit AdmissionController(AdmissionConfig server_default = {})
+      : default_(server_default) {}
+
+  /// Installs (or replaces) a tenancy's quota.
+  void SetTenancyLimit(const std::string& tenancy,
+                       const AdmissionConfig& config);
+
+  /// Charges `cost` mutating ops against the tenancy's bucket. `cost` 0
+  /// (a batch with no mutating members, say) always admits without
+  /// touching the bucket.
+  TokenBucket::Decision Admit(const std::string& tenancy, double cost);
+
+  Stats stats() const;
+  /// The server_info / metrics view: default quota, override count,
+  /// admitted/rejected totals.
+  JsonValue InfoJson() const;
+
+ private:
+  mutable std::mutex mu_;
+  AdmissionConfig default_;
+  std::unordered_map<std::string, TokenBucket> buckets_;
+  std::unordered_map<std::string, AdmissionConfig> overrides_;
+  Stats stats_;
+};
+
+}  // namespace optshare::service

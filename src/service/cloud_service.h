@@ -26,6 +26,22 @@
 
 namespace optshare::service {
 
+/// Per-tenancy admission control (protocol v3): a token bucket drained by
+/// the tenancy's mutating ops. The default (rate 0) is unlimited, so
+/// pre-v3 configs and journals behave exactly as before.
+struct AdmissionConfig {
+  /// Sustained mutating-op budget, in ops/sec. <= 0 = unlimited.
+  double mutating_ops_per_sec = 0.0;
+  /// Bucket capacity (instantaneous burst). <= 0 = same as the rate.
+  double burst = 0.0;
+
+  bool unlimited() const { return mutating_ops_per_sec <= 0.0; }
+  bool operator==(const AdmissionConfig& other) const {
+    return mutating_ops_per_sec == other.mutating_ops_per_sec &&
+           burst == other.burst;
+  }
+};
+
 /// Configuration of the service.
 struct ServiceConfig {
   int slots_per_period = 12;
@@ -40,6 +56,9 @@ struct ServiceConfig {
   std::string mechanism = "addon";
   simdb::AdvisorOptions advisor;
   simdb::PricingParams pricing;
+  /// Admission quota for this tenancy (serialized in the wire config only
+  /// when non-default, so pre-v3 documents stay byte-identical).
+  AdmissionConfig admission;
 
   /// Structural validity: slots_per_period > 0, maintenance_fraction in
   /// [0, 1], non-empty mechanism name. Checked by the CloudService and

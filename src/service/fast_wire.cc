@@ -39,12 +39,23 @@ class FastScanner {
     out->record.clear();
     out->snapshot.reset();
     out->placement.reset();
+    out->requests.clear();
 
     SkipWs();
+    if (!ScanRequestObject(out, /*member=*/false)) return false;
+    SkipWs();
+    return pos_ == text_.size();  // trailing garbage otherwise
+  }
+
+ private:
+  /// One request document, top-level or as a batch member. Members refuse
+  /// the ops the tree parser rejects inside a batch (nested batch,
+  /// shutdown) by bailing, so the tree re-derives the exact error.
+  bool ScanRequestObject(Request* out, bool member) {
     if (!Consume('{')) return false;
     bool seen_v = false, seen_op = false, seen_id = false,
          seen_tenancy = false, seen_tenants = false, seen_tenant = false,
-         seen_slots = false, seen_period = false;
+         seen_slots = false, seen_period = false, seen_requests = false;
     int version = 0;
     RequestOp op = RequestOp::kListMechanisms;
     SkipWs();
@@ -74,13 +85,19 @@ class FastScanner {
           // payloads this scanner does not model; likewise the cluster
           // ops with required payloads (record / snapshot / placement)
           // and restore/export, whose tenancy field is optional rather
-          // than forbidden.
+          // than forbidden. Inside a batch, the tree parser additionally
+          // rejects nested batches and shutdowns — bail so it owns those
+          // errors.
           if (*parsed == RequestOp::kOpenPeriod ||
               *parsed == RequestOp::kReplAppend ||
               *parsed == RequestOp::kReplCheckpoint ||
               *parsed == RequestOp::kClusterUpdate ||
               *parsed == RequestOp::kRestore ||
               *parsed == RequestOp::kExport) {
+            return false;
+          }
+          if (member && (*parsed == RequestOp::kBatch ||
+                         *parsed == RequestOp::kShutdown)) {
             return false;
           }
           op = *parsed;
@@ -111,6 +128,11 @@ class FastScanner {
           if (period < 1) return false;  // report rejects; others too.
           out->period = period;
           seen_period = true;
+        } else if (key == "requests" && !member) {
+          // A batch's member array: each element is a full request
+          // document; a non-batch op with this field bails below.
+          if (seen_requests || !ScanMembers(&out->requests)) return false;
+          seen_requests = true;
         } else {
           // Unknown to the scanner: catalog/config (valid for open_period
           // only) or a field the tree parser rejects. Either way, its call.
@@ -121,8 +143,6 @@ class FastScanner {
         if (!Consume(',')) return false;
       }
     }
-    SkipWs();
-    if (pos_ != text_.size()) return false;  // trailing garbage
 
     // The tree parser's post-parse validation, as accept-only conditions.
     if (!seen_v || !seen_op) return false;
@@ -151,18 +171,42 @@ class FastScanner {
         // "period" is optional here and nowhere else.
         if (seen_tenants || seen_tenant || seen_slots) return false;
         break;
+      case RequestOp::kBatch:
+        if (!seen_requests || seen_tenants || seen_tenant || seen_slots ||
+            seen_period) {
+          return false;
+        }
+        break;
       default:
         if (seen_tenants || seen_tenant || seen_slots || seen_period) {
           return false;
         }
         break;
     }
+    if (seen_requests && op != RequestOp::kBatch) return false;
     out->op = op;
     out->version = version;
     return true;
   }
 
- private:
+  /// The batch "requests" array. Empty arrays bail (the tree parser
+  /// rejects them with its own message).
+  bool ScanMembers(std::vector<Request>* out) {
+    out->clear();
+    if (!Consume('[')) return false;
+    SkipWs();
+    if (Consume(']')) return false;  // tree rejects an empty batch
+    while (true) {
+      SkipWs();
+      Request request;
+      if (!ScanRequestObject(&request, /*member=*/true)) return false;
+      out->push_back(std::move(request));
+      SkipWs();
+      if (Consume(']')) return true;
+      if (!Consume(',')) return false;
+    }
+  }
+
   void SkipWs() {
     while (pos_ < text_.size() &&
            (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||

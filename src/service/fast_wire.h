@@ -19,9 +19,13 @@
 //
 // Ops scanned natively: submit, depart, advance_slot, close_period,
 // report, list_mechanisms, snapshot, restore, shutdown, server_info — the
-// high-volume request set. open_period (once per billing period, and the
-// only op with nested CatalogSpec/ServiceConfig payloads) deliberately
-// falls back to the tree parser.
+// high-volume request set — plus v3 batch frames whose members are all
+// themselves natively scannable (a batch carrying an open_period member
+// falls back whole-line, as does anything the tree parser would reject —
+// nested batches, shutdown members, empty member arrays). open_period
+// (once per billing period, and the only op with nested
+// CatalogSpec/ServiceConfig payloads) deliberately falls back to the tree
+// parser.
 //
 // Steady-state cost: zero heap allocations for the fixed-size ops (the
 // Request's strings stay in SSO for typical tenancy/id names), and

@@ -1,7 +1,9 @@
 #include "service/marketplace_server.h"
 
 #include <algorithm>
+#include <chrono>
 #include <functional>
+#include <unordered_map>
 #include <utility>
 
 #include "analytics/columnar.h"
@@ -62,6 +64,27 @@ bool OpMutatesTenancy(RequestOp op) {
   }
 }
 
+/// True when a batch member is safe to cover with one atomic group journal
+/// record: plain session mutations (WAL-then-execute, no checkpoint or
+/// journal truncation) and side-effect-free reads (harmless to re-execute
+/// during replay). open/close_period, restore, snapshot, repl_*, evict and
+/// export stay on the per-member WAL path — they truncate journals, touch
+/// the store out of band, or (export) write files a replay must not redo.
+bool BatchMemberAtomicWalSafe(RequestOp op) {
+  switch (op) {
+    case RequestOp::kSubmit:
+    case RequestOp::kDepart:
+    case RequestOp::kAdvanceSlot:
+    case RequestOp::kReport:
+    case RequestOp::kQueryPrice:
+    case RequestOp::kListMechanisms:
+    case RequestOp::kServerInfo:
+      return true;
+    default:
+      return false;
+  }
+}
+
 }  // namespace
 
 JsonValue ToJson(const RecoveryStats& stats) {
@@ -83,6 +106,8 @@ MarketplaceServer::MarketplaceServer(ServerOptions options)
       max_request_bytes_(options.max_request_bytes),
       export_dir_(std::move(options.export_dir)),
       enable_read_path_(options.enable_read_path),
+      admission_(options.admission),
+      max_batch_request_bytes_(options.max_batch_request_bytes),
       pool_(options.num_workers) {
   // Resolve every registry-touching race up front: baselines register once,
   // before the first concurrent Create on a shard.
@@ -194,7 +219,14 @@ std::future<Response> MarketplaceServer::Dispatch(Request request) {
 }
 
 void MarketplaceServer::DispatchCallback(
-    Request request, std::function<void(Response)> done) {
+    Request request, std::function<void(Response)> done,
+    const std::string* raw_line) {
+  // v3 batch frames fan out per tenancy group; everything else takes the
+  // single-request path below.
+  if (request.op == RequestOp::kBatch) {
+    DispatchBatch(std::move(request), std::move(done), raw_line);
+    return;
+  }
   // The HTAP read path: answer snapshot-servable ops right here, on the
   // caller's thread, from the published ReadView — a read never queues
   // behind the tenancy's write FIFO, so read latency is independent of
@@ -204,10 +236,35 @@ void MarketplaceServer::DispatchCallback(
   // (deltas publish before the ack); a pipelined, unacknowledged write may
   // not be visible to an immediately following read.
   if (enable_read_path_) {
+    const auto read_start = std::chrono::steady_clock::now();
     Response served;
     if (TryServeRead(request, &served)) {
+      op_latency_[static_cast<size_t>(request.op)].Record(
+          static_cast<uint64_t>(
+              std::chrono::duration_cast<std::chrono::microseconds>(
+                  std::chrono::steady_clock::now() - read_start)
+                  .count()));
       served.version = request.version;
       done(std::move(served));
+      return;
+    }
+  }
+  // Admission (protocol v3): mutating ops draw from the tenancy's token
+  // bucket before they queue — a quota breach answers here, typed, with a
+  // retry hint, instead of occupying the shared shard pool. Reads are
+  // never throttled, and neither is journal replay (it calls Execute
+  // directly).
+  if (OpMutatesTenancy(request.op)) {
+    const TokenBucket::Decision decision = admission_.Admit(request.tenancy,
+                                                            /*cost=*/1.0);
+    if (!decision.admitted) {
+      Response rejected = ErrorResponse(
+          request.id,
+          Status::ResourceExhausted("tenancy \"" + request.tenancy +
+                                    "\" is over its mutating-op quota"));
+      rejected.retry_after_ms = decision.retry_after_ms;
+      rejected.version = request.version;
+      done(std::move(rejected));
       return;
     }
   }
@@ -241,19 +298,224 @@ void MarketplaceServer::DispatchCallback(
              });
 }
 
+void MarketplaceServer::DispatchBatch(Request request,
+                                      std::function<void(Response)> done,
+                                      const std::string* raw_line) {
+  op_counts_[static_cast<size_t>(RequestOp::kBatch)].fetch_add(
+      1, std::memory_order_relaxed);
+  // Group members by tenancy, preserving submission order inside each
+  // group. One group = one pool task on the tenancy's shard. (Parse-time
+  // validation already rejected nested batches, shutdown members, and
+  // empty batches.)
+  struct Group {
+    std::vector<size_t> members;  // Indices into request.requests.
+    double mutating_cost = 0.0;
+    /// Every member qualifies for the one-record atomic WAL scheme.
+    bool atomic_wal = true;
+    /// The group's single journal record (empty = nothing to journal, or
+    /// atomic_wal is false and members journal individually in Execute).
+    std::string wal_record;
+  };
+  std::vector<std::string> order;
+  std::unordered_map<std::string, Group> groups;
+  for (size_t i = 0; i < request.requests.size(); ++i) {
+    const Request& member = request.requests[i];
+    auto [it, inserted] = groups.try_emplace(member.tenancy);
+    if (inserted) order.push_back(member.tenancy);
+    it->second.members.push_back(i);
+    if (OpMutatesTenancy(member.op)) it->second.mutating_cost += 1.0;
+    it->second.atomic_wal =
+        it->second.atomic_wal && BatchMemberAtomicWalSafe(member.op);
+  }
+  // Atomic WAL records (see DispatchBatch's declaration): one record per
+  // qualifying mutating group, appended on the shard before any member
+  // executes. A single-tenancy batch journals the raw frame verbatim —
+  // zero re-serialization on the hot path; a multi-tenancy batch rebuilds
+  // one sub-batch record per group. Replay parses the record as a batch
+  // request and re-executes the members in order (Execute's kBatch case).
+  for (auto& [tenancy, group] : groups) {
+    if (!group.atomic_wal || group.mutating_cost <= 0.0) continue;
+    if (raw_line != nullptr && order.size() == 1) {
+      group.wal_record = *raw_line;
+    } else {
+      JsonValue members = JsonValue::MakeArray();
+      members.Reserve(group.members.size());
+      for (size_t index : group.members) {
+        members.Append(protocol::ToJson(request.requests[index]));
+      }
+      JsonValue record = JsonValue::MakeObject();
+      record.Set("v", JsonValue::Number(protocol::kProtocolVersion));
+      record.Set("op", JsonValue::Str("batch"));
+      record.Set("requests", std::move(members));
+      group.wal_record = record.Dump();
+    }
+  }
+
+  // Shared assembly state: each group fills its members' slots (disjoint
+  // indices, so only `remaining` needs the mutex for publication), and the
+  // last group to finish emits the ordered response batch.
+  struct BatchState {
+    std::mutex mu;
+    /// Wire path (`raw_line` != nullptr): each member's serialized
+    /// response document, spliced into the batch's raw_payload at the end
+    /// — no per-member JsonValue trees. Typed path: member trees.
+    std::vector<std::string> docs_raw;
+    std::vector<JsonValue> docs;
+    bool wire = false;
+    size_t remaining = 0;
+    std::string id;
+    int version = protocol::kProtocolVersion;
+    std::function<void(Response)> done;
+  };
+  auto state = std::make_shared<BatchState>();
+  state->wire = raw_line != nullptr;
+  if (state->wire) {
+    state->docs_raw.resize(request.requests.size());
+  } else {
+    state->docs.resize(request.requests.size());
+  }
+  state->remaining = order.size();
+  state->id = request.id;
+  state->version = request.version;
+  state->done = std::move(done);
+  auto shared = std::make_shared<Request>(std::move(request));
+
+  for (const std::string& tenancy : order) {
+    Group& group = groups[tenancy];
+    // One admission draw covers the whole group: either every mutating
+    // member is paid for, or the whole group answers the breach — a batch
+    // never lands half its mutations in the journal because of a quota.
+    const TokenBucket::Decision decision =
+        admission_.Admit(tenancy, group.mutating_cost);
+    const size_t shard = ShardOf(tenancy);
+    pool_.Post(shard, [this, state, shared, group = std::move(group),
+                       decision]() mutable {
+      // The atomic group record lands before any member executes, on the
+      // tenancy's own shard — ordered against every other record of this
+      // tenancy. If the append fails, no member runs: a batch never lands
+      // half its mutations in the journal.
+      Status journaled = Status::OK();
+      bool member_persist = !group.atomic_wal;
+      if (decision.admitted && group.atomic_wal && !group.wal_record.empty()) {
+        const std::string& name = shared->requests[group.members.front()].tenancy;
+        if (FindTenancy(name) == nullptr) {
+          // Unknown tenancy: skip the group record (the members will fail
+          // their own lookups without journaling anything, same as the
+          // single-request path — no stray journal for a name that never
+          // existed).
+          member_persist = true;
+        } else {
+          journaled = store_->Append(name, group.wal_record);
+          if (journaled.ok()) {
+            Tenancy* tenancy = FindTenancy(name);
+            ++tenancy->unsynced_appends;
+            unsynced_total_.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+      for (size_t index : group.members) {
+        const Request& member = shared->requests[index];
+        Response response;
+        if (!decision.admitted) {
+          response = ErrorResponse(
+              member.id,
+              Status::ResourceExhausted("tenancy \"" + member.tenancy +
+                                        "\" is over its mutating-op quota"));
+          response.retry_after_ms = decision.retry_after_ms;
+          response.version = member.version;
+        } else if (!journaled.ok()) {
+          response = ErrorResponse(member.id, journaled);
+          response.version = member.version;
+        } else {
+          // Same containment contract as the single-request path: one
+          // member's exception is that member's Internal error.
+          try {
+            response = Execute(member, /*persist=*/member_persist,
+                               /*count_metrics=*/true);
+          } catch (const std::exception& e) {
+            response = ErrorResponse(member.id, Status::Internal(e.what()));
+            response.version = member.version;
+          } catch (...) {
+            response = ErrorResponse(
+                member.id,
+                Status::Internal("unexpected exception while serving"));
+            response.version = member.version;
+          }
+        }
+        if (state->wire) {
+          // AppendResponseLine mirrors ToJson(response).Dump()
+          // byte-for-byte, so the spliced member document is identical to
+          // the tree the typed path would have built.
+          protocol::AppendResponseLine(response, &state->docs_raw[index]);
+        } else {
+          state->docs[index] = protocol::ToJson(response);
+        }
+      }
+      bool last = false;
+      {
+        std::lock_guard<std::mutex> lock(state->mu);
+        last = --state->remaining == 0;
+      }
+      if (!last) return;
+      Response batch;
+      batch.id = state->id;
+      batch.version = state->version;
+      if (state->wire) {
+        size_t bytes = 16;
+        for (const std::string& doc : state->docs_raw) bytes += doc.size() + 1;
+        std::string& raw = batch.raw_payload;
+        raw.reserve(bytes);
+        raw.append("{\"responses\":[");
+        for (size_t i = 0; i < state->docs_raw.size(); ++i) {
+          if (i > 0) raw.push_back(',');
+          raw.append(state->docs_raw[i]);
+        }
+        raw.append("]}");
+      } else {
+        JsonValue responses = JsonValue::MakeArray();
+        responses.Reserve(state->docs.size());
+        for (JsonValue& doc : state->docs) responses.Append(std::move(doc));
+        JsonValue payload = JsonValue::MakeObject();
+        payload.Set("responses", std::move(responses));
+        batch.payload = std::move(payload);
+      }
+      state->done(std::move(batch));
+    });
+  }
+}
+
 Response MarketplaceServer::Handle(Request request) {
   return Dispatch(std::move(request)).get();
 }
 
 std::string MarketplaceServer::HandleLine(const std::string& line) {
+  // Parse under the batch line cap (the larger budget), but keep every
+  // non-batch line answering under the plain cap — byte-identical to the
+  // pre-batch server for all old inputs, including over-cap garbage. The
+  // re-parse below fails at the size check before touching the bytes.
   Result<Request> request =
-      protocol::ParseRequestLine(line, max_request_bytes_);
+      protocol::ParseRequestLine(line, max_batch_request_bytes());
+  if (max_request_bytes_ > 0 && line.size() > max_request_bytes_ &&
+      !(request.ok() && request->op == RequestOp::kBatch)) {
+    request = protocol::ParseRequestLine(line, max_request_bytes_);
+  }
   if (!request.ok()) {
     // The client's version is unknowable from an unparseable line; answer
     // with the oldest version so every client generation can read it.
     Response error = ErrorResponse("", request.status());
     error.version = protocol::kMinProtocolVersion;
     return protocol::FormatResponseLine(error);
+  }
+  if (request->op == RequestOp::kBatch) {
+    // Hand the raw frame along so a single-tenancy batch journals it
+    // verbatim instead of re-serializing every member.
+    auto promise = std::make_shared<std::promise<Response>>();
+    std::future<Response> response = promise->get_future();
+    DispatchCallback(
+        std::move(*request),
+        [promise](Response resolved) { promise->set_value(std::move(resolved)); },
+        &line);
+    return protocol::FormatResponseLine(response.get());
   }
   return protocol::FormatResponseLine(Handle(std::move(*request)));
 }
@@ -435,6 +697,11 @@ Status MarketplaceServer::Shutdown() {
         tenancy->session.has_value()
             ? store_->Sync(tenancy->name)
             : store_->Checkpoint(tenancy->name, SnapshotOf(*tenancy));
+    if (persisted.ok()) {
+      unsynced_total_.fetch_sub(tenancy->unsynced_appends,
+                                std::memory_order_relaxed);
+      tenancy->unsynced_appends = 0;
+    }
     if (!persisted.ok()) {
       OPTSHARE_LOG(Warning) << "shutdown: tenancy \"" << tenancy->name
                             << "\" not fully persisted: "
@@ -447,8 +714,16 @@ Status MarketplaceServer::Shutdown() {
 
 Response MarketplaceServer::Execute(const Request& request, bool persist) {
   // Journal replay (persist=false) re-executes past requests; only live
-  // traffic counts toward the per-op request counters.
-  if (persist) {
+  // traffic counts toward the per-op request counters and latency
+  // histograms. Atomic-batch members are live but already journaled, so
+  // DispatchBatch calls the three-arg form with the flags split.
+  return Execute(request, persist, /*count_metrics=*/persist);
+}
+
+Response MarketplaceServer::Execute(const Request& request, bool persist,
+                                    bool count_metrics) {
+  const auto start = std::chrono::steady_clock::now();
+  if (count_metrics) {
     op_counts_[static_cast<size_t>(request.op)].fetch_add(
         1, std::memory_order_relaxed);
   }
@@ -497,12 +772,33 @@ Response MarketplaceServer::Execute(const Request& request, bool persist) {
     case RequestOp::kOpenPeriod:
       response = ExecuteOpenPeriod(request, persist);
       break;
+    case RequestOp::kBatch: {
+      // Only journal replay reaches here — live batch frames fan out in
+      // DispatchBatch before Execute. Replaying one atomic group record
+      // re-executes its members in order, all-or-nothing per tenancy.
+      JsonValue docs = JsonValue::MakeArray();
+      docs.Reserve(request.requests.size());
+      for (const Request& member : request.requests) {
+        docs.Append(protocol::ToJson(Execute(member, persist, count_metrics)));
+      }
+      JsonValue payload = JsonValue::MakeObject();
+      payload.Set("responses", std::move(docs));
+      response = OkResponse(request.id, std::move(payload));
+      break;
+    }
     default:
       response = ExecuteTenancyOp(request, persist);
       break;
   }
   // Responses speak the client's protocol version, never a newer one.
   response.version = request.version;
+  if (count_metrics) {
+    op_latency_[static_cast<size_t>(request.op)].Record(
+        static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - start)
+                .count()));
+  }
   return response;
 }
 
@@ -569,6 +865,31 @@ Response MarketplaceServer::ExecuteServerInfo(const Request& request) {
                 JsonValue::Number(static_cast<double>(
                     export_rows_written_.load(std::memory_order_relaxed))));
   payload.Set("read_path", std::move(read_path));
+  // The scrapeable metrics surface (protocol v3): per-op latency
+  // histograms, live shard queue depths, journal fsync lag, admission
+  // counters. `optshare_cli metrics` pretty-prints exactly this section.
+  JsonValue metrics = JsonValue::MakeObject();
+  JsonValue latency = JsonValue::MakeObject();
+  for (protocol::RequestOp op : protocol::kAllRequestOps) {
+    const LatencyHistogram& histogram = op_latency_[static_cast<size_t>(op)];
+    if (histogram.count() > 0) {
+      latency.Set(std::string(protocol::RequestOpName(op)),
+                  histogram.ToJson());
+    }
+  }
+  metrics.Set("latency_us", std::move(latency));
+  JsonValue depths = JsonValue::MakeArray();
+  for (size_t depth : pool_.QueueDepths()) {
+    depths.Append(JsonValue::Number(static_cast<double>(depth)));
+  }
+  metrics.Set("shard_queue_depths", std::move(depths));
+  JsonValue journal = JsonValue::MakeObject();
+  journal.Set("fsync_lag",
+              JsonValue::Number(static_cast<double>(
+                  unsynced_total_.load(std::memory_order_relaxed))));
+  metrics.Set("journal", std::move(journal));
+  metrics.Set("admission", admission_.InfoJson());
+  payload.Set("metrics", std::move(metrics));
   {
     // Held across the call so SetTransportInfoProvider(nullptr) cannot pull
     // the provider's state out from under an in-flight server_info.
@@ -697,6 +1018,10 @@ Response MarketplaceServer::ExecuteEvict(const Request& request,
     if (!checkpointed.ok()) return ErrorResponse(request.id, checkpointed);
   }
   const int periods_run = tenancy->periods_run;
+  // The live struct (and its share of the fsync-lag gauge) goes away with
+  // the erase below.
+  unsynced_total_.fetch_sub(tenancy->unsynced_appends,
+                            std::memory_order_relaxed);
   {
     // Safe on this shard for the same reason the failed-open rollback is:
     // this worker is the only toucher of the name, and erasing one entry
@@ -921,6 +1246,11 @@ Response MarketplaceServer::ExecuteOpenPeriod(const Request& request,
     auto fresh = std::make_unique<Tenancy>();
     fresh->name = request.tenancy;
     fresh->catalog = std::move(*catalog);
+    // The creating append above is this tenancy's first unsynced record.
+    if (persist) {
+      fresh->unsynced_appends = 1;
+      unsynced_total_.fetch_add(1, std::memory_order_relaxed);
+    }
     tenancy = fresh.get();
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -945,6 +1275,8 @@ Response MarketplaceServer::ExecuteOpenPeriod(const Request& request,
     Status journaled =
         store_->Append(request.tenancy, protocol::ToJson(request).Dump());
     if (!journaled.ok()) return ErrorResponse(request.id, journaled);
+    ++tenancy->unsynced_appends;
+    unsynced_total_.fetch_add(1, std::memory_order_relaxed);
   }
   const ServiceConfig config =
       request.config ? *request.config : tenancy->config;
@@ -961,12 +1293,19 @@ Response MarketplaceServer::ExecuteOpenPeriod(const Request& request,
       // the store may hold a previous incarnation of the name that this
       // process never loaded (e.g. Recover was skipped or failed), and a
       // failed open must not destroy that history.
+      unsynced_total_.fetch_sub(tenancy->unsynced_appends,
+                                std::memory_order_relaxed);
       std::lock_guard<std::mutex> lock(mu_);
       tenancies_.erase(request.tenancy);
     }
     return ErrorResponse(request.id, session.status());
   }
   tenancy->config = config;  // The accepted config becomes sticky.
+  // Admission follows the sticky config — and because open_period is
+  // journaled, this very call re-runs on replay, so a recovered tenancy
+  // keeps its quota. A default admission config reverts the tenancy to
+  // the server-wide quota.
+  admission_.SetTenancyLimit(request.tenancy, config.admission);
   tenancy->session.emplace(std::move(*session));
   // A creating open is this tenancy's first period boundary (period 0);
   // every open also publishes the fresh delta so mid-period reads see the
@@ -1003,6 +1342,9 @@ Response MarketplaceServer::ExecuteSnapshot(const Request& request,
     Status checkpointed =
         store_->Checkpoint(tenancy.name, SnapshotOf(tenancy));
     if (!checkpointed.ok()) return ErrorResponse(request.id, checkpointed);
+    unsynced_total_.fetch_sub(tenancy.unsynced_appends,
+                              std::memory_order_relaxed);
+    tenancy.unsynced_appends = 0;
   }
   JsonValue payload = JsonValue::MakeObject();
   payload.Set("checkpointed", JsonValue::Bool(true));
@@ -1085,6 +1427,8 @@ Response MarketplaceServer::ExecuteTenancyOp(const Request& request,
     Status journaled =
         store_->Append(request.tenancy, protocol::ToJson(request).Dump());
     if (!journaled.ok()) return ErrorResponse(request.id, journaled);
+    ++tenancy->unsynced_appends;
+    unsynced_total_.fetch_add(1, std::memory_order_relaxed);
   }
   PricingSession& session = *tenancy->session;
   // Branches assign `response` and break (instead of returning) so the
@@ -1164,6 +1508,10 @@ Response MarketplaceServer::ExecuteTenancyOp(const Request& request,
               << "tenancy \"" << tenancy->name
               << "\": close_period checkpoint failed (journal retained): "
               << checkpointed.ToString();
+        } else {
+          unsynced_total_.fetch_sub(tenancy->unsynced_appends,
+                                    std::memory_order_relaxed);
+          tenancy->unsynced_appends = 0;
         }
       }
       // The read path's period boundary: a fresh view with this report

@@ -33,6 +33,7 @@
 // CloudService::RunPeriod remain the embedded single-tenant adapters.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <functional>
 #include <future>
@@ -45,6 +46,8 @@
 
 #include "analytics/read_view.h"
 #include "common/thread_pool.h"
+#include "service/admission.h"
+#include "service/metrics.h"
 #include "service/pricing_session.h"
 #include "service/protocol.h"
 #include "service/state_store.h"
@@ -59,6 +62,15 @@ struct ServerOptions {
   /// Cap on one request line through HandleLine; longer lines are rejected
   /// with ResourceExhausted before parsing. 0 disables the cap.
   size_t max_request_bytes = protocol::kDefaultMaxRequestBytes;
+  /// Cap on one v3 batch frame line. Batch frames carry many requests, so
+  /// they get their own (larger) budget instead of being silently cut off
+  /// at max_request_bytes; the effective cap is the larger of the two (see
+  /// max_batch_request_bytes()). 0 inherits max_request_bytes semantics.
+  size_t max_batch_request_bytes = protocol::kDefaultMaxBatchRequestBytes;
+  /// Server-wide default admission quota per tenancy (mutating ops only).
+  /// The default (unlimited) changes nothing; a tenancy's open_period
+  /// config can override it either way.
+  AdmissionConfig admission;
   /// Durability backend. Null = a fresh MemoryStateStore (no cross-process
   /// persistence, exactly the historical behavior).
   std::shared_ptr<StateStore> store;
@@ -122,8 +134,14 @@ class MarketplaceServer {
   /// fires exactly once, on the tenancy's worker thread, and must not
   /// throw. It may outlive the transport that submitted it — capture
   /// shared state by shared_ptr.
+  /// `raw_line`, when non-null, is the exact wire line `request` was
+  /// parsed from; batch dispatch reuses it as the journal record for a
+  /// single-tenancy batch instead of re-serializing every member. It is
+  /// only read during the DispatchCallback call itself — the caller's
+  /// buffer may be reused as soon as the call returns.
   void DispatchCallback(protocol::Request request,
-                        std::function<void(protocol::Response)> done);
+                        std::function<void(protocol::Response)> done,
+                        const std::string* raw_line = nullptr);
 
   /// Synchronous convenience: Dispatch + wait.
   protocol::Response Handle(protocol::Request request);
@@ -164,6 +182,14 @@ class MarketplaceServer {
   /// The request-line cap transports must enforce while framing (the same
   /// value HandleLine applies when parsing).
   size_t max_request_bytes() const { return max_request_bytes_; }
+  /// The line cap transports must actually frame at: large enough for a
+  /// legal v3 batch frame. Non-batch lines over max_request_bytes() still
+  /// answer the plain-cap ResourceExhausted after framing. 0 = uncapped
+  /// (mirrors max_request_bytes() == 0).
+  size_t max_batch_request_bytes() const {
+    if (max_request_bytes_ == 0) return 0;
+    return std::max(max_request_bytes_, max_batch_request_bytes_);
+  }
   const StateStore& store() const { return *store_; }
 
   /// Installs (or, with nullptr, removes) the transport-counters provider
@@ -199,13 +225,35 @@ class MarketplaceServer {
     double cumulative_balance = 0.0;
     double cumulative_utility = 0.0;
     std::optional<PricingSession> session;  ///< Open period, if any.
+    /// Journal appends since this tenancy's last checkpoint/sync — the
+    /// per-tenancy share of the server-wide fsync-lag gauge. Shard-local.
+    uint64_t unsynced_appends = 0;
   };
 
   size_t ShardOf(const std::string& tenancy) const;
+  /// Executes a v3 batch frame: members are grouped by tenancy (preserving
+  /// submission order), each group runs as ONE task on its tenancy's shard,
+  /// and `done` fires once with the ordered response batch after the last
+  /// group completes. A group whose members are all plain session traffic
+  /// journals as ONE record — the raw frame for a single-tenancy batch, a
+  /// rebuilt sub-batch otherwise — appended before any member executes, so
+  /// the group replays atomically per tenancy: after a crash either every
+  /// member re-executes in order or none does, never a torn prefix. Groups
+  /// carrying checkpoint-triggering members (open/close_period et al) keep
+  /// the per-member WAL path, whose appends interleave correctly with
+  /// journal truncation.
+  void DispatchBatch(protocol::Request request,
+                     std::function<void(protocol::Response)> done,
+                     const std::string* raw_line);
   /// Executes `request` on the current (shard) thread. `persist` is false
   /// during journal replay: replayed requests must neither re-append to
-  /// the journal they came from nor checkpoint mid-replay.
+  /// the journal they came from nor checkpoint mid-replay. The two-arg
+  /// form counts the request toward op metrics iff it persists; the
+  /// three-arg form decouples them for batch members whose group already
+  /// journaled atomically (persist=false, count_metrics=true).
   protocol::Response Execute(const protocol::Request& request, bool persist);
+  protocol::Response Execute(const protocol::Request& request, bool persist,
+                             bool count_metrics);
   protocol::Response ExecuteOpenPeriod(const protocol::Request& request,
                                        bool persist);
   protocol::Response ExecuteTenancyOp(const protocol::Request& request,
@@ -289,6 +337,17 @@ class MarketplaceServer {
   /// Live (persist=true) executions per op, indexed by RequestOp value;
   /// served by server_info as "ops" so cluster health is observable.
   std::atomic<uint64_t> op_counts_[protocol::kNumRequestOps] = {};
+  /// Live execution latency per op (shard-side and inline reads alike),
+  /// served by server_info as "metrics". Recording is relaxed-atomic.
+  LatencyHistogram op_latency_[protocol::kNumRequestOps];
+  /// Journal appends not yet covered by a checkpoint/sync, summed over
+  /// tenancies — the "fsync lag" gauge in server_info's metrics section.
+  std::atomic<uint64_t> unsynced_total_{0};
+  /// Per-tenancy mutating-op quotas (protocol v3 admission control).
+  /// Consulted by DispatchCallback/DispatchBatch only — replay calls
+  /// Execute directly, so recovery is never throttled.
+  AdmissionController admission_;
+  size_t max_batch_request_bytes_ = protocol::kDefaultMaxBatchRequestBytes;
   ThreadPool pool_;  ///< Last member: destroyed first, so workers stop
                      ///< before the state they touch goes away.
 };

@@ -1,0 +1,71 @@
+// Serving-path metrics for the scrapeable `server_info` surface (protocol
+// v3): lock-free per-op latency histograms with fixed log-spaced buckets.
+// Recording is two relaxed atomic increments, cheap enough for the
+// allocation-free hot path; readers snapshot whenever server_info asks.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/json.h"
+
+namespace optshare::service {
+
+/// A latency histogram over microseconds with power-of-two bucket bounds:
+/// le_us = 1, 2, 4, ..., 2^(kNumBuckets-2), +inf. Thread-safe; counters
+/// are relaxed (per-op totals, not a synchronization point).
+class LatencyHistogram {
+ public:
+  static constexpr int kNumBuckets = 18;  ///< Last bucket is +inf (>128ms).
+
+  void Record(uint64_t micros) {
+    counts_[BucketOf(micros)].fetch_add(1, std::memory_order_relaxed);
+    total_us_.fetch_add(micros, std::memory_order_relaxed);
+  }
+
+  uint64_t count() const {
+    uint64_t total = 0;
+    for (const auto& bucket : counts_) {
+      total += bucket.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  /// {"count": N, "total_us": T, "le_us": [1,2,...,131072, -1],
+  ///  "counts": [...]} — le_us -1 marks the +inf overflow bucket.
+  JsonValue ToJson() const {
+    JsonValue obj = JsonValue::MakeObject();
+    JsonValue bounds = JsonValue::MakeArray();
+    JsonValue counts = JsonValue::MakeArray();
+    bounds.Reserve(kNumBuckets);
+    counts.Reserve(kNumBuckets);
+    uint64_t total = 0;
+    for (int i = 0; i < kNumBuckets; ++i) {
+      bounds.Append(JsonValue::Number(
+          i + 1 < kNumBuckets ? static_cast<double>(uint64_t{1} << i) : -1.0));
+      const uint64_t n = counts_[i].load(std::memory_order_relaxed);
+      total += n;
+      counts.Append(JsonValue::Number(static_cast<double>(n)));
+    }
+    obj.Set("count", JsonValue::Number(static_cast<double>(total)));
+    obj.Set("total_us",
+            JsonValue::Number(static_cast<double>(
+                total_us_.load(std::memory_order_relaxed))));
+    obj.Set("le_us", std::move(bounds));
+    obj.Set("counts", std::move(counts));
+    return obj;
+  }
+
+ private:
+  static int BucketOf(uint64_t micros) {
+    for (int i = 0; i + 1 < kNumBuckets; ++i) {
+      if (micros <= (uint64_t{1} << i)) return i;
+    }
+    return kNumBuckets - 1;
+  }
+
+  std::atomic<uint64_t> counts_[kNumBuckets] = {};
+  std::atomic<uint64_t> total_us_{0};
+};
+
+}  // namespace optshare::service

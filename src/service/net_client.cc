@@ -2,6 +2,7 @@
 
 #include <sys/socket.h>
 
+#include <algorithm>
 #include <chrono>
 #include <thread>
 #include <utility>
@@ -15,14 +16,37 @@ Result<NetClient> NetClient::Connect(const std::string& host,
   return NetClient(std::move(*socket));
 }
 
+int NetClient::BackoffMs(const ConnectOptions& options, int attempt) {
+  const long long base = options.backoff_ms > 0 ? options.backoff_ms : 1;
+  const long long cap =
+      options.max_backoff_ms > 0 ? std::max<long long>(options.max_backoff_ms,
+                                                       base)
+                                 : base;
+  long long ms = base;
+  for (int i = 1; i < attempt && ms < cap; ++i) ms *= 2;
+  if (ms > cap) ms = cap;
+  // Deterministic jitter (splitmix64 over seed + attempt): up to 25% on
+  // top of the capped schedule, so callers retrying in lockstep spread
+  // out without any shared randomness.
+  uint64_t x =
+      options.jitter_seed + 0x9e3779b97f4a7c15ull * static_cast<uint64_t>(
+                                                        attempt + 1);
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  const uint64_t jitter_span = static_cast<uint64_t>(ms / 4) + 1;
+  return static_cast<int>(ms + static_cast<long long>(x % jitter_span));
+}
+
 Result<NetClient> NetClient::Connect(const std::string& host, uint16_t port,
                                      const ConnectOptions& options) {
-  int backoff_ms = options.backoff_ms > 0 ? options.backoff_ms : 1;
   Status last = Status::Internal("connect never attempted");
   for (int attempt = 0; attempt <= options.retries; ++attempt) {
     if (attempt > 0) {
-      std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
-      backoff_ms *= 2;
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(BackoffMs(options, attempt)));
     }
     Result<net::Socket> socket =
         net::ConnectTcp(host, port, options.timeout_ms);
@@ -99,6 +123,133 @@ Status NetClient::FinishSending() {
     return Status::Internal("shutdown(SHUT_WR) failed");
   }
   return Status::OK();
+}
+
+// -- AsyncNetClient ----------------------------------------------------------
+
+AsyncNetClient::AsyncNetClient(NetClient client, Options options)
+    : options_(options), client_(std::move(client)) {
+  if (options_.max_inflight == 0) options_.max_inflight = 1;
+  reader_ = std::thread([this] { ReaderLoop(); });
+}
+
+AsyncNetClient::~AsyncNetClient() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+    // Wake the reader out of its blocking read: a full shutdown turns the
+    // pending recv into EOF. (Send-side is done too — no more Submits.)
+    if (client_.connected()) ::shutdown(client_.fd(), SHUT_RDWR);
+  }
+  if (reader_.joinable()) reader_.join();
+  // The reader failed every still-pending callback on its way out, so no
+  // completion is ever dropped silently.
+}
+
+Status AsyncNetClient::Submit(const protocol::Request& request,
+                              Callback done) {
+  const std::string line = protocol::ToJson(request).Dump() + "\n";
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!failed_.ok()) return failed_;
+  if (stopping_) return Status::FailedPrecondition("client shutting down");
+  if (pending_.size() >= options_.max_inflight) {
+    // Local, typed backpressure: nothing was sent; the caller drains some
+    // completions and resubmits.
+    return Status::ResourceExhausted(
+        "in-flight window full (max_inflight=" +
+        std::to_string(options_.max_inflight) + ")");
+  }
+  // The callback queues before the bytes go out so the reader can never
+  // see a response with no callback to match. A torn write desyncs the
+  // framing for good, so it fails the connection, this callback included.
+  pending_.push_back(std::move(done));
+  Status sent = client_.SendRaw(line);
+  if (!sent.ok()) {
+    pending_.pop_back();  // Never sent; fail it via the return instead.
+    failed_ = sent;
+    if (client_.connected()) ::shutdown(client_.fd(), SHUT_RDWR);
+    return sent;
+  }
+  return Status::OK();
+}
+
+std::future<Result<protocol::Response>> AsyncNetClient::Call(
+    const protocol::Request& request) {
+  auto promise =
+      std::make_shared<std::promise<Result<protocol::Response>>>();
+  std::future<Result<protocol::Response>> future = promise->get_future();
+  Status submitted =
+      Submit(request, [promise](Result<protocol::Response> response) {
+        promise->set_value(std::move(response));
+      });
+  if (!submitted.ok()) promise->set_value(submitted);
+  return future;
+}
+
+Status AsyncNetClient::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  drained_cv_.wait(lock, [this] { return pending_.empty(); });
+  return failed_;
+}
+
+size_t AsyncNetClient::inflight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pending_.size();
+}
+
+void AsyncNetClient::FailAllPending(Status status) {
+  std::deque<Callback> orphaned;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (failed_.ok()) failed_ = status;
+    orphaned.swap(pending_);
+  }
+  for (Callback& callback : orphaned) {
+    callback(Result<protocol::Response>(status));
+  }
+  drained_cv_.notify_all();
+}
+
+void AsyncNetClient::ReaderLoop() {
+  for (;;) {
+    // Blocking read outside the lock: SendRaw (send side) and ReadLine
+    // (receive side + private LineBuffer) touch disjoint state.
+    Result<std::string> line = client_.ReadLine();
+    if (!line.ok()) {
+      const bool deliberate = [&] {
+        std::lock_guard<std::mutex> lock(mu_);
+        return stopping_;
+      }();
+      FailAllPending(deliberate
+                         ? Status::FailedPrecondition(
+                               "client shut down with requests in flight")
+                         : line.status());
+      return;
+    }
+    Callback done;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (pending_.empty()) {
+        // A response with no matching submission: the stream is
+        // desynchronized beyond repair.
+        failed_ = Status::Internal("unsolicited response line");
+        if (client_.connected()) ::shutdown(client_.fd(), SHUT_RDWR);
+        drained_cv_.notify_all();
+        return;
+      }
+      done = std::move(pending_.front());
+      pending_.pop_front();
+    }
+    Result<JsonValue> doc = JsonValue::Parse(*line);
+    if (!doc.ok()) {
+      done(Result<protocol::Response>(
+          Status::Internal("malformed response line: " +
+                           doc.status().message())));
+    } else {
+      done(protocol::ResponseFromJson(*doc));
+    }
+    drained_cv_.notify_all();
+  }
 }
 
 }  // namespace optshare::service

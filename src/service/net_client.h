@@ -13,8 +13,14 @@
 // frames; Call() is what tools and benches use.
 #pragma once
 
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
 #include <string>
+#include <thread>
 
 #include "common/net.h"
 #include "service/protocol.h"
@@ -27,12 +33,27 @@ class NetClient {
   /// connect timeout (minutes against a dead-but-routable node). Zero
   /// timeout means the blocking OS default; `retries` is the number of
   /// *re*-attempts after the first failure, each preceded by a sleep that
-  /// starts at `backoff_ms` and doubles.
+  /// starts at `backoff_ms`, doubles per attempt, and is capped at
+  /// `max_backoff_ms` — plus up to 25% deterministic jitter so a fleet of
+  /// reconnectors spreads out instead of stampeding in lockstep.
   struct ConnectOptions {
     int timeout_ms = 0;
     int retries = 0;
     int backoff_ms = 50;
+    /// Ceiling on the doubled portion of one backoff sleep (the pre-cap
+    /// schedule grew unbounded: attempt 20 slept half a day). <= 0 means
+    /// "no cap beyond backoff_ms itself".
+    int max_backoff_ms = 2000;
+    /// Seed for the jitter hash. Deterministic per (seed, attempt), so
+    /// tests can pin the exact schedule; distinct callers pass distinct
+    /// seeds to desynchronize.
+    uint64_t jitter_seed = 0;
   };
+
+  /// The sleep before re-attempt `attempt` (1-based):
+  /// min(backoff_ms * 2^(attempt-1), max_backoff_ms) plus up to 25%
+  /// seeded jitter. Pure, so the schedule is unit-testable.
+  static int BackoffMs(const ConnectOptions& options, int attempt);
 
   /// Blocking connect; "" host means loopback.
   static Result<NetClient> Connect(const std::string& host, uint16_t port);
@@ -71,6 +92,80 @@ class NetClient {
 
   net::Socket socket_;
   net::LineBuffer lines_;  ///< Buffered bytes beyond the last read line.
+};
+
+/// AsyncNetClient (protocol v3): a genuinely asynchronous, multiplexed
+/// wrapper around a connected NetClient. Submissions return immediately;
+/// a dedicated reader thread matches response lines to submissions in
+/// order (the server's per-connection contract) and fires each completion
+/// callback exactly once. The in-flight window is bounded: a Submit that
+/// would exceed it answers a typed ResourceExhausted *locally* — that is
+/// the client-side backpressure signal, distinct from server admission
+/// rejections, which arrive as normal responses.
+///
+///   AsyncNetClient async(std::move(client), {.max_inflight = 32});
+///   async.Submit(req, [](Result<protocol::Response> r) { ... });
+///   async.Drain();  // every callback has fired
+///
+/// A transport failure (EOF, read error, torn write) is sticky: every
+/// pending callback fails with it, and later Submits return it. Callbacks
+/// run on the reader thread (or the submitting thread for write
+/// failures); they must not block, and must not call Submit/Drain on this
+/// client (self-deadlock).
+class AsyncNetClient {
+ public:
+  struct Options {
+    /// Submissions awaiting a response before Submit pushes back.
+    size_t max_inflight = 32;
+  };
+
+  using Callback = std::function<void(Result<protocol::Response>)>;
+
+  /// Adopts a connected client and starts the reader thread.
+  explicit AsyncNetClient(NetClient client) : AsyncNetClient(
+                                                  std::move(client),
+                                                  Options()) {}
+  AsyncNetClient(NetClient client, Options options);
+  /// Fails all still-pending callbacks (FailedPrecondition), then joins
+  /// the reader. Call Drain() first for a graceful finish.
+  ~AsyncNetClient();
+
+  AsyncNetClient(const AsyncNetClient&) = delete;
+  AsyncNetClient& operator=(const AsyncNetClient&) = delete;
+
+  /// Serializes and sends `request`; `done` fires exactly once, later,
+  /// with the parsed response (or the transport failure). Returns
+  /// ResourceExhausted without sending when the window is full, and the
+  /// sticky transport error once the connection failed.
+  Status Submit(const protocol::Request& request, Callback done);
+
+  /// Future form of Submit. A Submit rejection (full window, dead
+  /// connection) resolves the future immediately with that status.
+  std::future<Result<protocol::Response>> Call(
+      const protocol::Request& request);
+
+  /// Blocks until every accepted submission has completed. Returns the
+  /// sticky transport error, if any (pending callbacks have then already
+  /// failed with it).
+  Status Drain();
+
+  /// Submissions whose callbacks have not yet fired.
+  size_t inflight() const;
+
+ private:
+  void ReaderLoop();
+  /// Fails every queued callback with `status` and marks the failure
+  /// sticky. Callbacks run outside the lock.
+  void FailAllPending(Status status);
+
+  Options options_;
+  mutable std::mutex mu_;  ///< Guards client_ writes, pending_, failed_.
+  std::condition_variable drained_cv_;
+  NetClient client_;
+  std::deque<Callback> pending_;  ///< FIFO: response order == send order.
+  Status failed_;                 ///< Sticky first transport failure.
+  bool stopping_ = false;
+  std::thread reader_;  ///< Last member: joined before the rest dies.
 };
 
 }  // namespace optshare::service

@@ -49,6 +49,7 @@ JsonValue ToJson(const NetServerStats& stats) {
   obj.Set("requests", num(stats.requests));
   obj.Set("responses", num(stats.responses));
   obj.Set("oversize_lines", num(stats.oversize_lines));
+  obj.Set("rate_limited_lines", num(stats.rate_limited_lines));
   obj.Set("bytes_read", num(stats.bytes_read));
   obj.Set("bytes_written", num(stats.bytes_written));
   return obj;
@@ -95,6 +96,7 @@ struct NetServer::Shared {
   std::atomic<uint64_t> requests{0};
   std::atomic<uint64_t> responses{0};
   std::atomic<uint64_t> oversize_lines{0};
+  std::atomic<uint64_t> rate_limited_lines{0};
   std::atomic<uint64_t> bytes_read{0};
   std::atomic<uint64_t> bytes_written{0};
 
@@ -108,6 +110,7 @@ struct NetServer::Shared {
     stats.requests = requests.load();
     stats.responses = responses.load();
     stats.oversize_lines = oversize_lines.load();
+    stats.rate_limited_lines = rate_limited_lines.load();
     stats.bytes_read = bytes_read.load();
     stats.bytes_written = bytes_written.load();
     return stats;
@@ -120,12 +123,13 @@ struct NetServer::Shared {
 struct NetServer::Connection {
   Connection(net::Socket sock, std::shared_ptr<Shared> shared_state,
              size_t line_cap, size_t write_cap_bytes,
-             std::string backpressure_response)
+             std::string backpressure_response, double requests_per_sec)
       : socket(std::move(sock)),
         lines(line_cap),
         shared(std::move(shared_state)),
         write_cap(write_cap_bytes),
         backpressure_line(std::move(backpressure_response)),
+        rate(requests_per_sec, /*burst=*/requests_per_sec),
         writer([this](std::string_view line) { QueueResponse(line); }) {}
 
   /// OrderedLineWriter sink: runs on whichever thread completed the
@@ -175,6 +179,7 @@ struct NetServer::Connection {
   std::chrono::steady_clock::time_point condemned_at{};
 
   bool eof_seen = false;  ///< Loop-only: peer half-closed; drain then close.
+  TokenBucket rate;             ///< Loop-only: per-connection request rate.
   std::string line_scratch;     ///< Loop-only: reused request-line buffer.
   std::atomic<int> pending{0};  ///< Dispatched, response not yet queued.
   OrderedLineWriter writer;     ///< Last member: sink touches the above.
@@ -325,6 +330,25 @@ void NetServer::Loop() {
           continue;
         }
         if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+        // Per-connection admission (loop thread, so the bucket needs no
+        // lock): a breaching line is answered, typed and with a retry
+        // hint, without ever reaching the dispatcher.
+        if (!conn->rate.unlimited()) {
+          const TokenBucket::Decision decision = conn->rate.Acquire(1.0);
+          if (!decision.admitted) {
+            shared_->rate_limited_lines.fetch_add(1,
+                                                  std::memory_order_relaxed);
+            protocol::Response error = protocol::ErrorResponse(
+                "", Status::ResourceExhausted(
+                        "connection is over its request-rate cap "
+                        "(max_connection_requests_per_sec)"));
+            error.version = protocol::kMinProtocolVersion;
+            error.retry_after_ms = decision.retry_after_ms;
+            conn->writer.Complete(conn->writer.Reserve(),
+                                  protocol::FormatResponseLine(error));
+            continue;
+          }
+        }
         shared_->requests.fetch_add(1, std::memory_order_relaxed);
         conn->pending.fetch_add(1, std::memory_order_acq_rel);
         const uint64_t slot = conn->writer.Reserve();
@@ -492,8 +516,9 @@ void NetServer::Loop() {
         shared_->connections_open.fetch_add(1, std::memory_order_relaxed);
         conns.push_back(std::make_shared<Connection>(
             std::move(*accepted), shared_,
-            server_->max_request_bytes(), options_.max_write_buffer_bytes,
-            backpressure_line));
+            server_->max_batch_request_bytes(),
+            options_.max_write_buffer_bytes, backpressure_line,
+            options_.max_connection_requests_per_sec));
       }
     }
 

@@ -15,9 +15,13 @@
 //     completions arriving from different tenancy shards), exactly the
 //     stdin serve loop's contract — both transports share one
 //     RequestDispatcher path, so their bytes cannot diverge.
-//   - Framing survives hostile input: lines longer than the server's
-//     max_request_bytes answer a typed ResourceExhausted and the rest of
-//     the oversize line is discarded in-stream (common/net.h LineBuffer).
+//   - Framing survives hostile input: connections frame under the
+//     server's max_batch_request_bytes (so a legal v3 batch frame is
+//     never truncated mid-stream); anything longer answers a typed
+//     ResourceExhausted and the rest of the oversize line is discarded
+//     in-stream (common/net.h LineBuffer). Non-batch lines over the plain
+//     max_request_bytes cap answer the same typed rejection from the
+//     dispatcher.
 //   - Backpressure is bounded and local: a reader that stops draining
 //     queues at most max_write_buffer_bytes of responses, then gets a
 //     final ResourceExhausted line and a close — it never blocks the
@@ -63,6 +67,12 @@ struct NetServerOptions {
   /// Kernel send-buffer size for accepted sockets (0 = OS default). Tests
   /// shrink it to trip the write-buffer cap deterministically.
   int sndbuf_bytes = 0;
+  /// Per-connection request-rate cap (lines/sec, token bucket with a
+  /// one-second burst). 0 = off. A breaching line answers a typed
+  /// ResourceExhausted with a retry_after_ms hint instead of being
+  /// dispatched — transport-level admission, complementing the per-tenancy
+  /// quotas in ServerOptions::admission.
+  double max_connection_requests_per_sec = 0.0;
 };
 
 /// Live transport counters, also served through the wire `server_info` op
@@ -75,6 +85,8 @@ struct NetServerStats {
   uint64_t requests = 0;            ///< Complete lines handed to dispatch.
   uint64_t responses = 0;           ///< Response lines queued for writing.
   uint64_t oversize_lines = 0;      ///< Lines rejected by the byte cap.
+  uint64_t rate_limited_lines = 0;  ///< Lines rejected by the per-connection
+                                    ///< request-rate cap.
   uint64_t bytes_read = 0;
   uint64_t bytes_written = 0;
 };

@@ -150,6 +150,8 @@ std::string_view RequestOpName(RequestOp op) {
       return "query_price";
     case RequestOp::kExport:
       return "export";
+    case RequestOp::kBatch:
+      return "batch";
   }
   return "list_mechanisms";
 }
@@ -176,6 +178,8 @@ int RequestOpMinVersion(RequestOp op) {
     case RequestOp::kQueryPrice:
     case RequestOp::kExport:
       return 2;
+    case RequestOp::kBatch:
+      return 3;
     default:
       return 1;
   }
@@ -189,6 +193,7 @@ bool OpTakesTenancy(RequestOp op) {
     case RequestOp::kServerInfo:
     case RequestOp::kClusterUpdate:
     case RequestOp::kExport:  // Optional tenancy, like restore.
+    case RequestOp::kBatch:   // Members carry their own tenancies.
       return false;
     default:
       return true;
@@ -376,6 +381,17 @@ JsonValue ToJson(const ServiceConfig& config) {
   pricing.Set("storage_per_gb_month",
               JsonValue::Number(config.pricing.storage_per_gb_month));
   obj.Set("pricing", std::move(pricing));
+  // Emitted only when non-default so pre-v3 config documents (journals,
+  // snapshots, the differential corpora) stay byte-identical.
+  if (!(config.admission == AdmissionConfig{})) {
+    JsonValue admission = JsonValue::MakeObject();
+    admission.Set("mutating_ops_per_sec",
+                  JsonValue::Number(config.admission.mutating_ops_per_sec));
+    if (config.admission.burst != 0.0) {
+      admission.Set("burst", JsonValue::Number(config.admission.burst));
+    }
+    obj.Set("admission", std::move(admission));
+  }
   return obj;
 }
 
@@ -384,7 +400,7 @@ Result<ServiceConfig> ServiceConfigFromJson(const JsonValue& v) {
   OPTSHARE_RETURN_NOT_OK(CheckFields(
       v,
       {"slots_per_period", "maintenance_fraction", "mechanism", "advisor",
-       "pricing"},
+       "pricing", "admission"},
       "config"));
   ServiceConfig config;  // Every field is optional: defaults apply.
   if (v.Find("slots_per_period") != nullptr) {
@@ -441,6 +457,30 @@ Result<ServiceConfig> ServiceConfigFromJson(const JsonValue& v) {
           GetNumber(*pricing, "storage_per_gb_month", "config.pricing");
       if (!rate.ok()) return rate.status();
       config.pricing.storage_per_gb_month = *rate;
+    }
+  }
+  if (const JsonValue* admission = v.Find("admission")) {
+    OPTSHARE_RETURN_NOT_OK(CheckObject(*admission, "config.admission"));
+    OPTSHARE_RETURN_NOT_OK(CheckFields(
+        *admission, {"mutating_ops_per_sec", "burst"}, "config.admission"));
+    if (admission->Find("mutating_ops_per_sec") != nullptr) {
+      Result<double> rate =
+          GetNumber(*admission, "mutating_ops_per_sec", "config.admission");
+      if (!rate.ok()) return rate.status();
+      if (*rate < 0.0) {
+        return Status::InvalidArgument(
+            "config.admission: \"mutating_ops_per_sec\" must be >= 0");
+      }
+      config.admission.mutating_ops_per_sec = *rate;
+    }
+    if (admission->Find("burst") != nullptr) {
+      Result<double> burst = GetNumber(*admission, "burst", "config.admission");
+      if (!burst.ok()) return burst.status();
+      if (*burst < 0.0) {
+        return Status::InvalidArgument(
+            "config.admission: \"burst\" must be >= 0");
+      }
+      config.admission.burst = *burst;
     }
   }
   return config;
@@ -686,6 +726,15 @@ JsonValue ToJson(const Request& request) {
     case RequestOp::kClusterUpdate:
       if (request.placement) obj.Set("placement", *request.placement);
       break;
+    case RequestOp::kBatch: {
+      JsonValue members = JsonValue::MakeArray();
+      members.Reserve(request.requests.size());
+      for (const Request& member : request.requests) {
+        members.Append(ToJson(member));
+      }
+      obj.Set("requests", std::move(members));
+      break;
+    }
     case RequestOp::kRestore:
     case RequestOp::kExport:
       // The tenancy filter is optional on restore/export (OpTakesTenancy is
@@ -870,6 +919,34 @@ Result<Request> RequestFromJson(const JsonValue& v) {
       OPTSHARE_RETURN_NOT_OK(
           CheckFields(v, {"v", "op", "id", "tenancy"}, "request"));
       break;
+    case RequestOp::kBatch: {
+      OPTSHARE_RETURN_NOT_OK(
+          CheckFields(v, {"v", "op", "id", "requests"}, "batch"));
+      const JsonValue* members = v.Find("requests");
+      if (members == nullptr || !members->is_array()) {
+        return Status::InvalidArgument(
+            "batch: field \"requests\" must be an array");
+      }
+      if (members->AsArray().empty()) {
+        return Status::InvalidArgument(
+            "batch: \"requests\" must be non-empty");
+      }
+      request.requests.reserve(members->AsArray().size());
+      for (const JsonValue& member_v : members->AsArray()) {
+        Result<Request> member = RequestFromJson(member_v);
+        if (!member.ok()) return member.status();
+        if (member->op == RequestOp::kBatch) {
+          return Status::InvalidArgument(
+              "batch: members may not themselves be batches");
+        }
+        if (member->op == RequestOp::kShutdown) {
+          return Status::InvalidArgument(
+              "batch: members may not be shutdowns");
+        }
+        request.requests.push_back(std::move(*member));
+      }
+      break;
+    }
     case RequestOp::kListMechanisms:
     case RequestOp::kShutdown:
     case RequestOp::kServerInfo:
@@ -888,12 +965,23 @@ JsonValue ToJson(const Response& response) {
   if (!response.id.empty()) obj.Set("id", JsonValue::Str(response.id));
   obj.Set("ok", JsonValue::Bool(response.status.ok()));
   if (response.status.ok()) {
-    obj.Set("result", response.payload);
+    if (!response.raw_payload.empty()) {
+      // The pre-serialized form is authoritative; rebuild the tree a typed
+      // consumer expects. Producers guarantee it parses (it was serialized
+      // from Responses), but fall back to the tree payload defensively.
+      Result<JsonValue> parsed = JsonValue::Parse(response.raw_payload);
+      obj.Set("result", parsed.ok() ? std::move(*parsed) : response.payload);
+    } else {
+      obj.Set("result", response.payload);
+    }
   } else {
     JsonValue error = JsonValue::MakeObject();
     error.Set("code", JsonValue::Str(std::string(
                           StatusCodeName(response.status.code()))));
     error.Set("message", JsonValue::Str(response.status.message()));
+    if (response.retry_after_ms > 0) {
+      error.Set("retry_after_ms", JsonValue::Number(response.retry_after_ms));
+    }
     obj.Set("error", std::move(error));
   }
   return obj;
@@ -933,7 +1021,8 @@ Result<Response> ResponseFromJson(const JsonValue& v) {
     return Status::InvalidArgument("response: missing \"error\"");
   }
   OPTSHARE_RETURN_NOT_OK(CheckObject(*error, "error"));
-  OPTSHARE_RETURN_NOT_OK(CheckFields(*error, {"code", "message"}, "error"));
+  OPTSHARE_RETURN_NOT_OK(
+      CheckFields(*error, {"code", "message", "retry_after_ms"}, "error"));
   Result<std::string> code_name = GetString(*error, "code", "error");
   if (!code_name.ok()) return code_name.status();
   Result<std::string> message = GetString(*error, "message", "error");
@@ -942,6 +1031,15 @@ Result<Response> ResponseFromJson(const JsonValue& v) {
   if (!code || *code == StatusCode::kOk) {
     return Status::InvalidArgument("error: unknown status code \"" +
                                    *code_name + "\"");
+  }
+  if (error->Find("retry_after_ms") != nullptr) {
+    Result<int> retry = GetInt(*error, "retry_after_ms", "error");
+    if (!retry.ok()) return retry.status();
+    if (*retry < 1) {
+      return Status::InvalidArgument(
+          "error: \"retry_after_ms\" must be >= 1");
+    }
+    response.retry_after_ms = *retry;
   }
   response.status = MakeStatus(*code, std::move(*message));
   return response;
@@ -982,13 +1080,18 @@ std::string FormatResponseLine(const Response& response) {
 void AppendResponseLine(const Response& response, std::string* out) {
   // Mirrors ToJson(response).Dump() byte-for-byte: JsonValue objects
   // serialize with sorted keys, so the envelope order is
-  // error < id < ok < result < v.
+  // error < id < ok < result < v (and within error,
+  // code < message < retry_after_ms).
   out->push_back('{');
   if (!response.status.ok()) {
     out->append("\"error\":{\"code\":");
     JsonEscapeTo(StatusCodeName(response.status.code()), out);
     out->append(",\"message\":");
     JsonEscapeTo(response.status.message(), out);
+    if (response.retry_after_ms > 0) {
+      out->append(",\"retry_after_ms\":");
+      out->append(std::to_string(response.retry_after_ms));
+    }
     out->append("},");
   }
   if (!response.id.empty()) {
@@ -999,7 +1102,11 @@ void AppendResponseLine(const Response& response, std::string* out) {
   out->append(response.status.ok() ? "\"ok\":true" : "\"ok\":false");
   if (response.status.ok()) {
     out->append(",\"result\":");
-    response.payload.DumpTo(out);
+    if (!response.raw_payload.empty()) {
+      out->append(response.raw_payload);
+    } else {
+      response.payload.DumpTo(out);
+    }
   }
   out->append(",\"v\":");
   out->append(std::to_string(response.version));

@@ -29,6 +29,22 @@
 //   {"v": 2, "op": "shutdown"}                      # drain + checkpoint
 //   {"v": 2, "op": "server_info"}                   # store kind, recovery
 //
+// Version 3 keeps every v1/v2 document valid and adds the batch frame:
+// many requests on one line, answered by one ordered response batch:
+//
+//   {"v": 3, "op": "batch", "id": "b1", "requests": [
+//      {"v": 1, "op": "submit", "tenancy": "acme", "tenants": [...]},
+//      {"v": 1, "op": "advance_slot", "tenancy": "acme", "slots": 3}]}
+//   -> {"v": 3, "id": "b1", "ok": true, "result": {"responses": [
+//         <response doc for requests[0]>, <response doc for requests[1]>]}}
+//
+// Members execute in order within each tenancy (one FIFO shard task per
+// tenancy group, so the group is atomic with respect to other writers of
+// that tenancy) and each member response is byte-identical to what the
+// same request would have produced sent on its own line. Members may not
+// themselves be batches or shutdowns. Error responses may carry a
+// "retry_after_ms" hint (admission control) alongside code/message.
+//
 // Responses echo the request's optional "id" and carry either a payload or
 // a typed error mapping onto common/Status:
 //
@@ -60,13 +76,20 @@ namespace optshare::service::protocol {
 /// Newest version of the request/response schema this build speaks.
 /// Documents carrying any version in [kMinProtocolVersion,
 /// kProtocolVersion] are accepted; anything else is rejected at parse time.
-inline constexpr int kProtocolVersion = 2;
+inline constexpr int kProtocolVersion = 3;
 /// Oldest version still accepted (v1: the pre-durability op set).
 inline constexpr int kMinProtocolVersion = 1;
 
 /// Default cap on one request line (HandleLine / the serve loop); a longer
 /// line is rejected with ResourceExhausted instead of being buffered.
 inline constexpr size_t kDefaultMaxRequestBytes = 1 << 20;
+
+/// Default cap on one *batch* line. A legal v3 batch frame packs many
+/// requests onto one line, so transports buffer up to this larger cap and
+/// the per-request cap is enforced per plain (non-batch) document after
+/// parsing — an oversized batch gets a typed ResourceExhausted response
+/// instead of a silent in-stream discard.
+inline constexpr size_t kDefaultMaxBatchRequestBytes = 8u << 20;
 
 /// The request variants.
 enum class RequestOp {
@@ -95,6 +118,8 @@ enum class RequestOp {
   // without entering the tenancy's FIFO shard.
   kQueryPrice,      ///< What-if pricing for a tenant roster, read-only.
   kExport,          ///< Columnar export of ledgers/reports to --export-dir.
+  // v3 batching.
+  kBatch,           ///< Many requests, one line, one ordered response batch.
 };
 
 /// Every RequestOp, in enum order — sized per-op tables (e.g. the
@@ -109,7 +134,7 @@ inline constexpr RequestOp kAllRequestOps[] = {
     RequestOp::kReplCheckpoint, RequestOp::kReplSync,
     RequestOp::kTenancyState,   RequestOp::kEvict,
     RequestOp::kClusterUpdate,  RequestOp::kQueryPrice,
-    RequestOp::kExport,
+    RequestOp::kExport,         RequestOp::kBatch,
 };
 inline constexpr size_t kNumRequestOps =
     sizeof(kAllRequestOps) / sizeof(kAllRequestOps[0]);
@@ -183,6 +208,10 @@ struct Request {
   // cluster_update: the serialized placement map (opaque to the protocol;
   // src/cluster/placement.h owns the schema).
   std::optional<JsonValue> placement;
+
+  // batch: the member requests, in submission order. Members may not be
+  // batches or shutdowns (rejected at parse time).
+  std::vector<Request> requests;
 };
 
 /// One protocol response. `status` carries the typed error (OK = success);
@@ -195,6 +224,16 @@ struct Response {
   int version = kProtocolVersion;
   Status status;
   JsonValue payload;
+  /// Pre-serialized payload: when non-empty it IS the result document, and
+  /// `payload` is ignored — AppendResponseLine splices it verbatim and
+  /// ToJson parses it back into a tree. Producers (the batch hot path,
+  /// which assembles its response array from already-serialized member
+  /// lines) must only store documents that Dump byte-identically to the
+  /// tree they replace.
+  std::string raw_payload;
+  /// Admission-control hint on an error response: how long the client
+  /// should wait before retrying (0 = absent, not serialized).
+  int retry_after_ms = 0;
 
   bool ok() const { return status.ok(); }
 };

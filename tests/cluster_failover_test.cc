@@ -189,8 +189,10 @@ std::unique_ptr<TestCluster> StartCluster(int num_nodes, int workers) {
 }
 
 /// A client with the documented retry discipline: a failed-over mutation
-/// answers Internal with "retry" in the message, and the client resends
-/// the same line once — at request boundaries that resend is exactly-once.
+/// answers the typed retryable code — Unavailable, never a generic
+/// Internal — and the client resends the same line once; at request
+/// boundaries that resend is exactly-once. Keying on the code (not a
+/// message substring) is the contract this test pins.
 std::string SendResilient(ClusterRouter* router,
                           ClusterRouter::Channel* channel,
                           const std::string& line) {
@@ -199,7 +201,7 @@ std::string SendResilient(ClusterRouter* router,
   if (doc.ok()) {
     Result<Response> response = service::protocol::ResponseFromJson(*doc);
     if (response.ok() && !response->ok() &&
-        response->status.message().find("retry") != std::string::npos) {
+        response->status.code() == StatusCode::kUnavailable) {
       response_line = router->RouteLine(line, channel);
     }
   }
@@ -495,6 +497,133 @@ TEST(ClusterStaleReadTest, DeadOwnerDegradesToStaleSnapshotNotNotFound) {
   const Response refused = cluster->router->Route(advance, &channel);
   EXPECT_FALSE(refused.ok());
   EXPECT_NE(refused.status.code(), StatusCode::kNotFound);
+}
+
+// -- The retryable failover signal ------------------------------------------
+
+Response ParseResponseLine(const std::string& line) {
+  Result<JsonValue> doc = JsonValue::Parse(line);
+  EXPECT_TRUE(doc.ok()) << line;
+  if (!doc.ok()) return Response{};
+  Result<Response> response = service::protocol::ResponseFromJson(*doc);
+  EXPECT_TRUE(response.ok()) << line;
+  return response.ok() ? std::move(*response) : Response{};
+}
+
+// A failed-over mutation must answer the dedicated retryable code —
+// Unavailable, carrying the post-failover placement version — in BOTH
+// failover branches: the forward that dies mid-request, and the failover
+// restore that itself fails. Before this the router answered a generic
+// Internal whose only machine-readable content was the substring "retry".
+TEST(ClusterFailoverSignalTest, BothFailoverBranchesAnswerTypedUnavailable) {
+  constexpr int kTenants = 4;
+  constexpr int kSlots = 8;
+  auto scenario = simdb::TelemetryScenario(kTenants, kSlots);
+  ASSERT_TRUE(scenario.ok());
+  ServiceConfig config;
+  const std::vector<std::vector<simdb::SimUser>> periods = {
+      Jitter(scenario->tenants, kSlots, 7500)};
+  const std::vector<std::string> lines =
+      RecordRequestLines("acme", config, kTenants, kSlots, periods);
+
+  std::unique_ptr<TestCluster> cluster = StartCluster(3, 1);
+  ClusterRouter::Channel channel;
+  ASSERT_TRUE(ParseResponseLine(
+                  cluster->router->RouteLine(lines[0], &channel))
+                  .ok());
+  const auto version_before = cluster->router->CurrentPlacement().version();
+
+  // Branch 1: the forward dies mid-request. The mutation is NOT silently
+  // retried; it answers Unavailable with the bumped placement version.
+  const std::string owner = cluster->OwnerIdOf("acme");
+  cluster->NodeById(owner)->Stop();
+  const Response forward_failed =
+      ParseResponseLine(cluster->router->RouteLine(lines[1], &channel));
+  EXPECT_FALSE(forward_failed.ok());
+  EXPECT_EQ(forward_failed.status.code(), StatusCode::kUnavailable)
+      << forward_failed.status.ToString();
+  EXPECT_NE(forward_failed.status.message().find("placement"),
+            std::string::npos)
+      << forward_failed.status.message();
+  EXPECT_GT(cluster->router->CurrentPlacement().version(), version_before);
+
+  // The client-side discipline: exactly one resend, routed to the
+  // recovered owner, succeeds.
+  const Response resent =
+      ParseResponseLine(cluster->router->RouteLine(lines[1], &channel));
+  EXPECT_TRUE(resent.ok()) << resent.status.ToString();
+
+  // Branch 2: the failover restore itself fails. Kill the remaining
+  // nodes; the first mutation marks the recorded owner dead (branch 1
+  // again), and the next one re-homes toward the last "live" node, whose
+  // restore cannot connect — that failure must be Unavailable too.
+  for (auto& node : cluster->nodes) node->Stop();
+  const Response dead_owner =
+      ParseResponseLine(cluster->router->RouteLine(lines[2], &channel));
+  EXPECT_EQ(dead_owner.status.code(), StatusCode::kUnavailable)
+      << dead_owner.status.ToString();
+  const Response restore_failed =
+      ParseResponseLine(cluster->router->RouteLine(lines[2], &channel));
+  EXPECT_EQ(restore_failed.status.code(), StatusCode::kUnavailable)
+      << restore_failed.status.ToString();
+  EXPECT_NE(restore_failed.status.message().find("failover restore"),
+            std::string::npos)
+      << restore_failed.status.message();
+}
+
+// -- Batch routing ----------------------------------------------------------
+
+// One v3 batch frame through the router must answer member docs
+// byte-identical to the same program sent line by line against an
+// identical cluster — the batch split/reassemble path cannot diverge from
+// the single-request path.
+TEST(ClusterBatchTest, RoutedBatchMatchesSequentialSendsByteForByte) {
+  constexpr int kTenants = 4;
+  constexpr int kSlots = 8;
+  auto scenario = simdb::TelemetryScenario(kTenants, kSlots);
+  ASSERT_TRUE(scenario.ok());
+  ServiceConfig config;
+  const std::vector<std::vector<simdb::SimUser>> periods = {
+      Jitter(scenario->tenants, kSlots, 7600),
+      Jitter(scenario->tenants, kSlots, 7601)};
+  const std::vector<std::string> lines =
+      RecordRequestLines("acme", config, kTenants, kSlots, periods);
+
+  // Reference: the program line by line.
+  std::vector<std::string> sequential;
+  {
+    std::unique_ptr<TestCluster> cluster = StartCluster(3, 2);
+    ClusterRouter::Channel channel;
+    for (const std::string& line : lines) {
+      sequential.push_back(cluster->router->RouteLine(line, &channel));
+    }
+  }
+
+  // The same program as one batch frame, against a fresh identical
+  // cluster.
+  std::unique_ptr<TestCluster> cluster = StartCluster(3, 2);
+  ClusterRouter::Channel channel;
+  Request batch;
+  batch.op = RequestOp::kBatch;
+  batch.version = 3;
+  batch.id = "b1";
+  for (const std::string& line : lines) {
+    Result<JsonValue> doc = JsonValue::Parse(line);
+    ASSERT_TRUE(doc.ok());
+    Result<Request> member = service::protocol::RequestFromJson(*doc);
+    ASSERT_TRUE(member.ok()) << member.status().ToString();
+    batch.requests.push_back(std::move(*member));
+  }
+  const Response response = cluster->router->Route(batch, &channel);
+  ASSERT_TRUE(response.ok()) << response.status.ToString();
+  EXPECT_EQ(response.id, "b1");
+  const JsonValue* docs = response.payload.Find("responses");
+  ASSERT_NE(docs, nullptr);
+  ASSERT_TRUE(docs->is_array());
+  ASSERT_EQ(docs->AsArray().size(), lines.size());
+  for (size_t i = 0; i < lines.size(); ++i) {
+    EXPECT_EQ(docs->AsArray()[i].Dump(), sequential[i]) << "member " << i;
+  }
 }
 
 }  // namespace

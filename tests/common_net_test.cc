@@ -3,7 +3,9 @@
 // ConnectTcp + NetClient retry policy the cluster router depends on.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <chrono>
+#include <cstdint>
 
 #include "common/net.h"
 #include "service/marketplace_server.h"
@@ -109,6 +111,96 @@ TEST(ConnectTimeoutTest, NetClientRetriesThenConnects) {
   ASSERT_TRUE(response.ok()) << response.status().ToString();
   EXPECT_TRUE(response->ok());
   net.Stop();
+}
+
+// -- Backoff schedule (pure function, no sockets) ---------------------------
+
+TEST(BackoffTest, DoublesPerAttemptThenCapsAtMaxBackoff) {
+  service::NetClient::ConnectOptions options;
+  options.backoff_ms = 50;
+  options.max_backoff_ms = 300;
+  int previous = 0;
+  for (int attempt = 1; attempt <= 10; ++attempt) {
+    const int ms = service::NetClient::BackoffMs(options, attempt);
+    // Capped exponential core, plus at most 25% jitter on top.
+    const int core = std::min(50 << (attempt - 1), 300);
+    EXPECT_GE(ms, core) << "attempt " << attempt;
+    EXPECT_LE(ms, core + core / 4 + 1) << "attempt " << attempt;
+    // The pre-cap schedule never shrinks as attempts mount.
+    EXPECT_GE(ms + core / 4 + 1, previous) << "attempt " << attempt;
+    previous = ms;
+  }
+  // Deep attempts sit at the cap (±jitter), not at 50 * 2^19 ≈ half a day.
+  const int deep = service::NetClient::BackoffMs(options, 20);
+  EXPECT_GE(deep, 300);
+  EXPECT_LE(deep, 300 + 75 + 1);
+}
+
+TEST(BackoffTest, NoCapMeansBaseOnly) {
+  service::NetClient::ConnectOptions options;
+  options.backoff_ms = 40;
+  options.max_backoff_ms = 0;  // "no cap beyond backoff_ms itself".
+  for (int attempt : {1, 5, 30}) {
+    const int ms = service::NetClient::BackoffMs(options, attempt);
+    EXPECT_GE(ms, 40) << "attempt " << attempt;
+    EXPECT_LE(ms, 40 + 10 + 1) << "attempt " << attempt;
+  }
+}
+
+TEST(BackoffTest, JitterIsDeterministicPerSeedAndSpreadsAcrossSeeds) {
+  service::NetClient::ConnectOptions options;
+  options.backoff_ms = 100;
+  options.max_backoff_ms = 100;
+  options.jitter_seed = 42;
+  // Same (seed, attempt) → same sleep: a failure's schedule replays.
+  EXPECT_EQ(service::NetClient::BackoffMs(options, 3),
+            service::NetClient::BackoffMs(options, 3));
+  // Distinct seeds desynchronize callers retrying in lockstep: across a
+  // few seeds, at least two land on different sleeps for some attempt.
+  bool spread = false;
+  for (int attempt = 1; attempt <= 4 && !spread; ++attempt) {
+    service::NetClient::ConnectOptions other = options;
+    for (uint64_t seed = 0; seed < 8; ++seed) {
+      other.jitter_seed = seed;
+      if (service::NetClient::BackoffMs(other, attempt) !=
+          service::NetClient::BackoffMs(options, attempt)) {
+        spread = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(spread);
+}
+
+// -- LineBuffer framing under the cap ---------------------------------------
+
+TEST(LineBufferTest, OverCapLineReportsOnceAndFramingRealigns) {
+  LineBuffer lines(8);
+  std::string line;
+  // An over-cap line streaming in across reads: one kTooLong, then the
+  // remainder is eaten silently until its newline.
+  lines.Append("0123456789", 10);
+  EXPECT_EQ(lines.NextLine(&line), LineBuffer::Next::kTooLong);
+  lines.Append("abcdef", 6);
+  EXPECT_EQ(lines.NextLine(&line), LineBuffer::Next::kNeedMore);
+  // The newline ends the discard; the next line arrives intact, even
+  // packed into the same read.
+  lines.Append("\nok\n", 4);
+  ASSERT_EQ(lines.NextLine(&line), LineBuffer::Next::kLine);
+  EXPECT_EQ(line, "ok");
+  EXPECT_EQ(lines.NextLine(&line), LineBuffer::Next::kNeedMore);
+  // Buffered memory stayed bounded through the flood.
+  EXPECT_LE(lines.buffered(), size_t{8} + 16);
+}
+
+TEST(LineBufferTest, CapZeroIsUnlimited) {
+  LineBuffer lines(0);
+  std::string big(1 << 16, 'x');
+  lines.Append(big.data(), big.size());
+  lines.Append("\n", 1);
+  std::string line;
+  ASSERT_EQ(lines.NextLine(&line), LineBuffer::Next::kLine);
+  EXPECT_EQ(line, big);
 }
 
 }  // namespace

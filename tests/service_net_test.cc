@@ -176,6 +176,14 @@ TEST(NetTransportParityTest, TcpAndStdinPathAndHandleLineAgreeByteForByte) {
     stream.push_back(acme_lines[i]);
     stream.push_back(globex_lines[i]);
   }
+  // The period lines fly fully pipelined; the trailing error surface +
+  // final report go after an ack barrier. The snapshot-serving read path
+  // promises read-your-writes only for ACKNOWLEDGED writes (see the
+  // ordering note in MarketplaceServer::Dispatch), so an un-awaited
+  // report pipelined behind close_period may legally serve the previous
+  // period's view — not a transport divergence, and not what this test
+  // pins.
+  const size_t pipelined = stream.size();
   stream.push_back("{this is not json");
   stream.push_back(R"({"v":1,"op":"report","tenancy":"nobody"})");
   stream.push_back(R"({"v":1,"op":"server_info"})");
@@ -202,11 +210,13 @@ TEST(NetTransportParityTest, TcpAndStdinPathAndHandleLineAgreeByteForByte) {
       std::lock_guard<std::mutex> lock(out_mu);
       via_dispatcher.emplace_back(line);
     });
-    for (const std::string& line : stream) {
+    for (size_t i = 0; i < stream.size(); ++i) {
+      if (i == pipelined) server.Drain();  // Ack barrier before the reads.
       const uint64_t slot = writer.Reserve();
-      dispatcher.Submit(line, [slot, &writer](std::string_view response) {
-        writer.Complete(slot, response);
-      });
+      dispatcher.Submit(stream[i],
+                        [slot, &writer](std::string_view response) {
+                          writer.Complete(slot, response);
+                        });
     }
     server.Drain();
     ASSERT_TRUE(writer.Idle());
@@ -218,10 +228,19 @@ TEST(NetTransportParityTest, TcpAndStdinPathAndHandleLineAgreeByteForByte) {
     MarketplaceServer server(ServerOptions{2});
     auto net = StartNet(&server);
     NetClient client = MustConnect(*net);
-    for (const std::string& line : stream) {
-      ASSERT_TRUE(client.SendLine(line).ok());
+    for (size_t i = 0; i < pipelined; ++i) {
+      ASSERT_TRUE(client.SendLine(stream[i]).ok());
     }
-    for (size_t i = 0; i < stream.size(); ++i) {
+    for (size_t i = 0; i < pipelined; ++i) {
+      Result<std::string> response = client.ReadLine();
+      ASSERT_TRUE(response.ok()) << response.status().ToString();
+      via_tcp.push_back(std::move(*response));
+    }
+    // Acks drained — the writes are visible; the trailing reads follow.
+    for (size_t i = pipelined; i < stream.size(); ++i) {
+      ASSERT_TRUE(client.SendLine(stream[i]).ok());
+    }
+    for (size_t i = pipelined; i < stream.size(); ++i) {
       Result<std::string> response = client.ReadLine();
       ASSERT_TRUE(response.ok()) << response.status().ToString();
       via_tcp.push_back(std::move(*response));
@@ -574,6 +593,302 @@ TEST(NetServerTest, WireShutdownDrainsAndStateSurvivesToRecovery) {
   Response response = server.Handle(std::move(report));
   ASSERT_TRUE(response.ok());
   EXPECT_EQ(response.payload.Find("periods_run")->AsNumber(), 1.0);
+}
+
+// -- Protocol v3: batch frames over the wire --------------------------------
+
+/// The members a mixed batch exercises: mutations, reads, duplicate ids,
+/// mixed protocol versions, and one member that errors (unknown tenant).
+std::vector<Request> MixedBatchMembers(const std::string& tenancy,
+                                       const std::vector<simdb::SimUser>& t) {
+  std::vector<Request> members;
+  Request submit;
+  submit.op = RequestOp::kSubmit;
+  submit.tenancy = tenancy;
+  submit.id = "m0";
+  submit.tenants = t;
+  members.push_back(submit);
+  Request advance;
+  advance.op = RequestOp::kAdvanceSlot;
+  advance.tenancy = tenancy;
+  advance.id = "m1";
+  advance.slots = 2;
+  members.push_back(advance);
+  Request report;
+  report.op = RequestOp::kReport;
+  report.tenancy = tenancy;
+  report.id = "m1";  // Duplicate id: answered positionally, both echoed.
+  members.push_back(report);
+  Request depart;
+  depart.op = RequestOp::kDepart;
+  depart.tenancy = tenancy;
+  depart.id = "m3";
+  depart.tenant = 9999;  // No such tenant: a typed error member.
+  members.push_back(depart);
+  Request list;
+  list.op = RequestOp::kListMechanisms;
+  list.version = 1;  // Mixed-version member rides in a v3 frame.
+  list.id = "m4";
+  members.push_back(list);
+  return members;
+}
+
+TEST(NetBatchTest, WireBatchMatchesSequentialSendsByteForByte) {
+  auto scenario = simdb::TelemetryScenario(4, 8);
+  ASSERT_TRUE(scenario.ok());
+  const std::vector<simdb::SimUser> tenants =
+      JitterTenants(scenario->tenants, 8, 7);
+  const auto open_tenancy = [&](NetClient& client, const std::string& name) {
+    Request open;
+    open.op = RequestOp::kOpenPeriod;
+    open.tenancy = name;
+    protocol::CatalogSpec catalog;
+    catalog.scenario = "telemetry";
+    catalog.scenario_tenants = 4;
+    catalog.scenario_slots = 8;
+    open.catalog = catalog;
+    Result<Response> opened = client.Call(open);
+    ASSERT_TRUE(opened.ok() && opened->ok());
+  };
+
+  // Server A: the members one at a time, recording each wire line.
+  MarketplaceServer sequential_server(ServerOptions{2});
+  auto sequential_net = StartNet(&sequential_server);
+  NetClient sequential_client = MustConnect(*sequential_net);
+  open_tenancy(sequential_client, "t");
+  std::vector<std::string> expected;
+  for (const Request& member : MixedBatchMembers("t", tenants)) {
+    Result<std::string> line =
+        sequential_client.Call(protocol::ToJson(member).Dump());
+    ASSERT_TRUE(line.ok()) << line.status().ToString();
+    expected.push_back(*line);
+  }
+
+  // Server B: the same members as one v3 batch frame.
+  MarketplaceServer batch_server(ServerOptions{2});
+  auto batch_net = StartNet(&batch_server);
+  NetClient batch_client = MustConnect(*batch_net);
+  open_tenancy(batch_client, "t");
+  Request batch;
+  batch.op = RequestOp::kBatch;
+  batch.version = 3;
+  batch.id = "frame";
+  batch.requests = MixedBatchMembers("t", tenants);
+  Result<Response> response = batch_client.Call(batch);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  ASSERT_TRUE(response->ok()) << response->status.ToString();
+  EXPECT_EQ(response->id, "frame");
+  const JsonValue* docs = response->payload.Find("responses");
+  ASSERT_NE(docs, nullptr);
+  ASSERT_EQ(docs->AsArray().size(), expected.size());
+
+  // Ordered and byte-identical: member i's document is exactly the line
+  // the sequential server answered for request i (both normalized through
+  // one parse->dump so the comparison is of documents, not whitespace).
+  for (size_t i = 0; i < expected.size(); ++i) {
+    Result<JsonValue> sequential_doc = JsonValue::Parse(expected[i]);
+    ASSERT_TRUE(sequential_doc.ok());
+    EXPECT_EQ(docs->AsArray()[i].Dump(), sequential_doc->Dump())
+        << "member " << i << " diverged";
+  }
+  // The error member answered in place without poisoning its neighbors.
+  EXPECT_EQ(*docs->AsArray()[3].Find("ok"), JsonValue::Bool(false));
+  EXPECT_EQ(*docs->AsArray()[4].Find("ok"), JsonValue::Bool(true));
+}
+
+TEST(NetBatchTest, HandleLineAndTypedHandleAgreeOnBatchFrames) {
+  // The wire path splices pre-serialized member responses
+  // (Response::raw_payload); the typed path builds the JsonValue tree.
+  // Same read-only members against the same server must serialize
+  // identically through both.
+  MarketplaceServer server(ServerOptions{2});
+  {
+    Request open;
+    open.op = RequestOp::kOpenPeriod;
+    open.tenancy = "t";
+    protocol::CatalogSpec catalog;
+    catalog.scenario = "telemetry";
+    catalog.scenario_tenants = 3;
+    catalog.scenario_slots = 6;
+    open.catalog = catalog;
+    ASSERT_TRUE(server.Handle(std::move(open)).ok());
+  }
+  Request batch;
+  batch.op = RequestOp::kBatch;
+  batch.version = 3;
+  batch.id = "b";
+  for (int i = 0; i < 3; ++i) {
+    Request report;
+    report.op = RequestOp::kReport;
+    report.tenancy = "t";
+    report.id = "r" + std::to_string(i);
+    batch.requests.push_back(report);
+    Request list;
+    list.op = RequestOp::kListMechanisms;
+    list.id = "l" + std::to_string(i);
+    batch.requests.push_back(list);
+  }
+  const std::string wire_line =
+      server.HandleLine(protocol::ToJson(batch).Dump());
+  const Response typed = server.Handle(batch);
+  EXPECT_EQ(wire_line, protocol::FormatResponseLine(typed));
+  EXPECT_EQ(wire_line, protocol::ToJson(typed).Dump());
+}
+
+TEST(NetBatchTest, LegalBatchFramesPassTheLineCapUntruncated) {
+  // Regression: the transport line cap once applied the plain request cap
+  // to every line, so a legal v3 batch frame bigger than one request's
+  // budget was cut off mid-frame. Batch frames must pass under the batch
+  // cap; an equally big non-batch line still answers the plain-cap error.
+  ServerOptions options;
+  options.num_workers = 2;
+  options.max_request_bytes = 512;
+  options.max_batch_request_bytes = 64 * 1024;
+  MarketplaceServer server(std::move(options));
+  auto net = StartNet(&server);
+  NetClient client = MustConnect(*net);
+  {
+    Request open;
+    open.op = RequestOp::kOpenPeriod;
+    open.tenancy = "t";
+    protocol::CatalogSpec catalog;
+    catalog.scenario = "telemetry";
+    catalog.scenario_tenants = 3;
+    catalog.scenario_slots = 6;
+    open.catalog = catalog;
+    Result<Response> opened = client.Call(open);
+    ASSERT_TRUE(opened.ok() && opened->ok());
+  }
+
+  // A batch frame well over the 512-byte plain cap but under the batch cap.
+  Request batch;
+  batch.op = RequestOp::kBatch;
+  batch.version = 3;
+  for (int i = 0; i < 40; ++i) {
+    Request report;
+    report.op = RequestOp::kReport;
+    report.tenancy = "t";
+    report.id = "member-" + std::to_string(i);
+    batch.requests.push_back(report);
+  }
+  const std::string frame = protocol::ToJson(batch).Dump();
+  ASSERT_GT(frame.size(), size_t{512});
+  {
+    Result<std::string> line = client.Call(frame);
+    ASSERT_TRUE(line.ok()) << line.status().ToString();
+    EXPECT_NE(line->find("\"ok\":true"), std::string::npos) << *line;
+    EXPECT_NE(line->find("member-39"), std::string::npos)
+        << "batch frame truncated: " << *line;
+  }
+
+  // The same bytes minus batch-ness: over-cap, typed rejection.
+  std::string oversized = R"({"v":1,"op":"report","tenancy":"t")";
+  oversized += ",\"id\":\"" + std::string(600, 'x') + "\"}";
+  Result<std::string> rejected = client.Call(oversized);
+  ASSERT_TRUE(rejected.ok());
+  EXPECT_NE(rejected->find("ResourceExhausted"), std::string::npos)
+      << *rejected;
+
+  // Framing intact afterwards: a canary answers normally.
+  Result<std::string> canary =
+      client.Call(std::string(R"({"v":1,"op":"list_mechanisms","id":"c"})"));
+  ASSERT_TRUE(canary.ok());
+  EXPECT_NE(canary->find("\"id\":\"c\""), std::string::npos);
+  EXPECT_NE(canary->find("\"ok\":true"), std::string::npos);
+}
+
+// -- Protocol v3: admission control under load ------------------------------
+
+TEST(AdmissionSoakTest, QuotaBreachingTenantCannotStarveACompliantOne) {
+  // One tenancy hammers mutating ops far over its token-bucket quota; a
+  // compliant tenancy paces itself under the rate. Per-tenancy buckets
+  // mean the breacher's rejections are its own: the compliant tenant must
+  // see zero ResourceExhausted, while the breacher sees plenty, each with
+  // a usable retry_after_ms hint.
+  ServerOptions options;
+  options.num_workers = 2;
+  options.admission.mutating_ops_per_sec = 200.0;
+  options.admission.burst = 20.0;
+  MarketplaceServer server(std::move(options));
+  auto net = StartNet(&server);
+
+  const auto open_tenancy = [&](NetClient& client, const std::string& name) {
+    Request open;
+    open.op = RequestOp::kOpenPeriod;
+    open.tenancy = name;
+    protocol::CatalogSpec catalog;
+    catalog.scenario = "telemetry";
+    catalog.scenario_tenants = 3;
+    catalog.scenario_slots = 6;
+    open.catalog = catalog;
+    Result<Response> opened = client.Call(open);
+    ASSERT_TRUE(opened.ok() && opened->ok());
+  };
+
+  std::atomic<int> breacher_rejected{0};
+  std::atomic<int> breacher_bad_hint{0};
+  std::atomic<int> compliant_rejected{0};
+  std::atomic<int> compliant_failed{0};
+
+  std::thread breacher([&] {
+    NetClient client = MustConnect(*net);
+    open_tenancy(client, "greedy");
+    Request advance;
+    advance.op = RequestOp::kAdvanceSlot;
+    advance.tenancy = "greedy";
+    for (int i = 0; i < 600; ++i) {
+      Result<Response> response = client.Call(advance);
+      if (!response.ok()) return;
+      if (!response->ok()) {
+        if (response->status.code() == StatusCode::kResourceExhausted) {
+          breacher_rejected.fetch_add(1);
+          if (response->retry_after_ms <= 0) breacher_bad_hint.fetch_add(1);
+        }
+      }
+    }
+  });
+  std::thread compliant([&] {
+    NetClient client = MustConnect(*net);
+    open_tenancy(client, "polite");
+    Request advance;
+    advance.op = RequestOp::kAdvanceSlot;
+    advance.tenancy = "polite";
+    // 15 ops with 20 of burst: never over quota, whatever the pacing. A
+    // session-level error (advancing past the period's end) still proves
+    // the request was served; only a transport failure or a quota
+    // rejection would mean the breacher starved us.
+    for (int i = 0; i < 15; ++i) {
+      Result<Response> response = client.Call(advance);
+      if (!response.ok()) {
+        compliant_failed.fetch_add(1);
+      } else if (!response->ok() &&
+                 response->status.code() == StatusCode::kResourceExhausted) {
+        compliant_rejected.fetch_add(1);
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  });
+  breacher.join();
+  compliant.join();
+
+  // 600 mutations against burst 20 + 200/s cannot all be admitted in the
+  // seconds this takes; the compliant tenant must be untouched.
+  EXPECT_GT(breacher_rejected.load(), 0);
+  EXPECT_EQ(breacher_bad_hint.load(), 0);
+  EXPECT_EQ(compliant_rejected.load(), 0);
+  EXPECT_EQ(compliant_failed.load(), 0);
+
+  // The rejections surface on the metrics plane.
+  Request info;
+  info.op = RequestOp::kServerInfo;
+  info.version = 2;
+  Response response = server.Handle(std::move(info));
+  ASSERT_TRUE(response.ok());
+  const JsonValue* metrics = response.payload.Find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  const JsonValue* admission = metrics->Find("admission");
+  ASSERT_NE(admission, nullptr);
+  EXPECT_GT(admission->Find("rejected")->AsNumber(), 0.0);
 }
 
 }  // namespace

@@ -103,6 +103,35 @@ std::vector<std::string> BuildCorpus() {
     // accepted shutdowns so the server stays up (tested separately).
     corpus.push_back(protocol::ToJson(v2).Dump());
   }
+
+  // v3 batch frames: mixed-version members, duplicate ids, two tenancies
+  // in one frame. These seed every mutator AND pin the fast scanner's
+  // batch path against the tree parser in the differential battery.
+  {
+    Request batch;
+    batch.op = RequestOp::kBatch;
+    batch.version = 3;
+    batch.id = "dup";
+    Request member = depart;
+    member.id = "dup";  // Duplicate of the envelope's AND its sibling's id.
+    batch.requests.push_back(member);
+    member.version = 1;  // Mixed-version member.
+    batch.requests.push_back(member);
+    Request other = advance;
+    other.tenancy = "fuzz-2";  // Second tenancy in the same frame.
+    other.id = "dup";
+    batch.requests.push_back(other);
+    batch.requests.push_back(report);
+    corpus.push_back(protocol::ToJson(batch).Dump());
+  }
+  {
+    Request batch;
+    batch.op = RequestOp::kBatch;
+    batch.version = 3;
+    batch.requests.push_back(submit);
+    batch.requests.push_back(advance);
+    corpus.push_back(protocol::ToJson(batch).Dump());
+  }
   return corpus;
 }
 
@@ -399,6 +428,196 @@ TEST(ProtocolFuzzTest, MidFrameDisconnectsLeaveServerServing) {
   ASSERT_TRUE(fresh.ok());
   Result<std::string> alive =
       fresh->Call(std::string(R"({"v":1,"op":"list_mechanisms"})"));
+  ASSERT_TRUE(alive.ok());
+  EXPECT_NE(alive->find("\"ok\":true"), std::string::npos);
+  net.Stop();
+}
+
+// -- Protocol v3: batch-frame battery ---------------------------------------
+
+/// A random batch frame drawn from the member pool: 1..8 members, random
+/// ids (duplicates likely), random member versions, sometimes a hostile
+/// member op (nested batch / shutdown) the parser must reject whole.
+std::string RandomBatchLine(const std::vector<Request>& pool, Rng& rng,
+                            bool* expect_reject) {
+  Request batch;
+  batch.op = RequestOp::kBatch;
+  batch.version = 3;
+  if (rng.Bernoulli(0.5)) {
+    batch.id = "b" + std::to_string(rng.UniformInt(0, 3));
+  }
+  *expect_reject = false;
+  const int members = static_cast<int>(rng.UniformInt(1, 8));
+  for (int m = 0; m < members; ++m) {
+    Request member = pool[static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(pool.size()) - 1))];
+    if (rng.Bernoulli(0.5)) {
+      member.id = "m" + std::to_string(rng.UniformInt(0, 2));  // Duplicates.
+    }
+    if (rng.Bernoulli(0.1)) {
+      member.op = RequestOp::kShutdown;  // Parse-rejected inside a batch.
+      member.tenancy.clear();
+      member.tenants.clear();
+      member.tenant = -1;
+      member.slots = 1;
+      member.version = 2;
+      *expect_reject = true;
+    }
+    batch.requests.push_back(std::move(member));
+  }
+  if (rng.Bernoulli(0.1)) {
+    // Nested mutation splice: a batch spliced into its own member list.
+    Request nested;
+    nested.op = RequestOp::kBatch;
+    nested.version = 3;
+    Request inner = pool.front();
+    nested.requests.push_back(std::move(inner));
+    batch.requests.push_back(std::move(nested));
+    *expect_reject = true;
+  }
+  return protocol::ToJson(batch).Dump();
+}
+
+TEST(ProtocolFuzzTest, BatchFramesAnswerOneOrderedResponseBatch) {
+  MarketplaceServer server(ServerOptions{2});
+  // Bootstrap the tenancies the member pool mutates.
+  for (const char* tenancy : {"fuzz", "fuzz-2"}) {
+    Request open;
+    open.op = RequestOp::kOpenPeriod;
+    open.tenancy = tenancy;
+    protocol::CatalogSpec catalog;
+    catalog.scenario = "telemetry";
+    catalog.scenario_tenants = 3;
+    catalog.scenario_slots = 6;
+    open.catalog = catalog;
+    ASSERT_TRUE(server.Handle(std::move(open)).ok());
+  }
+  std::vector<Request> pool;
+  for (const char* tenancy : {"fuzz", "fuzz-2"}) {
+    Request advance;
+    advance.op = RequestOp::kAdvanceSlot;
+    advance.tenancy = tenancy;
+    pool.push_back(advance);
+    Request report;
+    report.op = RequestOp::kReport;
+    report.tenancy = tenancy;
+    pool.push_back(report);
+    Request depart;
+    depart.op = RequestOp::kDepart;
+    depart.tenancy = tenancy;
+    depart.tenant = 1;
+    pool.push_back(depart);
+  }
+  Request list;
+  list.op = RequestOp::kListMechanisms;
+  list.version = 1;
+  pool.push_back(list);
+
+  Rng rng(33550336);
+  int accepted = 0, rejected = 0, mutated_rounds = 0;
+  for (int i = 0; i < 4000; ++i) {
+    bool expect_reject = false;
+    std::string line = RandomBatchLine(pool, rng, &expect_reject);
+    const bool was_mutated = rng.Bernoulli(0.5);
+    if (was_mutated) {
+      line = Mutate(line, rng);
+      ++mutated_rounds;
+    }
+    const size_t member_count = [&] {
+      Result<Request> parsed = protocol::ParseRequestLine(line);
+      return parsed.ok() && parsed->op == RequestOp::kBatch
+                 ? parsed->requests.size()
+                 : size_t{0};
+    }();
+
+    const std::string response_line = server.HandleLine(line);
+    Result<JsonValue> doc = JsonValue::Parse(response_line);
+    ASSERT_TRUE(doc.ok()) << "unparseable response for: " << line;
+    Result<Response> response = protocol::ResponseFromJson(*doc);
+    ASSERT_TRUE(response.ok()) << "untyped response for: " << line;
+    if (!was_mutated && expect_reject) {
+      EXPECT_FALSE(response->ok())
+          << "hostile member accepted: " << line;
+    }
+    if (response->ok() && member_count > 0) {
+      ++accepted;
+      // The ordered-response invariant: exactly one document per member,
+      // ids echoed positionally (duplicates included).
+      const JsonValue* docs = response->payload.Find("responses");
+      ASSERT_NE(docs, nullptr) << line;
+      ASSERT_EQ(docs->AsArray().size(), member_count) << line;
+      Result<Request> parsed = protocol::ParseRequestLine(line);
+      ASSERT_TRUE(parsed.ok());
+      for (size_t m = 0; m < member_count; ++m) {
+        const JsonValue* id = docs->AsArray()[m].Find("id");
+        if (parsed->requests[m].id.empty()) {
+          EXPECT_EQ(id, nullptr) << line;
+        } else {
+          ASSERT_NE(id, nullptr) << line;
+          EXPECT_EQ(id->AsString(), parsed->requests[m].id) << line;
+        }
+      }
+    } else if (!response->ok()) {
+      ++rejected;
+    }
+  }
+  // The battery exercised both sides hard.
+  EXPECT_GT(accepted, 500);
+  EXPECT_GT(rejected, 500);
+  EXPECT_GT(mutated_rounds, 1500);
+}
+
+TEST(ProtocolFuzzTest, TornMidBatchDisconnectsLeaveServerServing) {
+  MarketplaceServer server(ServerOptions{2});
+  NetServer net(&server, NetServerOptions{});
+  ASSERT_TRUE(net.Start().ok());
+  {
+    Request open;
+    open.op = RequestOp::kOpenPeriod;
+    open.tenancy = "fuzz";
+    protocol::CatalogSpec catalog;
+    catalog.scenario = "telemetry";
+    catalog.scenario_tenants = 3;
+    catalog.scenario_slots = 6;
+    open.catalog = catalog;
+    ASSERT_TRUE(server.Handle(std::move(open)).ok());
+  }
+  Request batch;
+  batch.op = RequestOp::kBatch;
+  batch.version = 3;
+  for (int m = 0; m < 6; ++m) {
+    Request advance;
+    advance.op = RequestOp::kAdvanceSlot;
+    advance.tenancy = "fuzz";
+    advance.id = "m" + std::to_string(m);
+    batch.requests.push_back(std::move(advance));
+  }
+  const std::string frame = protocol::ToJson(batch).Dump();
+
+  Rng rng(8128);
+  for (int round = 0; round < 30; ++round) {
+    Result<NetClient> client = NetClient::Connect("127.0.0.1", net.port());
+    ASSERT_TRUE(client.ok());
+    // A batch frame torn mid-line (no newline), then an abrupt disconnect
+    // — sometimes after a whole successful frame first.
+    if (rng.Bernoulli(0.4)) {
+      ASSERT_TRUE(client->SendLine(frame).ok());
+      Result<std::string> answered = client->ReadLine();
+      ASSERT_TRUE(answered.ok());
+      EXPECT_NE(answered->find("\"responses\""), std::string::npos);
+    }
+    const std::string torn = frame.substr(
+        0, static_cast<size_t>(
+               rng.UniformInt(1, static_cast<int64_t>(frame.size()) - 1)));
+    ASSERT_TRUE(client->SendRaw(torn).ok());
+    client->Close();
+  }
+
+  // The torn frames died with their connections: never half-dispatched,
+  // never desynced, and the server still answers a fresh batch.
+  Result<NetClient> fresh = NetClient::Connect("127.0.0.1", net.port());
+  ASSERT_TRUE(fresh.ok());
+  Result<std::string> alive = fresh->Call(frame);
   ASSERT_TRUE(alive.ok());
   EXPECT_NE(alive->find("\"ok\":true"), std::string::npos);
   net.Stop();

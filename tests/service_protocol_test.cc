@@ -182,15 +182,15 @@ TEST(RequestParsing, RejectsUnknownFields) {
 }
 
 TEST(RequestParsing, RejectsBadVersions) {
-  // Both live versions parse...
-  for (double v : {1.0, 2.0}) {
+  // All live versions parse...
+  for (double v : {1.0, 2.0, 3.0}) {
     JsonValue doc = ToJson(SampleRequest(RequestOp::kReport));
     doc.Set("v", JsonValue::Number(v));
     EXPECT_TRUE(RequestFromJson(doc).ok()) << v;
   }
   // ... a foreign one does not.
   JsonValue doc = ToJson(SampleRequest(RequestOp::kReport));
-  doc.Set("v", JsonValue::Number(3.0));
+  doc.Set("v", JsonValue::Number(4.0));
   Result<Request> parsed = RequestFromJson(doc);
   ASSERT_FALSE(parsed.ok());
   EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
@@ -371,7 +371,7 @@ TEST(ResponseSerialization, RejectsInconsistentDocuments) {
                    .ok());
   // Version checks apply to responses too.
   EXPECT_FALSE(ResponseFromJson(
-                   *JsonValue::Parse("{\"v\":3,\"ok\":true,\"result\":{}}"))
+                   *JsonValue::Parse("{\"v\":4,\"ok\":true,\"result\":{}}"))
                    .ok());
 }
 

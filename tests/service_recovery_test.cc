@@ -587,7 +587,7 @@ TEST(RecoveryTest, ServerInfoReportsStoreKindAndRecoveryStats) {
   EXPECT_EQ(payload.Find("store")->AsString(), "memory");
   EXPECT_EQ(payload.Find("workers")->AsNumber(), 3.0);
   EXPECT_EQ(payload.Find("protocol")->Find("min")->AsNumber(), 1.0);
-  EXPECT_EQ(payload.Find("protocol")->Find("max")->AsNumber(), 2.0);
+  EXPECT_EQ(payload.Find("protocol")->Find("max")->AsNumber(), 3.0);
   EXPECT_EQ(payload.Find("recoveries_run")->AsNumber(), 0.0);
   ASSERT_NE(payload.Find("recovery"), nullptr);
   ASSERT_NE(payload.Find("store_stats"), nullptr);
@@ -612,6 +612,169 @@ TEST(RecoveryTest, OversizedRequestLinesAnswerResourceExhausted) {
   response = protocol::ResponseFromJson(*doc);
   ASSERT_TRUE(response.ok());
   EXPECT_TRUE(response->ok());
+}
+
+// -- Protocol v3: batch frames are WAL-atomic per tenancy -------------------
+
+TEST(RecoveryTest, BatchFrameJournalsOneAtomicRecordAndReplays) {
+  // A wire batch whose members all qualify (plain session mutations +
+  // reads) journals exactly ONE record for the tenancy — the raw frame —
+  // appended before any member executes. A crash mid-period then replays
+  // the whole group or none of it, and the recovered state is
+  // bit-identical to serving the members one at a time.
+  constexpr int kSlots = 12;
+  auto scenario = simdb::TelemetryScenario(5, kSlots);
+  ASSERT_TRUE(scenario.ok());
+  ServiceConfig config;
+  const std::vector<simdb::SimUser> tenants =
+      Jitter(scenario->tenants, kSlots, 31);
+
+  const auto open_line = [&] {
+    Request open;
+    open.op = RequestOp::kOpenPeriod;
+    open.tenancy = "acme";
+    protocol::CatalogSpec catalog;
+    catalog.scenario = "telemetry";
+    catalog.scenario_tenants = 5;
+    catalog.scenario_slots = kSlots;
+    open.catalog = catalog;
+    open.config = config;
+    return protocol::ToJson(open).Dump();
+  };
+  // submit + advance + report + advance: mutations and a read, one frame.
+  const auto members = [&] {
+    std::vector<Request> list;
+    Request submit;
+    submit.op = RequestOp::kSubmit;
+    submit.tenancy = "acme";
+    submit.tenants = tenants;
+    list.push_back(std::move(submit));
+    Request advance;
+    advance.op = RequestOp::kAdvanceSlot;
+    advance.tenancy = "acme";
+    advance.slots = 3;
+    list.push_back(advance);
+    Request report;
+    report.op = RequestOp::kReport;
+    report.tenancy = "acme";
+    list.push_back(std::move(report));
+    advance.slots = 2;
+    list.push_back(advance);
+    return list;
+  }();
+  const auto batch_line = [&] {
+    Request batch;
+    batch.op = RequestOp::kBatch;
+    batch.version = 3;
+    batch.requests = members;
+    return protocol::ToJson(batch).Dump();
+  }();
+
+  // Reference: the same members served one line at a time.
+  std::string expected;
+  {
+    MarketplaceServer reference(ServerOptions{2});
+    ASSERT_NE(reference.HandleLine(open_line()).find("\"ok\":true"),
+              std::string::npos);
+    for (const Request& member : members) {
+      const std::string response =
+          reference.HandleLine(protocol::ToJson(member).Dump());
+      ASSERT_NE(response.find("\"ok\":true"), std::string::npos) << response;
+    }
+    expected = ReportDump(reference, "acme");
+  }
+
+  auto shared = std::make_shared<MemoryStateStore>();
+  {
+    ServerOptions options;
+    options.num_workers = 2;
+    options.store = shared;
+    MarketplaceServer first(std::move(options));
+    ASSERT_NE(first.HandleLine(open_line()).find("\"ok\":true"),
+              std::string::npos);
+    const uint64_t appends_before = shared->stats().appends;
+    const std::string response = first.HandleLine(batch_line);
+    ASSERT_NE(response.find("\"ok\":true"), std::string::npos) << response;
+    // The whole frame — two mutations and a read — cost one append.
+    EXPECT_EQ(shared->stats().appends, appends_before + 1);
+    // No shutdown: the destructor is the crash.
+  }
+  ServerOptions options;
+  options.num_workers = 2;
+  options.store = shared;
+  MarketplaceServer second(std::move(options));
+  Result<RecoveryStats> stats = second.Recover();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->tenancies_recovered, 1);
+  // The creating open_period is one record; the whole batch is the other.
+  EXPECT_EQ(stats->journal_records_replayed, 2);
+  EXPECT_EQ(ReportDump(second, "acme"), expected);
+}
+
+TEST(RecoveryTest, BatchWithClosePeriodFallsBackToPerMemberRecords) {
+  // close_period checkpoints and truncates the journal, so a group record
+  // holding members beyond the close could lose them on replay. Such a
+  // batch must take the per-member WAL path instead — more appends, same
+  // recovered state.
+  constexpr int kSlots = 12;
+  auto scenario = simdb::TelemetryScenario(5, kSlots);
+  ASSERT_TRUE(scenario.ok());
+  ServiceConfig config;
+  const std::vector<std::vector<simdb::SimUser>> periods = {
+      Jitter(scenario->tenants, kSlots, 41),
+      Jitter(scenario->tenants, kSlots, 42)};
+  const std::vector<PeriodReport> direct =
+      DirectReports(scenario->catalog, config, periods);
+  const std::vector<std::string> lines =
+      RecordRequestLines("acme", config, 5, kSlots, periods);
+
+  auto shared = std::make_shared<MemoryStateStore>();
+  std::vector<std::string> responses;
+  {
+    ServerOptions options;
+    options.num_workers = 2;
+    options.store = shared;
+    MarketplaceServer first(std::move(options));
+    // Period 1's open, then submit/advance/close as ONE batch frame that
+    // disqualifies itself (close_period member) and journals per member.
+    responses.push_back(first.HandleLine(lines[0]));
+    Request batch;
+    batch.op = RequestOp::kBatch;
+    batch.version = 3;
+    for (size_t i = 1; i <= 3; ++i) {
+      Result<Request> member = protocol::ParseRequestLine(lines[i]);
+      ASSERT_TRUE(member.ok());
+      batch.requests.push_back(std::move(*member));
+    }
+    const uint64_t appends_before = shared->stats().appends;
+    const std::string response =
+        first.HandleLine(protocol::ToJson(batch).Dump());
+    ASSERT_NE(response.find("\"ok\":true"), std::string::npos) << response;
+    // Three mutating members, three records (not one group record).
+    EXPECT_EQ(shared->stats().appends, appends_before + 3);
+    // Split the member responses back out as individual lines so the
+    // report extraction below sees the close_period payload.
+    Result<JsonValue> doc = JsonValue::Parse(response);
+    ASSERT_TRUE(doc.ok());
+    for (const JsonValue& member_doc :
+         doc->Find("result")->Find("responses")->AsArray()) {
+      responses.push_back(member_doc.Dump());
+    }
+    // Open period 2, then crash.
+    responses.push_back(first.HandleLine(lines[4]));
+    responses.push_back(first.HandleLine(lines[5]));
+  }
+  ServerOptions options;
+  options.num_workers = 2;
+  options.store = shared;
+  MarketplaceServer second(std::move(options));
+  Result<RecoveryStats> stats = second.Recover();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->tenancies_recovered, 1);
+  for (size_t i = 6; i < lines.size(); ++i) {
+    responses.push_back(second.HandleLine(lines[i]));
+  }
+  ExpectBitIdentical(direct, ReportsFromResponses(responses));
 }
 
 }  // namespace

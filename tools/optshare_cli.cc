@@ -11,6 +11,7 @@
 //                      [--scenario-file FILE]
 //                                         # wire-protocol loop: stdin, or TCP
 //   optshare_cli connect HOST:PORT        # drive a remote serve --listen
+//   optshare_cli metrics HOST:PORT        # scrape a server's metrics
 //   optshare_cli node --id ID --cluster FILE [--data-dir DIR] [--workers N]
 //                                         # one node of a pricing cluster
 //   optshare_cli route --cluster FILE [--listen HOST:PORT]
@@ -131,7 +132,8 @@ constexpr SubcommandHelp kSubcommands[] = {
     {"serve",
      "optshare_cli serve [--workers N] [--data-dir DIR] "
      "[--export-dir DIR] [--listen HOST:PORT] [--max-request-bytes B] "
-     "[--scenario-file FILE]",
+     "[--admit-mutations-per-sec R] [--admit-burst B] "
+     "[--connection-requests-per-sec R] [--scenario-file FILE]",
      "Reads newline-delimited marketplace protocol requests (one JSON\n"
      "document per line, schema versions 1 and 2; see service/protocol.h)\n"
      "from stdin and writes one response line per request, in request\n"
@@ -151,6 +153,12 @@ constexpr SubcommandHelp kSubcommands[] = {
      "--export-dir DIR arms the v2 `export` op: it streams every\n"
      "tenancy's ledger, structure outcomes and period totals into DIR as\n"
      "CSV + binary column chunks + manifest.json (`help export`).\n"
+     "--admit-mutations-per-sec R arms per-tenancy admission control: each\n"
+     "tenancy may run R mutating ops per second (token bucket, burst\n"
+     "--admit-burst, default R); a breaching request answers a typed\n"
+     "ResourceExhausted with a retry_after_ms hint. 0 (default) = off.\n"
+     "--connection-requests-per-sec R additionally rate-caps each TCP\n"
+     "connection at the transport (--listen only).\n"
      "--scenario-file FILE pre-creates a tenancy from a trace scenario\n"
      "config (strategy/trace.h; `optshare_cli sample trace` emits one):\n"
      "the config's catalog, mechanism, slots_per_period and\n"
@@ -158,7 +166,9 @@ constexpr SubcommandHelp kSubcommands[] = {
      "for open_period without a CatalogSpec.\n"
      "ops: open_period submit depart advance_slot close_period report\n"
      "     query_price list_mechanisms snapshot restore export shutdown\n"
-     "     server_info\n"
+     "     server_info batch (v3: many requests in one frame, one\n"
+     "     ordered response array; single-tenancy session batches\n"
+     "     journal atomically)\n"
      "example session:\n"
      "  $ optshare_cli serve --data-dir /var/lib/optshare\n"
      "  {\"v\":1,\"op\":\"open_period\",\"tenancy\":\"acme\",\"catalog\":"
@@ -241,6 +251,17 @@ constexpr SubcommandHelp kSubcommands[] = {
      "  optshare_cli export /var/lib/optshare --export-dir /tmp/columns\n"
      "  python3 -c 'import csv; print(sum(float(r[\"cloud_balance\"])\n"
      "      for r in csv.DictReader(open(\"/tmp/columns/periods.csv\"))))'\n"},
+    {"metrics", "optshare_cli metrics HOST:PORT [--json]",
+     "Scrapes a running server's metrics surface: one v3 server_info\n"
+     "round trip, printing the \"metrics\" section — per-op latency\n"
+     "histograms (fixed log-spaced microsecond buckets), shard queue\n"
+     "depths, journal fsync lag (appends not yet checkpointed) and\n"
+     "admission counters (mutating-op quota admits/rejects). The default\n"
+     "output is a human summary with histogram-derived p50/p99 upper\n"
+     "bounds; --json dumps the section verbatim, ready for a scraper.\n"
+     "example:\n"
+     "  $ optshare_cli serve --listen 127.0.0.1:7421 &\n"
+     "  $ optshare_cli metrics 127.0.0.1:7421 --json\n"},
     {"mechanisms", "optshare_cli mechanisms",
      "Lists every mechanism registered with the MechanismRegistry, one\n"
      "name per line (paper mechanisms and baselines).\n"},
@@ -335,6 +356,9 @@ int Serve(int argc, char** argv) {
   std::string listen;
   std::string scenario_file;
   size_t max_request_bytes = service::protocol::kDefaultMaxRequestBytes;
+  double admit_rate = 0.0;
+  double admit_burst = 0.0;
+  double connection_rate = 0.0;
   for (int a = 2; a < argc; ++a) {
     const std::string arg = argv[a];
     if (arg == "--workers" && a + 1 < argc) {
@@ -359,6 +383,19 @@ int Serve(int argc, char** argv) {
         return Fail("--max-request-bytes must be a non-negative byte count");
       }
       max_request_bytes = static_cast<size_t>(parsed);
+    } else if (arg == "--admit-mutations-per-sec" && a + 1 < argc) {
+      admit_rate = std::atof(argv[++a]);
+      if (admit_rate < 0) {
+        return Fail("--admit-mutations-per-sec must be >= 0");
+      }
+    } else if (arg == "--admit-burst" && a + 1 < argc) {
+      admit_burst = std::atof(argv[++a]);
+      if (admit_burst < 0) return Fail("--admit-burst must be >= 0");
+    } else if (arg == "--connection-requests-per-sec" && a + 1 < argc) {
+      connection_rate = std::atof(argv[++a]);
+      if (connection_rate < 0) {
+        return Fail("--connection-requests-per-sec must be >= 0");
+      }
     } else {
       return Usage();
     }
@@ -367,6 +404,8 @@ int Serve(int argc, char** argv) {
   options.num_workers = workers;
   options.max_request_bytes = max_request_bytes;
   options.export_dir = export_dir;
+  options.admission.mutating_ops_per_sec = admit_rate;
+  options.admission.burst = admit_burst;  // <= 0 = same as the rate.
   if (!data_dir.empty()) {
     auto store = service::FileStateStore::Open(data_dir);
     if (!store.ok()) return Fail(store.status().ToString());
@@ -414,6 +453,7 @@ int Serve(int argc, char** argv) {
     service::NetServerOptions net_options;
     net_options.host = host_port->first;
     net_options.port = host_port->second;
+    net_options.max_connection_requests_per_sec = connection_rate;
     service::NetServer net(&server, net_options);
     Status started = net.Start();
     if (!started.ok()) return Fail(started.ToString());
@@ -517,6 +557,100 @@ int ConnectRemote(int argc, char** argv) {
     }
     std::cout << *response << "\n";
     std::cout.flush();
+  }
+  return 0;
+}
+
+/// Scrapes a running server's metrics surface: one v3 server_info round
+/// trip, printing the "metrics" section — per-op latency histograms,
+/// shard queue depths, journal fsync lag, admission counters. --json
+/// dumps the section verbatim for a scraper; the default is a human
+/// summary with histogram-derived quantile upper bounds.
+int Metrics(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  auto host_port = net::ParseHostPort(argv[2]);
+  if (!host_port.ok()) return Fail(host_port.status().ToString());
+  bool json = false;
+  for (int a = 3; a < argc; ++a) {
+    if (std::string(argv[a]) == "--json") {
+      json = true;
+    } else {
+      return Usage();
+    }
+  }
+  Result<service::NetClient> client =
+      service::NetClient::Connect(host_port->first, host_port->second);
+  if (!client.ok()) return Fail(client.status().ToString());
+  service::protocol::Request request;
+  request.op = service::protocol::RequestOp::kServerInfo;
+  request.version = 3;
+  Result<service::protocol::Response> response = client->Call(request);
+  if (!response.ok()) return Fail(response.status().ToString());
+  if (!response->ok()) return Fail(response->status.ToString());
+  const JsonValue* metrics = response->payload.Find("metrics");
+  if (metrics == nullptr) {
+    return Fail("server_info carried no metrics section (pre-v3 server?)");
+  }
+  if (json) {
+    std::cout << metrics->Dump(2) << "\n";
+    return 0;
+  }
+  const JsonValue* latency = metrics->Find("latency_us");
+  if (latency != nullptr && latency->is_object()) {
+    for (const auto& [op, hist] : latency->AsObject()) {
+      const double count = hist.Find("count")->AsNumber();
+      const double total = hist.Find("total_us")->AsNumber();
+      const auto& bounds = hist.Find("le_us")->AsArray();
+      const auto& counts = hist.Find("counts")->AsArray();
+      // The histogram answers quantiles as bucket upper bounds; the last
+      // bucket is unbounded (le_us -1).
+      const auto quantile = [&](double q) {
+        double seen = 0.0;
+        for (size_t b = 0; b < counts.size(); ++b) {
+          seen += counts[b].AsNumber();
+          if (seen >= q * count) return bounds[b].AsNumber();
+        }
+        return -1.0;
+      };
+      const auto bound = [](double le) {
+        return le < 0 ? std::string("inf") : std::to_string(
+                                                 static_cast<long long>(le));
+      };
+      std::cout << "latency " << op << ": count "
+                << static_cast<long long>(count) << ", mean "
+                << (count > 0 ? total / count : 0.0) << "us, p50 <= "
+                << bound(quantile(0.5)) << "us, p99 <= "
+                << bound(quantile(0.99)) << "us\n";
+    }
+  }
+  const JsonValue* depths = metrics->Find("shard_queue_depths");
+  if (depths != nullptr && depths->is_array()) {
+    std::cout << "shard queue depths:";
+    for (const JsonValue& depth : depths->AsArray()) {
+      std::cout << " " << static_cast<long long>(depth.AsNumber());
+    }
+    std::cout << "\n";
+  }
+  const JsonValue* journal = metrics->Find("journal");
+  if (journal != nullptr) {
+    std::cout << "journal fsync lag: "
+              << static_cast<long long>(journal->Find("fsync_lag")->AsNumber())
+              << " appends\n";
+  }
+  const JsonValue* admission = metrics->Find("admission");
+  if (admission != nullptr) {
+    std::cout << "admission: admitted "
+              << static_cast<long long>(
+                     admission->Find("admitted")->AsNumber())
+              << ", rejected "
+              << static_cast<long long>(
+                     admission->Find("rejected")->AsNumber())
+              << ", default quota "
+              << admission->Find("default_mutating_ops_per_sec")->AsNumber()
+              << " mutating ops/sec ("
+              << static_cast<long long>(
+                     admission->Find("tenancy_overrides")->AsNumber())
+              << " tenancy overrides)\n";
   }
   return 0;
 }
@@ -1136,6 +1270,9 @@ int Main(int argc, char** argv) {
   }
   if (argc >= 2 && std::string(argv[1]) == "connect") {
     return ConnectRemote(argc, argv);
+  }
+  if (argc >= 2 && std::string(argv[1]) == "metrics") {
+    return Metrics(argc, argv);
   }
   if (argc >= 2 && std::string(argv[1]) == "node") {
     return RunClusterNode(argc, argv);
